@@ -1,0 +1,186 @@
+// A1 — ablations over the design choices the core library makes.
+//
+//  A1.a  Need-to-Know vs. Ubiquity index maintenance (paper §IV.A) across
+//        read/write mixes: maintenance work saved by laziness.
+//  A1.b  Zone-map block size: pruning effectiveness vs. map overhead.
+//  A1.c  Dense-array vs. hash group-by: the domain-size crossover behind
+//        the adaptive strategy.
+//  A1.d  Checkpoint interval vs. fault rate for restartable aggregation
+//        (paper §IV "Robustness"): redone work + checkpoint cost.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/aggregate.hpp"
+#include "exec/restartable.hpp"
+#include "storage/secondary_index.hpp"
+#include "storage/zonemap.hpp"
+#include "util/table_printer.hpp"
+
+using namespace eidb;
+
+namespace {
+
+void ablation_need_to_know() {
+  std::cout << "[A1.a] index maintenance policy vs read/write mix\n";
+  TablePrinter table({"reads_per_1k_writes", "ubiquity_ops", "ntk_ops",
+                      "ops_saved_%", "answers_equal"});
+  for (const int reads_per_1k : {0, 1, 10, 100, 1000}) {
+    storage::SecondaryIndex eager(storage::IndexMaintenance::kUbiquity);
+    storage::SecondaryIndex lazy(storage::IndexMaintenance::kNeedToKnow);
+    Pcg32 rng(7);
+    bool equal = true;
+    constexpr int kWrites = 20'000;
+    const int gap = reads_per_1k > 0 ? 1000 / reads_per_1k : 0;
+    for (int w = 0; w < kWrites; ++w) {
+      const auto v = static_cast<std::int64_t>(rng.next_bounded(10'000));
+      eager.append(v);
+      lazy.append(v);
+      if (gap > 0 && w % gap == gap - 1) {
+        const auto a = eager.lookup_range(0, 100);
+        const auto b = lazy.lookup_range(0, 100);
+        equal = equal && a == b;
+      }
+    }
+    const double saved =
+        eager.maintenance_ops() == 0
+            ? 0.0
+            : 100.0 *
+                  (1.0 - static_cast<double>(lazy.maintenance_ops()) /
+                             static_cast<double>(eager.maintenance_ops()));
+    table.add_row(
+        {TablePrinter::fmt_int(reads_per_1k),
+         TablePrinter::fmt_int(static_cast<long long>(eager.maintenance_ops())),
+         TablePrinter::fmt_int(static_cast<long long>(lazy.maintenance_ops())),
+         TablePrinter::fmt(saved, 3), equal ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "(write-only: Need-to-Know does zero maintenance; answers "
+               "stay identical because reads force catch-up)\n\n";
+}
+
+void ablation_zonemap_block() {
+  std::cout << "[A1.b] zone-map block size (8M sorted rows, 1000-row range "
+               "predicate)\n";
+  std::vector<std::int64_t> sorted(8'000'000);
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    sorted[i] = static_cast<std::int64_t>(i);
+  TablePrinter table({"block_rows", "zones", "rows_touched", "map_KiB",
+                      "scan_us"});
+  for (const std::size_t block : {256u, 1024u, 4096u, 16384u, 65536u,
+                                  262144u}) {
+    const storage::ZoneMap zm = storage::ZoneMap::build(sorted, block);
+    const std::int64_t lo = 4'000'000, hi = 4'000'999;
+    std::size_t touched = 0;
+    volatile std::int64_t sink = 0;
+    const double s = bench::time_best([&] {
+      touched = 0;
+      std::int64_t acc = 0;
+      for (const auto& r : zm.candidate_ranges(lo, hi, sorted.size())) {
+        touched += r.end - r.begin;
+        for (std::size_t i = r.begin; i < r.end; ++i)
+          if (sorted[i] >= lo && sorted[i] <= hi) acc += sorted[i];
+      }
+      sink = acc;
+    });
+    (void)sink;
+    table.add_row(
+        {TablePrinter::fmt_int(static_cast<long long>(block)),
+         TablePrinter::fmt_int(static_cast<long long>(zm.zone_count())),
+         TablePrinter::fmt_int(static_cast<long long>(touched)),
+         TablePrinter::fmt(zm.zone_count() * sizeof(storage::Zone) / 1024.0,
+                           4),
+         TablePrinter::fmt(s * 1e6, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "(small blocks prune tighter but cost map space; the default "
+               "4096 sits at the knee for range predicates)\n\n";
+}
+
+void ablation_group_strategy() {
+  std::cout << "[A1.c] dense vs hash group-by across key-domain sizes (2M "
+               "rows)\n";
+  TablePrinter table({"domain", "dense_ms", "hash_ms", "dense_speedup"});
+  constexpr std::size_t kRows = 2'000'000;
+  const auto vals = bench::uniform_i64(kRows, 1000, 2);
+  BitVector sel(kRows);
+  sel.set_all();
+  for (const std::uint32_t domain :
+       {16u, 256u, 4096u, 65536u, 262144u, 1u << 20}) {
+    const auto keys = bench::uniform_i64(kRows, domain, 3);
+    const double dense_s = bench::time_best(
+        [&] {
+          (void)exec::group_aggregate(keys, vals, sel,
+                                      exec::GroupStrategy::kDenseArray);
+        },
+        0.3);
+    const double hash_s = bench::time_best(
+        [&] {
+          (void)exec::group_aggregate(keys, vals, sel,
+                                      exec::GroupStrategy::kHash);
+        },
+        0.3);
+    table.add_row({TablePrinter::fmt_int(domain),
+                   TablePrinter::fmt(dense_s * 1e3, 4),
+                   TablePrinter::fmt(hash_s * 1e3, 4),
+                   TablePrinter::fmt(hash_s / dense_s, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "(dense accumulators win while the domain fits caches; the "
+               "adaptive kAuto threshold of 2^20 slots keeps the dense arm "
+               "inside its winning region)\n\n";
+}
+
+void ablation_checkpoint_interval() {
+  std::cout << "[A1.d] checkpoint interval vs fault rate (1000 morsels)\n";
+  const auto values = bench::uniform_i64(1'000'000, 1000, 4);
+  BitVector sel(values.size());
+  sel.set_all();
+  TablePrinter table({"faults_per_run", "ckpt_every", "reprocessed_morsels",
+                      "checkpoints", "overhead_vs_ideal_%"});
+  for (const int faults : {1, 4, 16}) {
+    for (const std::size_t every : {1u, 5u, 20u, 100u, 1000u}) {
+      exec::RestartableAggregation agg(1000, every);
+      exec::RestartStats stats;
+      // Deterministic faults spread across the job, each firing once.
+      std::vector<bool> fired(1001, false);
+      const int gap = 1000 / (faults + 1);
+      const auto injector = [&](std::uint64_t m) {
+        if (m > 0 && m % gap == 0 && !fired[m]) {
+          fired[m] = true;
+          return true;
+        }
+        return false;
+      };
+      (void)agg.run(values, sel, injector, stats);
+      const double overhead =
+          100.0 *
+          static_cast<double>(stats.morsels_processed - stats.morsels_total) /
+          static_cast<double>(stats.morsels_total);
+      table.add_row(
+          {TablePrinter::fmt_int(faults),
+           TablePrinter::fmt_int(static_cast<long long>(every)),
+           TablePrinter::fmt_int(
+               static_cast<long long>(stats.morsels_reprocessed)),
+           TablePrinter::fmt_int(
+               static_cast<long long>(stats.checkpoints_taken)),
+           TablePrinter::fmt(overhead, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(redone work grows linearly with the checkpoint interval "
+               "and the fault count; frequent checkpoints bound it at the "
+               "cost of snapshot copies — pick per expected query length, "
+               "as §IV prescribes)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== A1: design-choice ablations ==\n\n";
+  ablation_need_to_know();
+  ablation_zonemap_block();
+  ablation_group_strategy();
+  ablation_checkpoint_interval();
+  return 0;
+}

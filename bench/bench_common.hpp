@@ -1,0 +1,64 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::bench {
+
+/// Uniform int32 values in [0, domain).
+inline std::vector<std::int32_t> uniform_i32(std::size_t n,
+                                             std::int32_t domain,
+                                             std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int32_t>(
+        rng.next_bounded(static_cast<std::uint32_t>(domain)));
+  return v;
+}
+
+inline std::vector<std::int64_t> uniform_i64(std::size_t n,
+                                             std::int64_t domain,
+                                             std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int64_t>(rng.next_bounded(
+        static_cast<std::uint32_t>(domain)));
+  return v;
+}
+
+/// Runs `fn` repeatedly until ~`budget_s` of wall time is spent and returns
+/// the best (minimum) seconds per run — the standard microbenchmark recipe
+/// to suppress scheduler noise.
+template <typename Fn>
+double time_best(Fn&& fn, double budget_s = 0.25, int min_runs = 3) {
+  double best = 1e100;
+  Stopwatch total;
+  int runs = 0;
+  while (runs < min_runs || total.elapsed_seconds() < budget_s) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_seconds());
+    ++runs;
+    if (runs > 1000) break;
+  }
+  return best;
+}
+
+/// Modeled joules for a measured busy interval on one core of `m` at its
+/// top P-state: incremental busy power plus DRAM traffic. Used to attach
+/// energy figures to host-measured kernel timings when RAPL is unavailable.
+inline double modeled_joules(const hw::MachineSpec& m, double busy_s,
+                             double dram_bytes) {
+  return (m.dvfs.fastest().active_power_w - m.core_idle_power_w) * busy_s +
+         dram_bytes * m.dram_energy_nj_per_byte * 1e-9;
+}
+
+}  // namespace eidb::bench

@@ -1,0 +1,125 @@
+// Experiment E2 — compressed vs. uncompressed intermediate shipping
+// (paper §IV): "the system has to spend time and energy for
+// (de-)compression but saves time and energy for the communication path.
+// Since both cost factors are independent, the optimizer has to decide on
+// a case-by-case basis."
+//
+// Part A: link × codec matrix — measured encode/decode on the host, wire
+// modeled; time and energy per exchange of a 16 MiB intermediate.
+// Part B: bandwidth sweep — the crossover where compression stops paying
+// off, for the time and the energy objective separately.
+// Part C: advisor accuracy — does the profile-based decision match the
+// measured-best arm?
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/exchange.hpp"
+#include "opt/compression_advisor.hpp"
+#include "util/table_printer.hpp"
+
+using namespace eidb;
+
+int main() {
+  std::cout << "== E2: compress-or-ship-raw, per link ==\n\n";
+  const hw::MachineSpec machine = hw::MachineSpec::server();
+  const hw::DvfsState& state = machine.dvfs.fastest();
+
+  // Intermediate result: 2M group keys (small domain — typical post-
+  // aggregation payload).
+  const auto payload = bench::uniform_i64(2'000'000, 4096, 7);
+
+  // -- Part A: matrix ---------------------------------------------------------------
+  const hw::LinkSpec links[] = {hw::LinkSpec::qpi(),
+                                hw::LinkSpec::haec_optical(),
+                                hw::LinkSpec::haec_wireless(),
+                                hw::LinkSpec::tengbe(), hw::LinkSpec::gbe()};
+  TablePrinter matrix({"link", "codec", "wire_MiB", "time_ms", "energy_J"});
+  for (const auto& link : links) {
+    for (const auto kind : storage::all_codec_kinds()) {
+      const auto r = net::evaluate_exchange_measured(payload, kind, link,
+                                                     machine, state);
+      matrix.add_row({link.name, storage::codec_name(kind),
+                      TablePrinter::fmt(r.wire_bytes / (1 << 20), 3),
+                      TablePrinter::fmt(r.total_time_s() * 1e3, 4),
+                      TablePrinter::fmt(r.total_energy_j(), 4)});
+    }
+  }
+  matrix.print(std::cout);
+
+  // -- Part B: bandwidth sweep, best arm per objective -------------------------------
+  std::cout << "\nbandwidth sweep (which arm wins?):\n";
+  TablePrinter sweep({"bandwidth_GBs", "best_by_time", "t_plain_ms",
+                      "t_best_ms", "best_by_energy", "J_plain", "J_best"});
+  for (const double gbs : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0,
+                           16.0, 32.0}) {
+    hw::LinkSpec link{"sweep", gbs, 12.0 / gbs + 1.0, 10e-6, 5.0};
+    storage::CodecKind best_t = storage::CodecKind::kPlain;
+    storage::CodecKind best_e = storage::CodecKind::kPlain;
+    double t_plain = 0, t_best = 1e100, j_plain = 0, j_best = 1e100;
+    for (const auto kind : storage::all_codec_kinds()) {
+      const auto r = net::evaluate_exchange_measured(payload, kind, link,
+                                                     machine, state);
+      if (kind == storage::CodecKind::kPlain) {
+        t_plain = r.total_time_s();
+        j_plain = r.total_energy_j();
+      }
+      if (r.total_time_s() < t_best) {
+        t_best = r.total_time_s();
+        best_t = kind;
+      }
+      if (r.total_energy_j() < j_best) {
+        j_best = r.total_energy_j();
+        best_e = kind;
+      }
+    }
+    sweep.add_row({TablePrinter::fmt(gbs, 4), storage::codec_name(best_t),
+                   TablePrinter::fmt(t_plain * 1e3, 4),
+                   TablePrinter::fmt(t_best * 1e3, 4),
+                   storage::codec_name(best_e), TablePrinter::fmt(j_plain, 4),
+                   TablePrinter::fmt(j_best, 4)});
+  }
+  sweep.print(std::cout);
+
+  // -- Part C: advisor accuracy --------------------------------------------------------
+  std::cout << "\nadvisor vs measured-best:\n";
+  const opt::CompressionAdvisor advisor(machine);
+  int agree = 0, total = 0;
+  TablePrinter acc({"link", "objective", "advised", "measured_best",
+                    "advised_cost", "best_cost"});
+  for (const auto& link : links) {
+    for (const auto objective :
+         {opt::Objective::kTime, opt::Objective::kEnergy}) {
+      const auto advice =
+          advisor.advise(payload, payload.size(), link, state, objective);
+      storage::CodecKind best = storage::CodecKind::kPlain;
+      double best_cost = 1e100, advised_cost = 0;
+      for (const auto kind : storage::all_codec_kinds()) {
+        const auto r = net::evaluate_exchange_measured(payload, kind, link,
+                                                       machine, state);
+        const double cost = objective == opt::Objective::kTime
+                                ? r.total_time_s()
+                                : r.total_energy_j();
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = kind;
+        }
+        if (kind == advice.kind) advised_cost = cost;
+      }
+      ++total;
+      if (best == advice.kind) ++agree;
+      acc.add_row({link.name, opt::objective_name(objective),
+                   storage::codec_name(advice.kind), storage::codec_name(best),
+                   TablePrinter::fmt(advised_cost, 4),
+                   TablePrinter::fmt(best_cost, 4)});
+    }
+  }
+  acc.print(std::cout);
+  std::cout << "advisor picked the measured-best arm " << agree << "/"
+            << total
+            << " times (misses cost the difference shown above).\n";
+  std::cout << "Shape checks: slow links -> compress wins; fast on-board "
+               "links -> raw wins on time; energy crossover sits at higher "
+               "bandwidth than the time crossover when nJ/byte is high.\n";
+  return 0;
+}

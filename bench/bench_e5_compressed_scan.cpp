@@ -1,0 +1,92 @@
+// Experiment E5 — scans on compressed (bit-packed) columns (paper §IV.B:
+// "main memory is the new disk ... cache lines may be considered the new
+// block size"). Narrow widths move fewer bytes; with SIMD-friendly widths
+// the scan runs directly on the packed image and beats the raw scan once
+// memory-bound.
+//
+// Width sweep: host-measured scan throughput on packed data vs. the raw
+// 64-bit scan, plus the decompress-then-scan arm, with modeled energy.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/scan_kernels.hpp"
+#include "storage/bitpack.hpp"
+#include "util/table_printer.hpp"
+
+using namespace eidb;
+
+int main() {
+  std::cout << "== E5: scans on bit-packed columns ==\n\n";
+  const hw::MachineSpec machine = hw::MachineSpec::server();
+
+  constexpr std::size_t kRows = 16'000'000;  // 122 MiB raw, LLC-busting
+  Pcg32 rng(3);
+
+  // Raw baseline: 64-bit values in a 20-bit domain.
+  std::vector<std::int64_t> raw(kRows);
+  for (auto& v : raw)
+    v = static_cast<std::int64_t>(rng.next() & 0xfffff);
+  BitVector sel(kRows);
+  const std::int64_t lo = 0x10000, hi = 0x4ffff;  // ~25% selectivity
+
+  const double raw_s = bench::time_best(
+      [&] { exec::scan_bitmap_best64(raw, lo, hi, sel); }, 0.4);
+  const double raw_gbps = kRows * 8.0 / raw_s / 1e9;
+  std::cout << "raw 64-bit scan: "
+            << kRows / raw_s / 1e6 << " Mtuples/s (" << raw_gbps
+            << " GB/s touched), modeled "
+            << bench::modeled_joules(machine, raw_s, kRows * 8.0) << " J\n\n";
+
+  TablePrinter table({"bits", "packed_MiB", "scan_Mtps", "vs_raw",
+                      "unpack_then_scan_Mtps", "modeled_nJ_per_tuple"});
+  BitVector ref(kRows);
+
+  for (const unsigned bits : {4u, 8u, 12u, 16u, 20u, 24u, 32u}) {
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    std::vector<std::uint64_t> values(kRows);
+    for (auto& v : values) v = rng.next64() & mask;
+    const auto packed = storage::bitpack(values, bits);
+    const std::uint64_t plo = mask / 4, phi = mask / 2;
+
+    const double packed_s = bench::time_best(
+        [&] {
+          exec::scan_packed_bitmap(packed, bits, kRows, plo, phi, sel);
+        },
+        0.4);
+
+    // Decompress-then-scan arm.
+    std::vector<std::uint64_t> scratch(kRows);
+    const double unpack_scan_s = bench::time_best(
+        [&] {
+          storage::bitunpack(packed, bits, kRows, scratch);
+          exec::scan_bitmap_best64(
+              std::span<const std::int64_t>(
+                  reinterpret_cast<const std::int64_t*>(scratch.data()),
+                  kRows),
+              static_cast<std::int64_t>(plo), static_cast<std::int64_t>(phi),
+              ref);
+        },
+        0.4);
+
+    const double bytes_touched = static_cast<double>(packed.size() * 8);
+    const double nj_per_tuple =
+        bench::modeled_joules(machine, packed_s, bytes_touched) / kRows * 1e9;
+
+    table.add_row(
+        {TablePrinter::fmt_int(bits),
+         TablePrinter::fmt(bytes_touched / (1 << 20), 4),
+         TablePrinter::fmt(kRows / packed_s / 1e6, 4),
+         TablePrinter::fmt(raw_s / packed_s, 3),
+         TablePrinter::fmt(kRows / unpack_scan_s / 1e6, 4),
+         TablePrinter::fmt(nj_per_tuple, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: byte-aligned widths (8/16/32) scan the "
+               "packed image directly with SIMD and beat the raw scan by "
+               "the bandwidth ratio; odd widths pay scalar unpacking; "
+               "scan-on-packed always beats decompress-then-scan; energy "
+               "per tuple falls with width (fewer DRAM bytes).\n";
+  return 0;
+}

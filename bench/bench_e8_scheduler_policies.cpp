@@ -1,0 +1,55 @@
+// Experiment E8 — latency vs. throughput vs. energy-cap scheduling (paper
+// §IV "Performance" + "Energy efficiency"): "throughput optimization is
+// more important than response time optimization" in some domains, and the
+// system must balance both "under a given energy constraint".
+//
+// Poisson query streams at increasing arrival rates; three governor
+// policies; reported: mean/p95 latency, throughput, average power, energy
+// per query.
+#include <iostream>
+
+#include "sched/scheduler.hpp"
+#include "util/table_printer.hpp"
+
+using namespace eidb;
+
+int main() {
+  std::cout << "== E8: scheduling policies across load levels ==\n\n";
+  const hw::MachineSpec machine = hw::MachineSpec::server();
+  const hw::Work per_query{1.5e9, 3e8};  // ~0.52 s at f_max
+  const double cap_w = machine.idle_power_w() + 25;
+
+  std::cout << "machine capacity at f_max: "
+            << machine.cores / machine.exec_time_s(per_query,
+                                                   machine.dvfs.fastest())
+            << " qps; power cap for energy-cap policy: " << cap_w << " W\n\n";
+
+  TablePrinter table({"rate_qps", "policy", "mean_lat_ms", "p95_lat_ms",
+                      "throughput_qps", "avg_W", "J_per_query"});
+  for (const double rate : {2.0, 5.0, 8.0, 11.0, 14.0}) {
+    const auto stream = sched::poisson_stream(2000, rate, per_query, 42);
+    for (const auto policy : {sched::Policy::kLatency,
+                              sched::Policy::kThroughput,
+                              sched::Policy::kEnergyCap}) {
+      sched::StreamScheduler scheduler(
+          machine, policy, policy == sched::Policy::kEnergyCap ? cap_w : 0);
+      const auto r = scheduler.run(stream);
+      table.add_row({TablePrinter::fmt(rate, 3), sched::policy_name(policy),
+                     TablePrinter::fmt(r.mean_latency_s * 1e3, 4),
+                     TablePrinter::fmt(r.p95_latency_s * 1e3, 4),
+                     TablePrinter::fmt(r.throughput_qps, 4),
+                     TablePrinter::fmt(r.avg_power_w, 4),
+                     TablePrinter::fmt(r.energy_per_query_j, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: at low load, throughput-mode trades ~2-3x "
+               "latency for lower J/query; as load approaches capacity the "
+               "slow P-state saturates first and its latency explodes "
+               "while the latency policy still absorbs the stream; the "
+               "energy-cap policy tracks f_max until the cap binds, then "
+               "degrades toward throughput-mode — the paper's case-by-case "
+               "balance.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// W1 — star-schema analytical workload (paper §II: "more and more
+// analytical applications ... multiple billion record databases"; scaled to
+// laptop size). A Star-Schema-Benchmark-flavored fact table with two
+// dimensions; four query classes run through the full public API, each
+// reporting time AND energy — the per-query currency the paper wants
+// optimizers to spend.
+//
+//   Q1  flight-style filter + aggregate (no join)
+//   Q2  filter via zone maps on the clustered date key
+//   Q3  dimension join + aggregate
+//   Q4  grouped rollup by dimension attribute
+#include <iostream>
+#include <vector>
+
+#include "core/database.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+
+using namespace eidb;
+
+namespace {
+
+constexpr std::size_t kFactRows = 4'000'000;
+constexpr std::int64_t kDates = 2556;      // 7 years of days
+constexpr std::int64_t kCustomers = 30'000;
+
+void load(core::Database& db) {
+  using storage::Column;
+  using storage::Schema;
+  using storage::TypeId;
+
+  Pcg32 rng(1994);  // SSB's base year
+  storage::Table& lineorder = db.create_table(
+      "lineorder", Schema({{"orderdate", TypeId::kInt64},
+                           {"custkey", TypeId::kInt64},
+                           {"quantity", TypeId::kInt64},
+                           {"discount", TypeId::kInt64},
+                           {"revenue", TypeId::kInt64}}));
+  std::vector<std::int64_t> odate, cust, qty, disc, rev;
+  odate.reserve(kFactRows);
+  for (std::size_t i = 0; i < kFactRows; ++i) {
+    // Clustered by date (append order), the realistic fact layout.
+    odate.push_back(static_cast<std::int64_t>(i * kDates / kFactRows));
+    cust.push_back(rng.next_bounded(static_cast<std::uint32_t>(kCustomers)));
+    qty.push_back(1 + rng.next_bounded(50));
+    disc.push_back(rng.next_bounded(11));
+    rev.push_back(1000 + rng.next_bounded(100'000));
+  }
+  lineorder.set_column(0, Column::from_int64("orderdate", odate));
+  lineorder.set_column(1, Column::from_int64("custkey", cust));
+  lineorder.set_column(2, Column::from_int64("quantity", qty));
+  lineorder.set_column(3, Column::from_int64("discount", disc));
+  lineorder.set_column(4, Column::from_int64("revenue", rev));
+
+  storage::Table& customer = db.create_table(
+      "customer", Schema({{"custkey", TypeId::kInt64},
+                          {"region", TypeId::kString},
+                          {"segment", TypeId::kString}}));
+  std::vector<std::int64_t> ck;
+  std::vector<std::string> region, segment;
+  const char* regions[] = {"africa", "america", "asia", "europe", "mideast"};
+  const char* segments[] = {"auto", "building", "furniture", "machinery"};
+  for (std::int64_t k = 0; k < kCustomers; ++k) {
+    ck.push_back(k);
+    region.emplace_back(regions[rng.next_bounded(5)]);
+    segment.emplace_back(segments[rng.next_bounded(4)]);
+  }
+  customer.set_column(0, Column::from_int64("custkey", ck));
+  customer.set_column(1, Column::from_strings("region", region));
+  customer.set_column(2, Column::from_strings("segment", segment));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== W1: star-schema workload (" << kFactRows
+            << "-row fact table) ==\n\n";
+  core::Database db;
+  load(db);
+
+  struct QueryCase {
+    const char* id;
+    const char* sql;
+    bool zone_maps;
+  };
+  const QueryCase cases[] = {
+      {"Q1-filter-agg",
+       "SELECT SUM(revenue * discount / 100), COUNT(*) FROM lineorder WHERE "
+       "discount BETWEEN 1 AND 3 AND quantity < 25",
+       false},
+      {"Q2-date-slice",
+       "SELECT SUM(revenue) FROM lineorder WHERE orderdate BETWEEN 400 AND "
+       "430",
+       true},
+      {"Q3-join-region",
+       "SELECT SUM(revenue), COUNT(*) FROM lineorder JOIN customer ON "
+       "lineorder.custkey = customer.custkey WHERE customer.region = "
+       "'europe' AND discount BETWEEN 0 AND 2",
+       false},
+      {"Q4-rollup",
+       "SELECT COUNT(*), SUM(revenue), AVG(quantity) FROM lineorder "
+       "GROUP BY discount",
+       false},
+      {"Q5-multi-group",
+       "SELECT COUNT(*), SUM(revenue) FROM lineorder JOIN customer ON "
+       "lineorder.custkey = customer.custkey WHERE discount BETWEEN 4 AND 6 "
+       "AND customer.segment = 'machinery'",
+       false},
+  };
+
+  TablePrinter table({"query", "rows_out", "time_ms", "energy_J", "avg_W",
+                      "tuples_scanned", "J_per_Mtuple"});
+  for (const QueryCase& qc : cases) {
+    core::RunOptions options;
+    options.exec.use_zone_maps = qc.zone_maps;
+    (void)db.run_sql(qc.sql, options);  // warm zone-map caches etc.
+    const core::RunResult run = db.run_sql(qc.sql, options);
+    const double mtuples =
+        static_cast<double>(run.stats.tuples_scanned) / 1e6;
+    table.add_row(
+        {qc.id, TablePrinter::fmt_int(
+                    static_cast<long long>(run.result.row_count())),
+         TablePrinter::fmt(run.report.elapsed_s * 1e3, 4),
+         TablePrinter::fmt(run.report.total_j(), 4),
+         TablePrinter::fmt(run.report.avg_power_w(), 4),
+         TablePrinter::fmt_int(
+             static_cast<long long>(run.stats.tuples_scanned)),
+         TablePrinter::fmt(
+             mtuples > 0 ? run.report.total_j() / mtuples : 0, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nper-operator energy ledger across the workload:\n"
+            << db.ledger().to_string();
+  std::cout << "\nShape checks: Q2's zone-mapped date slice touches ~1% of "
+               "the fact table and its joules shrink accordingly (E1's "
+               "claim inside a realistic workload); the join query pays "
+               "build+probe over the surviving rows; J/Mtuple is stable "
+               "for full scans and drops for pruned ones.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "core/database.hpp"
+
+#include <sstream>
+
+#include "energy/rapl_meter.hpp"
+#include "query/sql.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::core {
+
+Database::Database(DatabaseOptions options)
+    : machine_(std::move(options.machine)),
+      cost_model_(options.calibrate_cost_model ? opt::CostModel::calibrate()
+                                               : opt::CostModel::defaults()),
+      governor_(machine_),
+      optimizer_(machine_) {
+  if (options.prefer_rapl) {
+    auto rapl = std::make_unique<energy::RaplMeter>();
+    if (rapl->available()) rapl_ = std::move(rapl);
+  }
+  model_ = std::make_unique<energy::ModelMeter>(machine_);
+  active_meter_ = rapl_ ? rapl_.get()
+                        : static_cast<energy::EnergyMeter*>(model_.get());
+}
+
+energy::MeterSource Database::meter_source() const {
+  return active_meter_->source();
+}
+
+storage::Table& Database::create_table(const std::string& name,
+                                       storage::Schema schema) {
+  return catalog_.add(storage::Table(name, std::move(schema)));
+}
+
+void Database::register_tiers(const std::string& table) {
+  const storage::Table& t = catalog_.get(table);
+  for (std::size_t i = 0; i < t.schema().column_count(); ++i) {
+    const auto& def = t.schema().column(i);
+    tiers_.register_column(table, def.name,
+                           t.row_count() * storage::physical_size(def.type));
+  }
+}
+
+std::vector<opt::PlanCandidate> Database::candidates(
+    const query::LogicalPlan& plan) const {
+  const storage::Table& table = catalog_.get(plan.table);
+  const auto rows = static_cast<std::uint64_t>(table.row_count());
+  // Bytes per tuple across predicate columns.
+  double bytes_per_tuple = 0;
+  for (const query::Predicate& p : plan.predicates)
+    bytes_per_tuple += static_cast<double>(
+        storage::physical_size(table.column(p.column).type()));
+  if (bytes_per_tuple == 0) bytes_per_tuple = 8;
+
+  // Selectivity is unknown pre-execution; a mid-range default keeps the
+  // candidate set honest (a cardinality estimator is future work).
+  constexpr double kDefaultSel = 0.1;
+
+  std::vector<opt::PlanCandidate> out;
+  const exec::ScanVariant best_variant =
+      cost_model_.pick_scan_variant(kDefaultSel);
+  out.push_back({"scan-" + exec::variant_name(best_variant),
+                 cost_model_.scan_work(best_variant, rows, kDefaultSel,
+                                       bytes_per_tuple)});
+  out.push_back({"scan-predicated",
+                 cost_model_.scan_work(exec::ScanVariant::kPredicated, rows,
+                                       kDefaultSel, bytes_per_tuple)});
+  // Zone-map pruned plan: assume pruning to ~2x the selectivity worth of
+  // blocks (clustered data prunes far better; this is conservative).
+  const double pruned_fraction = std::min(1.0, 2 * kDefaultSel);
+  out.push_back(
+      {"scan-zonemap-pruned",
+       cost_model_.scan_work(best_variant,
+                             static_cast<std::uint64_t>(rows * pruned_fraction),
+                             kDefaultSel, bytes_per_tuple)});
+  if (plan.is_aggregate()) {
+    const auto selected = static_cast<std::uint64_t>(rows * kDefaultSel);
+    for (opt::PlanCandidate& c : out)
+      c.work += cost_model_.agg_work(selected, 8.0);
+  }
+  return out;
+}
+
+RunResult Database::run(const query::LogicalPlan& plan,
+                        const RunOptions& options) {
+  RunResult out;
+
+  // Energy-budget planning (Fig. 2): choose the configuration first.
+  if (options.energy_budget_j.has_value()) {
+    const auto cands = candidates(plan);
+    auto point = optimizer_.best_under_budget(cands, *options.energy_budget_j);
+    if (!point) {
+      out.budget_infeasible = true;
+      out.chosen_point = optimizer_.min_energy_point(cands);
+    } else {
+      out.chosen_point = *point;
+    }
+  }
+
+  // Execute on the host, metering around the run.
+  query::Executor executor(catalog_);
+  query::ExecOptions exec_options = options.exec;
+  if (exec_options.tiers == nullptr && tiers_.hot_bytes() + tiers_.cold_bytes() > 0)
+    exec_options.tiers = &tiers_;
+
+  energy::EnergyWindow window(*active_meter_);
+  Stopwatch sw;
+  out.result = executor.execute(plan, out.stats, exec_options);
+  const double elapsed = sw.elapsed_seconds();
+
+  // Feed the model meter (no-op for RAPL) so modeled joules reflect the
+  // actual busy interval and DRAM traffic.
+  model_->report_busy(elapsed, machine_.dvfs.fastest(), 1, out.stats.work);
+
+  out.report.elapsed_s = elapsed + out.stats.cold_tier_time_s;
+  out.report.energy = window.consumed();
+  out.report.energy.package_j += out.stats.cold_tier_energy_j;
+  out.report.source = active_meter_->source();
+
+  ledger_.add({plan.table + ":" + (plan.is_aggregate() ? "agg" : "select"),
+               out.report.elapsed_s, out.stats.work,
+               out.report.total_j(), out.stats.tuples_scanned});
+  return out;
+}
+
+RunResult Database::run_sql(std::string_view sql, const RunOptions& options) {
+  return run(query::parse_sql(sql), options);
+}
+
+std::string Database::explain(const query::LogicalPlan& plan,
+                              const RunOptions& options) {
+  std::ostringstream os;
+  os << "plan: " << plan.to_string() << "\n";
+  const auto cands = candidates(plan);
+  os << "candidates:\n";
+  for (const auto& c : cands)
+    os << "  " << c.name << "  cycles=" << c.work.cpu_cycles
+       << " dram_bytes=" << c.work.dram_bytes << "\n";
+  if (options.energy_budget_j.has_value()) {
+    const auto point =
+        optimizer_.best_under_budget(cands, *options.energy_budget_j);
+    if (point) {
+      os << "chosen under " << *options.energy_budget_j << " J: "
+         << point->plan_name << " @ " << point->state.freq_ghz << " GHz x"
+         << point->cores << " cores, predicted " << point->time_s << " s / "
+         << point->energy_j << " J\n";
+    } else {
+      os << "budget " << *options.energy_budget_j
+         << " J infeasible; minimum-energy configuration required\n";
+    }
+  }
+  os << "meter: " << energy::to_string(meter_source()) << "\n";
+  return os.str();
+}
+
+}  // namespace eidb::core

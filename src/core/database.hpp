@@ -1,0 +1,125 @@
+// eidb::core::Database — the public façade of the library.
+//
+// One object wires the whole stack together: catalog + tiering (storage),
+// executor (query), meters (energy), machine model (hw), governor and cost
+// model (sched/opt). Usage:
+//
+//   eidb::core::Database db;                       // model-metered
+//   auto& t = db.create_table("sales", schema);
+//   t.set_column(...);                             // bulk load
+//   auto plan = eidb::query::QueryBuilder("sales")
+//                   .filter_int("amount", 100, 999)
+//                   .group_by("region")
+//                   .aggregate(eidb::query::AggOp::kSum, "amount")
+//                   .build();
+//   auto run = db.run(plan);
+//   std::cout << run.result.to_string() << run.report.to_string();
+//
+// Every run returns both the result and an EnergyReport (RAPL-measured when
+// the host exposes it, model-derived otherwise) — energy as a first-class
+// output, which is the paper's program in one sentence.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "energy/ledger.hpp"
+#include "energy/meter.hpp"
+#include "energy/model_meter.hpp"
+#include "hw/machine.hpp"
+#include "opt/cost_model.hpp"
+#include "opt/energy_optimizer.hpp"
+#include "query/executor.hpp"
+#include "query/plan.hpp"
+#include "query/result.hpp"
+#include "sched/governor.hpp"
+#include "storage/table.hpp"
+#include "storage/tier.hpp"
+
+namespace eidb::core {
+
+struct DatabaseOptions {
+  /// Machine model used for energy modeling and simulated execution.
+  hw::MachineSpec machine = hw::MachineSpec::server();
+  /// Prefer hardware RAPL counters when readable.
+  bool prefer_rapl = true;
+  /// Calibrate the cost model on this host at startup (few ms) instead of
+  /// using the published defaults.
+  bool calibrate_cost_model = false;
+};
+
+/// Per-query execution knobs.
+struct RunOptions {
+  query::ExecOptions exec;
+  /// Optional per-query energy budget in joules: the optimizer picks the
+  /// fastest (plan, P-state, cores) configuration predicted to fit
+  /// ("elasticity in the small", Fig. 2). Affects the *reported plan* and
+  /// simulated cost; host execution itself always runs the chosen kernels.
+  std::optional<double> energy_budget_j;
+};
+
+/// Everything a query run produces.
+struct RunResult {
+  query::QueryResult result;
+  query::ExecStats stats;
+  energy::EnergyReport report;
+  /// The configuration chosen by the energy optimizer (set when a budget
+  /// was given or simulation was involved).
+  std::optional<opt::PlanPoint> chosen_point;
+  /// True when the requested energy budget was infeasible and the engine
+  /// fell back to the minimum-energy configuration.
+  bool budget_infeasible = false;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  // -- DDL / load -----------------------------------------------------------
+  storage::Table& create_table(const std::string& name,
+                               storage::Schema schema);
+  [[nodiscard]] storage::Catalog& catalog() { return catalog_; }
+  [[nodiscard]] const storage::Catalog& catalog() const { return catalog_; }
+  /// Registers all columns of `table` with the tier manager (hot).
+  void register_tiers(const std::string& table);
+  [[nodiscard]] storage::TierManager& tiers() { return tiers_; }
+
+  // -- Query ------------------------------------------------------------------
+  [[nodiscard]] RunResult run(const query::LogicalPlan& plan,
+                              const RunOptions& options = {});
+
+  /// Parses and runs one SQL statement (see query/sql.hpp for the grammar).
+  [[nodiscard]] RunResult run_sql(std::string_view sql,
+                                  const RunOptions& options = {});
+
+  /// EXPLAIN: the plan, the predicted work, and the chosen configuration.
+  [[nodiscard]] std::string explain(const query::LogicalPlan& plan,
+                                    const RunOptions& options = {});
+
+  // -- Introspection ------------------------------------------------------------
+  [[nodiscard]] const hw::MachineSpec& machine() const { return machine_; }
+  [[nodiscard]] const opt::CostModel& cost_model() const { return cost_model_; }
+  [[nodiscard]] energy::EnergyMeter& meter() { return *active_meter_; }
+  [[nodiscard]] energy::MeterSource meter_source() const;
+  [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const sched::Governor& governor() const { return governor_; }
+
+ private:
+  /// Builds candidate plans for the optimizer from a logical plan.
+  [[nodiscard]] std::vector<opt::PlanCandidate> candidates(
+      const query::LogicalPlan& plan) const;
+
+  hw::MachineSpec machine_;
+  storage::Catalog catalog_;
+  storage::TierManager tiers_;
+  opt::CostModel cost_model_;
+  sched::Governor governor_;
+  opt::EnergyOptimizer optimizer_;
+  std::unique_ptr<energy::EnergyMeter> rapl_;
+  std::unique_ptr<energy::ModelMeter> model_;
+  energy::EnergyMeter* active_meter_ = nullptr;
+  energy::EnergyLedger ledger_;
+};
+
+}  // namespace eidb::core

@@ -1,0 +1,65 @@
+#include "energy/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table_printer.hpp"
+
+namespace eidb::energy {
+
+void EnergyLedger::add(const LedgerEntry& entry) {
+  std::scoped_lock lock(mu_);
+  LedgerEntry& slot = by_name_[entry.operator_name];
+  slot.operator_name = entry.operator_name;
+  slot.elapsed_s += entry.elapsed_s;
+  slot.work += entry.work;
+  slot.energy_j += entry.energy_j;
+  slot.tuples += entry.tuples;
+}
+
+std::vector<LedgerEntry> EnergyLedger::entries() const {
+  std::scoped_lock lock(mu_);
+  std::vector<LedgerEntry> out;
+  out.reserve(by_name_.size());
+  for (const auto& [_, e] : by_name_) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              return a.energy_j > b.energy_j;
+            });
+  return out;
+}
+
+LedgerEntry EnergyLedger::total() const {
+  std::scoped_lock lock(mu_);
+  LedgerEntry sum;
+  sum.operator_name = "total";
+  for (const auto& [_, e] : by_name_) {
+    sum.elapsed_s += e.elapsed_s;
+    sum.work += e.work;
+    sum.energy_j += e.energy_j;
+    sum.tuples += e.tuples;
+  }
+  return sum;
+}
+
+void EnergyLedger::clear() {
+  std::scoped_lock lock(mu_);
+  by_name_.clear();
+}
+
+std::string EnergyLedger::to_string() const {
+  eidb::TablePrinter table(
+      {"operator", "time_s", "energy_J", "tuples", "dram_MB"});
+  for (const LedgerEntry& e : entries()) {
+    table.add_row({e.operator_name, eidb::TablePrinter::fmt(e.elapsed_s),
+                   eidb::TablePrinter::fmt(e.energy_j),
+                   eidb::TablePrinter::fmt_int(
+                       static_cast<long long>(e.tuples)),
+                   eidb::TablePrinter::fmt(e.work.dram_bytes / 1e6)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace eidb::energy

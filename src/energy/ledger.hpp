@@ -1,0 +1,48 @@
+// Per-operator energy/time ledger ("who spent the joules?").
+//
+// Execution attributes elapsed time, abstract work and modelled energy to
+// named operators so reports can show a per-operator breakdown — the
+// granularity at which the paper's optimizer must make its case-by-case
+// decisions (compress vs. ship raw, scan variant choice, P-state choice).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace eidb::energy {
+
+/// One ledger line.
+struct LedgerEntry {
+  std::string operator_name;
+  double elapsed_s = 0;
+  hw::Work work;
+  double energy_j = 0;
+  std::uint64_t tuples = 0;
+};
+
+class EnergyLedger {
+ public:
+  /// Accumulates `entry` under its operator name. Thread-safe.
+  void add(const LedgerEntry& entry);
+
+  /// Snapshot of all lines, sorted by descending energy.
+  [[nodiscard]] std::vector<LedgerEntry> entries() const;
+
+  /// Sum across operators.
+  [[nodiscard]] LedgerEntry total() const;
+
+  void clear();
+
+  /// Renders a per-operator breakdown table.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, LedgerEntry> by_name_;
+};
+
+}  // namespace eidb::energy

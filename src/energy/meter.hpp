@@ -1,0 +1,39 @@
+// Abstract energy meter interface.
+//
+// Mirrors the RAPL usage model: a meter exposes monotonically increasing
+// joule counters; consumers take a sample before and after a region and
+// subtract. `RaplMeter` reads hardware counters when the powercap sysfs
+// tree is readable; `ModelMeter` integrates the machine model's power curve
+// over elapsed time plus event-based dynamic energy (DESIGN.md §5).
+#pragma once
+
+#include "energy/report.hpp"
+
+namespace eidb::energy {
+
+class EnergyMeter {
+ public:
+  virtual ~EnergyMeter() = default;
+
+  /// True if this meter can produce readings on this host.
+  [[nodiscard]] virtual bool available() const = 0;
+  /// Current cumulative counters. Monotone non-decreasing.
+  [[nodiscard]] virtual EnergySample read() = 0;
+  [[nodiscard]] virtual MeterSource source() const = 0;
+};
+
+/// RAII measurement window over any meter.
+class EnergyWindow {
+ public:
+  explicit EnergyWindow(EnergyMeter& meter)
+      : meter_(meter), start_(meter.read()) {}
+
+  /// Energy consumed since construction.
+  [[nodiscard]] EnergySample consumed() { return meter_.read() - start_; }
+
+ private:
+  EnergyMeter& meter_;
+  EnergySample start_;
+};
+
+}  // namespace eidb::energy

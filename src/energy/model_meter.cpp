@@ -1,0 +1,35 @@
+#include "energy/model_meter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::energy {
+
+void ModelMeter::report_busy(double busy_s, const hw::DvfsState& state,
+                             int cores, const hw::Work& work) {
+  EIDB_EXPECTS(busy_s >= 0);
+  EIDB_EXPECTS(cores >= 1 && cores <= machine_.cores);
+  std::scoped_lock lock(mu_);
+  counters_.package_j += machine_.package_power_w(state, cores) * busy_s;
+  counters_.dram_j += work.dram_bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+  busy_backlog_s_ += busy_s;
+}
+
+EnergySample ModelMeter::read() {
+  std::scoped_lock lock(mu_);
+  const double now = wall_.elapsed_seconds();
+  double unaccounted = now - accounted_s_;
+  if (unaccounted > 0) {
+    // Busy seconds were already billed at full power in report_busy; only
+    // the remaining wall time is idle.
+    const double busy_consumed = std::min(busy_backlog_s_, unaccounted);
+    busy_backlog_s_ -= busy_consumed;
+    const double idle_s = unaccounted - busy_consumed;
+    counters_.package_j += machine_.idle_power_w() * idle_s;
+    accounted_s_ = now;
+  }
+  return counters_;
+}
+
+}  // namespace eidb::energy

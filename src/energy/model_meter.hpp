@@ -1,0 +1,53 @@
+// Analytical energy meter over the machine model.
+//
+// When RAPL is unavailable (containers, VMs, non-Intel hosts) the engine
+// still produces joule figures: the executor reports busy intervals (which
+// P-state, how many cores, how long) and abstract `hw::Work` (DRAM bytes);
+// this meter integrates
+//   E_pkg  = Σ busy: package_power(state, cores) · dt   +  idle power · t_idle
+//   E_dram = Σ work.dram_bytes · nJ/byte  (+ static share inside pkg power)
+// against the wall clock, so readings remain monotone counters exactly like
+// hardware RAPL.
+#pragma once
+
+#include <mutex>
+
+#include "energy/meter.hpp"
+#include "hw/machine.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::energy {
+
+class ModelMeter final : public EnergyMeter {
+ public:
+  explicit ModelMeter(hw::MachineSpec machine)
+      : machine_(std::move(machine)) {}
+
+  [[nodiscard]] bool available() const override { return true; }
+  [[nodiscard]] MeterSource source() const override {
+    return MeterSource::kModel;
+  }
+
+  /// Reads the counters; time since the last read with no reported activity
+  /// is billed at shallow idle power.
+  [[nodiscard]] EnergySample read() override;
+
+  /// Reports a busy interval: `cores` cores ran at `state` for `busy_s`
+  /// seconds performing `work` (DRAM dynamic energy is charged from
+  /// work.dram_bytes). Thread-safe.
+  void report_busy(double busy_s, const hw::DvfsState& state, int cores,
+                   const hw::Work& work);
+
+  [[nodiscard]] const hw::MachineSpec& machine() const { return machine_; }
+
+ private:
+  hw::MachineSpec machine_;
+  std::mutex mu_;
+  Stopwatch wall_;
+  double accounted_s_ = 0;   ///< Wall time already billed (busy or idle).
+  double busy_backlog_s_ = 0;///< Busy seconds reported but not yet consumed
+                             ///< by read(); kept to bound idle billing.
+  EnergySample counters_;
+};
+
+}  // namespace eidb::energy

@@ -1,0 +1,87 @@
+#include "energy/rapl_meter.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace eidb::energy {
+
+namespace fs = std::filesystem;
+
+RaplMeter::RaplMeter(std::string root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string dir = entry.path().filename().string();
+    // Top-level package domains look like "intel-rapl:0".
+    if (dir.rfind("intel-rapl:", 0) != 0 || dir.find(':') != dir.rfind(':'))
+      continue;
+    std::string name;
+    {
+      std::ifstream in(entry.path() / "name");
+      if (!(in >> name) || name.rfind("package", 0) != 0) continue;
+    }
+    Domain pkg;
+    pkg.energy_path = (entry.path() / "energy_uj").string();
+    std::uint64_t range = 0;
+    if (read_u64((entry.path() / "max_energy_range_uj").string(), range))
+      pkg.max_range_uj = range;
+    std::uint64_t probe = 0;
+    if (!read_u64(pkg.energy_path, probe)) continue;  // unreadable: skip
+    packages_.push_back(std::move(pkg));
+
+    // Nested subdomains, e.g. intel-rapl:0:0 with name "dram".
+    for (const auto& sub : fs::directory_iterator(entry.path(), ec)) {
+      if (!sub.is_directory()) continue;
+      std::ifstream in(sub.path() / "name");
+      std::string sub_name;
+      if ((in >> sub_name) && sub_name == "dram") {
+        Domain dram;
+        dram.energy_path = (sub.path() / "energy_uj").string();
+        if (read_u64((sub.path() / "max_energy_range_uj").string(), range))
+          dram.max_range_uj = range;
+        if (read_u64(dram.energy_path, probe))
+          drams_.push_back(std::move(dram));
+      }
+    }
+  }
+}
+
+bool RaplMeter::read_u64(const std::string& path, std::uint64_t& out) {
+  std::ifstream in(path);
+  return static_cast<bool>(in >> out);
+}
+
+void RaplMeter::sample(Domain& d) {
+  std::uint64_t raw = 0;
+  if (!read_u64(d.energy_path, raw)) return;
+  if (!d.primed) {
+    d.last_raw_uj = raw;
+    d.primed = true;
+    return;
+  }
+  std::uint64_t delta;
+  if (raw >= d.last_raw_uj) {
+    delta = raw - d.last_raw_uj;
+  } else {
+    // Counter wrapped.
+    delta = (d.max_range_uj > 0 ? d.max_range_uj - d.last_raw_uj + raw : 0);
+  }
+  d.accumulated_j += static_cast<double>(delta) * 1e-6;
+  d.last_raw_uj = raw;
+}
+
+EnergySample RaplMeter::read() {
+  EnergySample s;
+  for (Domain& d : packages_) {
+    sample(d);
+    s.package_j += d.accumulated_j;
+  }
+  for (Domain& d : drams_) {
+    sample(d);
+    s.dram_j += d.accumulated_j;
+  }
+  return s;
+}
+
+}  // namespace eidb::energy

@@ -1,0 +1,48 @@
+// Intel RAPL energy counters via the Linux powercap sysfs interface.
+//
+// Reads /sys/class/powercap/intel-rapl:<pkg>/energy_uj (package domain) and
+// the nested "dram" subdomain when present, handling counter wraparound via
+// max_energy_range_uj. Requires read permission on the sysfs files; on hosts
+// without RAPL (VMs, containers, non-Intel CPUs) `available()` returns false
+// and callers fall back to the `ModelMeter`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/meter.hpp"
+
+namespace eidb::energy {
+
+class RaplMeter final : public EnergyMeter {
+ public:
+  /// Probes `root` (default: the standard powercap path) for RAPL domains.
+  explicit RaplMeter(std::string root = "/sys/class/powercap");
+
+  [[nodiscard]] bool available() const override { return !packages_.empty(); }
+  [[nodiscard]] EnergySample read() override;
+  [[nodiscard]] MeterSource source() const override {
+    return MeterSource::kRapl;
+  }
+
+  /// Number of detected package domains.
+  [[nodiscard]] std::size_t package_count() const { return packages_.size(); }
+
+ private:
+  struct Domain {
+    std::string energy_path;
+    std::uint64_t max_range_uj = 0;
+    std::uint64_t last_raw_uj = 0;
+    double accumulated_j = 0;
+    bool primed = false;
+  };
+
+  static bool read_u64(const std::string& path, std::uint64_t& out);
+  void sample(Domain& d);
+
+  std::vector<Domain> packages_;
+  std::vector<Domain> drams_;
+};
+
+}  // namespace eidb::energy

@@ -1,0 +1,30 @@
+#include "energy/report.hpp"
+
+#include <cstdio>
+
+namespace eidb::energy {
+
+std::string to_string(MeterSource source) {
+  switch (source) {
+    case MeterSource::kRapl:
+      return "rapl";
+    case MeterSource::kModel:
+      return "model";
+    case MeterSource::kSimulated:
+      return "simulated";
+  }
+  return "unknown";
+}
+
+std::string EnergyReport::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%.6f s, %.4f J (pkg %.4f + dram %.4f + net %.4f), %.2f W "
+                "avg [%s]",
+                elapsed_s, total_j(), energy.package_j, energy.dram_j,
+                network_j, avg_power_w(),
+                eidb::energy::to_string(source).c_str());
+  return buf;
+}
+
+}  // namespace eidb::energy

@@ -1,0 +1,47 @@
+// Energy accounting value types shared across the engine.
+#pragma once
+
+#include <string>
+
+namespace eidb::energy {
+
+/// Where a reading came from.
+enum class MeterSource {
+  kRapl,       ///< Hardware counters via /sys/class/powercap.
+  kModel,      ///< Analytical model over machine-model event counts.
+  kSimulated,  ///< Fully simulated execution (virtual clock).
+};
+
+[[nodiscard]] std::string to_string(MeterSource source);
+
+/// Cumulative energy counters, in joules.
+struct EnergySample {
+  double package_j = 0;  ///< CPU package (cores + uncore).
+  double dram_j = 0;     ///< DRAM devices.
+
+  [[nodiscard]] double total_j() const { return package_j + dram_j; }
+
+  friend EnergySample operator-(const EnergySample& a, const EnergySample& b) {
+    return {a.package_j - b.package_j, a.dram_j - b.dram_j};
+  }
+  friend EnergySample operator+(const EnergySample& a, const EnergySample& b) {
+    return {a.package_j + b.package_j, a.dram_j + b.dram_j};
+  }
+};
+
+/// Per-query (or per-operator) report: elapsed time plus energy split.
+struct EnergyReport {
+  double elapsed_s = 0;
+  EnergySample energy;
+  double network_j = 0;  ///< Simulated interconnect energy (distributed runs).
+  MeterSource source = MeterSource::kModel;
+
+  [[nodiscard]] double total_j() const { return energy.total_j() + network_j; }
+  /// Average power over the window, watts.
+  [[nodiscard]] double avg_power_w() const {
+    return elapsed_s > 0 ? total_j() / elapsed_s : 0.0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace eidb::energy

@@ -1,0 +1,79 @@
+#include "exec/adaptive_scan.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+namespace {
+
+/// Smoothing factor for the selectivity EMA: reactive enough to follow
+/// clustered regions, damped enough to ignore single-chunk noise.
+constexpr double kEmaAlpha = 0.5;
+
+/// Runs one chunk with the requested kernel, writing into the word-aligned
+/// window of `out` starting at `begin` (64-aligned). Returns matches.
+std::size_t run_chunk(ScanVariant v, std::span<const std::int32_t> chunk,
+                      std::int32_t lo, std::int32_t hi, BitVector& out,
+                      std::size_t begin) {
+  EIDB_ASSERT(begin % 64 == 0);
+  BitVector local(chunk.size());
+  switch (v) {
+    case ScanVariant::kBranching: {
+      std::vector<std::uint32_t> idx(chunk.size());
+      const std::size_t k = scan_branching(chunk, lo, hi, idx.data());
+      for (std::size_t j = 0; j < k; ++j) local.set(idx[j]);
+      break;
+    }
+    case ScanVariant::kPredicated: {
+      std::vector<std::uint32_t> idx(chunk.size());
+      const std::size_t k = scan_predicated(chunk, lo, hi, idx.data());
+      for (std::size_t j = 0; j < k; ++j) local.set(idx[j]);
+      break;
+    }
+    case ScanVariant::kAvx2:
+      scan_bitmap_avx2(chunk, lo, hi, local);
+      break;
+    case ScanVariant::kAvx512:
+      scan_bitmap_avx512(chunk, lo, hi, local);
+      break;
+    case ScanVariant::kAuto:
+      scan_bitmap_best(chunk, lo, hi, local);
+      break;
+  }
+  std::copy(local.words(), local.words() + local.word_count(),
+            out.words() + begin / 64);
+  return local.count();
+}
+
+}  // namespace
+
+void AdaptiveScan::scan(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out,
+                        AdaptiveScanStats& stats) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  stats = AdaptiveScanStats{};
+  ScanVariant current = model_.pick_scan_variant(estimate_);
+
+  for (std::size_t begin = 0; begin < values.size(); begin += chunk_rows_) {
+    const std::size_t end = std::min(begin + chunk_rows_, values.size());
+    const auto chunk = values.subspan(begin, end - begin);
+    const std::size_t matches = run_chunk(current, chunk, lo, hi, out, begin);
+    ++stats.chunks;
+    stats.variant_per_chunk.push_back(current);
+
+    const double observed =
+        static_cast<double>(matches) / static_cast<double>(chunk.size());
+    estimate_ = kEmaAlpha * observed + (1 - kEmaAlpha) * estimate_;
+    const ScanVariant next = model_.pick_scan_variant(estimate_);
+    if (next != current) {
+      ++stats.switches;
+      current = next;
+    }
+  }
+  stats.final_selectivity_estimate = estimate_;
+}
+
+}  // namespace eidb::exec

@@ -1,0 +1,52 @@
+// Mid-scan operator reconfiguration (paper §IV.B).
+//
+// "operators have to quickly adapt to changing data characteristics ...
+// selectivity factors significantly impact the success of branch prediction
+// forcing the operator to switch between different implementations [17]".
+//
+// The adaptive scan processes the column in chunks. It starts with the cost
+// model's pick for the *prior* selectivity estimate, measures the observed
+// selectivity of each completed chunk, re-estimates with an exponential
+// moving average, and re-picks the kernel when the model's preference
+// changes. On clustered data (selectivity drifting along the column) this
+// tracks the winner per region instead of committing to one kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/scan_kernels.hpp"
+#include "opt/cost_model.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+struct AdaptiveScanStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t switches = 0;           ///< Kernel changes mid-scan.
+  double final_selectivity_estimate = 0;
+  std::vector<ScanVariant> variant_per_chunk;
+};
+
+class AdaptiveScan {
+ public:
+  /// `prior_selectivity`: optimizer's pre-execution estimate.
+  /// `chunk_rows`: adaptation granularity (64-aligned internally).
+  AdaptiveScan(const opt::CostModel& model, double prior_selectivity = 0.1,
+               std::size_t chunk_rows = 64 * 1024)
+      : model_(model),
+        estimate_(prior_selectivity),
+        chunk_rows_(chunk_rows / 64 * 64 == 0 ? 64 : chunk_rows / 64 * 64) {}
+
+  /// Scans `values` for lo <= v <= hi into `out` (sized to values.size()).
+  void scan(std::span<const std::int32_t> values, std::int32_t lo,
+            std::int32_t hi, BitVector& out, AdaptiveScanStats& stats);
+
+ private:
+  const opt::CostModel& model_;
+  double estimate_;
+  std::size_t chunk_rows_;
+};
+
+}  // namespace eidb::exec

@@ -1,0 +1,196 @@
+#include "exec/aggregate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "exec/hash_table.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+AggResult aggregate_all(std::span<const std::int64_t> values) {
+  AggResult r;
+  if (values.empty()) return r;
+  r.count = values.size();
+  r.min = std::numeric_limits<std::int64_t>::max();
+  r.max = std::numeric_limits<std::int64_t>::min();
+  for (const std::int64_t v : values) {
+    r.sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  }
+  return r;
+}
+
+AggResultD aggregate_all(std::span<const double> values) {
+  AggResultD r;
+  if (values.empty()) return r;
+  r.count = values.size();
+  r.min = std::numeric_limits<double>::infinity();
+  r.max = -std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    r.sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  }
+  return r;
+}
+
+AggResult aggregate_selected(std::span<const std::int64_t> values,
+                             const BitVector& selection) {
+  EIDB_EXPECTS(selection.size() >= values.size());
+  AggResult r;
+  r.min = std::numeric_limits<std::int64_t>::max();
+  r.max = std::numeric_limits<std::int64_t>::min();
+  selection.for_each_set([&](std::size_t i) {
+    const std::int64_t v = values[i];
+    ++r.count;
+    r.sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  });
+  if (r.count == 0) r.min = r.max = 0;
+  return r;
+}
+
+AggResultD aggregate_selected(std::span<const double> values,
+                              const BitVector& selection) {
+  EIDB_EXPECTS(selection.size() >= values.size());
+  AggResultD r;
+  r.min = std::numeric_limits<double>::infinity();
+  r.max = -std::numeric_limits<double>::infinity();
+  selection.for_each_set([&](std::size_t i) {
+    const double v = values[i];
+    ++r.count;
+    r.sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  });
+  if (r.count == 0) r.min = r.max = 0;
+  return r;
+}
+
+namespace {
+
+constexpr std::int64_t kDenseDomainLimit = 1 << 20;  // 1M accumulator slots
+
+template <typename Acc, typename Key, typename Value, typename Row>
+std::vector<Row> group_dense(std::span<const Key> keys,
+                             std::span<const Value> values,
+                             const BitVector& selection, std::int64_t kmin,
+                             std::int64_t kmax) {
+  const auto domain = static_cast<std::size_t>(kmax - kmin + 1);
+  std::vector<Acc> slots(domain);
+  std::vector<bool> seen(domain, false);
+  selection.for_each_set([&](std::size_t i) {
+    const auto slot = static_cast<std::size_t>(keys[i] - kmin);
+    Acc& a = slots[slot];
+    const Value v = values[i];
+    if (!seen[slot]) {
+      seen[slot] = true;
+      a.min = a.max = v;
+      a.sum = v;
+      a.count = 1;
+    } else {
+      ++a.count;
+      a.sum += v;
+      a.min = std::min(a.min, v);
+      a.max = std::max(a.max, v);
+    }
+  });
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < domain; ++s)
+    if (seen[s])
+      rows.push_back({kmin + static_cast<std::int64_t>(s), slots[s]});
+  return rows;
+}
+
+template <typename Acc, typename Key, typename Value, typename Row>
+std::vector<Row> group_hash(std::span<const Key> keys,
+                            std::span<const Value> values,
+                            const BitVector& selection) {
+  HashTable<Acc> table(selection.count());
+  selection.for_each_set([&](std::size_t i) {
+    Acc& a = table.get_or_insert(static_cast<std::int64_t>(keys[i]),
+                                 [&](Acc& fresh) {
+                                   fresh.min = values[i];
+                                   fresh.max = values[i];
+                                 });
+    const Value v = values[i];
+    ++a.count;
+    a.sum += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  });
+  std::vector<Row> rows;
+  rows.reserve(table.size());
+  table.for_each(
+      [&](std::int64_t key, const Acc& a) { rows.push_back({key, a}); });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  return rows;
+}
+
+template <typename Acc, typename Row, typename Key, typename Value>
+std::vector<Row> group_impl(std::span<const Key> keys,
+                            std::span<const Value> values,
+                            const BitVector& selection,
+                            GroupStrategy strategy) {
+  EIDB_EXPECTS(keys.size() == values.size());
+  EIDB_EXPECTS(selection.size() >= keys.size());
+  if (keys.empty()) return {};
+
+  std::int64_t kmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t kmax = std::numeric_limits<std::int64_t>::min();
+  bool any = false;
+  selection.for_each_set([&](std::size_t i) {
+    any = true;
+    kmin = std::min<std::int64_t>(kmin, keys[i]);
+    kmax = std::max<std::int64_t>(kmax, keys[i]);
+  });
+  if (!any) return {};
+
+  const bool dense_ok = kmax - kmin + 1 <= kDenseDomainLimit;
+  GroupStrategy chosen = strategy;
+  if (chosen == GroupStrategy::kAuto)
+    chosen = dense_ok ? GroupStrategy::kDenseArray : GroupStrategy::kHash;
+  if (chosen == GroupStrategy::kDenseArray && !dense_ok)
+    throw Error("dense group-by domain too large");
+
+  return chosen == GroupStrategy::kDenseArray
+             ? group_dense<Acc, Key, Value, Row>(keys, values, selection,
+                                                 kmin, kmax)
+             : group_hash<Acc, Key, Value, Row>(keys, values, selection);
+}
+
+}  // namespace
+
+std::vector<GroupRow> group_aggregate(std::span<const std::int64_t> keys,
+                                      std::span<const std::int64_t> values,
+                                      const BitVector& selection,
+                                      GroupStrategy strategy) {
+  return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);
+}
+
+std::vector<GroupRow> group_aggregate32(std::span<const std::int32_t> keys,
+                                        std::span<const std::int64_t> values,
+                                        const BitVector& selection,
+                                        GroupStrategy strategy) {
+  return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);
+}
+
+std::vector<GroupRowD> group_aggregate_d(std::span<const std::int64_t> keys,
+                                         std::span<const double> values,
+                                         const BitVector& selection,
+                                         GroupStrategy strategy) {
+  return group_impl<AggResultD, GroupRowD>(keys, values, selection, strategy);
+}
+
+std::vector<GroupRowD> group_aggregate32_d(std::span<const std::int32_t> keys,
+                                           std::span<const double> values,
+                                           const BitVector& selection,
+                                           GroupStrategy strategy) {
+  return group_impl<AggResultD, GroupRowD>(keys, values, selection, strategy);
+}
+
+}  // namespace eidb::exec

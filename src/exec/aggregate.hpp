@@ -1,0 +1,85 @@
+// Aggregation kernels: full-column and selection-driven sums/min/max/count,
+// plus grouped aggregation (dense-array and hash strategies).
+//
+// The strategy split mirrors production column stores: when the group-key
+// domain is small (dictionary codes, small int ranges) a dense accumulator
+// array beats hashing by a wide margin; otherwise a linear-probe hash table
+// is used. The adaptive choice is another instance of §IV.B's
+// "reconfigurable operator".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// Aggregate results for one group (or the whole selection).
+struct AggResult {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  [[nodiscard]] double avg() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct AggResultD {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  [[nodiscard]] double avg() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Aggregates all values.
+[[nodiscard]] AggResult aggregate_all(std::span<const std::int64_t> values);
+[[nodiscard]] AggResultD aggregate_all(std::span<const double> values);
+
+/// Aggregates values where the selection bit is set.
+[[nodiscard]] AggResult aggregate_selected(std::span<const std::int64_t> values,
+                                           const BitVector& selection);
+[[nodiscard]] AggResultD aggregate_selected(std::span<const double> values,
+                                            const BitVector& selection);
+
+/// One output group.
+struct GroupRow {
+  std::int64_t key = 0;
+  AggResult agg;
+};
+
+/// Grouped aggregation: keys[i] groups values[i]; only selected rows
+/// participate (pass an all-set selection for full columns).
+/// `strategy`: 0 = auto, 1 = dense array (requires small key domain),
+/// 2 = hash. Returns rows sorted by key.
+enum class GroupStrategy : std::uint8_t { kAuto, kDenseArray, kHash };
+
+[[nodiscard]] std::vector<GroupRow> group_aggregate(
+    std::span<const std::int64_t> keys, std::span<const std::int64_t> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// int32 keys (dictionary codes) overload.
+[[nodiscard]] std::vector<GroupRow> group_aggregate32(
+    std::span<const std::int32_t> keys, std::span<const std::int64_t> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// Double-valued grouped aggregation.
+struct GroupRowD {
+  std::int64_t key = 0;
+  AggResultD agg;
+};
+
+[[nodiscard]] std::vector<GroupRowD> group_aggregate_d(
+    std::span<const std::int64_t> keys, std::span<const double> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+[[nodiscard]] std::vector<GroupRowD> group_aggregate32_d(
+    std::span<const std::int32_t> keys, std::span<const double> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+}  // namespace eidb::exec

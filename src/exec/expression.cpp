@@ -1,0 +1,141 @@
+#include "exec/expression.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+std::shared_ptr<const Expr> Expr::column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->name_ = std::move(name);
+  return e;
+}
+
+std::shared_ptr<const Expr> Expr::literal(double value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->value_ = value;
+  return e;
+}
+
+std::shared_ptr<const Expr> Expr::binary(ExprOp op,
+                                         std::shared_ptr<const Expr> lhs,
+                                         std::shared_ptr<const Expr> rhs) {
+  EIDB_EXPECTS(lhs != nullptr && rhs != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+void Expr::collect_columns(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      out.push_back(name_);
+      return;
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kBinary:
+      lhs_->collect_columns(out);
+      rhs_->collect_columns(out);
+      return;
+  }
+}
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return name_;
+    case ExprKind::kLiteral: {
+      std::ostringstream os;
+      os << value_;
+      return os.str();
+    }
+    case ExprKind::kBinary: {
+      const char* sym = op_ == ExprOp::kAdd   ? "+"
+                        : op_ == ExprOp::kSub ? "-"
+                        : op_ == ExprOp::kMul ? "*"
+                                              : "/";
+      return "(" + lhs_->to_string() + " " + sym + " " + rhs_->to_string() +
+             ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+void load_column(const storage::Column& col, std::vector<double>& out) {
+  const std::size_t n = col.size();
+  out.resize(n);
+  switch (col.type()) {
+    case storage::TypeId::kDouble: {
+      const auto data = col.double_data();
+      std::copy(data.begin(), data.end(), out.begin());
+      return;
+    }
+    case storage::TypeId::kInt64: {
+      const auto data = col.int64_data();
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(data[i]);
+      return;
+    }
+    case storage::TypeId::kInt32: {
+      const auto data = col.int32_data();
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(data[i]);
+      return;
+    }
+    case storage::TypeId::kString:
+      throw Error("cannot use string column " + col.name() +
+                  " in arithmetic");
+  }
+}
+
+void eval_rec(const Expr& expr, const storage::Table& table,
+              std::vector<double>& out) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn:
+      load_column(table.column(expr.column_name()), out);
+      return;
+    case ExprKind::kLiteral:
+      out.assign(table.row_count(), expr.literal_value());
+      return;
+    case ExprKind::kBinary: {
+      std::vector<double> rhs;
+      eval_rec(expr.lhs(), table, out);
+      eval_rec(expr.rhs(), table, rhs);
+      EIDB_ASSERT(out.size() == rhs.size());
+      // Tight loops the compiler vectorizes.
+      switch (expr.op()) {
+        case ExprOp::kAdd:
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] += rhs[i];
+          return;
+        case ExprOp::kSub:
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] -= rhs[i];
+          return;
+        case ExprOp::kMul:
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] *= rhs[i];
+          return;
+        case ExprOp::kDiv:
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] /= rhs[i];
+          return;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void evaluate_expression(const Expr& expr, const storage::Table& table,
+                         std::vector<double>& out) {
+  eval_rec(expr, table, out);
+  EIDB_ENSURES(out.size() == table.row_count());
+}
+
+}  // namespace eidb::exec

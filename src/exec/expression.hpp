@@ -1,0 +1,63 @@
+// Vectorized arithmetic expressions over columns.
+//
+// Supports the aggregate-input arithmetic analytics needs (e.g. SSB's
+// `SUM(revenue * (1 - discount))`): +, -, *, / over column references and
+// numeric literals, evaluated column-at-a-time into a double buffer.
+// Integer columns are widened to double at the leaves; strings are
+// rejected at bind time.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/table.hpp"
+
+namespace eidb::exec {
+
+enum class ExprKind : std::uint8_t { kColumn, kLiteral, kBinary };
+enum class ExprOp : std::uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// Immutable expression tree node (shared_ptr-linked, cheap to copy).
+class Expr {
+ public:
+  /// Leaf: column reference by name.
+  [[nodiscard]] static std::shared_ptr<const Expr> column(std::string name);
+  /// Leaf: numeric literal.
+  [[nodiscard]] static std::shared_ptr<const Expr> literal(double value);
+  /// Interior: binary arithmetic.
+  [[nodiscard]] static std::shared_ptr<const Expr> binary(
+      ExprOp op, std::shared_ptr<const Expr> lhs,
+      std::shared_ptr<const Expr> rhs);
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& column_name() const { return name_; }
+  [[nodiscard]] double literal_value() const { return value_; }
+  [[nodiscard]] ExprOp op() const { return op_; }
+  [[nodiscard]] const Expr& lhs() const { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const { return *rhs_; }
+
+  /// Column names referenced anywhere in the tree.
+  void collect_columns(std::vector<std::string>& out) const;
+
+  /// Human-readable rendering, fully parenthesized.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Expr() = default;
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string name_;
+  double value_ = 0;
+  ExprOp op_ = ExprOp::kAdd;
+  std::shared_ptr<const Expr> lhs_;
+  std::shared_ptr<const Expr> rhs_;
+};
+
+/// Evaluates `expr` over every row of `table` into `out` (resized to the
+/// row count). Throws eidb::Error for unknown or string columns.
+/// Division by zero follows IEEE (inf/nan), as analytics engines do.
+void evaluate_expression(const Expr& expr, const storage::Table& table,
+                         std::vector<double>& out);
+
+}  // namespace eidb::exec

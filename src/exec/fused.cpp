@@ -1,0 +1,77 @@
+#include "exec/fused.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+AggResult fused_filter_aggregate(std::span<const std::int64_t> keys,
+                                 std::int64_t lo, std::int64_t hi,
+                                 std::span<const std::int64_t> values) {
+  EIDB_EXPECTS(keys.size() == values.size());
+  AggResult r;
+  r.min = std::numeric_limits<std::int64_t>::max();
+  r.max = std::numeric_limits<std::int64_t>::min();
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(keys[i]) -
+                                  static_cast<std::uint64_t>(lo);
+    if (shifted <= width) {
+      const std::int64_t v = values[i];
+      ++r.count;
+      r.sum += v;
+      r.min = std::min(r.min, v);
+      r.max = std::max(r.max, v);
+    }
+  }
+  if (r.count == 0) r.min = r.max = 0;
+  return r;
+}
+
+AggResult fused_filter_aggregate_self(std::span<const std::int64_t> values,
+                                      std::int64_t lo, std::int64_t hi) {
+  return fused_filter_aggregate(values, lo, hi, values);
+}
+
+void scan_bitmap_masked64(std::span<const std::int64_t> values,
+                          std::int64_t lo, std::int64_t hi,
+                          BitVector& selection) {
+  MaskedScanStats stats;
+  scan_bitmap_masked64_counted(values, lo, hi, selection, stats);
+}
+
+void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
+                                  std::int64_t lo, std::int64_t hi,
+                                  BitVector& selection,
+                                  MaskedScanStats& stats) {
+  EIDB_EXPECTS(selection.size() >= values.size());
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  std::uint64_t* words = selection.words();
+  const std::size_t n = values.size();
+  stats = MaskedScanStats{};
+  for (std::size_t w = 0; w * 64 < n; ++w) {
+    ++stats.words_total;
+    std::uint64_t live = words[w];
+    if (live == 0) {
+      ++stats.words_skipped;  // no candidates: 64 tuples untouched
+      continue;
+    }
+    std::uint64_t keep = 0;
+    // Evaluate only the live candidate bits.
+    while (live != 0) {
+      const auto j = static_cast<unsigned>(__builtin_ctzll(live));
+      live &= live - 1;
+      const std::size_t i = w * 64 + j;
+      const std::uint64_t shifted = static_cast<std::uint64_t>(values[i]) -
+                                    static_cast<std::uint64_t>(lo);
+      keep |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] &= keep;
+  }
+}
+
+}  // namespace eidb::exec

@@ -1,0 +1,50 @@
+// Fused and short-circuit kernels (paper §IV.B, citing Neumann [14]).
+//
+// "Recent developments focus on efficient code generation as an alternative
+// to build a data-flow graph based on pre-compiled plan operators." The
+// measurable core of compiled plans is *fusion*: one pass that filters and
+// aggregates keeps tuples in registers, where operator-at-a-time execution
+// materializes a selection bitmap and re-reads the data. These kernels are
+// the hand-fused equivalents the A3 ablation compares against the
+// materializing pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "exec/aggregate.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// One-pass filter(lo <= k <= hi on keys) + aggregate(values): the fused
+/// `scan -> filter -> agg` pipeline over two columns.
+[[nodiscard]] AggResult fused_filter_aggregate(
+    std::span<const std::int64_t> keys, std::int64_t lo, std::int64_t hi,
+    std::span<const std::int64_t> values);
+
+/// Same-column special case: filter and aggregate the same values.
+[[nodiscard]] AggResult fused_filter_aggregate_self(
+    std::span<const std::int64_t> values, std::int64_t lo, std::int64_t hi);
+
+/// Masked (short-circuit) conjunctive scan: evaluates the predicate only
+/// where `selection` still has candidates, skipping fully dead 64-tuple
+/// words — the win grows as earlier predicates get more selective.
+/// Updates `selection` in place (logical AND).
+void scan_bitmap_masked64(std::span<const std::int64_t> values,
+                          std::int64_t lo, std::int64_t hi,
+                          BitVector& selection);
+
+/// Statistics from the last masked scan (words skipped vs. visited) — for
+/// tests and the A3 ablation. Returned by the _counted variant.
+struct MaskedScanStats {
+  std::uint64_t words_total = 0;
+  std::uint64_t words_skipped = 0;
+};
+
+void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
+                                  std::int64_t lo, std::int64_t hi,
+                                  BitVector& selection,
+                                  MaskedScanStats& stats);
+
+}  // namespace eidb::exec

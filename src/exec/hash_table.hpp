@@ -1,0 +1,149 @@
+// Open-addressing linear-probe hash table, int64 keys.
+//
+// Purpose-built for group-by and hash joins: power-of-two capacity, Fibonacci
+// hashing, tombstone-free (build once, probe many — tables are immutable
+// during the probe phase, matching the operators' bulk execution model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+[[nodiscard]] inline std::uint64_t hash_key(std::int64_t key) {
+  // Fibonacci (golden-ratio) multiplicative hashing with an xor fold.
+  auto x = static_cast<std::uint64_t>(key);
+  x ^= x >> 33;
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return x;
+}
+
+/// Hash map keyed by int64 with value payload V.
+template <typename V>
+class HashTable {
+ public:
+  /// `expected` entries; the table never rehashes below 70% load.
+  explicit HashTable(std::size_t expected = 16) {
+    std::size_t cap = 16;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Returns the value for `key`, inserting a default-constructed one (then
+  /// calling `on_insert(value)`) if absent.
+  template <typename OnInsert>
+  V& get_or_insert(std::int64_t key, OnInsert&& on_insert) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_key(key) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.value = V{};
+        on_insert(s.value);
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) return s.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  V& get_or_insert(std::int64_t key) {
+    return get_or_insert(key, [](V&) {});
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  [[nodiscard]] V* find(std::int64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_key(key) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+      i = (i + 1) & mask;
+    }
+  }
+  [[nodiscard]] const V* find(std::int64_t key) const {
+    return const_cast<HashTable*>(this)->find(key);
+  }
+
+  /// Visits every (key, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.used) fn(s.key, s.value);
+  }
+
+ private:
+  struct Slot {
+    std::int64_t key = 0;
+    V value{};
+    bool used = false;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = hash_key(s.key) & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Multimap variant for hash joins: each key maps to a chain of uint32 row
+/// ids stored in a shared arena (cache-friendly, no per-node allocation).
+class JoinHashTable {
+ public:
+  explicit JoinHashTable(std::size_t expected_rows = 16)
+      : heads_(expected_rows) {
+    chain_.reserve(expected_rows);
+  }
+
+  /// Inserts (key -> row).
+  void insert(std::int64_t key, std::uint32_t row) {
+    auto& head = heads_.get_or_insert(key, [](std::uint32_t& h) {
+      h = kEnd;
+    });
+    chain_.push_back({row, head});
+    head = static_cast<std::uint32_t>(chain_.size() - 1);
+  }
+
+  /// Calls fn(row) for every row with this key.
+  template <typename Fn>
+  void probe(std::int64_t key, Fn&& fn) const {
+    const std::uint32_t* head = heads_.find(key);
+    if (head == nullptr) return;
+    for (std::uint32_t at = *head; at != kEnd; at = chain_[at].next)
+      fn(chain_[at].row);
+  }
+
+  [[nodiscard]] std::size_t key_count() const { return heads_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return chain_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEnd = 0xffffffffu;
+  struct Link {
+    std::uint32_t row;
+    std::uint32_t next;
+  };
+  HashTable<std::uint32_t> heads_;
+  std::vector<Link> chain_;
+};
+
+}  // namespace eidb::exec

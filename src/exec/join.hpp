@@ -1,0 +1,31 @@
+// Hash equi-join over int64 key columns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// One matched pair: row index on the build side, row index on the probe
+/// side.
+struct JoinPair {
+  std::uint32_t build_row;
+  std::uint32_t probe_row;
+};
+
+/// Inner hash join: builds on `build_keys` rows selected by
+/// `build_selection`, probes with `probe_keys` rows selected by
+/// `probe_selection`. Pairs are emitted in probe order.
+[[nodiscard]] std::vector<JoinPair> hash_join(
+    std::span<const std::int64_t> build_keys, const BitVector& build_selection,
+    std::span<const std::int64_t> probe_keys, const BitVector& probe_selection);
+
+/// Reference nested-loop join (test oracle; O(n*m)).
+[[nodiscard]] std::vector<JoinPair> nested_loop_join(
+    std::span<const std::int64_t> build_keys, const BitVector& build_selection,
+    std::span<const std::int64_t> probe_keys, const BitVector& probe_selection);
+
+}  // namespace eidb::exec

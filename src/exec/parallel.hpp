@@ -1,0 +1,53 @@
+// Morsel-driven parallel operators (paper §III/§IV.B: "orchestrate a huge
+// number of parallel tasks ... Parallelism has to be considered in an
+// end-to-end manner").
+//
+// Real-thread implementations of the scan/aggregate/group pipeline using
+// the worker pool, built on the *partitioned* synchronization scheme that
+// experiment E4 shows to scale: each worker owns a private accumulator (or
+// hash table); a single merge runs at the end. Morsel boundaries are
+// aligned to 64 tuples so selection-bitmap words are never shared between
+// workers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/aggregate.hpp"
+#include "sched/thread_pool.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// Default morsel size: big enough to amortize dispatch, small enough to
+/// load-balance (64-aligned).
+inline constexpr std::size_t kDefaultMorselRows = 64 * 1024;
+
+/// Parallel range scan into a selection bitmap (int64 values).
+void parallel_scan_bitmap64(sched::ThreadPool& pool,
+                            std::span<const std::int64_t> values,
+                            std::int64_t lo, std::int64_t hi, BitVector& out,
+                            std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Parallel range scan (int32).
+void parallel_scan_bitmap32(sched::ThreadPool& pool,
+                            std::span<const std::int32_t> values,
+                            std::int32_t lo, std::int32_t hi, BitVector& out,
+                            std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Parallel aggregation over the selected rows: per-worker partial
+/// accumulators, serial merge (the E4-partitioned scheme).
+[[nodiscard]] AggResult parallel_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> values,
+    const BitVector& selection,
+    std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Parallel grouped aggregation: thread-local hash tables merged by key.
+/// Returns rows sorted by key (same contract as group_aggregate).
+[[nodiscard]] std::vector<GroupRow> parallel_group_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const std::int64_t> values, const BitVector& selection,
+    std::size_t morsel_rows = kDefaultMorselRows);
+
+}  // namespace eidb::exec

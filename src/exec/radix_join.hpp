@@ -1,0 +1,28 @@
+// Radix-partitioned hash join.
+//
+// For builds larger than the cache, a single hash table thrashes; the
+// classic fix partitions both inputs by key radix so each partition's
+// table fits in cache, then joins partition pairs independently (which is
+// also the natural parallel decomposition — each pair is a morsel). This
+// implements a single-pass radix partition + per-partition join, with an
+// optional worker pool for partition-level parallelism.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/join.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace eidb::exec {
+
+/// Inner equi-join, radix-partitioned into 2^bits partitions.
+/// Results match hash_join up to ordering; output is normalized to
+/// (probe_row, build_row) ascending like hash_join.
+[[nodiscard]] std::vector<JoinPair> radix_hash_join(
+    std::span<const std::int64_t> build_keys, const BitVector& build_selection,
+    std::span<const std::int64_t> probe_keys, const BitVector& probe_selection,
+    unsigned radix_bits = 6, sched::ThreadPool* pool = nullptr);
+
+}  // namespace eidb::exec

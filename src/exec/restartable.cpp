@@ -1,0 +1,111 @@
+#include "exec/restartable.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+namespace {
+
+struct Partial {
+  AggResult agg;
+  std::uint64_t next_morsel = 0;
+
+  Partial() {
+    agg.min = std::numeric_limits<std::int64_t>::max();
+    agg.max = std::numeric_limits<std::int64_t>::min();
+  }
+
+  void absorb(std::span<const std::int64_t> values,
+              const BitVector& selection, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!selection.test(i)) continue;
+      const std::int64_t v = values[i];
+      ++agg.count;
+      agg.sum += v;
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+  }
+
+  [[nodiscard]] AggResult finish() const {
+    AggResult out = agg;
+    if (out.count == 0) out.min = out.max = 0;
+    return out;
+  }
+};
+
+}  // namespace
+
+AggResult RestartableAggregation::run(std::span<const std::int64_t> values,
+                                      const BitVector& selection,
+                                      const FaultInjector& fault,
+                                      RestartStats& stats,
+                                      std::uint64_t max_restarts) const {
+  EIDB_EXPECTS(morsel_rows_ >= 1);
+  EIDB_EXPECTS(checkpoint_every_ >= 1);
+  const std::uint64_t morsels =
+      (values.size() + morsel_rows_ - 1) / morsel_rows_;
+  stats.morsels_total = morsels;
+
+  Partial live;
+  Partial checkpoint;  // last durable snapshot
+  std::uint64_t restarts = 0;
+
+  while (live.next_morsel < morsels) {
+    const std::uint64_t m = live.next_morsel;
+    if (fault && fault(m)) {
+      // Crash: lose everything since the checkpoint.
+      if (++restarts > max_restarts)
+        throw Error("restartable aggregation exceeded max restarts");
+      ++stats.restarts;
+      stats.morsels_reprocessed += live.next_morsel - checkpoint.next_morsel;
+      live = checkpoint;
+      continue;
+    }
+    const std::size_t begin = static_cast<std::size_t>(m) * morsel_rows_;
+    const std::size_t end = std::min(begin + morsel_rows_, values.size());
+    live.absorb(values, selection, begin, end);
+    ++live.next_morsel;
+    ++stats.morsels_processed;
+    if (live.next_morsel % checkpoint_every_ == 0) {
+      checkpoint = live;
+      ++stats.checkpoints_taken;
+    }
+  }
+  return live.finish();
+}
+
+AggResult RestartableAggregation::run_from_scratch(
+    std::span<const std::int64_t> values, const BitVector& selection,
+    const FaultInjector& fault, RestartStats& stats,
+    std::uint64_t max_restarts) const {
+  EIDB_EXPECTS(morsel_rows_ >= 1);
+  const std::uint64_t morsels =
+      (values.size() + morsel_rows_ - 1) / morsel_rows_;
+  stats.morsels_total = morsels;
+
+  std::uint64_t restarts = 0;
+restart:
+  Partial live;
+  while (live.next_morsel < morsels) {
+    if (fault && fault(live.next_morsel)) {
+      if (++restarts > max_restarts)
+        throw Error("aggregation exceeded max restarts");
+      ++stats.restarts;
+      stats.morsels_reprocessed += live.next_morsel;
+      goto restart;
+    }
+    const std::size_t begin =
+        static_cast<std::size_t>(live.next_morsel) * morsel_rows_;
+    const std::size_t end = std::min(begin + morsel_rows_, values.size());
+    live.absorb(values, selection, begin, end);
+    ++live.next_morsel;
+    ++stats.morsels_processed;
+  }
+  return live.finish();
+}
+
+}  // namespace eidb::exec

@@ -1,0 +1,520 @@
+#include "exec/scan_kernels.hpp"
+
+#include <immintrin.h>
+
+#include "storage/bitpack.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+std::string variant_name(ScanVariant v) {
+  switch (v) {
+    case ScanVariant::kBranching:
+      return "branching";
+    case ScanVariant::kPredicated:
+      return "predicated";
+    case ScanVariant::kAvx2:
+      return "avx2";
+    case ScanVariant::kAvx512:
+      return "avx512";
+    case ScanVariant::kAuto:
+      return "auto";
+  }
+  return "invalid";
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+// -- index kernels -------------------------------------------------------------
+
+std::size_t scan_branching(std::span<const std::int32_t> values,
+                           std::int32_t lo, std::int32_t hi,
+                           std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] <= hi)
+      out[k++] = static_cast<std::uint32_t>(i);
+  }
+  return k;
+}
+
+std::size_t scan_branching64(std::span<const std::int64_t> values,
+                             std::int64_t lo, std::int64_t hi,
+                             std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] <= hi)
+      out[k++] = static_cast<std::uint32_t>(i);
+  }
+  return k;
+}
+
+std::size_t scan_predicated(std::span<const std::int32_t> values,
+                            std::int32_t lo, std::int32_t hi,
+                            std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[k] = static_cast<std::uint32_t>(i);
+    // Unsigned trick: v - lo <= hi - lo iff lo <= v <= hi (no branches).
+    const std::uint32_t shifted = static_cast<std::uint32_t>(values[i]) -
+                                  static_cast<std::uint32_t>(lo);
+    const std::uint32_t width = static_cast<std::uint32_t>(hi) -
+                                static_cast<std::uint32_t>(lo);
+    k += shifted <= width;
+  }
+  return k;
+}
+
+std::size_t scan_predicated64(std::span<const std::int64_t> values,
+                              std::int64_t lo, std::int64_t hi,
+                              std::uint32_t* out) {
+  std::size_t k = 0;
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[k] = static_cast<std::uint32_t>(i);
+    const std::uint64_t shifted = static_cast<std::uint64_t>(values[i]) -
+                                  static_cast<std::uint64_t>(lo);
+    k += shifted <= width;
+  }
+  return k;
+}
+
+// -- scalar bitmap ---------------------------------------------------------------
+
+void scan_bitmap_scalar(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const std::uint32_t width = static_cast<std::uint32_t>(hi) -
+                              static_cast<std::uint32_t>(lo);
+  std::uint64_t* words = out.words();
+  const std::size_t n = values.size();
+  for (std::size_t w = 0; w * 64 < n; ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t end = std::min<std::size_t>(64, n - w * 64);
+    for (std::size_t j = 0; j < end; ++j) {
+      const std::uint32_t shifted =
+          static_cast<std::uint32_t>(values[w * 64 + j]) -
+          static_cast<std::uint32_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+void scan_bitmap_scalar64(std::span<const std::int64_t> values,
+                          std::int64_t lo, std::int64_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  std::uint64_t* words = out.words();
+  const std::size_t n = values.size();
+  for (std::size_t w = 0; w * 64 < n; ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t end = std::min<std::size_t>(64, n - w * 64);
+    for (std::size_t j = 0; j < end; ++j) {
+      const std::uint64_t shifted =
+          static_cast<std::uint64_t>(values[w * 64 + j]) -
+          static_cast<std::uint64_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+// -- AVX2 -----------------------------------------------------------------------
+
+#if defined(__AVX2__)
+namespace {
+
+// 8-lane int32 in-range mask as the low 8 bits.
+inline std::uint32_t range_mask8(const std::int32_t* p, __m256i vlo,
+                                 __m256i vhi) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i ge = _mm256_or_si256(_mm256_cmpgt_epi32(v, vlo),
+                                     _mm256_cmpeq_epi32(v, vlo));
+  const __m256i le = _mm256_or_si256(_mm256_cmpgt_epi32(vhi, v),
+                                     _mm256_cmpeq_epi32(v, vhi));
+  const __m256i in = _mm256_and_si256(ge, le);
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(in)));
+}
+
+// 4-lane int64 in-range mask as the low 4 bits.
+inline std::uint32_t range_mask4(const std::int64_t* p, __m256i vlo,
+                                 __m256i vhi) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i ge = _mm256_or_si256(_mm256_cmpgt_epi64(v, vlo),
+                                     _mm256_cmpeq_epi64(v, vlo));
+  const __m256i le = _mm256_or_si256(_mm256_cmpgt_epi64(vhi, v),
+                                     _mm256_cmpeq_epi64(v, vhi));
+  const __m256i in = _mm256_and_si256(ge, le);
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(in)));
+}
+
+}  // namespace
+
+void scan_bitmap_avx2(std::span<const std::int32_t> values, std::int32_t lo,
+                      std::int32_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vhi = _mm256_set1_epi32(hi);
+  const std::size_t n = values.size();
+  std::uint64_t* words = out.words();
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= n; ++w) {
+    const std::int32_t* base = values.data() + w * 64;
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 8; ++g)
+      bits |= static_cast<std::uint64_t>(range_mask8(base + g * 8, vlo, vhi))
+              << (g * 8);
+    words[w] = bits;
+  }
+  if (w * 64 < n) {
+    const std::uint32_t width = static_cast<std::uint32_t>(hi) -
+                                static_cast<std::uint32_t>(lo);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < n; ++j) {
+      const std::uint32_t shifted =
+          static_cast<std::uint32_t>(values[w * 64 + j]) -
+          static_cast<std::uint32_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+void scan_bitmap_avx2_64(std::span<const std::int64_t> values, std::int64_t lo,
+                         std::int64_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  const std::size_t n = values.size();
+  std::uint64_t* words = out.words();
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= n; ++w) {
+    const std::int64_t* base = values.data() + w * 64;
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 16; ++g)
+      bits |= static_cast<std::uint64_t>(range_mask4(base + g * 4, vlo, vhi))
+              << (g * 4);
+    words[w] = bits;
+  }
+  if (w * 64 < n) {
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < n; ++j) {
+      const std::uint64_t shifted =
+          static_cast<std::uint64_t>(values[w * 64 + j]) -
+          static_cast<std::uint64_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+#else
+void scan_bitmap_avx2(std::span<const std::int32_t> values, std::int32_t lo,
+                      std::int32_t hi, BitVector& out) {
+  scan_bitmap_scalar(values, lo, hi, out);
+}
+void scan_bitmap_avx2_64(std::span<const std::int64_t> values, std::int64_t lo,
+                         std::int64_t hi, BitVector& out) {
+  scan_bitmap_scalar64(values, lo, hi, out);
+}
+#endif  // __AVX2__
+
+// -- AVX-512 ---------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+void scan_bitmap_avx512(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const __m512i vlo = _mm512_set1_epi32(lo);
+  const __m512i vhi = _mm512_set1_epi32(hi);
+  const std::size_t n = values.size();
+  std::uint64_t* words = out.words();
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= n; ++w) {
+    const std::int32_t* base = values.data() + w * 64;
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 4; ++g) {
+      const __m512i v = _mm512_loadu_si512(base + g * 16);
+      const __mmask16 m = _mm512_cmple_epi32_mask(vlo, v) &
+                          _mm512_cmple_epi32_mask(v, vhi);
+      bits |= static_cast<std::uint64_t>(m) << (g * 16);
+    }
+    words[w] = bits;
+  }
+  if (w * 64 < n) {
+    const std::uint32_t width = static_cast<std::uint32_t>(hi) -
+                                static_cast<std::uint32_t>(lo);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < n; ++j) {
+      const std::uint32_t shifted =
+          static_cast<std::uint32_t>(values[w * 64 + j]) -
+          static_cast<std::uint32_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+void scan_bitmap_avx512_64(std::span<const std::int64_t> values,
+                           std::int64_t lo, std::int64_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const std::size_t n = values.size();
+  std::uint64_t* words = out.words();
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= n; ++w) {
+    const std::int64_t* base = values.data() + w * 64;
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 8; ++g) {
+      const __m512i v = _mm512_loadu_si512(base + g * 8);
+      const __mmask8 m = _mm512_cmple_epi64_mask(vlo, v) &
+                         _mm512_cmple_epi64_mask(v, vhi);
+      bits |= static_cast<std::uint64_t>(m) << (g * 8);
+    }
+    words[w] = bits;
+  }
+  if (w * 64 < n) {
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < n; ++j) {
+      const std::uint64_t shifted =
+          static_cast<std::uint64_t>(values[w * 64 + j]) -
+          static_cast<std::uint64_t>(lo);
+      bits |= static_cast<std::uint64_t>(shifted <= width) << j;
+    }
+    words[w] = bits;
+  }
+}
+#else
+void scan_bitmap_avx512(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out) {
+  scan_bitmap_avx2(values, lo, hi, out);
+}
+void scan_bitmap_avx512_64(std::span<const std::int64_t> values,
+                           std::int64_t lo, std::int64_t hi, BitVector& out) {
+  scan_bitmap_avx2_64(values, lo, hi, out);
+}
+#endif  // __AVX512F__
+
+void scan_bitmap_double(std::span<const double> values, double lo, double hi,
+                        BitVector& out) {
+  EIDB_EXPECTS(out.size() >= values.size());
+  std::uint64_t* words = out.words();
+  const std::size_t n = values.size();
+  for (std::size_t w = 0; w * 64 < n; ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t end = std::min<std::size_t>(64, n - w * 64);
+    for (std::size_t j = 0; j < end; ++j) {
+      const double v = values[w * 64 + j];
+      bits |= static_cast<std::uint64_t>(v >= lo && v <= hi) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+// -- packed scan -----------------------------------------------------------------
+
+namespace {
+
+// Fast paths for byte-aligned widths: at 8/16/32 bits the packed image *is*
+// a contiguous array of narrow unsigned integers, so the scan is a direct
+// unsigned SIMD compare with no unpacking at all — the classic SIMD-scan
+// result (and the reason E5's curve steps down at aligned widths).
+
+#if defined(__AVX512BW__)
+void scan_packed_u8(const std::uint8_t* data, std::size_t count,
+                    std::uint8_t lo, std::uint8_t hi, std::uint64_t* words) {
+  const __m512i vlo = _mm512_set1_epi8(static_cast<char>(lo));
+  const __m512i vhi = _mm512_set1_epi8(static_cast<char>(hi));
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= count; ++w) {
+    const __m512i v = _mm512_loadu_si512(data + w * 64);
+    const __mmask64 m = _mm512_cmp_epu8_mask(vlo, v, _MM_CMPINT_LE) &
+                        _mm512_cmp_epu8_mask(v, vhi, _MM_CMPINT_LE);
+    words[w] = static_cast<std::uint64_t>(m);
+  }
+  if (w * 64 < count) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < count; ++j) {
+      const std::uint8_t v = data[w * 64 + j];
+      bits |= static_cast<std::uint64_t>(v >= lo && v <= hi) << j;
+    }
+    words[w] = bits;
+  }
+}
+
+void scan_packed_u16(const std::uint16_t* data, std::size_t count,
+                     std::uint16_t lo, std::uint16_t hi,
+                     std::uint64_t* words) {
+  const __m512i vlo = _mm512_set1_epi16(static_cast<short>(lo));
+  const __m512i vhi = _mm512_set1_epi16(static_cast<short>(hi));
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= count; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 2; ++g) {
+      const __m512i v = _mm512_loadu_si512(data + w * 64 + g * 32);
+      const __mmask32 m = _mm512_cmp_epu16_mask(vlo, v, _MM_CMPINT_LE) &
+                          _mm512_cmp_epu16_mask(v, vhi, _MM_CMPINT_LE);
+      bits |= static_cast<std::uint64_t>(m) << (g * 32);
+    }
+    words[w] = bits;
+  }
+  if (w * 64 < count) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < count; ++j) {
+      const std::uint16_t v = data[w * 64 + j];
+      bits |= static_cast<std::uint64_t>(v >= lo && v <= hi) << j;
+    }
+    words[w] = bits;
+  }
+}
+#endif  // __AVX512BW__
+
+#if defined(__AVX512F__)
+void scan_packed_u32(const std::uint32_t* data, std::size_t count,
+                     std::uint32_t lo, std::uint32_t hi,
+                     std::uint64_t* words) {
+  const __m512i vlo = _mm512_set1_epi32(static_cast<int>(lo));
+  const __m512i vhi = _mm512_set1_epi32(static_cast<int>(hi));
+  std::size_t w = 0;
+  for (; (w + 1) * 64 <= count; ++w) {
+    std::uint64_t bits = 0;
+    for (unsigned g = 0; g < 4; ++g) {
+      const __m512i v = _mm512_loadu_si512(data + w * 64 + g * 16);
+      const __mmask16 m = _mm512_cmp_epu32_mask(vlo, v, _MM_CMPINT_LE) &
+                          _mm512_cmp_epu32_mask(v, vhi, _MM_CMPINT_LE);
+      bits |= static_cast<std::uint64_t>(m) << (g * 16);
+    }
+    words[w] = bits;
+  }
+  if (w * 64 < count) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; w * 64 + j < count; ++j) {
+      const std::uint32_t v = data[w * 64 + j];
+      bits |= static_cast<std::uint64_t>(v >= lo && v <= hi) << j;
+    }
+    words[w] = bits;
+  }
+}
+#endif  // __AVX512F__
+
+}  // namespace
+
+void scan_packed_bitmap(std::span<const std::uint64_t> packed, unsigned bits,
+                        std::size_t count, std::uint64_t lo, std::uint64_t hi,
+                        BitVector& out) {
+  EIDB_EXPECTS(out.size() >= count);
+  std::uint64_t* words = out.words();
+  if (count == 0) return;
+
+  // Clamp the predicate into the width's domain.
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  if (lo > mask) {
+    // Nothing representable can match.
+    for (std::size_t w = 0; w * 64 < count; ++w) words[w] = 0;
+    return;
+  }
+  hi = std::min(hi, mask);
+
+  // Byte-aligned fast paths: direct unsigned SIMD compare on the packed
+  // image (no unpack).
+#if defined(__AVX512BW__)
+  if (bits == 8 && cpu_has_avx512()) {
+    scan_packed_u8(reinterpret_cast<const std::uint8_t*>(packed.data()),
+                   count, static_cast<std::uint8_t>(lo),
+                   static_cast<std::uint8_t>(hi), words);
+    return;
+  }
+  if (bits == 16 && cpu_has_avx512()) {
+    scan_packed_u16(reinterpret_cast<const std::uint16_t*>(packed.data()),
+                    count, static_cast<std::uint16_t>(lo),
+                    static_cast<std::uint16_t>(hi), words);
+    return;
+  }
+#endif
+#if defined(__AVX512F__)
+  if (bits == 32 && cpu_has_avx512()) {
+    scan_packed_u32(reinterpret_cast<const std::uint32_t*>(packed.data()),
+                    count, static_cast<std::uint32_t>(lo),
+                    static_cast<std::uint32_t>(hi), words);
+    return;
+  }
+#endif
+
+  const std::uint64_t width = hi - lo;
+  std::size_t block = 0;
+  alignas(64) std::uint64_t buf[64];
+  for (; block + 64 <= count; block += 64) {
+    storage::bitunpack_block64(packed, bits, block, buf);
+    std::uint64_t bv = 0;
+    for (unsigned j = 0; j < 64; ++j)
+      bv |= static_cast<std::uint64_t>((buf[j] - lo) <= width) << j;
+    words[block / 64] = bv;
+  }
+  if (block < count) {
+    std::uint64_t bv = 0;
+    for (std::size_t j = 0; block + j < count; ++j) {
+      const std::uint64_t v = storage::bitpacked_at(packed, bits, block + j);
+      bv |= static_cast<std::uint64_t>((v - lo) <= width) << j;
+    }
+    words[block / 64] = bv;
+  }
+}
+
+// -- dispatch --------------------------------------------------------------------
+
+void scan_bitmap_best(std::span<const std::int32_t> values, std::int32_t lo,
+                      std::int32_t hi, BitVector& out) {
+  if (cpu_has_avx512())
+    scan_bitmap_avx512(values, lo, hi, out);
+  else if (cpu_has_avx2())
+    scan_bitmap_avx2(values, lo, hi, out);
+  else
+    scan_bitmap_scalar(values, lo, hi, out);
+}
+
+void scan_bitmap_best64(std::span<const std::int64_t> values, std::int64_t lo,
+                        std::int64_t hi, BitVector& out) {
+  if (cpu_has_avx512())
+    scan_bitmap_avx512_64(values, lo, hi, out);
+  else if (cpu_has_avx2())
+    scan_bitmap_avx2_64(values, lo, hi, out);
+  else
+    scan_bitmap_scalar64(values, lo, hi, out);
+}
+
+ScanVariant choose_variant(double sel) {
+  // SIMD always wins for bitmap production when available.
+  if (cpu_has_avx512()) return ScanVariant::kAvx512;
+  if (cpu_has_avx2()) return ScanVariant::kAvx2;
+  // Scalar machines: branching is cheaper when the branch predicts well
+  // (selectivity near the extremes; Ross's crossover).
+  return (sel < 0.08 || sel > 0.92) ? ScanVariant::kBranching
+                                    : ScanVariant::kPredicated;
+}
+
+}  // namespace eidb::exec

@@ -1,0 +1,110 @@
+// Range-predicate scan kernels: the reconfigurable operator of §IV.B.
+//
+// The paper (citing Ross [17]): "selectivity factors significantly impact
+// the success of branch prediction forcing the operator to switch between
+// different implementations". Four implementations of the same contract —
+// select rows with lo <= v <= hi — are provided:
+//
+//  * kBranching   — `if (match) out[k++] = i`; fastest when the branch is
+//                   predictable (selectivity near 0 or 1), collapses near 50%.
+//  * kPredicated  — `out[k] = i; k += match`; branch-free, selectivity-
+//                   independent cost.
+//  * kAvx2        — 256-bit SIMD compare into a selection bitmap.
+//  * kAvx512      — 512-bit SIMD compare; mask registers write the bitmap
+//                   directly.
+//
+// The adaptive dispatcher (kAuto) is the "reconfigurable operator": it picks
+// the variant the calibrated cost model predicts cheapest for the estimated
+// selectivity and available ISA (experiment E3 measures the envelope).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+enum class ScanVariant : std::uint8_t {
+  kBranching,
+  kPredicated,
+  kAvx2,
+  kAvx512,
+  kAuto,
+};
+
+[[nodiscard]] std::string variant_name(ScanVariant v);
+
+/// ISA support detected at runtime.
+[[nodiscard]] bool cpu_has_avx2();
+[[nodiscard]] bool cpu_has_avx512();
+
+// -- Index-producing kernels (Ross-style selection) ---------------------------
+
+/// Appends matching row indices to `out` (caller sizes it to values.size()).
+/// Returns the number of matches.
+std::size_t scan_branching(std::span<const std::int32_t> values,
+                           std::int32_t lo, std::int32_t hi,
+                           std::uint32_t* out);
+std::size_t scan_branching64(std::span<const std::int64_t> values,
+                             std::int64_t lo, std::int64_t hi,
+                             std::uint32_t* out);
+
+std::size_t scan_predicated(std::span<const std::int32_t> values,
+                            std::int32_t lo, std::int32_t hi,
+                            std::uint32_t* out);
+std::size_t scan_predicated64(std::span<const std::int64_t> values,
+                              std::int64_t lo, std::int64_t hi,
+                              std::uint32_t* out);
+
+// -- Bitmap-producing kernels --------------------------------------------------
+
+/// Sets bit i of `out` iff lo <= values[i] <= hi. `out` must be sized to
+/// values.size(). Scalar reference implementation.
+void scan_bitmap_scalar(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out);
+void scan_bitmap_scalar64(std::span<const std::int64_t> values,
+                          std::int64_t lo, std::int64_t hi, BitVector& out);
+
+/// AVX2 variants; fall back to scalar when the ISA is unavailable.
+void scan_bitmap_avx2(std::span<const std::int32_t> values, std::int32_t lo,
+                      std::int32_t hi, BitVector& out);
+void scan_bitmap_avx2_64(std::span<const std::int64_t> values, std::int64_t lo,
+                         std::int64_t hi, BitVector& out);
+
+/// AVX-512 variants; fall back to AVX2/scalar when unavailable.
+void scan_bitmap_avx512(std::span<const std::int32_t> values, std::int32_t lo,
+                        std::int32_t hi, BitVector& out);
+void scan_bitmap_avx512_64(std::span<const std::int64_t> values,
+                           std::int64_t lo, std::int64_t hi, BitVector& out);
+
+/// Double-range scan (scalar + AVX2-class autovectorized).
+void scan_bitmap_double(std::span<const double> values, double lo, double hi,
+                        BitVector& out);
+
+// -- Packed (compressed) scan --------------------------------------------------
+
+/// Scans a bit-packed column (values packed at `bits`, `count` values,
+/// FOR-shifted domain) for lo <= v <= hi without materializing the column.
+/// Experiment E5: memory traffic shrinks with bits, so narrow widths scan
+/// faster *and* cheaper than the 64-bit raw column once the scan is
+/// memory-bound.
+void scan_packed_bitmap(std::span<const std::uint64_t> packed, unsigned bits,
+                        std::size_t count, std::uint64_t lo, std::uint64_t hi,
+                        BitVector& out);
+
+// -- Dispatch ------------------------------------------------------------------
+
+/// Best bitmap kernel for this host.
+void scan_bitmap_best(std::span<const std::int32_t> values, std::int32_t lo,
+                      std::int32_t hi, BitVector& out);
+void scan_bitmap_best64(std::span<const std::int64_t> values, std::int64_t lo,
+                        std::int64_t hi, BitVector& out);
+
+/// The adaptive choice for an index-producing selection at estimated
+/// selectivity `sel` (kAuto resolution). Exposed so the optimizer and tests
+/// can inspect the decision.
+[[nodiscard]] ScanVariant choose_variant(double sel);
+
+}  // namespace eidb::exec

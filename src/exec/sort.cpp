@@ -1,0 +1,54 @@
+#include "exec/sort.hpp"
+
+#include <algorithm>
+
+namespace eidb::exec {
+
+namespace {
+
+template <typename T>
+std::vector<std::uint32_t> sort_impl(std::span<const T> keys,
+                                     const BitVector& selection,
+                                     bool ascending) {
+  std::vector<std::uint32_t> idx = selection.to_indices();
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
+                   });
+  return idx;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sort_indices(std::span<const std::int64_t> keys,
+                                        const BitVector& selection,
+                                        bool ascending) {
+  return sort_impl(keys, selection, ascending);
+}
+
+std::vector<std::uint32_t> sort_indices_double(std::span<const double> keys,
+                                               const BitVector& selection,
+                                               bool ascending) {
+  return sort_impl(keys, selection, ascending);
+}
+
+std::vector<std::uint32_t> top_n(std::span<const std::int64_t> keys,
+                                 const BitVector& selection, std::size_t n,
+                                 bool ascending) {
+  std::vector<std::uint32_t> idx = selection.to_indices();
+  const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+    if (keys[a] != keys[b])
+      return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
+    return a < b;  // deterministic tie-break
+  };
+  if (n >= idx.size()) {
+    std::sort(idx.begin(), idx.end(), cmp);
+    return idx;
+  }
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n),
+                    idx.end(), cmp);
+  idx.resize(n);
+  return idx;
+}
+
+}  // namespace eidb::exec

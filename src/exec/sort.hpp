@@ -1,0 +1,28 @@
+// Order-by and top-N kernels over row indices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// Row indices of the selection, ordered by keys[i] (ascending or
+/// descending; ties keep ascending row order for determinism).
+[[nodiscard]] std::vector<std::uint32_t> sort_indices(
+    std::span<const std::int64_t> keys, const BitVector& selection,
+    bool ascending = true);
+
+[[nodiscard]] std::vector<std::uint32_t> sort_indices_double(
+    std::span<const double> keys, const BitVector& selection,
+    bool ascending = true);
+
+/// First `n` rows of `sort_indices` without sorting the full selection
+/// (partial selection sort via heap).
+[[nodiscard]] std::vector<std::uint32_t> top_n(
+    std::span<const std::int64_t> keys, const BitVector& selection,
+    std::size_t n, bool ascending = true);
+
+}  // namespace eidb::exec

@@ -1,0 +1,44 @@
+#include "hw/dvfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::hw {
+
+DvfsTable::DvfsTable(std::vector<DvfsState> states)
+    : states_(std::move(states)) {
+  EIDB_EXPECTS(!states_.empty());
+  EIDB_EXPECTS(std::is_sorted(states_.begin(), states_.end(),
+                              [](const DvfsState& a, const DvfsState& b) {
+                                return a.freq_ghz < b.freq_ghz;
+                              }));
+}
+
+const DvfsState& DvfsTable::at_least(double freq_ghz) const {
+  for (const DvfsState& s : states_)
+    if (s.freq_ghz >= freq_ghz) return s;
+  return states_.back();
+}
+
+DvfsTable DvfsTable::make_cmos(int n, double f_min, double f_max, double v_min,
+                               double v_max, double top_power_w,
+                               double leak_w) {
+  EIDB_EXPECTS(n >= 2);
+  EIDB_EXPECTS(f_min > 0 && f_max > f_min);
+  EIDB_EXPECTS(top_power_w > leak_w);
+  // Effective switched capacitance from the top state:
+  //   top_power = leak + c_eff * v_max^2 * f_max
+  const double c_eff = (top_power_w - leak_w) / (v_max * v_max * f_max);
+  std::vector<DvfsState> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    const double f = f_min + t * (f_max - f_min);
+    const double v = v_min + t * (v_max - v_min);
+    states.push_back({f, v, leak_w + c_eff * v * v * f});
+  }
+  return DvfsTable(std::move(states));
+}
+
+}  // namespace eidb::hw

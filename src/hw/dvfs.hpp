@@ -1,0 +1,57 @@
+// Dynamic voltage/frequency scaling (DVFS) state tables.
+//
+// The paper (§IV "Energy efficiency") calls for balancing response time and
+// throughput "under a given energy constraint ... on a case-by-case basis".
+// The mechanism the optimizer controls is the per-core P-state: each state is
+// a (frequency, voltage, power) triple. Power follows the classic CMOS model
+//   P(f) = P_leak + C_eff * V(f)^2 * f
+// so halving frequency saves superlinearly on dynamic power — the reason
+// "pace" can beat "race-to-idle" when idle power is high, and lose when idle
+// power is low (experiment E7).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eidb::hw {
+
+/// One P-state of a core.
+struct DvfsState {
+  double freq_ghz = 0;        ///< Core clock.
+  double voltage_v = 0;       ///< Supply voltage at this clock.
+  double active_power_w = 0;  ///< Per-core power when 100% busy at this state.
+};
+
+/// Ordered set of P-states (ascending frequency).
+class DvfsTable {
+ public:
+  DvfsTable() = default;
+  explicit DvfsTable(std::vector<DvfsState> states);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] const DvfsState& operator[](std::size_t i) const {
+    return states_[i];
+  }
+  [[nodiscard]] const DvfsState& slowest() const { return states_.front(); }
+  [[nodiscard]] const DvfsState& fastest() const { return states_.back(); }
+  [[nodiscard]] const std::vector<DvfsState>& states() const noexcept {
+    return states_;
+  }
+
+  /// Returns the slowest state whose frequency is >= `freq_ghz`
+  /// (the fastest state if none qualifies).
+  [[nodiscard]] const DvfsState& at_least(double freq_ghz) const;
+
+  /// Builds a table of `n` states spanning [f_min, f_max] GHz with voltage
+  /// scaling linearly from `v_min` to `v_max` and per-core power calibrated
+  /// so that the top state dissipates `top_power_w` (of which `leak_w` is
+  /// frequency-independent leakage).
+  static DvfsTable make_cmos(int n, double f_min, double f_max, double v_min,
+                             double v_max, double top_power_w, double leak_w);
+
+ private:
+  std::vector<DvfsState> states_;
+};
+
+}  // namespace eidb::hw

@@ -1,0 +1,31 @@
+#include "hw/interconnect.hpp"
+
+namespace eidb::hw {
+
+LinkSpec LinkSpec::qpi() {
+  // 16 GB/s payload per direction; on-die SerDes energy ~ 1 nJ/byte end-to-
+  // end; sub-microsecond latency.
+  return {"qpi", 16.0, 1.0, 0.4e-6, 2.0};
+}
+
+LinkSpec LinkSpec::gbe() {
+  // 1 GbE: 0.125 GB/s; NIC+switch path ~ 40 nJ/byte; ~50 us stack latency.
+  return {"1gbe", 0.125, 40.0, 50e-6, 4.0};
+}
+
+LinkSpec LinkSpec::tengbe() {
+  // 10 GbE: 1.25 GB/s; ~15 nJ/byte; kernel-bypass-class 10 us latency.
+  return {"10gbe", 1.25, 15.0, 10e-6, 8.0};
+}
+
+LinkSpec LinkSpec::haec_optical() {
+  // HAEC board-to-board optical: 12.5 GB/s, very low pJ/bit.
+  return {"haec-optical", 12.5, 0.8, 1e-6, 3.0};
+}
+
+LinkSpec LinkSpec::haec_wireless() {
+  // HAEC mm-wave wireless: ~ 6 GB/s aggregate, radio energy dominates.
+  return {"haec-wireless", 6.0, 12.0, 2e-6, 5.0};
+}
+
+}  // namespace eidb::hw

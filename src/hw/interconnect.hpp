@@ -1,0 +1,45 @@
+// Interconnect link models for the distributed-exchange experiments.
+//
+// §IV of the paper: "an optimizer has to decide about sending intermediate
+// data in a compressed or uncompressed format to other nodes or even sockets
+// on the same board" — the decision depends on the link's bandwidth and
+// energy-per-byte, both of which vary by orders of magnitude between a QPI
+// hop and a datacenter Ethernet path. The paper also cites the HAEC project
+// [10] (high-bandwidth short-range wireless and optical board-to-board
+// links); presets for both are provided.
+#pragma once
+
+#include <string>
+
+namespace eidb::hw {
+
+/// A point-to-point link.
+struct LinkSpec {
+  std::string name;
+  double bandwidth_gbs = 0;       ///< Payload bandwidth, GB/s.
+  double energy_nj_per_byte = 0;  ///< Dynamic transfer energy, both ends.
+  double latency_s = 0;           ///< One-way propagation + stack latency.
+  double static_power_w = 0;      ///< Interface idle power (PHY/NIC), both ends.
+
+  /// Time to move `bytes` over the link (bandwidth + one latency).
+  [[nodiscard]] double transfer_time_s(double bytes) const {
+    return latency_s + (bandwidth_gbs > 0 ? bytes / (bandwidth_gbs * 1e9) : 0);
+  }
+  /// Dynamic energy to move `bytes`.
+  [[nodiscard]] double transfer_energy_j(double bytes) const {
+    return bytes * energy_nj_per_byte * 1e-9;
+  }
+
+  /// Cross-socket QPI/UPI-class on-board link.
+  static LinkSpec qpi();
+  /// 1 Gb Ethernet (datacenter legacy tier).
+  static LinkSpec gbe();
+  /// 10 Gb Ethernet.
+  static LinkSpec tengbe();
+  /// HAEC-style short-range 100 Gb/s optical board-to-board link.
+  static LinkSpec haec_optical();
+  /// HAEC-style short-range mm-wave wireless inter-board link.
+  static LinkSpec haec_wireless();
+};
+
+}  // namespace eidb::hw

@@ -1,0 +1,87 @@
+#include "hw/sync_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::hw {
+
+namespace {
+
+/// Greedy deterministic list scheduling of identical (parallel, critical)
+/// task pairs with a single FIFO lock. Returns {makespan, busy, spin}.
+struct ScheduleOutcome {
+  double makespan = 0;
+  double busy = 0;
+  double spin = 0;
+};
+
+ScheduleOutcome schedule(std::int64_t tasks, int cores, double parallel_s,
+                         double critical_s) {
+  // Min-heap of core-available times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> core_free;
+  for (int c = 0; c < cores; ++c) core_free.push(0.0);
+  double lock_free = 0.0;
+  double makespan = 0.0;
+  double busy = 0.0;
+  double spin = 0.0;
+
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    const double start = core_free.top();
+    core_free.pop();
+    const double parallel_done = start + parallel_s;
+    double done = parallel_done;
+    if (critical_s > 0) {
+      const double cs_start = std::max(parallel_done, lock_free);
+      done = cs_start + critical_s;
+      lock_free = done;
+      spin += cs_start - parallel_done;  // spinning while waiting for lock
+      busy += parallel_s + critical_s;
+    } else {
+      busy += parallel_s;
+    }
+    core_free.push(done);
+    makespan = std::max(makespan, done);
+  }
+  return {makespan, busy, spin};
+}
+
+}  // namespace
+
+SyncResult simulate_sync(const SyncWorkload& wl, int cores,
+                         const MachineSpec& machine, const DvfsState& state) {
+  EIDB_EXPECTS(cores >= 1);
+  EIDB_EXPECTS(wl.tasks >= 0);
+  EIDB_EXPECTS(wl.parallel_s >= 0 && wl.critical_s >= 0 &&
+               wl.final_serial_s >= 0);
+
+  const ScheduleOutcome par =
+      schedule(wl.tasks, cores, wl.parallel_s, wl.critical_s);
+  const ScheduleOutcome seq =
+      schedule(wl.tasks, 1, wl.parallel_s, wl.critical_s);
+
+  SyncResult r;
+  r.makespan_s = par.makespan + wl.final_serial_s;
+  r.busy_s = par.busy + wl.final_serial_s;
+  r.spin_s = par.spin;
+  const double t1 = seq.makespan + wl.final_serial_s;
+  r.speedup = r.makespan_s > 0 ? t1 / r.makespan_s : 0.0;
+
+  // Energy: while the operation runs, all `cores` granted to it are either
+  // working or spinning — both at active power (spinlocks do not yield).
+  // Utilisation below 100% (cores idle after their last task) is billed at
+  // core idle power.
+  const double core_seconds = static_cast<double>(cores) * r.makespan_s;
+  const double active_s = std::min(r.busy_s + r.spin_s, core_seconds);
+  const double idle_s = core_seconds - active_s;
+  const double per_core_active = state.active_power_w;
+  r.energy_j = (machine.uncore_power_w + machine.dram_static_power_w) *
+                   r.makespan_s +
+               per_core_active * active_s +
+               machine.core_idle_power_w * idle_s;
+  return r;
+}
+
+}  // namespace eidb::hw

@@ -1,0 +1,50 @@
+// Deterministic multicore contention simulator (experiment E4).
+//
+// Reproduces the Shore-MT observation the paper cites ([6]): "even read-only
+// synchronization already shows a significant serial part dramatically
+// reducing the speedup with a growing number of parallel operators".
+//
+// Model: a parallel aggregation is split into `tasks` morsels. Each morsel
+// performs `parallel_s` seconds of independent work and then a critical
+// section of `critical_s` seconds guarded by one global lock (FIFO grant
+// order). Greedy list scheduling onto `cores` identical cores; waiting cores
+// spin (burn active power), matching spinlock/latch behaviour in storage
+// managers. An optional `final_serial_s` models a single-threaded merge/
+// plan-finalization phase (Amdahl tail).
+//
+// Substitution note (DESIGN.md §5): the host container has one vCPU, so
+// speedup-vs-cores curves are produced on this simulator instead of real
+// threads; the real work-stealing pool in src/sched/ covers functional
+// correctness of parallel execution.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/machine.hpp"
+
+namespace eidb::hw {
+
+/// Workload description for one simulated parallel operation.
+struct SyncWorkload {
+  std::int64_t tasks = 0;      ///< Number of morsels.
+  double parallel_s = 0;       ///< Independent work per morsel (seconds).
+  double critical_s = 0;       ///< Lock-protected work per morsel (seconds).
+  double final_serial_s = 0;   ///< One-off serial tail (merge phase).
+};
+
+/// Simulation outcome.
+struct SyncResult {
+  double makespan_s = 0;   ///< Wall time to finish all tasks.
+  double busy_s = 0;       ///< Sum over cores of busy (working) time.
+  double spin_s = 0;       ///< Sum over cores of spin-wait time.
+  double speedup = 0;      ///< T(1) / T(cores).
+  double energy_j = 0;     ///< Package energy at the given P-state,
+                           ///< spinning billed at active power.
+};
+
+/// Simulates `wl` on `cores` cores of `machine` at P-state `state`.
+[[nodiscard]] SyncResult simulate_sync(const SyncWorkload& wl, int cores,
+                                       const MachineSpec& machine,
+                                       const DvfsState& state);
+
+}  // namespace eidb::hw

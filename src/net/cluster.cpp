@@ -1,0 +1,58 @@
+#include "net/cluster.hpp"
+
+#include "util/assert.hpp"
+
+namespace eidb::net {
+
+Cluster::Cluster(std::size_t nodes, hw::MachineSpec machine,
+                 hw::LinkSpec link) {
+  EIDB_EXPECTS(nodes >= 1);
+  machines_.assign(nodes, machine);
+  links_.assign(nodes * nodes, link);
+  stats_.assign(nodes * nodes, LinkStats{});
+}
+
+const hw::MachineSpec& Cluster::machine(std::size_t node) const {
+  EIDB_EXPECTS(node < machines_.size());
+  return machines_[node];
+}
+
+std::size_t Cluster::index(std::size_t from, std::size_t to) const {
+  EIDB_EXPECTS(from < machines_.size() && to < machines_.size());
+  return from * machines_.size() + to;
+}
+
+const hw::LinkSpec& Cluster::link(std::size_t from, std::size_t to) const {
+  return links_[index(from, to)];
+}
+
+void Cluster::set_link(std::size_t from, std::size_t to, hw::LinkSpec link) {
+  links_[index(from, to)] = std::move(link);
+}
+
+Cluster::Transfer Cluster::send(std::size_t from, std::size_t to,
+                                double bytes) {
+  EIDB_EXPECTS(from != to);
+  EIDB_EXPECTS(bytes >= 0);
+  const std::size_t i = index(from, to);
+  const hw::LinkSpec& l = links_[i];
+  const Transfer t{l.transfer_time_s(bytes), l.transfer_energy_j(bytes)};
+  LinkStats& s = stats_[i];
+  ++s.messages;
+  s.bytes += bytes;
+  s.busy_s += t.time_s;
+  s.energy_j += t.energy_j;
+  return t;
+}
+
+const LinkStats& Cluster::stats(std::size_t from, std::size_t to) const {
+  return stats_[index(from, to)];
+}
+
+double Cluster::total_wire_energy_j() const {
+  double total = 0;
+  for (const LinkStats& s : stats_) total += s.energy_j;
+  return total;
+}
+
+}  // namespace eidb::net

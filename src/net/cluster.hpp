@@ -1,0 +1,57 @@
+// Simulated cluster: nodes with machine models joined by links.
+//
+// Substitution note (DESIGN.md §5): the paper's distributed setting (nodes,
+// sockets, HAEC-style optical/wireless boards) is modeled — codecs run for
+// real on real buffers; only the wire is simulated via hw::LinkSpec.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/interconnect.hpp"
+#include "hw/machine.hpp"
+
+namespace eidb::net {
+
+/// Accumulated traffic statistics for one directed link.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  double bytes = 0;
+  double busy_s = 0;
+  double energy_j = 0;
+};
+
+class Cluster {
+ public:
+  /// `nodes` identical machines, fully connected by copies of `link`.
+  Cluster(std::size_t nodes, hw::MachineSpec machine, hw::LinkSpec link);
+
+  [[nodiscard]] std::size_t node_count() const { return machines_.size(); }
+  [[nodiscard]] const hw::MachineSpec& machine(std::size_t node) const;
+  [[nodiscard]] const hw::LinkSpec& link(std::size_t from,
+                                         std::size_t to) const;
+  /// Replaces the link between a pair of nodes (heterogeneous topologies).
+  void set_link(std::size_t from, std::size_t to, hw::LinkSpec link);
+
+  /// Accounts a transfer of `bytes` from -> to; returns {time_s, energy_j}.
+  struct Transfer {
+    double time_s = 0;
+    double energy_j = 0;
+  };
+  Transfer send(std::size_t from, std::size_t to, double bytes);
+
+  [[nodiscard]] const LinkStats& stats(std::size_t from,
+                                       std::size_t to) const;
+  /// Sum of all link energies.
+  [[nodiscard]] double total_wire_energy_j() const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t from, std::size_t to) const;
+
+  std::vector<hw::MachineSpec> machines_;
+  std::vector<hw::LinkSpec> links_;   // n*n, diagonal unused
+  std::vector<LinkStats> stats_;
+};
+
+}  // namespace eidb::net

@@ -1,0 +1,101 @@
+#include "net/distributed_agg.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "net/exchange.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::net {
+
+namespace {
+
+/// Serializes group rows as (key, count, sum) triples.
+std::vector<std::int64_t> serialize_groups(
+    const std::vector<exec::GroupRow>& rows) {
+  std::vector<std::int64_t> out;
+  out.reserve(rows.size() * 3);
+  for (const exec::GroupRow& r : rows) {
+    out.push_back(r.key);
+    out.push_back(static_cast<std::int64_t>(r.agg.count));
+    out.push_back(r.agg.sum);
+  }
+  return out;
+}
+
+void merge_triples(std::map<std::int64_t, exec::AggResult>& merged,
+                   std::span<const std::int64_t> triples) {
+  EIDB_EXPECTS(triples.size() % 3 == 0);
+  for (std::size_t i = 0; i < triples.size(); i += 3) {
+    exec::AggResult& a = merged[triples[i]];
+    a.count += static_cast<std::uint64_t>(triples[i + 1]);
+    a.sum += triples[i + 2];
+  }
+}
+
+}  // namespace
+
+std::vector<exec::GroupRow> distributed_group_aggregate(
+    Cluster& cluster,
+    const std::vector<std::span<const std::int64_t>>& partition_keys,
+    const std::vector<std::span<const std::int64_t>>& partition_values,
+    opt::Objective objective, DistributedAggReport& report) {
+  EIDB_EXPECTS(partition_keys.size() == partition_values.size());
+  EIDB_EXPECTS(partition_keys.size() == cluster.node_count());
+  const std::size_t nodes = cluster.node_count();
+  const opt::CompressionAdvisor advisor(cluster.machine(0));
+  const hw::DvfsState& state = cluster.machine(0).dvfs.fastest();
+
+  std::map<std::int64_t, exec::AggResult> merged;
+  report = DistributedAggReport{};
+  report.codec_per_node.assign(nodes, storage::CodecKind::kPlain);
+
+  // Local aggregation on every node (real kernels; the slowest node gates
+  // the phase since they run concurrently in the real system).
+  std::vector<std::vector<exec::GroupRow>> partials(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    BitVector all(partition_keys[n].size());
+    all.set_all();
+    Stopwatch sw;
+    partials[n] =
+        exec::group_aggregate(partition_keys[n], partition_values[n], all);
+    report.local_compute_s = std::max(report.local_compute_s,
+                                      sw.elapsed_seconds());
+  }
+
+  // Coordinator's own partition merges for free.
+  merge_triples(merged, serialize_groups(partials[0]));
+
+  // Remote partials ship with a per-link codec decision.
+  for (std::size_t n = 1; n < nodes; ++n) {
+    const std::vector<std::int64_t> payload = serialize_groups(partials[n]);
+    const hw::LinkSpec& link = cluster.link(n, 0);
+    const auto advice =
+        advisor.advise(payload, payload.size(), link, state, objective);
+    report.codec_per_node[n] = advice.kind;
+
+    ExchangeResult xr;
+    const std::vector<std::int64_t> received = exchange_payload(
+        payload, advice.kind, link, cluster.machine(n), state, xr);
+    (void)cluster.send(n, 0, xr.wire_bytes);
+    report.exchange_s += xr.total_time_s();
+    report.wire_bytes += xr.wire_bytes;
+    report.wire_energy_j += xr.wire_energy_j;
+    report.cpu_energy_j += xr.cpu_energy_j;
+
+    merge_triples(merged, received);
+  }
+
+  std::vector<exec::GroupRow> rows;
+  rows.reserve(merged.size());
+  for (const auto& [key, agg] : merged) {
+    exec::GroupRow r;
+    r.key = key;
+    r.agg = agg;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace eidb::net

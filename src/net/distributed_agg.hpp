@@ -1,0 +1,42 @@
+// Scatter-gather distributed grouped aggregation (paper §II "scaling to
+// multiple billion record databases ... exploiting massive parallelism"
+// meets §IV's compressed-intermediate decision).
+//
+// Each node holds a horizontal partition; the coordinator (node 0):
+//   1. lets every node aggregate its partition locally (real kernels),
+//   2. receives each node's partial group rows over its link — serialized
+//      as int64 triples (key, count, sum) and shipped with the codec the
+//      compression advisor picks for that link,
+//   3. merges partials into the final grouping.
+// Local compute is measured on the host; wires are modeled (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/aggregate.hpp"
+#include "net/cluster.hpp"
+#include "opt/compression_advisor.hpp"
+
+namespace eidb::net {
+
+struct DistributedAggReport {
+  double local_compute_s = 0;    ///< Max over nodes (they run in parallel).
+  double exchange_s = 0;         ///< Sum of partial-shipping times.
+  double wire_bytes = 0;
+  double wire_energy_j = 0;
+  double cpu_energy_j = 0;       ///< Codec CPU energy (modeled).
+  std::vector<storage::CodecKind> codec_per_node;  ///< index 1..n-1.
+};
+
+/// Grouped count+sum over partitions resident on the cluster's nodes.
+/// `objective` drives the per-link codec decision. Partition i lives on
+/// node i; node 0 is the coordinator (its partition is merged locally).
+[[nodiscard]] std::vector<exec::GroupRow> distributed_group_aggregate(
+    Cluster& cluster,
+    const std::vector<std::span<const std::int64_t>>& partition_keys,
+    const std::vector<std::span<const std::int64_t>>& partition_values,
+    opt::Objective objective, DistributedAggReport& report);
+
+}  // namespace eidb::net

@@ -1,0 +1,69 @@
+// Compress-or-not advisor for intermediate shipping (experiment E2).
+//
+// Implements the paper's §IV decision verbatim: "an optimizer has to decide
+// about sending intermediate data in a compressed or uncompressed format to
+// other nodes or even sockets on the same board ... the optimizer has to
+// decide on a case-by-case basis." The advisor profiles codecs on a sample
+// of the payload (real compression ratios, modeled or measured CPU cost)
+// and picks the arm minimizing time or energy for the given link.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/interconnect.hpp"
+#include "hw/machine.hpp"
+#include "storage/int_codec.hpp"
+
+namespace eidb::opt {
+
+enum class Objective : std::uint8_t { kTime, kEnergy };
+
+[[nodiscard]] std::string objective_name(Objective o);
+
+/// Profiled behaviour of one codec on (a sample of) the payload.
+struct CodecProfile {
+  storage::CodecKind kind = storage::CodecKind::kPlain;
+  double ratio = 1.0;             ///< raw bytes / compressed bytes.
+  double cycles_per_value = 0.0;  ///< encode+decode.
+};
+
+/// Predicted cost of one exchange arm.
+struct ExchangeEstimate {
+  storage::CodecKind kind = storage::CodecKind::kPlain;
+  double time_s = 0;
+  double energy_j = 0;
+};
+
+class CompressionAdvisor {
+ public:
+  explicit CompressionAdvisor(hw::MachineSpec machine)
+      : machine_(std::move(machine)) {}
+
+  /// Profiles all codecs on up to `sample_values` values of `payload`
+  /// (ratios are real; CPU cost from codec nominal figures).
+  [[nodiscard]] std::vector<CodecProfile> profile(
+      std::span<const std::int64_t> payload,
+      std::size_t sample_values = 4096) const;
+
+  /// Predicts (time, energy) of shipping `total_values` int64s with the
+  /// profiled codec over `link` at P-state `state`.
+  [[nodiscard]] ExchangeEstimate estimate(const CodecProfile& profile,
+                                          std::uint64_t total_values,
+                                          const hw::LinkSpec& link,
+                                          const hw::DvfsState& state) const;
+
+  /// Best codec for the payload/link under `objective`.
+  [[nodiscard]] ExchangeEstimate advise(std::span<const std::int64_t> payload,
+                                        std::uint64_t total_values,
+                                        const hw::LinkSpec& link,
+                                        const hw::DvfsState& state,
+                                        Objective objective) const;
+
+ private:
+  hw::MachineSpec machine_;
+};
+
+}  // namespace eidb::opt

@@ -1,0 +1,167 @@
+#include "opt/cost_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "exec/aggregate.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::opt {
+
+double CostModel::scan_cycles_per_tuple(exec::ScanVariant v,
+                                        double sel) const {
+  EIDB_EXPECTS(sel >= 0.0 && sel <= 1.0);
+  switch (v) {
+    case exec::ScanVariant::kBranching:
+      // Flip probability of the selection branch on random data.
+      return costs_.branch_base +
+             costs_.branch_miss_penalty * 2.0 * sel * (1.0 - sel);
+    case exec::ScanVariant::kPredicated:
+      return costs_.predicated;
+    case exec::ScanVariant::kAvx2:
+      return costs_.avx2;
+    case exec::ScanVariant::kAvx512:
+      return costs_.avx512;
+    case exec::ScanVariant::kAuto:
+      return scan_cycles_per_tuple(pick_scan_variant(sel), sel);
+  }
+  return costs_.predicated;
+}
+
+exec::ScanVariant CostModel::pick_scan_variant(double sel, bool has_avx2,
+                                               bool has_avx512) const {
+  exec::ScanVariant best = exec::ScanVariant::kBranching;
+  double best_cost = scan_cycles_per_tuple(best, sel);
+  const auto consider = [&](exec::ScanVariant v) {
+    const double c = scan_cycles_per_tuple(v, sel);
+    if (c < best_cost) {
+      best = v;
+      best_cost = c;
+    }
+  };
+  consider(exec::ScanVariant::kPredicated);
+  if (has_avx2) consider(exec::ScanVariant::kAvx2);
+  if (has_avx512) consider(exec::ScanVariant::kAvx512);
+  return best;
+}
+
+exec::ScanVariant CostModel::pick_scan_variant(double sel) const {
+  return pick_scan_variant(sel, exec::cpu_has_avx2(), exec::cpu_has_avx512());
+}
+
+hw::Work CostModel::scan_work(exec::ScanVariant v, std::uint64_t rows,
+                              double sel, double bytes_per_tuple) const {
+  return {scan_cycles_per_tuple(v, sel) * static_cast<double>(rows),
+          bytes_per_tuple * static_cast<double>(rows)};
+}
+
+hw::Work CostModel::agg_work(std::uint64_t rows,
+                             double bytes_per_tuple) const {
+  return {costs_.agg_per_tuple * static_cast<double>(rows),
+          bytes_per_tuple * static_cast<double>(rows)};
+}
+
+hw::Work CostModel::group_work(std::uint64_t rows, bool dense,
+                               double bytes_per_tuple) const {
+  const double cpt =
+      dense ? costs_.group_dense_per_tuple : costs_.group_hash_per_tuple;
+  return {cpt * static_cast<double>(rows),
+          bytes_per_tuple * static_cast<double>(rows)};
+}
+
+hw::Work CostModel::join_work(std::uint64_t build_rows,
+                              std::uint64_t probe_rows,
+                              double bytes_per_tuple) const {
+  return {costs_.join_build_per_tuple * static_cast<double>(build_rows) +
+              costs_.join_probe_per_tuple * static_cast<double>(probe_rows),
+          bytes_per_tuple * static_cast<double>(build_rows + probe_rows)};
+}
+
+namespace {
+
+/// Measures cycles/tuple of one kernel invocation via wall time and the
+/// host's nominal frequency (adequate for *relative* calibration).
+template <typename Fn>
+double measure_cycles_per_tuple(std::size_t rows, double nominal_ghz,
+                                Fn&& fn) {
+  Stopwatch sw;
+  fn();
+  const double s = sw.elapsed_seconds();
+  return s * nominal_ghz * 1e9 / static_cast<double>(rows);
+}
+
+}  // namespace
+
+CostModel CostModel::calibrate(std::size_t sample_rows) {
+  EIDB_EXPECTS(sample_rows >= 1024);
+  // Host nominal frequency is unknown without cpuid gymnastics; relative
+  // constants are what matter, so a fixed 2.5 GHz reference is used.
+  constexpr double kRefGhz = 2.5;
+
+  Pcg32 rng(12345);
+  std::vector<std::int32_t> data(sample_rows);
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.next_bounded(10000));
+  std::vector<std::uint32_t> idx(sample_rows);
+  BitVector bitmap(sample_rows);
+
+  KernelCosts costs;  // start from defaults, overwrite what we measure
+
+  // Predicated at 50% selectivity (selectivity-independent by design).
+  costs.predicated = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+    (void)exec::scan_predicated(data, 0, 4999, idx.data());
+  });
+
+  // Branching at ~0% and 50%: solve base + penalty from the two points.
+  const double b0 = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+    (void)exec::scan_branching(data, -2, -1, idx.data());
+  });
+  const double b50 = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+    (void)exec::scan_branching(data, 0, 4999, idx.data());
+  });
+  costs.branch_base = std::max(0.2, b0);
+  costs.branch_miss_penalty = std::max(1.0, (b50 - b0) / 0.5);
+
+  if (exec::cpu_has_avx2())
+    costs.avx2 = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+      exec::scan_bitmap_avx2(data, 0, 4999, bitmap);
+    });
+  if (exec::cpu_has_avx512())
+    costs.avx512 = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+      exec::scan_bitmap_avx512(data, 0, 4999, bitmap);
+    });
+  costs.scalar_bitmap = measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+    exec::scan_bitmap_scalar(data, 0, 4999, bitmap);
+  });
+
+  // Aggregation over a 50%-selective bitmap (the executor's actual path:
+  // word-walking the selection), and dense grouped aggregation.
+  std::vector<std::int64_t> values64(sample_rows);
+  for (std::size_t i = 0; i < sample_rows; ++i) values64[i] = data[i];
+  exec::scan_bitmap_scalar(data, 0, 4999, bitmap);
+  // measure_cycles_per_tuple divides by all rows, but only ~50% are
+  // selected and the model charges per *selected* tuple: scale by 2.
+  costs.agg_per_tuple =
+      2.0 * measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+        (void)exec::aggregate_selected(values64, bitmap);
+      });
+  std::vector<std::int64_t> keys(sample_rows);
+  for (std::size_t i = 0; i < sample_rows; ++i) keys[i] = data[i] & 1023;
+  BitVector all(sample_rows);
+  all.set_all();
+  costs.group_dense_per_tuple =
+      measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+        (void)exec::group_aggregate(keys, values64, all,
+                                    exec::GroupStrategy::kDenseArray);
+      });
+  costs.group_hash_per_tuple =
+      measure_cycles_per_tuple(sample_rows, kRefGhz, [&] {
+        (void)exec::group_aggregate(keys, values64, all,
+                                    exec::GroupStrategy::kHash);
+      });
+
+  return CostModel(costs);
+}
+
+}  // namespace eidb::opt

@@ -1,0 +1,83 @@
+// Calibrated time/energy cost model for operator variants.
+//
+// The optimizer's currency: cycles per tuple and bytes per tuple, turned
+// into seconds and joules through hw::MachineSpec. Constants default to
+// published per-kernel figures and can be *calibrated* on the host by
+// micro-measurement (`CostModel::calibrate()`), which is exactly how the
+// engine would adapt to new hardware — §IV.B's "operators have to quickly
+// adapt ... to changing hardware structures".
+#pragma once
+
+#include <cstdint>
+
+#include "exec/scan_kernels.hpp"
+#include "hw/machine.hpp"
+
+namespace eidb::opt {
+
+/// Cycles-per-tuple parameters for each kernel family.
+struct KernelCosts {
+  // Branching selection: base work plus misprediction penalty weighted by
+  // the per-tuple flip probability 2*sel*(1-sel) (random data).
+  double branch_base = 1.6;
+  double branch_miss_penalty = 16.0;
+  double predicated = 2.4;
+  double avx2 = 0.4;
+  double avx512 = 0.25;
+  double scalar_bitmap = 1.4;
+  double agg_per_tuple = 1.5;
+  double group_dense_per_tuple = 3.0;
+  double group_hash_per_tuple = 9.0;
+  double join_build_per_tuple = 12.0;
+  double join_probe_per_tuple = 10.0;
+  double materialize_per_value = 20.0;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(KernelCosts costs) : costs_(costs) {}
+
+  /// Library defaults (Sandy-Bridge-class constants).
+  [[nodiscard]] static CostModel defaults() { return CostModel{}; }
+
+  /// Micro-measures the scan kernels on this host and fits the constants.
+  /// `sample_rows` controls calibration cost (~ms at the default).
+  [[nodiscard]] static CostModel calibrate(std::size_t sample_rows = 1 << 20);
+
+  [[nodiscard]] const KernelCosts& costs() const { return costs_; }
+
+  /// Predicted cycles/tuple of an index-producing selection at selectivity
+  /// `sel` with variant `v` (kAuto resolves to the predicted-best).
+  [[nodiscard]] double scan_cycles_per_tuple(exec::ScanVariant v,
+                                             double sel) const;
+
+  /// Predicted-cheapest variant at selectivity `sel`, honoring the host ISA
+  /// (pass false to model a machine without SIMD).
+  [[nodiscard]] exec::ScanVariant pick_scan_variant(double sel, bool has_avx2,
+                                                    bool has_avx512) const;
+  [[nodiscard]] exec::ScanVariant pick_scan_variant(double sel) const;
+
+  /// Abstract work of scanning `rows` tuples of `bytes_per_tuple` with
+  /// variant `v` at selectivity `sel`.
+  [[nodiscard]] hw::Work scan_work(exec::ScanVariant v, std::uint64_t rows,
+                                   double sel, double bytes_per_tuple) const;
+
+  /// Work of aggregating `rows` selected tuples (plus value-column bytes).
+  [[nodiscard]] hw::Work agg_work(std::uint64_t rows,
+                                  double bytes_per_tuple) const;
+
+  /// Work of a grouped aggregation (dense or hash).
+  [[nodiscard]] hw::Work group_work(std::uint64_t rows, bool dense,
+                                    double bytes_per_tuple) const;
+
+  /// Work of a hash join.
+  [[nodiscard]] hw::Work join_work(std::uint64_t build_rows,
+                                   std::uint64_t probe_rows,
+                                   double bytes_per_tuple) const;
+
+ private:
+  KernelCosts costs_;
+};
+
+}  // namespace eidb::opt

@@ -1,0 +1,82 @@
+#include "opt/energy_optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::opt {
+
+std::vector<PlanPoint> EnergyOptimizer::enumerate(
+    const std::vector<PlanCandidate>& plans, int max_cores) const {
+  if (max_cores <= 0) max_cores = machine_.cores;
+  max_cores = std::min(max_cores, machine_.cores);
+  std::vector<PlanPoint> points;
+  points.reserve(plans.size() * machine_.dvfs.size() *
+                 static_cast<std::size_t>(max_cores));
+  for (const PlanCandidate& plan : plans) {
+    for (int cores = 1; cores <= max_cores; ++cores) {
+      for (const hw::DvfsState& s : machine_.dvfs.states()) {
+        const hw::Work per_core{plan.work.cpu_cycles / cores,
+                                plan.work.dram_bytes / cores};
+        PlanPoint p;
+        p.plan_name = plan.name;
+        p.state = s;
+        p.cores = cores;
+        p.time_s = machine_.exec_time_s(per_core, s, 1.0 / cores);
+        const double power_w =
+            accounting_ == Accounting::kFullPackage
+                ? machine_.package_power_w(s, cores)
+                : static_cast<double>(cores) *
+                      (s.active_power_w - machine_.core_idle_power_w);
+        p.energy_j =
+            power_w * p.time_s +
+            plan.work.dram_bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+        points.push_back(p);
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<PlanPoint> EnergyOptimizer::pareto(std::vector<PlanPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const PlanPoint& a, const PlanPoint& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.energy_j < b.energy_j;
+            });
+  std::vector<PlanPoint> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const PlanPoint& p : points) {
+    if (p.energy_j < best_energy) {
+      frontier.push_back(p);
+      best_energy = p.energy_j;
+    }
+  }
+  return frontier;
+}
+
+std::optional<PlanPoint> EnergyOptimizer::best_under_budget(
+    const std::vector<PlanCandidate>& plans, double budget_j,
+    int max_cores) const {
+  std::optional<PlanPoint> best;
+  for (const PlanPoint& p : enumerate(plans, max_cores)) {
+    if (p.energy_j > budget_j) continue;
+    if (!best || p.time_s < best->time_s ||
+        (p.time_s == best->time_s && p.energy_j < best->energy_j))
+      best = p;
+  }
+  return best;
+}
+
+PlanPoint EnergyOptimizer::min_energy_point(
+    const std::vector<PlanCandidate>& plans, int max_cores) const {
+  EIDB_EXPECTS(!plans.empty());
+  PlanPoint best;
+  best.energy_j = std::numeric_limits<double>::infinity();
+  for (const PlanPoint& p : enumerate(plans, max_cores))
+    if (p.energy_j < best.energy_j) best = p;
+  return best;
+}
+
+}  // namespace eidb::opt

@@ -1,0 +1,252 @@
+#include "opt/join_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::opt {
+
+JoinGraph JoinGraph::random(int tables, double extra_edge_ratio,
+                            std::uint64_t seed) {
+  EIDB_EXPECTS(tables >= 1);
+  Pcg32 rng(seed);
+  JoinGraph g;
+  g.table_rows.reserve(static_cast<std::size_t>(tables));
+  for (int t = 0; t < tables; ++t)
+    g.table_rows.push_back(std::pow(
+        10.0, 3.0 + 3.0 * rng.next_double()));  // 1e3 .. 1e6 rows
+  // Connected chain, then extra random edges.
+  for (int t = 1; t < tables; ++t)
+    g.edges.push_back({t - 1, t, std::pow(10.0, -2.0 - 3.0 * rng.next_double())});
+  const auto extra = static_cast<int>(extra_edge_ratio * tables);
+  for (int e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng.next_bounded(
+        static_cast<std::uint32_t>(tables)));
+    const int b = static_cast<int>(rng.next_bounded(
+        static_cast<std::uint32_t>(tables)));
+    if (a == b) continue;
+    g.edges.push_back({a, b, std::pow(10.0, -2.0 - 3.0 * rng.next_double())});
+  }
+  return g;
+}
+
+namespace {
+
+/// Selectivity between a set of already-joined tables and table `t`:
+/// product over all edges crossing the cut.
+double cut_selectivity(const JoinGraph& g, std::uint64_t joined_mask, int t) {
+  double sel = 1.0;
+  for (const JoinGraph::Edge& e : g.edges) {
+    const bool a_in = (joined_mask >> e.a) & 1;
+    const bool b_in = (joined_mask >> e.b) & 1;
+    if ((a_in && e.b == t) || (b_in && e.a == t)) sel *= e.selectivity;
+  }
+  return sel;
+}
+
+}  // namespace
+
+double order_cost(const JoinGraph& g, const std::vector<int>& order) {
+  EIDB_EXPECTS(!order.empty());
+  double cost = 0;
+  double card = g.table_rows[static_cast<std::size_t>(order[0])];
+  std::uint64_t mask = std::uint64_t{1} << order[0];
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const int t = order[i];
+    card = card * g.table_rows[static_cast<std::size_t>(t)] *
+           cut_selectivity(g, mask, t);
+    cost += card;  // C_out
+    mask |= std::uint64_t{1} << t;
+  }
+  return cost;
+}
+
+JoinOrderPlan optimize_dp(const JoinGraph& g) {
+  const int n = g.table_count();
+  EIDB_EXPECTS(n >= 1);
+  if (n > 20)
+    throw Error("DP join ordering infeasible beyond 20 tables (2^n states); "
+                "this failure mode is the paper's point — use greedy");
+
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 0;
+    int last = -1;
+    std::uint64_t prev_mask = 0;
+  };
+  // Left-deep DP over subsets.
+  std::vector<State> dp(std::size_t{1} << n);
+  for (int t = 0; t < n; ++t) {
+    State& s = dp[std::uint64_t{1} << t];
+    s.cost = 0;
+    s.card = g.table_rows[static_cast<std::size_t>(t)];
+    s.last = t;
+  }
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  for (std::uint64_t mask = 1; mask <= full; ++mask) {
+    const State& cur = dp[mask];
+    if (cur.cost == std::numeric_limits<double>::infinity()) continue;
+    for (int t = 0; t < n; ++t) {
+      if ((mask >> t) & 1) continue;
+      const double new_card = cur.card *
+                              g.table_rows[static_cast<std::size_t>(t)] *
+                              cut_selectivity(g, mask, t);
+      const double new_cost = cur.cost + new_card;
+      State& nxt = dp[mask | (std::uint64_t{1} << t)];
+      if (new_cost < nxt.cost) {
+        nxt.cost = new_cost;
+        nxt.card = new_card;
+        nxt.last = t;
+        nxt.prev_mask = mask;
+      }
+    }
+  }
+  // Reconstruct.
+  JoinOrderPlan plan;
+  plan.algorithm = "dp";
+  plan.cost = dp[full].cost;
+  std::vector<int> reversed;
+  std::uint64_t mask = full;
+  while (mask != 0) {
+    const State& s = dp[mask];
+    reversed.push_back(s.last);
+    mask = s.prev_mask;
+  }
+  plan.order.assign(reversed.rbegin(), reversed.rend());
+  return plan;
+}
+
+JoinOrderPlan optimize_greedy(const JoinGraph& g) {
+  const int n = g.table_count();
+  EIDB_EXPECTS(n >= 1);
+  JoinOrderPlan plan;
+  plan.algorithm = "greedy";
+  if (n == 1) {
+    plan.order = {0};
+    return plan;
+  }
+
+  constexpr double kCardCap = 1e300;
+
+  // Union-find over components.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) parent[static_cast<std::size_t>(t)] = t;
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  // Per-component state: cardinality, neighbor->selectivity product,
+  // version for lazy heap invalidation.
+  std::vector<double> card(g.table_rows);
+  std::vector<std::unordered_map<int, double>> nbr(
+      static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> version(static_cast<std::size_t>(n), 0);
+  for (const JoinGraph::Edge& e : g.edges) {
+    if (e.a == e.b) continue;
+    auto& ma = nbr[static_cast<std::size_t>(e.a)][e.b];
+    ma = (ma == 0 ? 1.0 : ma) * e.selectivity;
+    auto& mb = nbr[static_cast<std::size_t>(e.b)][e.a];
+    mb = (mb == 0 ? 1.0 : mb) * e.selectivity;
+  }
+
+  struct Candidate {
+    double cost;
+    int a, b;
+    std::uint64_t va, vb;
+    bool operator>(const Candidate& o) const { return cost > o.cost; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
+  const auto push_candidate = [&](int a, int b, double sel) {
+    const double c = std::min(
+        kCardCap, card[static_cast<std::size_t>(a)] *
+                      card[static_cast<std::size_t>(b)] * sel);
+    heap.push({c, a, b, version[static_cast<std::size_t>(a)],
+               version[static_cast<std::size_t>(b)]});
+  };
+  for (int t = 0; t < n; ++t)
+    for (const auto& [other, sel] : nbr[static_cast<std::size_t>(t)])
+      if (t < other) push_candidate(t, other, sel);
+
+  int components = n;
+  while (components > 1) {
+    int a = -1, b = -1;
+    double merge_card = kCardCap;
+    // Pop until a live candidate surfaces.
+    while (!heap.empty()) {
+      const Candidate c = heap.top();
+      heap.pop();
+      const int ra = find(c.a), rb = find(c.b);
+      if (ra == rb) continue;  // already merged
+      if (c.va != version[static_cast<std::size_t>(c.a)] ||
+          c.vb != version[static_cast<std::size_t>(c.b)])
+        continue;  // stale cardinality
+      a = ra;
+      b = rb;
+      merge_card = c.cost;
+      break;
+    }
+    if (a < 0) {
+      // Disconnected graph: cross-product the two cheapest components.
+      double c1 = kCardCap, c2 = kCardCap;
+      for (int t = 0; t < n; ++t) {
+        if (find(t) != t) continue;
+        const double ct = card[static_cast<std::size_t>(t)];
+        if (ct < c1) {
+          c2 = c1;
+          b = a;
+          c1 = ct;
+          a = t;
+        } else if (ct < c2) {
+          c2 = ct;
+          b = t;
+        }
+      }
+      EIDB_ASSERT(a >= 0 && b >= 0 && a != b);
+      merge_card = std::min(kCardCap, c1 * c2);
+    }
+
+    // Merge b into a (keep a as representative; swap for smaller map).
+    if (nbr[static_cast<std::size_t>(a)].size() <
+        nbr[static_cast<std::size_t>(b)].size())
+      std::swap(a, b);
+    plan.merges.push_back({a, b});
+    plan.cost = std::min(kCardCap, plan.cost + merge_card);
+    parent[static_cast<std::size_t>(b)] = a;
+    card[static_cast<std::size_t>(a)] = merge_card;
+    ++version[static_cast<std::size_t>(a)];
+    ++version[static_cast<std::size_t>(b)];  // b's cardinality is now dead
+    // Fold b's neighbor selectivities into a's.
+    for (const auto& [other_raw, sel] : nbr[static_cast<std::size_t>(b)]) {
+      const int other = find(other_raw);
+      if (other == a) continue;
+      auto& slot = nbr[static_cast<std::size_t>(a)][other];
+      slot = (slot == 0 ? 1.0 : slot) * sel;
+    }
+    nbr[static_cast<std::size_t>(b)].clear();
+    // Refresh candidates from a to its (live) neighbors.
+    std::unordered_map<int, double> compacted;
+    for (const auto& [other_raw, sel] : nbr[static_cast<std::size_t>(a)]) {
+      const int other = find(other_raw);
+      if (other == a) continue;
+      auto& slot = compacted[other];
+      slot = (slot == 0 ? 1.0 : slot) * sel;
+    }
+    nbr[static_cast<std::size_t>(a)] = std::move(compacted);
+    for (const auto& [other, sel] : nbr[static_cast<std::size_t>(a)])
+      push_candidate(a, other, sel);
+    --components;
+  }
+  return plan;
+}
+
+}  // namespace eidb::opt

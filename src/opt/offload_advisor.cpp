@@ -1,0 +1,55 @@
+#include "opt/offload_advisor.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::opt {
+
+PlacementEstimate OffloadAdvisor::advise(double cpu_seconds, double bytes_in,
+                                         double bytes_out,
+                                         const hw::DvfsState& state,
+                                         Objective objective) const {
+  EIDB_EXPECTS(cpu_seconds >= 0 && bytes_in >= 0 && bytes_out >= 0);
+  PlacementEstimate e;
+  e.cpu_time_s = cpu_seconds;
+  e.cpu_energy_j =
+      (state.active_power_w - machine_.core_idle_power_w) * cpu_seconds +
+      (bytes_in + bytes_out) * machine_.dram_energy_nj_per_byte * 1e-9;
+  e.xpu_time_s = xpu_.offload_time_s(cpu_seconds, bytes_in, bytes_out);
+  // Device energy + the CPU core babysitting the transfer (idle-ish).
+  e.xpu_energy_j = xpu_.offload_energy_j(cpu_seconds, bytes_in, bytes_out) +
+                   (bytes_in + bytes_out) *
+                       machine_.dram_energy_nj_per_byte * 1e-9;
+  e.offload = objective == Objective::kTime
+                  ? e.xpu_time_s < e.cpu_time_s
+                  : e.xpu_energy_j < e.cpu_energy_j;
+  return e;
+}
+
+double OffloadAdvisor::break_even_bytes(double cpu_seconds_per_byte,
+                                        double output_ratio,
+                                        const hw::DvfsState& state,
+                                        Objective objective) const {
+  EIDB_EXPECTS(cpu_seconds_per_byte > 0);
+  EIDB_EXPECTS(output_ratio >= 0);
+  // Binary search over input size; costs are monotone in bytes.
+  double lo = 1, hi = 1e15;
+  const auto offload_wins = [&](double bytes) {
+    return advise(cpu_seconds_per_byte * bytes, bytes, bytes * output_ratio,
+                  state, objective)
+        .offload;
+  };
+  if (!offload_wins(hi)) return std::numeric_limits<double>::infinity();
+  if (offload_wins(lo)) return lo;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (offload_wins(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace eidb::opt

@@ -1,0 +1,62 @@
+// CPU-vs-accelerator placement decision (paper §III/§IV.B).
+//
+// Given an operator's single-core CPU time and its input/output volumes,
+// decide whether shipping it to the co-processor pays off — in time or in
+// energy. Data transfer amortization produces the classic break-even input
+// size; below it the CPU wins ("only a limited number of operators show
+// significant benefit", §III).
+#pragma once
+
+#include <string>
+
+#include "hw/accelerator.hpp"
+#include "hw/machine.hpp"
+#include "opt/compression_advisor.hpp"  // Objective
+
+namespace eidb::opt {
+
+/// One placement alternative, fully costed.
+struct PlacementEstimate {
+  bool offload = false;
+  double cpu_time_s = 0;
+  double cpu_energy_j = 0;
+  double xpu_time_s = 0;
+  double xpu_energy_j = 0;
+
+  [[nodiscard]] double chosen_time_s() const {
+    return offload ? xpu_time_s : cpu_time_s;
+  }
+  [[nodiscard]] double chosen_energy_j() const {
+    return offload ? xpu_energy_j : cpu_energy_j;
+  }
+};
+
+class OffloadAdvisor {
+ public:
+  OffloadAdvisor(hw::MachineSpec machine, hw::AcceleratorSpec accelerator)
+      : machine_(std::move(machine)), xpu_(std::move(accelerator)) {}
+
+  /// Costs both placements for an operator that takes `cpu_seconds` on one
+  /// CPU core at P-state `state`, reading `bytes_in` and writing
+  /// `bytes_out`, and picks per `objective`.
+  [[nodiscard]] PlacementEstimate advise(double cpu_seconds, double bytes_in,
+                                         double bytes_out,
+                                         const hw::DvfsState& state,
+                                         Objective objective) const;
+
+  /// Smallest input size (bytes, work scaling linearly at
+  /// `cpu_seconds_per_byte`) for which offload wins under `objective`.
+  /// Returns infinity when the device never wins.
+  [[nodiscard]] double break_even_bytes(double cpu_seconds_per_byte,
+                                        double output_ratio,
+                                        const hw::DvfsState& state,
+                                        Objective objective) const;
+
+  [[nodiscard]] const hw::AcceleratorSpec& accelerator() const { return xpu_; }
+
+ private:
+  hw::MachineSpec machine_;
+  hw::AcceleratorSpec xpu_;
+};
+
+}  // namespace eidb::opt

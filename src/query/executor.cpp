@@ -1,0 +1,715 @@
+#include "query/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "exec/aggregate.hpp"
+#include "exec/join.hpp"
+#include "exec/parallel.hpp"
+#include "exec/sort.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::query {
+
+using storage::Column;
+using storage::Table;
+using storage::TypeId;
+
+namespace {
+
+// Rough cycles/tuple used for abstract-work attribution (the planner's
+// calibrated model lives in src/opt/cost_model).
+constexpr double kScanCyclesPerTuple = 1.0;
+constexpr double kAggCyclesPerTuple = 1.5;
+constexpr double kGroupCyclesPerTuple = 6.0;
+constexpr double kJoinBuildCyclesPerTuple = 12.0;
+constexpr double kJoinProbeCyclesPerTuple = 10.0;
+constexpr double kMaterializeCyclesPerValue = 20.0;
+
+void time_operator(ExecStats& stats, const std::string& name,
+                   const Stopwatch& sw) {
+  stats.operator_seconds.emplace_back(name, sw.elapsed_seconds());
+}
+
+std::int64_t column_int_at(const Column& c, std::size_t i) {
+  switch (c.type()) {
+    case TypeId::kInt32:
+      return c.int32_data()[i];
+    case TypeId::kString:
+      return c.codes()[i];
+    case TypeId::kInt64:
+      return c.int64_data()[i];
+    case TypeId::kDouble:
+      break;
+  }
+  throw Error("column " + c.name() + " is not integer-typed");
+}
+
+}  // namespace
+
+Executor::BoundRange Executor::bind_predicate(const Column& column,
+                                              const Predicate& p) {
+  BoundRange r;
+  switch (column.type()) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      r.lo = p.lo.as_int();
+      r.hi = p.hi.as_int();
+      r.empty = r.lo > r.hi;
+      return r;
+    case TypeId::kDouble:
+      r.is_double = true;
+      r.dlo = p.lo.as_double();
+      r.dhi = p.hi.as_double();
+      r.empty = r.dlo > r.dhi;
+      return r;
+    case TypeId::kString: {
+      if (!p.lo.is_string() || !p.hi.is_string())
+        throw Error("string column " + column.name() +
+                    " requires string bounds");
+      const storage::Dictionary& dict = column.dictionary();
+      // Inclusive string range [lo, hi] -> inclusive code range.
+      r.lo = dict.lower_bound(p.lo.as_string());
+      r.hi = dict.upper_bound(p.hi.as_string()) - 1;
+      r.empty = r.lo > r.hi;
+      return r;
+    }
+  }
+  throw Error("invalid column type");
+}
+
+void Executor::charge_column_access(const std::string& table,
+                                    const Column& column, ExecStats& stats,
+                                    const ExecOptions& options) const {
+  stats.work.dram_bytes += static_cast<double>(column.byte_size());
+  if (options.tiers != nullptr) {
+    const auto penalty = options.tiers->access(table, column.name());
+    stats.cold_tier_time_s += penalty.time_s;
+    stats.cold_tier_energy_j += penalty.energy_j;
+  }
+}
+
+void Executor::apply_predicate(const Table& table, const Predicate& p,
+                               BitVector& selection, ExecStats& stats,
+                               const ExecOptions& options) {
+  const Column& column = table.column(p.column);
+  const BoundRange r = bind_predicate(column, p);
+  const std::size_t n = column.size();
+  stats.tuples_scanned += n;
+  stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(n);
+  charge_column_access(table.name(), column, stats, options);
+
+  BitVector match(n);
+  if (r.empty) {
+    selection.clear_all();
+    return;
+  }
+
+  if (r.is_double) {
+    exec::scan_bitmap_double(column.double_data(), r.dlo, r.dhi, match);
+  } else if (options.use_zone_maps && column.type() != TypeId::kDouble) {
+    // Pruned scan: only candidate blocks are touched. The zone map itself
+    // is built once per (table, column) and cached. Work is re-estimated
+    // to the touched fraction.
+    const storage::ZoneMap& zm = table.zone_map(
+        table.schema().index_of(p.column), options.zone_block_rows);
+    const auto ranges = zm.candidate_ranges(r.lo, r.hi, n);
+    std::size_t touched = 0;
+    const auto scan_range = [&](auto data) {
+      for (const auto& range : ranges) {
+        touched += range.end - range.begin;
+        for (std::size_t i = range.begin; i < range.end; ++i)
+          if (data[i] >= r.lo && data[i] <= r.hi) match.set(i);
+      }
+    };
+    if (column.type() == TypeId::kInt64)
+      scan_range(column.int64_data());
+    else
+      scan_range(column.int32_data());
+    // Credit back the untouched bytes/cycles of the full-scan estimate.
+    const double skipped = static_cast<double>(n - touched);
+    stats.work.cpu_cycles -= kScanCyclesPerTuple * skipped;
+    stats.work.dram_bytes -= skipped * storage::physical_size(column.type());
+  } else {
+    const auto lo32 = [&] {
+      return static_cast<std::int32_t>(std::clamp<std::int64_t>(
+          r.lo, std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()));
+    };
+    const auto hi32 = [&] {
+      return static_cast<std::int32_t>(std::clamp<std::int64_t>(
+          r.hi, std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()));
+    };
+    switch (options.scan_variant) {
+      case exec::ScanVariant::kBranching:
+      case exec::ScanVariant::kPredicated: {
+        // Index kernels, converted to a bitmap (kept for experiment parity).
+        std::vector<std::uint32_t> idx(n);
+        std::size_t k = 0;
+        if (column.type() == TypeId::kInt64) {
+          k = options.scan_variant == exec::ScanVariant::kBranching
+                  ? exec::scan_branching64(column.int64_data(), r.lo, r.hi,
+                                           idx.data())
+                  : exec::scan_predicated64(column.int64_data(), r.lo, r.hi,
+                                            idx.data());
+        } else {
+          k = options.scan_variant == exec::ScanVariant::kBranching
+                  ? exec::scan_branching(column.int32_data(), lo32(), hi32(),
+                                         idx.data())
+                  : exec::scan_predicated(column.int32_data(), lo32(), hi32(),
+                                          idx.data());
+        }
+        for (std::size_t j = 0; j < k; ++j) match.set(idx[j]);
+        break;
+      }
+      case exec::ScanVariant::kAvx2:
+        if (column.type() == TypeId::kInt64)
+          exec::scan_bitmap_avx2_64(column.int64_data(), r.lo, r.hi, match);
+        else
+          exec::scan_bitmap_avx2(column.int32_data(), lo32(), hi32(), match);
+        break;
+      case exec::ScanVariant::kAvx512:
+        if (column.type() == TypeId::kInt64)
+          exec::scan_bitmap_avx512_64(column.int64_data(), r.lo, r.hi, match);
+        else
+          exec::scan_bitmap_avx512(column.int32_data(), lo32(), hi32(), match);
+        break;
+      case exec::ScanVariant::kAuto:
+        if (options.pool != nullptr) {
+          if (column.type() == TypeId::kInt64)
+            exec::parallel_scan_bitmap64(*options.pool, column.int64_data(),
+                                         r.lo, r.hi, match);
+          else
+            exec::parallel_scan_bitmap32(*options.pool, column.int32_data(),
+                                         lo32(), hi32(), match);
+        } else if (column.type() == TypeId::kInt64) {
+          exec::scan_bitmap_best64(column.int64_data(), r.lo, r.hi, match);
+        } else {
+          exec::scan_bitmap_best(column.int32_data(), lo32(), hi32(), match);
+        }
+        break;
+    }
+  }
+  selection &= match;
+}
+
+BitVector Executor::evaluate_predicates(const Table& table,
+                                        const std::vector<Predicate>& preds,
+                                        ExecStats& stats,
+                                        const ExecOptions& options) {
+  BitVector selection(table.row_count());
+  selection.set_all();
+  for (const Predicate& p : preds)
+    apply_predicate(table, p, selection, stats, options);
+  return selection;
+}
+
+QueryResult Executor::execute(const LogicalPlan& plan, ExecStats& stats,
+                              const ExecOptions& options) {
+  const Table& table = catalog_.get(plan.table);
+  if (!table.complete()) throw Error("table not fully loaded: " + plan.table);
+
+  Stopwatch total;
+  Stopwatch sw;
+  BitVector selection =
+      evaluate_predicates(table, plan.predicates, stats, options);
+  // With no predicates the downstream operators still read every row.
+  if (plan.predicates.empty()) stats.tuples_scanned += table.row_count();
+  stats.tuples_selected = selection.count();
+  time_operator(stats, "scan+filter(" + plan.table + ")", sw);
+
+  QueryResult result;
+  if (plan.join.has_value()) {
+    result = run_join(plan, table, selection, stats, options);
+  } else if (plan.is_aggregate()) {
+    result = run_aggregate(plan, table, selection, stats, options);
+  } else {
+    result = run_projection(plan, table, selection, stats, options);
+  }
+  stats.elapsed_s = total.elapsed_seconds();
+  return result;
+}
+
+namespace {
+
+/// Accumulates one aggregate over an index stream.
+struct Accumulator {
+  AggOp op;
+  bool is_double = false;
+  std::uint64_t count = 0;
+  std::int64_t isum = 0;
+  std::int64_t imin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t imax = std::numeric_limits<std::int64_t>::min();
+  double dsum = 0;
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+
+  void add_int(std::int64_t v) {
+    ++count;
+    isum += v;
+    imin = std::min(imin, v);
+    imax = std::max(imax, v);
+  }
+  void add_double(double v) {
+    ++count;
+    dsum += v;
+    dmin = std::min(dmin, v);
+    dmax = std::max(dmax, v);
+  }
+  [[nodiscard]] storage::Value value() const {
+    switch (op) {
+      case AggOp::kCount:
+        return storage::Value{static_cast<std::int64_t>(count)};
+      case AggOp::kSum:
+        return is_double ? storage::Value{dsum} : storage::Value{isum};
+      case AggOp::kMin:
+        if (count == 0) return storage::Value{std::int64_t{0}};
+        return is_double ? storage::Value{dmin} : storage::Value{imin};
+      case AggOp::kMax:
+        if (count == 0) return storage::Value{std::int64_t{0}};
+        return is_double ? storage::Value{dmax} : storage::Value{imax};
+      case AggOp::kAvg: {
+        if (count == 0) return storage::Value{0.0};
+        const double sum = is_double ? dsum : static_cast<double>(isum);
+        return storage::Value{sum / static_cast<double>(count)};
+      }
+    }
+    return {};
+  }
+};
+
+std::string agg_column_name(const AggSpec& a) {
+  if (a.op == AggOp::kCount) return "count";
+  return agg_name(a.op) + "(" + (a.expr ? a.expr->to_string() : a.column) +
+         ")";
+}
+
+}  // namespace
+
+QueryResult Executor::run_aggregate(const LogicalPlan& plan,
+                                    const Table& table,
+                                    const BitVector& selection,
+                                    ExecStats& stats,
+                                    const ExecOptions& options) {
+  Stopwatch sw;
+  const std::uint64_t selected = selection.count();
+
+  if (!plan.has_group_by()) {
+    // Global aggregates.
+    std::vector<std::string> names;
+    names.reserve(plan.aggregates.size());
+    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+    QueryResult result(std::move(names));
+    std::vector<storage::Value> row;
+    for (const AggSpec& a : plan.aggregates) {
+      Accumulator acc{a.op};
+      if (a.op == AggOp::kCount) {
+        acc.count = selected;
+      } else if (a.expr != nullptr) {
+        std::vector<std::string> referenced;
+        a.expr->collect_columns(referenced);
+        for (const std::string& name : referenced)
+          charge_column_access(table.name(), table.column(name), stats,
+                               options);
+        std::vector<double> evaluated;
+        exec::evaluate_expression(*a.expr, table, evaluated);
+        acc.is_double = true;
+        selection.for_each_set(
+            [&](std::size_t i) { acc.add_double(evaluated[i]); });
+      } else {
+        const Column& c = table.column(a.column);
+        charge_column_access(table.name(), c, stats, options);
+        if (c.type() == TypeId::kDouble) {
+          acc.is_double = true;
+          const auto data = c.double_data();
+          selection.for_each_set(
+              [&](std::size_t i) { acc.add_double(data[i]); });
+        } else {
+          selection.for_each_set(
+              [&](std::size_t i) { acc.add_int(column_int_at(c, i)); });
+        }
+      }
+      row.push_back(acc.value());
+      stats.work.cpu_cycles +=
+          kAggCyclesPerTuple * static_cast<double>(selected);
+    }
+    result.add_row(std::move(row));
+    stats.groups = 1;
+    time_operator(stats, "aggregate", sw);
+    return result;
+  }
+
+  // Grouped aggregation over one or more key columns (int32 / int64 /
+  // string codes). A composite non-negative int64 key is synthesized from
+  // the columns' value ranges (stride layout), so every grouping runs on
+  // the int64 kernels and decodes back to column values for output.
+  struct GroupKeyPart {
+    const Column* col;
+    std::int64_t min = 0;
+    std::int64_t domain = 1;  // max - min + 1
+    std::int64_t stride = 1;
+  };
+  std::vector<GroupKeyPart> parts;
+  const std::size_t n_rows = table.row_count();
+  for (const std::string& name : plan.group_by) {
+    const Column& col = table.column(name);
+    charge_column_access(table.name(), col, stats, options);
+    if (col.type() == TypeId::kDouble)
+      throw Error("cannot group by double column " + col.name());
+    GroupKeyPart part;
+    part.col = &col;
+    std::int64_t mn = 0, mx = 0;
+    if (n_rows > 0) {
+      if (col.type() == TypeId::kInt64) {
+        const auto data = col.int64_data();
+        mn = mx = data[0];
+        for (const std::int64_t v : data) {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+      } else {
+        const auto data = col.int32_data();  // int32 or string codes
+        mn = mx = data[0];
+        for (const std::int32_t v : data) {
+          mn = std::min<std::int64_t>(mn, v);
+          mx = std::max<std::int64_t>(mx, v);
+        }
+      }
+    }
+    part.min = mn;
+    part.domain = mx - mn + 1;
+    parts.push_back(part);
+  }
+  // Strides right-to-left; guard against composite-domain overflow.
+  std::int64_t total = 1;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    it->stride = total;
+    if (it->domain > (std::int64_t{1} << 62) / total)
+      throw Error("composite group-by domain too large");
+    total *= it->domain;
+  }
+  // Synthesize the composite keys.
+  std::vector<std::int64_t> synth(n_rows, 0);
+  for (const GroupKeyPart& part : parts) {
+    if (part.col->type() == TypeId::kInt64) {
+      const auto data = part.col->int64_data();
+      for (std::size_t i = 0; i < n_rows; ++i)
+        synth[i] += (data[i] - part.min) * part.stride;
+    } else {
+      const auto data = part.col->int32_data();
+      for (std::size_t i = 0; i < n_rows; ++i)
+        synth[i] += (data[i] - part.min) * part.stride;
+    }
+  }
+  const std::span<const std::int64_t> group_keys(synth);
+
+  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
+  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+  QueryResult result(std::move(names));
+
+  // Resolve each aggregate into per-key accumulation via the exec kernels.
+  // Strategy: for the first aggregate we compute the group layout (sorted
+  // keys); subsequent aggregates are joined by key order. To keep a single
+  // pass per aggregate we rely on group_aggregate* returning key-sorted rows.
+  struct GroupedOut {
+    std::vector<exec::GroupRow> irows;
+    std::vector<exec::GroupRowD> drows;
+    bool is_double = false;
+  };
+  std::vector<GroupedOut> per_agg(plan.aggregates.size());
+
+  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+    const AggSpec& a = plan.aggregates[ai];
+    GroupedOut& out = per_agg[ai];
+    if (a.expr != nullptr && a.op != AggOp::kCount) {
+      // Expression input: evaluate once, group as doubles.
+      std::vector<std::string> referenced;
+      a.expr->collect_columns(referenced);
+      for (const std::string& name : referenced)
+        charge_column_access(table.name(), table.column(name), stats,
+                             options);
+      std::vector<double> evaluated;
+      exec::evaluate_expression(*a.expr, table, evaluated);
+      out.is_double = true;
+      out.drows = exec::group_aggregate_d(group_keys, evaluated, selection);
+      stats.work.cpu_cycles +=
+          kGroupCyclesPerTuple * static_cast<double>(selected);
+      continue;
+    }
+    const std::string& value_col_name =
+        a.op == AggOp::kCount ? plan.group_by.front() : a.column;
+    const Column& val_col = table.column(value_col_name);
+    if (a.op != AggOp::kCount)
+      charge_column_access(table.name(), val_col, stats, options);
+    if (val_col.type() == TypeId::kDouble) {
+      out.is_double = true;
+      out.drows = exec::group_aggregate_d(group_keys, val_col.double_data(),
+                                          selection);
+    } else {
+      // Integer (or count over the synthesized key itself).
+      std::vector<std::int64_t> widened;
+      std::span<const std::int64_t> values;
+      if (a.op == AggOp::kCount) {
+        values = group_keys;  // any column works for counting
+      } else if (val_col.type() == TypeId::kInt64) {
+        values = val_col.int64_data();
+      } else {
+        widened.reserve(val_col.size());
+        for (std::size_t i = 0; i < val_col.size(); ++i)
+          widened.push_back(column_int_at(val_col, i));
+        values = widened;
+      }
+      out.irows = exec::group_aggregate(group_keys, values, selection);
+    }
+    stats.work.cpu_cycles +=
+        kGroupCyclesPerTuple * static_cast<double>(selected);
+  }
+
+  // All aggregates share the same key set; take it from the first.
+  std::vector<std::int64_t> keys;
+  if (!per_agg.empty()) {
+    if (per_agg[0].is_double)
+      for (const auto& r : per_agg[0].drows) keys.push_back(r.key);
+    else
+      for (const auto& r : per_agg[0].irows) keys.push_back(r.key);
+  }
+  stats.groups = keys.size();
+
+  for (std::size_t g = 0; g < keys.size(); ++g) {
+    std::vector<storage::Value> row;
+    row.reserve(parts.size() + plan.aggregates.size());
+    // Decode the composite key back into per-column values.
+    for (const GroupKeyPart& part : parts) {
+      const std::int64_t component =
+          (keys[g] / part.stride) % part.domain + part.min;
+      if (part.col->type() == TypeId::kString)
+        row.emplace_back(part.col->dictionary().at(
+            static_cast<std::int32_t>(component)));
+      else
+        row.emplace_back(component);
+    }
+    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+      const AggSpec& a = plan.aggregates[ai];
+      const GroupedOut& out = per_agg[ai];
+      if (out.is_double) {
+        const exec::AggResultD& r = out.drows[g].agg;
+        switch (a.op) {
+          case AggOp::kCount:
+            row.emplace_back(static_cast<std::int64_t>(r.count));
+            break;
+          case AggOp::kSum:
+            row.emplace_back(r.sum);
+            break;
+          case AggOp::kMin:
+            row.emplace_back(r.min);
+            break;
+          case AggOp::kMax:
+            row.emplace_back(r.max);
+            break;
+          case AggOp::kAvg:
+            row.emplace_back(r.avg());
+            break;
+        }
+      } else {
+        const exec::AggResult& r = out.irows[g].agg;
+        switch (a.op) {
+          case AggOp::kCount:
+            row.emplace_back(static_cast<std::int64_t>(r.count));
+            break;
+          case AggOp::kSum:
+            row.emplace_back(r.sum);
+            break;
+          case AggOp::kMin:
+            row.emplace_back(r.min);
+            break;
+          case AggOp::kMax:
+            row.emplace_back(r.max);
+            break;
+          case AggOp::kAvg:
+            row.emplace_back(r.avg());
+            break;
+        }
+      }
+    }
+    result.add_row(std::move(row));
+  }
+  time_operator(stats, "group-aggregate", sw);
+  return result;
+}
+
+QueryResult Executor::run_join(const LogicalPlan& plan, const Table& table,
+                               const BitVector& selection, ExecStats& stats,
+                               const ExecOptions& options) {
+  const JoinSpec& spec = *plan.join;
+  const Table& build_table = catalog_.get(spec.table);
+  if (!build_table.complete())
+    throw Error("table not fully loaded: " + spec.table);
+
+  Stopwatch sw;
+  BitVector build_sel =
+      evaluate_predicates(build_table, spec.predicates, stats, options);
+  time_operator(stats, "scan+filter(" + spec.table + ")", sw);
+
+  // Key columns (widened to int64 when needed).
+  const Column& probe_key = table.column(spec.left_key);
+  const Column& build_key = build_table.column(spec.right_key);
+  charge_column_access(table.name(), probe_key, stats, options);
+  charge_column_access(build_table.name(), build_key, stats, options);
+
+  auto widen = [](const Column& c) {
+    std::vector<std::int64_t> out;
+    out.reserve(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      out.push_back(column_int_at(c, i));
+    return out;
+  };
+  std::vector<std::int64_t> probe_keys_w, build_keys_w;
+  std::span<const std::int64_t> probe_keys, build_keys;
+  if (probe_key.type() == TypeId::kInt64) {
+    probe_keys = probe_key.int64_data();
+  } else {
+    probe_keys_w = widen(probe_key);
+    probe_keys = probe_keys_w;
+  }
+  if (build_key.type() == TypeId::kInt64) {
+    build_keys = build_key.int64_data();
+  } else {
+    build_keys_w = widen(build_key);
+    build_keys = build_keys_w;
+  }
+
+  sw.restart();
+  const std::vector<exec::JoinPair> pairs =
+      exec::hash_join(build_keys, build_sel, probe_keys, selection);
+  stats.join_pairs = pairs.size();
+  stats.work.cpu_cycles +=
+      kJoinBuildCyclesPerTuple * static_cast<double>(build_sel.count()) +
+      kJoinProbeCyclesPerTuple * static_cast<double>(selection.count());
+  time_operator(stats, "hash-join", sw);
+
+  sw.restart();
+  if (plan.is_aggregate()) {
+    // Aggregates over FROM-table columns, one contribution per join pair.
+    std::vector<std::string> names;
+    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+    QueryResult result(std::move(names));
+    std::vector<storage::Value> row;
+    for (const AggSpec& a : plan.aggregates) {
+      Accumulator acc{a.op};
+      if (a.expr != nullptr)
+        throw Error("expression aggregates are not supported with joins");
+      if (a.op == AggOp::kCount) {
+        acc.count = pairs.size();
+      } else {
+        const Column& c = table.column(a.column);
+        charge_column_access(table.name(), c, stats, options);
+        if (c.type() == TypeId::kDouble) {
+          acc.is_double = true;
+          const auto data = c.double_data();
+          for (const exec::JoinPair& p : pairs) acc.add_double(data[p.probe_row]);
+        } else {
+          for (const exec::JoinPair& p : pairs)
+            acc.add_int(column_int_at(c, p.probe_row));
+        }
+      }
+      row.push_back(acc.value());
+      stats.work.cpu_cycles +=
+          kAggCyclesPerTuple * static_cast<double>(pairs.size());
+    }
+    result.add_row(std::move(row));
+    stats.groups = 1;
+    time_operator(stats, "aggregate(join)", sw);
+    return result;
+  }
+
+  // Projection of join pairs: FROM-table columns plus build-side columns
+  // qualified as "table.column".
+  std::vector<std::string> proj = plan.projection;
+  if (proj.empty())
+    throw Error("join without aggregates requires an explicit select()");
+  QueryResult result(proj);
+  const std::size_t limit =
+      plan.limit == 0 ? pairs.size() : std::min(plan.limit, pairs.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    std::vector<storage::Value> row;
+    row.reserve(proj.size());
+    for (const std::string& name : proj) {
+      const auto dot = name.find('.');
+      if (dot != std::string::npos &&
+          name.substr(0, dot) == build_table.name()) {
+        row.push_back(
+            build_table.column(name.substr(dot + 1)).value_at(pairs[i].build_row));
+      } else {
+        row.push_back(table.column(name).value_at(pairs[i].probe_row));
+      }
+    }
+    result.add_row(std::move(row));
+    stats.work.cpu_cycles += kMaterializeCyclesPerValue *
+                             static_cast<double>(proj.size());
+  }
+  time_operator(stats, "materialize(join)", sw);
+  return result;
+}
+
+QueryResult Executor::run_projection(const LogicalPlan& plan,
+                                     const Table& table,
+                                     const BitVector& selection,
+                                     ExecStats& stats,
+                                     const ExecOptions& options) {
+  Stopwatch sw;
+  std::vector<std::string> proj = plan.projection;
+  if (proj.empty())
+    for (const auto& def : table.schema().columns()) proj.push_back(def.name);
+
+  // Ordering.
+  std::vector<std::uint32_t> order;
+  if (plan.order_by.has_value()) {
+    const Column& key = table.column(plan.order_by->column);
+    charge_column_access(table.name(), key, stats, options);
+    if (key.type() == TypeId::kDouble) {
+      order = exec::sort_indices_double(key.double_data(), selection,
+                                        plan.order_by->ascending);
+    } else if (key.type() == TypeId::kInt64) {
+      if (plan.limit != 0)
+        order = exec::top_n(key.int64_data(), selection, plan.limit,
+                            plan.order_by->ascending);
+      else
+        order = exec::sort_indices(key.int64_data(), selection,
+                                   plan.order_by->ascending);
+    } else {
+      std::vector<std::int64_t> widened;
+      widened.reserve(key.size());
+      for (std::size_t i = 0; i < key.size(); ++i)
+        widened.push_back(column_int_at(key, i));
+      order = plan.limit != 0
+                  ? exec::top_n(widened, selection, plan.limit,
+                                plan.order_by->ascending)
+                  : exec::sort_indices(widened, selection,
+                                       plan.order_by->ascending);
+    }
+  } else {
+    order = selection.to_indices();
+  }
+  if (plan.limit != 0 && order.size() > plan.limit) order.resize(plan.limit);
+
+  for (const std::string& name : proj)
+    charge_column_access(table.name(), table.column(name), stats, options);
+
+  QueryResult result(proj);
+  for (const std::uint32_t row_idx : order) {
+    std::vector<storage::Value> row;
+    row.reserve(proj.size());
+    for (const std::string& name : proj)
+      row.push_back(table.column(name).value_at(row_idx));
+    result.add_row(std::move(row));
+  }
+  stats.work.cpu_cycles += kMaterializeCyclesPerValue *
+                           static_cast<double>(order.size()) *
+                           static_cast<double>(proj.size());
+  time_operator(stats, "materialize", sw);
+  return result;
+}
+
+}  // namespace eidb::query

@@ -1,0 +1,89 @@
+// Physical execution of logical plans against a catalog.
+//
+// Column-at-a-time execution in the MonetDB style: predicates produce
+// selection bitmaps via the SIMD kernels, aggregation/join/sort consume
+// them. The executor also *meters* execution — every operator contributes
+// elapsed seconds and abstract hw::Work so the energy layer can attribute
+// joules (measured or modeled) to the query.
+#pragma once
+
+#include <string>
+
+#include "exec/scan_kernels.hpp"
+#include "query/plan.hpp"
+#include "sched/thread_pool.hpp"
+#include "query/result.hpp"
+#include "storage/table.hpp"
+#include "storage/tier.hpp"
+#include "storage/zonemap.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::query {
+
+struct ExecOptions {
+  /// Scan kernel choice; kAuto lets the adaptive dispatcher decide.
+  exec::ScanVariant scan_variant = exec::ScanVariant::kAuto;
+  /// Use per-block zone maps to prune scans (the E1 "better plan" arm).
+  bool use_zone_maps = false;
+  std::size_t zone_block_rows = 4096;
+  /// Optional tier manager: cold-column accesses are charged (E6).
+  storage::TierManager* tiers = nullptr;
+  /// Optional worker pool: predicate scans run morsel-parallel across it
+  /// (kAuto kernels only; explicit variant choices stay serial so the E3
+  /// bench measures exactly the requested kernel).
+  sched::ThreadPool* pool = nullptr;
+};
+
+class Executor {
+ public:
+  explicit Executor(const storage::Catalog& catalog) : catalog_(catalog) {}
+
+  /// Runs `plan`, filling `stats`. Throws eidb::Error on invalid plans
+  /// (unknown table/column, type mismatches).
+  [[nodiscard]] QueryResult execute(const LogicalPlan& plan, ExecStats& stats,
+                                    const ExecOptions& options = {});
+
+  /// Computes just the selection bitmap for a table + predicates
+  /// (exposed for tests and benches).
+  [[nodiscard]] BitVector evaluate_predicates(
+      const storage::Table& table, const std::vector<Predicate>& predicates,
+      ExecStats& stats, const ExecOptions& options);
+
+ private:
+  struct BoundRange {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    bool empty = false;
+    bool is_double = false;
+    double dlo = 0;
+    double dhi = 0;
+  };
+  [[nodiscard]] static BoundRange bind_predicate(const storage::Column& column,
+                                                 const Predicate& p);
+  void apply_predicate(const storage::Table& table, const Predicate& p,
+                       BitVector& selection, ExecStats& stats,
+                       const ExecOptions& options);
+  void charge_column_access(const std::string& table,
+                            const storage::Column& column, ExecStats& stats,
+                            const ExecOptions& options) const;
+
+  [[nodiscard]] QueryResult run_aggregate(const LogicalPlan& plan,
+                                          const storage::Table& table,
+                                          const BitVector& selection,
+                                          ExecStats& stats,
+                                          const ExecOptions& options);
+  [[nodiscard]] QueryResult run_join(const LogicalPlan& plan,
+                                     const storage::Table& table,
+                                     const BitVector& selection,
+                                     ExecStats& stats,
+                                     const ExecOptions& options);
+  [[nodiscard]] QueryResult run_projection(const LogicalPlan& plan,
+                                           const storage::Table& table,
+                                           const BitVector& selection,
+                                           ExecStats& stats,
+                                           const ExecOptions& options);
+
+  const storage::Catalog& catalog_;
+};
+
+}  // namespace eidb::query

@@ -1,0 +1,130 @@
+#include "query/plan.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace eidb::query {
+
+std::string agg_name(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kAvg:
+      return "avg";
+  }
+  return "invalid";
+}
+
+std::string LogicalPlan::to_string() const {
+  std::ostringstream os;
+  os << "scan(" << table << ")";
+  for (const Predicate& p : predicates)
+    os << " filter(" << p.column << " in [" << p.lo.to_string() << ","
+       << p.hi.to_string() << "])";
+  if (join) {
+    os << " join(" << join->table << " on " << join->left_key << "="
+       << join->right_key << ")";
+    for (const Predicate& p : join->predicates)
+      os << " filter(" << join->table << "." << p.column << " in ["
+         << p.lo.to_string() << "," << p.hi.to_string() << "])";
+  }
+  if (!group_by.empty()) {
+    os << " group_by(";
+    for (std::size_t i = 0; i < group_by.size(); ++i)
+      os << (i ? "," : "") << group_by[i];
+    os << ")";
+  }
+  for (const AggSpec& a : aggregates)
+    os << " " << agg_name(a.op) << "("
+       << (a.expr ? a.expr->to_string() : a.column) << ")";
+  if (!projection.empty()) {
+    os << " select(";
+    for (std::size_t i = 0; i < projection.size(); ++i)
+      os << (i ? "," : "") << projection[i];
+    os << ")";
+  }
+  if (order_by)
+    os << " order_by(" << order_by->column
+       << (order_by->ascending ? " asc" : " desc") << ")";
+  if (limit) os << " limit(" << limit << ")";
+  return os.str();
+}
+
+QueryBuilder& QueryBuilder::filter_int(std::string column, std::int64_t lo,
+                                       std::int64_t hi) {
+  plan_.predicates.push_back(
+      {std::move(column), storage::Value{lo}, storage::Value{hi}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::filter_double(std::string column, double lo,
+                                          double hi) {
+  plan_.predicates.push_back(
+      {std::move(column), storage::Value{lo}, storage::Value{hi}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::filter_string(std::string column, std::string lo,
+                                          std::string hi) {
+  plan_.predicates.push_back({std::move(column),
+                              storage::Value{std::move(lo)},
+                              storage::Value{std::move(hi)}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::join(std::string table, std::string left_key,
+                                 std::string right_key) {
+  EIDB_EXPECTS(!plan_.join.has_value());
+  plan_.join =
+      JoinSpec{std::move(table), std::move(left_key), std::move(right_key), {}};
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::join_filter_int(std::string column,
+                                            std::int64_t lo, std::int64_t hi) {
+  EIDB_EXPECTS(plan_.join.has_value());
+  plan_.join->predicates.push_back(
+      {std::move(column), storage::Value{lo}, storage::Value{hi}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::group_by(std::string column) {
+  plan_.group_by.push_back(std::move(column));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::aggregate(AggOp op, std::string column) {
+  plan_.aggregates.push_back({op, std::move(column), nullptr});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::aggregate_expr(
+    AggOp op, std::shared_ptr<const exec::Expr> expr) {
+  EIDB_EXPECTS(expr != nullptr);
+  plan_.aggregates.push_back({op, {}, std::move(expr)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::select(std::vector<std::string> columns) {
+  plan_.projection = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::order_by(std::string column, bool ascending) {
+  plan_.order_by = OrderBySpec{std::move(column), ascending};
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::limit(std::size_t n) {
+  plan_.limit = n;
+  return *this;
+}
+
+}  // namespace eidb::query

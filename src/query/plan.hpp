@@ -1,0 +1,106 @@
+// Logical query plans and the fluent builder — the engine's public query API.
+//
+// Deliberately declarative (the paper, §II: "telling the system what to
+// retrieve and not how"): the plan names tables/columns/predicates; the
+// optimizer (src/opt/) and executor (src/query/executor) decide kernels,
+// P-states and placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expression.hpp"
+#include "storage/types.hpp"
+
+namespace eidb::query {
+
+enum class AggOp : std::uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+[[nodiscard]] std::string agg_name(AggOp op);
+
+/// Inclusive range predicate on one column. For string columns, bounds are
+/// strings and are translated to dictionary-code ranges at bind time.
+struct Predicate {
+  std::string column;
+  storage::Value lo;
+  storage::Value hi;
+};
+
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  std::string column;  ///< Ignored for kCount; empty when expr is set.
+  /// Optional arithmetic input, e.g. SUM(revenue * (1 - discount)).
+  std::shared_ptr<const exec::Expr> expr;
+};
+
+struct OrderBySpec {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Single equi-join against another table (build side = joined table).
+struct JoinSpec {
+  std::string table;       ///< Build-side table name.
+  std::string left_key;    ///< Key column on the FROM table.
+  std::string right_key;   ///< Key column on the joined table.
+  std::vector<Predicate> predicates;  ///< Filters on the joined table.
+};
+
+struct LogicalPlan {
+  std::string table;
+  std::vector<Predicate> predicates;
+  std::optional<JoinSpec> join;
+  /// Grouping columns (empty = global aggregates). Multi-column grouping
+  /// synthesizes a composite key over the columns' value ranges.
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+  std::vector<std::string> projection;  ///< Row output (no aggregates).
+  std::optional<OrderBySpec> order_by;
+  std::size_t limit = 0;  ///< 0 = unlimited.
+
+  [[nodiscard]] bool is_aggregate() const { return !aggregates.empty(); }
+  [[nodiscard]] bool has_group_by() const { return !group_by.empty(); }
+  /// One-line plan summary for EXPLAIN-style output.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Fluent builder:
+///   auto plan = QueryBuilder("sales")
+///                   .filter_int("amount", 10, 99)
+///                   .filter_string("region", "eu", "eu")
+///                   .group_by("region")
+///                   .aggregate(AggOp::kSum, "amount")
+///                   .build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string table) { plan_.table = std::move(table); }
+
+  QueryBuilder& filter_int(std::string column, std::int64_t lo,
+                           std::int64_t hi);
+  QueryBuilder& filter_double(std::string column, double lo, double hi);
+  QueryBuilder& filter_string(std::string column, std::string lo,
+                              std::string hi);
+  QueryBuilder& join(std::string table, std::string left_key,
+                     std::string right_key);
+  /// Filter on the most recently joined table.
+  QueryBuilder& join_filter_int(std::string column, std::int64_t lo,
+                                std::int64_t hi);
+  QueryBuilder& group_by(std::string column);
+  QueryBuilder& aggregate(AggOp op, std::string column = {});
+  /// Aggregate over an arithmetic expression.
+  QueryBuilder& aggregate_expr(AggOp op,
+                               std::shared_ptr<const exec::Expr> expr);
+  QueryBuilder& select(std::vector<std::string> columns);
+  QueryBuilder& order_by(std::string column, bool ascending = true);
+  QueryBuilder& limit(std::size_t n);
+
+  [[nodiscard]] LogicalPlan build() const { return plan_; }
+
+ private:
+  LogicalPlan plan_;
+};
+
+}  // namespace eidb::query

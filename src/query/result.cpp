@@ -1,0 +1,52 @@
+#include "query/result.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table_printer.hpp"
+
+namespace eidb::query {
+
+void QueryResult::add_row(std::vector<storage::Value> row) {
+  EIDB_EXPECTS(row.size() == column_names_.size());
+  rows_.push_back(std::move(row));
+}
+
+const storage::Value& QueryResult::at(std::size_t row, std::size_t col) const {
+  EIDB_EXPECTS(row < rows_.size());
+  EIDB_EXPECTS(col < column_names_.size());
+  return rows_[row][col];
+}
+
+const std::vector<storage::Value>& QueryResult::row(std::size_t i) const {
+  EIDB_EXPECTS(i < rows_.size());
+  return rows_[i];
+}
+
+std::size_t QueryResult::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < column_names_.size(); ++i)
+    if (column_names_[i] == name) return i;
+  throw Error("no such result column: " + name);
+}
+
+std::string QueryResult::to_string(std::size_t max_rows) const {
+  TablePrinter table(column_names_.empty()
+                         ? std::vector<std::string>{"(empty)"}
+                         : column_names_);
+  if (!column_names_.empty()) {
+    const std::size_t n = std::min(max_rows, rows_.size());
+    for (std::size_t r = 0; r < n; ++r) {
+      std::vector<std::string> cells;
+      cells.reserve(rows_[r].size());
+      for (const storage::Value& v : rows_[r]) cells.push_back(v.to_string());
+      table.add_row(std::move(cells));
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  if (rows_.size() > max_rows)
+    os << "... (" << rows_.size() - max_rows << " more rows)\n";
+  return os.str();
+}
+
+}  // namespace eidb::query

@@ -1,0 +1,58 @@
+// Query results and execution statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "storage/types.hpp"
+
+namespace eidb::query {
+
+/// Materialized result: named columns of scalar values, row-major access.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  explicit QueryResult(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  [[nodiscard]] const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const {
+    return column_names_.size();
+  }
+
+  void add_row(std::vector<storage::Value> row);
+  [[nodiscard]] const storage::Value& at(std::size_t row,
+                                         std::size_t col) const;
+  [[nodiscard]] const std::vector<storage::Value>& row(std::size_t i) const;
+
+  /// Index of a result column by name; throws Error when absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Pretty-prints the result (up to `max_rows` rows).
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<storage::Value>> rows_;
+};
+
+/// Abstract execution statistics gathered by the executor; the energy layer
+/// turns these into joules.
+struct ExecStats {
+  std::uint64_t tuples_scanned = 0;
+  std::uint64_t tuples_selected = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t join_pairs = 0;
+  hw::Work work;               ///< Estimated cycles + DRAM traffic.
+  double elapsed_s = 0;        ///< Measured wall time of execution.
+  double cold_tier_time_s = 0; ///< Simulated cold-tier penalty (E6).
+  double cold_tier_energy_j = 0;
+  std::vector<std::pair<std::string, double>> operator_seconds;
+};
+
+}  // namespace eidb::query

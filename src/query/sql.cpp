@@ -1,0 +1,454 @@
+#include "query/sql.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::query {
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kKeyword,
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,  // ( ) , * = < > <= >= .
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // normalized: keywords upper-cased
+  std::size_t offset = 0;
+};
+
+bool is_keyword(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "SELECT", "FROM",  "WHERE", "AND",   "GROUP", "BY",    "ORDER",
+      "LIMIT",  "JOIN",  "ON",    "ASC",   "DESC",  "BETWEEN", "COUNT",
+      "SUM",    "MIN",   "MAX",   "AVG"};
+  for (const char* k : kKeywords)
+    if (upper == k) return true;
+  return false;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("SQL parse error at offset " +
+                std::to_string(current_.offset) + ": " + what +
+                (current_.kind == TokKind::kEnd
+                     ? " (at end of input)"
+                     : " (near '" + current_.text + "')"));
+  }
+
+ private:
+  void advance() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_])))
+      ++pos_;
+    current_ = Token{};
+    current_.offset = pos_;
+    if (pos_ >= sql_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_'))
+        ++pos_;
+      std::string word(sql_.substr(start, pos_ - start));
+      std::string upper = word;
+      for (char& ch : upper)
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (is_keyword(upper)) {
+        current_.kind = TokKind::kKeyword;
+        current_.text = upper;
+      } else {
+        current_.kind = TokKind::kIdent;
+        current_.text = word;
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      bool is_float = false;
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '.')) {
+        if (sql_[pos_] == '.') is_float = true;
+        ++pos_;
+      }
+      current_.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+      current_.text = std::string(sql_.substr(start, pos_ - start));
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string value;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'')
+        value.push_back(sql_[pos_++]);
+      if (pos_ >= sql_.size())
+        throw Error("SQL parse error: unterminated string literal at offset " +
+                    std::to_string(current_.offset));
+      ++pos_;  // closing quote
+      current_.kind = TokKind::kString;
+      current_.text = std::move(value);
+      return;
+    }
+    // Symbols, including two-char <= and >=.
+    if ((c == '<' || c == '>') && pos_ + 1 < sql_.size() &&
+        sql_[pos_ + 1] == '=') {
+      current_.kind = TokKind::kSymbol;
+      current_.text = sql_.substr(pos_, 2);
+      pos_ += 2;
+      return;
+    }
+    if (std::string("(),*=<>.+-/").find(c) != std::string::npos) {
+      current_.kind = TokKind::kSymbol;
+      current_.text = std::string(1, c);
+      ++pos_;
+      return;
+    }
+    throw Error("SQL parse error: unexpected character '" +
+                std::string(1, c) + "' at offset " + std::to_string(pos_));
+  }
+
+  std::string_view sql_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lex_(sql) {}
+
+  LogicalPlan parse() {
+    expect_keyword("SELECT");
+    parse_select_list();
+    expect_keyword("FROM");
+    plan_.table = expect_ident();
+    if (accept_keyword("JOIN")) parse_join();
+    if (accept_keyword("WHERE")) parse_where();
+    if (accept_keyword("GROUP")) {
+      expect_keyword("BY");
+      plan_.group_by.push_back(expect_column());
+      while (accept_symbol(",")) plan_.group_by.push_back(expect_column());
+    }
+    if (accept_keyword("ORDER")) {
+      expect_keyword("BY");
+      OrderBySpec spec;
+      spec.column = expect_column();
+      if (accept_keyword("DESC"))
+        spec.ascending = false;
+      else
+        (void)accept_keyword("ASC");
+      plan_.order_by = spec;
+    }
+    if (accept_keyword("LIMIT")) {
+      const Token t = lex_.take();
+      if (t.kind != TokKind::kInt) lex_.fail("expected integer after LIMIT");
+      plan_.limit = static_cast<std::size_t>(std::stoull(t.text));
+    }
+    if (lex_.peek().kind != TokKind::kEnd) lex_.fail("trailing input");
+    validate();
+    return plan_;
+  }
+
+ private:
+  void validate() {
+    if (!plan_.group_by.empty() && plan_.aggregates.empty())
+      lex_.fail("GROUP BY requires aggregate select list");
+    if (!plan_.aggregates.empty() && !plan_.projection.empty())
+      lex_.fail("cannot mix aggregates and plain columns in SELECT");
+  }
+
+  // -- select list ------------------------------------------------------------
+  void parse_select_list() {
+    if (accept_symbol("*")) return;  // projection of all columns
+    for (;;) {
+      if (!parse_select_item()) lex_.fail("expected column or aggregate");
+      if (!accept_symbol(",")) break;
+    }
+  }
+
+  bool parse_select_item() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::kKeyword &&
+        (t.text == "COUNT" || t.text == "SUM" || t.text == "MIN" ||
+         t.text == "MAX" || t.text == "AVG")) {
+      const std::string fn = lex_.take().text;
+      expect_symbol("(");
+      AggSpec spec;
+      if (fn == "COUNT") {
+        spec.op = AggOp::kCount;
+        if (accept_symbol("*")) {
+          // COUNT(*)
+        } else {
+          spec.column = expect_column();  // COUNT(col) == COUNT(*) here
+          spec.column.clear();
+        }
+      } else {
+        spec.op = fn == "SUM"   ? AggOp::kSum
+                  : fn == "MIN" ? AggOp::kMin
+                  : fn == "MAX" ? AggOp::kMax
+                                : AggOp::kAvg;
+        // General arithmetic input; a bare column reference stays on the
+        // typed fast path (no double widening).
+        const auto expr = parse_arith_expr();
+        if (expr->kind() == exec::ExprKind::kColumn)
+          spec.column = expr->column_name();
+        else
+          spec.expr = expr;
+      }
+      expect_symbol(")");
+      plan_.aggregates.push_back(std::move(spec));
+      return true;
+    }
+    if (t.kind == TokKind::kIdent) {
+      plan_.projection.push_back(expect_column());
+      return true;
+    }
+    return false;
+  }
+
+  // -- arithmetic expressions (aggregate inputs) --------------------------------
+  //   expr   := term (('+'|'-') term)*
+  //   term   := factor (('*'|'/') factor)*
+  //   factor := column | number | '(' expr ')' | '-' factor
+  std::shared_ptr<const exec::Expr> parse_arith_expr() {
+    auto lhs = parse_arith_term();
+    for (;;) {
+      if (accept_symbol("+")) {
+        lhs = exec::Expr::binary(exec::ExprOp::kAdd, lhs, parse_arith_term());
+      } else if (accept_symbol("-")) {
+        lhs = exec::Expr::binary(exec::ExprOp::kSub, lhs, parse_arith_term());
+      } else if (lex_.peek().kind == TokKind::kInt &&
+                 lex_.peek().text.front() == '-') {
+        // "a -1" lexed as a negative literal where an operator belongs:
+        // reinterpret as subtraction.
+        const Token t = lex_.take();
+        lhs = exec::Expr::binary(
+            exec::ExprOp::kSub, lhs,
+            exec::Expr::literal(-std::stod(t.text)));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::shared_ptr<const exec::Expr> parse_arith_term() {
+    auto lhs = parse_arith_factor();
+    for (;;) {
+      if (accept_symbol("*"))
+        lhs = exec::Expr::binary(exec::ExprOp::kMul, lhs,
+                                 parse_arith_factor());
+      else if (accept_symbol("/"))
+        lhs = exec::Expr::binary(exec::ExprOp::kDiv, lhs,
+                                 parse_arith_factor());
+      else
+        return lhs;
+    }
+  }
+
+  std::shared_ptr<const exec::Expr> parse_arith_factor() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::kSymbol && t.text == "(") {
+      (void)lex_.take();
+      auto inner = parse_arith_expr();
+      expect_symbol(")");
+      return inner;
+    }
+    if (t.kind == TokKind::kSymbol && t.text == "-") {
+      (void)lex_.take();
+      return exec::Expr::binary(exec::ExprOp::kSub, exec::Expr::literal(0),
+                                parse_arith_factor());
+    }
+    if (t.kind == TokKind::kInt || t.kind == TokKind::kFloat)
+      return exec::Expr::literal(std::stod(lex_.take().text));
+    if (t.kind == TokKind::kIdent) return exec::Expr::column(expect_column());
+    lex_.fail("expected column, number or parenthesized expression");
+  }
+
+  // -- join -------------------------------------------------------------------
+  void parse_join() {
+    JoinSpec spec;
+    spec.table = expect_ident();
+    expect_keyword("ON");
+    const std::string left = expect_column();
+    expect_symbol("=");
+    const std::string right = expect_column();
+    // Which side belongs to the joined table? Accept either order; columns
+    // qualified with the join table's name belong to it.
+    const auto strip = [&](const std::string& name,
+                           const std::string& table) -> std::string {
+      const std::string prefix = table + ".";
+      return name.rfind(prefix, 0) == 0 ? name.substr(prefix.size()) : name;
+    };
+    const bool left_is_joined = left.rfind(spec.table + ".", 0) == 0;
+    spec.left_key = strip(left_is_joined ? right : left, plan_.table);
+    spec.right_key = strip(left_is_joined ? left : right, spec.table);
+    plan_.join = std::move(spec);
+  }
+
+  // -- where ------------------------------------------------------------------
+  void parse_where() {
+    for (;;) {
+      parse_predicate();
+      if (!accept_keyword("AND")) break;
+    }
+  }
+
+  void parse_predicate() {
+    std::string column = expect_column();
+    // Predicates on the joined table route into join->predicates; qualified
+    // FROM-table columns are stripped to bare names for the executor.
+    std::vector<Predicate>* sink = &plan_.predicates;
+    if (plan_.join) {
+      const std::string prefix = plan_.join->table + ".";
+      if (column.rfind(prefix, 0) == 0) {
+        column = column.substr(prefix.size());
+        sink = &plan_.join->predicates;
+      }
+    }
+    const std::string own = plan_.table + ".";
+    if (sink == &plan_.predicates && column.rfind(own, 0) == 0)
+      column = column.substr(own.size());
+
+    if (accept_keyword("BETWEEN")) {
+      storage::Value lo = expect_literal();
+      expect_keyword("AND");
+      storage::Value hi = expect_literal();
+      sink->push_back({std::move(column), std::move(lo), std::move(hi)});
+      return;
+    }
+    const Token op = lex_.take();
+    if (op.kind != TokKind::kSymbol) lex_.fail("expected comparison operator");
+    storage::Value lit = expect_literal();
+    if (op.text == "=") {
+      sink->push_back({std::move(column), lit, lit});
+    } else if (op.text == ">=") {
+      sink->push_back({std::move(column), lit, max_value(lit)});
+    } else if (op.text == "<=") {
+      sink->push_back({std::move(column), min_value(lit), lit});
+    } else if (op.text == ">") {
+      sink->push_back({std::move(column), successor(lit), max_value(lit)});
+    } else if (op.text == "<") {
+      sink->push_back({std::move(column), min_value(lit), predecessor(lit)});
+    } else {
+      lex_.fail("unsupported operator '" + op.text + "'");
+    }
+  }
+
+  // Open-ended bounds for >=/<=/>/<; strings use sentinels that sort
+  // before/after every practical value.
+  static storage::Value max_value(const storage::Value& like) {
+    if (like.is_double())
+      return storage::Value{std::numeric_limits<double>::infinity()};
+    if (like.is_string())
+      return storage::Value{std::string("\x7f\x7f\x7f\x7f")};
+    return storage::Value{std::numeric_limits<std::int64_t>::max()};
+  }
+  static storage::Value min_value(const storage::Value& like) {
+    if (like.is_double())
+      return storage::Value{-std::numeric_limits<double>::infinity()};
+    if (like.is_string()) return storage::Value{std::string()};
+    return storage::Value{std::numeric_limits<std::int64_t>::min()};
+  }
+  storage::Value successor(const storage::Value& v) {
+    if (v.is_int()) return storage::Value{v.as_int() + 1};
+    if (v.is_double())
+      return storage::Value{
+          std::nextafter(v.as_double(), std::numeric_limits<double>::max())};
+    lex_.fail("'>' needs a numeric literal");
+  }
+  storage::Value predecessor(const storage::Value& v) {
+    if (v.is_int()) return storage::Value{v.as_int() - 1};
+    if (v.is_double())
+      return storage::Value{std::nextafter(
+          v.as_double(), std::numeric_limits<double>::lowest())};
+    lex_.fail("'<' needs a numeric literal");
+  }
+
+  // -- token helpers ------------------------------------------------------------
+  void expect_keyword(const char* kw) {
+    const Token t = lex_.take();
+    if (t.kind != TokKind::kKeyword || t.text != kw)
+      lex_.fail(std::string("expected ") + kw);
+  }
+  bool accept_keyword(const char* kw) {
+    if (lex_.peek().kind == TokKind::kKeyword && lex_.peek().text == kw) {
+      (void)lex_.take();
+      return true;
+    }
+    return false;
+  }
+  void expect_symbol(const char* sym) {
+    const Token t = lex_.take();
+    if (t.kind != TokKind::kSymbol || t.text != sym)
+      lex_.fail(std::string("expected '") + sym + "'");
+  }
+  bool accept_symbol(const char* sym) {
+    if (lex_.peek().kind == TokKind::kSymbol && lex_.peek().text == sym) {
+      (void)lex_.take();
+      return true;
+    }
+    return false;
+  }
+  std::string expect_ident() {
+    const Token t = lex_.take();
+    if (t.kind != TokKind::kIdent) lex_.fail("expected identifier");
+    return t.text;
+  }
+  /// Identifier with optional `.qualifier`.
+  std::string expect_column() {
+    std::string name = expect_ident();
+    while (accept_symbol(".")) name += "." + expect_ident();
+    return name;
+  }
+  storage::Value expect_literal() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case TokKind::kInt:
+        return storage::Value{
+            static_cast<std::int64_t>(std::stoll(t.text))};
+      case TokKind::kFloat:
+        return storage::Value{std::stod(t.text)};
+      case TokKind::kString:
+        return storage::Value{t.text};
+      default:
+        lex_.fail("expected literal");
+    }
+  }
+
+  Lexer lex_;
+  LogicalPlan plan_;
+};
+
+}  // namespace
+
+LogicalPlan parse_sql(std::string_view sql) { return Parser(sql).parse(); }
+
+}  // namespace eidb::query

@@ -1,0 +1,35 @@
+// Minimal declarative front end (paper §II: "hybrid query languages").
+//
+// A hand-written recursive-descent parser for the slice of SQL the engine
+// executes, producing `LogicalPlan`s for the same executor/optimizer path
+// as the fluent builder:
+//
+//   SELECT <* | col[, col...] | agg(col)[, agg(col)...]>
+//   FROM <table>
+//   [JOIN <table> ON <left_col> = <right_col>]
+//   [WHERE <pred> [AND <pred>]...]
+//   [GROUP BY <col>]
+//   [ORDER BY <col> [ASC|DESC]]
+//   [LIMIT <n>]
+//
+//   pred := col BETWEEN lit AND lit | col = lit | col >= lit | col <= lit
+//         | col > lit | col < lit
+//   agg  := COUNT(*) | COUNT(col) | SUM(col) | MIN(col) | MAX(col) | AVG(col)
+//   lit  := integer | float | 'string'
+//
+// Keywords are case-insensitive; identifiers may be qualified (`t.col`).
+// Errors throw eidb::Error with position information.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "query/plan.hpp"
+
+namespace eidb::query {
+
+/// Parses one statement into a logical plan. Throws eidb::Error on syntax
+/// errors (message includes the offending token and offset).
+[[nodiscard]] LogicalPlan parse_sql(std::string_view sql);
+
+}  // namespace eidb::query

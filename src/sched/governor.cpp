@@ -1,0 +1,126 @@
+#include "sched/governor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::sched {
+
+GovernorDecision Governor::run_to_completion(const hw::Work& work,
+                                             const hw::DvfsState& s,
+                                             int cores) const {
+  GovernorDecision d;
+  d.state = s;
+  d.cores = cores;
+  const hw::Work per_core{work.cpu_cycles / cores, work.dram_bytes / cores};
+  d.busy_s = machine_.exec_time_s(per_core, s, 1.0 / cores);
+  d.energy_j = machine_.package_power_w(s, cores) * d.busy_s +
+               work.dram_bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+  return d;
+}
+
+double Governor::slack_power_w(double slack_s) const {
+  if (options_.allow_deep_sleep && slack_s > machine_.package_wake_latency_s)
+    return machine_.sleep_power_w();
+  return machine_.idle_power_w();
+}
+
+GovernorDecision Governor::race_to_idle(const hw::Work& work,
+                                        double deadline_s, int cores) const {
+  GovernorDecision d =
+      run_to_completion(work, machine_.dvfs.fastest(), cores);
+  d.policy = "race-to-idle";
+  const double slack = deadline_s - d.busy_s;
+  if (slack > 0) {
+    d.idle_s = slack;
+    d.energy_j += slack_power_w(slack) * slack;
+  }
+  return d;
+}
+
+GovernorDecision Governor::pace(const hw::Work& work, double deadline_s,
+                                int cores) const {
+  // Slowest P-state that still meets the deadline.
+  for (const hw::DvfsState& s : machine_.dvfs.states()) {
+    GovernorDecision d = run_to_completion(work, s, cores);
+    if (d.busy_s <= deadline_s) {
+      d.policy = "pace";
+      const double slack = deadline_s - d.busy_s;
+      if (slack > 0) {
+        d.idle_s = slack;
+        d.energy_j += slack_power_w(slack) * slack;
+      }
+      return d;
+    }
+  }
+  GovernorDecision d = run_to_completion(work, machine_.dvfs.fastest(), cores);
+  d.policy = "pace";  // deadline unattainable: degenerate to f_max
+  return d;
+}
+
+GovernorDecision Governor::best_under_deadline(const hw::Work& work,
+                                               double deadline_s,
+                                               int cores) const {
+  const GovernorDecision race = race_to_idle(work, deadline_s, cores);
+  const GovernorDecision paced = pace(work, deadline_s, cores);
+  return paced.energy_j < race.energy_j ? paced : race;
+}
+
+std::optional<GovernorDecision> Governor::fastest_within_budget(
+    const hw::Work& work, double budget_j) const {
+  std::optional<GovernorDecision> best;
+  for (int cores = 1; cores <= machine_.cores; ++cores) {
+    for (const hw::DvfsState& s : machine_.dvfs.states()) {
+      GovernorDecision d = run_to_completion(work, s, cores);
+      d.policy = "energy-cap";
+      if (d.energy_j > budget_j) continue;
+      if (!best || d.busy_s < best->busy_s ||
+          (d.busy_s == best->busy_s && d.energy_j < best->energy_j))
+        best = d;
+    }
+  }
+  return best;
+}
+
+GovernorDecision Governor::most_efficient(const hw::Work& work,
+                                          int cores) const {
+  GovernorDecision best;
+  best.energy_j = std::numeric_limits<double>::infinity();
+  for (const hw::DvfsState& s : machine_.dvfs.states()) {
+    const GovernorDecision d = run_to_completion(work, s, cores);
+    if (d.energy_j < best.energy_j) best = d;
+  }
+  best.policy = "most-efficient";
+  return best;
+}
+
+hw::DvfsState Governor::incremental_efficient_state(
+    const hw::Work& work) const {
+  hw::DvfsState best = machine_.dvfs.fastest();
+  double best_j = std::numeric_limits<double>::infinity();
+  for (const hw::DvfsState& s : machine_.dvfs.states()) {
+    const double t = machine_.exec_time_s(work, s);
+    const double j = (s.active_power_w - machine_.core_idle_power_w) * t +
+                     work.dram_bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+    if (j < best_j) {
+      best_j = j;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<GovernorDecision> Governor::frontier(const hw::Work& work,
+                                                 int cores) const {
+  std::vector<GovernorDecision> points;
+  points.reserve(machine_.dvfs.size());
+  for (const hw::DvfsState& s : machine_.dvfs.states()) {
+    GovernorDecision d = run_to_completion(work, s, cores);
+    d.policy = "frontier";
+    points.push_back(d);
+  }
+  return points;
+}
+
+}  // namespace eidb::sched

@@ -1,0 +1,99 @@
+// Energy governor: "elasticity in the small" (paper §IV, Figure 2).
+//
+// Given an amount of work, a machine, and a constraint (deadline or joule
+// budget), the governor picks the execution configuration — P-state, core
+// count, and idle strategy. Two classic policies are implemented and
+// compared in experiment E7:
+//
+//  * race-to-idle: run at f_max, then drop into the deepest C-state for the
+//    remaining slack;
+//  * pace: pick the slowest P-state that still meets the deadline, using
+//    the superlinear P(f) curve to cut energy while busy.
+//
+// Which one wins depends on the ratio of idle to active power — exactly the
+// "case-by-case" flexibility the paper demands.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace eidb::sched {
+
+/// A fully resolved execution configuration with its predicted cost.
+struct GovernorDecision {
+  hw::DvfsState state;
+  int cores = 1;
+  double busy_s = 0;      ///< Time actually computing.
+  double idle_s = 0;      ///< Slack spent idle/asleep (deadline given).
+  double energy_j = 0;    ///< Predicted total over busy + slack window.
+  std::string policy;     ///< "race-to-idle" | "pace" | "energy-cap" ...
+};
+
+/// Policy knobs.
+struct GovernorOptions {
+  /// Whether slack may be spent in the deepest package sleep state. On a
+  /// consolidated server that must keep other tenants' data hot, powering
+  /// the package down is not an option — then only shallow idle is
+  /// available and pacing becomes attractive (the E7 crossover).
+  bool allow_deep_sleep = true;
+};
+
+class Governor {
+ public:
+  explicit Governor(hw::MachineSpec machine, GovernorOptions options = {})
+      : machine_(std::move(machine)), options_(options) {}
+
+  [[nodiscard]] const hw::MachineSpec& machine() const { return machine_; }
+
+  /// Race-to-idle under `deadline_s`: f_max, then deepest C-state that can
+  /// wake before the deadline. Energy covers the whole deadline window.
+  [[nodiscard]] GovernorDecision race_to_idle(const hw::Work& work,
+                                              double deadline_s,
+                                              int cores = 1) const;
+
+  /// Pace under `deadline_s`: slowest P-state finishing in time (falls back
+  /// to f_max when even that misses). Energy covers the whole window.
+  [[nodiscard]] GovernorDecision pace(const hw::Work& work, double deadline_s,
+                                      int cores = 1) const;
+
+  /// The better of race/pace for this workload and deadline.
+  [[nodiscard]] GovernorDecision best_under_deadline(const hw::Work& work,
+                                                     double deadline_s,
+                                                     int cores = 1) const;
+
+  /// Fastest configuration whose energy stays within `budget_j`
+  /// (experiment F2: the response-time-vs-energy-budget curve). Sweeps
+  /// P-states × core counts; returns nullopt when no configuration fits.
+  [[nodiscard]] std::optional<GovernorDecision> fastest_within_budget(
+      const hw::Work& work, double budget_j) const;
+
+  /// Minimal-energy configuration with no deadline (throughput mode).
+  [[nodiscard]] GovernorDecision most_efficient(const hw::Work& work,
+                                                int cores = 1) const;
+
+  /// Full (time, energy) frontier over P-states for `cores` — each point is
+  /// a run-to-completion execution with no idle tail.
+  [[nodiscard]] std::vector<GovernorDecision> frontier(const hw::Work& work,
+                                                       int cores = 1) const;
+
+  /// P-state minimizing the *incremental* (above-idle) energy of one unit
+  /// of work — the right notion when the package stays powered across a
+  /// query stream and only busy power is attributable to the query.
+  [[nodiscard]] hw::DvfsState incremental_efficient_state(
+      const hw::Work& work) const;
+
+ private:
+  [[nodiscard]] GovernorDecision run_to_completion(const hw::Work& work,
+                                                   const hw::DvfsState& s,
+                                                   int cores) const;
+  /// Power drawn during slack, honoring the deep-sleep option.
+  [[nodiscard]] double slack_power_w(double slack_s) const;
+
+  hw::MachineSpec machine_;
+  GovernorOptions options_;
+};
+
+}  // namespace eidb::sched

@@ -1,0 +1,74 @@
+// Query-stream scheduler: response time vs. throughput under an energy cap.
+//
+// §IV "Performance": "we see application domains ... where throughput
+// optimization is more important than response time optimization of a
+// single query ... which is also highly correlated to improved energy
+// efficiency." And §IV "Energy efficiency": "the system has to flexibly
+// balance query response time minimization and throughput maximization
+// under a given energy constraint on a case-by-case basis."
+//
+// Discrete-event simulation of a k-core server executing a stream of
+// queries (experiment E8). Policies:
+//  * kLatency     — every query runs immediately-as-possible at f_max.
+//  * kThroughput  — queries run at the most energy-efficient P-state.
+//  * kEnergyCap   — run at f_max while the rolling average power stays
+//                   under the cap, else drop to the efficient state
+//                   (graceful degradation instead of admission rejection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace eidb::sched {
+
+enum class Policy : std::uint8_t { kLatency, kThroughput, kEnergyCap };
+
+[[nodiscard]] std::string policy_name(Policy p);
+
+/// One query in the arrival stream.
+struct QueryArrival {
+  double arrive_s = 0;
+  hw::Work work;
+};
+
+/// Aggregate outcome of a simulated run.
+struct ScheduleResult {
+  std::size_t queries = 0;
+  double makespan_s = 0;
+  double mean_latency_s = 0;
+  double p95_latency_s = 0;
+  double throughput_qps = 0;
+  double energy_j = 0;
+  double avg_power_w = 0;
+  double energy_per_query_j = 0;
+};
+
+class StreamScheduler {
+ public:
+  StreamScheduler(hw::MachineSpec machine, Policy policy,
+                  double power_cap_w = 0);
+
+  /// Simulates the stream (arrivals must be sorted by arrive_s). Each query
+  /// occupies one core; queries queue FIFO when all cores are busy.
+  [[nodiscard]] ScheduleResult run(const std::vector<QueryArrival>& stream);
+
+ private:
+  [[nodiscard]] const hw::DvfsState& state_for(double current_avg_power,
+                                               double now) const;
+
+  hw::MachineSpec machine_;
+  Policy policy_;
+  double power_cap_w_;
+  hw::DvfsState efficient_state_;
+};
+
+/// Poisson arrivals of identical queries (workload generator for E8).
+[[nodiscard]] std::vector<QueryArrival> poisson_stream(std::size_t count,
+                                                       double rate_qps,
+                                                       const hw::Work& work,
+                                                       std::uint64_t seed);
+
+}  // namespace eidb::sched

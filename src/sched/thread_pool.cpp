@@ -1,0 +1,75 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::sched {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  EIDB_EXPECTS(task != nullptr);
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  EIDB_EXPECTS(grain > 0);
+  if (n == 0) return;
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::scoped_lock lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace eidb::sched

@@ -1,0 +1,141 @@
+#include "storage/column.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+Column::Column(std::string name, TypeId type)
+    : name_(std::move(name)), type_(type) {}
+
+void Column::reserve(std::size_t rows) {
+  ensure_capacity(rows);
+}
+
+void Column::ensure_capacity(std::size_t rows) {
+  const std::size_t need = rows * physical_size(type_);
+  if (need > data_.size())
+    data_.grow(std::max(need, data_.size() == 0 ? std::size_t{4096}
+                                                : data_.size() * 2));
+}
+
+template <typename T>
+void Column::append_raw(T v) {
+  ensure_capacity(count_ + 1);
+  data_.as_span<T>()[count_] = v;
+  ++count_;
+}
+
+void Column::append_int32(std::int32_t v) {
+  EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
+  append_raw(v);
+}
+
+void Column::append_int64(std::int64_t v) {
+  EIDB_EXPECTS(type_ == TypeId::kInt64);
+  append_raw(v);
+}
+
+void Column::append_double(double v) {
+  EIDB_EXPECTS(type_ == TypeId::kDouble);
+  append_raw(v);
+}
+
+Column Column::from_int32(std::string name, std::span<const std::int32_t> v) {
+  Column c(std::move(name), TypeId::kInt32);
+  c.ensure_capacity(v.size());
+  std::memcpy(c.data_.data(), v.data(), v.size_bytes());
+  c.count_ = v.size();
+  return c;
+}
+
+Column Column::from_int64(std::string name, std::span<const std::int64_t> v) {
+  Column c(std::move(name), TypeId::kInt64);
+  c.ensure_capacity(v.size());
+  std::memcpy(c.data_.data(), v.data(), v.size_bytes());
+  c.count_ = v.size();
+  return c;
+}
+
+Column Column::from_double(std::string name, std::span<const double> v) {
+  Column c(std::move(name), TypeId::kDouble);
+  c.ensure_capacity(v.size());
+  std::memcpy(c.data_.data(), v.data(), v.size_bytes());
+  c.count_ = v.size();
+  return c;
+}
+
+Column Column::from_strings(std::string name,
+                            const std::vector<std::string>& values) {
+  Column c(std::move(name), TypeId::kString);
+  auto dict = std::make_shared<Dictionary>(Dictionary::build(values));
+  c.ensure_capacity(values.size());
+  auto out = c.data_.as_span<std::int32_t>();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto code = dict->code_of(values[i]);
+    EIDB_ASSERT(code.has_value());
+    out[i] = *code;
+  }
+  c.count_ = values.size();
+  c.dict_ = std::move(dict);
+  return c;
+}
+
+std::span<const std::int32_t> Column::int32_data() const {
+  EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
+  return data_.as_span<const std::int32_t>().subspan(0, count_);
+}
+
+std::span<const std::int64_t> Column::int64_data() const {
+  EIDB_EXPECTS(type_ == TypeId::kInt64);
+  return data_.as_span<const std::int64_t>().subspan(0, count_);
+}
+
+std::span<const double> Column::double_data() const {
+  EIDB_EXPECTS(type_ == TypeId::kDouble);
+  return data_.as_span<const double>().subspan(0, count_);
+}
+
+std::span<const std::int32_t> Column::codes() const {
+  EIDB_EXPECTS(type_ == TypeId::kString);
+  return data_.as_span<const std::int32_t>().subspan(0, count_);
+}
+
+const Dictionary& Column::dictionary() const {
+  EIDB_EXPECTS(dict_ != nullptr);
+  return *dict_;
+}
+
+Value Column::value_at(std::size_t i) const {
+  EIDB_EXPECTS(i < count_);
+  switch (type_) {
+    case TypeId::kInt32:
+      return Value{std::int64_t{int32_data()[i]}};
+    case TypeId::kInt64:
+      return Value{int64_data()[i]};
+    case TypeId::kDouble:
+      return Value{double_data()[i]};
+    case TypeId::kString:
+      return Value{dictionary().at(codes()[i])};
+  }
+  EIDB_ASSERT(false);
+  return {};
+}
+
+std::span<std::int32_t> Column::mutable_int32() {
+  EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
+  return data_.as_span<std::int32_t>().subspan(0, count_);
+}
+
+std::span<std::int64_t> Column::mutable_int64() {
+  EIDB_EXPECTS(type_ == TypeId::kInt64);
+  return data_.as_span<std::int64_t>().subspan(0, count_);
+}
+
+std::span<double> Column::mutable_double() {
+  EIDB_EXPECTS(type_ == TypeId::kDouble);
+  return data_.as_span<double>().subspan(0, count_);
+}
+
+}  // namespace eidb::storage

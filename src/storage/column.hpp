@@ -1,0 +1,76 @@
+// In-memory typed column over cache-aligned storage.
+//
+// Columns are append-built during load, then treated as immutable by the
+// execution engine (scans take `std::span<const T>` views). String columns
+// carry an ordered dictionary and physically store int32 codes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/dictionary.hpp"
+#include "storage/types.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace eidb::storage {
+
+class Column {
+ public:
+  /// Creates an empty column of type `type` named `name`.
+  Column(std::string name, TypeId type);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] TypeId type() const noexcept { return type_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Bytes of the physical in-memory representation (excluding dictionary).
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return count_ * physical_size(type_);
+  }
+
+  // -- Builders -------------------------------------------------------------
+  void reserve(std::size_t rows);
+  void append_int32(std::int32_t v);
+  void append_int64(std::int64_t v);
+  void append_double(double v);
+  /// Bulk builders (preferred for load paths).
+  static Column from_int32(std::string name, std::span<const std::int32_t> v);
+  static Column from_int64(std::string name, std::span<const std::int64_t> v);
+  static Column from_double(std::string name, std::span<const double> v);
+  /// Builds a dictionary-encoded string column.
+  static Column from_strings(std::string name,
+                             const std::vector<std::string>& values);
+
+  // -- Typed access ---------------------------------------------------------
+  [[nodiscard]] std::span<const std::int32_t> int32_data() const;
+  [[nodiscard]] std::span<const std::int64_t> int64_data() const;
+  [[nodiscard]] std::span<const double> double_data() const;
+  /// For string columns: the dictionary codes.
+  [[nodiscard]] std::span<const std::int32_t> codes() const;
+  [[nodiscard]] const Dictionary& dictionary() const;
+  [[nodiscard]] bool has_dictionary() const { return dict_ != nullptr; }
+
+  /// Value at row `i`, decoded (strings materialized from the dictionary).
+  [[nodiscard]] Value value_at(std::size_t i) const;
+
+  /// Mutable typed access for in-place construction by loaders.
+  [[nodiscard]] std::span<std::int32_t> mutable_int32();
+  [[nodiscard]] std::span<std::int64_t> mutable_int64();
+  [[nodiscard]] std::span<double> mutable_double();
+
+ private:
+  void ensure_capacity(std::size_t rows);
+  template <typename T>
+  void append_raw(T v);
+
+  std::string name_;
+  TypeId type_;
+  std::size_t count_ = 0;
+  AlignedBuffer data_;
+  std::shared_ptr<const Dictionary> dict_;  // string columns only
+};
+
+}  // namespace eidb::storage

@@ -1,0 +1,49 @@
+#include "storage/delta.hpp"
+
+#include "exec/scan_kernels.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+std::int64_t DeltaColumn::at(std::size_t i) const {
+  EIDB_EXPECTS(i < size());
+  return i < main_.size() ? main_[i] : delta_[i - main_.size()];
+}
+
+void DeltaColumn::scan_range(std::int64_t lo, std::int64_t hi,
+                             BitVector& out) const {
+  EIDB_EXPECTS(out.size() >= size());
+  // SIMD over the main…
+  if (!main_.empty()) {
+    BitVector main_bits(main_.size());
+    exec::scan_bitmap_best64(main_, lo, hi, main_bits);
+    // The main occupies logical rows [0, main_size): word-aligned copy is
+    // only safe when out shares word boundaries — logical row 0 == bit 0,
+    // so it does.
+    std::copy(main_bits.words(), main_bits.words() + main_bits.word_count(),
+              out.words());
+    // Clear any tail bits the copy may have brought along past main_size
+    // (the last word of main_bits is already masked to main size; delta
+    // bits get set below).
+  }
+  // …scalar over the delta.
+  for (std::size_t d = 0; d < delta_.size(); ++d) {
+    const std::size_t i = main_.size() + d;
+    if (delta_[d] >= lo && delta_[d] <= hi)
+      out.set(i);
+    else
+      out.reset(i);
+  }
+}
+
+std::size_t DeltaColumn::merge() {
+  const std::size_t merged = delta_.size();
+  if (merged == 0) return 0;
+  main_.insert(main_.end(), delta_.begin(), delta_.end());
+  delta_.clear();
+  ++merges_;
+  rows_rewritten_ += main_.size();  // a real merge rewrites the new main
+  return merged;
+}
+
+}  // namespace eidb::storage

@@ -1,0 +1,80 @@
+// Main/delta storage for update-heavy ("high-density") tables.
+//
+// §IV.B: "High-density data like order entries or other business-critical
+// objects with high transaction load will stay and [be] manipulated in
+// main-memory." Column stores reconcile scan speed with write speed by
+// splitting each table into an immutable, scan-optimized *main* and an
+// append-optimized *delta*; a background merge folds the delta into a new
+// main. This module implements that lifecycle for int64 columns:
+//
+//   * appends go to the delta (cheap, row-at-a-time);
+//   * scans run the SIMD kernels over the main and a scalar pass over the
+//     (small) delta;
+//   * merge() rebuilds the main from main+delta and clears the delta;
+//   * a merge policy triggers on delta/main ratio, the classic heuristic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace eidb::storage {
+
+class DeltaColumn {
+ public:
+  DeltaColumn() = default;
+  /// Starts with `main` as the immutable bulk-loaded image.
+  explicit DeltaColumn(std::vector<std::int64_t> main)
+      : main_(std::move(main)) {}
+
+  [[nodiscard]] std::size_t main_size() const { return main_.size(); }
+  [[nodiscard]] std::size_t delta_size() const { return delta_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return main_.size() + delta_.size();
+  }
+
+  /// Appends one value to the delta.
+  void append(std::int64_t v) { delta_.push_back(v); }
+
+  /// Value at logical row `i` (main rows first, then delta rows).
+  [[nodiscard]] std::int64_t at(std::size_t i) const;
+
+  /// Scans lo <= v <= hi over main (SIMD) + delta (scalar) into `out`
+  /// (sized to size()).
+  void scan_range(std::int64_t lo, std::int64_t hi, BitVector& out) const;
+
+  /// Folds the delta into the main. Afterwards delta_size() == 0.
+  /// Returns the number of rows merged.
+  std::size_t merge();
+
+  /// True when the delta exceeds `ratio` of the main (merge trigger).
+  [[nodiscard]] bool needs_merge(double ratio = 0.1) const {
+    if (main_.empty()) return delta_.size() > 1024;
+    return static_cast<double>(delta_.size()) >
+           ratio * static_cast<double>(main_.size());
+  }
+
+  /// Read-only views (delta view valid until the next append/merge).
+  [[nodiscard]] std::span<const std::int64_t> main_view() const {
+    return main_;
+  }
+  [[nodiscard]] std::span<const std::int64_t> delta_view() const {
+    return delta_;
+  }
+
+  /// Lifetime counters for the merge-policy ablation.
+  [[nodiscard]] std::uint64_t merges() const { return merges_; }
+  [[nodiscard]] std::uint64_t rows_rewritten() const {
+    return rows_rewritten_;
+  }
+
+ private:
+  std::vector<std::int64_t> main_;
+  std::vector<std::int64_t> delta_;
+  std::uint64_t merges_ = 0;
+  std::uint64_t rows_rewritten_ = 0;
+};
+
+}  // namespace eidb::storage

@@ -1,0 +1,47 @@
+#include "storage/dictionary.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+Dictionary Dictionary::build(const std::vector<std::string>& values) {
+  Dictionary d;
+  d.strings_ = values;
+  std::sort(d.strings_.begin(), d.strings_.end());
+  d.strings_.erase(std::unique(d.strings_.begin(), d.strings_.end()),
+                   d.strings_.end());
+  return d;
+}
+
+std::optional<std::int32_t> Dictionary::code_of(std::string_view s) const {
+  const auto it = std::lower_bound(strings_.begin(), strings_.end(), s);
+  if (it == strings_.end() || *it != s) return std::nullopt;
+  return static_cast<std::int32_t>(it - strings_.begin());
+}
+
+std::int32_t Dictionary::lower_bound(std::string_view s) const {
+  const auto it = std::lower_bound(strings_.begin(), strings_.end(), s);
+  return static_cast<std::int32_t>(it - strings_.begin());
+}
+
+std::int32_t Dictionary::upper_bound(std::string_view s) const {
+  const auto it = std::upper_bound(
+      strings_.begin(), strings_.end(), s,
+      [](std::string_view a, const std::string& b) { return a < b; });
+  return static_cast<std::int32_t>(it - strings_.begin());
+}
+
+const std::string& Dictionary::at(std::int32_t code) const {
+  EIDB_EXPECTS(code >= 0 && code < size());
+  return strings_[static_cast<std::size_t>(code)];
+}
+
+std::size_t Dictionary::payload_bytes() const {
+  std::size_t total = 0;
+  for (const std::string& s : strings_) total += s.size();
+  return total;
+}
+
+}  // namespace eidb::storage

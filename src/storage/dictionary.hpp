@@ -1,0 +1,44 @@
+// Ordered dictionary for string columns.
+//
+// Strings are stored once in a sorted dictionary; the column itself holds
+// int32 codes. Because the dictionary is *ordered*, range predicates on
+// strings translate to range predicates on codes, so string scans run on the
+// same SIMD integer kernels as numeric scans — the core column-store trick
+// behind "main memory is the new disk" scan performance (§IV.B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eidb::storage {
+
+class Dictionary {
+ public:
+  /// Builds an ordered dictionary over (the distinct values of) `values`.
+  static Dictionary build(const std::vector<std::string>& values);
+
+  /// Code for `s`, if present.
+  [[nodiscard]] std::optional<std::int32_t> code_of(std::string_view s) const;
+
+  /// Smallest code whose string is >= s (== size() if none).
+  [[nodiscard]] std::int32_t lower_bound(std::string_view s) const;
+  /// Smallest code whose string is > s (== size() if none).
+  [[nodiscard]] std::int32_t upper_bound(std::string_view s) const;
+
+  [[nodiscard]] const std::string& at(std::int32_t code) const;
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(strings_.size());
+  }
+  [[nodiscard]] bool empty() const { return strings_.empty(); }
+
+  /// Total bytes of string payload (for cost/energy accounting).
+  [[nodiscard]] std::size_t payload_bytes() const;
+
+ private:
+  std::vector<std::string> strings_;  // sorted, unique
+};
+
+}  // namespace eidb::storage

@@ -1,0 +1,54 @@
+// Integer-column codecs for intermediate-result exchange (experiment E2).
+//
+// §IV of the paper: "an optimizer has to decide about sending intermediate
+// data in a compressed or uncompressed format ... In the former case, the
+// system has to spend time and energy for (de-)compression but saves time
+// and energy for the communication path. Since both cost factors are
+// independent, the optimizer has to decide on a case-by-case basis."
+//
+// Each codec encodes a span of int64 values to bytes and back. The
+// compression advisor (src/opt/) measures each codec's throughput and ratio
+// on a sample, then picks raw-vs-codec per link.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eidb::storage {
+
+enum class CodecKind : std::uint8_t {
+  kPlain,         ///< memcpy; the "uncompressed" arm of the decision.
+  kForBitpack,    ///< frame-of-reference + fixed-width bit packing.
+  kDeltaBitpack,  ///< zigzag deltas + FOR + bit packing (sorted-ish data).
+  kRle,           ///< run-length (value, count) pairs.
+  kLz,            ///< byte-oriented LZ77 (hash-chain, 64 KiB window).
+};
+
+[[nodiscard]] std::string codec_name(CodecKind kind);
+
+class IntCodec {
+ public:
+  virtual ~IntCodec() = default;
+  [[nodiscard]] virtual CodecKind kind() const = 0;
+  /// Encodes `values` into a self-contained byte buffer.
+  [[nodiscard]] virtual std::vector<std::byte> encode(
+      std::span<const std::int64_t> values) const = 0;
+  /// Decodes a buffer produced by `encode`.
+  [[nodiscard]] virtual std::vector<std::int64_t> decode(
+      std::span<const std::byte> bytes) const = 0;
+  /// Estimated CPU cycles per input value for encode+decode combined
+  /// (used by the cost model before calibration refines it).
+  [[nodiscard]] virtual double nominal_cycles_per_value() const = 0;
+};
+
+/// Factory for each codec kind.
+[[nodiscard]] std::unique_ptr<IntCodec> make_codec(CodecKind kind);
+
+/// All codecs, for sweeps.
+[[nodiscard]] std::vector<CodecKind> all_codec_kinds();
+
+}  // namespace eidb::storage

@@ -1,0 +1,188 @@
+#include "storage/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42444945;  // "EIDB" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 8);
+}
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  if (!in.read(reinterpret_cast<char*>(&v), 4))
+    throw Error("truncated table file (u32)");
+  return v;
+}
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  if (!in.read(reinterpret_cast<char*>(&v), 8))
+    throw Error("truncated table file (u64)");
+  return v;
+}
+std::string get_string(std::istream& in) {
+  const std::uint32_t n = get_u32(in);
+  if (n > (1u << 20)) throw Error("implausible string length in table file");
+  std::string s(n, '\0');
+  if (!in.read(s.data(), n)) throw Error("truncated table file (string)");
+  return s;
+}
+
+}  // namespace
+
+void save_table(const Table& table, std::ostream& out) {
+  if (!table.complete()) throw Error("cannot save incomplete table");
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_string(out, table.name());
+  put_u32(out, static_cast<std::uint32_t>(table.column_count()));
+  for (std::size_t c = 0; c < table.column_count(); ++c) {
+    const Column& col = table.column(c);
+    put_string(out, col.name());
+    out.put(static_cast<char>(col.type()));
+    put_u64(out, col.size());
+    switch (col.type()) {
+      case TypeId::kString: {
+        const Dictionary& dict = col.dictionary();
+        put_u32(out, static_cast<std::uint32_t>(dict.size()));
+        for (std::int32_t i = 0; i < dict.size(); ++i)
+          put_string(out, dict.at(i));
+        const auto codes = col.codes();
+        out.write(reinterpret_cast<const char*>(codes.data()),
+                  static_cast<std::streamsize>(codes.size_bytes()));
+        break;
+      }
+      case TypeId::kInt32: {
+        const auto data = col.int32_data();
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size_bytes()));
+        break;
+      }
+      case TypeId::kInt64: {
+        const auto data = col.int64_data();
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size_bytes()));
+        break;
+      }
+      case TypeId::kDouble: {
+        const auto data = col.double_data();
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size_bytes()));
+        break;
+      }
+    }
+  }
+  if (!out) throw Error("write failure while saving table");
+}
+
+Table load_table(std::istream& in) {
+  if (get_u32(in) != kMagic) throw Error("not an eidb table file");
+  const std::uint32_t version = get_u32(in);
+  if (version != kVersion)
+    throw Error("unsupported table file version " + std::to_string(version));
+  const std::string table_name = get_string(in);
+  const std::uint32_t columns = get_u32(in);
+  if (columns > 4096) throw Error("implausible column count");
+
+  // First pass: read columns into memory, building schema along the way.
+  std::vector<ColumnDef> defs;
+  std::vector<Column> cols;
+  for (std::uint32_t c = 0; c < columns; ++c) {
+    const std::string name = get_string(in);
+    const int type_raw = in.get();
+    if (type_raw < 0) throw Error("truncated table file (type)");
+    const auto type = static_cast<TypeId>(type_raw);
+    const std::uint64_t rows = get_u64(in);
+    defs.push_back({name, type});
+    switch (type) {
+      case TypeId::kString: {
+        const std::uint32_t dict_size = get_u32(in);
+        std::vector<std::string> dict_entries;
+        dict_entries.reserve(dict_size);
+        for (std::uint32_t i = 0; i < dict_size; ++i)
+          dict_entries.push_back(get_string(in));
+        std::vector<std::int32_t> codes(rows);
+        if (rows > 0 &&
+            !in.read(reinterpret_cast<char*>(codes.data()),
+                     static_cast<std::streamsize>(rows * 4)))
+          throw Error("truncated table file (codes)");
+        // Rebuild via the dictionary path: decode then re-encode keeps the
+        // Column invariants without a bespoke constructor.
+        std::vector<std::string> values;
+        values.reserve(rows);
+        for (const std::int32_t code : codes) {
+          if (code < 0 || static_cast<std::uint32_t>(code) >= dict_size)
+            throw Error("corrupt dictionary code");
+          values.push_back(dict_entries[static_cast<std::size_t>(code)]);
+        }
+        cols.push_back(Column::from_strings(name, values));
+        break;
+      }
+      case TypeId::kInt32: {
+        std::vector<std::int32_t> data(rows);
+        if (rows > 0 &&
+            !in.read(reinterpret_cast<char*>(data.data()),
+                     static_cast<std::streamsize>(rows * 4)))
+          throw Error("truncated table file (int32)");
+        cols.push_back(Column::from_int32(name, data));
+        break;
+      }
+      case TypeId::kInt64: {
+        std::vector<std::int64_t> data(rows);
+        if (rows > 0 &&
+            !in.read(reinterpret_cast<char*>(data.data()),
+                     static_cast<std::streamsize>(rows * 8)))
+          throw Error("truncated table file (int64)");
+        cols.push_back(Column::from_int64(name, data));
+        break;
+      }
+      case TypeId::kDouble: {
+        std::vector<double> data(rows);
+        if (rows > 0 &&
+            !in.read(reinterpret_cast<char*>(data.data()),
+                     static_cast<std::streamsize>(rows * 8)))
+          throw Error("truncated table file (double)");
+        cols.push_back(Column::from_double(name, data));
+        break;
+      }
+      default:
+        throw Error("corrupt column type");
+    }
+  }
+  Table table(table_name, Schema(std::move(defs)));
+  for (std::size_t c = 0; c < cols.size(); ++c)
+    table.set_column(c, std::move(cols[c]));
+  return table;
+}
+
+void save_table_file(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  save_table(table, out);
+}
+
+Table load_table_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  return load_table(in);
+}
+
+}  // namespace eidb::storage

@@ -1,0 +1,31 @@
+// Columnar table persistence (single-file binary format).
+//
+// "main memory is the new disk, disk is the new archive" (§IV.B): tables
+// are serialized for archival/restart, not for paging. Format:
+//
+//   [magic "EIDB" u32] [version u32] [table-name] [column-count u32]
+//   per column: [name] [type u8] [row-count u64]
+//     string columns: [dict-size u32] [dict entries] then int32 codes
+//     other columns:  raw little-endian values
+//
+// Strings are length-prefixed (u32). All integers little-endian (the
+// library targets x86-class hosts; a byte-swapping reader would slot in at
+// the two helper functions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/table.hpp"
+
+namespace eidb::storage {
+
+/// Serializes `table` (must be complete). Throws eidb::Error on I/O errors.
+void save_table(const Table& table, std::ostream& out);
+void save_table_file(const Table& table, const std::string& path);
+
+/// Reads a table back. Throws eidb::Error on malformed input.
+[[nodiscard]] Table load_table(std::istream& in);
+[[nodiscard]] Table load_table_file(const std::string& path);
+
+}  // namespace eidb::storage

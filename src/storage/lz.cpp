@@ -1,0 +1,143 @@
+#include "storage/lz.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+// Format (LZ4-style sequences):
+//   token byte: high nibble = literal-run length, low nibble = match length
+//               minus kMinMatch; nibble value 15 extends with extra bytes
+//               (each 255, then a final < 255).
+//   [extended literal length] [literals]
+//   2-byte little-endian match distance (1..65535), [extended match length]
+// The final sequence may end after its literals (no distance field) — the
+// decoder detects this by input exhaustion.
+
+namespace {
+
+constexpr std::size_t kWindow = 0xffff;  // max representable distance
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 16;
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_extended(std::vector<std::byte>& out, std::size_t v) {
+  while (v >= 255) {
+    out.push_back(std::byte{255});
+    v -= 255;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::size_t get_extended(std::span<const std::byte> in, std::size_t& at,
+                         std::size_t base) {
+  if (base != 15) return base;
+  std::size_t v = 15;
+  for (;;) {
+    EIDB_EXPECTS(at < in.size());
+    const auto b = static_cast<std::uint8_t>(in[at++]);
+    v += b;
+    if (b != 255) return v;
+  }
+}
+
+void emit_sequence(std::vector<std::byte>& out, const std::byte* lit,
+                   std::size_t lit_len, std::size_t match_len,
+                   std::size_t dist) {
+  const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  const std::size_t match_extra = match_len >= kMinMatch ? match_len - kMinMatch
+                                                         : 0;
+  const std::size_t match_nib =
+      match_len >= kMinMatch ? (match_extra < 15 ? match_extra : 15) : 0;
+  out.push_back(static_cast<std::byte>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) put_extended(out, lit_len - 15);
+  out.insert(out.end(), lit, lit + lit_len);
+  if (match_len >= kMinMatch) {
+    out.push_back(static_cast<std::byte>(dist & 0xff));
+    out.push_back(static_cast<std::byte>(dist >> 8));
+    if (match_nib == 15) put_extended(out, match_extra - 15);
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> lz_compress(std::span<const std::byte> in) {
+  std::vector<std::byte> out;
+  out.reserve(in.size() / 2 + 16);
+  const std::size_t n = in.size();
+  if (n < kMinMatch + 1) {
+    if (n > 0) emit_sequence(out, in.data(), n, 0, 0);
+    return out;
+  }
+
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, kNoPos);
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  const std::size_t last_hashable = n - kMinMatch;
+
+  while (i <= last_hashable) {
+    const std::uint32_t h = hash4(in.data() + i);
+    const std::uint32_t cand = head[h];
+    head[h] = static_cast<std::uint32_t>(i);
+    if (cand != kNoPos && i - cand <= kWindow &&
+        std::memcmp(in.data() + cand, in.data() + i, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      const std::size_t max_len = n - i;
+      while (len < max_len && in[cand + len] == in[i + len]) ++len;
+      emit_sequence(out, in.data() + literal_start, i - literal_start, len,
+                    i - cand);
+      // Seed hash entries inside long matches so later data can anchor here.
+      const std::size_t step = len > 64 ? 8 : 2;
+      for (std::size_t k = i + 1;
+           k + kMinMatch <= i + len && k <= last_hashable; k += step)
+        head[hash4(in.data() + k)] = static_cast<std::uint32_t>(k);
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  if (literal_start < n)
+    emit_sequence(out, in.data() + literal_start, n - literal_start, 0, 0);
+  return out;
+}
+
+std::vector<std::byte> lz_decompress(std::span<const std::byte> in,
+                                     std::size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  std::size_t at = 0;
+  while (at < in.size()) {
+    const auto token = static_cast<std::uint8_t>(in[at++]);
+    const std::size_t lit_len = get_extended(in, at, token >> 4);
+    EIDB_EXPECTS(at + lit_len <= in.size());
+    out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
+               in.begin() + static_cast<std::ptrdiff_t>(at + lit_len));
+    at += lit_len;
+    if (at >= in.size()) break;  // last sequence: literals only
+    EIDB_EXPECTS(at + 2 <= in.size());
+    const std::size_t dist = static_cast<std::uint8_t>(in[at]) |
+                             (static_cast<std::size_t>(
+                                  static_cast<std::uint8_t>(in[at + 1]))
+                              << 8);
+    at += 2;
+    const std::size_t match_len =
+        get_extended(in, at, token & 0xf) + kMinMatch;
+    EIDB_EXPECTS(dist > 0 && dist <= out.size());
+    // Byte-wise copy: the source may overlap the destination (run encoding).
+    const std::size_t src = out.size() - dist;
+    for (std::size_t k = 0; k < match_len; ++k) out.push_back(out[src + k]);
+  }
+  EIDB_ENSURES(out.size() == expected_size);
+  return out;
+}
+
+}  // namespace eidb::storage

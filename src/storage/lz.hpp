@@ -1,0 +1,23 @@
+// Byte-oriented LZ77 compressor (hash-chain, greedy parse, 64 KiB window).
+//
+// Built from scratch (no external codec dependencies). Format: a stream of
+// ops; each op byte's low bit selects {literal-run, match}. Literal run:
+// varint length then raw bytes. Match: varint length (>= 4) and varint
+// backward distance. Decompression is a straight copy loop — intentionally
+// much faster than compression, matching the asymmetry real engines exploit
+// when only the receiver is CPU-constrained.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eidb::storage {
+
+[[nodiscard]] std::vector<std::byte> lz_compress(std::span<const std::byte> in);
+
+/// `expected_size` is the exact size of the original input.
+[[nodiscard]] std::vector<std::byte> lz_decompress(
+    std::span<const std::byte> in, std::size_t expected_size);
+
+}  // namespace eidb::storage

@@ -1,0 +1,99 @@
+#include "storage/reliability.hpp"
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+std::string reliability_name(Reliability r) {
+  switch (r) {
+    case Reliability::kCheap:
+      return "cheap";
+    case Reliability::kNodeDurable:
+      return "node-durable";
+    case Reliability::kReplicated:
+      return "replicated";
+    case Reliability::kGeoReplicated:
+      return "geo-replicated";
+  }
+  return "invalid";
+}
+
+bool survives(Reliability r, Failure f) {
+  switch (f) {
+    case Failure::kProcessCrash:
+      return r != Reliability::kCheap;
+    case Failure::kNodeLoss:
+      return r == Reliability::kReplicated ||
+             r == Reliability::kGeoReplicated;
+    case Failure::kSiteLoss:
+      return r == Reliability::kGeoReplicated;
+  }
+  return false;
+}
+
+void ReliabilityManager::declare(const std::string& fragment, Reliability r) {
+  fragments_[fragment].level = r;
+}
+
+Reliability ReliabilityManager::level_of(const std::string& fragment) const {
+  const auto it = fragments_.find(fragment);
+  if (it == fragments_.end()) throw Error("undeclared fragment: " + fragment);
+  return it->second.level;
+}
+
+WriteCost ReliabilityManager::cost_of(Reliability r, double bytes) const {
+  EIDB_EXPECTS(bytes >= 0);
+  // Local DRAM store: bandwidth-limited write + device energy.
+  WriteCost cost;
+  cost.time_s = bytes / (machine_.dram_bandwidth_gbs * 1e9);
+  cost.energy_j = bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+  switch (r) {
+    case Reliability::kCheap:
+      return cost;
+    case Reliability::kNodeDurable:
+      // NVM-class persistence: ~3x DRAM write energy, ~4x latency
+      // (storage-class-memory figures from the paper's citation [19] era).
+      cost.time_s *= 4;
+      cost.energy_j *= 3;
+      return cost;
+    case Reliability::kReplicated: {
+      cost.time_s += peer_.transfer_time_s(bytes);
+      cost.energy_j += peer_.transfer_energy_j(bytes) +
+                       bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+      return cost;
+    }
+    case Reliability::kGeoReplicated: {
+      cost.time_s += remote_.transfer_time_s(bytes);
+      cost.energy_j += remote_.transfer_energy_j(bytes) +
+                       bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+      return cost;
+    }
+  }
+  return cost;
+}
+
+WriteCost ReliabilityManager::write(const std::string& fragment,
+                                    double bytes) {
+  auto it = fragments_.find(fragment);
+  if (it == fragments_.end()) throw Error("undeclared fragment: " + fragment);
+  const WriteCost cost = cost_of(it->second.level, bytes);
+  it->second.total.time_s += cost.time_s;
+  it->second.total.energy_j += cost.energy_j;
+  ++it->second.writes;
+  return cost;
+}
+
+WriteCost ReliabilityManager::accumulated(const std::string& fragment) const {
+  const auto it = fragments_.find(fragment);
+  if (it == fragments_.end()) throw Error("undeclared fragment: " + fragment);
+  return it->second.total;
+}
+
+std::vector<std::string> ReliabilityManager::surviving(Failure failure) const {
+  std::vector<std::string> out;
+  for (const auto& [name, frag] : fragments_)
+    if (survives(frag.level, failure)) out.push_back(name);
+  return out;
+}
+
+}  // namespace eidb::storage

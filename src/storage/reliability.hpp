@@ -1,0 +1,94 @@
+// Multi-level reliability for memory fragments (paper §III).
+//
+// "Depending on the semantics of a piece of data, different reliability
+// constraints should be attached to a memory fragment. For example,
+// intermediate results ... could be placed in some 'cheap' memory with
+// high write and read performance. On the other hand, REDO-log
+// information ... should be stored in a replicated way, within a compute
+// cluster or even across multiple locations. The database system therefore
+// requires mechanisms to convey quality-of-service information about
+// specific memory fragments."
+//
+// `ReliabilityManager` is that mechanism: fragments declare a QoS class;
+// writes are charged the class's cost (local DRAM / cluster-replicated /
+// geo-replicated, modeled over hw::LinkSpec); a fault simulation shows
+// which fragments survive which failure domains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/interconnect.hpp"
+#include "hw/machine.hpp"
+
+namespace eidb::storage {
+
+/// QoS classes, ordered by durability.
+enum class Reliability : std::uint8_t {
+  kCheap,          ///< Local DRAM only; lost on node failure.
+  kNodeDurable,    ///< Local + NVM-class persistence; survives process crash.
+  kReplicated,     ///< Synchronously copied to one cluster peer.
+  kGeoReplicated,  ///< Synchronously copied to a remote site.
+};
+
+[[nodiscard]] std::string reliability_name(Reliability r);
+
+/// Failure domains a fragment may be subjected to.
+enum class Failure : std::uint8_t {
+  kProcessCrash,
+  kNodeLoss,
+  kSiteLoss,
+};
+
+/// Does data of class `r` survive failure `f`?
+[[nodiscard]] bool survives(Reliability r, Failure f);
+
+/// Per-write cost of one QoS class.
+struct WriteCost {
+  double time_s = 0;
+  double energy_j = 0;
+};
+
+class ReliabilityManager {
+ public:
+  /// `peer` is the intra-cluster replication link; `remote` the cross-site
+  /// link.
+  ReliabilityManager(hw::MachineSpec machine, hw::LinkSpec peer,
+                     hw::LinkSpec remote)
+      : machine_(std::move(machine)),
+        peer_(std::move(peer)),
+        remote_(std::move(remote)) {}
+
+  /// Declares a fragment with its QoS class.
+  void declare(const std::string& fragment, Reliability r);
+  [[nodiscard]] Reliability level_of(const std::string& fragment) const;
+
+  /// Charges one write of `bytes` to the fragment; accumulates and returns
+  /// the modeled cost.
+  WriteCost write(const std::string& fragment, double bytes);
+
+  /// Modeled cost of writing `bytes` at QoS level `r` (no accounting).
+  [[nodiscard]] WriteCost cost_of(Reliability r, double bytes) const;
+
+  /// Accumulated cost per fragment.
+  [[nodiscard]] WriteCost accumulated(const std::string& fragment) const;
+
+  /// Fragments that survive `failure`.
+  [[nodiscard]] std::vector<std::string> surviving(Failure failure) const;
+
+ private:
+  struct Fragment {
+    Reliability level = Reliability::kCheap;
+    WriteCost total;
+    std::uint64_t writes = 0;
+  };
+
+  hw::MachineSpec machine_;
+  hw::LinkSpec peer_;
+  hw::LinkSpec remote_;
+  std::map<std::string, Fragment> fragments_;
+};
+
+}  // namespace eidb::storage

@@ -1,0 +1,60 @@
+#include "storage/secondary_index.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+void SecondaryIndex::append(std::int64_t value) {
+  pending_.push_back({value, next_row_++});
+  const bool eager =
+      policy_ == IndexMaintenance::kUbiquity ||
+      (policy_ == IndexMaintenance::kNeedToKnow && readers_ > 0);
+  if (eager) merge_pending();
+}
+
+void SecondaryIndex::register_reader() {
+  ++readers_;
+  if (policy_ == IndexMaintenance::kNeedToKnow) merge_pending();
+}
+
+void SecondaryIndex::unregister_reader() {
+  EIDB_EXPECTS(readers_ > 0);
+  --readers_;
+}
+
+void SecondaryIndex::merge_pending() {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.row < b.row;
+            });
+  // Merge cost: every element touched once.
+  maintenance_ops_ += pending_.size() + sorted_.size();
+  std::vector<Entry> merged;
+  merged.reserve(sorted_.size() + pending_.size());
+  std::merge(sorted_.begin(), sorted_.end(), pending_.begin(), pending_.end(),
+             std::back_inserter(merged),
+             [](const Entry& a, const Entry& b) {
+               if (a.value != b.value) return a.value < b.value;
+               return a.row < b.row;
+             });
+  sorted_ = std::move(merged);
+  pending_.clear();
+}
+
+std::vector<std::uint32_t> SecondaryIndex::lookup_range(std::int64_t lo,
+                                                        std::int64_t hi) {
+  merge_pending();  // correctness regardless of policy
+  std::vector<std::uint32_t> rows;
+  const auto first = std::lower_bound(
+      sorted_.begin(), sorted_.end(), lo,
+      [](const Entry& e, std::int64_t v) { return e.value < v; });
+  for (auto it = first; it != sorted_.end() && it->value <= hi; ++it)
+    rows.push_back(it->row);
+  return rows;
+}
+
+}  // namespace eidb::storage

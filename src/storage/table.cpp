@@ -1,0 +1,156 @@
+#include "storage/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    for (std::size_t j = i + 1; j < columns_.size(); ++j)
+      if (columns_[i].name == columns_[j].name)
+        throw Error("duplicate column name: " + columns_[i].name);
+}
+
+const ColumnDef& Schema::column(std::size_t i) const {
+  EIDB_EXPECTS(i < columns_.size());
+  return columns_[i];
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].name == name) return i;
+  throw Error("no such column: " + name);
+}
+
+bool Schema::has_column(const std::string& name) const {
+  return std::any_of(columns_.begin(), columns_.end(),
+                     [&](const ColumnDef& c) { return c.name == name; });
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(schema_.column_count()) {}
+
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      columns_(std::move(other.columns_)),
+      rows_(other.rows_),
+      zone_cache_(std::move(other.zone_cache_)) {}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    schema_ = std::move(other.schema_);
+    columns_ = std::move(other.columns_);
+    rows_ = other.rows_;
+    zone_cache_ = std::move(other.zone_cache_);
+  }
+  return *this;
+}
+
+void Table::set_column(std::size_t index, Column column) {
+  EIDB_EXPECTS(index < columns_.size());
+  const ColumnDef& def = schema_.column(index);
+  if (column.type() != def.type)
+    throw Error("column type mismatch for " + def.name);
+  const bool first = std::all_of(
+      columns_.begin(), columns_.end(),
+      [](const std::unique_ptr<Column>& c) { return c == nullptr; });
+  if (!first && column.size() != rows_)
+    throw Error("column length mismatch for " + def.name);
+  rows_ = column.size();
+  columns_[index] = std::make_unique<Column>(std::move(column));
+}
+
+const Column& Table::column(std::size_t index) const {
+  EIDB_EXPECTS(index < columns_.size());
+  EIDB_EXPECTS(columns_[index] != nullptr);
+  return *columns_[index];
+}
+
+const Column& Table::column(const std::string& name) const {
+  return column(schema_.index_of(name));
+}
+
+std::size_t Table::byte_size() const {
+  std::size_t total = 0;
+  for (const auto& c : columns_)
+    if (c) total += c->byte_size();
+  return total;
+}
+
+bool Table::complete() const {
+  return std::all_of(columns_.begin(), columns_.end(),
+                     [](const std::unique_ptr<Column>& c) { return c != nullptr; });
+}
+
+const ZoneMap& Table::zone_map(std::size_t column_index,
+                               std::size_t block_rows) const {
+  std::scoped_lock lock(zone_mu_);
+  const auto key = std::make_pair(column_index, block_rows);
+  const auto it = zone_cache_.find(key);
+  if (it != zone_cache_.end()) return *it->second;
+  const Column& col = column(column_index);
+  std::unique_ptr<ZoneMap> zm;
+  switch (col.type()) {
+    case TypeId::kInt64:
+      zm = std::make_unique<ZoneMap>(
+          ZoneMap::build(col.int64_data(), block_rows));
+      break;
+    case TypeId::kInt32:
+      zm = std::make_unique<ZoneMap>(
+          ZoneMap::build32(col.int32_data(), block_rows));
+      break;
+    case TypeId::kString:
+      zm = std::make_unique<ZoneMap>(ZoneMap::build32(col.codes(), block_rows));
+      break;
+    case TypeId::kDouble:
+      throw Error("zone maps unsupported for double column " + col.name());
+  }
+  const ZoneMap& ref = *zm;
+  zone_cache_[key] = std::move(zm);
+  return ref;
+}
+
+Table& Catalog::add(Table table) {
+  if (contains(table.name())) throw Error("table exists: " + table.name());
+  tables_.push_back(std::make_unique<Table>(std::move(table)));
+  return *tables_.back();
+}
+
+Table& Catalog::get(const std::string& name) {
+  for (const auto& t : tables_)
+    if (t->name() == name) return *t;
+  throw Error("no such table: " + name);
+}
+
+const Table& Catalog::get(const std::string& name) const {
+  for (const auto& t : tables_)
+    if (t->name() == name) return *t;
+  throw Error("no such table: " + name);
+}
+
+bool Catalog::contains(const std::string& name) const {
+  return std::any_of(tables_.begin(), tables_.end(),
+                     [&](const auto& t) { return t->name() == name; });
+}
+
+std::vector<std::string> Catalog::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+void Catalog::drop(const std::string& name) {
+  const auto it = std::find_if(tables_.begin(), tables_.end(),
+                               [&](const auto& t) { return t->name() == name; });
+  if (it == tables_.end()) throw Error("no such table: " + name);
+  tables_.erase(it);
+}
+
+}  // namespace eidb::storage

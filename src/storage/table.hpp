@@ -1,0 +1,104 @@
+// Table = named schema + a set of equal-length columns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/column.hpp"
+#include "storage/types.hpp"
+#include "storage/zonemap.hpp"
+
+namespace eidb::storage {
+
+/// Column name/type pair.
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+};
+
+/// Table schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] const ColumnDef& column(std::size_t i) const;
+  /// Index of column `name`; throws Error if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] bool has_column(const std::string& name) const;
+  [[nodiscard]] const std::vector<ColumnDef>& columns() const {
+    return columns_;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Immutable-after-load columnar table.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  // Movable (the zone-map cache mutex is recreated; safe because moves only
+  // happen during catalog registration, before concurrent use).
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_; }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+
+  /// Installs `column` at schema position `index`. The column's length must
+  /// match previously installed columns.
+  void set_column(std::size_t index, Column column);
+
+  [[nodiscard]] const Column& column(std::size_t index) const;
+  [[nodiscard]] const Column& column(const std::string& name) const;
+
+  /// Total bytes of physical column data.
+  [[nodiscard]] std::size_t byte_size() const;
+
+  /// True when every schema slot holds a column.
+  [[nodiscard]] bool complete() const;
+
+  /// Zone map over an integer column, built on first use and cached
+  /// (tables are immutable after load, so the cache never invalidates).
+  /// Thread-safe. Only int32/int64/string-code columns are mappable.
+  [[nodiscard]] const ZoneMap& zone_map(std::size_t column_index,
+                                        std::size_t block_rows) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::size_t rows_ = 0;
+  mutable std::mutex zone_mu_;
+  mutable std::map<std::pair<std::size_t, std::size_t>,
+                   std::unique_ptr<ZoneMap>>
+      zone_cache_;
+};
+
+/// Name → table registry.
+class Catalog {
+ public:
+  /// Registers `table`; throws Error on duplicate name.
+  Table& add(Table table);
+  [[nodiscard]] Table& get(const std::string& name);
+  [[nodiscard]] const Table& get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+  void drop(const std::string& name);
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace eidb::storage

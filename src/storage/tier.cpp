@@ -1,0 +1,87 @@
+#include "storage/tier.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+void TierManager::register_column(const std::string& table,
+                                  const std::string& column, std::size_t bytes,
+                                  Tier tier) {
+  entries_[key(table, column)] = Entry{bytes, tier, 0};
+}
+
+void TierManager::place(const std::string& table, const std::string& column,
+                        Tier tier) {
+  const auto it = entries_.find(key(table, column));
+  if (it == entries_.end()) throw Error("unregistered column: " + key(table, column));
+  it->second.tier = tier;
+}
+
+Tier TierManager::tier_of(const std::string& table,
+                          const std::string& column) const {
+  return entry(table, column).tier;
+}
+
+const TierManager::Entry& TierManager::entry(const std::string& table,
+                                             const std::string& column) const {
+  const auto it = entries_.find(key(table, column));
+  if (it == entries_.end())
+    throw Error("unregistered column: " + key(table, column));
+  return it->second;
+}
+
+TierManager::Penalty TierManager::access(const std::string& table,
+                                         const std::string& column) {
+  const auto it = entries_.find(key(table, column));
+  if (it == entries_.end())
+    throw Error("unregistered column: " + key(table, column));
+  ++it->second.accesses;
+  if (it->second.tier == Tier::kHot) return {};
+  const auto bytes = static_cast<double>(it->second.bytes);
+  return {cold_.read_time_s(bytes), cold_.read_energy_j(bytes)};
+}
+
+std::size_t TierManager::hot_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, e] : entries_)
+    if (e.tier == Tier::kHot) total += e.bytes;
+  return total;
+}
+
+std::size_t TierManager::cold_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, e] : entries_)
+    if (e.tier == Tier::kCold) total += e.bytes;
+  return total;
+}
+
+std::size_t TierManager::enforce_budget(std::size_t budget_bytes) {
+  // Demote hot columns with the fewest accesses first (ties: largest first,
+  // to free memory with the fewest demotions).
+  std::vector<std::pair<std::string, Entry*>> hot;
+  for (auto& [k, e] : entries_)
+    if (e.tier == Tier::kHot) hot.push_back({k, &e});
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    if (a.second->accesses != b.second->accesses)
+      return a.second->accesses < b.second->accesses;
+    return a.second->bytes > b.second->bytes;
+  });
+  std::size_t current = hot_bytes();
+  std::size_t demoted = 0;
+  for (auto& [k, e] : hot) {
+    if (current <= budget_bytes) break;
+    e->tier = Tier::kCold;
+    current -= e->bytes;
+    ++demoted;
+  }
+  return demoted;
+}
+
+std::uint64_t TierManager::access_count(const std::string& table,
+                                        const std::string& column) const {
+  return entry(table, column).accesses;
+}
+
+}  // namespace eidb::storage

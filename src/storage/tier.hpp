@@ -1,0 +1,95 @@
+// Multi-level storage: hot (DRAM) vs. cold (disk-class) column placement.
+//
+// §IV.B of the paper: "Physical database design will distinguish between
+// 'low-density' and 'high-density' data. High-density data ... will stay
+// and [be] manipulated in main-memory. 'Low-density' data ... will be
+// placed on traditional cheap disk devices" and is "queried by massive and
+// parallel scans against large disk-farms".
+//
+// The cold tier is *simulated* (DESIGN.md §5): accessing a cold column
+// charges the time and energy a disk-array read would cost, parameterized
+// by `ColdTierSpec`. Placement decisions and their consequences — not disk
+// firmware — are what experiment E6 measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eidb::storage {
+
+/// Where a column currently lives.
+enum class Tier : std::uint8_t { kHot, kCold };
+
+/// Cold-tier device model (disk array / archival store).
+struct ColdTierSpec {
+  std::string name = "disk-array";
+  double bandwidth_gbs = 1.6;       ///< Aggregate sequential read bandwidth.
+  double access_latency_s = 8e-3;   ///< Seek + queue per access burst.
+  double energy_nj_per_byte = 6.0;  ///< Transfer energy.
+  double active_power_w = 90.0;     ///< Array power while serving.
+  double idle_power_w = 45.0;       ///< Array idle (spinning) power.
+
+  /// Time to stream `bytes` from the cold tier.
+  [[nodiscard]] double read_time_s(double bytes) const {
+    return access_latency_s + bytes / (bandwidth_gbs * 1e9);
+  }
+  /// Energy attributable to streaming `bytes` (dynamic + active-idle delta).
+  [[nodiscard]] double read_energy_j(double bytes) const {
+    return bytes * energy_nj_per_byte * 1e-9 +
+           (active_power_w - idle_power_w) * read_time_s(bytes);
+  }
+};
+
+/// Tracks per-column placement and access statistics and computes the
+/// simulated penalty of cold reads.
+class TierManager {
+ public:
+  explicit TierManager(ColdTierSpec cold = {}) : cold_(cold) {}
+
+  /// Declares a column with its physical size; default placement is hot.
+  void register_column(const std::string& table, const std::string& column,
+                       std::size_t bytes, Tier tier = Tier::kHot);
+
+  void place(const std::string& table, const std::string& column, Tier tier);
+  [[nodiscard]] Tier tier_of(const std::string& table,
+                             const std::string& column) const;
+
+  /// Records a full-column access; returns {extra_time_s, extra_energy_j}
+  /// — zero when hot.
+  struct Penalty {
+    double time_s = 0;
+    double energy_j = 0;
+  };
+  Penalty access(const std::string& table, const std::string& column);
+
+  /// Bytes currently resident in DRAM / on the cold tier.
+  [[nodiscard]] std::size_t hot_bytes() const;
+  [[nodiscard]] std::size_t cold_bytes() const;
+
+  /// Moves the coldest (least-accessed) columns out of DRAM until hot bytes
+  /// fit in `budget_bytes`. Returns the number of demoted columns.
+  std::size_t enforce_budget(std::size_t budget_bytes);
+
+  [[nodiscard]] const ColdTierSpec& cold_spec() const { return cold_; }
+  [[nodiscard]] std::uint64_t access_count(const std::string& table,
+                                           const std::string& column) const;
+
+ private:
+  struct Entry {
+    std::size_t bytes = 0;
+    Tier tier = Tier::kHot;
+    std::uint64_t accesses = 0;
+  };
+  static std::string key(const std::string& table, const std::string& column) {
+    return table + "." + column;
+  }
+  [[nodiscard]] const Entry& entry(const std::string& table,
+                                   const std::string& column) const;
+
+  ColdTierSpec cold_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace eidb::storage

@@ -1,0 +1,50 @@
+#include "storage/types.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+std::string type_name(TypeId t) {
+  switch (t) {
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+  }
+  return "invalid";
+}
+
+std::size_t physical_size(TypeId t) {
+  switch (t) {
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kString:
+      return 4;  // dictionary code
+  }
+  EIDB_ASSERT(false);
+  return 0;
+}
+
+std::string Value::to_string() const {
+  if (is_string()) return as_string();
+  if (is_double()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", as_double());
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(as_int()));
+  return buf;
+}
+
+}  // namespace eidb::storage

@@ -1,0 +1,59 @@
+// Logical column types and scalar values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace eidb::storage {
+
+/// Physical/logical type of a column.
+enum class TypeId : std::uint8_t {
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,  ///< Dictionary-encoded; physical storage is int32 codes.
+};
+
+[[nodiscard]] std::string type_name(TypeId t);
+
+/// Bytes per value of the in-memory physical representation.
+[[nodiscard]] std::size_t physical_size(TypeId t);
+
+/// A scalar runtime value (literal operands, aggregate results).
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(std::int32_t v) : v_(std::int64_t{v}) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+}  // namespace eidb::storage

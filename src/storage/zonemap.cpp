@@ -1,0 +1,59 @@
+#include "storage/zonemap.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+ZoneMap ZoneMap::build(std::span<const std::int64_t> values,
+                       std::size_t block_rows) {
+  EIDB_EXPECTS(block_rows > 0);
+  ZoneMap zm;
+  zm.block_rows_ = block_rows;
+  for (std::size_t start = 0; start < values.size(); start += block_rows) {
+    const std::size_t end = std::min(start + block_rows, values.size());
+    Zone z{values[start], values[start]};
+    for (std::size_t i = start + 1; i < end; ++i) {
+      z.min = std::min(z.min, values[i]);
+      z.max = std::max(z.max, values[i]);
+    }
+    zm.zones_.push_back(z);
+  }
+  return zm;
+}
+
+ZoneMap ZoneMap::build32(std::span<const std::int32_t> values,
+                         std::size_t block_rows) {
+  EIDB_EXPECTS(block_rows > 0);
+  ZoneMap zm;
+  zm.block_rows_ = block_rows;
+  for (std::size_t start = 0; start < values.size(); start += block_rows) {
+    const std::size_t end = std::min(start + block_rows, values.size());
+    Zone z{values[start], values[start]};
+    for (std::size_t i = start + 1; i < end; ++i) {
+      z.min = std::min<std::int64_t>(z.min, values[i]);
+      z.max = std::max<std::int64_t>(z.max, values[i]);
+    }
+    zm.zones_.push_back(z);
+  }
+  return zm;
+}
+
+std::vector<ZoneMap::RowRange> ZoneMap::candidate_ranges(
+    std::int64_t lo, std::int64_t hi, std::size_t row_count) const {
+  std::vector<RowRange> ranges;
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (!may_overlap(i, lo, hi)) continue;
+    const std::size_t begin = i * block_rows_;
+    const std::size_t end = std::min(begin + block_rows_, row_count);
+    if (!ranges.empty() && ranges.back().end == begin) {
+      ranges.back().end = end;  // coalesce adjacent candidate blocks
+    } else {
+      ranges.push_back({begin, end});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace eidb::storage

@@ -1,0 +1,71 @@
+#include "txn/conversation.hpp"
+
+#include "util/assert.hpp"
+
+namespace eidb::txn {
+
+Conversation::~Conversation() {
+  if (pin_.state == TxnState::kActive) base_.abort(pin_);
+}
+
+std::optional<std::int64_t> Conversation::read(std::int64_t key) const {
+  // 1. Own overlay.
+  if (const auto it = overlay_.find(key); it != overlay_.end())
+    return it->second;
+  // 2. Attached overlays, in attach order.
+  for (const auto& other : attachments_) {
+    if (const auto it = other->overlay_.find(key); it != other->overlay_.end())
+      return it->second;
+  }
+  // 3. Base snapshot at this conversation's birth (the pin transaction).
+  return base_.read(pin_, key);
+}
+
+void Conversation::write(std::int64_t key, std::int64_t value) {
+  overlay_[key] = value;
+}
+
+void Conversation::attach(const std::shared_ptr<const Conversation>& other) {
+  EIDB_EXPECTS(other != nullptr);
+  if (!other->published())
+    throw Error("conversation '" + other->name() + "' is not published");
+  attachments_.push_back(other);
+}
+
+bool Conversation::merge_into_base() {
+  if (overlay_.empty()) return true;
+  // Validate against this conversation's snapshot: base commits to our
+  // write set since the conversation opened must fail the merge.
+  Transaction txn = base_.begin_at(pin_.read_ts);
+  for (const auto& [key, value] : overlay_) {
+    if (!base_.write(txn, key, value)) {
+      base_.abort(txn);
+      return false;  // foreign intent; caller may retry
+    }
+  }
+  if (!base_.commit(txn).has_value()) return false;
+  overlay_.clear();
+  // Rebase the snapshot pin so subsequent reads see the merged state
+  // (otherwise cleared overlay keys would read stale base versions).
+  base_.abort(pin_);
+  pin_ = base_.begin();
+  return true;
+}
+
+std::shared_ptr<Conversation> ConversationManager::open(
+    const std::string& name) {
+  if (conversations_.contains(name))
+    throw Error("conversation exists: " + name);
+  auto conv = std::shared_ptr<Conversation>(new Conversation(name, base_));
+  conversations_[name] = conv;
+  return conv;
+}
+
+std::shared_ptr<const Conversation> ConversationManager::find(
+    const std::string& name) const {
+  const auto it = conversations_.find(name);
+  if (it == conversations_.end() || !it->second->published()) return nullptr;
+  return it->second;
+}
+
+}  // namespace eidb::txn

@@ -1,0 +1,97 @@
+// Database conversations (paper §IV.A).
+//
+// "database conversations may help to free the database system from
+// managing and maintaining the single point of truth. The concept ...
+// creates application specific views on top of the underlying database
+// which are materialized (i.e., exist beyond the scope of a single
+// application transactions) and can be shared with others. The 'community'
+// of applications are creating potentially different domain-specific
+// versions of the original database in a step-by-step manner."
+//
+// A Conversation is a named, long-lived overlay on an MvccStore snapshot:
+//  * reads see: own overlay -> attached (shared) overlays -> base snapshot;
+//  * writes go to the overlay only — the base is never locked or touched;
+//  * `publish()` marks the overlay shareable; peers `attach()` it;
+//  * `merge_into_base()` folds the overlay back through a regular
+//    optimistic transaction — first-committer-wins applies, so conversing
+//    applications reconcile with the single point of truth only when (and
+//    if) they choose to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txn/mvcc.hpp"
+
+namespace eidb::txn {
+
+class ConversationManager;
+
+class Conversation {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Overlay-aware snapshot read.
+  [[nodiscard]] std::optional<std::int64_t> read(std::int64_t key) const;
+
+  /// Writes to the overlay (never the base).
+  void write(std::int64_t key, std::int64_t value);
+
+  /// Makes this conversation's overlay visible to `attach()` callers.
+  void publish() { published_ = true; }
+  [[nodiscard]] bool published() const { return published_; }
+
+  /// Reads through `other`'s published overlay after our own (layering
+  /// order: own overlay, attachments in attach order, base snapshot).
+  void attach(const std::shared_ptr<const Conversation>& other);
+
+  /// Folds the overlay into the base store via one optimistic transaction.
+  /// Returns false when validation fails (a conflicting base commit won) —
+  /// the overlay is kept, so the application can rebase and retry.
+  [[nodiscard]] bool merge_into_base();
+
+  [[nodiscard]] std::size_t overlay_size() const { return overlay_.size(); }
+
+  /// Conversations pin their base snapshot with a long-lived read-only
+  /// transaction (released on destruction) so version GC cannot prune the
+  /// history they read — the standard price of long-running snapshots in
+  /// multi-version systems.
+  ~Conversation();
+  Conversation(const Conversation&) = delete;
+  Conversation& operator=(const Conversation&) = delete;
+
+ private:
+  friend class ConversationManager;
+  Conversation(std::string name, MvccStore& base)
+      : name_(std::move(name)), base_(base), pin_(base.begin()) {}
+
+  std::string name_;
+  MvccStore& base_;
+  Transaction pin_;  ///< Read-only snapshot anchor.
+  std::map<std::int64_t, std::int64_t> overlay_;
+  std::vector<std::shared_ptr<const Conversation>> attachments_;
+  bool published_ = false;
+};
+
+/// Creates and tracks conversations over one base store.
+class ConversationManager {
+ public:
+  explicit ConversationManager(MvccStore& base) : base_(base) {}
+
+  /// Opens a conversation on the current committed snapshot.
+  [[nodiscard]] std::shared_ptr<Conversation> open(const std::string& name);
+
+  /// Published conversation by name, or nullptr.
+  [[nodiscard]] std::shared_ptr<const Conversation> find(
+      const std::string& name) const;
+
+ private:
+  MvccStore& base_;
+  std::map<std::string, std::shared_ptr<Conversation>> conversations_;
+};
+
+}  // namespace eidb::txn

@@ -1,0 +1,86 @@
+// Synchronization primitives: the baselines of experiment E4.
+//
+// §III of the paper: "many of the internal data structures are based on
+// traditional synchronization methods like locks and latches ... Even
+// read-only synchronization already shows a significant serial part" [6].
+// These are the real primitives; their measured critical-section costs
+// calibrate the contention simulator (hw::sync_sim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace eidb::txn {
+
+/// Test-and-test-and-set spinlock (cache-friendly spin on load).
+class Spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// FIFO ticket lock — fair under contention, models latch queues.
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != my) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() noexcept {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+/// Reader-writer spin latch (writer-preferring, for index-page semantics).
+class RwLatch {
+ public:
+  void lock_shared() noexcept {
+    for (;;) {
+      std::int32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur >= 0 &&
+          state_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire))
+        return;
+    }
+  }
+  void unlock_shared() noexcept {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
+  void lock() noexcept {
+    for (;;) {
+      std::int32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, -1,
+                                       std::memory_order_acquire))
+        return;
+    }
+  }
+  void unlock() noexcept { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::int32_t> state_{0};  // -1 writer, >=0 reader count
+};
+
+}  // namespace eidb::txn

@@ -1,0 +1,157 @@
+#include "txn/mvcc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace eidb::txn {
+
+Transaction MvccStore::begin() {
+  std::scoped_lock lock(mu_);
+  Transaction txn;
+  txn.id = next_txn_++;
+  txn.read_ts = clock_;  // sees everything committed strictly before now+1
+  active_[txn.id] = txn.read_ts;
+  return txn;
+}
+
+Transaction MvccStore::begin_at(Timestamp read_ts) {
+  std::scoped_lock lock(mu_);
+  EIDB_EXPECTS(read_ts <= clock_);
+  Transaction txn;
+  txn.id = next_txn_++;
+  txn.read_ts = read_ts;
+  active_[txn.id] = txn.read_ts;
+  return txn;
+}
+
+std::optional<std::int64_t> MvccStore::read(const Transaction& txn,
+                                            std::int64_t key) {
+  EIDB_EXPECTS(txn.state == TxnState::kActive);
+  std::scoped_lock lock(mu_);
+  const auto it = chains_.find(key);
+  if (it == chains_.end()) return std::nullopt;
+  // Own uncommitted write wins.
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit)
+    if (rit->writer == txn.id) return rit->value;
+  // Otherwise: newest committed version visible at read_ts.
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    const Version& v = *rit;
+    if (v.writer != 0) continue;  // someone else's intent
+    if (v.begin_ts <= txn.read_ts && txn.read_ts < v.end_ts) return v.value;
+  }
+  return std::nullopt;
+}
+
+bool MvccStore::write(Transaction& txn, std::int64_t key, std::int64_t value) {
+  EIDB_EXPECTS(txn.state == TxnState::kActive);
+  std::scoped_lock lock(mu_);
+  auto& chain = chains_[key];
+  for (Version& v : chain) {
+    if (v.writer == txn.id) {
+      v.value = value;  // overwrite own intent
+      return true;
+    }
+    if (v.writer != 0) return false;  // foreign intent: ww conflict
+  }
+  Version intent;
+  intent.value = value;
+  intent.writer = txn.id;
+  chain.push_back(intent);
+  txn.write_set.push_back(key);
+  return true;
+}
+
+std::optional<Timestamp> MvccStore::commit(Transaction& txn) {
+  EIDB_EXPECTS(txn.state == TxnState::kActive);
+  std::scoped_lock lock(mu_);
+  // Validation (first-committer-wins): no key in the write set may have
+  // gained a committed version newer than our snapshot.
+  for (const std::int64_t key : txn.write_set) {
+    const auto it = chains_.find(key);
+    EIDB_ASSERT(it != chains_.end());
+    for (const Version& v : it->second) {
+      if (v.writer == 0 && v.begin_ts > txn.read_ts) {
+        // Conflict: roll back intents.
+        for (const std::int64_t k : txn.write_set) {
+          auto& chain = chains_[k];
+          std::erase_if(chain,
+                        [&](const Version& x) { return x.writer == txn.id; });
+        }
+        txn.state = TxnState::kAborted;
+        active_.erase(txn.id);
+        return std::nullopt;
+      }
+    }
+  }
+  const Timestamp commit_ts = ++clock_;
+  for (const std::int64_t key : txn.write_set) {
+    auto& chain = chains_[key];
+    // Close the previously live committed version.
+    for (Version& v : chain)
+      if (v.writer == 0 && v.end_ts == kInfinity) v.end_ts = commit_ts;
+    for (Version& v : chain) {
+      if (v.writer == txn.id) {
+        v.writer = 0;
+        v.begin_ts = commit_ts;
+        v.end_ts = kInfinity;
+      }
+    }
+  }
+  txn.state = TxnState::kCommitted;
+  active_.erase(txn.id);
+  return commit_ts;
+}
+
+void MvccStore::abort(Transaction& txn) {
+  EIDB_EXPECTS(txn.state == TxnState::kActive);
+  std::scoped_lock lock(mu_);
+  for (const std::int64_t key : txn.write_set) {
+    auto& chain = chains_[key];
+    std::erase_if(chain,
+                  [&](const Version& x) { return x.writer == txn.id; });
+  }
+  txn.state = TxnState::kAborted;
+  active_.erase(txn.id);
+}
+
+std::size_t MvccStore::key_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, chain] : chains_)
+    for (const Version& v : chain)
+      if (v.writer == 0 && v.end_ts == kInfinity) {
+        ++n;
+        break;
+      }
+  return n;
+}
+
+std::size_t MvccStore::version_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, chain] : chains_) n += chain.size();
+  return n;
+}
+
+Timestamp MvccStore::oldest_active_locked() const {
+  Timestamp oldest = clock_ + 1;
+  for (const auto& [_, ts] : active_) oldest = std::min(oldest, ts);
+  return oldest;
+}
+
+std::size_t MvccStore::gc() {
+  std::scoped_lock lock(mu_);
+  const Timestamp watermark = oldest_active_locked();
+  std::size_t reclaimed = 0;
+  for (auto& [_, chain] : chains_) {
+    const std::size_t before = chain.size();
+    std::erase_if(chain, [&](const Version& v) {
+      return v.writer == 0 && v.end_ts != kInfinity && v.end_ts <= watermark;
+    });
+    reclaimed += before - chain.size();
+  }
+  return reclaimed;
+}
+
+}  // namespace eidb::txn

@@ -1,0 +1,61 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace eidb {
+
+namespace {
+
+std::size_t round_up(std::size_t value, std::size_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(std::size_t size, std::size_t alignment)
+    : size_(size), alignment_(alignment) {
+  EIDB_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (size == 0) return;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t alloc_size = round_up(size, alignment);
+  data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, alloc_size));
+  if (data_ == nullptr) throw std::bad_alloc{};
+  std::memset(data_, 0, alloc_size);
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      alignment_(other.alignment_) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    alignment_ = other.alignment_;
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+void AlignedBuffer::grow(std::size_t new_size) {
+  if (new_size <= size_) return;
+  AlignedBuffer bigger(new_size, alignment_);
+  if (size_ != 0) std::memcpy(bigger.data_, data_, size_);
+  swap(bigger);
+}
+
+void AlignedBuffer::swap(AlignedBuffer& other) noexcept {
+  std::swap(data_, other.data_);
+  std::swap(size_, other.size_);
+  std::swap(alignment_, other.alignment_);
+}
+
+}  // namespace eidb

@@ -1,0 +1,62 @@
+// Cache-line / SIMD-aligned raw memory owned via RAII.
+//
+// Column payloads, hash tables and codec scratch space all live in
+// `AlignedBuffer`s so that vector kernels can use aligned loads and so that
+// buffers never straddle a cache line unintentionally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace eidb {
+
+/// Default alignment: one x86 cache line; also satisfies AVX-512 loads.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, aligned, zero-initialised byte buffer (move-only).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  /// Allocates `size` bytes aligned to `alignment` (a power of two).
+  /// The storage is zero-initialised.
+  explicit AlignedBuffer(std::size_t size,
+                         std::size_t alignment = kCacheLineBytes);
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer();
+
+  /// Number of usable bytes.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+
+  /// Typed view of the buffer; `sizeof(T)` must divide `size()`.
+  template <typename T>
+  [[nodiscard]] std::span<T> as_span() noexcept {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> as_span() const noexcept {
+    return {reinterpret_cast<const T*>(data_), size_ / sizeof(T)};
+  }
+
+  /// Grows the buffer to at least `new_size` bytes, preserving contents.
+  /// New bytes are zero-initialised. No-op if already large enough.
+  void grow(std::size_t new_size);
+
+  void swap(AlignedBuffer& other) noexcept;
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = kCacheLineBytes;
+};
+
+}  // namespace eidb

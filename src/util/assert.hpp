@@ -1,0 +1,57 @@
+// Contract-checking macros and the library-wide error type.
+//
+// Follows C++ Core Guidelines I.5/I.7 (state pre/postconditions) and
+// I.10 (use exceptions to signal failure). Contract violations indicate
+// programming errors and abort in debug builds; `eidb::Error` is thrown for
+// recoverable runtime failures (bad input, resource exhaustion, missing
+// hardware capabilities).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eidb {
+
+/// Library-wide exception for recoverable runtime failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "eidb: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace eidb
+
+/// Precondition check: argument/state requirements of a function.
+#define EIDB_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::eidb::detail::contract_failure("precondition", #cond, __FILE__,    \
+                                       __LINE__);                          \
+  } while (0)
+
+/// Postcondition check: guarantees established by a function.
+#define EIDB_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::eidb::detail::contract_failure("postcondition", #cond, __FILE__,   \
+                                       __LINE__);                          \
+  } while (0)
+
+/// Internal invariant check.
+#define EIDB_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::eidb::detail::contract_failure("invariant", #cond, __FILE__,       \
+                                       __LINE__);                          \
+  } while (0)

@@ -1,0 +1,66 @@
+#include "util/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace eidb {
+
+void BitVector::clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVector::set_all() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  mask_tail();
+}
+
+void BitVector::resize(std::size_t size) {
+  size_ = size;
+  words_.resize((size + 63) / 64, 0);
+  mask_tail();
+}
+
+std::size_t BitVector::count() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  EIDB_EXPECTS(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  EIDB_EXPECTS(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::and_not(const BitVector& other) {
+  EIDB_EXPECTS(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+void BitVector::flip_all() {
+  for (std::uint64_t& w : words_) w = ~w;
+  mask_tail();
+}
+
+std::vector<std::uint32_t> BitVector::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each_set([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+void BitVector::mask_tail() {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+}  // namespace eidb

@@ -1,0 +1,94 @@
+// Dense bit vector used for selection bitmaps in the execution engine.
+//
+// Scan kernels produce one bit per tuple; downstream operators consume the
+// bitmap either bit-by-bit or via `for_each_set` / `to_indices`, which use
+// word-at-a-time iteration (count-trailing-zeros) so sparse bitmaps are
+// cheap to walk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eidb {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `size` bits, all cleared.
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of 64-bit words backing the vector.
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] std::uint64_t* words() noexcept { return words_.data(); }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_.data();
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void assign(std::size_t i, bool value) {
+    if (value)
+      set(i);
+    else
+      reset(i);
+  }
+
+  /// Sets all bits to zero without changing the size.
+  void clear_all();
+  /// Sets all bits to one (tail bits beyond `size()` stay zero).
+  void set_all();
+
+  /// Resizes to `size` bits; newly added bits are cleared.
+  void resize(std::size_t size);
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// In-place logical AND / OR / ANDNOT with another vector of equal size.
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  /// this &= ~other
+  BitVector& and_not(const BitVector& other);
+  /// Flips every bit (tail bits beyond `size()` stay zero).
+  void flip_all();
+
+  /// Calls `fn(index)` for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Returns the indices of all set bits.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void mask_tail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace eidb

@@ -1,0 +1,4 @@
+#include "util/clock.hpp"
+
+// Header-only types; this translation unit anchors the header in the build
+// so include hygiene is compile-checked even before other users exist.

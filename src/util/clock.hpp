@@ -1,0 +1,55 @@
+// Wall-clock stopwatch (measured mode) and virtual clock (simulated mode).
+//
+// The engine runs in one of two modes (see DESIGN.md §5): `Measured` uses
+// real elapsed time on the host; `Simulated` advances a `VirtualClock`
+// driven by the machine model, which is how multi-core scaling and DVFS
+// experiments run on a single-core container.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace eidb {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] std::uint64_t elapsed_nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Discrete-event virtual time, in seconds. Monotone by construction.
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  /// Advances time by `dt` seconds (dt >= 0).
+  void advance(double dt) noexcept {
+    if (dt > 0) now_s_ += dt;
+  }
+  /// Moves time forward to `t` if `t` is in the future.
+  void advance_to(double t) noexcept {
+    if (t > now_s_) now_s_ = t;
+  }
+  void reset() noexcept { now_s_ = 0; }
+
+ private:
+  double now_s_ = 0;
+};
+
+}  // namespace eidb

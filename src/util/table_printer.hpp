@@ -1,0 +1,36 @@
+// Console table / CSV emitter used by every benchmark harness so that the
+// tables in EXPERIMENTS.md are regenerated with a uniform format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eidb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with `precision` significant
+  /// digits and strings verbatim.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_int(long long value);
+
+  /// Renders an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-style CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eidb

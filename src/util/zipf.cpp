@@ -1,0 +1,41 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace eidb {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  EIDB_EXPECTS(n > 0);
+  EIDB_EXPECTS(theta >= 0.0);
+  if (theta_ == 0.0) return;  // uniform fast path
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next() {
+  if (theta_ == 0.0)
+    return rng_.next_bounded(static_cast<std::uint32_t>(
+        n_ > 0xffffffffULL ? 0xffffffffULL : n_));
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfGenerator::zeta(std::size_t n, double theta) {
+  double sum = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace eidb

@@ -1,0 +1,42 @@
+// Zipfian-distributed key generation for skewed workloads.
+//
+// The paper (§IV.B) distinguishes "high-density" data (hot, point-accessed)
+// from "low-density" data (cold, scanned); realistic skew between the two is
+// produced with a Zipf distribution. Implementation: inverse-CDF sampling
+// over a precomputed cumulative table for small domains, and the
+// Gray et al. (SIGMOD'94) analytic approximation for large domains.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb {
+
+class ZipfGenerator {
+ public:
+  /// Distribution over {0, ..., n-1} with exponent `theta` (>= 0).
+  /// theta == 0 degenerates to uniform; theta ~ 0.99 is the YCSB default.
+  ZipfGenerator(std::size_t n, double theta, std::uint64_t seed = 42);
+
+  /// Draws one sample. Rank 0 is the most popular item.
+  std::uint64_t next();
+
+  [[nodiscard]] std::size_t domain() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  double zeta2_ = 0;
+  Pcg32 rng_;
+
+  static double zeta(std::size_t n, double theta);
+};
+
+}  // namespace eidb

@@ -1,0 +1,67 @@
+#include "energy/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace eidb::energy {
+namespace {
+
+TEST(Ledger, AccumulatesByOperator) {
+  EnergyLedger ledger;
+  ledger.add({"scan", 1.0, {100, 200}, 5.0, 1000});
+  ledger.add({"scan", 0.5, {50, 100}, 2.0, 500});
+  ledger.add({"agg", 0.1, {10, 0}, 0.5, 100});
+  const auto entries = ledger.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].operator_name, "scan");  // sorted by energy desc
+  EXPECT_DOUBLE_EQ(entries[0].elapsed_s, 1.5);
+  EXPECT_DOUBLE_EQ(entries[0].energy_j, 7.0);
+  EXPECT_EQ(entries[0].tuples, 1500u);
+  EXPECT_DOUBLE_EQ(entries[0].work.dram_bytes, 300);
+}
+
+TEST(Ledger, TotalSumsAll) {
+  EnergyLedger ledger;
+  ledger.add({"a", 1, {1, 2}, 3, 4});
+  ledger.add({"b", 10, {10, 20}, 30, 40});
+  const LedgerEntry t = ledger.total();
+  EXPECT_DOUBLE_EQ(t.elapsed_s, 11);
+  EXPECT_DOUBLE_EQ(t.energy_j, 33);
+  EXPECT_EQ(t.tuples, 44u);
+}
+
+TEST(Ledger, ClearEmpties) {
+  EnergyLedger ledger;
+  ledger.add({"a", 1, {}, 1, 1});
+  ledger.clear();
+  EXPECT_TRUE(ledger.entries().empty());
+  EXPECT_DOUBLE_EQ(ledger.total().energy_j, 0);
+}
+
+TEST(Ledger, ThreadSafeAccumulation) {
+  EnergyLedger ledger;
+  constexpr int kThreads = 4, kAdds = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&ledger] {
+      for (int i = 0; i < kAdds; ++i) ledger.add({"op", 0.001, {1, 1}, 0.01, 1});
+    });
+  for (auto& th : threads) th.join();
+  const LedgerEntry total = ledger.total();
+  EXPECT_EQ(total.tuples, static_cast<std::uint64_t>(kThreads) * kAdds);
+  EXPECT_NEAR(total.energy_j, kThreads * kAdds * 0.01, 1e-6);
+}
+
+TEST(Ledger, RendersTable) {
+  EnergyLedger ledger;
+  ledger.add({"scan", 1.0, {0, 2e6}, 5.0, 42});
+  const std::string s = ledger.to_string();
+  EXPECT_NE(s.find("scan"), std::string::npos);
+  EXPECT_NE(s.find("operator"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eidb::energy

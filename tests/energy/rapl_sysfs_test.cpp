@@ -1,0 +1,141 @@
+// RaplMeter against a synthetic powercap sysfs tree: counter reading,
+// package/dram domain discovery, and wraparound handling — testable on any
+// host by pointing the meter at a temp directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "energy/rapl_meter.hpp"
+
+namespace eidb::energy {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    root_ = fs::temp_directory_path() /
+            ("eidb_rapl_test_" + std::to_string(::getpid()));
+    fs::create_directories(root_);
+  }
+  ~FakeSysfs() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  [[nodiscard]] std::string path() const { return root_.string(); }
+
+  /// Creates a package domain directory with optional dram subdomain.
+  void add_package(int index, std::uint64_t energy_uj,
+                   std::uint64_t max_range_uj, bool with_dram) {
+    const fs::path pkg = root_ / ("intel-rapl:" + std::to_string(index));
+    fs::create_directories(pkg);
+    write(pkg / "name", "package-" + std::to_string(index));
+    write(pkg / "energy_uj", std::to_string(energy_uj));
+    write(pkg / "max_energy_range_uj", std::to_string(max_range_uj));
+    if (with_dram) {
+      const fs::path dram = pkg / ("intel-rapl:" + std::to_string(index) +
+                                   ":0");
+      fs::create_directories(dram);
+      write(dram / "name", "dram");
+      write(dram / "energy_uj", "0");
+      write(dram / "max_energy_range_uj", std::to_string(max_range_uj));
+    }
+  }
+
+  void set_energy(int index, std::uint64_t energy_uj) {
+    write(root_ / ("intel-rapl:" + std::to_string(index)) / "energy_uj",
+          std::to_string(energy_uj));
+  }
+  void set_dram_energy(int index, std::uint64_t energy_uj) {
+    const auto i = std::to_string(index);
+    write(root_ / ("intel-rapl:" + i) / ("intel-rapl:" + i + ":0") /
+              "energy_uj",
+          std::to_string(energy_uj));
+  }
+
+ private:
+  static void write(const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content << "\n";
+  }
+  fs::path root_;
+};
+
+TEST(RaplSysfs, DiscoversPackagesAndDram) {
+  FakeSysfs sysfs;
+  sysfs.add_package(0, 1'000'000, 1'000'000'000, true);
+  sysfs.add_package(1, 2'000'000, 1'000'000'000, false);
+  RaplMeter meter(sysfs.path());
+  EXPECT_TRUE(meter.available());
+  EXPECT_EQ(meter.package_count(), 2u);
+}
+
+TEST(RaplSysfs, DeltasAccumulateAcrossReads) {
+  FakeSysfs sysfs;
+  sysfs.add_package(0, 1'000'000, 1'000'000'000, true);  // 1 J
+  RaplMeter meter(sysfs.path());
+  const EnergySample first = meter.read();  // primes counters
+  EXPECT_DOUBLE_EQ(first.package_j, 0.0);
+
+  sysfs.set_energy(0, 3'500'000);  // +2.5 J
+  sysfs.set_dram_energy(0, 500'000);
+  const EnergySample second = meter.read();
+  EXPECT_NEAR(second.package_j, 2.5, 1e-9);
+  EXPECT_NEAR(second.dram_j, 0.5, 1e-9);
+
+  sysfs.set_energy(0, 4'000'000);  // +0.5 J more
+  const EnergySample third = meter.read();
+  EXPECT_NEAR(third.package_j, 3.0, 1e-9);
+}
+
+TEST(RaplSysfs, HandlesCounterWraparound) {
+  FakeSysfs sysfs;
+  constexpr std::uint64_t kRange = 10'000'000;  // 10 J range
+  sysfs.add_package(0, 9'800'000, kRange, false);
+  RaplMeter meter(sysfs.path());
+  (void)meter.read();  // prime at 9.8 J
+
+  sysfs.set_energy(0, 300'000);  // wrapped: 0.2 J to the edge + 0.3 J
+  const EnergySample s = meter.read();
+  EXPECT_NEAR(s.package_j, 0.5, 1e-9);
+}
+
+TEST(RaplSysfs, MultiplePackagesSum) {
+  FakeSysfs sysfs;
+  sysfs.add_package(0, 0, 1'000'000'000, false);
+  sysfs.add_package(1, 0, 1'000'000'000, false);
+  RaplMeter meter(sysfs.path());
+  (void)meter.read();
+  sysfs.set_energy(0, 1'000'000);
+  sysfs.set_energy(1, 2'000'000);
+  EXPECT_NEAR(meter.read().package_j, 3.0, 1e-9);
+}
+
+TEST(RaplSysfs, IgnoresNonPackageEntries) {
+  FakeSysfs sysfs;
+  sysfs.add_package(0, 0, 1'000'000'000, false);
+  // A stray directory that is not a RAPL domain.
+  fs::create_directories(fs::path(sysfs.path()) / "not-a-domain");
+  RaplMeter meter(sysfs.path());
+  EXPECT_EQ(meter.package_count(), 1u);
+}
+
+TEST(RaplSysfs, MonotoneEvenIfFileGoesMissing) {
+  FakeSysfs sysfs;
+  sysfs.add_package(0, 1'000'000, 1'000'000'000, false);
+  RaplMeter meter(sysfs.path());
+  (void)meter.read();
+  sysfs.set_energy(0, 2'000'000);
+  const double before = meter.read().package_j;
+  // Remove the file: reads keep returning the accumulated value.
+  fs::remove(fs::path(sysfs.path()) / "intel-rapl:0" / "energy_uj");
+  const double after = meter.read().package_j;
+  EXPECT_DOUBLE_EQ(after, before);
+}
+
+}  // namespace
+}  // namespace eidb::energy

@@ -1,0 +1,101 @@
+#include "exec/adaptive_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+BitVector reference(const std::vector<std::int32_t>& v, std::int32_t lo,
+                    std::int32_t hi) {
+  BitVector b(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] >= lo && v[i] <= hi) b.set(i);
+  return b;
+}
+
+TEST(AdaptiveScan, CorrectOnUniformData) {
+  const opt::CostModel model = opt::CostModel::defaults();
+  Pcg32 rng(1);
+  std::vector<std::int32_t> v(300000);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_bounded(1000));
+  AdaptiveScan scan(model, 0.1, 64 * 512);
+  BitVector out(v.size());
+  AdaptiveScanStats stats;
+  scan.scan(v, 100, 299, out, stats);
+  EXPECT_EQ(out, reference(v, 100, 299));
+  EXPECT_GT(stats.chunks, 1u);
+  EXPECT_NEAR(stats.final_selectivity_estimate, 0.2, 0.05);
+}
+
+TEST(AdaptiveScan, TracksClusteredSelectivityWithSwitches) {
+  // Scalar-only model (no SIMD): the branching<->predicated decision flips
+  // between a ~0%-selectivity region and a ~50% region.
+  opt::KernelCosts costs;
+  const opt::CostModel model(costs);
+  std::vector<std::int32_t> v;
+  // Region A: no matches (values 1000+); region B: ~50% matches.
+  for (int i = 0; i < 200000; ++i) v.push_back(1000 + i % 100);
+  Pcg32 rng(2);
+  for (int i = 0; i < 200000; ++i)
+    v.push_back(static_cast<std::int32_t>(rng.next_bounded(2)));  // 0 or 1
+
+  // Force the scalar decision space by picking on a machine without SIMD:
+  // emulate via a model whose SIMD costs are prohibitive.
+  opt::KernelCosts no_simd = costs;
+  no_simd.avx2 = 1e9;
+  no_simd.avx512 = 1e9;
+  const opt::CostModel scalar_model(no_simd);
+
+  AdaptiveScan scan(scalar_model, 0.01, 64 * 256);
+  BitVector out(v.size());
+  AdaptiveScanStats stats;
+  scan.scan(v, 0, 0, out, stats);  // matches value==0: none in A, ~50% in B
+  EXPECT_EQ(out, reference(v, 0, 0));
+  EXPECT_GE(stats.switches, 1u);  // branching in A -> predicated in B
+  EXPECT_EQ(stats.variant_per_chunk.front(), ScanVariant::kBranching);
+  EXPECT_EQ(stats.variant_per_chunk.back(), ScanVariant::kPredicated);
+}
+
+TEST(AdaptiveScan, NoSwitchesWhenSimdAlwaysWins) {
+  const opt::CostModel model = opt::CostModel::defaults();
+  if (!cpu_has_avx2() && !cpu_has_avx512())
+    GTEST_SKIP() << "no SIMD on this host";
+  Pcg32 rng(3);
+  std::vector<std::int32_t> v(200000);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_bounded(100));
+  AdaptiveScan scan(model, 0.5, 64 * 128);
+  BitVector out(v.size());
+  AdaptiveScanStats stats;
+  scan.scan(v, 0, 49, out, stats);
+  EXPECT_EQ(stats.switches, 0u);  // SIMD dominates at every selectivity
+  EXPECT_EQ(out, reference(v, 0, 49));
+}
+
+TEST(AdaptiveScan, TailSmallerThanChunk) {
+  const opt::CostModel model = opt::CostModel::defaults();
+  Pcg32 rng(4);
+  std::vector<std::int32_t> v(1000);  // much smaller than one chunk
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_bounded(10));
+  AdaptiveScan scan(model, 0.1);
+  BitVector out(v.size());
+  AdaptiveScanStats stats;
+  scan.scan(v, 3, 5, out, stats);
+  EXPECT_EQ(out, reference(v, 3, 5));
+  EXPECT_EQ(stats.chunks, 1u);
+}
+
+TEST(AdaptiveScan, EmptyInput) {
+  const opt::CostModel model = opt::CostModel::defaults();
+  AdaptiveScan scan(model);
+  BitVector out(0);
+  AdaptiveScanStats stats;
+  scan.scan({}, 0, 1, out, stats);
+  EXPECT_EQ(stats.chunks, 0u);
+}
+
+}  // namespace
+}  // namespace eidb::exec

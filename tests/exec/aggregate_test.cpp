@@ -1,0 +1,190 @@
+#include "exec/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+BitVector all_set(std::size_t n) {
+  BitVector b(n);
+  b.set_all();
+  return b;
+}
+
+TEST(Aggregate, AllInt64) {
+  const std::vector<std::int64_t> v = {3, -1, 7, 7, 0};
+  const AggResult r = aggregate_all(std::span<const std::int64_t>(v));
+  EXPECT_EQ(r.count, 5u);
+  EXPECT_EQ(r.sum, 16);
+  EXPECT_EQ(r.min, -1);
+  EXPECT_EQ(r.max, 7);
+  EXPECT_DOUBLE_EQ(r.avg(), 3.2);
+}
+
+TEST(Aggregate, AllDouble) {
+  const std::vector<double> v = {1.5, -0.5};
+  const AggResultD r = aggregate_all(std::span<const double>(v));
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_DOUBLE_EQ(r.sum, 1.0);
+  EXPECT_DOUBLE_EQ(r.min, -0.5);
+  EXPECT_DOUBLE_EQ(r.max, 1.5);
+  EXPECT_DOUBLE_EQ(r.avg(), 0.5);
+}
+
+TEST(Aggregate, EmptyInput) {
+  const std::vector<std::int64_t> v;
+  const AggResult r = aggregate_all(std::span<const std::int64_t>(v));
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.sum, 0);
+  EXPECT_DOUBLE_EQ(r.avg(), 0.0);
+}
+
+TEST(Aggregate, SelectedSubset) {
+  const std::vector<std::int64_t> v = {10, 20, 30, 40};
+  BitVector sel(4);
+  sel.set(1);
+  sel.set(3);
+  const AggResult r = aggregate_selected(v, sel);
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.sum, 60);
+  EXPECT_EQ(r.min, 20);
+  EXPECT_EQ(r.max, 40);
+}
+
+TEST(Aggregate, EmptySelection) {
+  const std::vector<std::int64_t> v = {1, 2, 3};
+  const BitVector sel(3);
+  const AggResult r = aggregate_selected(v, sel);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.min, 0);
+  EXPECT_EQ(r.max, 0);
+}
+
+TEST(Aggregate, SelectedDouble) {
+  const std::vector<double> v = {1.0, 2.0, 4.0};
+  BitVector sel(3);
+  sel.set(0);
+  sel.set(2);
+  const AggResultD r = aggregate_selected(std::span<const double>(v), sel);
+  EXPECT_DOUBLE_EQ(r.sum, 5.0);
+  EXPECT_DOUBLE_EQ(r.avg(), 2.5);
+}
+
+std::map<std::int64_t, AggResult> reference_group(
+    const std::vector<std::int64_t>& keys,
+    const std::vector<std::int64_t>& values, const BitVector& sel) {
+  std::map<std::int64_t, AggResult> m;
+  sel.for_each_set([&](std::size_t i) {
+    auto [it, fresh] = m.try_emplace(keys[i]);
+    AggResult& a = it->second;
+    if (fresh) {
+      a.min = a.max = values[i];
+      a.sum = values[i];
+      a.count = 1;
+    } else {
+      ++a.count;
+      a.sum += values[i];
+      a.min = std::min(a.min, values[i]);
+      a.max = std::max(a.max, values[i]);
+    }
+  });
+  return m;
+}
+
+void expect_matches_reference(const std::vector<GroupRow>& rows,
+                              const std::map<std::int64_t, AggResult>& ref) {
+  ASSERT_EQ(rows.size(), ref.size());
+  auto it = ref.begin();
+  for (const GroupRow& row : rows) {
+    EXPECT_EQ(row.key, it->first);
+    EXPECT_EQ(row.agg.count, it->second.count);
+    EXPECT_EQ(row.agg.sum, it->second.sum);
+    EXPECT_EQ(row.agg.min, it->second.min);
+    EXPECT_EQ(row.agg.max, it->second.max);
+    ++it;
+  }
+}
+
+TEST(GroupAggregate, SmallExample) {
+  const std::vector<std::int64_t> keys = {1, 2, 1, 3, 2, 1};
+  const std::vector<std::int64_t> vals = {10, 20, 30, 40, 50, 60};
+  const auto rows = group_aggregate(keys, vals, all_set(6));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, 1);
+  EXPECT_EQ(rows[0].agg.sum, 100);
+  EXPECT_EQ(rows[0].agg.count, 3u);
+  EXPECT_EQ(rows[1].key, 2);
+  EXPECT_EQ(rows[1].agg.sum, 70);
+  EXPECT_EQ(rows[2].key, 3);
+  EXPECT_EQ(rows[2].agg.min, 40);
+}
+
+TEST(GroupAggregate, DenseAndHashAgree) {
+  Pcg32 rng(8);
+  std::vector<std::int64_t> keys(20000), vals(20000);
+  for (auto& k : keys) k = rng.next_bounded(100);
+  for (auto& v : vals) v = rng.next_in_range(-1000, 1000);
+  BitVector sel(keys.size());
+  for (std::size_t i = 0; i < sel.size(); ++i)
+    if (rng.next_double() < 0.5) sel.set(i);
+
+  const auto dense =
+      group_aggregate(keys, vals, sel, GroupStrategy::kDenseArray);
+  const auto hash = group_aggregate(keys, vals, sel, GroupStrategy::kHash);
+  const auto ref = reference_group(keys, vals, sel);
+  expect_matches_reference(dense, ref);
+  expect_matches_reference(hash, ref);
+}
+
+TEST(GroupAggregate, AutoFallsBackToHashForWideDomains) {
+  // Keys spread over > 2^20: dense would throw, auto must survive.
+  Pcg32 rng(9);
+  std::vector<std::int64_t> keys(1000), vals(1000);
+  for (auto& k : keys) k = static_cast<std::int64_t>(rng.next64() >> 8);
+  for (auto& v : vals) v = 1;
+  const auto rows = group_aggregate(keys, vals, all_set(1000));
+  const auto ref = reference_group(keys, vals, all_set(1000));
+  expect_matches_reference(rows, ref);
+}
+
+TEST(GroupAggregate, DenseThrowsOnHugeDomain) {
+  const std::vector<std::int64_t> keys = {0, std::int64_t{1} << 40};
+  const std::vector<std::int64_t> vals = {1, 2};
+  EXPECT_THROW(
+      (void)group_aggregate(keys, vals, all_set(2), GroupStrategy::kDenseArray),
+      Error);
+}
+
+TEST(GroupAggregate, NegativeKeys) {
+  const std::vector<std::int64_t> keys = {-5, -5, 3};
+  const std::vector<std::int64_t> vals = {1, 2, 3};
+  const auto rows = group_aggregate(keys, vals, all_set(3));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, -5);
+  EXPECT_EQ(rows[0].agg.sum, 3);
+  EXPECT_EQ(rows[1].key, 3);
+}
+
+TEST(GroupAggregate, EmptySelectionYieldsNoGroups) {
+  const std::vector<std::int64_t> keys = {1, 2};
+  const std::vector<std::int64_t> vals = {1, 2};
+  EXPECT_TRUE(group_aggregate(keys, vals, BitVector(2)).empty());
+}
+
+TEST(GroupAggregate, Int32KeysOverload) {
+  const std::vector<std::int32_t> keys = {2, 1, 2};
+  const std::vector<std::int64_t> vals = {5, 6, 7};
+  const auto rows = group_aggregate32(keys, vals, all_set(3));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, 1);
+  EXPECT_EQ(rows[1].agg.sum, 12);
+}
+
+}  // namespace
+}  // namespace eidb::exec

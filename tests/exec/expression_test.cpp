@@ -1,0 +1,108 @@
+#include "exec/expression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+namespace {
+
+storage::Table make_table() {
+  using storage::Column;
+  storage::Table t("t", storage::Schema({{"a", storage::TypeId::kInt64},
+                                         {"b", storage::TypeId::kDouble},
+                                         {"c", storage::TypeId::kInt32},
+                                         {"s", storage::TypeId::kString}}));
+  const std::vector<std::int64_t> a = {1, 2, 3, 4};
+  const std::vector<double> b = {0.5, 1.5, 2.5, 3.5};
+  const std::vector<std::int32_t> c = {10, 20, 30, 40};
+  t.set_column(0, Column::from_int64("a", a));
+  t.set_column(1, Column::from_double("b", b));
+  t.set_column(2, Column::from_int32("c", c));
+  t.set_column(3, Column::from_strings("s", {"x", "y", "z", "w"}));
+  return t;
+}
+
+TEST(Expression, ColumnLeaf) {
+  const auto t = make_table();
+  std::vector<double> out;
+  evaluate_expression(*Expr::column("b"), t, out);
+  EXPECT_EQ(out, (std::vector<double>{0.5, 1.5, 2.5, 3.5}));
+}
+
+TEST(Expression, IntColumnsWiden) {
+  const auto t = make_table();
+  std::vector<double> out;
+  evaluate_expression(*Expr::column("a"), t, out);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 4}));
+  evaluate_expression(*Expr::column("c"), t, out);
+  EXPECT_EQ(out, (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(Expression, LiteralBroadcasts) {
+  const auto t = make_table();
+  std::vector<double> out;
+  evaluate_expression(*Expr::literal(7.5), t, out);
+  EXPECT_EQ(out, (std::vector<double>{7.5, 7.5, 7.5, 7.5}));
+}
+
+TEST(Expression, Arithmetic) {
+  const auto t = make_table();
+  // a * b + c / 10
+  const auto e = Expr::binary(
+      ExprOp::kAdd, Expr::binary(ExprOp::kMul, Expr::column("a"),
+                                 Expr::column("b")),
+      Expr::binary(ExprOp::kDiv, Expr::column("c"), Expr::literal(10)));
+  std::vector<double> out;
+  evaluate_expression(*e, t, out);
+  EXPECT_DOUBLE_EQ(out[0], 1 * 0.5 + 1);
+  EXPECT_DOUBLE_EQ(out[3], 4 * 3.5 + 4);
+}
+
+TEST(Expression, SsbRevenueForm) {
+  const auto t = make_table();
+  // a * (1 - b)
+  const auto e = Expr::binary(
+      ExprOp::kMul, Expr::column("a"),
+      Expr::binary(ExprOp::kSub, Expr::literal(1), Expr::column("b")));
+  std::vector<double> out;
+  evaluate_expression(*e, t, out);
+  EXPECT_DOUBLE_EQ(out[1], 2 * (1 - 1.5));
+}
+
+TEST(Expression, DivisionByZeroIsIeee) {
+  const auto t = make_table();
+  const auto e =
+      Expr::binary(ExprOp::kDiv, Expr::column("a"), Expr::literal(0));
+  std::vector<double> out;
+  evaluate_expression(*e, t, out);
+  EXPECT_TRUE(std::isinf(out[0]));
+}
+
+TEST(Expression, StringColumnRejected) {
+  const auto t = make_table();
+  std::vector<double> out;
+  EXPECT_THROW(evaluate_expression(*Expr::column("s"), t, out), Error);
+}
+
+TEST(Expression, UnknownColumnRejected) {
+  const auto t = make_table();
+  std::vector<double> out;
+  EXPECT_THROW(evaluate_expression(*Expr::column("nope"), t, out), Error);
+}
+
+TEST(Expression, CollectColumnsAndToString) {
+  const auto e = Expr::binary(
+      ExprOp::kMul, Expr::column("revenue"),
+      Expr::binary(ExprOp::kSub, Expr::literal(1), Expr::column("discount")));
+  std::vector<std::string> cols;
+  e->collect_columns(cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"revenue", "discount"}));
+  EXPECT_EQ(e->to_string(), "(revenue * (1 - discount))");
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -1,0 +1,120 @@
+#include "exec/hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+TEST(HashTable, InsertAndFind) {
+  HashTable<int> t;
+  t.get_or_insert(42) = 7;
+  t.get_or_insert(-1) = 9;
+  ASSERT_NE(t.find(42), nullptr);
+  EXPECT_EQ(*t.find(42), 7);
+  EXPECT_EQ(*t.find(-1), 9);
+  EXPECT_EQ(t.find(99), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(HashTable, GetOrInsertIdempotent) {
+  HashTable<int> t;
+  t.get_or_insert(5) = 1;
+  t.get_or_insert(5) += 10;
+  EXPECT_EQ(*t.find(5), 11);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(HashTable, OnInsertCallbackOnlyForFreshKeys) {
+  HashTable<int> t;
+  int calls = 0;
+  t.get_or_insert(1, [&](int& v) {
+    v = 100;
+    ++calls;
+  });
+  t.get_or_insert(1, [&](int& v) {
+    v = 200;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(*t.find(1), 100);
+}
+
+TEST(HashTable, GrowsUnderLoadAndKeepsEntries) {
+  HashTable<std::int64_t> t(4);
+  constexpr int kN = 10000;
+  for (std::int64_t i = 0; i < kN; ++i) t.get_or_insert(i * 31) = i;
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(kN));
+  EXPECT_GE(t.capacity() * 7, t.size() * 10);  // load <= 0.7
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_NE(t.find(i * 31), nullptr) << i;
+    EXPECT_EQ(*t.find(i * 31), i);
+  }
+}
+
+TEST(HashTable, CollidingKeysAllSurvive) {
+  // Keys chosen to collide in small tables (same low bits).
+  HashTable<int> t(4);
+  for (int i = 0; i < 64; ++i) t.get_or_insert(std::int64_t{i} << 32) = i;
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(*t.find(std::int64_t{i} << 32), i);
+}
+
+TEST(HashTable, ForEachVisitsAllOnce) {
+  HashTable<int> t;
+  std::set<std::int64_t> want;
+  Pcg32 rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.next64());
+    want.insert(k);
+    t.get_or_insert(k) = 1;
+  }
+  std::set<std::int64_t> got;
+  t.for_each([&](std::int64_t k, const int&) { got.insert(k); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(HashTable, RandomizedAgainstStdMap) {
+  HashTable<std::int64_t> t;
+  std::map<std::int64_t, std::int64_t> ref;
+  Pcg32 rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.next_bounded(5000));
+    t.get_or_insert(k) += 1;
+    ref[k] += 1;
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_EQ(*t.find(k), v);
+}
+
+TEST(JoinHashTable, DuplicateKeysChain) {
+  JoinHashTable t;
+  t.insert(7, 1);
+  t.insert(7, 2);
+  t.insert(7, 3);
+  t.insert(8, 4);
+  std::vector<std::uint32_t> rows;
+  t.probe(7, [&](std::uint32_t r) { rows.push_back(r); });
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(t.key_count(), 2u);
+  EXPECT_EQ(t.row_count(), 4u);
+  rows.clear();
+  t.probe(99, [&](std::uint32_t r) { rows.push_back(r); });
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(HashKey, SpreadsLowEntropyKeys) {
+  // Sequential keys must not land in sequential buckets only.
+  std::set<std::uint64_t> high_bits;
+  for (std::int64_t i = 0; i < 256; ++i)
+    high_bits.insert(hash_key(i) >> 56);
+  EXPECT_GT(high_bits.size(), 100u);
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -1,0 +1,104 @@
+#include "exec/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+BitVector all_set(std::size_t n) {
+  BitVector b(n);
+  b.set_all();
+  return b;
+}
+
+std::vector<JoinPair> normalized(std::vector<JoinPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.probe_row != b.probe_row) return a.probe_row < b.probe_row;
+    return a.build_row < b.build_row;
+  });
+  return pairs;
+}
+
+TEST(HashJoin, SimpleMatch) {
+  const std::vector<std::int64_t> build = {1, 2, 3};
+  const std::vector<std::int64_t> probe = {2, 4, 1};
+  const auto pairs =
+      hash_join(build, all_set(3), probe, all_set(3));
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].probe_row, 0u);  // probe[0]=2 matches build[1]
+  EXPECT_EQ(pairs[0].build_row, 1u);
+  EXPECT_EQ(pairs[1].probe_row, 2u);  // probe[2]=1 matches build[0]
+  EXPECT_EQ(pairs[1].build_row, 0u);
+}
+
+TEST(HashJoin, DuplicatesProduceCrossProduct) {
+  const std::vector<std::int64_t> build = {5, 5};
+  const std::vector<std::int64_t> probe = {5, 5, 5};
+  const auto pairs = hash_join(build, all_set(2), probe, all_set(3));
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(HashJoin, SelectionsRestrictBothSides) {
+  const std::vector<std::int64_t> build = {1, 1, 2};
+  const std::vector<std::int64_t> probe = {1, 2};
+  BitVector bsel(3);
+  bsel.set(0);  // only build row 0
+  BitVector psel(2);
+  psel.set(0);  // only probe row 0
+  const auto pairs = hash_join(build, bsel, probe, psel);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].build_row, 0u);
+  EXPECT_EQ(pairs[0].probe_row, 0u);
+}
+
+TEST(HashJoin, NoMatches) {
+  const std::vector<std::int64_t> build = {1, 2};
+  const std::vector<std::int64_t> probe = {3, 4};
+  EXPECT_TRUE(hash_join(build, all_set(2), probe, all_set(2)).empty());
+}
+
+TEST(HashJoin, EmptySides) {
+  const std::vector<std::int64_t> none;
+  const std::vector<std::int64_t> some = {1};
+  EXPECT_TRUE(hash_join(none, BitVector(0), some, all_set(1)).empty());
+  EXPECT_TRUE(hash_join(some, all_set(1), none, BitVector(0)).empty());
+}
+
+TEST(HashJoin, MatchesNestedLoopOracleRandomized) {
+  Pcg32 rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t nb = 50 + rng.next_bounded(200);
+    const std::size_t np = 50 + rng.next_bounded(200);
+    std::vector<std::int64_t> build(nb), probe(np);
+    for (auto& k : build) k = rng.next_bounded(40);  // dense keys: many dups
+    for (auto& k : probe) k = rng.next_bounded(40);
+    BitVector bsel(nb), psel(np);
+    for (std::size_t i = 0; i < nb; ++i)
+      if (rng.next_double() < 0.7) bsel.set(i);
+    for (std::size_t i = 0; i < np; ++i)
+      if (rng.next_double() < 0.7) psel.set(i);
+
+    const auto got = normalized(hash_join(build, bsel, probe, psel));
+    const auto want = normalized(nested_loop_join(build, bsel, probe, psel));
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].build_row, want[i].build_row);
+      EXPECT_EQ(got[i].probe_row, want[i].probe_row);
+    }
+  }
+}
+
+TEST(HashJoin, NegativeKeys) {
+  const std::vector<std::int64_t> build = {-7, 0, 7};
+  const std::vector<std::int64_t> probe = {-7, 7};
+  const auto pairs = hash_join(build, all_set(3), probe, all_set(2));
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -1,0 +1,153 @@
+#include "exec/restartable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+std::vector<std::int64_t> make_values(std::size_t n) {
+  Pcg32 rng(17);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.next_in_range(-50, 50);
+  return v;
+}
+
+BitVector all_set(std::size_t n) {
+  BitVector b(n);
+  b.set_all();
+  return b;
+}
+
+TEST(Restartable, NoFaultsMatchesReference) {
+  const auto v = make_values(10000);
+  const BitVector sel = all_set(v.size());
+  const AggResult want = aggregate_selected(v, sel);
+
+  RestartableAggregation agg(128, 4);
+  RestartStats stats;
+  const AggResult got = agg.run(v, sel, nullptr, stats);
+  EXPECT_EQ(got.sum, want.sum);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.min, want.min);
+  EXPECT_EQ(got.max, want.max);
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.morsels_processed, stats.morsels_total);
+}
+
+TEST(Restartable, SurvivesSingleFaultCorrectly) {
+  const auto v = make_values(10000);
+  const BitVector sel = all_set(v.size());
+  const AggResult want = aggregate_selected(v, sel);
+
+  RestartableAggregation agg(100, 5);
+  RestartStats stats;
+  bool fired = false;
+  const AggResult got = agg.run(
+      v, sel,
+      [&](std::uint64_t m) {
+        if (m == 42 && !fired) {
+          fired = true;
+          return true;
+        }
+        return false;
+      },
+      stats);
+  EXPECT_EQ(got.sum, want.sum);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(stats.restarts, 1u);
+  // Fault at morsel 42, last checkpoint at 40: exactly 2 morsels redone.
+  EXPECT_EQ(stats.morsels_reprocessed, 2u);
+}
+
+TEST(Restartable, CheckpointsBoundReprocessing) {
+  const auto v = make_values(100000);
+  const BitVector sel = all_set(v.size());
+  // Fail once at every 25th morsel (100 morsels of 1000 rows).
+  const auto periodic_fault = [](std::uint64_t last_fired) {
+    return [last_fired, fired = std::vector<bool>(1000, false)](
+               std::uint64_t m) mutable {
+      if (m % 25 == 24 && !fired[m]) {
+        fired[m] = true;
+        return true;
+      }
+      (void)last_fired;
+      return false;
+    };
+  };
+
+  RestartableAggregation tight(1000, 1);   // checkpoint every morsel
+  RestartableAggregation loose(1000, 50);  // rarely
+  RestartStats tight_stats, loose_stats;
+  const AggResult a = tight.run(v, sel, periodic_fault(0), tight_stats);
+  const AggResult b = loose.run(v, sel, periodic_fault(0), loose_stats);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_LT(tight_stats.morsels_reprocessed,
+            loose_stats.morsels_reprocessed);
+  EXPECT_GT(tight_stats.checkpoints_taken, loose_stats.checkpoints_taken);
+}
+
+TEST(Restartable, FromScratchLosesAllProgress) {
+  const auto v = make_values(50000);
+  const BitVector sel = all_set(v.size());
+  RestartableAggregation agg(1000, 5);
+
+  // One fault late in the job (morsel 45 of 50).
+  const auto one_fault = [] {
+    return [fired = false](std::uint64_t m) mutable {
+      if (m == 45 && !fired) {
+        fired = true;
+        return true;
+      }
+      return false;
+    };
+  };
+  RestartStats ck, scratch;
+  const AggResult a = agg.run(v, sel, one_fault(), ck);
+  const AggResult b = agg.run_from_scratch(v, sel, one_fault(), scratch);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(scratch.morsels_reprocessed, 45u);  // the paper's motivation
+  EXPECT_EQ(ck.morsels_reprocessed, 0u);        // fault hit a checkpoint
+}
+
+TEST(Restartable, SelectionRespected) {
+  const auto v = make_values(5000);
+  BitVector sel(v.size());
+  Pcg32 rng(3);
+  for (std::size_t i = 0; i < sel.size(); ++i)
+    if (rng.next_double() < 0.3) sel.set(i);
+  const AggResult want = aggregate_selected(v, sel);
+  RestartableAggregation agg(128, 2);
+  RestartStats stats;
+  const AggResult got = agg.run(v, sel, nullptr, stats);
+  EXPECT_EQ(got.sum, want.sum);
+  EXPECT_EQ(got.count, want.count);
+}
+
+TEST(Restartable, PermanentFaultThrowsAfterMaxRestarts) {
+  const auto v = make_values(1000);
+  const BitVector sel = all_set(v.size());
+  RestartableAggregation agg(100, 1);
+  RestartStats stats;
+  EXPECT_THROW((void)agg.run(
+                   v, sel, [](std::uint64_t m) { return m == 5; }, stats,
+                   /*max_restarts=*/10),
+               Error);
+}
+
+TEST(Restartable, EmptyInput) {
+  const std::vector<std::int64_t> v;
+  const BitVector sel(0);
+  RestartableAggregation agg(100, 1);
+  RestartStats stats;
+  const AggResult r = agg.run(v, sel, nullptr, stats);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(stats.morsels_total, 0u);
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -1,0 +1,89 @@
+#include "exec/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+BitVector all_set(std::size_t n) {
+  BitVector b(n);
+  b.set_all();
+  return b;
+}
+
+TEST(Sort, AscendingAndDescending) {
+  const std::vector<std::int64_t> keys = {30, 10, 20};
+  const auto asc = sort_indices(keys, all_set(3), true);
+  EXPECT_EQ(asc, (std::vector<std::uint32_t>{1, 2, 0}));
+  const auto desc = sort_indices(keys, all_set(3), false);
+  EXPECT_EQ(desc, (std::vector<std::uint32_t>{0, 2, 1}));
+}
+
+TEST(Sort, RespectsSelection) {
+  const std::vector<std::int64_t> keys = {5, 1, 9, 3};
+  BitVector sel(4);
+  sel.set(0);
+  sel.set(2);
+  const auto idx = sort_indices(keys, sel, true);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(Sort, StableOnTies) {
+  const std::vector<std::int64_t> keys = {7, 7, 7};
+  const auto idx = sort_indices(keys, all_set(3), true);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{0, 1, 2}));
+  const auto desc = sort_indices(keys, all_set(3), false);
+  EXPECT_EQ(desc, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Sort, DoubleKeys) {
+  const std::vector<double> keys = {1.5, -2.0, 0.0};
+  const auto idx = sort_indices_double(keys, all_set(3), true);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(TopN, ReturnsSmallestN) {
+  const std::vector<std::int64_t> keys = {50, 10, 40, 20, 30};
+  const auto idx = top_n(keys, all_set(5), 3, true);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{1, 3, 4}));
+}
+
+TEST(TopN, DescendingReturnsLargest) {
+  const std::vector<std::int64_t> keys = {50, 10, 40, 20, 30};
+  const auto idx = top_n(keys, all_set(5), 2, false);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(TopN, NLargerThanSelectionSortsAll) {
+  const std::vector<std::int64_t> keys = {3, 1, 2};
+  const auto idx = top_n(keys, all_set(3), 10, true);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(TopN, AgreesWithFullSortPrefix) {
+  Pcg32 rng(31);
+  std::vector<std::int64_t> keys(5000);
+  for (auto& k : keys) k = rng.next_bounded(1000);
+  BitVector sel(keys.size());
+  for (std::size_t i = 0; i < sel.size(); ++i)
+    if (rng.next_double() < 0.6) sel.set(i);
+  const auto full = sort_indices(keys, sel, true);
+  const auto top = top_n(keys, sel, 100, true);
+  ASSERT_EQ(top.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(keys[top[i]], keys[full[i]]) << i;
+}
+
+TEST(Sort, EmptySelection) {
+  const std::vector<std::int64_t> keys = {1, 2};
+  EXPECT_TRUE(sort_indices(keys, BitVector(2), true).empty());
+  EXPECT_TRUE(top_n(keys, BitVector(2), 5, true).empty());
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -1,0 +1,53 @@
+#include "hw/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::hw {
+namespace {
+
+TEST(DvfsTable, MakeCmosSpansRange) {
+  const DvfsTable t = DvfsTable::make_cmos(5, 1.0, 3.0, 0.8, 1.1, 10.0, 1.0);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.slowest().freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(t.fastest().freq_ghz, 3.0);
+  EXPECT_DOUBLE_EQ(t.slowest().voltage_v, 0.8);
+  EXPECT_DOUBLE_EQ(t.fastest().voltage_v, 1.1);
+}
+
+TEST(DvfsTable, TopStateHitsTargetPower) {
+  const DvfsTable t = DvfsTable::make_cmos(4, 1.2, 2.9, 0.85, 1.1, 11.5, 1.5);
+  EXPECT_NEAR(t.fastest().active_power_w, 11.5, 1e-9);
+}
+
+TEST(DvfsTable, PowerIncreasesWithFrequency) {
+  const DvfsTable t = DvfsTable::make_cmos(8, 1.2, 2.9, 0.85, 1.1, 11.5, 1.5);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_GT(t[i].active_power_w, t[i - 1].active_power_w);
+}
+
+TEST(DvfsTable, PowerSuperlinearInFrequency) {
+  // Energy-per-cycle must fall at lower states (the reason pacing can win):
+  // P/f strictly increasing with f.
+  const DvfsTable t = DvfsTable::make_cmos(8, 1.2, 2.9, 0.85, 1.1, 11.5, 0.5);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double epc_lo = t[i - 1].active_power_w / t[i - 1].freq_ghz;
+    const double epc_hi = t[i].active_power_w / t[i].freq_ghz;
+    EXPECT_GT(epc_hi, epc_lo);
+  }
+}
+
+TEST(DvfsTable, AtLeastPicksSlowestSufficientState) {
+  const DvfsTable t = DvfsTable::make_cmos(4, 1.0, 2.5, 0.8, 1.1, 10, 1);
+  EXPECT_DOUBLE_EQ(t.at_least(0.5).freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(t.at_least(1.0).freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(t.at_least(1.1).freq_ghz, 1.5);
+  EXPECT_DOUBLE_EQ(t.at_least(99.0).freq_ghz, 2.5);  // clamps to fastest
+}
+
+TEST(DvfsTable, LeakageIsFloor) {
+  const DvfsTable t = DvfsTable::make_cmos(4, 1.0, 2.5, 0.8, 1.1, 10, 2.0);
+  for (const DvfsState& s : t.states()) EXPECT_GT(s.active_power_w, 2.0);
+}
+
+}  // namespace
+}  // namespace eidb::hw

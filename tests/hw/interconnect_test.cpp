@@ -1,0 +1,44 @@
+#include "hw/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::hw {
+namespace {
+
+TEST(Link, TransferTimeIsLatencyPlusBandwidth) {
+  const LinkSpec l{"test", 1.0, 10.0, 1e-3, 0.0};  // 1 GB/s, 1 ms latency
+  EXPECT_NEAR(l.transfer_time_s(1e9), 1e-3 + 1.0, 1e-9);
+  EXPECT_NEAR(l.transfer_time_s(0), 1e-3, 1e-12);
+}
+
+TEST(Link, TransferEnergyLinearInBytes) {
+  const LinkSpec l{"test", 1.0, 10.0, 0, 0};
+  EXPECT_NEAR(l.transfer_energy_j(1e9), 10.0, 1e-9);
+  EXPECT_NEAR(l.transfer_energy_j(2e9), 20.0, 1e-9);
+}
+
+TEST(Link, PresetsOrderedByBandwidth) {
+  EXPECT_GT(LinkSpec::qpi().bandwidth_gbs, LinkSpec::tengbe().bandwidth_gbs);
+  EXPECT_GT(LinkSpec::tengbe().bandwidth_gbs, LinkSpec::gbe().bandwidth_gbs);
+  EXPECT_GT(LinkSpec::haec_optical().bandwidth_gbs,
+            LinkSpec::tengbe().bandwidth_gbs);
+}
+
+TEST(Link, SlowLinksCostMoreEnergyPerByte) {
+  // The crossover logic in E2 rests on this ordering.
+  EXPECT_GT(LinkSpec::gbe().energy_nj_per_byte,
+            LinkSpec::tengbe().energy_nj_per_byte);
+  EXPECT_GT(LinkSpec::tengbe().energy_nj_per_byte,
+            LinkSpec::qpi().energy_nj_per_byte);
+}
+
+TEST(Link, GbeTransferDominatedByBandwidth) {
+  const LinkSpec gbe = LinkSpec::gbe();
+  // 100 MB over 1GbE: ~0.8 s — latency negligible.
+  const double t = gbe.transfer_time_s(100e6);
+  EXPECT_GT(t, 0.7);
+  EXPECT_LT(t, 0.9);
+}
+
+}  // namespace
+}  // namespace eidb::hw

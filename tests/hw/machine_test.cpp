@@ -1,0 +1,109 @@
+#include "hw/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::hw {
+namespace {
+
+TEST(Machine, ExecTimeComputeBound) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  // Pure compute: 2.9e9 cycles at 2.9 GHz -> 1 second.
+  const Work w{2.9e9, 0};
+  EXPECT_NEAR(m.exec_time_s(w, top), 1.0, 1e-9);
+}
+
+TEST(Machine, ExecTimeMemoryBound) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  // Few cycles, many bytes: 51.2 GB at 51.2 GB/s -> 1 second.
+  const Work w{1e6, 51.2e9};
+  EXPECT_NEAR(m.exec_time_s(w, top), 1.0, 1e-6);
+}
+
+TEST(Machine, MemShareScalesBandwidth) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  const Work w{0, 1e9};
+  EXPECT_NEAR(m.exec_time_s(w, top, 0.5), 2 * m.exec_time_s(w, top, 1.0),
+              1e-12);
+}
+
+TEST(Machine, SlowerStateLongerComputeTime) {
+  const MachineSpec m = MachineSpec::server();
+  const Work w{1e9, 0};
+  EXPECT_GT(m.exec_time_s(w, m.dvfs.slowest()),
+            m.exec_time_s(w, m.dvfs.fastest()));
+}
+
+TEST(Machine, PackagePowerMonotoneInActiveCores) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  double prev = m.package_power_w(top, 0);
+  for (int a = 1; a <= m.cores; ++a) {
+    const double p = m.package_power_w(top, a);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Machine, IdleToPeakRatioMatchesEraHardware) {
+  // Tsirogiannis et al. [12]: idle draws a large fraction of peak (~45%
+  // system-level; package-level somewhat lower). Assert the model is in a
+  // credible 25–55% band.
+  const MachineSpec m = MachineSpec::server();
+  const double idle = m.idle_power_w();
+  const double peak = m.package_power_w(m.dvfs.fastest(), m.cores);
+  EXPECT_GT(idle / peak, 0.25);
+  EXPECT_LT(idle / peak, 0.55);
+}
+
+TEST(Machine, SleepBelowIdleBelowPeak) {
+  for (const MachineSpec& m : {MachineSpec::server(), MachineSpec::laptop()}) {
+    EXPECT_LT(m.sleep_power_w(), m.idle_power_w());
+    EXPECT_LT(m.idle_power_w(), m.package_power_w(m.dvfs.fastest(), m.cores));
+  }
+}
+
+TEST(Machine, EnergySplitsAcrossCores) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  const Work w{8e9, 0};
+  // Perfect scaling: 8 cores finish in 1/8 time but at higher power; energy
+  // should not be 8x — it should be lower than serial because uncore/static
+  // time shrinks.
+  const double e1 = m.energy_j(w, top, 1);
+  const double e8 = m.energy_j(w, top, 8);
+  EXPECT_LT(e8, e1);
+}
+
+TEST(Machine, DramDynamicEnergyCharged) {
+  const MachineSpec m = MachineSpec::server();
+  const DvfsState& top = m.dvfs.fastest();
+  const Work compute_only{1e9, 0};
+  const Work with_dram{1e9, 1e9};
+  EXPECT_GT(m.energy_j(with_dram, top, 1), m.energy_j(compute_only, top, 1));
+}
+
+TEST(Machine, CstatesOrderedByDepth) {
+  const MachineSpec m = MachineSpec::server();
+  for (std::size_t i = 1; i < m.cstates.size(); ++i) {
+    EXPECT_LT(m.cstates[i].power_w, m.cstates[i - 1].power_w);
+    EXPECT_GT(m.cstates[i].wake_latency_s, m.cstates[i - 1].wake_latency_s);
+  }
+}
+
+TEST(Machine, WorkArithmetic) {
+  Work a{100, 200};
+  const Work b{1, 2};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu_cycles, 101);
+  EXPECT_DOUBLE_EQ(a.dram_bytes, 202);
+  const Work c = a + b;
+  EXPECT_DOUBLE_EQ(c.cpu_cycles, 102);
+  const Work d = b * 3.0;
+  EXPECT_DOUBLE_EQ(d.dram_bytes, 6);
+}
+
+}  // namespace
+}  // namespace eidb::hw

@@ -1,0 +1,108 @@
+#include "hw/sync_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::hw {
+namespace {
+
+MachineSpec machine() { return MachineSpec::server(); }
+
+TEST(SyncSim, PerfectScalingWithoutCriticalSection) {
+  const SyncWorkload wl{/*tasks=*/64, /*parallel_s=*/0.01, /*critical_s=*/0,
+                        /*final_serial_s=*/0};
+  const MachineSpec m = machine();
+  const SyncResult r1 = simulate_sync(wl, 1, m, m.dvfs.fastest());
+  const SyncResult r8 = simulate_sync(wl, 8, m, m.dvfs.fastest());
+  EXPECT_NEAR(r1.makespan_s, 0.64, 1e-9);
+  EXPECT_NEAR(r8.makespan_s, 0.08, 1e-9);
+  EXPECT_NEAR(r8.speedup, 8.0, 1e-9);
+  EXPECT_EQ(r8.spin_s, 0.0);
+}
+
+TEST(SyncSim, CriticalSectionCapsSpeedup) {
+  // 10% of each task is serial: speedup must saturate near 1/0.1 = 10
+  // regardless of core count (Amdahl via the lock).
+  const SyncWorkload wl{256, 0.009, 0.001, 0};
+  const MachineSpec m = machine();
+  const SyncResult r64 = simulate_sync(wl, 64, m, m.dvfs.fastest());
+  EXPECT_LT(r64.speedup, 10.5);
+  EXPECT_GT(r64.speedup, 6.0);
+}
+
+TEST(SyncSim, SpeedupMonotoneThenSaturating) {
+  const SyncWorkload wl{128, 0.008, 0.002, 0};
+  const MachineSpec m = machine();
+  double prev = 0;
+  for (int cores : {1, 2, 4, 8, 16}) {
+    const SyncResult r = simulate_sync(wl, cores, m, m.dvfs.fastest());
+    EXPECT_GE(r.speedup + 1e-9, prev);
+    prev = r.speedup;
+  }
+  // Serial fraction 20%: cap at 5x.
+  EXPECT_LT(prev, 5.0 + 1e-6);
+}
+
+TEST(SyncSim, SingleCoreSpeedupIsOne) {
+  const SyncWorkload wl{32, 0.001, 0.0005, 0.01};
+  const MachineSpec m = machine();
+  const SyncResult r = simulate_sync(wl, 1, m, m.dvfs.fastest());
+  EXPECT_NEAR(r.speedup, 1.0, 1e-9);
+  EXPECT_EQ(r.spin_s, 0.0);  // no contention on one core
+}
+
+TEST(SyncSim, FinalSerialTailAddsToMakespan) {
+  const SyncWorkload base{64, 0.001, 0, 0};
+  SyncWorkload with_tail = base;
+  with_tail.final_serial_s = 0.5;
+  const MachineSpec m = machine();
+  const SyncResult a = simulate_sync(base, 8, m, m.dvfs.fastest());
+  const SyncResult b = simulate_sync(with_tail, 8, m, m.dvfs.fastest());
+  EXPECT_NEAR(b.makespan_s - a.makespan_s, 0.5, 1e-9);
+}
+
+TEST(SyncSim, ContentionProducesSpin) {
+  // Critical section dominates: most of the time cores spin.
+  const SyncWorkload wl{64, 0.0001, 0.001, 0};
+  const MachineSpec m = machine();
+  const SyncResult r = simulate_sync(wl, 8, m, m.dvfs.fastest());
+  EXPECT_GT(r.spin_s, 0.0);
+}
+
+TEST(SyncSim, EnergyGrowsWithSpin) {
+  // Same total useful work, more contention -> more energy (spin burns).
+  const MachineSpec m = machine();
+  const SyncWorkload smooth{64, 0.00095, 0.00005, 0};
+  const SyncWorkload contended{64, 0.0001, 0.0009, 0};
+  const SyncResult a = simulate_sync(smooth, 8, m, m.dvfs.fastest());
+  const SyncResult b = simulate_sync(contended, 8, m, m.dvfs.fastest());
+  EXPECT_GT(b.energy_j, a.energy_j);
+}
+
+TEST(SyncSim, ZeroTasks) {
+  const SyncWorkload wl{0, 0.001, 0.001, 0};
+  const MachineSpec m = machine();
+  const SyncResult r = simulate_sync(wl, 4, m, m.dvfs.fastest());
+  EXPECT_EQ(r.makespan_s, 0.0);
+  EXPECT_EQ(r.busy_s, 0.0);
+}
+
+// Property sweep: busy time conservation — busy_s equals tasks*(p+c)+tail
+// for any core count.
+class SyncSimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncSimSweep, BusyTimeConserved) {
+  const int cores = GetParam();
+  const SyncWorkload wl{100, 0.002, 0.0007, 0.01};
+  const MachineSpec m = machine();
+  const SyncResult r = simulate_sync(wl, cores, m, m.dvfs.fastest());
+  EXPECT_NEAR(r.busy_s, 100 * (0.002 + 0.0007) + 0.01, 1e-9);
+  // Makespan bounded below by serial fraction and above by serial execution.
+  EXPECT_GE(r.makespan_s, 100 * 0.0007 / cores);
+  EXPECT_LE(r.makespan_s, 100 * 0.0027 + 0.01 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SyncSimSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace eidb::hw

@@ -1,0 +1,54 @@
+#include "net/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace eidb::net {
+namespace {
+
+TEST(Cluster, ConstructsFullyConnected) {
+  Cluster c(4, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  EXPECT_EQ(c.node_count(), 4u);
+  EXPECT_EQ(c.link(0, 3).name, "10gbe");
+  EXPECT_EQ(c.machine(2).cores, 8);
+}
+
+TEST(Cluster, SendAccountsTimeAndEnergy) {
+  Cluster c(2, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  const auto t = c.send(0, 1, 1e9);
+  EXPECT_GT(t.time_s, 0.0);
+  EXPECT_GT(t.energy_j, 0.0);
+  const LinkStats& s = c.stats(0, 1);
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_DOUBLE_EQ(s.bytes, 1e9);
+  EXPECT_DOUBLE_EQ(s.energy_j, t.energy_j);
+  // Reverse direction untouched.
+  EXPECT_EQ(c.stats(1, 0).messages, 0u);
+}
+
+TEST(Cluster, HeterogeneousLinks) {
+  Cluster c(3, hw::MachineSpec::server(), hw::LinkSpec::gbe());
+  c.set_link(0, 1, hw::LinkSpec::qpi());
+  const auto fast = c.send(0, 1, 1e8);
+  const auto slow = c.send(0, 2, 1e8);
+  EXPECT_LT(fast.time_s, slow.time_s);
+  EXPECT_LT(fast.energy_j, slow.energy_j);
+}
+
+TEST(Cluster, TotalWireEnergySums) {
+  Cluster c(3, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  (void)c.send(0, 1, 1e8);
+  (void)c.send(1, 2, 1e8);
+  (void)c.send(2, 0, 1e8);
+  EXPECT_NEAR(c.total_wire_energy_j(),
+              3 * hw::LinkSpec::tengbe().transfer_energy_j(1e8), 1e-12);
+}
+
+TEST(Cluster, SelfSendRejected) {
+  Cluster c(2, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  EXPECT_DEATH((void)c.send(1, 1, 10), "precondition");
+}
+
+}  // namespace
+}  // namespace eidb::net

@@ -1,0 +1,107 @@
+#include "opt/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::opt {
+namespace {
+
+TEST(CostModel, BranchingCostPeaksAtHalfSelectivity) {
+  const CostModel m = CostModel::defaults();
+  const double at0 =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kBranching, 0.0);
+  const double at50 =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kBranching, 0.5);
+  const double at100 =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kBranching, 1.0);
+  EXPECT_GT(at50, at0);
+  EXPECT_GT(at50, at100);
+  EXPECT_DOUBLE_EQ(at0, at100);  // symmetric flip probability
+}
+
+TEST(CostModel, PredicatedIsFlat) {
+  const CostModel m = CostModel::defaults();
+  const double a =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kPredicated, 0.0);
+  const double b =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kPredicated, 0.7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CostModel, SimdIsCheapest) {
+  const CostModel m = CostModel::defaults();
+  for (const double sel : {0.0, 0.25, 0.5, 0.9}) {
+    EXPECT_LT(m.scan_cycles_per_tuple(exec::ScanVariant::kAvx512, sel),
+              m.scan_cycles_per_tuple(exec::ScanVariant::kAvx2, sel));
+    EXPECT_LT(m.scan_cycles_per_tuple(exec::ScanVariant::kAvx2, sel),
+              m.scan_cycles_per_tuple(exec::ScanVariant::kPredicated, sel));
+  }
+}
+
+TEST(CostModel, ScalarPickCrossesOverWithSelectivity) {
+  // Without SIMD (the Ross setting): branching at the extremes, predicated
+  // in the middle.
+  const CostModel m = CostModel::defaults();
+  EXPECT_EQ(m.pick_scan_variant(0.005, false, false),
+            exec::ScanVariant::kBranching);
+  EXPECT_EQ(m.pick_scan_variant(0.5, false, false),
+            exec::ScanVariant::kPredicated);
+  EXPECT_EQ(m.pick_scan_variant(0.995, false, false),
+            exec::ScanVariant::kBranching);
+}
+
+TEST(CostModel, SimdPickWhenAvailable) {
+  const CostModel m = CostModel::defaults();
+  EXPECT_EQ(m.pick_scan_variant(0.5, true, true), exec::ScanVariant::kAvx512);
+  EXPECT_EQ(m.pick_scan_variant(0.5, true, false), exec::ScanVariant::kAvx2);
+}
+
+TEST(CostModel, WorkScalesLinearly) {
+  const CostModel m = CostModel::defaults();
+  const hw::Work w1 =
+      m.scan_work(exec::ScanVariant::kPredicated, 1000, 0.5, 4);
+  const hw::Work w2 =
+      m.scan_work(exec::ScanVariant::kPredicated, 2000, 0.5, 4);
+  EXPECT_DOUBLE_EQ(w2.cpu_cycles, 2 * w1.cpu_cycles);
+  EXPECT_DOUBLE_EQ(w2.dram_bytes, 2 * w1.dram_bytes);
+  EXPECT_DOUBLE_EQ(w1.dram_bytes, 4000);
+}
+
+TEST(CostModel, GroupHashCostlierThanDense) {
+  const CostModel m = CostModel::defaults();
+  EXPECT_GT(m.group_work(1000, false, 8).cpu_cycles,
+            m.group_work(1000, true, 8).cpu_cycles);
+}
+
+TEST(CostModel, JoinWorkCountsBothSides) {
+  const CostModel m = CostModel::defaults();
+  const hw::Work w = m.join_work(100, 1000, 8);
+  EXPECT_GT(w.cpu_cycles, 0);
+  EXPECT_DOUBLE_EQ(w.dram_bytes, 8 * 1100);
+}
+
+TEST(CostModel, CalibrationProducesUsableConstants) {
+  const CostModel m = CostModel::calibrate(1 << 16);
+  const KernelCosts& c = m.costs();
+  EXPECT_GT(c.predicated, 0.0);
+  EXPECT_GT(c.branch_base, 0.0);
+  EXPECT_GT(c.branch_miss_penalty, 0.0);
+  // Calibrated SIMD cost must undercut the scalar kernels on this host
+  // when the ISA exists.
+  if (exec::cpu_has_avx512()) {
+    EXPECT_LT(c.avx512, c.predicated);
+  }
+  // The picker still behaves sanely with calibrated constants.
+  const exec::ScanVariant v = m.pick_scan_variant(0.5);
+  EXPECT_NE(v, exec::ScanVariant::kAuto);
+}
+
+TEST(CostModel, AutoResolvesToPickedVariant) {
+  const CostModel m = CostModel::defaults();
+  const double c_auto =
+      m.scan_cycles_per_tuple(exec::ScanVariant::kAuto, 0.3);
+  const exec::ScanVariant picked = m.pick_scan_variant(0.3);
+  EXPECT_DOUBLE_EQ(c_auto, m.scan_cycles_per_tuple(picked, 0.3));
+}
+
+}  // namespace
+}  // namespace eidb::opt

@@ -1,0 +1,135 @@
+#include "opt/energy_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::opt {
+namespace {
+
+EnergyOptimizer make_opt() { return EnergyOptimizer(hw::MachineSpec::server()); }
+
+std::vector<PlanCandidate> two_plans() {
+  return {{"full-scan", {8e9, 8e9}}, {"pruned-scan", {1e9, 1e9}}};
+}
+
+TEST(EnergyOptimizer, EnumeratesPlansStatesCores) {
+  const EnergyOptimizer opt = make_opt();
+  const auto points = opt.enumerate(two_plans());
+  const auto& m = opt.machine();
+  EXPECT_EQ(points.size(),
+            2 * m.dvfs.size() * static_cast<std::size_t>(m.cores));
+  for (const auto& p : points) {
+    EXPECT_GT(p.time_s, 0);
+    EXPECT_GT(p.energy_j, 0);
+  }
+}
+
+TEST(EnergyOptimizer, ParetoIsMonotone) {
+  const EnergyOptimizer opt = make_opt();
+  const auto frontier = EnergyOptimizer::pareto(opt.enumerate(two_plans()));
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].time_s, frontier[i - 1].time_s);
+    EXPECT_LT(frontier[i].energy_j, frontier[i - 1].energy_j);
+  }
+}
+
+TEST(EnergyOptimizer, ParetoDominatesAllPoints) {
+  const EnergyOptimizer opt = make_opt();
+  const auto all = opt.enumerate(two_plans());
+  const auto frontier = EnergyOptimizer::pareto(all);
+  for (const auto& p : all) {
+    bool dominated_or_on = false;
+    for (const auto& f : frontier) {
+      if (f.time_s <= p.time_s + 1e-15 && f.energy_j <= p.energy_j + 1e-15) {
+        dominated_or_on = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_or_on);
+  }
+}
+
+TEST(EnergyOptimizer, BudgetCurveIsFig2Shaped) {
+  // Decreasing response time with increasing budget; infeasible below the
+  // floor — exactly the conceptual curve of the paper's Figure 2.
+  const EnergyOptimizer opt = make_opt();
+  const auto plans = two_plans();
+  const PlanPoint floor_point = opt.min_energy_point(plans);
+
+  EXPECT_FALSE(
+      opt.best_under_budget(plans, floor_point.energy_j * 0.5).has_value());
+
+  double prev_time = 1e100;
+  for (double budget = floor_point.energy_j * 1.01;
+       budget < floor_point.energy_j * 40; budget *= 1.5) {
+    const auto point = opt.best_under_budget(plans, budget);
+    ASSERT_TRUE(point.has_value()) << budget;
+    EXPECT_LE(point->time_s, prev_time + 1e-12);
+    EXPECT_LE(point->energy_j, budget);
+    prev_time = point->time_s;
+  }
+}
+
+TEST(EnergyOptimizer, CheaperPlanWinsUnderTightBudget) {
+  const EnergyOptimizer opt = make_opt();
+  const auto plans = two_plans();
+  const PlanPoint floor_point = opt.min_energy_point(plans);
+  EXPECT_EQ(floor_point.plan_name, "pruned-scan");
+  const auto tight = opt.best_under_budget(plans, floor_point.energy_j * 1.05);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->plan_name, "pruned-scan");
+}
+
+TEST(EnergyOptimizer, GenerousBudgetBuysParallelSpeed) {
+  const EnergyOptimizer opt = make_opt();
+  const auto plans = two_plans();
+  const auto generous = opt.best_under_budget(plans, 1e9);
+  ASSERT_TRUE(generous.has_value());
+  // With effectively unlimited energy, the fastest point uses all cores at
+  // the top frequency on the cheap plan.
+  EXPECT_EQ(generous->cores, opt.machine().cores);
+  EXPECT_DOUBLE_EQ(generous->state.freq_ghz,
+                   opt.machine().dvfs.fastest().freq_ghz);
+  EXPECT_EQ(generous->plan_name, "pruned-scan");
+}
+
+TEST(EnergyOptimizer, MaxCoresRestrictsEnumeration) {
+  const EnergyOptimizer opt = make_opt();
+  const auto points = opt.enumerate(two_plans(), 2);
+  for (const auto& p : points) EXPECT_LE(p.cores, 2);
+}
+
+TEST(EnergyOptimizer, AccountingPolicyShapesTheFrontier) {
+  // Dedicated-server accounting (static floor billed) collapses the Fig. 2
+  // curve toward "fastest is greenest" [12]; incremental accounting
+  // exposes the genuine DVFS trade.
+  const std::vector<PlanCandidate> plans = {{"cpu-bound", {40e9, 1e8}}};
+  const EnergyOptimizer full(hw::MachineSpec::server(),
+                             Accounting::kFullPackage);
+  const EnergyOptimizer incr(hw::MachineSpec::server(),
+                             Accounting::kIncremental);
+  const auto f_full = EnergyOptimizer::pareto(full.enumerate(plans));
+  const auto f_incr = EnergyOptimizer::pareto(incr.enumerate(plans));
+  EXPECT_GT(f_incr.size(), f_full.size());
+  // Incremental min-energy point sits at the slowest P-state.
+  EXPECT_DOUBLE_EQ(incr.min_energy_point(plans).state.freq_ghz,
+                   incr.machine().dvfs.slowest().freq_ghz);
+  // Full-package min-energy point is fast (racing beats stretching).
+  EXPECT_GT(full.min_energy_point(plans).state.freq_ghz,
+            full.machine().dvfs.slowest().freq_ghz);
+}
+
+TEST(EnergyOptimizer, MemoryBoundPlanSaturates) {
+  // A fully memory-bound plan cannot buy time with cores or frequency;
+  // the frontier collapses to (nearly) a single time.
+  const EnergyOptimizer opt = make_opt();
+  const std::vector<PlanCandidate> plans = {{"membound", {1e6, 100e9}}};
+  const auto frontier = EnergyOptimizer::pareto(opt.enumerate(plans));
+  ASSERT_FALSE(frontier.empty());
+  const double tmin = frontier.front().time_s;
+  const double tmax = frontier.back().time_s;
+  EXPECT_NEAR(tmin, tmax, tmin * 0.01);
+}
+
+}  // namespace
+}  // namespace eidb::opt

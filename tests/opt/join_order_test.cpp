@@ -1,0 +1,122 @@
+#include "opt/join_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace eidb::opt {
+namespace {
+
+JoinGraph chain3() {
+  // A(1e6) -x0.001- B(1e3) -x0.01- C(1e5)
+  JoinGraph g;
+  g.table_rows = {1e6, 1e3, 1e5};
+  g.edges = {{0, 1, 1e-3}, {1, 2, 1e-2}};
+  return g;
+}
+
+TEST(JoinOrder, OrderCostMatchesHandComputation) {
+  const JoinGraph g = chain3();
+  // Order B, A, C: |B⋈A| = 1e3*1e6*1e-3 = 1e6; then ⋈C = 1e6*1e5*1e-2=1e9.
+  EXPECT_DOUBLE_EQ(order_cost(g, {1, 0, 2}), 1e6 + 1e9);
+  // Order B, C, A: |B⋈C| = 1e3*1e5*1e-2 = 1e6; then ⋈A = 1e6*1e6*1e-3=1e9.
+  EXPECT_DOUBLE_EQ(order_cost(g, {1, 2, 0}), 1e6 + 1e9);
+  // Cross-product-first order is catastrophically worse.
+  EXPECT_GT(order_cost(g, {0, 2, 1}), 1e10);
+}
+
+TEST(JoinOrder, DpFindsOptimum) {
+  const JoinGraph g = chain3();
+  const JoinOrderPlan plan = optimize_dp(g);
+  EXPECT_EQ(plan.order.size(), 3u);
+  // Exhaustive check over all 6 permutations.
+  std::vector<int> perm = {0, 1, 2};
+  double best = 1e300;
+  do {
+    best = std::min(best, order_cost(g, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_DOUBLE_EQ(plan.cost, best);
+  EXPECT_DOUBLE_EQ(order_cost(g, plan.order), plan.cost);
+}
+
+TEST(JoinOrder, DpOptimalOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const JoinGraph g = JoinGraph::random(7, 0.5, seed);
+    const JoinOrderPlan plan = optimize_dp(g);
+    // DP cost must equal exhaustive minimum over left-deep orders.
+    std::vector<int> perm(7);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+      best = std::min(best, order_cost(g, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(plan.cost, best, best * 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(JoinOrder, GreedyTracksDpQuality) {
+  // Bushy greedy explores a *larger* plan space than left-deep DP, so it
+  // may come in below DP's cost; what matters is that it stays in DP's
+  // neighborhood instead of degrading by orders of magnitude.
+  std::vector<double> ratios;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const JoinGraph g = JoinGraph::random(10, 0.4, seed);
+    const JoinOrderPlan dp = optimize_dp(g);
+    const JoinOrderPlan greedy = optimize_greedy(g);
+    ratios.push_back(greedy.cost / dp.cost);
+    // A bushy plan over n tables performs exactly n-1 merges.
+    EXPECT_EQ(greedy.merges.size(), 9u);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  EXPECT_LT(ratios[ratios.size() / 2], 10.0);  // typically near 1
+  EXPECT_GT(ratios.front(), 0.0);
+}
+
+TEST(JoinOrder, GreedyMergesEveryTableExactlyOnce) {
+  const JoinGraph g = JoinGraph::random(30, 0.3, 7);
+  const JoinOrderPlan plan = optimize_greedy(g);
+  EXPECT_EQ(plan.merges.size(), 29u);
+  EXPECT_GT(plan.cost, 0.0);
+  // Greedy (bushy) must be at least as good as a naive sequential
+  // left-deep order.
+  std::vector<int> naive(30);
+  std::iota(naive.begin(), naive.end(), 0);
+  EXPECT_LE(plan.cost, order_cost(g, naive) * 1.0001);
+}
+
+TEST(JoinOrder, DpRefusesHugeQueries) {
+  const JoinGraph g = JoinGraph::random(25, 0.2, 3);
+  EXPECT_THROW((void)optimize_dp(g), Error);
+}
+
+TEST(JoinOrder, GreedyHandlesThousandsOfTables) {
+  const JoinGraph g = JoinGraph::random(2000, 0.2, 9);
+  const JoinOrderPlan plan = optimize_greedy(g);
+  EXPECT_EQ(plan.merges.size(), 1999u);
+  EXPECT_GT(plan.cost, 0.0);
+}
+
+TEST(JoinOrder, GreedyHandlesDisconnectedGraphs) {
+  JoinGraph g;
+  g.table_rows = {100, 200, 300, 400};
+  g.edges = {{0, 1, 0.01}};  // {2} and {3} are islands
+  const JoinOrderPlan plan = optimize_greedy(g);
+  EXPECT_EQ(plan.merges.size(), 3u);  // still joins everything
+  EXPECT_GT(plan.cost, 0.0);
+}
+
+TEST(JoinOrder, SingleTable) {
+  JoinGraph g;
+  g.table_rows = {100};
+  const JoinOrderPlan dp = optimize_dp(g);
+  EXPECT_EQ(dp.order, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(dp.cost, 0.0);
+  const JoinOrderPlan greedy = optimize_greedy(g);
+  EXPECT_EQ(greedy.order, (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace eidb::opt

@@ -1,0 +1,91 @@
+#include "opt/offload_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eidb::opt {
+namespace {
+
+OffloadAdvisor gpu_advisor() {
+  return OffloadAdvisor(hw::MachineSpec::server(),
+                        hw::AcceleratorSpec::discrete_gpu());
+}
+
+const hw::DvfsState& fmax() {
+  static const hw::MachineSpec m = hw::MachineSpec::server();
+  return m.dvfs.fastest();
+}
+
+TEST(Offload, TinyOperatorStaysOnCpu) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  // 10 us of CPU work on 64 KiB: launch latency alone kills the offload.
+  const auto e = advisor.advise(10e-6, 64 << 10, 1 << 10, fmax(),
+                                Objective::kTime);
+  EXPECT_FALSE(e.offload);
+  EXPECT_LT(e.cpu_time_s, e.xpu_time_s);
+}
+
+TEST(Offload, HeavyComputeOffloads) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  // 2 s of CPU work on 100 MB: 12x device speedup dwarfs the transfer.
+  const auto e =
+      advisor.advise(2.0, 100e6, 10e6, fmax(), Objective::kTime);
+  EXPECT_TRUE(e.offload);
+  EXPECT_LT(e.xpu_time_s, e.cpu_time_s / 5);
+}
+
+TEST(Offload, TransferBoundOperatorStaysOnCpu) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  // Light compute over a big input: shipping the data costs more than the
+  // kernel saves (the §III "only a limited number of operators benefit").
+  const auto e = advisor.advise(0.02, 1e9, 1e9, fmax(), Objective::kTime);
+  EXPECT_FALSE(e.offload);
+}
+
+TEST(Offload, BreakEvenIsMonotoneInComputeIntensity) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  // More CPU seconds per byte -> offload pays off at smaller inputs.
+  const double be_light =
+      advisor.break_even_bytes(1e-9, 0.1, fmax(), Objective::kTime);
+  const double be_heavy =
+      advisor.break_even_bytes(1e-7, 0.1, fmax(), Objective::kTime);
+  EXPECT_LT(be_heavy, be_light);
+}
+
+TEST(Offload, PureTransferNeverBreaksEven) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  // Almost no compute per byte: the device can never win.
+  const double be =
+      advisor.break_even_bytes(1e-12, 1.0, fmax(), Objective::kTime);
+  EXPECT_TRUE(std::isinf(be));
+}
+
+TEST(Offload, EnergyObjectivePrefersFpgaEarlier) {
+  // The FPGA's low active power makes it win on energy for workloads where
+  // the GPU only wins on time (or not at all).
+  const OffloadAdvisor gpu = gpu_advisor();
+  const OffloadAdvisor fpga(hw::MachineSpec::server(),
+                            hw::AcceleratorSpec::fpga());
+  const double cpu_s = 0.5;
+  const double bytes = 50e6;
+  const auto g = gpu.advise(cpu_s, bytes, bytes / 10, fmax(),
+                            Objective::kEnergy);
+  const auto f = fpga.advise(cpu_s, bytes, bytes / 10, fmax(),
+                             Objective::kEnergy);
+  EXPECT_LT(f.xpu_energy_j, g.xpu_energy_j);
+  EXPECT_TRUE(f.offload);
+}
+
+TEST(Offload, EstimatesInternallyConsistent) {
+  const OffloadAdvisor advisor = gpu_advisor();
+  const auto e = advisor.advise(0.1, 1e7, 1e6, fmax(), Objective::kTime);
+  EXPECT_GT(e.cpu_time_s, 0);
+  EXPECT_GT(e.cpu_energy_j, 0);
+  EXPECT_GT(e.xpu_time_s, 0);
+  EXPECT_GT(e.xpu_energy_j, 0);
+  EXPECT_EQ(e.chosen_time_s(), e.offload ? e.xpu_time_s : e.cpu_time_s);
+}
+
+}  // namespace
+}  // namespace eidb::opt

@@ -1,0 +1,468 @@
+#include "query/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::query {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+/// sales(id int64, amount int64, price double, region string) — 1000 rows,
+/// deterministic contents for exact assertions.
+Catalog make_catalog() {
+  Catalog cat;
+  Table& sales = cat.add(Table(
+      "sales", Schema({{"id", TypeId::kInt64},
+                       {"amount", TypeId::kInt64},
+                       {"price", TypeId::kDouble},
+                       {"region", TypeId::kString}})));
+  std::vector<std::int64_t> ids, amounts;
+  std::vector<double> prices;
+  std::vector<std::string> regions;
+  const char* region_names[] = {"asia", "eu", "us"};
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    ids.push_back(i);
+    amounts.push_back(i % 100);          // 0..99 repeating
+    prices.push_back(0.5 * static_cast<double>(i % 10));  // 0.0 .. 4.5
+    regions.emplace_back(region_names[i % 3]);
+  }
+  sales.set_column(0, Column::from_int64("id", ids));
+  sales.set_column(1, Column::from_int64("amount", amounts));
+  sales.set_column(2, Column::from_double("price", prices));
+  sales.set_column(3, Column::from_strings("region", regions));
+
+  // customers(id int64, age int64) for joins: id 0..99, age = id % 50
+  Table& customers = cat.add(Table(
+      "customers", Schema({{"id", TypeId::kInt64}, {"age", TypeId::kInt64}})));
+  std::vector<std::int64_t> cids, ages;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    cids.push_back(i);
+    ages.push_back(i % 50);
+  }
+  customers.set_column(0, Column::from_int64("id", cids));
+  customers.set_column(1, Column::from_int64("age", ages));
+  return cat;
+}
+
+TEST(Executor, CountWithIntFilter) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // amount in [0, 9]: 10 of every 100 -> 100 rows.
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 9)
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 100);
+  EXPECT_EQ(stats.tuples_selected, 100u);
+  EXPECT_EQ(stats.tuples_scanned, 1000u);
+}
+
+TEST(Executor, SumMinMaxAvg) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 0, 9)  // rows 0..9
+                        .aggregate(AggOp::kSum, "amount")
+                        .aggregate(AggOp::kMin, "amount")
+                        .aggregate(AggOp::kMax, "amount")
+                        .aggregate(AggOp::kAvg, "amount")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  EXPECT_EQ(r.at(0, 0).as_int(), 45);  // 0+..+9
+  EXPECT_EQ(r.at(0, 1).as_int(), 0);
+  EXPECT_EQ(r.at(0, 2).as_int(), 9);
+  EXPECT_DOUBLE_EQ(r.at(0, 3).as_double(), 4.5);
+}
+
+TEST(Executor, DoubleAggregate) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 0, 9)
+                        .aggregate(AggOp::kSum, "price")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // prices 0, .5, 1, 1.5, ..., 4.5 -> 22.5
+  EXPECT_DOUBLE_EQ(r.at(0, 0).as_double(), 22.5);
+}
+
+TEST(Executor, StringEqualityFilterViaDictionary) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_string("region", "eu", "eu")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // region repeats asia,eu,us: rows where i%3==1 -> 333.
+  EXPECT_EQ(r.at(0, 0).as_int(), 333);
+}
+
+TEST(Executor, StringRangeFilter) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // ["a", "f"] covers asia and eu but not us.
+  const auto plan = QueryBuilder("sales")
+                        .filter_string("region", "a", "f")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  EXPECT_EQ(r.at(0, 0).as_int(), 667);  // 334 asia + 333 eu
+}
+
+TEST(Executor, EmptyStringRange) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_string("region", "zz", "zzz")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  EXPECT_EQ(r.at(0, 0).as_int(), 0);
+}
+
+TEST(Executor, ConjunctivePredicates) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 9)
+                        .filter_string("region", "eu", "eu")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // Reference count:
+  std::int64_t want = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (i % 100 <= 9 && i % 3 == 1) ++want;
+  EXPECT_EQ(r.at(0, 0).as_int(), want);
+}
+
+TEST(Executor, GroupByStringSumInt) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 3u);  // asia, eu, us (dictionary order)
+  EXPECT_EQ(r.at(0, 0).as_string(), "asia");
+  EXPECT_EQ(r.at(1, 0).as_string(), "eu");
+  EXPECT_EQ(r.at(2, 0).as_string(), "us");
+  // Reference sums.
+  std::int64_t sums[3] = {0, 0, 0}, counts[3] = {0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    sums[i % 3] += i % 100;
+    ++counts[i % 3];
+  }
+  // dictionary order asia(0),eu(1),us(2) == i%3 order 0,1,2
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(r.at(g, 1).as_int(), counts[g]);
+    EXPECT_EQ(r.at(g, 2).as_int(), sums[g]);
+  }
+  EXPECT_EQ(stats.groups, 3u);
+}
+
+TEST(Executor, GroupByIntAvgDouble) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 0, 99)
+                        .group_by("amount")  // == id for the first 100 rows
+                        .aggregate(AggOp::kAvg, "price")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 100u);
+  // group key amount=7 -> only row 7 -> price 3.5
+  EXPECT_EQ(r.at(7, 0).as_int(), 7);
+  EXPECT_DOUBLE_EQ(r.at(7, 1).as_double(), 3.5);
+}
+
+TEST(Executor, MultiColumnGroupBy) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // Group by (region, amount%2-ish): use region + a small int column.
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 3)  // amounts 0..3
+                        .group_by("region")
+                        .group_by("amount")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // 3 regions x 4 amounts = 12 groups (every combination occurs: amounts
+  // cycle 0..99, regions cycle 0..2 over 1000 rows).
+  ASSERT_EQ(r.row_count(), 12u);
+  EXPECT_EQ(r.column_count(), 3u);  // region, amount, count
+  // Rows are ordered by composite key: region-major (first group column).
+  EXPECT_EQ(r.at(0, 0).as_string(), "asia");
+  EXPECT_EQ(r.at(0, 1).as_int(), 0);
+  EXPECT_EQ(r.at(11, 0).as_string(), "us");
+  EXPECT_EQ(r.at(11, 1).as_int(), 3);
+  // Reference counts.
+  std::int64_t want[3][4] = {};
+  for (int i = 0; i < 1000; ++i)
+    if (i % 100 <= 3) ++want[i % 3][i % 100];
+  for (std::size_t g = 0; g < 12; ++g) {
+    const std::size_t region = g / 4, amount = g % 4;
+    EXPECT_EQ(r.at(g, 2).as_int(), want[region][amount]) << g;
+  }
+}
+
+TEST(Executor, MultiColumnGroupByWithNegativeKeys) {
+  Catalog cat;
+  Table& t = cat.add(Table("t", Schema({{"a", TypeId::kInt64},
+                                        {"b", TypeId::kInt64},
+                                        {"v", TypeId::kInt64}})));
+  const std::vector<std::int64_t> a = {-5, -5, 3, 3, -5};
+  const std::vector<std::int64_t> b = {7, 8, 7, 7, 7};
+  const std::vector<std::int64_t> v = {1, 2, 3, 4, 5};
+  t.set_column(0, Column::from_int64("a", a));
+  t.set_column(1, Column::from_int64("b", b));
+  t.set_column(2, Column::from_int64("v", v));
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("t")
+                        .group_by("a")
+                        .group_by("b")
+                        .aggregate(AggOp::kSum, "v")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 3u);  // (-5,7), (-5,8), (3,7)
+  EXPECT_EQ(r.at(0, 0).as_int(), -5);
+  EXPECT_EQ(r.at(0, 1).as_int(), 7);
+  EXPECT_EQ(r.at(0, 2).as_int(), 6);  // rows 0 and 4
+  EXPECT_EQ(r.at(1, 1).as_int(), 8);
+  EXPECT_EQ(r.at(1, 2).as_int(), 2);
+  EXPECT_EQ(r.at(2, 0).as_int(), 3);
+  EXPECT_EQ(r.at(2, 2).as_int(), 7);  // rows 2 and 3
+}
+
+TEST(Executor, CompositeGroupDomainOverflowRejected) {
+  Catalog cat;
+  Table& t = cat.add(Table("t", Schema({{"a", TypeId::kInt64},
+                                        {"b", TypeId::kInt64}})));
+  const std::vector<std::int64_t> a = {0, std::int64_t{1} << 40};
+  const std::vector<std::int64_t> b = {0, std::int64_t{1} << 40};
+  t.set_column(0, Column::from_int64("a", a));
+  t.set_column(1, Column::from_int64("b", b));
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("t")
+                        .group_by("a")
+                        .group_by("b")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+}
+
+TEST(Executor, ProjectionWithOrderByAndLimit) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 95, 99)
+                        .select({"id", "amount"})
+                        .order_by("id", false)
+                        .limit(3)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 999);
+  EXPECT_EQ(r.at(1, 0).as_int(), 998);
+  EXPECT_EQ(r.at(2, 0).as_int(), 997);
+}
+
+TEST(Executor, ProjectionDefaultsToAllColumns) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales").filter_int("id", 0, 0).build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.column_count(), 4u);
+  EXPECT_EQ(r.at(0, 3).as_string(), "asia");
+}
+
+TEST(Executor, OrderByStringUsesDictionaryOrder) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 0, 5)
+                        .select({"region"})
+                        .order_by("region", true)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 6u);
+  EXPECT_EQ(r.at(0, 0).as_string(), "asia");
+  EXPECT_EQ(r.at(5, 0).as_string(), "us");
+}
+
+TEST(Executor, JoinCountAndAggregate) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // Join sales.amount (0..99) with customers.id (0..99), filter customer
+  // age in [0, 9]: customers with id%50 in [0,9] -> ids 0..9 and 50..59.
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 0, 9)
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // Each sales row matches exactly one customer; qualifying amounts are
+  // 20 values, each appearing 10 times -> 200 pairs.
+  EXPECT_EQ(r.at(0, 0).as_int(), 200);
+  EXPECT_EQ(stats.join_pairs, 200u);
+}
+
+TEST(Executor, JoinProjectionWithQualifiedColumns) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 7, 7)  // one row, amount 7
+                        .join("customers", "amount", "id")
+                        .select({"id", "customers.age"})
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 7);
+  EXPECT_EQ(r.at(0, 1).as_int(), 7);  // age = id % 50
+}
+
+TEST(Executor, JoinProjectionWithoutSelectThrows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan =
+      QueryBuilder("sales").join("customers", "amount", "id").build();
+  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+}
+
+TEST(Executor, ZoneMapsGiveSameAnswerLessWork) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 100, 149)  // clustered: ids sorted
+                        .aggregate(AggOp::kCount)
+                        .build();
+  ExecStats full_stats, zm_stats;
+  ExecOptions zm_options;
+  zm_options.use_zone_maps = true;
+  zm_options.zone_block_rows = 128;
+  const QueryResult full = ex.execute(plan, full_stats);
+  const QueryResult pruned = ex.execute(plan, zm_stats, zm_options);
+  EXPECT_EQ(full.at(0, 0).as_int(), 50);
+  EXPECT_EQ(pruned.at(0, 0).as_int(), 50);
+  EXPECT_LT(zm_stats.work.dram_bytes, full_stats.work.dram_bytes);
+  EXPECT_LT(zm_stats.work.cpu_cycles, full_stats.work.cpu_cycles);
+}
+
+TEST(Executor, ScanVariantsAllProduceSameAnswer) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 30, 59)
+                        .aggregate(AggOp::kCount)
+                        .build();
+  std::int64_t want = -1;
+  for (const auto variant :
+       {exec::ScanVariant::kAuto, exec::ScanVariant::kBranching,
+        exec::ScanVariant::kPredicated, exec::ScanVariant::kAvx2,
+        exec::ScanVariant::kAvx512}) {
+    ExecStats stats;
+    ExecOptions options;
+    options.scan_variant = variant;
+    const QueryResult r = ex.execute(plan, stats, options);
+    if (want < 0)
+      want = r.at(0, 0).as_int();
+    else
+      EXPECT_EQ(r.at(0, 0).as_int(), want)
+          << exec::variant_name(variant);
+  }
+  EXPECT_EQ(want, 300);
+}
+
+TEST(Executor, TierAccountingChargesColdColumns) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  storage::TierManager tiers;
+  tiers.register_column("sales", "amount", 8000, storage::Tier::kCold);
+  ExecOptions options;
+  options.tiers = &tiers;
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 9)
+                        .aggregate(AggOp::kCount)
+                        .build();
+  (void)ex.execute(plan, stats, options);
+  EXPECT_GT(stats.cold_tier_time_s, 0.0);
+  EXPECT_GT(stats.cold_tier_energy_j, 0.0);
+  EXPECT_EQ(tiers.access_count("sales", "amount"), 1u);
+}
+
+TEST(Executor, UnknownTableThrows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  EXPECT_THROW((void)ex.execute(QueryBuilder("nope").build(), stats), Error);
+}
+
+TEST(Executor, UnknownColumnThrows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales").filter_int("nope", 0, 1).build();
+  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+}
+
+TEST(Executor, GroupByDoubleThrows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .group_by("price")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+}
+
+TEST(Executor, OperatorTimingsRecorded) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 50)
+                        .group_by("region")
+                        .aggregate(AggOp::kSum, "amount")
+                        .build();
+  (void)ex.execute(plan, stats);
+  ASSERT_GE(stats.operator_seconds.size(), 2u);
+  EXPECT_NE(stats.operator_seconds[0].first.find("scan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eidb::query

@@ -1,0 +1,84 @@
+#include "query/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::query {
+namespace {
+
+TEST(QueryBuilder, BuildsFilterAggregatePlan) {
+  const LogicalPlan plan = QueryBuilder("sales")
+                               .filter_int("amount", 10, 99)
+                               .filter_string("region", "eu", "eu")
+                               .group_by("region")
+                               .aggregate(AggOp::kSum, "amount")
+                               .aggregate(AggOp::kCount)
+                               .build();
+  EXPECT_EQ(plan.table, "sales");
+  ASSERT_EQ(plan.predicates.size(), 2u);
+  EXPECT_EQ(plan.predicates[0].column, "amount");
+  EXPECT_EQ(plan.predicates[0].lo.as_int(), 10);
+  EXPECT_EQ(plan.predicates[1].lo.as_string(), "eu");
+  ASSERT_EQ(plan.group_by.size(), 1u);
+  EXPECT_EQ(plan.group_by[0], "region");
+  ASSERT_EQ(plan.aggregates.size(), 2u);
+  EXPECT_TRUE(plan.is_aggregate());
+}
+
+TEST(QueryBuilder, BuildsProjectionPlan) {
+  const LogicalPlan plan = QueryBuilder("t")
+                               .select({"a", "b"})
+                               .order_by("a", false)
+                               .limit(10)
+                               .build();
+  EXPECT_FALSE(plan.is_aggregate());
+  EXPECT_EQ(plan.projection.size(), 2u);
+  ASSERT_TRUE(plan.order_by.has_value());
+  EXPECT_FALSE(plan.order_by->ascending);
+  EXPECT_EQ(plan.limit, 10u);
+}
+
+TEST(QueryBuilder, BuildsJoinPlan) {
+  const LogicalPlan plan = QueryBuilder("orders")
+                               .join("customers", "cust_id", "id")
+                               .join_filter_int("age", 18, 65)
+                               .aggregate(AggOp::kCount)
+                               .build();
+  ASSERT_TRUE(plan.join.has_value());
+  EXPECT_EQ(plan.join->table, "customers");
+  EXPECT_EQ(plan.join->left_key, "cust_id");
+  ASSERT_EQ(plan.join->predicates.size(), 1u);
+}
+
+TEST(QueryBuilder, DoubleFilter) {
+  const LogicalPlan plan =
+      QueryBuilder("t").filter_double("x", 0.5, 1.5).build();
+  EXPECT_TRUE(plan.predicates[0].lo.is_double());
+  EXPECT_DOUBLE_EQ(plan.predicates[0].hi.as_double(), 1.5);
+}
+
+TEST(LogicalPlan, ToStringMentionsEveryClause) {
+  const std::string s = QueryBuilder("sales")
+                            .filter_int("amount", 1, 2)
+                            .join("customers", "cid", "id")
+                            .group_by("region")
+                            .aggregate(AggOp::kAvg, "amount")
+                            .order_by("region")
+                            .limit(5)
+                            .build()
+                            .to_string();
+  for (const char* needle :
+       {"scan(sales)", "filter(amount", "join(customers", "group_by(region)",
+        "avg(amount)", "order_by(region", "limit(5)"})
+    EXPECT_NE(s.find(needle), std::string::npos) << needle << " in " << s;
+}
+
+TEST(AggNames, AllDistinct) {
+  EXPECT_EQ(agg_name(AggOp::kCount), "count");
+  EXPECT_EQ(agg_name(AggOp::kSum), "sum");
+  EXPECT_EQ(agg_name(AggOp::kMin), "min");
+  EXPECT_EQ(agg_name(AggOp::kMax), "max");
+  EXPECT_EQ(agg_name(AggOp::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace eidb::query

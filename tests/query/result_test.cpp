@@ -1,0 +1,49 @@
+#include "query/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace eidb::query {
+namespace {
+
+using storage::Value;
+
+TEST(QueryResult, RowsAndAccess) {
+  QueryResult r({"name", "total"});
+  r.add_row({Value{std::string("eu")}, Value{std::int64_t{100}}});
+  r.add_row({Value{std::string("us")}, Value{std::int64_t{200}}});
+  EXPECT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.column_count(), 2u);
+  EXPECT_EQ(r.at(0, 0).as_string(), "eu");
+  EXPECT_EQ(r.at(1, 1).as_int(), 200);
+  EXPECT_EQ(r.column_index("total"), 1u);
+  EXPECT_THROW((void)r.column_index("nope"), Error);
+}
+
+TEST(QueryResult, RejectsWrongArity) {
+  QueryResult r({"a", "b"});
+  EXPECT_DEATH(r.add_row({Value{std::int64_t{1}}}), "precondition");
+}
+
+TEST(QueryResult, ToStringTruncates) {
+  QueryResult r({"x"});
+  for (int i = 0; i < 30; ++i) r.add_row({Value{std::int64_t{i}}});
+  const std::string s = r.to_string(5);
+  EXPECT_NE(s.find("25 more rows"), std::string::npos);
+}
+
+TEST(QueryResult, EmptyPrints) {
+  QueryResult r;
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(ExecStats, DefaultsZero) {
+  ExecStats s;
+  EXPECT_EQ(s.tuples_scanned, 0u);
+  EXPECT_EQ(s.work.cpu_cycles, 0.0);
+  EXPECT_EQ(s.elapsed_s, 0.0);
+}
+
+}  // namespace
+}  // namespace eidb::query

@@ -1,0 +1,214 @@
+#include "query/sql.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace eidb::query {
+namespace {
+
+TEST(Sql, SelectStarFrom) {
+  const LogicalPlan p = parse_sql("SELECT * FROM sales");
+  EXPECT_EQ(p.table, "sales");
+  EXPECT_TRUE(p.projection.empty());
+  EXPECT_TRUE(p.predicates.empty());
+  EXPECT_FALSE(p.is_aggregate());
+}
+
+TEST(Sql, SelectColumns) {
+  const LogicalPlan p = parse_sql("SELECT id, amount FROM sales");
+  ASSERT_EQ(p.projection.size(), 2u);
+  EXPECT_EQ(p.projection[0], "id");
+  EXPECT_EQ(p.projection[1], "amount");
+}
+
+TEST(Sql, CaseInsensitiveKeywordsCaseSensitiveIdents) {
+  const LogicalPlan p = parse_sql("select ID from Sales");
+  EXPECT_EQ(p.table, "Sales");
+  EXPECT_EQ(p.projection[0], "ID");
+}
+
+TEST(Sql, WhereBetween) {
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t WHERE amount BETWEEN 10 AND 99");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].column, "amount");
+  EXPECT_EQ(p.predicates[0].lo.as_int(), 10);
+  EXPECT_EQ(p.predicates[0].hi.as_int(), 99);
+}
+
+TEST(Sql, WhereEquality) {
+  const LogicalPlan p = parse_sql("SELECT * FROM t WHERE region = 'eu'");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].lo.as_string(), "eu");
+  EXPECT_EQ(p.predicates[0].hi.as_string(), "eu");
+}
+
+TEST(Sql, WhereInequalitiesBecomeOpenRanges) {
+  const LogicalPlan ge = parse_sql("SELECT * FROM t WHERE x >= 5");
+  EXPECT_EQ(ge.predicates[0].lo.as_int(), 5);
+  EXPECT_EQ(ge.predicates[0].hi.as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  const LogicalPlan lt = parse_sql("SELECT * FROM t WHERE x < 5");
+  EXPECT_EQ(lt.predicates[0].hi.as_int(), 4);
+  const LogicalPlan gt = parse_sql("SELECT * FROM t WHERE x > 5");
+  EXPECT_EQ(gt.predicates[0].lo.as_int(), 6);
+  const LogicalPlan le = parse_sql("SELECT * FROM t WHERE x <= 5");
+  EXPECT_EQ(le.predicates[0].hi.as_int(), 5);
+}
+
+TEST(Sql, FloatLiterals) {
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t WHERE price BETWEEN 1.5 AND 2.75");
+  EXPECT_DOUBLE_EQ(p.predicates[0].lo.as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(p.predicates[0].hi.as_double(), 2.75);
+}
+
+TEST(Sql, NegativeIntegers) {
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t WHERE x BETWEEN -10 AND -1");
+  EXPECT_EQ(p.predicates[0].lo.as_int(), -10);
+  EXPECT_EQ(p.predicates[0].hi.as_int(), -1);
+}
+
+TEST(Sql, MultiplePredicatesAnded) {
+  const LogicalPlan p = parse_sql(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b = 3 AND c >= 4");
+  ASSERT_EQ(p.predicates.size(), 3u);
+  EXPECT_EQ(p.predicates[1].column, "b");
+  EXPECT_EQ(p.predicates[2].column, "c");
+}
+
+TEST(Sql, Aggregates) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) "
+      "FROM sales");
+  ASSERT_EQ(p.aggregates.size(), 5u);
+  EXPECT_EQ(p.aggregates[0].op, AggOp::kCount);
+  EXPECT_EQ(p.aggregates[1].op, AggOp::kSum);
+  EXPECT_EQ(p.aggregates[1].column, "amount");
+  EXPECT_EQ(p.aggregates[4].op, AggOp::kAvg);
+}
+
+TEST(Sql, GroupBy) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*), SUM(amount) FROM sales GROUP BY region");
+  ASSERT_EQ(p.group_by.size(), 1u);
+  EXPECT_EQ(p.group_by[0], "region");
+}
+
+TEST(Sql, GroupByMultipleColumns) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*) FROM sales GROUP BY region, segment, year");
+  ASSERT_EQ(p.group_by.size(), 3u);
+  EXPECT_EQ(p.group_by[0], "region");
+  EXPECT_EQ(p.group_by[1], "segment");
+  EXPECT_EQ(p.group_by[2], "year");
+}
+
+TEST(Sql, OrderByAscDescAndLimit) {
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t ORDER BY x DESC LIMIT 10");
+  ASSERT_TRUE(p.order_by.has_value());
+  EXPECT_EQ(p.order_by->column, "x");
+  EXPECT_FALSE(p.order_by->ascending);
+  EXPECT_EQ(p.limit, 10u);
+  const LogicalPlan asc = parse_sql("SELECT * FROM t ORDER BY x ASC");
+  EXPECT_TRUE(asc.order_by->ascending);
+}
+
+TEST(Sql, Join) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*) FROM orders JOIN customers ON orders.cust_id = "
+      "customers.id WHERE customers.age BETWEEN 18 AND 65");
+  ASSERT_TRUE(p.join.has_value());
+  EXPECT_EQ(p.join->table, "customers");
+  EXPECT_EQ(p.join->left_key, "cust_id");
+  EXPECT_EQ(p.join->right_key, "id");
+  ASSERT_EQ(p.join->predicates.size(), 1u);
+  EXPECT_EQ(p.join->predicates[0].column, "age");
+  EXPECT_TRUE(p.predicates.empty());
+}
+
+TEST(Sql, JoinKeyOrderIrrelevant) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*) FROM orders JOIN customers ON customers.id = "
+      "orders.cust_id");
+  EXPECT_EQ(p.join->left_key, "cust_id");
+  EXPECT_EQ(p.join->right_key, "id");
+}
+
+TEST(Sql, QualifiedFromTablePredicatesStripped) {
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t WHERE t.x BETWEEN 1 AND 2");
+  EXPECT_EQ(p.predicates[0].column, "x");
+}
+
+TEST(Sql, AggregateArithmeticExpressions) {
+  const LogicalPlan p = parse_sql(
+      "SELECT SUM(revenue * (1 - discount) / 100) FROM lineorder");
+  ASSERT_EQ(p.aggregates.size(), 1u);
+  ASSERT_NE(p.aggregates[0].expr, nullptr);
+  EXPECT_EQ(p.aggregates[0].expr->to_string(),
+            "((revenue * (1 - discount)) / 100)");
+  EXPECT_TRUE(p.aggregates[0].column.empty());
+}
+
+TEST(Sql, BareColumnAggregateStaysOnTypedPath) {
+  const LogicalPlan p = parse_sql("SELECT SUM(amount) FROM t");
+  EXPECT_EQ(p.aggregates[0].column, "amount");
+  EXPECT_EQ(p.aggregates[0].expr, nullptr);
+}
+
+TEST(Sql, UnaryMinusAndPrecedence) {
+  const LogicalPlan p = parse_sql("SELECT AVG(-a + b * 2) FROM t");
+  ASSERT_NE(p.aggregates[0].expr, nullptr);
+  EXPECT_EQ(p.aggregates[0].expr->to_string(), "((0 - a) + (b * 2))");
+}
+
+TEST(Sql, ExpressionSyntaxErrors) {
+  EXPECT_THROW((void)parse_sql("SELECT SUM(a +) FROM t"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT SUM((a + b FROM t"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT SUM('str' + 1) FROM t"), Error);
+}
+
+TEST(Sql, SyntaxErrors) {
+  EXPECT_THROW((void)parse_sql(""), Error);
+  EXPECT_THROW((void)parse_sql("SELECT"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FORM t"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t WHERE"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t WHERE x"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t LIMIT abc"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t extra"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t WHERE s = 'open"), Error);
+}
+
+TEST(Sql, SemanticErrors) {
+  // GROUP BY without aggregates / mixing plain columns with aggregates.
+  EXPECT_THROW((void)parse_sql("SELECT x FROM t GROUP BY x"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT x, COUNT(*) FROM t"), Error);
+}
+
+TEST(Sql, ErrorsMentionOffset) {
+  try {
+    (void)parse_sql("SELECT * FROM t WHERE ???");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Sql, FullStatementRoundTripsThroughToString) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*), AVG(amount) FROM sales WHERE amount BETWEEN 1 AND 9 "
+      "GROUP BY region ORDER BY region LIMIT 5");
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("scan(sales)"), std::string::npos);
+  EXPECT_NE(s.find("group_by(region)"), std::string::npos);
+  EXPECT_NE(s.find("limit(5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eidb::query

@@ -1,0 +1,133 @@
+#include "sched/governor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::sched {
+namespace {
+
+Governor server_gov() { return Governor(hw::MachineSpec::server()); }
+
+const hw::Work kCpuWork{5e9, 1e8};  // compute-heavy
+
+TEST(Governor, RaceToIdleUsesFastestState) {
+  const Governor gov = server_gov();
+  const auto d = gov.race_to_idle(kCpuWork, 10.0);
+  EXPECT_DOUBLE_EQ(d.state.freq_ghz, gov.machine().dvfs.fastest().freq_ghz);
+  EXPECT_GT(d.idle_s, 0.0);
+  EXPECT_NEAR(d.busy_s + d.idle_s, 10.0, 1e-9);
+}
+
+TEST(Governor, PacePicksSlowestFeasibleState) {
+  const Governor gov = server_gov();
+  // Generous deadline: pace should drop to the slowest state.
+  const auto d = gov.pace(kCpuWork, 100.0);
+  EXPECT_DOUBLE_EQ(d.state.freq_ghz, gov.machine().dvfs.slowest().freq_ghz);
+  // Tight deadline: only the fastest state fits.
+  const double t_fast =
+      gov.machine().exec_time_s(kCpuWork, gov.machine().dvfs.fastest());
+  const auto tight = gov.pace(kCpuWork, t_fast * 1.01);
+  EXPECT_DOUBLE_EQ(tight.state.freq_ghz,
+                   gov.machine().dvfs.fastest().freq_ghz);
+}
+
+TEST(Governor, PaceUnattainableDeadlineFallsBackToFmax) {
+  const Governor gov = server_gov();
+  const auto d = gov.pace(kCpuWork, 1e-9);
+  EXPECT_DOUBLE_EQ(d.state.freq_ghz, gov.machine().dvfs.fastest().freq_ghz);
+  EXPECT_GT(d.busy_s, 1e-9);  // missed, but still the best effort
+}
+
+TEST(Governor, BestUnderDeadlineNeverWorseThanEither) {
+  const Governor gov = server_gov();
+  for (const double deadline : {2.0, 3.0, 5.0, 10.0, 30.0}) {
+    const auto race = gov.race_to_idle(kCpuWork, deadline);
+    const auto paced = gov.pace(kCpuWork, deadline);
+    const auto best = gov.best_under_deadline(kCpuWork, deadline);
+    EXPECT_LE(best.energy_j, race.energy_j + 1e-9);
+    EXPECT_LE(best.energy_j, paced.energy_j + 1e-9);
+  }
+}
+
+TEST(Governor, RaceVsPaceCrossoverDependsOnSleepAvailability) {
+  // The E7 crossover: with deep package sleep available, racing at f_max
+  // and sleeping through the slack wins (slack burns ~9 W). On a
+  // consolidated server that cannot power down (shallow idle only, ~43 W
+  // floor), pacing at a low-power P-state wins.
+  const hw::MachineSpec m = hw::MachineSpec::server();
+  const double t_slow = m.exec_time_s(kCpuWork, m.dvfs.slowest());
+  const double deadline = t_slow;  // enough slack to pace all the way down
+
+  const Governor with_sleep(m, {.allow_deep_sleep = true});
+  EXPECT_EQ(with_sleep.best_under_deadline(kCpuWork, deadline).policy,
+            "race-to-idle");
+
+  const Governor no_sleep(m, {.allow_deep_sleep = false});
+  EXPECT_EQ(no_sleep.best_under_deadline(kCpuWork, deadline).policy, "pace");
+}
+
+TEST(Governor, IncrementalEfficientStateIsSlow) {
+  // Incremental energy-per-cycle rises superlinearly with f, so the
+  // incremental-optimal state for compute work is the slowest one.
+  const Governor gov = server_gov();
+  const hw::DvfsState s = gov.incremental_efficient_state(kCpuWork);
+  EXPECT_DOUBLE_EQ(s.freq_ghz, gov.machine().dvfs.slowest().freq_ghz);
+}
+
+TEST(Governor, FastestWithinBudgetMonotone) {
+  const Governor gov = server_gov();
+  // More budget can only help (weakly) the response time.
+  double prev_time = 1e100;
+  bool any = false;
+  for (double budget = 20; budget <= 2000; budget *= 1.6) {
+    const auto d = gov.fastest_within_budget(kCpuWork, budget);
+    if (!d) continue;
+    any = true;
+    EXPECT_LE(d->busy_s, prev_time + 1e-12);
+    prev_time = d->busy_s;
+    EXPECT_LE(d->energy_j, budget);
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Governor, ImpossibleBudgetReturnsNullopt) {
+  const Governor gov = server_gov();
+  EXPECT_FALSE(gov.fastest_within_budget(kCpuWork, 1e-6).has_value());
+}
+
+TEST(Governor, MostEfficientBeatsFmaxOnEnergy) {
+  const Governor gov = server_gov();
+  const auto eff = gov.most_efficient(kCpuWork);
+  const auto frontier = gov.frontier(kCpuWork);
+  const auto& fastest = frontier.back();
+  EXPECT_LE(eff.energy_j, fastest.energy_j);
+}
+
+TEST(Governor, FrontierTimeDecreasesEnergyShapes) {
+  const Governor gov = server_gov();
+  const auto points = gov.frontier(kCpuWork);
+  ASSERT_EQ(points.size(), gov.machine().dvfs.size());
+  // Time strictly decreases with frequency for compute-bound work.
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LT(points[i].busy_s, points[i - 1].busy_s);
+}
+
+TEST(Governor, MemoryBoundWorkFlattensFrontier) {
+  const Governor gov = server_gov();
+  const hw::Work mem_bound{1e6, 50e9};
+  const auto points = gov.frontier(mem_bound);
+  // Memory-bound: same time at every frequency => higher frequency only
+  // wastes power; most efficient must be the slowest state.
+  EXPECT_NEAR(points.front().busy_s, points.back().busy_s, 1e-9);
+  const auto eff = gov.most_efficient(mem_bound);
+  EXPECT_DOUBLE_EQ(eff.state.freq_ghz, gov.machine().dvfs.slowest().freq_ghz);
+}
+
+TEST(Governor, MultiCoreSpeedsUpAndFitsBudgetDifferently) {
+  const Governor gov = server_gov();
+  const auto d1 = gov.race_to_idle(kCpuWork, 100.0, 1);
+  const auto d8 = gov.race_to_idle(kCpuWork, 100.0, 8);
+  EXPECT_LT(d8.busy_s, d1.busy_s);
+}
+
+}  // namespace
+}  // namespace eidb::sched

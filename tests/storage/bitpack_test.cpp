@@ -1,0 +1,101 @@
+#include "storage/bitpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::storage {
+namespace {
+
+TEST(BitPack, WordCount) {
+  EXPECT_EQ(packed_word_count(0, 13), 0u);
+  EXPECT_EQ(packed_word_count(64, 1), 1u);
+  EXPECT_EQ(packed_word_count(65, 1), 2u);
+  EXPECT_EQ(packed_word_count(10, 64), 10u);
+  EXPECT_EQ(packed_word_count(100, 0), 0u);
+}
+
+TEST(BitPack, MinBits) {
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{}), 0u);
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{0, 0}), 0u);
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{1}), 1u);
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{255}), 8u);
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{256}), 9u);
+  EXPECT_EQ(min_bits(std::vector<std::uint64_t>{~std::uint64_t{0}}), 64u);
+}
+
+TEST(BitPack, ZeroWidthRoundTrip) {
+  const std::vector<std::uint64_t> values(100, 0);
+  const auto packed = bitpack(values, 0);
+  EXPECT_TRUE(packed.empty());
+  std::vector<std::uint64_t> out(100, 123);
+  bitunpack(packed, 0, 100, out);
+  for (const auto v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST(BitPack, FullWidthRoundTrip) {
+  Pcg32 rng(3);
+  std::vector<std::uint64_t> values(257);
+  for (auto& v : values) v = rng.next64();
+  const auto packed = bitpack(values, 64);
+  std::vector<std::uint64_t> out(values.size());
+  bitunpack(packed, 64, values.size(), out);
+  EXPECT_EQ(out, values);
+}
+
+TEST(BitPack, RandomAccessMatchesUnpack) {
+  Pcg32 rng(5);
+  std::vector<std::uint64_t> values(300);
+  for (auto& v : values) v = rng.next() & 0x1fff;  // 13 bits
+  const auto packed = bitpack(values, 13);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(bitpacked_at(packed, 13, i), values[i]) << i;
+}
+
+TEST(BitPack, Block64MatchesFullUnpack) {
+  Pcg32 rng(6);
+  constexpr std::size_t kN = 64 * 5;
+  std::vector<std::uint64_t> values(kN);
+  for (auto& v : values) v = rng.next() & 0x7ffff;  // 19 bits
+  const auto packed = bitpack(values, 19);
+  for (std::size_t block = 0; block < kN; block += 64) {
+    std::uint64_t out[64];
+    bitunpack_block64(packed, 19, block, out);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], values[block + i]);
+  }
+}
+
+// Property sweep: round-trip for every width 1..64 on random data masked to
+// the width, with a non-multiple-of-64 count to cover the tail path.
+class BitPackWidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitPackWidthSweep, RoundTrip) {
+  const unsigned bits = GetParam();
+  Pcg32 rng(1000 + bits);
+  constexpr std::size_t kN = 64 * 3 + 17;
+  const std::uint64_t mask =
+      bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  std::vector<std::uint64_t> values(kN);
+  for (auto& v : values) v = rng.next64() & mask;
+  // Ensure the extremes appear.
+  values[0] = 0;
+  values[1] = mask;
+
+  const auto packed = bitpack(values, bits);
+  EXPECT_EQ(packed.size(), packed_word_count(kN, bits));
+  std::vector<std::uint64_t> out(kN);
+  bitunpack(packed, bits, kN, out);
+  EXPECT_EQ(out, values);
+
+  // Random access agrees everywhere.
+  for (std::size_t i = 0; i < kN; i += 7)
+    EXPECT_EQ(bitpacked_at(packed, bits, i), values[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthSweep,
+                         ::testing::Range(1u, 65u));
+
+}  // namespace
+}  // namespace eidb::storage

@@ -1,0 +1,85 @@
+#include "storage/column.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eidb::storage {
+namespace {
+
+TEST(Column, AppendInt64) {
+  Column c("x", TypeId::kInt64);
+  for (std::int64_t i = 0; i < 1000; ++i) c.append_int64(i * 7);
+  ASSERT_EQ(c.size(), 1000u);
+  const auto data = c.int64_data();
+  for (std::int64_t i = 0; i < 1000; ++i) EXPECT_EQ(data[i], i * 7);
+  EXPECT_EQ(c.byte_size(), 8000u);
+}
+
+TEST(Column, BulkFromSpans) {
+  const std::vector<std::int32_t> v32 = {1, 2, 3};
+  const std::vector<std::int64_t> v64 = {4, 5};
+  const std::vector<double> vd = {1.5};
+  const Column a = Column::from_int32("a", v32);
+  const Column b = Column::from_int64("b", v64);
+  const Column c = Column::from_double("c", vd);
+  EXPECT_EQ(a.int32_data()[2], 3);
+  EXPECT_EQ(b.int64_data()[1], 5);
+  EXPECT_DOUBLE_EQ(c.double_data()[0], 1.5);
+}
+
+TEST(Column, StringColumnEncodesOrderedCodes) {
+  const Column c = Column::from_strings("s", {"cherry", "apple", "banana",
+                                              "apple"});
+  ASSERT_EQ(c.size(), 4u);
+  ASSERT_TRUE(c.has_dictionary());
+  const auto codes = c.codes();
+  EXPECT_EQ(codes[0], 2);  // cherry
+  EXPECT_EQ(codes[1], 0);  // apple
+  EXPECT_EQ(codes[2], 1);  // banana
+  EXPECT_EQ(codes[3], 0);  // apple
+  EXPECT_EQ(c.dictionary().size(), 3);
+}
+
+TEST(Column, ValueAtDecodes) {
+  const Column s = Column::from_strings("s", {"b", "a"});
+  EXPECT_EQ(s.value_at(0).as_string(), "b");
+  const std::vector<double> vd = {2.25};
+  const Column d = Column::from_double("d", vd);
+  EXPECT_DOUBLE_EQ(d.value_at(0).as_double(), 2.25);
+  const std::vector<std::int32_t> vi = {-3};
+  const Column i = Column::from_int32("i", vi);
+  EXPECT_EQ(i.value_at(0).as_int(), -3);
+}
+
+TEST(Column, MutableAccessWritesThrough) {
+  const std::vector<std::int64_t> v = {1, 2, 3};
+  Column c = Column::from_int64("x", v);
+  c.mutable_int64()[1] = 99;
+  EXPECT_EQ(c.int64_data()[1], 99);
+}
+
+TEST(Column, ReserveDoesNotChangeSize) {
+  Column c("x", TypeId::kInt32);
+  c.reserve(1000);
+  EXPECT_EQ(c.size(), 0u);
+  c.append_int32(5);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Column, GrowthAcrossManyAppends) {
+  Column c("x", TypeId::kDouble);
+  for (int i = 0; i < 100000; ++i) c.append_double(i * 0.5);
+  EXPECT_EQ(c.size(), 100000u);
+  EXPECT_DOUBLE_EQ(c.double_data()[99999], 99999 * 0.5);
+}
+
+TEST(Column, EmptyStringColumn) {
+  const Column c = Column::from_strings("s", {});
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.has_dictionary());
+  EXPECT_EQ(c.dictionary().size(), 0);
+}
+
+}  // namespace
+}  // namespace eidb::storage

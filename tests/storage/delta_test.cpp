@@ -1,0 +1,102 @@
+#include "storage/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::storage {
+namespace {
+
+TEST(DeltaColumn, AppendAndAt) {
+  DeltaColumn c({10, 20, 30});
+  EXPECT_EQ(c.main_size(), 3u);
+  c.append(40);
+  c.append(50);
+  EXPECT_EQ(c.delta_size(), 2u);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.at(0), 10);
+  EXPECT_EQ(c.at(2), 30);
+  EXPECT_EQ(c.at(3), 40);
+  EXPECT_EQ(c.at(4), 50);
+}
+
+TEST(DeltaColumn, ScanSpansMainAndDelta) {
+  DeltaColumn c({1, 5, 9});
+  c.append(5);
+  c.append(2);
+  BitVector out(c.size());
+  c.scan_range(2, 5, out);
+  EXPECT_FALSE(out.test(0));
+  EXPECT_TRUE(out.test(1));
+  EXPECT_FALSE(out.test(2));
+  EXPECT_TRUE(out.test(3));
+  EXPECT_TRUE(out.test(4));
+}
+
+TEST(DeltaColumn, ScanMatchesReferenceAcrossBoundary) {
+  // Main size straddling word boundaries exercises the copy/patch seam.
+  for (const std::size_t main_n : {0u, 1u, 63u, 64u, 65u, 127u, 1000u}) {
+    Pcg32 rng(main_n + 1);
+    std::vector<std::int64_t> main(main_n);
+    for (auto& v : main) v = rng.next_bounded(100);
+    DeltaColumn c(main);
+    for (int d = 0; d < 200; ++d)
+      c.append(rng.next_bounded(100));
+    BitVector out(c.size());
+    c.scan_range(25, 74, out);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(out.test(i), c.at(i) >= 25 && c.at(i) <= 74)
+          << "main_n=" << main_n << " i=" << i;
+  }
+}
+
+TEST(DeltaColumn, MergeFoldsAndClears) {
+  DeltaColumn c({1, 2});
+  c.append(3);
+  c.append(4);
+  EXPECT_EQ(c.merge(), 2u);
+  EXPECT_EQ(c.delta_size(), 0u);
+  EXPECT_EQ(c.main_size(), 4u);
+  EXPECT_EQ(c.at(3), 4);
+  EXPECT_EQ(c.merges(), 1u);
+  EXPECT_EQ(c.rows_rewritten(), 4u);
+  EXPECT_EQ(c.merge(), 0u);  // idempotent when empty
+  EXPECT_EQ(c.merges(), 1u);
+}
+
+TEST(DeltaColumn, ScanEquivalentBeforeAndAfterMerge) {
+  Pcg32 rng(9);
+  std::vector<std::int64_t> main(5000);
+  for (auto& v : main) v = rng.next_bounded(1000);
+  DeltaColumn c(main);
+  for (int i = 0; i < 700; ++i) c.append(rng.next_bounded(1000));
+
+  BitVector before(c.size());
+  c.scan_range(100, 299, before);
+  (void)c.merge();
+  BitVector after(c.size());
+  c.scan_range(100, 299, after);
+  EXPECT_EQ(before, after);
+}
+
+TEST(DeltaColumn, NeedsMergePolicy) {
+  std::vector<std::int64_t> main(1000, 1);
+  DeltaColumn c(main);
+  EXPECT_FALSE(c.needs_merge(0.1));
+  for (int i = 0; i < 101; ++i) c.append(2);
+  EXPECT_TRUE(c.needs_merge(0.1));
+  (void)c.merge();
+  EXPECT_FALSE(c.needs_merge(0.1));
+}
+
+TEST(DeltaColumn, EmptyMainPolicy) {
+  DeltaColumn c;
+  EXPECT_FALSE(c.needs_merge());
+  for (int i = 0; i < 1025; ++i) c.append(i);
+  EXPECT_TRUE(c.needs_merge());
+}
+
+}  // namespace
+}  // namespace eidb::storage

@@ -1,0 +1,70 @@
+#include "storage/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::storage {
+namespace {
+
+TEST(Dictionary, BuildsSortedUnique) {
+  const Dictionary d =
+      Dictionary::build({"pear", "apple", "pear", "banana", "apple"});
+  ASSERT_EQ(d.size(), 3);
+  EXPECT_EQ(d.at(0), "apple");
+  EXPECT_EQ(d.at(1), "banana");
+  EXPECT_EQ(d.at(2), "pear");
+}
+
+TEST(Dictionary, CodeLookup) {
+  const Dictionary d = Dictionary::build({"a", "b", "c"});
+  EXPECT_EQ(d.code_of("a").value(), 0);
+  EXPECT_EQ(d.code_of("c").value(), 2);
+  EXPECT_FALSE(d.code_of("zz").has_value());
+  EXPECT_FALSE(d.code_of("").has_value());
+}
+
+TEST(Dictionary, OrderPreservingCodes) {
+  // Ordered encoding: string comparison == code comparison. This property
+  // is what lets string range scans run on integer kernels.
+  const Dictionary d = Dictionary::build({"delta", "alpha", "charlie", "bravo"});
+  for (std::int32_t i = 0; i < d.size(); ++i)
+    for (std::int32_t j = 0; j < d.size(); ++j)
+      EXPECT_EQ(d.at(i) < d.at(j), i < j);
+}
+
+TEST(Dictionary, RangeBounds) {
+  const Dictionary d = Dictionary::build({"b", "d", "f"});
+  // lower_bound: first code >= s
+  EXPECT_EQ(d.lower_bound("a"), 0);
+  EXPECT_EQ(d.lower_bound("b"), 0);
+  EXPECT_EQ(d.lower_bound("c"), 1);
+  EXPECT_EQ(d.lower_bound("g"), 3);  // past the end
+  // upper_bound: first code > s
+  EXPECT_EQ(d.upper_bound("b"), 1);
+  EXPECT_EQ(d.upper_bound("e"), 2);
+  EXPECT_EQ(d.upper_bound("f"), 3);
+}
+
+TEST(Dictionary, BetweenPredicateViaCodes) {
+  const Dictionary d = Dictionary::build({"ant", "bee", "cat", "dog", "eel"});
+  // strings in ["b", "d"): codes [lower_bound(b), lower_bound(d))
+  const std::int32_t lo = d.lower_bound("b");
+  const std::int32_t hi = d.lower_bound("d");
+  EXPECT_EQ(lo, 1);  // bee
+  EXPECT_EQ(hi, 3);  // dog excluded
+}
+
+TEST(Dictionary, EmptyDictionary) {
+  const Dictionary d = Dictionary::build({});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0);
+  EXPECT_FALSE(d.code_of("x").has_value());
+  EXPECT_EQ(d.lower_bound("x"), 0);
+}
+
+TEST(Dictionary, PayloadBytes) {
+  const Dictionary d = Dictionary::build({"aa", "bbb"});
+  EXPECT_EQ(d.payload_bytes(), 5u);
+}
+
+}  // namespace
+}  // namespace eidb::storage

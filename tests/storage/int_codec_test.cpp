@@ -1,0 +1,142 @@
+#include "storage/int_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace eidb::storage {
+namespace {
+
+std::vector<std::int64_t> make_data(const std::string& pattern, std::size_t n,
+                                    std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::int64_t> v(n);
+  if (pattern == "uniform-small") {
+    for (auto& x : v) x = rng.next_bounded(1000);
+  } else if (pattern == "uniform-wide") {
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.next64());
+  } else if (pattern == "sorted") {
+    std::int64_t cur = -500;
+    for (auto& x : v) {
+      cur += rng.next_bounded(5);
+      x = cur;
+    }
+  } else if (pattern == "runs") {
+    std::int64_t cur = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      cur = rng.next_bounded(50);
+      const std::size_t run = std::min<std::size_t>(1 + rng.next_bounded(40),
+                                                    n - i);
+      for (std::size_t k = 0; k < run; ++k) v[i++] = cur;
+    }
+  } else if (pattern == "zipf") {
+    ZipfGenerator z(10000, 0.99, seed);
+    for (auto& x : v) x = static_cast<std::int64_t>(z.next());
+  } else if (pattern == "negatives") {
+    for (auto& x : v)
+      x = static_cast<std::int64_t>(rng.next_bounded(2000)) - 1000;
+  }
+  return v;
+}
+
+struct Case {
+  CodecKind kind;
+  std::string pattern;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CodecRoundTrip, DecodeInvertsEncode) {
+  const auto [kind, pattern] = GetParam();
+  const auto codec = make_codec(kind);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{1000},
+                              std::size_t{4097}}) {
+    const auto data = make_data(pattern, n, 77 + n);
+    const auto bytes = codec->encode(data);
+    const auto back = codec->decode(bytes);
+    EXPECT_EQ(back, data) << codec_name(kind) << " n=" << n;
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const CodecKind k : all_codec_kinds())
+    for (const char* p : {"uniform-small", "uniform-wide", "sorted", "runs",
+                          "zipf", "negatives"})
+      cases.push_back({k, p});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllPatterns, CodecRoundTrip, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name =
+          codec_name(info.param.kind) + "_" + info.param.pattern;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Codec, ForBitpackCompressesSmallDomains) {
+  const auto data = make_data("uniform-small", 10000, 1);  // values < 1000
+  const auto codec = make_codec(CodecKind::kForBitpack);
+  const auto bytes = codec->encode(data);
+  // 10 bits/value vs 64: expect better than 4x.
+  EXPECT_LT(bytes.size(), data.size() * 8 / 4);
+}
+
+TEST(Codec, DeltaBitpackBeatsForOnSorted) {
+  const auto data = make_data("sorted", 10000, 2);
+  const auto delta = make_codec(CodecKind::kDeltaBitpack)->encode(data);
+  const auto fr = make_codec(CodecKind::kForBitpack)->encode(data);
+  EXPECT_LT(delta.size(), fr.size());
+}
+
+TEST(Codec, RleShinesOnRuns) {
+  const auto data = make_data("runs", 10000, 3);
+  const auto rle = make_codec(CodecKind::kRle)->encode(data);
+  EXPECT_LT(rle.size(), data.size() * 8 / 5);
+}
+
+TEST(Codec, RleDegradesGracefullyOnRandom) {
+  const auto data = make_data("uniform-wide", 1000, 4);
+  const auto codec = make_codec(CodecKind::kRle);
+  const auto bytes = codec->encode(data);
+  const auto back = codec->decode(bytes);
+  EXPECT_EQ(back, data);
+  // Worst case = 2 words per value + header.
+  EXPECT_LE(bytes.size(), 8 + data.size() * 16);
+}
+
+TEST(Codec, PlainIsExactlyRawPlusHeader) {
+  const auto data = make_data("uniform-wide", 100, 5);
+  const auto bytes = make_codec(CodecKind::kPlain)->encode(data);
+  EXPECT_EQ(bytes.size(), 8 + 100 * 8);
+}
+
+TEST(Codec, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (const CodecKind k : all_codec_kinds()) names.push_back(codec_name(k));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Codec, NominalCostsOrdered) {
+  // Plain must be the cheapest; LZ the most expensive CPU-wise.
+  const double plain =
+      make_codec(CodecKind::kPlain)->nominal_cycles_per_value();
+  const double lz = make_codec(CodecKind::kLz)->nominal_cycles_per_value();
+  for (const CodecKind k : all_codec_kinds()) {
+    const double c = make_codec(k)->nominal_cycles_per_value();
+    EXPECT_GE(c, plain);
+    EXPECT_LE(c, lz);
+  }
+}
+
+}  // namespace
+}  // namespace eidb::storage

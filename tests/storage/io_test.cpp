@@ -1,0 +1,108 @@
+#include "storage/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::storage {
+namespace {
+
+Table sample_table(std::size_t rows) {
+  Table t("facts", Schema({{"id", TypeId::kInt64},
+                           {"qty", TypeId::kInt32},
+                           {"price", TypeId::kDouble},
+                           {"tag", TypeId::kString}}));
+  Pcg32 rng(5);
+  std::vector<std::int64_t> ids;
+  std::vector<std::int32_t> qty;
+  std::vector<double> price;
+  std::vector<std::string> tags;
+  const char* tag_names[] = {"red", "green", "blue", ""};
+  for (std::size_t i = 0; i < rows; ++i) {
+    ids.push_back(static_cast<std::int64_t>(i) - 50);
+    qty.push_back(static_cast<std::int32_t>(rng.next_bounded(100)));
+    price.push_back(rng.next_double() * 10);
+    tags.emplace_back(tag_names[rng.next_bounded(4)]);
+  }
+  t.set_column(0, Column::from_int64("id", ids));
+  t.set_column(1, Column::from_int32("qty", qty));
+  t.set_column(2, Column::from_double("price", price));
+  t.set_column(3, Column::from_strings("tag", tags));
+  return t;
+}
+
+void expect_tables_equal(const Table& a, const Table& b) {
+  ASSERT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.row_count(), b.row_count());
+  ASSERT_EQ(a.column_count(), b.column_count());
+  for (std::size_t c = 0; c < a.column_count(); ++c) {
+    EXPECT_EQ(a.schema().column(c).name, b.schema().column(c).name);
+    EXPECT_EQ(a.schema().column(c).type, b.schema().column(c).type);
+    for (std::size_t r = 0; r < a.row_count(); ++r)
+      ASSERT_EQ(a.column(c).value_at(r), b.column(c).value_at(r))
+          << "col " << c << " row " << r;
+  }
+}
+
+TEST(TableIo, RoundTripAllTypes) {
+  const Table t = sample_table(500);
+  std::stringstream buf;
+  save_table(t, buf);
+  const Table back = load_table(buf);
+  expect_tables_equal(t, back);
+}
+
+TEST(TableIo, RoundTripEmptyTable) {
+  Table t("empty", Schema({{"x", TypeId::kInt64}}));
+  t.set_column(0, Column::from_int64("x", std::vector<std::int64_t>{}));
+  std::stringstream buf;
+  save_table(t, buf);
+  const Table back = load_table(buf);
+  EXPECT_EQ(back.row_count(), 0u);
+  EXPECT_EQ(back.name(), "empty");
+}
+
+TEST(TableIo, RejectsIncompleteTable) {
+  Table t("partial", Schema({{"x", TypeId::kInt64}}));
+  std::stringstream buf;
+  EXPECT_THROW(save_table(t, buf), Error);
+}
+
+TEST(TableIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "not a table file at all";
+  EXPECT_THROW((void)load_table(buf), Error);
+}
+
+TEST(TableIo, RejectsTruncation) {
+  const Table t = sample_table(100);
+  std::stringstream buf;
+  save_table(t, buf);
+  const std::string full = buf.str();
+  // Cut at several points; every cut must throw, never crash.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    std::stringstream cut(full.substr(
+        0, static_cast<std::size_t>(static_cast<double>(full.size()) * frac)));
+    EXPECT_THROW((void)load_table(cut), Error) << frac;
+  }
+}
+
+TEST(TableIo, FileRoundTrip) {
+  const Table t = sample_table(64);
+  const std::string path = "/tmp/eidb_io_test_table.bin";
+  save_table_file(t, path);
+  const Table back = load_table_file(path);
+  expect_tables_equal(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_table_file("/nonexistent/nope.bin"), Error);
+}
+
+}  // namespace
+}  // namespace eidb::storage

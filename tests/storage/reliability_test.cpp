@@ -1,0 +1,85 @@
+#include "storage/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+namespace {
+
+ReliabilityManager make_mgr() {
+  return ReliabilityManager(hw::MachineSpec::server(), hw::LinkSpec::tengbe(),
+                            hw::LinkSpec::gbe());
+}
+
+TEST(Reliability, SurvivalMatrix) {
+  // Cheap memory dies with the process; replication survives node loss;
+  // only geo-replication survives site loss.
+  EXPECT_FALSE(survives(Reliability::kCheap, Failure::kProcessCrash));
+  EXPECT_TRUE(survives(Reliability::kNodeDurable, Failure::kProcessCrash));
+  EXPECT_FALSE(survives(Reliability::kNodeDurable, Failure::kNodeLoss));
+  EXPECT_TRUE(survives(Reliability::kReplicated, Failure::kNodeLoss));
+  EXPECT_FALSE(survives(Reliability::kReplicated, Failure::kSiteLoss));
+  EXPECT_TRUE(survives(Reliability::kGeoReplicated, Failure::kSiteLoss));
+}
+
+TEST(Reliability, CostOrderedByDurability) {
+  const ReliabilityManager mgr = make_mgr();
+  const double bytes = 1 << 20;
+  const WriteCost cheap = mgr.cost_of(Reliability::kCheap, bytes);
+  const WriteCost nvm = mgr.cost_of(Reliability::kNodeDurable, bytes);
+  const WriteCost repl = mgr.cost_of(Reliability::kReplicated, bytes);
+  const WriteCost geo = mgr.cost_of(Reliability::kGeoReplicated, bytes);
+  EXPECT_LT(cheap.time_s, nvm.time_s);
+  EXPECT_LT(nvm.time_s, repl.time_s);
+  EXPECT_LT(repl.time_s, geo.time_s);
+  EXPECT_LT(cheap.energy_j, nvm.energy_j);
+  EXPECT_LT(nvm.energy_j, repl.energy_j);
+  EXPECT_LT(repl.energy_j, geo.energy_j);
+}
+
+TEST(Reliability, WriteAccumulates) {
+  ReliabilityManager mgr = make_mgr();
+  mgr.declare("redo-log", Reliability::kReplicated);
+  const WriteCost once = mgr.write("redo-log", 4096);
+  (void)mgr.write("redo-log", 4096);
+  const WriteCost total = mgr.accumulated("redo-log");
+  EXPECT_NEAR(total.time_s, 2 * once.time_s, 1e-12);
+  EXPECT_NEAR(total.energy_j, 2 * once.energy_j, 1e-12);
+}
+
+TEST(Reliability, IntermediatesCheapLogsReplicated) {
+  // The paper's exact example: intermediates in cheap memory, REDO log
+  // replicated. Intermediates write faster; only the log survives node loss.
+  ReliabilityManager mgr = make_mgr();
+  mgr.declare("intermediates", Reliability::kCheap);
+  mgr.declare("redo-log", Reliability::kReplicated);
+  const WriteCost inter = mgr.write("intermediates", 1 << 20);
+  const WriteCost log = mgr.write("redo-log", 1 << 20);
+  EXPECT_LT(inter.time_s, log.time_s / 10);
+  const auto alive = mgr.surviving(Failure::kNodeLoss);
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0], "redo-log");
+}
+
+TEST(Reliability, UndeclaredFragmentThrows) {
+  ReliabilityManager mgr = make_mgr();
+  EXPECT_THROW((void)mgr.write("nope", 1), Error);
+  EXPECT_THROW((void)mgr.level_of("nope"), Error);
+  EXPECT_THROW((void)mgr.accumulated("nope"), Error);
+}
+
+TEST(Reliability, RedeclareChangesLevel) {
+  ReliabilityManager mgr = make_mgr();
+  mgr.declare("frag", Reliability::kCheap);
+  mgr.declare("frag", Reliability::kGeoReplicated);
+  EXPECT_EQ(mgr.level_of("frag"), Reliability::kGeoReplicated);
+}
+
+TEST(Reliability, Names) {
+  EXPECT_EQ(reliability_name(Reliability::kCheap), "cheap");
+  EXPECT_EQ(reliability_name(Reliability::kGeoReplicated), "geo-replicated");
+}
+
+}  // namespace
+}  // namespace eidb::storage

@@ -1,0 +1,132 @@
+#include "storage/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+namespace {
+
+Schema sales_schema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"amount", TypeId::kDouble},
+                 {"region", TypeId::kString}});
+}
+
+TEST(Schema, IndexLookup) {
+  const Schema s = sales_schema();
+  EXPECT_EQ(s.column_count(), 3u);
+  EXPECT_EQ(s.index_of("amount"), 1u);
+  EXPECT_TRUE(s.has_column("region"));
+  EXPECT_FALSE(s.has_column("nope"));
+  EXPECT_THROW((void)s.index_of("nope"), Error);
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  EXPECT_THROW(Schema({{"a", TypeId::kInt32}, {"a", TypeId::kInt64}}), Error);
+}
+
+TEST(Table, InstallAndReadColumns) {
+  Table t("sales", sales_schema());
+  EXPECT_FALSE(t.complete());
+  const std::vector<std::int64_t> ids = {1, 2, 3};
+  const std::vector<double> amounts = {10.5, 20.0, 7.25};
+  t.set_column(0, Column::from_int64("id", ids));
+  t.set_column(1, Column::from_double("amount", amounts));
+  t.set_column(2, Column::from_strings("region", {"eu", "us", "eu"}));
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.row_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.column("amount").double_data()[1], 20.0);
+  EXPECT_EQ(t.column("region").value_at(2).as_string(), "eu");
+}
+
+TEST(Table, RejectsTypeMismatch) {
+  Table t("t", sales_schema());
+  const std::vector<std::int32_t> wrong = {1};
+  EXPECT_THROW(t.set_column(0, Column::from_int32("id", wrong)), Error);
+}
+
+TEST(Table, RejectsLengthMismatch) {
+  Table t("t", sales_schema());
+  const std::vector<std::int64_t> ids = {1, 2, 3};
+  const std::vector<double> amounts = {1.0};
+  t.set_column(0, Column::from_int64("id", ids));
+  EXPECT_THROW(t.set_column(1, Column::from_double("amount", amounts)), Error);
+}
+
+TEST(Table, ByteSizeSumsColumns) {
+  Table t("t", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt32}}));
+  const std::vector<std::int64_t> a = {1, 2, 3, 4};
+  const std::vector<std::int32_t> b = {1, 2, 3, 4};
+  t.set_column(0, Column::from_int64("a", a));
+  t.set_column(1, Column::from_int32("b", b));
+  EXPECT_EQ(t.byte_size(), 4u * 8 + 4u * 4);
+}
+
+TEST(Catalog, AddGetDrop) {
+  Catalog cat;
+  cat.add(Table("a", sales_schema()));
+  cat.add(Table("b", sales_schema()));
+  EXPECT_TRUE(cat.contains("a"));
+  EXPECT_EQ(cat.get("b").name(), "b");
+  EXPECT_EQ(cat.table_names().size(), 2u);
+  cat.drop("a");
+  EXPECT_FALSE(cat.contains("a"));
+  EXPECT_THROW((void)cat.get("a"), Error);
+  EXPECT_THROW(cat.drop("a"), Error);
+}
+
+TEST(Catalog, RejectsDuplicates) {
+  Catalog cat;
+  cat.add(Table("a", sales_schema()));
+  EXPECT_THROW(cat.add(Table("a", sales_schema())), Error);
+}
+
+TEST(Table, ZoneMapCachedAndCorrect) {
+  Table t("t", Schema({{"a", TypeId::kInt64}, {"s", TypeId::kString}}));
+  std::vector<std::int64_t> a(1000);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<std::int64_t>(i);
+  t.set_column(0, Column::from_int64("a", a));
+  std::vector<std::string> s;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s.emplace_back(i < 500 ? "early" : "late");
+  t.set_column(1, Column::from_strings("s", s));
+
+  const ZoneMap& zm1 = t.zone_map(0, 100);
+  const ZoneMap& zm2 = t.zone_map(0, 100);
+  EXPECT_EQ(&zm1, &zm2);  // cached instance
+  EXPECT_EQ(zm1.zone_count(), 10u);
+  EXPECT_EQ(zm1.zone(3).min, 300);
+
+  // String columns are mapped over dictionary codes.
+  const ZoneMap& zs = t.zone_map(1, 500);
+  EXPECT_EQ(zs.zone_count(), 2u);
+  EXPECT_EQ(zs.zone(0).min, 0);  // "early"
+  EXPECT_EQ(zs.zone(1).max, 1);  // "late"
+
+  // Different block size = different cache entry.
+  const ZoneMap& zm3 = t.zone_map(0, 200);
+  EXPECT_NE(&zm1, &zm3);
+  EXPECT_EQ(zm3.zone_count(), 5u);
+}
+
+TEST(Table, ZoneMapOnDoubleThrows) {
+  Table t("t", Schema({{"d", TypeId::kDouble}}));
+  const std::vector<double> d = {1.0};
+  t.set_column(0, Column::from_double("d", d));
+  EXPECT_THROW((void)t.zone_map(0, 10), Error);
+}
+
+TEST(Catalog, ReferencesStayValidAfterAdd) {
+  Catalog cat;
+  Table& a = cat.add(Table("a", sales_schema()));
+  for (int i = 0; i < 50; ++i)
+    cat.add(Table("t" + std::to_string(i), sales_schema()));
+  EXPECT_EQ(a.name(), "a");  // unique_ptr storage: no reallocation of Table
+}
+
+}  // namespace
+}  // namespace eidb::storage

@@ -1,0 +1,108 @@
+#include "storage/tier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+namespace {
+
+TEST(ColdTier, ReadCostsScaleWithBytes) {
+  const ColdTierSpec spec;
+  const double t1 = spec.read_time_s(1e9);
+  const double t2 = spec.read_time_s(2e9);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, 1e9 / (spec.bandwidth_gbs * 1e9), 1e-9);
+  EXPECT_GT(spec.read_energy_j(2e9), spec.read_energy_j(1e9));
+}
+
+TEST(ColdTier, LatencyFloorsSmallReads) {
+  const ColdTierSpec spec;
+  EXPECT_GE(spec.read_time_s(1), spec.access_latency_s);
+}
+
+TEST(TierManager, DefaultPlacementIsHot) {
+  TierManager tm;
+  tm.register_column("t", "a", 1000);
+  EXPECT_EQ(tm.tier_of("t", "a"), Tier::kHot);
+  EXPECT_EQ(tm.hot_bytes(), 1000u);
+  EXPECT_EQ(tm.cold_bytes(), 0u);
+}
+
+TEST(TierManager, HotAccessIsFree) {
+  TierManager tm;
+  tm.register_column("t", "a", 1 << 20);
+  const auto p = tm.access("t", "a");
+  EXPECT_EQ(p.time_s, 0.0);
+  EXPECT_EQ(p.energy_j, 0.0);
+  EXPECT_EQ(tm.access_count("t", "a"), 1u);
+}
+
+TEST(TierManager, ColdAccessCharged) {
+  TierManager tm;
+  tm.register_column("t", "a", 1 << 30, Tier::kCold);
+  const auto p = tm.access("t", "a");
+  EXPECT_GT(p.time_s, 0.0);
+  EXPECT_GT(p.energy_j, 0.0);
+  EXPECT_NEAR(p.time_s, tm.cold_spec().read_time_s(double(1 << 30)), 1e-9);
+}
+
+TEST(TierManager, PlaceMoves) {
+  TierManager tm;
+  tm.register_column("t", "a", 100);
+  tm.place("t", "a", Tier::kCold);
+  EXPECT_EQ(tm.tier_of("t", "a"), Tier::kCold);
+  EXPECT_EQ(tm.hot_bytes(), 0u);
+  EXPECT_EQ(tm.cold_bytes(), 100u);
+}
+
+TEST(TierManager, UnregisteredThrows) {
+  TierManager tm;
+  EXPECT_THROW((void)tm.tier_of("x", "y"), Error);
+  EXPECT_THROW((void)tm.access("x", "y"), Error);
+  EXPECT_THROW(tm.place("x", "y", Tier::kHot), Error);
+}
+
+TEST(TierManager, BudgetDemotesLeastAccessedFirst) {
+  TierManager tm;
+  tm.register_column("t", "hot1", 100);
+  tm.register_column("t", "hot2", 100);
+  tm.register_column("t", "cold1", 100);
+  // Access pattern: hot1 10x, hot2 5x, cold1 0x.
+  for (int i = 0; i < 10; ++i) (void)tm.access("t", "hot1");
+  for (int i = 0; i < 5; ++i) (void)tm.access("t", "hot2");
+  const std::size_t demoted = tm.enforce_budget(200);
+  EXPECT_EQ(demoted, 1u);
+  EXPECT_EQ(tm.tier_of("t", "cold1"), Tier::kCold);
+  EXPECT_EQ(tm.tier_of("t", "hot1"), Tier::kHot);
+  EXPECT_EQ(tm.tier_of("t", "hot2"), Tier::kHot);
+}
+
+TEST(TierManager, BudgetTiesPreferDemotingLargest) {
+  TierManager tm;
+  tm.register_column("t", "small", 10);
+  tm.register_column("t", "large", 1000);
+  const std::size_t demoted = tm.enforce_budget(500);
+  EXPECT_EQ(demoted, 1u);
+  EXPECT_EQ(tm.tier_of("t", "large"), Tier::kCold);
+  EXPECT_EQ(tm.tier_of("t", "small"), Tier::kHot);
+}
+
+TEST(TierManager, BudgetNoopWhenFits) {
+  TierManager tm;
+  tm.register_column("t", "a", 100);
+  EXPECT_EQ(tm.enforce_budget(1000), 0u);
+  EXPECT_EQ(tm.tier_of("t", "a"), Tier::kHot);
+}
+
+TEST(TierManager, ReregisterResetsStats) {
+  TierManager tm;
+  tm.register_column("t", "a", 100);
+  (void)tm.access("t", "a");
+  tm.register_column("t", "a", 200);
+  EXPECT_EQ(tm.access_count("t", "a"), 0u);
+  EXPECT_EQ(tm.hot_bytes(), 200u);
+}
+
+}  // namespace
+}  // namespace eidb::storage

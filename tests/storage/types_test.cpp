@@ -1,0 +1,63 @@
+#include "storage/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::storage {
+namespace {
+
+TEST(Types, Names) {
+  EXPECT_EQ(type_name(TypeId::kInt32), "int32");
+  EXPECT_EQ(type_name(TypeId::kInt64), "int64");
+  EXPECT_EQ(type_name(TypeId::kDouble), "double");
+  EXPECT_EQ(type_name(TypeId::kString), "string");
+}
+
+TEST(Types, PhysicalSizes) {
+  EXPECT_EQ(physical_size(TypeId::kInt32), 4u);
+  EXPECT_EQ(physical_size(TypeId::kInt64), 8u);
+  EXPECT_EQ(physical_size(TypeId::kDouble), 8u);
+  EXPECT_EQ(physical_size(TypeId::kString), 4u);  // dictionary code
+}
+
+TEST(Value, IntRoundTrip) {
+  const Value v{std::int64_t{-42}};
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_DOUBLE_EQ(v.as_double(), -42.0);  // implicit widening
+  EXPECT_EQ(v.to_string(), "-42");
+}
+
+TEST(Value, DoubleRoundTrip) {
+  const Value v{2.5};
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+  EXPECT_EQ(v.to_string(), "2.5");
+}
+
+TEST(Value, StringRoundTrip) {
+  const Value v{std::string("abc")};
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "abc");
+  EXPECT_EQ(v.to_string(), "abc");
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value{std::int64_t{1}}, Value{std::int64_t{1}});
+  EXPECT_FALSE(Value{std::int64_t{1}} == Value{2.0});
+  EXPECT_EQ(Value{std::string("x")}, Value{std::string("x")});
+}
+
+TEST(Value, DefaultIsIntZero) {
+  const Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(Value, Int32ConstructorWidens) {
+  const Value v{std::int32_t{7}};
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 7);
+}
+
+}  // namespace
+}  // namespace eidb::storage

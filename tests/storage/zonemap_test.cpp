@@ -1,0 +1,102 @@
+#include "storage/zonemap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb::storage {
+namespace {
+
+TEST(ZoneMap, BuildsPerBlockMinMax) {
+  const std::vector<std::int64_t> v = {5, 1, 9, /*block*/ 3, 3, 3,
+                                       /*block*/ 100};
+  const ZoneMap zm = ZoneMap::build(v, 3);
+  ASSERT_EQ(zm.zone_count(), 3u);
+  EXPECT_EQ(zm.zone(0).min, 1);
+  EXPECT_EQ(zm.zone(0).max, 9);
+  EXPECT_EQ(zm.zone(1).min, 3);
+  EXPECT_EQ(zm.zone(1).max, 3);
+  EXPECT_EQ(zm.zone(2).min, 100);
+  EXPECT_EQ(zm.zone(2).max, 100);
+}
+
+TEST(ZoneMap, OverlapPredicate) {
+  const std::vector<std::int64_t> v = {10, 20, 30, 40};
+  const ZoneMap zm = ZoneMap::build(v, 2);
+  EXPECT_TRUE(zm.may_overlap(0, 15, 25));
+  EXPECT_FALSE(zm.may_overlap(0, 21, 29));
+  EXPECT_TRUE(zm.may_overlap(1, 40, 100));
+  EXPECT_FALSE(zm.may_overlap(1, 41, 100));
+}
+
+TEST(ZoneMap, CandidateRangesCoalesceAdjacent) {
+  // Sorted data: one contiguous candidate range.
+  std::vector<std::int64_t> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int64_t>(i);
+  const ZoneMap zm = ZoneMap::build(v, 100);
+  const auto ranges = zm.candidate_ranges(250, 649, v.size());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 200u);  // block [200,300) holds 250
+  EXPECT_EQ(ranges[0].end, 700u);    // block [600,700) holds 649
+}
+
+TEST(ZoneMap, CandidateRangesSkipNonMatching) {
+  // Clustered data: values alternate between two far-apart clusters per block.
+  std::vector<std::int64_t> v;
+  for (int block = 0; block < 10; ++block)
+    for (int i = 0; i < 100; ++i) v.push_back(block % 2 == 0 ? 10 : 1000);
+  const ZoneMap zm = ZoneMap::build(v, 100);
+  const auto ranges = zm.candidate_ranges(900, 1100, v.size());
+  ASSERT_EQ(ranges.size(), 5u);  // every odd block, none adjacent
+  for (const auto& r : ranges) EXPECT_EQ(r.end - r.begin, 100u);
+}
+
+TEST(ZoneMap, NoCandidates) {
+  const std::vector<std::int64_t> v = {1, 2, 3};
+  const ZoneMap zm = ZoneMap::build(v, 2);
+  EXPECT_TRUE(zm.candidate_ranges(100, 200, v.size()).empty());
+}
+
+TEST(ZoneMap, TailBlockShorterThanBlockRows) {
+  std::vector<std::int64_t> v(105, 7);
+  const ZoneMap zm = ZoneMap::build(v, 50);
+  ASSERT_EQ(zm.zone_count(), 3u);
+  const auto ranges = zm.candidate_ranges(7, 7, v.size());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].end, 105u);  // clipped to row count
+}
+
+TEST(ZoneMap, Int32Builder) {
+  const std::vector<std::int32_t> v = {-5, 3, 100, 2};
+  const ZoneMap zm = ZoneMap::build32(v, 2);
+  EXPECT_EQ(zm.zone(0).min, -5);
+  EXPECT_EQ(zm.zone(0).max, 3);
+  EXPECT_EQ(zm.zone(1).max, 100);
+}
+
+// Property: a scan restricted to candidate ranges finds exactly the rows a
+// full scan finds.
+TEST(ZoneMap, PruningIsLossless) {
+  Pcg32 rng(42);
+  std::vector<std::int64_t> v(10000);
+  for (auto& x : v) x = rng.next_bounded(1000);
+  const ZoneMap zm = ZoneMap::build(v, 128);
+  const std::int64_t lo = 300, hi = 320;
+
+  std::vector<std::size_t> full;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] >= lo && v[i] <= hi) full.push_back(i);
+
+  std::vector<std::size_t> pruned;
+  for (const auto& r : zm.candidate_ranges(lo, hi, v.size()))
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      if (v[i] >= lo && v[i] <= hi) pruned.push_back(i);
+
+  EXPECT_EQ(pruned, full);
+}
+
+}  // namespace
+}  // namespace eidb::storage

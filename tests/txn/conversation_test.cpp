@@ -1,0 +1,143 @@
+#include "txn/conversation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace eidb::txn {
+namespace {
+
+void seed_base(MvccStore& store) {
+  Transaction t = store.begin();
+  ASSERT_TRUE(store.write(t, 1, 100));
+  ASSERT_TRUE(store.write(t, 2, 200));
+  ASSERT_TRUE(store.commit(t).has_value());
+}
+
+TEST(Conversation, ReadsBaseSnapshot) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("analysis");
+  EXPECT_EQ(conv->read(1).value(), 100);
+  EXPECT_FALSE(conv->read(99).has_value());
+}
+
+TEST(Conversation, OverlayWritesShadowBaseWithoutTouchingIt) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("whatif");
+  conv->write(1, 111);
+  conv->write(50, 555);
+  EXPECT_EQ(conv->read(1).value(), 111);
+  EXPECT_EQ(conv->read(50).value(), 555);
+  // Base untouched: a fresh transaction still sees the original.
+  Transaction t = store.begin();
+  EXPECT_EQ(store.read(t, 1).value(), 100);
+  EXPECT_FALSE(store.read(t, 50).has_value());
+}
+
+TEST(Conversation, SnapshotIsolatedFromLaterBaseCommits) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("frozen");
+  Transaction w = store.begin();
+  ASSERT_TRUE(store.write(w, 1, 999));
+  ASSERT_TRUE(store.commit(w).has_value());
+  EXPECT_EQ(conv->read(1).value(), 100);  // still the old world
+}
+
+TEST(Conversation, PinSurvivesGc) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("pinned");
+  // Supersede key 1 several times, then GC.
+  for (int i = 0; i < 5; ++i) {
+    Transaction w = store.begin();
+    ASSERT_TRUE(store.write(w, 1, 1000 + i));
+    ASSERT_TRUE(store.commit(w).has_value());
+  }
+  (void)store.gc();
+  EXPECT_EQ(conv->read(1).value(), 100);  // pinned version not pruned
+}
+
+TEST(Conversation, PublishAndAttachShareOverlays) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto alice = mgr.open("alice");
+  alice->write(10, 42);
+
+  auto bob = mgr.open("bob");
+  // Unpublished: not findable, not attachable.
+  EXPECT_EQ(mgr.find("alice"), nullptr);
+  alice->publish();
+  auto shared = mgr.find("alice");
+  ASSERT_NE(shared, nullptr);
+  bob->attach(shared);
+  EXPECT_EQ(bob->read(10).value(), 42);   // through alice's overlay
+  bob->write(10, 43);                     // bob's own overlay wins
+  EXPECT_EQ(bob->read(10).value(), 43);
+  EXPECT_EQ(alice->read(10).value(), 42); // alice unaffected
+}
+
+TEST(Conversation, AttachUnpublishedThrows) {
+  MvccStore store;
+  ConversationManager mgr(store);
+  auto a = mgr.open("a");
+  auto b = mgr.open("b");
+  const std::shared_ptr<const Conversation> ca = a;
+  EXPECT_THROW(b->attach(ca), Error);
+}
+
+TEST(Conversation, MergeIntoBasePublishesAndRebases) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("merge");
+  conv->write(1, 111);
+  conv->write(7, 777);
+  ASSERT_TRUE(conv->merge_into_base());
+  EXPECT_EQ(conv->overlay_size(), 0u);
+  // Base now has the values; the conversation sees them post-rebase.
+  EXPECT_EQ(conv->read(1).value(), 111);
+  EXPECT_EQ(conv->read(7).value(), 777);
+  Transaction t = store.begin();
+  EXPECT_EQ(store.read(t, 7).value(), 777);
+}
+
+TEST(Conversation, MergeConflictKeepsOverlayForRetry) {
+  MvccStore store;
+  seed_base(store);
+  ConversationManager mgr(store);
+  auto conv = mgr.open("loser");
+  conv->write(1, 111);
+  // A base commit to the same key lands first.
+  Transaction w = store.begin();
+  ASSERT_TRUE(store.write(w, 1, 999));
+  ASSERT_TRUE(store.commit(w).has_value());
+
+  EXPECT_FALSE(conv->merge_into_base());  // first-committer-wins
+  EXPECT_EQ(conv->overlay_size(), 1u);    // kept for rebase/retry
+  EXPECT_EQ(conv->read(1).value(), 111);  // conversation view intact
+}
+
+TEST(Conversation, DuplicateNameRejected) {
+  MvccStore store;
+  ConversationManager mgr(store);
+  (void)mgr.open("x");
+  EXPECT_THROW((void)mgr.open("x"), Error);
+}
+
+TEST(Conversation, EmptyMergeSucceedsTrivially) {
+  MvccStore store;
+  ConversationManager mgr(store);
+  auto conv = mgr.open("empty");
+  EXPECT_TRUE(conv->merge_into_base());
+}
+
+}  // namespace
+}  // namespace eidb::txn

@@ -1,0 +1,111 @@
+#include "txn/latch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace eidb::txn {
+namespace {
+
+template <typename Lock>
+void hammer_counter(Lock& lock, int threads, int iters, std::int64_t& counter) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  for (auto& w : workers) w.join();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock lock;
+  std::int64_t counter = 0;
+  hammer_counter(lock, 4, 10000, counter);
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TicketLock, MutualExclusionUnderContention) {
+  TicketLock lock;
+  std::int64_t counter = 0;
+  hammer_counter(lock, 4, 10000, counter);
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(TicketLock, SequentialLockUnlock) {
+  TicketLock lock;
+  for (int i = 0; i < 100; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  SUCCEED();
+}
+
+TEST(RwLatch, SharedReadersCoexist) {
+  RwLatch latch;
+  latch.lock_shared();
+  latch.lock_shared();  // must not deadlock
+  latch.unlock_shared();
+  latch.unlock_shared();
+  latch.lock();  // exclusive acquirable after all readers left
+  latch.unlock();
+}
+
+TEST(RwLatch, WriterExcludesWriters) {
+  RwLatch latch;
+  std::int64_t counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        latch.lock();
+        ++counter;
+        latch.unlock();
+      }
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(RwLatch, ReadersSeeConsistentSnapshots) {
+  RwLatch latch;
+  std::int64_t a = 0, b = 0;  // invariant under the latch: a == b
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      latch.lock();
+      ++a;
+      ++b;
+      latch.unlock();
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop) {
+      latch.lock_shared();
+      if (a != b) violations.fetch_add(1);
+      latch.unlock_shared();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace eidb::txn

@@ -1,0 +1,148 @@
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eidb {
+namespace {
+
+TEST(BitVector, StartsCleared) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+  v.assign(1, true);
+  v.assign(0, false);
+  EXPECT_TRUE(v.test(1));
+  EXPECT_FALSE(v.test(0));
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector v(70);
+  v.set_all();
+  EXPECT_EQ(v.count(), 70u);
+  v.clear_all();
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, FlipAllKeepsTailClear) {
+  BitVector v(65);
+  v.set(2);
+  v.flip_all();
+  EXPECT_EQ(v.count(), 64u);
+  EXPECT_FALSE(v.test(2));
+  EXPECT_TRUE(v.test(64));
+}
+
+TEST(BitVector, LogicalOps) {
+  BitVector a(128), b(128);
+  for (std::size_t i = 0; i < 128; i += 2) a.set(i);
+  for (std::size_t i = 0; i < 128; i += 3) b.set(i);
+  BitVector both = a;
+  both &= b;
+  for (std::size_t i = 0; i < 128; ++i)
+    EXPECT_EQ(both.test(i), i % 6 == 0) << i;
+  BitVector either = a;
+  either |= b;
+  for (std::size_t i = 0; i < 128; ++i)
+    EXPECT_EQ(either.test(i), i % 2 == 0 || i % 3 == 0) << i;
+  BitVector diff = a;
+  diff.and_not(b);
+  for (std::size_t i = 0; i < 128; ++i)
+    EXPECT_EQ(diff.test(i), i % 2 == 0 && i % 3 != 0) << i;
+}
+
+TEST(BitVector, ForEachSetVisitsInOrder) {
+  BitVector v(200);
+  std::vector<std::size_t> want = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (auto i : want) v.set(i);
+  std::vector<std::size_t> got;
+  v.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, ToIndicesMatchesForEach) {
+  Pcg32 rng(7);
+  BitVector v(1000);
+  for (int i = 0; i < 300; ++i) v.set(rng.next_bounded(1000));
+  auto idx = v.to_indices();
+  EXPECT_EQ(idx.size(), v.count());
+  std::size_t k = 0;
+  v.for_each_set([&](std::size_t i) {
+    ASSERT_LT(k, idx.size());
+    EXPECT_EQ(idx[k++], i);
+  });
+}
+
+TEST(BitVector, ResizeGrowsCleared) {
+  BitVector v(10);
+  v.set_all();
+  v.resize(100);
+  EXPECT_EQ(v.count(), 10u);
+  EXPECT_FALSE(v.test(50));
+}
+
+TEST(BitVector, ResizeShrinkMasksTail) {
+  BitVector v(100);
+  v.set_all();
+  v.resize(65);
+  EXPECT_EQ(v.count(), 65u);
+}
+
+TEST(BitVector, EqualityComparesSizeAndBits) {
+  BitVector a(64), b(64), c(65);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.set(4);
+  EXPECT_FALSE(a == b);
+}
+
+// Property sweep: count() equals a naive per-bit count on random bitmaps of
+// many sizes, including word-boundary sizes.
+class BitVectorCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorCountSweep, CountMatchesNaive) {
+  const std::size_t n = GetParam();
+  Pcg32 rng(n * 7919 + 3);
+  BitVector v(n);
+  std::size_t naive = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < 0.37) {
+      v.set(i);
+      ++naive;
+    }
+  }
+  EXPECT_EQ(v.count(), naive);
+  std::size_t visited = 0;
+  v.for_each_set([&](std::size_t) { ++visited; });
+  EXPECT_EQ(visited, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorCountSweep,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 129,
+                                           1000, 4096, 10000));
+
+}  // namespace
+}  // namespace eidb

@@ -1,0 +1,71 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace eidb {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = sw.elapsed_seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous ceiling for loaded CI
+  EXPECT_GE(sw.elapsed_nanos(), 15'000'000u);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  sw.restart();
+  EXPECT_LT(sw.elapsed_seconds(), 0.015);
+}
+
+TEST(Stopwatch, Monotone) {
+  Stopwatch sw;
+  double prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double cur = sw.elapsed_seconds();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceIgnored) {
+  VirtualClock clock;
+  clock.advance(1.0);
+  clock.advance(-5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VirtualClock, AdvanceToOnlyMovesForward) {
+  VirtualClock clock;
+  clock.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.advance_to(1.0);  // in the past: no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+  VirtualClock clock;
+  clock.advance(42.0);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace eidb

@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace eidb {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+  Pcg32 a(1, 10), b(1, 11);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(99);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1u << 20}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_bounded(bound), bound);
+  }
+}
+
+TEST(Pcg32, BoundedZeroReturnsZero) {
+  Pcg32 rng(5);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(2024);
+  constexpr std::uint32_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.next_bounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int h : hist) chi2 += (h - expected) * (h - expected) / expected;
+  // 15 dof, p=0.001 critical value ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, RangeInclusive) {
+  Pcg32 rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = rng.next_in_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, RangeLargeSpan) {
+  Pcg32 rng(9);
+  const std::int64_t lo = -(std::int64_t{1} << 40);
+  const std::int64_t hi = std::int64_t{1} << 40;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in_range(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+TEST(Pcg32, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Pcg32::min() == 0);
+  static_assert(Pcg32::max() == 0xffffffffu);
+  Pcg32 rng(1);
+  EXPECT_NO_THROW((void)rng());
+}
+
+}  // namespace
+}  // namespace eidb

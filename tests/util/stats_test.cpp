@@ -1,0 +1,114 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eidb {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StreamingStats, MergeEqualsSequential) {
+  Pcg32 rng(21);
+  StreamingStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // copies
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(StreamingStats, NumericallyStableForLargeOffsets) {
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-6);
+}
+
+TEST(PercentileTracker, ExactQuartiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 101; ++i) t.add(i);
+  EXPECT_DOUBLE_EQ(t.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.percentile(50), 51.0);
+  EXPECT_DOUBLE_EQ(t.percentile(100), 101.0);
+  EXPECT_DOUBLE_EQ(t.percentile(25), 26.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenRanks) {
+  PercentileTracker t;
+  t.add(10);
+  t.add(20);
+  EXPECT_DOUBLE_EQ(t.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(t.percentile(75), 17.5);
+}
+
+TEST(PercentileTracker, UnsortedInsertOrder) {
+  PercentileTracker t;
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) t.add(x);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+}
+
+TEST(PercentileTracker, AddAfterQueryResorts) {
+  PercentileTracker t;
+  t.add(1);
+  t.add(3);
+  EXPECT_DOUBLE_EQ(t.median(), 2.0);
+  t.add(100);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace eidb

@@ -1,0 +1,43 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eidb {
+namespace {
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos) << out;
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(1000000.0, 4), "1e+06");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+}
+
+TEST(TablePrinter, RowCountTracksRows) {
+  TablePrinter t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace eidb

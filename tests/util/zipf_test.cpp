@@ -1,0 +1,70 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace eidb {
+namespace {
+
+TEST(Zipf, SamplesStayInDomain) {
+  ZipfGenerator z(100, 0.99, 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(), 100u);
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  ZipfGenerator a(1000, 0.8, 7), b(1000, 0.8, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  ZipfGenerator z(10, 0.0, 3);
+  std::vector<int> hist(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hist[z.next()];
+  for (int h : hist) {
+    EXPECT_GT(h, kDraws / 10 * 0.9);
+    EXPECT_LT(h, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ZipfGenerator z(10000, 0.99, 5);
+  constexpr int kDraws = 100000;
+  int top10 = 0;
+  for (int i = 0; i < kDraws; ++i)
+    if (z.next() < 10) ++top10;
+  // With theta=0.99 over 10k items, the top-10 ranks draw a large share
+  // (analytically ~ 28%); uniform would give 0.1%.
+  EXPECT_GT(top10, kDraws / 5);
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  constexpr int kDraws = 50000;
+  auto top1_share = [&](double theta) {
+    ZipfGenerator z(1000, theta, 11);
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i)
+      if (z.next() == 0) ++hits;
+    return static_cast<double>(hits) / kDraws;
+  };
+  const double s_low = top1_share(0.5);
+  const double s_high = top1_share(1.2);
+  EXPECT_GT(s_high, s_low * 2);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  ZipfGenerator z(100, 0.9, 13);
+  std::vector<int> hist(100, 0);
+  for (int i = 0; i < 200000; ++i) ++hist[z.next()];
+  for (int r = 1; r < 100; ++r) EXPECT_GE(hist[0], hist[r]) << "rank " << r;
+}
+
+TEST(Zipf, SingleItemDomain) {
+  ZipfGenerator z(1, 0.99, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(), 0u);
+}
+
+}  // namespace
+}  // namespace eidb
