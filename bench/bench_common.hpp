@@ -57,8 +57,8 @@ double time_best(Fn&& fn, double budget_s = 0.25, int min_runs = 3) {
 /// energy figures to host-measured kernel timings when RAPL is unavailable.
 inline double modeled_joules(const hw::MachineSpec& m, double busy_s,
                              double dram_bytes) {
-  return (m.dvfs.fastest().active_power_w - m.core_idle_power_w) * busy_s +
-         dram_bytes * m.dram_energy_nj_per_byte * 1e-9;
+  return m.incremental_busy_energy_j({0, dram_bytes}, m.dvfs.fastest(),
+                                     busy_s);
 }
 
 }  // namespace eidb::bench

@@ -118,9 +118,19 @@ RunResult Database::run(const query::LogicalPlan& plan,
   out.report.energy.package_j += out.stats.cold_tier_energy_j;
   out.report.source = active_meter_->source();
 
-  ledger_.add({plan.table + ":" + (plan.is_aggregate() ? "agg" : "select"),
+  // Per-query attribution: incremental busy power over this query's own
+  // busy interval (the host ran at its top state) plus its DRAM traffic and
+  // cold-tier penalty. The meter window above cannot be used here — it is a
+  // whole-machine counter, so under concurrency it would bill every query
+  // for its neighbors' work and the shared idle floor.
+  out.attributed_j = machine_.incremental_busy_energy_j(
+                         out.stats.work, machine_.dvfs.fastest(), elapsed) +
+                     out.stats.cold_tier_energy_j;
+
+  ledger_.add(options.ledger_scope,
+              {plan.table + ":" + (plan.is_aggregate() ? "agg" : "select"),
                out.report.elapsed_s, out.stats.work,
-               out.report.total_j(), out.stats.tuples_scanned});
+               out.attributed_j, out.stats.tuples_scanned});
   return out;
 }
 

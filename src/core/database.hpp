@@ -57,6 +57,10 @@ struct RunOptions {
   /// ("elasticity in the small", Fig. 2). Affects the *reported plan* and
   /// simulated cost; host execution itself always runs the chosen kernels.
   std::optional<double> energy_budget_j;
+  /// Ledger scope this run's joules are attributed to (empty = global).
+  /// The serving tier sets it to the session's tenant id so per-tenant
+  /// energy budgets can be debited from measured totals.
+  std::string ledger_scope;
 };
 
 /// Everything a query run produces.
@@ -64,6 +68,14 @@ struct RunResult {
   query::QueryResult result;
   query::ExecStats stats;
   energy::EnergyReport report;
+  /// This query's own energy share: incremental busy joules over its
+  /// measured busy interval plus its DRAM traffic and cold-tier penalties.
+  /// Unlike `report` — whose meter window spans the whole machine and so
+  /// includes the idle floor and any concurrently running queries — this
+  /// figure is attributable to *this* query alone; it is what the ledger
+  /// records per scope and what the serving tier debits tenant budgets
+  /// with.
+  double attributed_j = 0;
   /// The configuration chosen by the energy optimizer (set when a budget
   /// was given or simulation was involved).
   std::optional<opt::PlanPoint> chosen_point;
@@ -86,6 +98,10 @@ class Database {
   [[nodiscard]] storage::TierManager& tiers() { return tiers_; }
 
   // -- Query ------------------------------------------------------------------
+  /// Executes `plan`. Safe to call from multiple threads concurrently: the
+  /// catalog is a shared-lock registry, the meters and ledger serialize
+  /// internally, and each call uses its own executor. (Concurrent `run`
+  /// with `drop` of a table in use remains a caller error.)
   [[nodiscard]] RunResult run(const query::LogicalPlan& plan,
                               const RunOptions& options = {});
 
@@ -103,6 +119,9 @@ class Database {
   [[nodiscard]] energy::EnergyMeter& meter() { return *active_meter_; }
   [[nodiscard]] energy::MeterSource meter_source() const;
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
+  /// Mutable ledger access for layers that attribute their own entries
+  /// (the serving tier records per-session scopes through this).
+  [[nodiscard]] energy::EnergyLedger& ledger() { return ledger_; }
   [[nodiscard]] const sched::Governor& governor() const { return governor_; }
 
  private:

@@ -7,21 +7,13 @@
 
 namespace eidb::energy {
 
-void EnergyLedger::add(const LedgerEntry& entry) {
-  std::scoped_lock lock(mu_);
-  LedgerEntry& slot = by_name_[entry.operator_name];
-  slot.operator_name = entry.operator_name;
-  slot.elapsed_s += entry.elapsed_s;
-  slot.work += entry.work;
-  slot.energy_j += entry.energy_j;
-  slot.tuples += entry.tuples;
-}
+namespace {
 
-std::vector<LedgerEntry> EnergyLedger::entries() const {
-  std::scoped_lock lock(mu_);
+std::vector<LedgerEntry> sorted_by_energy(
+    std::map<std::string, LedgerEntry> by_name) {
   std::vector<LedgerEntry> out;
-  out.reserve(by_name_.size());
-  for (const auto& [_, e] : by_name_) out.push_back(e);
+  out.reserve(by_name.size());
+  for (auto& [_, e] : by_name) out.push_back(std::move(e));
   std::sort(out.begin(), out.end(),
             [](const LedgerEntry& a, const LedgerEntry& b) {
               return a.energy_j > b.energy_j;
@@ -29,11 +21,64 @@ std::vector<LedgerEntry> EnergyLedger::entries() const {
   return out;
 }
 
+}  // namespace
+
+void EnergyLedger::accumulate(LedgerEntry& slot, const LedgerEntry& entry) {
+  slot.operator_name = entry.operator_name;
+  slot.elapsed_s += entry.elapsed_s;
+  slot.work += entry.work;
+  slot.energy_j += entry.energy_j;
+  slot.tuples += entry.tuples;
+}
+
+void EnergyLedger::add(const std::string& scope, const LedgerEntry& entry) {
+  std::scoped_lock lock(mu_);
+  accumulate(by_scope_[scope][entry.operator_name], entry);
+}
+
+std::vector<LedgerEntry> EnergyLedger::entries() const {
+  std::map<std::string, LedgerEntry> merged;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& [_, ops] : by_scope_)
+      for (const auto& [name, e] : ops) accumulate(merged[name], e);
+  }
+  return sorted_by_energy(std::move(merged));
+}
+
+std::vector<LedgerEntry> EnergyLedger::entries(const std::string& scope) const {
+  std::map<std::string, LedgerEntry> copy;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = by_scope_.find(scope);
+    if (it != by_scope_.end()) copy = it->second;
+  }
+  return sorted_by_energy(std::move(copy));
+}
+
 LedgerEntry EnergyLedger::total() const {
   std::scoped_lock lock(mu_);
   LedgerEntry sum;
   sum.operator_name = "total";
-  for (const auto& [_, e] : by_name_) {
+  for (const auto& [_, ops] : by_scope_)
+    for (const auto& [op, e] : ops) {
+      (void)op;
+      sum.elapsed_s += e.elapsed_s;
+      sum.work += e.work;
+      sum.energy_j += e.energy_j;
+      sum.tuples += e.tuples;
+    }
+  return sum;
+}
+
+LedgerEntry EnergyLedger::total(const std::string& scope) const {
+  std::scoped_lock lock(mu_);
+  LedgerEntry sum;
+  sum.operator_name = "total:" + scope;
+  const auto it = by_scope_.find(scope);
+  if (it == by_scope_.end()) return sum;
+  for (const auto& [op, e] : it->second) {
+    (void)op;
     sum.elapsed_s += e.elapsed_s;
     sum.work += e.work;
     sum.energy_j += e.energy_j;
@@ -42,9 +87,17 @@ LedgerEntry EnergyLedger::total() const {
   return sum;
 }
 
+std::vector<std::string> EnergyLedger::scopes() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(by_scope_.size());
+  for (const auto& [scope, _] : by_scope_) out.push_back(scope);
+  return out;
+}
+
 void EnergyLedger::clear() {
   std::scoped_lock lock(mu_);
-  by_name_.clear();
+  by_scope_.clear();
 }
 
 std::string EnergyLedger::to_string() const {

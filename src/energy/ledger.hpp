@@ -4,6 +4,11 @@
 // named operators so reports can show a per-operator breakdown — the
 // granularity at which the paper's optimizer must make its case-by-case
 // decisions (compress vs. ship raw, scan variant choice, P-state choice).
+//
+// Entries can additionally be attributed to a *scope* (a session or tenant
+// id in the serving tier): the admission controller debits each tenant's
+// joule budget from its scope total after every query, so billing reflects
+// measured energy rather than estimates.
 #pragma once
 
 #include <map>
@@ -26,23 +31,44 @@ struct LedgerEntry {
 
 class EnergyLedger {
  public:
-  /// Accumulates `entry` under its operator name. Thread-safe.
-  void add(const LedgerEntry& entry);
+  /// Accumulates `entry` under its operator name in the global ("") scope.
+  /// Thread-safe.
+  void add(const LedgerEntry& entry) { add(std::string(), entry); }
 
-  /// Snapshot of all lines, sorted by descending energy.
+  /// Accumulates `entry` under its operator name within `scope`.
+  /// Thread-safe.
+  void add(const std::string& scope, const LedgerEntry& entry);
+
+  /// Snapshot of all lines across scopes, merged by operator name, sorted
+  /// by descending energy.
   [[nodiscard]] std::vector<LedgerEntry> entries() const;
 
-  /// Sum across operators.
+  /// Snapshot of one scope's lines, sorted by descending energy.
+  [[nodiscard]] std::vector<LedgerEntry> entries(
+      const std::string& scope) const;
+
+  /// Sum across all scopes and operators.
   [[nodiscard]] LedgerEntry total() const;
+
+  /// Sum across one scope's operators (all-zero entry for unknown scopes —
+  /// a tenant that has not run anything has spent nothing).
+  [[nodiscard]] LedgerEntry total(const std::string& scope) const;
+
+  /// Scopes that have at least one entry (the global scope included, as "").
+  [[nodiscard]] std::vector<std::string> scopes() const;
 
   void clear();
 
-  /// Renders a per-operator breakdown table.
+  /// Renders a per-operator breakdown table (scopes merged).
   [[nodiscard]] std::string to_string() const;
 
  private:
+  using OperatorMap = std::map<std::string, LedgerEntry>;
+
+  static void accumulate(LedgerEntry& slot, const LedgerEntry& entry);
+
   mutable std::mutex mu_;
-  std::map<std::string, LedgerEntry> by_name_;
+  std::map<std::string, OperatorMap> by_scope_;
 };
 
 }  // namespace eidb::energy

@@ -38,6 +38,13 @@ double MachineSpec::energy_j(const Work& work, const DvfsState& s,
          work.dram_bytes * dram_energy_nj_per_byte * 1e-9;
 }
 
+double MachineSpec::incremental_busy_energy_j(const Work& work,
+                                              const DvfsState& s,
+                                              double busy_s) const {
+  return (s.active_power_w - core_idle_power_w) * busy_s +
+         work.dram_bytes * dram_energy_nj_per_byte * 1e-9;
+}
+
 MachineSpec MachineSpec::server() {
   MachineSpec m;
   m.name = "sb-server-8c";

@@ -75,6 +75,16 @@ struct MachineSpec {
   [[nodiscard]] double energy_j(const Work& work, const DvfsState& s,
                                 int active = 1) const;
 
+  /// Incremental (above-idle) energy of one core busy at `s` for `busy_s`
+  /// seconds performing `work`: the busy-power delta over core idle plus
+  /// DRAM dynamic energy. The per-query attribution quantum shared by the
+  /// stream policies (sched::PolicyEngine), per-tenant billing
+  /// (core::Database ledger scopes), and the bench harnesses — one
+  /// definition so they cannot drift apart.
+  [[nodiscard]] double incremental_busy_energy_j(const Work& work,
+                                                 const DvfsState& s,
+                                                 double busy_s) const;
+
   /// Calibrated default: dual-socket-class Sandy Bridge era server
   /// (8 cores, 1.2–2.9 GHz, peak ≈ 150 W, idle ≈ 45% of peak).
   static MachineSpec server();

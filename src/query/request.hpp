@@ -1,0 +1,77 @@
+// query::QueryRequest / QueryResponse — the units of the serving tier.
+//
+// A request names *what* to run (SQL text or an already-built LogicalPlan)
+// plus per-request constraints; a response carries the result *and* the
+// energy report plus serving-tier timings. Energy as a first-class response
+// field is the paper's program applied to the service boundary: a client
+// can see what its query cost in joules, and a tenant's budget is debited
+// from exactly these figures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "energy/report.hpp"
+#include "query/plan.hpp"
+#include "query/result.hpp"
+
+namespace eidb::query {
+
+/// One query submitted to server::QueryService.
+struct QueryRequest {
+  /// SQL text; parsed at execution time when `plan` is not set.
+  std::string sql;
+  /// Pre-built plan; takes precedence over `sql`.
+  std::optional<LogicalPlan> plan;
+  /// Optional per-query energy budget (joules) forwarded to the optimizer.
+  std::optional<double> energy_budget_j;
+  /// Client-chosen tag echoed back in the response (correlation id).
+  std::uint64_t tag = 0;
+
+  [[nodiscard]] static QueryRequest from_sql(std::string sql_text);
+  [[nodiscard]] static QueryRequest from_plan(LogicalPlan logical_plan);
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,        ///< Executed; result and report are valid.
+  kRejected,  ///< Admission control refused (tenant budget exhausted).
+  kError,     ///< Execution failed (bad SQL, unknown table, ...).
+  kShutdown,  ///< Service stopped before the request was served.
+};
+
+[[nodiscard]] std::string to_string(ResponseStatus status);
+
+/// Everything the service hands back for one request.
+struct QueryResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;  ///< Human-readable cause when status != kOk.
+  std::uint64_t tag = 0;
+
+  QueryResult result;
+  /// Host-measured (RAPL or model) energy of the execution itself.
+  energy::EnergyReport report;
+
+  // -- Serving-tier accounting -----------------------------------------------
+  double queue_s = 0;    ///< Admission to dispatch (coalescing included).
+  double exec_s = 0;     ///< Dispatch to completion (pacing included).
+  double latency_s = 0;  ///< Admission to completion, the client-visible figure.
+  /// P-state the policy engine chose for this query.
+  double chosen_freq_ghz = 0;
+  /// Policy-modeled incremental joules at the chosen P-state — the figure
+  /// the stream policies (rolling power, cap adherence) reason about.
+  double policy_energy_j = 0;
+  /// Joules debited from the tenant's energy budget for this query: its
+  /// *attributed* energy (own busy interval + DRAM + cold-tier penalties,
+  /// excluding the idle floor and concurrent neighbors' work) — the same
+  /// figure recorded under the tenant's ledger scope. Reconcile bills
+  /// against this, not `report.total_j()`, whose meter window spans the
+  /// whole machine.
+  double billed_j = 0;
+
+  [[nodiscard]] bool ok() const { return status == ResponseStatus::kOk; }
+  /// One-line summary for logs: status, rows, latency, joules.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace eidb::query

@@ -1,0 +1,55 @@
+#include "sched/policy_engine.hpp"
+
+#include "sched/governor.hpp"
+
+namespace eidb::sched {
+
+std::string policy_name(Policy p) {
+  switch (p) {
+    case Policy::kLatency:
+      return "latency";
+    case Policy::kThroughput:
+      return "throughput";
+    case Policy::kEnergyCap:
+      return "energy-cap";
+  }
+  return "invalid";
+}
+
+PolicyEngine::PolicyEngine(hw::MachineSpec machine, Policy policy,
+                           double power_cap_w)
+    : machine_(std::move(machine)),
+      policy_(policy),
+      power_cap_w_(power_cap_w) {
+  const Governor gov(machine_);
+  efficient_state_ = gov.incremental_efficient_state({1e9, 1e8});
+}
+
+const hw::DvfsState& PolicyEngine::choose_state(
+    double rolling_avg_power_w) const {
+  switch (policy_) {
+    case Policy::kLatency:
+      return machine_.dvfs.fastest();
+    case Policy::kThroughput:
+      return machine_.dvfs.at_least(efficient_state_.freq_ghz);
+    case Policy::kEnergyCap:
+      return rolling_avg_power_w > power_cap_w_
+                 ? machine_.dvfs.at_least(efficient_state_.freq_ghz)
+                 : machine_.dvfs.fastest();
+  }
+  return machine_.dvfs.fastest();
+}
+
+double PolicyEngine::slowdown(const hw::DvfsState& s) const {
+  if (s.freq_ghz <= 0) return 1.0;
+  const double factor = machine_.dvfs.fastest().freq_ghz / s.freq_ghz;
+  return factor < 1.0 ? 1.0 : factor;
+}
+
+double PolicyEngine::busy_energy_j(const hw::Work& work,
+                                   const hw::DvfsState& s,
+                                   double busy_s) const {
+  return machine_.incremental_busy_energy_j(work, s, busy_s);
+}
+
+}  // namespace eidb::sched

@@ -1,0 +1,72 @@
+// sched::PolicyEngine — the paper's stream policies as a reusable decision
+// kernel.
+//
+// §IV "Energy efficiency": "the system has to flexibly balance query
+// response time minimization and throughput maximization under a given
+// energy constraint on a case-by-case basis." The *decision* (which P-state
+// should the next query run at, given the rolling average power) is
+// identical whether queries are simulated (sched::StreamScheduler, E8) or
+// actually executed (server::QueryService) — so it lives here, once, and
+// both tiers share it. Policies:
+//
+//  * kLatency     — every query runs at f_max.
+//  * kThroughput  — queries run at the most incrementally energy-efficient
+//                   P-state (lowest above-idle joules per unit of work).
+//  * kEnergyCap   — f_max while the rolling average power stays under the
+//                   cap, else the efficient state (graceful degradation
+//                   instead of admission rejection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/machine.hpp"
+
+namespace eidb::sched {
+
+enum class Policy : std::uint8_t { kLatency, kThroughput, kEnergyCap };
+
+[[nodiscard]] std::string policy_name(Policy p);
+
+class PolicyEngine {
+ public:
+  /// `power_cap_w` is only consulted by kEnergyCap.
+  PolicyEngine(hw::MachineSpec machine, Policy policy, double power_cap_w = 0);
+
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+  [[nodiscard]] double power_cap_w() const noexcept { return power_cap_w_; }
+  [[nodiscard]] const hw::MachineSpec& machine() const noexcept {
+    return machine_;
+  }
+
+  /// P-state minimizing incremental (above-idle) energy of a representative
+  /// memory-light query: across a stream the package is powered regardless,
+  /// so only busy power is attributable per query.
+  [[nodiscard]] const hw::DvfsState& efficient_state() const noexcept {
+    return efficient_state_;
+  }
+
+  /// The P-state the next query should run at, given the rolling average
+  /// power of the stream so far.
+  [[nodiscard]] const hw::DvfsState& choose_state(
+      double rolling_avg_power_w) const;
+
+  /// Wall-clock stretch of `s` relative to f_max for compute-bound work
+  /// (>= 1). The live service paces execution by this factor to realize a
+  /// P-state it cannot program into the host silicon.
+  [[nodiscard]] double slowdown(const hw::DvfsState& s) const;
+
+  /// Incremental (above-idle) busy energy of `work` executed at `s` for
+  /// `busy_s` seconds — shared accounting for simulator and live service.
+  [[nodiscard]] double busy_energy_j(const hw::Work& work,
+                                     const hw::DvfsState& s,
+                                     double busy_s) const;
+
+ private:
+  hw::MachineSpec machine_;
+  Policy policy_;
+  double power_cap_w_;
+  hw::DvfsState efficient_state_;
+};
+
+}  // namespace eidb::sched

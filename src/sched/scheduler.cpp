@@ -4,51 +4,16 @@
 #include <cmath>
 #include <queue>
 
-#include "sched/governor.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace eidb::sched {
 
-std::string policy_name(Policy p) {
-  switch (p) {
-    case Policy::kLatency:
-      return "latency";
-    case Policy::kThroughput:
-      return "throughput";
-    case Policy::kEnergyCap:
-      return "energy-cap";
-  }
-  return "invalid";
-}
-
 StreamScheduler::StreamScheduler(hw::MachineSpec machine, Policy policy,
                                  double power_cap_w)
     : machine_(std::move(machine)),
-      policy_(policy),
-      power_cap_w_(power_cap_w) {
-  // P-state minimizing the incremental (above-idle) energy of a
-  // representative memory-light query: across a stream, the package is
-  // powered regardless, so only busy power is attributable per query.
-  const Governor gov(machine_);
-  efficient_state_ = gov.incremental_efficient_state({1e9, 1e8});
-}
-
-const hw::DvfsState& StreamScheduler::state_for(double current_avg_power,
-                                                double /*now*/) const {
-  switch (policy_) {
-    case Policy::kLatency:
-      return machine_.dvfs.fastest();
-    case Policy::kThroughput:
-      return machine_.dvfs.at_least(efficient_state_.freq_ghz);
-    case Policy::kEnergyCap:
-      return current_avg_power > power_cap_w_
-                 ? machine_.dvfs.at_least(efficient_state_.freq_ghz)
-                 : machine_.dvfs.fastest();
-  }
-  return machine_.dvfs.fastest();
-}
+      engine_(machine_, policy, power_cap_w) {}
 
 ScheduleResult StreamScheduler::run(const std::vector<QueryArrival>& stream) {
   ScheduleResult res;
@@ -79,13 +44,11 @@ ScheduleResult StreamScheduler::run(const std::vector<QueryArrival>& stream) {
     const double elapsed = std::max(start, 1e-9);
     const double avg_power =
         (energy_so_far + machine_.idle_power_w() * elapsed) / elapsed;
-    const hw::DvfsState& s = state_for(avg_power, start);
+    const hw::DvfsState& s = engine_.choose_state(avg_power);
 
     const double exec = machine_.exec_time_s(q.work, s);
     const double done = start + exec;
-    const double busy_j =
-        (s.active_power_w - machine_.core_idle_power_w) * exec +
-        q.work.dram_bytes * machine_.dram_energy_nj_per_byte * 1e-9;
+    const double busy_j = engine_.busy_energy_j(q.work, s, exec);
     busy_energy_j += busy_j;
     energy_so_far += busy_j;
     busy_core_seconds += exec;

@@ -21,12 +21,9 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "sched/policy_engine.hpp"
 
 namespace eidb::sched {
-
-enum class Policy : std::uint8_t { kLatency, kThroughput, kEnergyCap };
-
-[[nodiscard]] std::string policy_name(Policy p);
 
 /// One query in the arrival stream.
 struct QueryArrival {
@@ -55,14 +52,12 @@ class StreamScheduler {
   /// occupies one core; queries queue FIFO when all cores are busy.
   [[nodiscard]] ScheduleResult run(const std::vector<QueryArrival>& stream);
 
- private:
-  [[nodiscard]] const hw::DvfsState& state_for(double current_avg_power,
-                                               double now) const;
+  /// The shared decision kernel this simulator runs against.
+  [[nodiscard]] const PolicyEngine& engine() const { return engine_; }
 
+ private:
   hw::MachineSpec machine_;
-  Policy policy_;
-  double power_cap_w_;
-  hw::DvfsState efficient_state_;
+  PolicyEngine engine_;
 };
 
 /// Poisson arrivals of identical queries (workload generator for E8).

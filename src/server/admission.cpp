@@ -1,0 +1,96 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+
+namespace eidb::server {
+
+void AdmissionController::refill(Bucket& b, double now_s) {
+  const double dt = now_s - b.last_refill_s;
+  if (dt <= 0) return;
+  b.balance_j = std::min(b.budget.capacity_j,
+                         b.balance_j + dt * b.budget.refill_j_per_s);
+  b.last_refill_s = now_s;
+}
+
+void AdmissionController::set_budget(const std::string& tenant,
+                                     TenantBudget budget, double now_s) {
+  std::scoped_lock lock(mu_);
+  Bucket& b = buckets_[tenant];
+  // Carry counters across re-provisioning; the bucket starts full.
+  b.budget = budget;
+  b.balance_j = budget.capacity_j;
+  b.last_refill_s = now_s;
+  // A tenant promoted from unbudgeted keeps its history.
+  const auto it = unbudgeted_.find(tenant);
+  if (it != unbudgeted_.end()) {
+    b.counters.admitted += it->second.admitted;
+    b.counters.rejected += it->second.rejected;
+    b.counters.debited_j += it->second.debited_j;
+    unbudgeted_.erase(it);
+  }
+}
+
+AdmissionCounters* AdmissionController::unbudgeted_slot(
+    const std::string& tenant) {
+  const auto it = unbudgeted_.find(tenant);
+  if (it != unbudgeted_.end()) return &it->second;
+  if (unbudgeted_.size() >= kMaxUnbudgetedTenants) return nullptr;
+  return &unbudgeted_[tenant];
+}
+
+bool AdmissionController::try_admit(const std::string& tenant, double now_s) {
+  std::scoped_lock lock(mu_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    AdmissionCounters* c = unbudgeted_slot(tenant);
+    if (admit_unknown_) {
+      if (c) ++c->admitted;
+      return true;
+    }
+    if (c) ++c->rejected;
+    return false;
+  }
+  Bucket& b = it->second;
+  refill(b, now_s);
+  if (b.balance_j > 0) {
+    ++b.counters.admitted;
+    return true;
+  }
+  ++b.counters.rejected;
+  return false;
+}
+
+void AdmissionController::debit(const std::string& tenant, double joules,
+                                double now_s) {
+  std::scoped_lock lock(mu_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    if (AdmissionCounters* c = unbudgeted_slot(tenant)) c->debited_j += joules;
+    return;
+  }
+  Bucket& b = it->second;
+  refill(b, now_s);
+  b.balance_j -= joules;  // May go negative: settlement of measured joules.
+  b.counters.debited_j += joules;
+}
+
+std::optional<double> AdmissionController::balance_j(const std::string& tenant,
+                                                     double now_s) {
+  std::scoped_lock lock(mu_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return std::nullopt;
+  refill(it->second, now_s);
+  return it->second.balance_j;
+}
+
+AdmissionCounters AdmissionController::counters(
+    const std::string& tenant) const {
+  std::scoped_lock lock(mu_);
+  if (const auto it = buckets_.find(tenant); it != buckets_.end())
+    return it->second.counters;
+  if (const auto it = unbudgeted_.find(tenant); it != unbudgeted_.end())
+    return it->second;
+  return {};
+}
+
+}  // namespace eidb::server

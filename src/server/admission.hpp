@@ -1,0 +1,97 @@
+// server::AdmissionController — per-tenant energy budgets as token buckets
+// of joules.
+//
+// The paper argues the serving tier must balance response time, throughput
+// and energy "under a given energy constraint ... on a case-by-case basis"
+// (§IV). The constraint here is per tenant: a budget refills at
+// `refill_j_per_s` joules per second (i.e. an average-power entitlement in
+// watts) up to a burst capacity. Queries are admitted while the balance is
+// positive; after each query completes, the *measured* joules from the
+// database's EnergyLedger are debited — settlement billing, so estimates
+// never drift from reality. A balance may go negative on settlement; the
+// tenant is then refused until refill catches up (graceful per-tenant
+// degradation instead of whole-system throttling).
+//
+// Time is passed in explicitly (seconds on any monotonic clock) so the
+// refill arithmetic is deterministic under test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace eidb::server {
+
+/// A tenant's energy entitlement.
+struct TenantBudget {
+  double capacity_j = 0;      ///< Burst: the bucket's maximum balance.
+  double refill_j_per_s = 0;  ///< Sustained entitlement (watts).
+};
+
+/// Per-tenant admission counters.
+struct AdmissionCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  double debited_j = 0;  ///< Total joules settled against this tenant.
+};
+
+class AdmissionController {
+ public:
+  /// `admit_unknown`: whether tenants with no configured budget are
+  /// admitted (true: budgets are opt-in caps) or refused (false: closed
+  /// system, every tenant must be provisioned).
+  explicit AdmissionController(bool admit_unknown = true)
+      : admit_unknown_(admit_unknown) {}
+
+  /// Installs (or replaces) `tenant`'s budget with a full bucket as of
+  /// `now_s`. Thread-safe.
+  void set_budget(const std::string& tenant, TenantBudget budget,
+                  double now_s);
+
+  /// Admission check at `now_s`: refills the bucket, then admits iff the
+  /// balance is positive (or the tenant is unknown and `admit_unknown`).
+  /// Thread-safe.
+  [[nodiscard]] bool try_admit(const std::string& tenant, double now_s);
+
+  /// Settles `joules` of measured consumption against `tenant` at `now_s`.
+  /// Unknown tenants accumulate counters only. Thread-safe.
+  void debit(const std::string& tenant, double joules, double now_s);
+
+  /// Current balance after refill to `now_s`; nullopt for unknown tenants.
+  [[nodiscard]] std::optional<double> balance_j(const std::string& tenant,
+                                                double now_s);
+
+  [[nodiscard]] AdmissionCounters counters(const std::string& tenant) const;
+
+  /// Per-tenant bookkeeping for *unbudgeted* tenants is bounded: beyond
+  /// this many distinct names, admission decisions still apply but no new
+  /// per-tenant counters are allocated — otherwise a client cycling
+  /// through arbitrary tenant strings (admitted or not) would grow server
+  /// memory without bound.
+  static constexpr std::size_t kMaxUnbudgetedTenants = 1024;
+
+ private:
+  struct Bucket {
+    TenantBudget budget;
+    double balance_j = 0;
+    double last_refill_s = 0;
+    AdmissionCounters counters;
+  };
+
+  /// Refills `b` up to capacity for time elapsed since the last refill.
+  static void refill(Bucket& b, double now_s);
+
+  /// Counters slot for an unbudgeted tenant; nullptr once the bounded map
+  /// is full and `tenant` is not already tracked. Caller holds mu_.
+  [[nodiscard]] AdmissionCounters* unbudgeted_slot(const std::string& tenant);
+
+  bool admit_unknown_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  /// Counters for tenants that have no configured budget.
+  std::map<std::string, AdmissionCounters> unbudgeted_;
+};
+
+}  // namespace eidb::server

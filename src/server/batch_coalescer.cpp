@@ -1,0 +1,38 @@
+#include "server/batch_coalescer.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::server {
+
+BatchCoalescer::BatchCoalescer(RequestQueue& queue, CoalescerOptions options)
+    : queue_(queue), options_(options) {
+  EIDB_EXPECTS(options_.window_s >= 0);
+  EIDB_EXPECTS(options_.max_batch >= 1);
+}
+
+std::vector<PendingQuery> BatchCoalescer::next_batch() {
+  std::vector<PendingQuery> batch;
+
+  // The wake-up: block until the first query (or shutdown).
+  std::optional<PendingQuery> first = queue_.pop();
+  if (!first) return batch;
+  batch.push_back(std::move(*first));
+
+  // The window: collect whatever else arrives within `window_s` of the
+  // wake-up, bounded by max_batch. With window_s == 0 this still drains
+  // queries that are *already* waiting (burst absorption at zero cost).
+  Stopwatch window;
+  while (batch.size() < options_.max_batch) {
+    const double remaining = options_.window_s - window.elapsed_seconds();
+    std::optional<PendingQuery> next =
+        remaining > 0 ? queue_.pop_for(remaining) : queue_.pop_for(0);
+    if (!next) break;
+    batch.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+}  // namespace eidb::server

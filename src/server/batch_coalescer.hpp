@@ -1,0 +1,45 @@
+// server::BatchCoalescer — wake-up windows for race-to-idle serving.
+//
+// Waking a sleeping package costs latency and burns energy at partial
+// utilization; the cheapest joules are the ones spent while the machine is
+// already up (Governor/E7: race-to-idle). The coalescer realizes that at
+// the serving tier: the dispatcher blocks until one query arrives (the
+// wake-up), then keeps collecting queries that arrive within `window_s` of
+// that first one — so a burst is served by ONE wake-up instead of one per
+// query, and the package earns long uninterrupted idle gaps in between.
+// `window_s == 0` degrades to immediate per-arrival dispatch (the latency
+// policy's choice); a bounded `max_batch` caps how much latency the window
+// can add under sustained overload.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "server/request_queue.hpp"
+
+namespace eidb::server {
+
+struct CoalescerOptions {
+  /// How long after the first query of a batch to keep collecting.
+  double window_s = 0;
+  /// Hard batch bound: dispatch early once this many queries are queued.
+  std::size_t max_batch = 64;
+};
+
+class BatchCoalescer {
+ public:
+  BatchCoalescer(RequestQueue& queue, CoalescerOptions options);
+
+  /// Blocks for the next wake-up window and returns its batch (never empty
+  /// while the queue is open). An empty vector means the queue is closed
+  /// and fully drained — the dispatcher should exit.
+  [[nodiscard]] std::vector<PendingQuery> next_batch();
+
+  [[nodiscard]] const CoalescerOptions& options() const { return options_; }
+
+ private:
+  RequestQueue& queue_;
+  CoalescerOptions options_;
+};
+
+}  // namespace eidb::server

@@ -1,0 +1,47 @@
+#include "server/power_monitor.hpp"
+
+#include "util/assert.hpp"
+
+namespace eidb::server {
+
+PowerMonitor::PowerMonitor(double window_s, double floor_w)
+    : window_s_(window_s), floor_w_(floor_w) {
+  EIDB_EXPECTS(window_s > 0);
+  EIDB_EXPECTS(floor_w >= 0);
+}
+
+void PowerMonitor::prune(double now_s) const {
+  const double horizon = now_s - window_s_;
+  while (!events_.empty() && events_.front().first < horizon) {
+    windowed_j_ -= events_.front().second;
+    events_.pop_front();
+  }
+  if (events_.empty()) windowed_j_ = 0;  // Absorb FP drift at quiesce.
+}
+
+void PowerMonitor::add(double now_s, double joules) {
+  std::scoped_lock lock(mu_);
+  prune(now_s);
+  events_.emplace_back(now_s, joules);
+  windowed_j_ += joules;
+  total_j_ += joules;
+}
+
+double PowerMonitor::avg_power_w(double now_s) const {
+  std::scoped_lock lock(mu_);
+  prune(now_s);
+  return floor_w_ + windowed_j_ / window_s_;
+}
+
+double PowerMonitor::busy_j_in_window(double now_s) const {
+  std::scoped_lock lock(mu_);
+  prune(now_s);
+  return windowed_j_;
+}
+
+double PowerMonitor::total_busy_j() const {
+  std::scoped_lock lock(mu_);
+  return total_j_;
+}
+
+}  // namespace eidb::server

@@ -1,0 +1,193 @@
+#include "server/query_service.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace eidb::server {
+
+namespace {
+
+/// Lock-free max for atomic<double> (no fetch_max for FP in C++20).
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+QueryService::QueryService(core::Database& db, ServiceOptions options)
+    : db_(db),
+      options_(options),
+      engine_(db.machine(), options.policy, options.power_cap_w),
+      admission_(options.admit_unknown_tenants),
+      coalescer_(queue_, {options.coalesce_window_s, options.max_batch}),
+      monitor_(options.power_window_s, db.machine().idle_power_w()),
+      pool_(options.workers) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+QueryService::~QueryService() { stop(); }
+
+std::shared_ptr<Session> QueryService::open_session(std::string tenant) {
+  return std::make_shared<Session>(next_session_id_.fetch_add(1),
+                                   std::move(tenant));
+}
+
+void QueryService::set_tenant_budget(const std::string& tenant,
+                                     TenantBudget budget) {
+  admission_.set_budget(tenant, budget, now_s());
+}
+
+std::future<query::QueryResponse> QueryService::submit(
+    const std::shared_ptr<Session>& session, query::QueryRequest request) {
+  submitted_.fetch_add(1);
+  session->record_submit();
+
+  std::promise<query::QueryResponse> promise;
+  std::future<query::QueryResponse> future = promise.get_future();
+
+  query::QueryResponse early;
+  early.tag = request.tag;
+
+  if (stopped_.load()) {
+    early.status = query::ResponseStatus::kShutdown;
+    early.error = "service stopped";
+    promise.set_value(std::move(early));
+    return future;
+  }
+
+  const double now = now_s();
+  if (!admission_.try_admit(session->tenant(), now)) {
+    rejected_.fetch_add(1);
+    session->record_reject();
+    early.status = query::ResponseStatus::kRejected;
+    early.error = "tenant energy budget exhausted: " + session->tenant();
+    promise.set_value(std::move(early));
+    return future;
+  }
+  admitted_.fetch_add(1);
+
+  PendingQuery pending{std::move(request), session, now, std::move(promise)};
+  if (!queue_.push(std::move(pending))) {
+    // Closed between the stopped_ check and the push: settle here.
+    early.status = query::ResponseStatus::kShutdown;
+    early.error = "service stopped";
+    pending.promise.set_value(std::move(early));
+  }
+  return future;
+}
+
+query::QueryResponse QueryService::execute(
+    const std::shared_ptr<Session>& session, query::QueryRequest request) {
+  return submit(session, std::move(request)).get();
+}
+
+void QueryService::dispatcher_loop() {
+  for (;;) {
+    std::vector<PendingQuery> batch = coalescer_.next_batch();
+    if (batch.empty()) return;  // Closed and drained.
+    batches_.fetch_add(1);
+    for (PendingQuery& item : batch) {
+      // shared_ptr keeps the promise alive inside the copyable
+      // std::function the pool requires.
+      auto shared = std::make_shared<PendingQuery>(std::move(item));
+      pool_.submit([this, shared] { execute_one(shared); });
+    }
+  }
+}
+
+void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
+  query::QueryResponse resp;
+  resp.tag = item->request.tag;
+
+  const double dispatch_s = now_s();
+  resp.queue_s = dispatch_s - item->admit_s;
+
+  // Policy decision off the rolling average power — the same call the
+  // discrete-event simulator makes per query.
+  const double power_before = monitor_.avg_power_w(dispatch_s);
+  atomic_max(peak_power_w_, power_before);
+  const hw::DvfsState& state = engine_.choose_state(power_before);
+  resp.chosen_freq_ghz = state.freq_ghz;
+
+  core::RunOptions run_options;
+  run_options.ledger_scope = item->session->scope();
+  run_options.energy_budget_j = item->request.energy_budget_j;
+
+  try {
+    core::RunResult run =
+        item->request.plan.has_value()
+            ? db_.run(*item->request.plan, run_options)
+            : db_.run_sql(item->request.sql, run_options);
+
+    resp.result = std::move(run.result);
+    resp.report = run.report;
+
+    // Realize the chosen P-state by pacing: the kernels already ran at
+    // host speed in `busy_s`; stretch wall time to what f_chosen would
+    // have taken and account busy energy at that state.
+    const double busy_s = run.report.elapsed_s;
+    const double slowdown = engine_.slowdown(state);
+    const double stretched_s = busy_s * slowdown;
+    if (options_.pace_execution && slowdown > 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(busy_s * (slowdown - 1.0)));
+    }
+    resp.policy_energy_j =
+        engine_.busy_energy_j(run.stats.work, state, stretched_s);
+
+    const double end_s = now_s();
+    resp.exec_s = end_s - dispatch_s;
+    resp.latency_s = end_s - item->admit_s;
+
+    monitor_.add(end_s, resp.policy_energy_j);
+    atomic_max(peak_power_w_, monitor_.avg_power_w(end_s));
+
+    // Settlement: debit the tenant with this query's *attributed* joules —
+    // the same figure the database ledger recorded under this session's
+    // scope. (Not the meter-window total: that is a whole-machine counter
+    // and would bill concurrent tenants for each other's work.)
+    resp.billed_j = run.attributed_j;
+    admission_.debit(item->session->tenant(), resp.billed_j, end_s);
+    item->session->record_complete(resp.billed_j);
+    completed_.fetch_add(1);
+    resp.status = query::ResponseStatus::kOk;
+  } catch (const std::exception& e) {
+    const double end_s = now_s();
+    resp.exec_s = end_s - dispatch_s;
+    resp.latency_s = end_s - item->admit_s;
+    resp.status = query::ResponseStatus::kError;
+    resp.error = e.what();
+    errors_.fetch_add(1);
+    item->session->record_error();
+  }
+
+  item->promise.set_value(std::move(resp));
+}
+
+void QueryService::stop() {
+  stopped_.store(true);
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.wait_idle();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load();
+  s.admitted = admitted_.load();
+  s.rejected = rejected_.load();
+  s.completed = completed_.load();
+  s.errors = errors_.load();
+  s.batches = batches_.load();
+  s.busy_j = monitor_.total_busy_j();
+  s.avg_power_w = monitor_.avg_power_w(clock_.elapsed_seconds());
+  s.peak_power_w = peak_power_w_.load();
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+}  // namespace eidb::server

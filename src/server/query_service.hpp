@@ -1,0 +1,146 @@
+// server::QueryService — the energy-aware concurrent serving tier.
+//
+// Turns the single-shot library (core::Database::run) into a servable
+// engine. The pipeline per request:
+//
+//   submit ──> AdmissionController (per-tenant joule budgets)
+//          ──> RequestQueue (admitted FIFO)
+//          ──> BatchCoalescer (race-to-idle wake-up windows)
+//          ──> dispatcher thread ──> sched::ThreadPool workers
+//                 └─ PolicyEngine picks the P-state from the rolling
+//                    average power (PowerMonitor), execution runs on
+//                    core::Database, measured joules settle the tenant's
+//                    budget and feed the monitor.
+//
+// The three paper policies apply to LIVE execution here — the same
+// PolicyEngine the discrete-event StreamScheduler simulates with:
+//   kLatency     dispatch immediately, run at f_max;
+//   kThroughput  coalesce into windows, run at the efficient P-state;
+//   kEnergyCap   f_max until the rolling average power hits the cap, then
+//                degrade to the efficient state.
+// Sub-f_max P-states cannot be programmed into the host from user space,
+// so the service *paces*: it stretches a query's wall time by
+// f_max/f_chosen after executing the kernels (opt-out via
+// ServiceOptions::pace_execution) and accounts busy energy at the chosen
+// state via the machine model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.hpp"
+#include "query/request.hpp"
+#include "sched/policy_engine.hpp"
+#include "sched/thread_pool.hpp"
+#include "server/admission.hpp"
+#include "server/batch_coalescer.hpp"
+#include "server/power_monitor.hpp"
+#include "server/request_queue.hpp"
+#include "server/session.hpp"
+#include "util/clock.hpp"
+
+namespace eidb::server {
+
+struct ServiceOptions {
+  sched::Policy policy = sched::Policy::kLatency;
+  /// Rolling average power cap in watts (kEnergyCap only).
+  double power_cap_w = 0;
+  /// Worker threads executing queries (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Race-to-idle wake-up window; 0 dispatches per arrival. The default
+  /// for kThroughput/kEnergyCap serving is set by the caller (see
+  /// bench_s1_service for calibration on a live stream).
+  double coalesce_window_s = 0;
+  std::size_t max_batch = 64;
+  /// Horizon of the rolling power estimate the cap policy consults.
+  double power_window_s = 1.0;
+  /// Stretch wall time to realize sub-f_max P-states (see file comment).
+  bool pace_execution = true;
+  /// Admit tenants with no configured budget (see AdmissionController).
+  bool admit_unknown_tenants = true;
+};
+
+/// Point-in-time service counters.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;  ///< Wake-ups: dispatched coalescing windows.
+  double busy_j = 0;          ///< Policy-modeled busy joules served so far.
+  double avg_power_w = 0;     ///< Rolling average power right now.
+  double peak_power_w = 0;    ///< Highest rolling average observed.
+  std::size_t queue_depth = 0;
+};
+
+class QueryService {
+ public:
+  QueryService(core::Database& db, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session for `tenant`. Sessions are cheap; one per client
+  /// connection. Valid until the service is destroyed.
+  [[nodiscard]] std::shared_ptr<Session> open_session(std::string tenant);
+
+  /// Provisions `tenant`'s energy budget (effective immediately).
+  void set_tenant_budget(const std::string& tenant, TenantBudget budget);
+
+  /// Submits a request; the future resolves when the query completes (or
+  /// is rejected/errored — inspect QueryResponse::status).
+  [[nodiscard]] std::future<query::QueryResponse> submit(
+      const std::shared_ptr<Session>& session, query::QueryRequest request);
+
+  /// Convenience: submit and wait.
+  [[nodiscard]] query::QueryResponse execute(
+      const std::shared_ptr<Session>& session, query::QueryRequest request);
+
+  /// Graceful shutdown: stops intake, drains admitted queries, joins all
+  /// threads. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const sched::PolicyEngine& policy_engine() const {
+    return engine_;
+  }
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
+  [[nodiscard]] core::Database& database() { return db_; }
+  /// Seconds since service start (the clock admission/power run on).
+  [[nodiscard]] double now_s() const { return clock_.elapsed_seconds(); }
+
+ private:
+  void dispatcher_loop();
+  void execute_one(const std::shared_ptr<PendingQuery>& item);
+
+  core::Database& db_;
+  ServiceOptions options_;
+  sched::PolicyEngine engine_;
+  AdmissionController admission_;
+  RequestQueue queue_;
+  BatchCoalescer coalescer_;
+  PowerMonitor monitor_;
+  sched::ThreadPool pool_;
+  Stopwatch clock_;
+
+  std::thread dispatcher_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::uint64_t> next_session_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<double> peak_power_w_{0};
+};
+
+}  // namespace eidb::server

@@ -1,0 +1,57 @@
+#include "server/request_queue.hpp"
+
+#include <chrono>
+
+namespace eidb::server {
+
+bool RequestQueue::push(PendingQuery&& q) {
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(q));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<PendingQuery> RequestQueue::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  PendingQuery q = std::move(items_.front());
+  items_.pop_front();
+  return q;
+}
+
+std::optional<PendingQuery> RequestQueue::pop_for(double timeout_s) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_s));
+  cv_.wait_until(lock, deadline,
+                 [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  PendingQuery q = std::move(items_.front());
+  items_.pop_front();
+  return q;
+}
+
+void RequestQueue::close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::scoped_lock lock(mu_);
+  return items_.size();
+}
+
+}  // namespace eidb::server

@@ -1,0 +1,15 @@
+#include "server/session.hpp"
+
+#include <sstream>
+
+namespace eidb::server {
+
+std::string to_string(const SessionStats& s) {
+  std::ostringstream os;
+  os << "submitted=" << s.submitted << " completed=" << s.completed
+     << " rejected=" << s.rejected << " errors=" << s.errors
+     << " energy_J=" << s.energy_j;
+  return os.str();
+}
+
+}  // namespace eidb::server

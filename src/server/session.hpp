@@ -1,0 +1,72 @@
+// server::Session — one client's handle onto the query service.
+//
+// A session binds requests to a *tenant*: the identity admission control
+// bills joules against, and the scope under which the database ledger
+// records this client's energy. Counters are atomics so the service's
+// worker threads update them without locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace eidb::server {
+
+/// Point-in-time snapshot of a session's counters.
+struct SessionStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  double energy_j = 0;  ///< Measured joules billed to this session so far.
+};
+
+[[nodiscard]] std::string to_string(const SessionStats& s);
+
+class Session {
+ public:
+  Session(std::uint64_t id, std::string tenant)
+      : id_(id), tenant_(std::move(tenant)) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+  /// Ledger scope this session's runs are attributed to.
+  [[nodiscard]] const std::string& scope() const noexcept { return tenant_; }
+
+  void record_submit() noexcept { submitted_.fetch_add(1); }
+  void record_reject() noexcept { rejected_.fetch_add(1); }
+  void record_error() noexcept { errors_.fetch_add(1); }
+  void record_complete(double energy_j) noexcept {
+    completed_.fetch_add(1);
+    // fetch_add(double) needs C++20 atomic<double>; emulate with CAS so the
+    // library stays buildable on toolchains without lock-free FP atomics.
+    double cur = energy_j_.load(std::memory_order_relaxed);
+    while (!energy_j_.compare_exchange_weak(cur, cur + energy_j,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] SessionStats stats() const {
+    SessionStats s;
+    s.submitted = submitted_.load();
+    s.completed = completed_.load();
+    s.rejected = rejected_.load();
+    s.errors = errors_.load();
+    s.energy_j = energy_j_.load();
+    return s;
+  }
+
+ private:
+  std::uint64_t id_;
+  std::string tenant_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<double> energy_j_{0};
+};
+
+}  // namespace eidb::server

@@ -116,30 +116,48 @@ const ZoneMap& Table::zone_map(std::size_t column_index,
   return ref;
 }
 
+Catalog::Catalog(Catalog&& other) noexcept
+    : tables_(std::move(other.tables_)) {}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) tables_ = std::move(other.tables_);
+  return *this;
+}
+
 Table& Catalog::add(Table table) {
-  if (contains(table.name())) throw Error("table exists: " + table.name());
+  std::unique_lock lock(mu_);
+  if (contains_locked(table.name()))
+    throw Error("table exists: " + table.name());
   tables_.push_back(std::make_unique<Table>(std::move(table)));
   return *tables_.back();
 }
 
 Table& Catalog::get(const std::string& name) {
+  std::shared_lock lock(mu_);
   for (const auto& t : tables_)
     if (t->name() == name) return *t;
   throw Error("no such table: " + name);
 }
 
 const Table& Catalog::get(const std::string& name) const {
+  std::shared_lock lock(mu_);
   for (const auto& t : tables_)
     if (t->name() == name) return *t;
   throw Error("no such table: " + name);
 }
 
-bool Catalog::contains(const std::string& name) const {
+bool Catalog::contains_locked(const std::string& name) const {
   return std::any_of(tables_.begin(), tables_.end(),
                      [&](const auto& t) { return t->name() == name; });
 }
 
+bool Catalog::contains(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return contains_locked(name);
+}
+
 std::vector<std::string> Catalog::table_names() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& t : tables_) names.push_back(t->name());
@@ -147,6 +165,7 @@ std::vector<std::string> Catalog::table_names() const {
 }
 
 void Catalog::drop(const std::string& name) {
+  std::unique_lock lock(mu_);
   const auto it = std::find_if(tables_.begin(), tables_.end(),
                                [&](const auto& t) { return t->name() == name; });
   if (it == tables_.end()) throw Error("no such table: " + name);

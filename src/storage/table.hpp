@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -87,8 +88,22 @@ class Table {
 };
 
 /// Name → table registry.
+///
+/// Thread-safe: lookups take a shared lock, registration/drop an exclusive
+/// one, so the serving tier can admit DDL while queries execute. Returned
+/// references stay valid across concurrent `add` (tables are heap-owned);
+/// `drop` of a table still in use by an in-flight query remains a caller
+/// error.
 class Catalog {
  public:
+  Catalog() = default;
+  // Movable like Table (the lock is recreated; safe because moves only
+  // happen during setup, before concurrent use).
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
   /// Registers `table`; throws Error on duplicate name.
   Table& add(Table table);
   [[nodiscard]] Table& get(const std::string& name);
@@ -98,6 +113,9 @@ class Catalog {
   void drop(const std::string& name);
 
  private:
+  [[nodiscard]] bool contains_locked(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Table>> tables_;
 };
 

@@ -9,11 +9,13 @@ namespace eidb::storage {
 void TierManager::register_column(const std::string& table,
                                   const std::string& column, std::size_t bytes,
                                   Tier tier) {
+  std::scoped_lock lock(mu_);
   entries_[key(table, column)] = Entry{bytes, tier, 0};
 }
 
 void TierManager::place(const std::string& table, const std::string& column,
                         Tier tier) {
+  std::scoped_lock lock(mu_);
   const auto it = entries_.find(key(table, column));
   if (it == entries_.end()) throw Error("unregistered column: " + key(table, column));
   it->second.tier = tier;
@@ -21,6 +23,7 @@ void TierManager::place(const std::string& table, const std::string& column,
 
 Tier TierManager::tier_of(const std::string& table,
                           const std::string& column) const {
+  std::scoped_lock lock(mu_);
   return entry(table, column).tier;
 }
 
@@ -34,6 +37,7 @@ const TierManager::Entry& TierManager::entry(const std::string& table,
 
 TierManager::Penalty TierManager::access(const std::string& table,
                                          const std::string& column) {
+  std::scoped_lock lock(mu_);
   const auto it = entries_.find(key(table, column));
   if (it == entries_.end())
     throw Error("unregistered column: " + key(table, column));
@@ -43,14 +47,20 @@ TierManager::Penalty TierManager::access(const std::string& table,
   return {cold_.read_time_s(bytes), cold_.read_energy_j(bytes)};
 }
 
-std::size_t TierManager::hot_bytes() const {
+std::size_t TierManager::hot_bytes_locked() const {
   std::size_t total = 0;
   for (const auto& [_, e] : entries_)
     if (e.tier == Tier::kHot) total += e.bytes;
   return total;
 }
 
+std::size_t TierManager::hot_bytes() const {
+  std::scoped_lock lock(mu_);
+  return hot_bytes_locked();
+}
+
 std::size_t TierManager::cold_bytes() const {
+  std::scoped_lock lock(mu_);
   std::size_t total = 0;
   for (const auto& [_, e] : entries_)
     if (e.tier == Tier::kCold) total += e.bytes;
@@ -60,6 +70,7 @@ std::size_t TierManager::cold_bytes() const {
 std::size_t TierManager::enforce_budget(std::size_t budget_bytes) {
   // Demote hot columns with the fewest accesses first (ties: largest first,
   // to free memory with the fewest demotions).
+  std::scoped_lock lock(mu_);
   std::vector<std::pair<std::string, Entry*>> hot;
   for (auto& [k, e] : entries_)
     if (e.tier == Tier::kHot) hot.push_back({k, &e});
@@ -68,7 +79,7 @@ std::size_t TierManager::enforce_budget(std::size_t budget_bytes) {
       return a.second->accesses < b.second->accesses;
     return a.second->bytes > b.second->bytes;
   });
-  std::size_t current = hot_bytes();
+  std::size_t current = hot_bytes_locked();
   std::size_t demoted = 0;
   for (auto& [k, e] : hot) {
     if (current <= budget_bytes) break;
@@ -81,6 +92,7 @@ std::size_t TierManager::enforce_budget(std::size_t budget_bytes) {
 
 std::uint64_t TierManager::access_count(const std::string& table,
                                         const std::string& column) const {
+  std::scoped_lock lock(mu_);
   return entry(table, column).accesses;
 }
 

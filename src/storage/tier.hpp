@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,7 +44,8 @@ struct ColdTierSpec {
 };
 
 /// Tracks per-column placement and access statistics and computes the
-/// simulated penalty of cold reads.
+/// simulated penalty of cold reads. Thread-safe: concurrent queries charge
+/// accesses through one shared manager (Database::run's contract).
 class TierManager {
  public:
   explicit TierManager(ColdTierSpec cold = {}) : cold_(cold) {}
@@ -85,10 +87,13 @@ class TierManager {
   static std::string key(const std::string& table, const std::string& column) {
     return table + "." + column;
   }
+  /// Lookup helpers; caller holds mu_.
   [[nodiscard]] const Entry& entry(const std::string& table,
                                    const std::string& column) const;
+  [[nodiscard]] std::size_t hot_bytes_locked() const;
 
   ColdTierSpec cold_;
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

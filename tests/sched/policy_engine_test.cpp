@@ -1,0 +1,70 @@
+#include "sched/policy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+
+namespace eidb::sched {
+namespace {
+
+const hw::MachineSpec kMachine = hw::MachineSpec::server();
+
+TEST(PolicyEngine, LatencyAlwaysPicksFmax) {
+  const PolicyEngine engine(kMachine, Policy::kLatency);
+  for (const double power : {0.0, 50.0, 500.0})
+    EXPECT_DOUBLE_EQ(engine.choose_state(power).freq_ghz,
+                     kMachine.dvfs.fastest().freq_ghz);
+}
+
+TEST(PolicyEngine, ThroughputPicksEfficientStateRegardlessOfPower) {
+  const PolicyEngine engine(kMachine, Policy::kThroughput);
+  const double eff = engine.efficient_state().freq_ghz;
+  for (const double power : {0.0, 50.0, 500.0})
+    EXPECT_DOUBLE_EQ(engine.choose_state(power).freq_ghz,
+                     kMachine.dvfs.at_least(eff).freq_ghz);
+  EXPECT_LT(eff, kMachine.dvfs.fastest().freq_ghz);
+}
+
+TEST(PolicyEngine, EnergyCapSwitchesAtTheCap) {
+  const double cap = kMachine.idle_power_w() + 20;
+  const PolicyEngine engine(kMachine, Policy::kEnergyCap, cap);
+  EXPECT_DOUBLE_EQ(engine.choose_state(cap - 1).freq_ghz,
+                   kMachine.dvfs.fastest().freq_ghz);
+  const double eff = engine.efficient_state().freq_ghz;
+  EXPECT_DOUBLE_EQ(engine.choose_state(cap + 1).freq_ghz,
+                   kMachine.dvfs.at_least(eff).freq_ghz);
+}
+
+TEST(PolicyEngine, SlowdownIsRelativeToFmax) {
+  const PolicyEngine engine(kMachine, Policy::kThroughput);
+  EXPECT_DOUBLE_EQ(engine.slowdown(kMachine.dvfs.fastest()), 1.0);
+  const hw::DvfsState& slowest = kMachine.dvfs.slowest();
+  EXPECT_DOUBLE_EQ(engine.slowdown(slowest),
+                   kMachine.dvfs.fastest().freq_ghz / slowest.freq_ghz);
+}
+
+TEST(PolicyEngine, BusyEnergyChargesIncrementalPowerPlusDram) {
+  const PolicyEngine engine(kMachine, Policy::kLatency);
+  const hw::Work work{1e9, 1e8};
+  const hw::DvfsState& s = kMachine.dvfs.fastest();
+  const double expected =
+      (s.active_power_w - kMachine.core_idle_power_w) * 2.0 +
+      work.dram_bytes * kMachine.dram_energy_nj_per_byte * 1e-9;
+  EXPECT_DOUBLE_EQ(engine.busy_energy_j(work, s, 2.0), expected);
+}
+
+TEST(PolicyEngine, SimulatorSharesTheEngine) {
+  // The StreamScheduler must expose the very engine it schedules with —
+  // the serving tier constructs its own from the same inputs, so both
+  // tiers provably make identical decisions.
+  StreamScheduler sim(kMachine, Policy::kEnergyCap, 100.0);
+  EXPECT_EQ(sim.engine().policy(), Policy::kEnergyCap);
+  EXPECT_DOUBLE_EQ(sim.engine().power_cap_w(), 100.0);
+  const PolicyEngine live(kMachine, Policy::kEnergyCap, 100.0);
+  for (const double power : {0.0, 90.0, 110.0, 300.0})
+    EXPECT_DOUBLE_EQ(live.choose_state(power).freq_ghz,
+                     sim.engine().choose_state(power).freq_ghz);
+}
+
+}  // namespace
+}  // namespace eidb::sched

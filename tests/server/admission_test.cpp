@@ -1,0 +1,117 @@
+#include "server/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace eidb::server {
+namespace {
+
+TEST(Admission, UnknownTenantAdmittedByDefault) {
+  AdmissionController ac;
+  EXPECT_TRUE(ac.try_admit("nobody", 0.0));
+  EXPECT_EQ(ac.counters("nobody").admitted, 1u);
+}
+
+TEST(Admission, UnknownTenantRefusedInClosedSystem) {
+  AdmissionController ac(/*admit_unknown=*/false);
+  EXPECT_FALSE(ac.try_admit("nobody", 0.0));
+  EXPECT_EQ(ac.counters("nobody").rejected, 1u);
+}
+
+TEST(Admission, AdmitsWhileBalancePositive) {
+  AdmissionController ac;
+  ac.set_budget("t", {10.0, 1.0}, 0.0);
+  EXPECT_TRUE(ac.try_admit("t", 0.0));
+  EXPECT_DOUBLE_EQ(*ac.balance_j("t", 0.0), 10.0);
+}
+
+TEST(Admission, DebitExhaustsThenRefillRestores) {
+  AdmissionController ac;
+  ac.set_budget("t", {/*capacity_j=*/10.0, /*refill_j_per_s=*/2.0}, 0.0);
+  EXPECT_TRUE(ac.try_admit("t", 0.0));
+  ac.debit("t", 12.0, 0.0);  // Settlement overshoots: balance -2 J.
+  EXPECT_DOUBLE_EQ(*ac.balance_j("t", 0.0), -2.0);
+  EXPECT_FALSE(ac.try_admit("t", 0.0));
+  // 2 J/s refill: at t=0.5 the balance is -1 (still refused), at t=1.5 it
+  // is +1 (admitted again).
+  EXPECT_FALSE(ac.try_admit("t", 0.5));
+  EXPECT_TRUE(ac.try_admit("t", 1.5));
+  const AdmissionCounters c = ac.counters("t");
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.rejected, 2u);
+  EXPECT_DOUBLE_EQ(c.debited_j, 12.0);
+}
+
+TEST(Admission, RefillCapsAtCapacity) {
+  AdmissionController ac;
+  ac.set_budget("t", {5.0, 100.0}, 0.0);
+  ac.debit("t", 3.0, 0.0);
+  // Hours of refill cannot exceed the burst capacity.
+  EXPECT_DOUBLE_EQ(*ac.balance_j("t", 3600.0), 5.0);
+}
+
+TEST(Admission, BalanceUnknownForUnbudgetedTenant) {
+  AdmissionController ac;
+  EXPECT_FALSE(ac.balance_j("nobody", 0.0).has_value());
+}
+
+TEST(Admission, ReprovisioningRefillsAndKeepsHistory) {
+  AdmissionController ac;
+  ac.set_budget("t", {1.0, 0.0}, 0.0);
+  EXPECT_TRUE(ac.try_admit("t", 0.0));
+  ac.debit("t", 5.0, 0.0);
+  EXPECT_FALSE(ac.try_admit("t", 1.0));  // No refill rate, deep in debt.
+  ac.set_budget("t", {8.0, 1.0}, 2.0);   // Operator raises the budget.
+  EXPECT_DOUBLE_EQ(*ac.balance_j("t", 2.0), 8.0);
+  const AdmissionCounters c = ac.counters("t");
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_DOUBLE_EQ(c.debited_j, 5.0);
+}
+
+TEST(Admission, PromotionFromUnbudgetedKeepsCounters) {
+  AdmissionController ac;
+  EXPECT_TRUE(ac.try_admit("t", 0.0));
+  ac.debit("t", 2.5, 0.0);
+  ac.set_budget("t", {10.0, 1.0}, 1.0);
+  const AdmissionCounters c = ac.counters("t");
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_DOUBLE_EQ(c.debited_j, 2.5);
+  EXPECT_DOUBLE_EQ(*ac.balance_j("t", 1.0), 10.0);
+}
+
+TEST(Admission, UnbudgetedBookkeepingIsBounded) {
+  AdmissionController ac(/*admit_unknown=*/false);
+  const std::size_t n = AdmissionController::kMaxUnbudgetedTenants + 100;
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_FALSE(ac.try_admit("u" + std::to_string(i), 0.0));
+  // Early tenants keep per-tenant counters; tenants beyond the bound are
+  // still refused correctly but no longer tracked individually.
+  EXPECT_EQ(ac.counters("u0").rejected, 1u);
+  EXPECT_EQ(ac.counters("u" + std::to_string(n - 1)).rejected, 0u);
+}
+
+TEST(Admission, ThreadSafeDebits) {
+  AdmissionController ac;
+  ac.set_budget("t", {1e9, 0.0}, 0.0);
+  constexpr int kThreads = 4, kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&ac] {
+      for (int k = 0; k < kOps; ++k) {
+        (void)ac.try_admit("t", 0.0);
+        ac.debit("t", 0.5, 0.0);
+      }
+    });
+  for (auto& t : threads) t.join();
+  const AdmissionCounters c = ac.counters("t");
+  EXPECT_EQ(c.admitted, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_NEAR(c.debited_j, kThreads * kOps * 0.5, 1e-6);
+  EXPECT_NEAR(*ac.balance_j("t", 0.0), 1e9 - kThreads * kOps * 0.5, 1e-3);
+}
+
+}  // namespace
+}  // namespace eidb::server

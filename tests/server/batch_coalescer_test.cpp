@@ -1,0 +1,94 @@
+#include "server/batch_coalescer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace eidb::server {
+namespace {
+
+PendingQuery make_query(std::uint64_t tag) {
+  PendingQuery q;
+  q.request.tag = tag;
+  q.session = std::make_shared<Session>(1, "t");
+  return q;
+}
+
+TEST(BatchCoalescer, ZeroWindowDrainsAlreadyQueuedBurst) {
+  RequestQueue queue;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(queue.push(make_query(i)));
+  BatchCoalescer coalescer(queue, {/*window_s=*/0, /*max_batch=*/64});
+  const auto batch = coalescer.next_batch();
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    EXPECT_EQ(batch[i].request.tag, i);  // FIFO order preserved.
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BatchCoalescer, MaxBatchBoundsTheWindow) {
+  RequestQueue queue;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ASSERT_TRUE(queue.push(make_query(i)));
+  BatchCoalescer coalescer(queue, {/*window_s=*/10.0, /*max_batch=*/4});
+  // A generous window must still cut the batch at max_batch instead of
+  // stalling for the full 10 s.
+  const auto batch = coalescer.next_batch();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(queue.size(), 6u);
+}
+
+TEST(BatchCoalescer, WindowCollectsLateArrivals) {
+  RequestQueue queue;
+  BatchCoalescer coalescer(queue, {/*window_s=*/0.5, /*max_batch=*/64});
+  std::thread producer([&queue] {
+    ASSERT_TRUE(queue.push(make_query(0)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(queue.push(make_query(1)));  // Inside the window.
+  });
+  const auto batch = coalescer.next_batch();
+  producer.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchCoalescer, SeparateWakeUpsOutsideTheWindow) {
+  RequestQueue queue;
+  BatchCoalescer coalescer(queue, {/*window_s=*/0.02, /*max_batch=*/64});
+  ASSERT_TRUE(queue.push(make_query(0)));
+  const auto first = coalescer.next_batch();
+  EXPECT_EQ(first.size(), 1u);  // Window expired with nothing else queued.
+  ASSERT_TRUE(queue.push(make_query(1)));
+  const auto second = coalescer.next_batch();
+  EXPECT_EQ(second.size(), 1u);
+}
+
+TEST(BatchCoalescer, ClosedAndDrainedQueueYieldsEmptyBatch) {
+  RequestQueue queue;
+  ASSERT_TRUE(queue.push(make_query(0)));
+  queue.close();
+  EXPECT_FALSE(queue.push(make_query(1)));  // Intake refused after close.
+  BatchCoalescer coalescer(queue, {0, 64});
+  EXPECT_EQ(coalescer.next_batch().size(), 1u);  // Drains the remainder...
+  EXPECT_TRUE(coalescer.next_batch().empty());   // ...then signals exit.
+}
+
+TEST(RequestQueue, PopForTimesOutOnEmptyQueue) {
+  RequestQueue queue;
+  EXPECT_FALSE(queue.pop_for(0.01).has_value());
+}
+
+TEST(RequestQueue, PopBlocksUntilPush) {
+  RequestQueue queue;
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(queue.push(make_query(7)));
+  });
+  const auto q = queue.pop();
+  producer.join();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->request.tag, 7u);
+}
+
+}  // namespace
+}  // namespace eidb::server

@@ -1,0 +1,40 @@
+#include "server/power_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eidb::server {
+namespace {
+
+TEST(PowerMonitor, FloorOnlyWhenIdle) {
+  PowerMonitor mon(/*window_s=*/1.0, /*floor_w=*/40.0);
+  EXPECT_DOUBLE_EQ(mon.avg_power_w(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(mon.busy_j_in_window(0.0), 0.0);
+}
+
+TEST(PowerMonitor, BusyEnergyRaisesTheAverage) {
+  PowerMonitor mon(1.0, 40.0);
+  mon.add(0.5, 10.0);  // 10 J inside a 1 s window = +10 W.
+  EXPECT_DOUBLE_EQ(mon.avg_power_w(0.5), 50.0);
+}
+
+TEST(PowerMonitor, EventsAgeOutOfTheWindow) {
+  PowerMonitor mon(1.0, 40.0);
+  mon.add(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(mon.avg_power_w(0.5), 50.0);
+  // At t=1.5 the event (t=0) is outside [0.5, 1.5]: floor again.
+  EXPECT_DOUBLE_EQ(mon.avg_power_w(1.5), 40.0);
+  EXPECT_DOUBLE_EQ(mon.total_busy_j(), 10.0);  // Totals never age out.
+}
+
+TEST(PowerMonitor, WindowSumsMultipleEvents) {
+  PowerMonitor mon(2.0, 0.0);
+  mon.add(0.0, 4.0);
+  mon.add(1.0, 6.0);
+  EXPECT_DOUBLE_EQ(mon.busy_j_in_window(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(mon.avg_power_w(1.0), 5.0);  // 10 J / 2 s.
+  // t=2.5: only the t=1 event remains in [0.5, 2.5].
+  EXPECT_DOUBLE_EQ(mon.busy_j_in_window(2.5), 6.0);
+}
+
+}  // namespace
+}  // namespace eidb::server

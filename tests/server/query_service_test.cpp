@@ -1,0 +1,253 @@
+#include "server/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "query/plan.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::server {
+namespace {
+
+/// Database with one small table: queries stay sub-millisecond so the
+/// concurrency tests hammer scheduling, not kernels.
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::Table& t = db_.create_table(
+        "t", storage::Schema({{"id", storage::TypeId::kInt64},
+                              {"val", storage::TypeId::kInt64}}));
+    constexpr std::size_t kRows = 1000;
+    Pcg32 rng(7);
+    std::vector<std::int64_t> id(kRows), val(kRows);
+    for (std::size_t i = 0; i < kRows; ++i) {
+      id[i] = static_cast<std::int64_t>(i);
+      val[i] = rng.next_bounded(100);
+    }
+    t.set_column(0, storage::Column::from_int64("id", id));
+    t.set_column(1, storage::Column::from_int64("val", val));
+  }
+
+  core::Database db_;
+};
+
+constexpr const char* kCountSql =
+    "SELECT COUNT(*) FROM t WHERE val BETWEEN 0 AND 49";
+
+TEST_F(QueryServiceTest, SqlRoundTrip) {
+  QueryService service(db_);
+  auto session = service.open_session("alice");
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_EQ(resp.result.row_count(), 1u);
+  EXPECT_GT(resp.latency_s, 0.0);
+  EXPECT_GE(resp.queue_s, 0.0);
+  EXPECT_GT(resp.report.total_j(), 0.0);
+  // Latency policy: every query runs at f_max.
+  EXPECT_DOUBLE_EQ(resp.chosen_freq_ghz,
+                   db_.machine().dvfs.fastest().freq_ghz);
+}
+
+TEST_F(QueryServiceTest, PlanRequestAndTagEcho) {
+  QueryService service(db_);
+  auto session = service.open_session("alice");
+  auto plan = query::QueryBuilder("t")
+                  .filter_int("val", 10, 19)
+                  .aggregate(query::AggOp::kCount)
+                  .build();
+  query::QueryRequest req = query::QueryRequest::from_plan(std::move(plan));
+  req.tag = 42;
+  const auto resp = service.execute(session, std::move(req));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_EQ(resp.tag, 42u);
+}
+
+TEST_F(QueryServiceTest, BadSqlReportsErrorNotCrash) {
+  QueryService service(db_);
+  auto session = service.open_session("alice");
+  const auto resp = service.execute(
+      session, query::QueryRequest::from_sql("SELECT FROM nothing"));
+  EXPECT_EQ(resp.status, query::ResponseStatus::kError);
+  EXPECT_FALSE(resp.error.empty());
+  EXPECT_EQ(service.stats().errors, 1u);
+  EXPECT_EQ(session->stats().errors, 1u);
+}
+
+TEST_F(QueryServiceTest, ZeroBudgetTenantIsRejected) {
+  QueryService service(db_);
+  service.set_tenant_budget("broke", {/*capacity_j=*/0, /*refill=*/0});
+  auto session = service.open_session("broke");
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  EXPECT_EQ(resp.status, query::ResponseStatus::kRejected);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(session->stats().rejected, 1u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
+TEST_F(QueryServiceTest, MeasuredJoulesSettleTheTenantBudget) {
+  QueryService service(db_);
+  service.set_tenant_budget("alice", {/*capacity_j=*/1e6, /*refill=*/0});
+  auto session = service.open_session("alice");
+  double responses_billed = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto resp =
+        service.execute(session, query::QueryRequest::from_sql(kCountSql));
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_GT(resp.billed_j, 0.0);  // Clients can reconcile their bill.
+    responses_billed += resp.billed_j;
+  }
+  const double billed = session->stats().energy_j;
+  EXPECT_GT(billed, 0.0);
+  EXPECT_NEAR(responses_billed, billed, 1e-9 + 1e-6 * billed);
+  // The debit is the measured figure the database ledger recorded under
+  // this tenant's scope — settlement equals metering.
+  const double ledger_j = db_.ledger().total("alice").energy_j;
+  EXPECT_NEAR(billed, ledger_j, 1e-9 + 1e-6 * ledger_j);
+  EXPECT_NEAR(*service.admission().balance_j("alice", service.now_s()),
+              1e6 - billed, 1e-9 + 1e-6 * ledger_j);
+}
+
+TEST_F(QueryServiceTest, ThroughputPolicyRunsAtEfficientState) {
+  ServiceOptions opts;
+  opts.policy = sched::Policy::kThroughput;
+  opts.pace_execution = false;  // Assert the decision, skip the sleep.
+  QueryService service(db_, opts);
+  auto session = service.open_session("alice");
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  const auto& engine = service.policy_engine();
+  EXPECT_DOUBLE_EQ(
+      resp.chosen_freq_ghz,
+      db_.machine().dvfs.at_least(engine.efficient_state().freq_ghz).freq_ghz);
+  EXPECT_LT(resp.chosen_freq_ghz, db_.machine().dvfs.fastest().freq_ghz);
+}
+
+TEST_F(QueryServiceTest, EnergyCapBindsUnderTinyCap) {
+  ServiceOptions opts;
+  opts.policy = sched::Policy::kEnergyCap;
+  opts.power_cap_w = 1.0;  // Below the idle floor: the cap always binds.
+  opts.pace_execution = false;
+  QueryService service(db_, opts);
+  auto session = service.open_session("alice");
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_LT(resp.chosen_freq_ghz, db_.machine().dvfs.fastest().freq_ghz);
+  EXPECT_GT(service.stats().peak_power_w, opts.power_cap_w);
+}
+
+TEST_F(QueryServiceTest, GenerousCapBehavesLikeLatencyPolicy) {
+  ServiceOptions opts;
+  opts.policy = sched::Policy::kEnergyCap;
+  opts.power_cap_w = 1e6;
+  QueryService service(db_, opts);
+  auto session = service.open_session("alice");
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_DOUBLE_EQ(resp.chosen_freq_ghz,
+                   db_.machine().dvfs.fastest().freq_ghz);
+}
+
+TEST_F(QueryServiceTest, SubmitAfterStopIsShutdown) {
+  QueryService service(db_);
+  auto session = service.open_session("alice");
+  service.stop();
+  const auto resp =
+      service.execute(session, query::QueryRequest::from_sql(kCountSql));
+  EXPECT_EQ(resp.status, query::ResponseStatus::kShutdown);
+}
+
+TEST_F(QueryServiceTest, StopDrainsAdmittedQueries) {
+  ServiceOptions opts;
+  opts.coalesce_window_s = 0.02;
+  QueryService service(db_, opts);
+  auto session = service.open_session("alice");
+  std::vector<std::future<query::QueryResponse>> futures;
+  futures.reserve(20);
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(
+        service.submit(session, query::QueryRequest::from_sql(kCountSql)));
+  service.stop();  // Graceful: everything admitted must still complete.
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(service.stats().completed, 20u);
+}
+
+TEST_F(QueryServiceTest, ConcurrentSessionsHammerOneService) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  QueryService service(db_, opts);
+  constexpr int kClients = 4, kQueries = 25;
+  std::vector<std::shared_ptr<Session>> sessions;
+  sessions.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    sessions.push_back(service.open_session("tenant-" + std::to_string(c)));
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&service, &ok_count, session = sessions[c]] {
+      std::vector<std::future<query::QueryResponse>> futures;
+      futures.reserve(kQueries);
+      for (int q = 0; q < kQueries; ++q)
+        futures.push_back(service.submit(
+            session, query::QueryRequest::from_sql(kCountSql)));
+      for (auto& f : futures)
+        if (f.get().ok()) ok_count.fetch_add(1);
+      EXPECT_EQ(session->stats().completed, static_cast<std::uint64_t>(kQueries));
+    });
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kQueries);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients) * kQueries);
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kClients) * kQueries);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_GE(s.batches, 1u);
+  // Attribution stays per-tenant even under concurrency: what each session
+  // was billed is exactly its ledger scope total — concurrent tenants must
+  // not be charged for each other's work (the meter window would be).
+  for (int c = 0; c < kClients; ++c) {
+    const double scope_j =
+        db_.ledger().total("tenant-" + std::to_string(c)).energy_j;
+    EXPECT_GT(scope_j, 0.0);
+    EXPECT_NEAR(sessions[c]->stats().energy_j, scope_j,
+                1e-9 + 1e-6 * scope_j);
+  }
+}
+
+TEST_F(QueryServiceTest, PacingStretchesThroughputExecution) {
+  // Same query, latency vs. paced throughput: the paced run must take
+  // measurably longer wall time (f_max / f_efficient >= ~1.5x on the
+  // default server model; the query itself is ~0.1 ms so the test stays
+  // fast). Wall-clock ratios are noisy on shared CI hosts, so assert only
+  // the direction, generously.
+  QueryService lat(db_);
+  auto ls = lat.open_session("a");
+  const auto lat_resp =
+      lat.execute(ls, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(lat_resp.ok());
+
+  ServiceOptions opts;
+  opts.policy = sched::Policy::kThroughput;
+  opts.pace_execution = true;
+  QueryService thr(db_, opts);
+  auto ts = thr.open_session("a");
+  const auto thr_resp =
+      thr.execute(ts, query::QueryRequest::from_sql(kCountSql));
+  ASSERT_TRUE(thr_resp.ok());
+
+  // Paced busy energy is accounted at the slower state: fewer incremental
+  // joules per query than the f_max run — the throughput policy's point.
+  EXPECT_LT(thr_resp.chosen_freq_ghz, lat_resp.chosen_freq_ghz);
+  EXPECT_LT(thr_resp.policy_energy_j, lat_resp.policy_energy_j);
+}
+
+}  // namespace
+}  // namespace eidb::server
