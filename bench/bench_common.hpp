@@ -2,7 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/machine.hpp"
@@ -10,6 +14,36 @@
 #include "util/rng.hpp"
 
 namespace eidb::bench {
+
+/// Machine-readable bench output: accumulates flat numeric metrics and
+/// writes them as `BENCH_<name>.json` in the working directory, so CI can
+/// archive and diff wall time / joules / DRAM bytes across runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json; returns the file name.
+  std::string write() const {
+    const std::string file = "BENCH_" + name_ + ".json";
+    std::ostringstream body;
+    body << "{\n  \"bench\": \"" << name_ << "\"";
+    body << std::setprecision(17);
+    for (const auto& [key, value] : metrics_)
+      body << ",\n  \"" << key << "\": " << value;
+    body << "\n}\n";
+    std::ofstream out(file);
+    out << body.str();
+    return file;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Uniform int32 values in [0, domain).
 inline std::vector<std::int32_t> uniform_i32(std::size_t n,

@@ -78,6 +78,19 @@ int main() {
   add("zonemap-pruned", zm_s, zm_j, touched);
   add("binary-search", bs_s, bs_j, found);
   table.print(std::cout);
+
+  bench::BenchJson json("e1");
+  json.add("rows", static_cast<double>(kRows));
+  json.add("full_scan_wall_s", scan_s);
+  json.add("full_scan_joules", scan_j);
+  json.add("full_scan_dram_bytes", static_cast<double>(kRows) * 8.0);
+  json.add("zonemap_wall_s", zm_s);
+  json.add("zonemap_joules", zm_j);
+  json.add("zonemap_dram_bytes", static_cast<double>(touched) * 8.0);
+  json.add("binary_search_wall_s", bs_s);
+  json.add("binary_search_joules", bs_j);
+  json.add("binary_search_dram_bytes", 64.0 * 24);
+  std::cout << "wrote " << json.write() << "\n";
   std::cout << "(paper claim: J_ratio tracks speedup — classic optimization "
                "is implicit energy optimization)\n\n";
 

@@ -53,9 +53,25 @@ std::vector<opt::PlanCandidate> Database::candidates(
         storage::physical_size(table.column(p.column).type()));
   if (bytes_per_tuple == 0) bytes_per_tuple = 8;
 
-  // Selectivity is unknown pre-execution; a mid-range default keeps the
-  // candidate set honest (a cardinality estimator is future work).
-  constexpr double kDefaultSel = 0.1;
+  // Conjunctive selectivity from the cached per-column statistics
+  // (uniform-value assumption, independence across predicates); a
+  // mid-range default when the plan has no predicates.
+  double estimated_sel = 1.0;
+  bool any_pred = false;
+  for (const query::Predicate& p : plan.predicates) {
+    const storage::Column& col = table.column(p.column);
+    if (col.type() == storage::TypeId::kDouble) {
+      estimated_sel *= opt::CostModel::estimate_selectivity(
+          col.stats(), p.lo.as_double(), p.hi.as_double());
+    } else if (col.type() == storage::TypeId::kString) {
+      continue;  // string bounds bind to codes at execution; skip here
+    } else {
+      estimated_sel *= opt::CostModel::estimate_selectivity(
+          col.stats(), p.lo.as_int(), p.hi.as_int());
+    }
+    any_pred = true;
+  }
+  const double kDefaultSel = any_pred ? estimated_sel : 0.1;
 
   std::vector<opt::PlanCandidate> out;
   const exec::ScanVariant best_variant =
@@ -76,8 +92,16 @@ std::vector<opt::PlanCandidate> Database::candidates(
                              kDefaultSel, bytes_per_tuple)});
   if (plan.is_aggregate()) {
     const auto selected = static_cast<std::uint64_t>(rows * kDefaultSel);
-    for (opt::PlanCandidate& c : out)
-      c.work += cost_model_.agg_work(selected, 8.0);
+    for (opt::PlanCandidate& c : out) {
+      if (plan.has_group_by()) {
+        // Dense vs hash grouping predicted from the cached key statistics
+        // (same policy the exec kernels apply at runtime).
+        c.work += cost_model_.group_work(
+            selected, table.column(plan.group_by.front()).stats(), 8.0);
+      } else {
+        c.work += cost_model_.agg_work(selected, 8.0);
+      }
+    }
   }
   return out;
 }

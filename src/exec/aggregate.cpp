@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "exec/hash_table.hpp"
 #include "util/assert.hpp"
@@ -53,6 +54,23 @@ AggResult aggregate_selected(std::span<const std::int64_t> values,
   return r;
 }
 
+AggResult aggregate_selected(std::span<const std::int32_t> values,
+                             const BitVector& selection) {
+  EIDB_EXPECTS(selection.size() >= values.size());
+  AggResult r;
+  r.min = std::numeric_limits<std::int64_t>::max();
+  r.max = std::numeric_limits<std::int64_t>::min();
+  selection.for_each_set([&](std::size_t i) {
+    const std::int64_t v = values[i];
+    ++r.count;
+    r.sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  });
+  if (r.count == 0) r.min = r.max = 0;
+  return r;
+}
+
 AggResultD aggregate_selected(std::span<const double> values,
                               const BitVector& selection) {
   EIDB_EXPECTS(selection.size() >= values.size());
@@ -72,8 +90,6 @@ AggResultD aggregate_selected(std::span<const double> values,
 
 namespace {
 
-constexpr std::int64_t kDenseDomainLimit = 1 << 20;  // 1M accumulator slots
-
 template <typename Acc, typename Key, typename Value, typename Row>
 std::vector<Row> group_dense(std::span<const Key> keys,
                              std::span<const Value> values,
@@ -85,7 +101,9 @@ std::vector<Row> group_dense(std::span<const Key> keys,
   selection.for_each_set([&](std::size_t i) {
     const auto slot = static_cast<std::size_t>(keys[i] - kmin);
     Acc& a = slots[slot];
-    const Value v = values[i];
+    // Accumulator-typed view of the value: int32 inputs widen here, not
+    // via a materialized copy.
+    const auto v = static_cast<std::decay_t<decltype(a.sum)>>(values[i]);
     if (!seen[slot]) {
       seen[slot] = true;
       a.min = a.max = v;
@@ -116,7 +134,7 @@ std::vector<Row> group_hash(std::span<const Key> keys,
                                    fresh.min = values[i];
                                    fresh.max = values[i];
                                  });
-    const Value v = values[i];
+    const auto v = static_cast<std::decay_t<decltype(a.sum)>>(values[i]);
     ++a.count;
     a.sum += v;
     a.min = std::min(a.min, v);
@@ -172,8 +190,22 @@ std::vector<GroupRow> group_aggregate(std::span<const std::int64_t> keys,
   return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);
 }
 
+std::vector<GroupRow> group_aggregate(std::span<const std::int64_t> keys,
+                                      std::span<const std::int32_t> values,
+                                      const BitVector& selection,
+                                      GroupStrategy strategy) {
+  return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);
+}
+
 std::vector<GroupRow> group_aggregate32(std::span<const std::int32_t> keys,
                                         std::span<const std::int64_t> values,
+                                        const BitVector& selection,
+                                        GroupStrategy strategy) {
+  return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);
+}
+
+std::vector<GroupRow> group_aggregate32(std::span<const std::int32_t> keys,
+                                        std::span<const std::int32_t> values,
                                         const BitVector& selection,
                                         GroupStrategy strategy) {
   return group_impl<AggResult, GroupRow>(keys, values, selection, strategy);

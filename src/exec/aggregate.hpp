@@ -41,8 +41,12 @@ struct AggResultD {
 [[nodiscard]] AggResult aggregate_all(std::span<const std::int64_t> values);
 [[nodiscard]] AggResultD aggregate_all(std::span<const double> values);
 
-/// Aggregates values where the selection bit is set.
+/// Aggregates values where the selection bit is set. The int32 overload
+/// consumes raw int32 / dictionary-code columns directly (sums widen to
+/// int64) — no widened copy.
 [[nodiscard]] AggResult aggregate_selected(std::span<const std::int64_t> values,
+                                           const BitVector& selection);
+[[nodiscard]] AggResult aggregate_selected(std::span<const std::int32_t> values,
                                            const BitVector& selection);
 [[nodiscard]] AggResultD aggregate_selected(std::span<const double> values,
                                             const BitVector& selection);
@@ -59,13 +63,29 @@ struct GroupRow {
 /// 2 = hash. Returns rows sorted by key.
 enum class GroupStrategy : std::uint8_t { kAuto, kDenseArray, kHash };
 
+/// Largest key domain the kAuto strategy resolves to a dense accumulator
+/// array (1M slots); shared by every grouping kernel and mirrored by the
+/// cost model's strategy prediction.
+inline constexpr std::int64_t kDenseDomainLimit = 1 << 20;
+
 [[nodiscard]] std::vector<GroupRow> group_aggregate(
     std::span<const std::int64_t> keys, std::span<const std::int64_t> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// int32 values (raw int32 / dictionary-code columns): aggregated in place,
+/// sums widen to int64 — no widened int64 copy of the column.
+[[nodiscard]] std::vector<GroupRow> group_aggregate(
+    std::span<const std::int64_t> keys, std::span<const std::int32_t> values,
     const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
 
 /// int32 keys (dictionary codes) overload.
 [[nodiscard]] std::vector<GroupRow> group_aggregate32(
     std::span<const std::int32_t> keys, std::span<const std::int64_t> values,
+    const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// int32 keys AND int32 values.
+[[nodiscard]] std::vector<GroupRow> group_aggregate32(
+    std::span<const std::int32_t> keys, std::span<const std::int32_t> values,
     const BitVector& selection, GroupStrategy strategy = GroupStrategy::kAuto);
 
 /// Double-valued grouped aggregation.

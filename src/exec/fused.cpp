@@ -43,15 +43,15 @@ void scan_bitmap_masked64(std::span<const std::int64_t> values,
   scan_bitmap_masked64_counted(values, lo, hi, selection, stats);
 }
 
-void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
-                                  std::int64_t lo, std::int64_t hi,
-                                  BitVector& selection,
-                                  MaskedScanStats& stats) {
-  EIDB_EXPECTS(selection.size() >= values.size());
-  const std::uint64_t width =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+namespace {
+
+/// Shared masked-scan core: `pred(i)` decides row i; dead 64-tuple words
+/// are skipped without touching the data.
+template <typename Pred>
+void masked_scan_impl(std::size_t n, BitVector& selection,
+                      MaskedScanStats& stats, Pred&& pred) {
+  EIDB_EXPECTS(selection.size() >= n);
   std::uint64_t* words = selection.words();
-  const std::size_t n = values.size();
   stats = MaskedScanStats{};
   for (std::size_t w = 0; w * 64 < n; ++w) {
     ++stats.words_total;
@@ -65,13 +65,60 @@ void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
     while (live != 0) {
       const auto j = static_cast<unsigned>(__builtin_ctzll(live));
       live &= live - 1;
-      const std::size_t i = w * 64 + j;
-      const std::uint64_t shifted = static_cast<std::uint64_t>(values[i]) -
-                                    static_cast<std::uint64_t>(lo);
-      keep |= static_cast<std::uint64_t>(shifted <= width) << j;
+      keep |= static_cast<std::uint64_t>(pred(w * 64 + j)) << j;
     }
     words[w] &= keep;
   }
+}
+
+}  // namespace
+
+void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
+                                  std::int64_t lo, std::int64_t hi,
+                                  BitVector& selection,
+                                  MaskedScanStats& stats) {
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  masked_scan_impl(values.size(), selection, stats, [&](std::size_t i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(values[i]) -
+                                  static_cast<std::uint64_t>(lo);
+    return shifted <= width;
+  });
+}
+
+void scan_bitmap_masked32(std::span<const std::int32_t> values,
+                          std::int32_t lo, std::int32_t hi,
+                          BitVector& selection) {
+  MaskedScanStats stats;
+  scan_bitmap_masked32_counted(values, lo, hi, selection, stats);
+}
+
+void scan_bitmap_masked32_counted(std::span<const std::int32_t> values,
+                                  std::int32_t lo, std::int32_t hi,
+                                  BitVector& selection,
+                                  MaskedScanStats& stats) {
+  const std::uint32_t width =
+      static_cast<std::uint32_t>(hi) - static_cast<std::uint32_t>(lo);
+  masked_scan_impl(values.size(), selection, stats, [&](std::size_t i) {
+    const std::uint32_t shifted = static_cast<std::uint32_t>(values[i]) -
+                                  static_cast<std::uint32_t>(lo);
+    return shifted <= width;
+  });
+}
+
+void scan_bitmap_masked_double(std::span<const double> values, double lo,
+                               double hi, BitVector& selection) {
+  MaskedScanStats stats;
+  scan_bitmap_masked_double_counted(values, lo, hi, selection, stats);
+}
+
+void scan_bitmap_masked_double_counted(std::span<const double> values,
+                                       double lo, double hi,
+                                       BitVector& selection,
+                                       MaskedScanStats& stats) {
+  masked_scan_impl(values.size(), selection, stats, [&](std::size_t i) {
+    return values[i] >= lo && values[i] <= hi;
+  });
 }
 
 }  // namespace eidb::exec

@@ -47,4 +47,23 @@ void scan_bitmap_masked64_counted(std::span<const std::int64_t> values,
                                   BitVector& selection,
                                   MaskedScanStats& stats);
 
+/// int32 / dictionary-code masked conjunctive scan.
+void scan_bitmap_masked32(std::span<const std::int32_t> values,
+                          std::int32_t lo, std::int32_t hi,
+                          BitVector& selection);
+
+void scan_bitmap_masked32_counted(std::span<const std::int32_t> values,
+                                  std::int32_t lo, std::int32_t hi,
+                                  BitVector& selection,
+                                  MaskedScanStats& stats);
+
+/// Double masked conjunctive scan.
+void scan_bitmap_masked_double(std::span<const double> values, double lo,
+                               double hi, BitVector& selection);
+
+void scan_bitmap_masked_double_counted(std::span<const double> values,
+                                       double lo, double hi,
+                                       BitVector& selection,
+                                       MaskedScanStats& stats);
+
 }  // namespace eidb::exec

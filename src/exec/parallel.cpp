@@ -113,10 +113,14 @@ AggResult parallel_aggregate(sched::ThreadPool& pool,
   return total;
 }
 
-std::vector<GroupRow> parallel_group_aggregate(
-    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
-    std::span<const std::int64_t> values, const BitVector& selection,
-    std::size_t morsel_rows) {
+namespace {
+
+template <typename Key, typename Value>
+std::vector<GroupRow> parallel_group_impl(sched::ThreadPool& pool,
+                                          std::span<const Key> keys,
+                                          std::span<const Value> values,
+                                          const BitVector& selection,
+                                          std::size_t morsel_rows) {
   EIDB_EXPECTS(keys.size() == values.size());
   EIDB_EXPECTS(selection.size() >= keys.size());
 
@@ -137,10 +141,11 @@ std::vector<GroupRow> parallel_group_aggregate(
             const std::size_t i = w * 64 + j;
             if (i >= end || i < begin) continue;
             const std::int64_t v = values[i];
-            AggResult& a = local.get_or_insert(keys[i], [&](AggResult& f) {
-              f.min = v;
-              f.max = v;
-            });
+            AggResult& a = local.get_or_insert(
+                static_cast<std::int64_t>(keys[i]), [&](AggResult& f) {
+                  f.min = v;
+                  f.max = v;
+                });
             ++a.count;
             a.sum += v;
             a.min = std::min(a.min, v);
@@ -165,6 +170,36 @@ std::vector<GroupRow> parallel_group_aggregate(
   rows.reserve(merged.size());
   for (const auto& [key, agg] : merged) rows.push_back({key, agg});
   return rows;
+}
+
+}  // namespace
+
+std::vector<GroupRow> parallel_group_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const std::int64_t> values, const BitVector& selection,
+    std::size_t morsel_rows) {
+  return parallel_group_impl(pool, keys, values, selection, morsel_rows);
+}
+
+std::vector<GroupRow> parallel_group_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const std::int32_t> values, const BitVector& selection,
+    std::size_t morsel_rows) {
+  return parallel_group_impl(pool, keys, values, selection, morsel_rows);
+}
+
+std::vector<GroupRow> parallel_group_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const std::int64_t> values, const BitVector& selection,
+    std::size_t morsel_rows) {
+  return parallel_group_impl(pool, keys, values, selection, morsel_rows);
+}
+
+std::vector<GroupRow> parallel_group_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const std::int32_t> values, const BitVector& selection,
+    std::size_t morsel_rows) {
+  return parallel_group_impl(pool, keys, values, selection, morsel_rows);
 }
 
 }  // namespace eidb::exec

@@ -50,4 +50,22 @@ void parallel_scan_bitmap32(sched::ThreadPool& pool,
     std::span<const std::int64_t> values, const BitVector& selection,
     std::size_t morsel_rows = kDefaultMorselRows);
 
+/// int32 values (raw int32 / dictionary-code columns): no widened copy,
+/// sums widen into the int64 accumulators.
+[[nodiscard]] std::vector<GroupRow> parallel_group_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const std::int32_t> values, const BitVector& selection,
+    std::size_t morsel_rows = kDefaultMorselRows);
+
+/// int32 keys (dictionary codes), int64 or int32 values.
+[[nodiscard]] std::vector<GroupRow> parallel_group_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const std::int64_t> values, const BitVector& selection,
+    std::size_t morsel_rows = kDefaultMorselRows);
+
+[[nodiscard]] std::vector<GroupRow> parallel_group_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const std::int32_t> values, const BitVector& selection,
+    std::size_t morsel_rows = kDefaultMorselRows);
+
 }  // namespace eidb::exec

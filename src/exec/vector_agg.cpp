@@ -1,0 +1,545 @@
+#include "exec/vector_agg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <type_traits>
+
+#include "exec/hash_table.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::exec {
+
+namespace {
+
+// Serial dense slots come from the shared kDenseDomainLimit
+// (exec/aggregate.hpp); per-worker dense accumulators cap lower.
+constexpr std::int64_t kParallelDenseLimit = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Global (ungrouped) multi-aggregate.
+// ---------------------------------------------------------------------------
+
+/// Per-input running accumulator; integer inputs (int32/int64) promote into
+/// the int64 fields, doubles into the double fields.
+struct InputAcc {
+  std::int64_t isum = 0;
+  std::int64_t imin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t imax = std::numeric_limits<std::int64_t>::min();
+  double dsum = 0;
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+};
+
+/// Branch-free full-word accumulate: 64 consecutive rows, no bit tests —
+/// the plain loops autovectorize (SIMD) on any target.
+template <typename T, typename S>
+void acc_word_full(const T* data, std::size_t base, S& sum, S& mn, S& mx) {
+  S s = 0;
+  T lo = data[base];
+  T hi = data[base];
+  for (std::size_t j = 0; j < 64; ++j) {
+    const T v = data[base + j];
+    s += static_cast<S>(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  sum += s;
+  mn = std::min(mn, static_cast<S>(lo));
+  mx = std::max(mx, static_cast<S>(hi));
+}
+
+/// Partial-word accumulate: walk set bits (count-trailing-zeros).
+template <typename T, typename S>
+void acc_word_bits(const T* data, std::size_t base, std::uint64_t bits,
+                   S& sum, S& mn, S& mx) {
+  while (bits != 0) {
+    const auto j = static_cast<std::size_t>(__builtin_ctzll(bits));
+    bits &= bits - 1;
+    const S v = static_cast<S>(data[base + j]);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+}
+
+void acc_word(const AggInput& in, InputAcc& acc, std::size_t base,
+              std::uint64_t bits, bool full) {
+  switch (in.kind) {
+    case AggInput::Kind::kInt32:
+      if (full)
+        acc_word_full(in.i32.data(), base, acc.isum, acc.imin, acc.imax);
+      else
+        acc_word_bits(in.i32.data(), base, bits, acc.isum, acc.imin, acc.imax);
+      break;
+    case AggInput::Kind::kInt64:
+      if (full)
+        acc_word_full(in.i64.data(), base, acc.isum, acc.imin, acc.imax);
+      else
+        acc_word_bits(in.i64.data(), base, bits, acc.isum, acc.imin, acc.imax);
+      break;
+    case AggInput::Kind::kDouble:
+      if (full)
+        acc_word_full(in.f64.data(), base, acc.dsum, acc.dmin, acc.dmax);
+      else
+        acc_word_bits(in.f64.data(), base, bits, acc.dsum, acc.dmin, acc.dmax);
+      break;
+  }
+}
+
+/// One pass over selection words [word_begin, word_end) accumulating every
+/// input; returns the number of selected rows seen.
+std::uint64_t multi_acc_range(std::span<const AggInput> inputs,
+                              const BitVector& selection,
+                              std::size_t word_begin, std::size_t word_end,
+                              std::vector<InputAcc>& accs) {
+  const std::uint64_t* words = selection.words();
+  std::uint64_t count = 0;
+  for (std::size_t w = word_begin; w < word_end; ++w) {
+    const std::uint64_t bits = words[w];
+    if (bits == 0) continue;
+    count += static_cast<std::uint64_t>(__builtin_popcountll(bits));
+    const bool full = bits == ~std::uint64_t{0};
+    const std::size_t base = w * 64;
+    for (std::size_t j = 0; j < inputs.size(); ++j)
+      acc_word(inputs[j], accs[j], base, bits, full);
+  }
+  return count;
+}
+
+std::vector<AggOut> finalize_multi(std::span<const AggInput> inputs,
+                                   const std::vector<InputAcc>& accs,
+                                   std::uint64_t count) {
+  std::vector<AggOut> outs(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    AggOut& o = outs[j];
+    o.is_double = inputs[j].is_double();
+    if (o.is_double) {
+      o.d.count = count;
+      o.d.sum = accs[j].dsum;
+      o.d.min = count ? accs[j].dmin : 0;
+      o.d.max = count ? accs[j].dmax : 0;
+    } else {
+      o.i.count = count;
+      o.i.sum = accs[j].isum;
+      o.i.min = count ? accs[j].imin : 0;
+      o.i.max = count ? accs[j].imax : 0;
+    }
+  }
+  return outs;
+}
+
+void check_input_sizes(std::span<const AggInput> inputs,
+                       const BitVector& selection) {
+  for (const AggInput& in : inputs)
+    EIDB_EXPECTS(selection.size() >= in.size());
+}
+
+// ---------------------------------------------------------------------------
+// Grouped multi-aggregate.
+// ---------------------------------------------------------------------------
+
+/// Slot-indexed accumulation arrays shared by the dense and hash paths:
+/// one count per group plus sum/min/max per (input, group).
+struct GroupAccum {
+  struct IntArrays {
+    std::vector<std::int64_t> sum, mn, mx;
+  };
+  struct DblArrays {
+    std::vector<double> sum, mn, mx;
+  };
+  std::vector<std::uint64_t> counts;
+  std::vector<IntArrays> iarr;  // indexed by input; empty for double inputs
+  std::vector<DblArrays> darr;  // indexed by input; empty for int inputs
+
+  void init(std::span<const AggInput> inputs) {
+    iarr.resize(inputs.size());
+    darr.resize(inputs.size());
+  }
+
+  /// Grows every array to `slots`, default-initializing new groups.
+  /// Capacity grows geometrically so one-slot-at-a-time growth (hash path)
+  /// stays amortized O(1).
+  void ensure(std::size_t slots, std::span<const AggInput> inputs) {
+    if (counts.size() >= slots) return;
+    if (counts.capacity() < slots) {
+      const std::size_t cap = std::max(slots, counts.capacity() * 2 + 16);
+      counts.reserve(cap);
+      for (std::size_t j = 0; j < inputs.size(); ++j) {
+        if (inputs[j].is_double()) {
+          darr[j].sum.reserve(cap);
+          darr[j].mn.reserve(cap);
+          darr[j].mx.reserve(cap);
+        } else {
+          iarr[j].sum.reserve(cap);
+          iarr[j].mn.reserve(cap);
+          iarr[j].mx.reserve(cap);
+        }
+      }
+    }
+    counts.resize(slots, 0);
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      if (inputs[j].is_double()) {
+        darr[j].sum.resize(slots, 0);
+        darr[j].mn.resize(slots, std::numeric_limits<double>::infinity());
+        darr[j].mx.resize(slots, -std::numeric_limits<double>::infinity());
+      } else {
+        iarr[j].sum.resize(slots, 0);
+        iarr[j].mn.resize(slots, std::numeric_limits<std::int64_t>::max());
+        iarr[j].mx.resize(slots, std::numeric_limits<std::int64_t>::min());
+      }
+    }
+  }
+};
+
+/// Accumulates one extracted block (up to 64 rows) for one input.
+template <typename T, typename A>
+void acc_block_grouped(const T* data, const std::uint32_t* idx,
+                       const std::uint32_t* slot, std::size_t k,
+                       A& arrays) {
+  using S = std::decay_t<decltype(arrays.sum[0])>;
+  for (std::size_t e = 0; e < k; ++e) {
+    const S v = static_cast<S>(data[idx[e]]);
+    const std::uint32_t s = slot[e];
+    arrays.sum[s] += v;
+    arrays.mn[s] = std::min(arrays.mn[s], v);
+    arrays.mx[s] = std::max(arrays.mx[s], v);
+  }
+}
+
+/// Core grouped pass, templated over key width. `resolve` maps a key to a
+/// dense slot id (identity-offset for the dense strategy, hash lookup
+/// otherwise). Processes selection words [word_begin, word_end).
+template <typename K, typename Resolve>
+void grouped_acc_range(std::span<const K> keys,
+                       std::span<const AggInput> inputs,
+                       const BitVector& selection, std::size_t word_begin,
+                       std::size_t word_end, Resolve&& resolve,
+                       GroupAccum& acc) {
+  const std::uint64_t* words = selection.words();
+  std::uint32_t idx[64];
+  std::uint32_t slot[64];
+  for (std::size_t w = word_begin; w < word_end; ++w) {
+    std::uint64_t bits = words[w];
+    if (bits == 0) continue;  // dead block: 64 rows skipped outright
+    const std::size_t base = w * 64;
+    std::size_t k = 0;
+    while (bits != 0) {
+      const auto j = static_cast<std::size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      idx[k++] = static_cast<std::uint32_t>(base + j);
+    }
+    // Key column touched once per row: slots computed for the whole block,
+    // then every input accumulates column-at-a-time over the block.
+    for (std::size_t e = 0; e < k; ++e)
+      slot[e] = resolve(static_cast<std::int64_t>(keys[idx[e]]));
+    for (std::size_t e = 0; e < k; ++e) ++acc.counts[slot[e]];
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      const AggInput& in = inputs[j];
+      switch (in.kind) {
+        case AggInput::Kind::kInt32:
+          acc_block_grouped(in.i32.data(), idx, slot, k, acc.iarr[j]);
+          break;
+        case AggInput::Kind::kInt64:
+          acc_block_grouped(in.i64.data(), idx, slot, k, acc.iarr[j]);
+          break;
+        case AggInput::Kind::kDouble:
+          acc_block_grouped(in.f64.data(), idx, slot, k, acc.darr[j]);
+          break;
+      }
+    }
+  }
+}
+
+/// Key min/max over the selected rows (fallback when the caller has no
+/// cached statistics).
+template <typename K>
+KeyRange selected_key_range(std::span<const K> keys,
+                            const BitVector& selection) {
+  KeyRange r;
+  std::int64_t mn = std::numeric_limits<std::int64_t>::max();
+  std::int64_t mx = std::numeric_limits<std::int64_t>::min();
+  bool any = false;
+  selection.for_each_set([&](std::size_t i) {
+    if (i >= keys.size()) return;
+    any = true;
+    mn = std::min<std::int64_t>(mn, keys[i]);
+    mx = std::max<std::int64_t>(mx, keys[i]);
+  });
+  if (any) {
+    r.known = true;
+    r.min = mn;
+    r.max = mx;
+  }
+  return r;
+}
+
+/// Emits groups `order[i] -> slot` as sorted GroupedAggs.
+GroupedAggs emit_groups(std::span<const AggInput> inputs,
+                        const GroupAccum& acc,
+                        const std::vector<std::pair<std::int64_t,
+                                                    std::uint32_t>>& order) {
+  GroupedAggs out;
+  const std::size_t g = order.size();
+  out.keys.reserve(g);
+  out.counts.reserve(g);
+  out.iout.resize(inputs.size());
+  out.dout.resize(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    if (inputs[j].is_double())
+      out.dout[j].reserve(g);
+    else
+      out.iout[j].reserve(g);
+  }
+  for (const auto& [key, slot] : order) {
+    out.keys.push_back(key);
+    const std::uint64_t count = acc.counts[slot];
+    out.counts.push_back(count);
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      if (inputs[j].is_double()) {
+        const auto& a = acc.darr[j];
+        out.dout[j].push_back({count, a.sum[slot], a.mn[slot], a.mx[slot]});
+      } else {
+        const auto& a = acc.iarr[j];
+        out.iout[j].push_back({count, a.sum[slot], a.mn[slot], a.mx[slot]});
+      }
+    }
+  }
+  return out;
+}
+
+template <typename K>
+GroupedAggs grouped_impl(std::span<const K> keys,
+                         std::span<const AggInput> inputs,
+                         const BitVector& selection, KeyRange range,
+                         GroupStrategy strategy, std::size_t word_begin,
+                         std::size_t word_end) {
+  if (!range.known) range = selected_key_range(keys, selection);
+  if (!range.known) return {};  // empty selection
+
+  // Unsigned width survives hash-like int64 keys whose spread overflows
+  // a signed domain computation (huge widths simply fail the dense test).
+  const std::uint64_t width = static_cast<std::uint64_t>(range.max) -
+                              static_cast<std::uint64_t>(range.min);
+  const bool dense_ok = width < static_cast<std::uint64_t>(kDenseDomainLimit);
+  GroupStrategy chosen = strategy;
+  if (chosen == GroupStrategy::kAuto)
+    chosen = dense_ok ? GroupStrategy::kDenseArray : GroupStrategy::kHash;
+  if (chosen == GroupStrategy::kDenseArray && !dense_ok)
+    throw Error("dense group-by domain too large");
+
+  GroupAccum acc;
+  acc.init(inputs);
+  std::vector<std::pair<std::int64_t, std::uint32_t>> order;
+
+  if (chosen == GroupStrategy::kDenseArray) {
+    const auto domain = static_cast<std::size_t>(width) + 1;
+    acc.ensure(domain, inputs);
+    const std::int64_t kmin = range.min;
+    grouped_acc_range(keys, inputs, selection, word_begin, word_end,
+                      [kmin](std::int64_t key) {
+                        return static_cast<std::uint32_t>(key - kmin);
+                      },
+                      acc);
+    // Slot order == key order for the dense layout.
+    for (std::size_t s = 0; s < static_cast<std::size_t>(domain); ++s)
+      if (acc.counts[s] != 0)
+        order.emplace_back(kmin + static_cast<std::int64_t>(s),
+                           static_cast<std::uint32_t>(s));
+  } else {
+    // Size the table from the cached distinct estimate when the caller
+    // has one; otherwise popcount only this call's word range (the
+    // parallel path invokes grouped_impl once per chunk).
+    std::size_t sized = range.distinct_hint;
+    if (sized == 0) {
+      const std::uint64_t* words = selection.words();
+      std::uint64_t local = 0;
+      for (std::size_t w = word_begin; w < word_end; ++w)
+        local += static_cast<std::uint64_t>(__builtin_popcountll(words[w]));
+      sized = static_cast<std::size_t>(local) / 8 + 16;
+    }
+    HashTable<std::uint32_t> slots(sized);
+    std::uint32_t next = 0;
+    grouped_acc_range(
+        keys, inputs, selection, word_begin, word_end,
+        [&](std::int64_t key) {
+          std::uint32_t& s = slots.get_or_insert(
+              key, [&](std::uint32_t& fresh) { fresh = next++; });
+          acc.ensure(next, inputs);
+          return s;
+        },
+        acc);
+    order.reserve(next);
+    slots.for_each([&](std::int64_t key, const std::uint32_t& s) {
+      order.emplace_back(key, s);
+    });
+    std::sort(order.begin(), order.end());
+  }
+  return emit_groups(inputs, acc, order);
+}
+
+/// Merges partial GroupedAggs (parallel workers) by key.
+void merge_grouped(std::span<const AggInput> inputs, const GroupedAggs& part,
+                   HashTable<std::uint32_t>& slots, std::uint32_t& next,
+                   GroupAccum& acc) {
+  for (std::size_t g = 0; g < part.keys.size(); ++g) {
+    const std::int64_t key = part.keys[g];
+    const std::uint32_t s = slots.get_or_insert(
+        key, [&](std::uint32_t& f) { f = next++; });
+    acc.ensure(next, inputs);
+    acc.counts[s] += part.counts[g];
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      if (inputs[j].is_double()) {
+        const AggResultD& r = part.dout[j][g];
+        auto& a = acc.darr[j];
+        a.sum[s] += r.sum;
+        a.mn[s] = std::min(a.mn[s], r.min);
+        a.mx[s] = std::max(a.mx[s], r.max);
+      } else {
+        const AggResult& r = part.iout[j][g];
+        auto& a = acc.iarr[j];
+        a.sum[s] += r.sum;
+        a.mn[s] = std::min(a.mn[s], r.min);
+        a.mx[s] = std::max(a.mx[s], r.max);
+      }
+    }
+  }
+}
+
+template <typename K>
+GroupedAggs parallel_grouped_impl(sched::ThreadPool& pool,
+                                  std::span<const K> keys,
+                                  std::span<const AggInput> inputs,
+                                  const BitVector& selection, KeyRange range,
+                                  std::size_t morsel_rows) {
+  EIDB_EXPECTS(selection.size() >= keys.size());
+  check_input_sizes(inputs, selection);
+  if (!range.known) range = selected_key_range(keys, selection);
+  if (!range.known) return {};
+
+  // Per-worker dense accumulators only for modest domains; everything
+  // larger hashes explicitly — per-chunk dense arrays over a big domain
+  // would pay O(domain) init and emit per chunk.
+  const std::uint64_t width = static_cast<std::uint64_t>(range.max) -
+                              static_cast<std::uint64_t>(range.min);
+  const GroupStrategy strategy =
+      width < static_cast<std::uint64_t>(kParallelDenseLimit)
+          ? GroupStrategy::kDenseArray
+          : GroupStrategy::kHash;
+
+  const std::size_t n = keys.size();
+  // Chunks are at least a morsel but no more than ~4 per worker, so the
+  // per-chunk dense-array setup amortizes over enough rows.
+  const std::size_t chunks = pool.thread_count() * 4;
+  const std::size_t per_worker = (n + chunks - 1) / chunks;
+  const std::size_t grain =
+      std::max<std::size_t>(64, std::max(morsel_rows, per_worker) / 64 * 64);
+  const std::size_t total_words = (n + 63) / 64;
+
+  std::mutex merge_mu;
+  GroupAccum merged;
+  merged.init(inputs);
+  HashTable<std::uint32_t> slots;
+  std::uint32_t next = 0;
+
+  pool.parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    // Morsels are grain-aligned (multiple of 64): whole selection words.
+    const std::size_t wb = begin / 64;
+    const std::size_t we = std::min(total_words, (end + 63) / 64);
+    GroupedAggs part =
+        grouped_impl(keys, inputs, selection, range, strategy, wb, we);
+    if (part.keys.empty()) return;
+    std::scoped_lock lock(merge_mu);
+    merge_grouped(inputs, part, slots, next, merged);
+  });
+
+  std::vector<std::pair<std::int64_t, std::uint32_t>> order;
+  order.reserve(next);
+  slots.for_each([&](std::int64_t key, const std::uint32_t& s) {
+    order.emplace_back(key, s);
+  });
+  std::sort(order.begin(), order.end());
+  return emit_groups(inputs, merged, order);
+}
+
+}  // namespace
+
+std::vector<AggOut> multi_aggregate(std::span<const AggInput> inputs,
+                                    const BitVector& selection) {
+  check_input_sizes(inputs, selection);
+  std::vector<InputAcc> accs(inputs.size());
+  const std::uint64_t count =
+      multi_acc_range(inputs, selection, 0, selection.word_count(), accs);
+  return finalize_multi(inputs, accs, count);
+}
+
+std::vector<AggOut> parallel_multi_aggregate(sched::ThreadPool& pool,
+                                             std::span<const AggInput> inputs,
+                                             const BitVector& selection,
+                                             std::size_t morsel_rows) {
+  check_input_sizes(inputs, selection);
+  const std::size_t n = selection.size();
+  const std::size_t grain = std::max<std::size_t>(64, morsel_rows / 64 * 64);
+  const std::size_t total_words = selection.word_count();
+
+  std::mutex merge_mu;
+  std::vector<InputAcc> accs(inputs.size());
+  std::uint64_t count = 0;
+
+  pool.parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    const std::size_t wb = begin / 64;
+    const std::size_t we = std::min(total_words, (end + 63) / 64);
+    std::vector<InputAcc> local(inputs.size());
+    const std::uint64_t c = multi_acc_range(inputs, selection, wb, we, local);
+    if (c == 0) return;
+    std::scoped_lock lock(merge_mu);
+    count += c;
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      accs[j].isum += local[j].isum;
+      accs[j].imin = std::min(accs[j].imin, local[j].imin);
+      accs[j].imax = std::max(accs[j].imax, local[j].imax);
+      accs[j].dsum += local[j].dsum;
+      accs[j].dmin = std::min(accs[j].dmin, local[j].dmin);
+      accs[j].dmax = std::max(accs[j].dmax, local[j].dmax);
+    }
+  });
+  return finalize_multi(inputs, accs, count);
+}
+
+GroupedAggs grouped_multi_aggregate(std::span<const std::int64_t> keys,
+                                    std::span<const AggInput> inputs,
+                                    const BitVector& selection, KeyRange range,
+                                    GroupStrategy strategy) {
+  EIDB_EXPECTS(selection.size() >= keys.size());
+  check_input_sizes(inputs, selection);
+  return grouped_impl(keys, inputs, selection, range, strategy, 0,
+                      (keys.size() + 63) / 64);
+}
+
+GroupedAggs grouped_multi_aggregate32(std::span<const std::int32_t> keys,
+                                      std::span<const AggInput> inputs,
+                                      const BitVector& selection,
+                                      KeyRange range, GroupStrategy strategy) {
+  EIDB_EXPECTS(selection.size() >= keys.size());
+  check_input_sizes(inputs, selection);
+  return grouped_impl(keys, inputs, selection, range, strategy, 0,
+                      (keys.size() + 63) / 64);
+}
+
+GroupedAggs parallel_grouped_multi_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range, std::size_t morsel_rows) {
+  return parallel_grouped_impl(pool, keys, inputs, selection, range,
+                               morsel_rows);
+}
+
+GroupedAggs parallel_grouped_multi_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range, std::size_t morsel_rows) {
+  return parallel_grouped_impl(pool, keys, inputs, selection, range,
+                               morsel_rows);
+}
+
+}  // namespace eidb::exec

@@ -1,0 +1,142 @@
+// Single-pass vectorized aggregation kernels.
+//
+// The row-at-a-time aggregation path re-reads its inputs once per AggSpec
+// (and rescans the key column for min/max on every group-by). These
+// kernels instead consume the selection bitmap 64 rows at a word and
+// compute *all* of a query's aggregates in ONE pass over the data:
+//
+//  * full selection words take a branch-free unrolled path (SIMD-friendly:
+//    plain `for (j = 0..64)` loops the compiler autovectorizes);
+//  * partial words extract the set bits into a tiny index block
+//    (count-trailing-zeros), then accumulate column-at-a-time over the
+//    block so each input column streams sequentially.
+//
+// Every input column is therefore touched exactly once per query — the
+// DRAM-byte ledger (and the joules attributed from it) drops accordingly.
+// Grouped variants share one per-group count across all inputs and accept
+// the key range from the cached storage::ColumnStats, eliminating the
+// per-call key min/max pass of group_aggregate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/aggregate.hpp"
+#include "exec/parallel.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::exec {
+
+/// A typed view of one aggregate input column. int32 (and dictionary-code)
+/// inputs are consumed directly — no widened int64 copy.
+struct AggInput {
+  enum class Kind : std::uint8_t { kInt32, kInt64, kDouble };
+  Kind kind = Kind::kInt64;
+  std::span<const std::int32_t> i32;
+  std::span<const std::int64_t> i64;
+  std::span<const double> f64;
+
+  static AggInput from(std::span<const std::int32_t> v) {
+    AggInput in;
+    in.kind = Kind::kInt32;
+    in.i32 = v;
+    return in;
+  }
+  static AggInput from(std::span<const std::int64_t> v) {
+    AggInput in;
+    in.kind = Kind::kInt64;
+    in.i64 = v;
+    return in;
+  }
+  static AggInput from(std::span<const double> v) {
+    AggInput in;
+    in.kind = Kind::kDouble;
+    in.f64 = v;
+    return in;
+  }
+
+  [[nodiscard]] bool is_double() const { return kind == Kind::kDouble; }
+  [[nodiscard]] std::size_t size() const {
+    switch (kind) {
+      case Kind::kInt32:
+        return i32.size();
+      case Kind::kInt64:
+        return i64.size();
+      case Kind::kDouble:
+        return f64.size();
+    }
+    return 0;
+  }
+};
+
+/// Result of one input of a multi-aggregate pass: `i` for integer inputs,
+/// `d` for double inputs (count/sum/min/max cover every AggOp incl. AVG).
+struct AggOut {
+  bool is_double = false;
+  AggResult i;
+  AggResultD d;
+};
+
+/// Aggregates ALL `inputs` in a single pass over the selection bitmap.
+/// Empty selections return zeroed results (min/max = 0), matching
+/// aggregate_selected.
+[[nodiscard]] std::vector<AggOut> multi_aggregate(
+    std::span<const AggInput> inputs, const BitVector& selection);
+
+/// Morsel-parallel multi_aggregate: per-worker partials over 64-aligned
+/// morsels, serial merge (the E4-partitioned scheme).
+[[nodiscard]] std::vector<AggOut> parallel_multi_aggregate(
+    sched::ThreadPool& pool, std::span<const AggInput> inputs,
+    const BitVector& selection, std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Known key range (from storage::ColumnStats); `known == false` makes the
+/// kernel derive it from the selected rows (one extra pass over the keys).
+/// `distinct_hint` (0 = unknown) pre-sizes the hash table on the hash path.
+struct KeyRange {
+  bool known = false;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::uint64_t distinct_hint = 0;
+};
+
+/// Grouped multi-aggregate output. Groups are sorted by key; `counts` is
+/// shared by every input (all aggregate the same selected rows). Per input
+/// j exactly one of iout[j] / dout[j] is non-empty, aligned with `keys`.
+struct GroupedAggs {
+  std::vector<std::int64_t> keys;
+  std::vector<std::uint64_t> counts;
+  std::vector<std::vector<AggResult>> iout;
+  std::vector<std::vector<AggResultD>> dout;
+
+  [[nodiscard]] std::size_t group_count() const { return keys.size(); }
+};
+
+/// Grouped aggregation of ALL `inputs` in one pass: per selected row the
+/// group slot is computed once and every input's accumulator is updated.
+/// Dense-array strategy when the key domain is small, hash otherwise
+/// (same policy as group_aggregate).
+[[nodiscard]] GroupedAggs grouped_multi_aggregate(
+    std::span<const std::int64_t> keys, std::span<const AggInput> inputs,
+    const BitVector& selection, KeyRange range = {},
+    GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// int32 / dictionary-code keys, consumed directly (no widened key copy).
+[[nodiscard]] GroupedAggs grouped_multi_aggregate32(
+    std::span<const std::int32_t> keys, std::span<const AggInput> inputs,
+    const BitVector& selection, KeyRange range = {},
+    GroupStrategy strategy = GroupStrategy::kAuto);
+
+/// Morsel-parallel grouped multi-aggregate: per-worker dense accumulators
+/// (small domains) or hash tables, merged serially by key.
+[[nodiscard]] GroupedAggs parallel_grouped_multi_aggregate(
+    sched::ThreadPool& pool, std::span<const std::int64_t> keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range = {}, std::size_t morsel_rows = kDefaultMorselRows);
+
+[[nodiscard]] GroupedAggs parallel_grouped_multi_aggregate32(
+    sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range = {}, std::size_t morsel_rows = kDefaultMorselRows);
+
+}  // namespace eidb::exec

@@ -71,6 +71,26 @@ hw::Work CostModel::group_work(std::uint64_t rows, bool dense,
           bytes_per_tuple * static_cast<double>(rows)};
 }
 
+hw::Work CostModel::group_work(std::uint64_t rows,
+                               const storage::ColumnStats& key_stats,
+                               double bytes_per_tuple) const {
+  // Same policy as the exec kernels: dense accumulator arrays when the
+  // key domain fits exec::kDenseDomainLimit, hashing otherwise.
+  const std::int64_t domain = key_stats.domain();
+  const bool dense = domain >= 1 && domain <= exec::kDenseDomainLimit;
+  return group_work(rows, dense, bytes_per_tuple);
+}
+
+double CostModel::estimate_selectivity(const storage::ColumnStats& stats,
+                                       std::int64_t lo, std::int64_t hi) {
+  return stats.range_selectivity(lo, hi);
+}
+
+double CostModel::estimate_selectivity(const storage::ColumnStats& stats,
+                                       double lo, double hi) {
+  return stats.range_selectivity(lo, hi);
+}
+
 hw::Work CostModel::join_work(std::uint64_t build_rows,
                               std::uint64_t probe_rows,
                               double bytes_per_tuple) const {

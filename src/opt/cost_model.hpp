@@ -12,6 +12,7 @@
 
 #include "exec/scan_kernels.hpp"
 #include "hw/machine.hpp"
+#include "storage/column.hpp"
 
 namespace eidb::opt {
 
@@ -70,6 +71,21 @@ class CostModel {
   /// Work of a grouped aggregation (dense or hash).
   [[nodiscard]] hw::Work group_work(std::uint64_t rows, bool dense,
                                     double bytes_per_tuple) const;
+
+  /// Grouped-aggregation work predicted from cached key-column statistics:
+  /// the dense/hash strategy choice is derived from the key domain, the
+  /// same policy the exec kernels apply at runtime.
+  [[nodiscard]] hw::Work group_work(std::uint64_t rows,
+                                    const storage::ColumnStats& key_stats,
+                                    double bytes_per_tuple) const;
+
+  /// Predicted selectivity of an inclusive range predicate from cached
+  /// column statistics (uniform-value assumption) — feeds
+  /// pick_scan_variant and predicate ordering.
+  [[nodiscard]] static double estimate_selectivity(
+      const storage::ColumnStats& stats, std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] static double estimate_selectivity(
+      const storage::ColumnStats& stats, double lo, double hi);
 
   /// Work of a hash join.
   [[nodiscard]] hw::Work join_work(std::uint64_t build_rows,

@@ -1,12 +1,17 @@
 #include "query/executor.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
+#include <map>
+#include <set>
 
 #include "exec/aggregate.hpp"
+#include "exec/fused.hpp"
 #include "exec/join.hpp"
 #include "exec/parallel.hpp"
 #include "exec/sort.hpp"
+#include "exec/vector_agg.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -46,6 +51,22 @@ std::int64_t column_int_at(const Column& c, std::size_t i) {
   throw Error("column " + c.name() + " is not integer-typed");
 }
 
+/// Typed kernel view of an integer-or-double column; dictionary and int32
+/// columns are consumed as int32 directly (no widened copy).
+exec::AggInput agg_input_of(const Column& c) {
+  switch (c.type()) {
+    case TypeId::kInt32:
+      return exec::AggInput::from(c.int32_data());
+    case TypeId::kString:
+      return exec::AggInput::from(c.codes());
+    case TypeId::kInt64:
+      return exec::AggInput::from(c.int64_data());
+    case TypeId::kDouble:
+      return exec::AggInput::from(c.double_data());
+  }
+  throw Error("invalid column type");
+}
+
 }  // namespace
 
 Executor::BoundRange Executor::bind_predicate(const Column& column,
@@ -79,6 +100,31 @@ Executor::BoundRange Executor::bind_predicate(const Column& column,
   throw Error("invalid column type");
 }
 
+double Executor::estimate_selectivity(const Column& column,
+                                      const Predicate& p) {
+  const BoundRange r = bind_predicate(column, p);
+  if (r.empty) return 0.0;
+  const storage::ColumnStats& s = column.stats();
+  return r.is_double ? s.range_selectivity(r.dlo, r.dhi)
+                     : s.range_selectivity(r.lo, r.hi);
+}
+
+bool Executor::prune_with_stats(const Column& column, const BoundRange& r,
+                                BitVector& selection) {
+  const storage::ColumnStats& s = column.stats();
+  if (s.rows == 0) return false;
+  const bool all = r.is_double ? (r.dlo <= s.dmin && r.dhi >= s.dmax)
+                               : (r.lo <= s.min && r.hi >= s.max);
+  if (all) return true;  // every row matches: selection unchanged, no scan
+  const bool none = r.is_double ? (r.dhi < s.dmin || r.dlo > s.dmax)
+                                : (r.hi < s.min || r.lo > s.max);
+  if (none) {
+    selection.clear_all();
+    return true;
+  }
+  return false;
+}
+
 void Executor::charge_column_access(const std::string& table,
                                     const Column& column, ExecStats& stats,
                                     const ExecOptions& options) const {
@@ -95,17 +141,20 @@ void Executor::apply_predicate(const Table& table, const Predicate& p,
                                const ExecOptions& options) {
   const Column& column = table.column(p.column);
   const BoundRange r = bind_predicate(column, p);
+  if (r.empty) {
+    selection.clear_all();
+    return;
+  }
+  // Cached-statistics pruning: a predicate the [min, max] range already
+  // decides never touches the data (zone-map logic at table granularity).
+  if (prune_with_stats(column, r, selection)) return;
+
   const std::size_t n = column.size();
   stats.tuples_scanned += n;
   stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(n);
   charge_column_access(table.name(), column, stats, options);
 
   BitVector match(n);
-  if (r.empty) {
-    selection.clear_all();
-    return;
-  }
-
   if (r.is_double) {
     exec::scan_bitmap_double(column.double_data(), r.dlo, r.dhi, match);
   } else if (options.use_zone_maps && column.type() != TypeId::kDouble) {
@@ -146,22 +195,23 @@ void Executor::apply_predicate(const Table& table, const Predicate& p,
       case exec::ScanVariant::kBranching:
       case exec::ScanVariant::kPredicated: {
         // Index kernels, converted to a bitmap (kept for experiment parity).
-        std::vector<std::uint32_t> idx(n);
+        // Scratch buffer is executor-owned: no per-predicate allocation.
+        if (idx_scratch_.size() < n) idx_scratch_.resize(n);
         std::size_t k = 0;
         if (column.type() == TypeId::kInt64) {
           k = options.scan_variant == exec::ScanVariant::kBranching
                   ? exec::scan_branching64(column.int64_data(), r.lo, r.hi,
-                                           idx.data())
+                                           idx_scratch_.data())
                   : exec::scan_predicated64(column.int64_data(), r.lo, r.hi,
-                                            idx.data());
+                                            idx_scratch_.data());
         } else {
           k = options.scan_variant == exec::ScanVariant::kBranching
                   ? exec::scan_branching(column.int32_data(), lo32(), hi32(),
-                                         idx.data())
+                                         idx_scratch_.data())
                   : exec::scan_predicated(column.int32_data(), lo32(), hi32(),
-                                          idx.data());
+                                          idx_scratch_.data());
         }
-        for (std::size_t j = 0; j < k; ++j) match.set(idx[j]);
+        for (std::size_t j = 0; j < k; ++j) match.set(idx_scratch_[j]);
         break;
       }
       case exec::ScanVariant::kAvx2:
@@ -195,14 +245,95 @@ void Executor::apply_predicate(const Table& table, const Predicate& p,
   selection &= match;
 }
 
+void Executor::apply_predicate_masked(const Table& table, const Predicate& p,
+                                      BitVector& selection, ExecStats& stats,
+                                      const ExecOptions& options) {
+  const Column& column = table.column(p.column);
+  const BoundRange r = bind_predicate(column, p);
+  if (r.empty) {
+    selection.clear_all();
+    return;
+  }
+  if (prune_with_stats(column, r, selection)) return;
+
+  exec::MaskedScanStats ms;
+  switch (column.type()) {
+    case TypeId::kInt64:
+      exec::scan_bitmap_masked64_counted(column.int64_data(), r.lo, r.hi,
+                                         selection, ms);
+      break;
+    case TypeId::kInt32:
+    case TypeId::kString: {
+      const auto lo = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+          r.lo, std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()));
+      const auto hi = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+          r.hi, std::numeric_limits<std::int32_t>::min(),
+          std::numeric_limits<std::int32_t>::max()));
+      exec::scan_bitmap_masked32_counted(column.int32_data(), lo, hi,
+                                         selection, ms);
+      break;
+    }
+    case TypeId::kDouble:
+      exec::scan_bitmap_masked_double_counted(column.double_data(), r.dlo,
+                                              r.dhi, selection, ms);
+      break;
+  }
+  // Charge only what was visited: dead 64-row blocks cost neither cycles
+  // nor DRAM traffic — this is where ordering predicates most-selective-
+  // first saves joules.
+  const std::size_t visited = std::min(
+      column.size(),
+      static_cast<std::size_t>(ms.words_total - ms.words_skipped) * 64);
+  stats.tuples_scanned += visited;
+  stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(visited);
+  stats.work.dram_bytes += static_cast<double>(visited) *
+                           storage::physical_size(column.type());
+  if (options.tiers != nullptr) {
+    const auto penalty = options.tiers->access(table.name(), column.name());
+    stats.cold_tier_time_s += penalty.time_s;
+    stats.cold_tier_energy_j += penalty.energy_j;
+  }
+}
+
 BitVector Executor::evaluate_predicates(const Table& table,
                                         const std::vector<Predicate>& preds,
                                         ExecStats& stats,
                                         const ExecOptions& options) {
   BitVector selection(table.row_count());
   selection.set_all();
-  for (const Predicate& p : preds)
-    apply_predicate(table, p, selection, stats, options);
+
+  // Most-selective-first ordering: the first conjunct kills the most rows,
+  // so the masked scans that follow skip the most blocks.
+  std::vector<const Predicate*> ordered;
+  ordered.reserve(preds.size());
+  for (const Predicate& p : preds) ordered.push_back(&p);
+  if (options.order_predicates && ordered.size() > 1) {
+    std::vector<double> sel(ordered.size());
+    for (std::size_t i = 0; i < ordered.size(); ++i)
+      sel[i] = estimate_selectivity(table.column(ordered[i]->column),
+                                    *ordered[i]);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&](const Predicate* a, const Predicate* b) {
+                       return sel[static_cast<std::size_t>(a - preds.data())] <
+                              sel[static_cast<std::size_t>(b - preds.data())];
+                     });
+  }
+
+  // Masked (selection-aware) evaluation needs the adaptive kernels; the
+  // explicit-variant and zone-map paths keep per-predicate full scans so
+  // experiments measure exactly the requested kernel.
+  const bool can_mask = options.order_predicates &&
+                        options.scan_variant == exec::ScanVariant::kAuto &&
+                        !options.use_zone_maps;
+  bool first = true;
+  for (const Predicate* p : ordered) {
+    if (first || !can_mask)
+      apply_predicate(table, *p, selection, stats, options);
+    else
+      apply_predicate_masked(table, *p, selection, stats, options);
+    first = false;
+  }
   return selection;
 }
 
@@ -234,7 +365,8 @@ QueryResult Executor::execute(const LogicalPlan& plan, ExecStats& stats,
 
 namespace {
 
-/// Accumulates one aggregate over an index stream.
+/// Accumulates one aggregate over an index stream (legacy row-at-a-time
+/// path and join aggregates).
 struct Accumulator {
   AggOp op;
   bool is_double = false;
@@ -286,6 +418,45 @@ std::string agg_column_name(const AggSpec& a) {
          ")";
 }
 
+/// Value of one aggregate op from a single-pass AggOut, with the same
+/// empty-input semantics as the legacy Accumulator.
+storage::Value agg_out_value(AggOp op, const exec::AggOut& out) {
+  if (out.is_double) {
+    const exec::AggResultD& r = out.d;
+    switch (op) {
+      case AggOp::kCount:
+        return storage::Value{static_cast<std::int64_t>(r.count)};
+      case AggOp::kSum:
+        return storage::Value{r.sum};
+      case AggOp::kMin:
+        if (r.count == 0) return storage::Value{std::int64_t{0}};
+        return storage::Value{r.min};
+      case AggOp::kMax:
+        if (r.count == 0) return storage::Value{std::int64_t{0}};
+        return storage::Value{r.max};
+      case AggOp::kAvg:
+        return storage::Value{r.avg()};
+    }
+  } else {
+    const exec::AggResult& r = out.i;
+    switch (op) {
+      case AggOp::kCount:
+        return storage::Value{static_cast<std::int64_t>(r.count)};
+      case AggOp::kSum:
+        return storage::Value{r.sum};
+      case AggOp::kMin:
+        if (r.count == 0) return storage::Value{std::int64_t{0}};
+        return storage::Value{r.min};
+      case AggOp::kMax:
+        if (r.count == 0) return storage::Value{std::int64_t{0}};
+        return storage::Value{r.max};
+      case AggOp::kAvg:
+        return storage::Value{r.avg()};
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 QueryResult Executor::run_aggregate(const LogicalPlan& plan,
@@ -293,6 +464,236 @@ QueryResult Executor::run_aggregate(const LogicalPlan& plan,
                                     const BitVector& selection,
                                     ExecStats& stats,
                                     const ExecOptions& options) {
+  if (options.agg_path == AggPath::kRowAtATime)
+    return run_aggregate_rows(plan, table, selection, stats, options);
+  return run_aggregate_vectorized(plan, table, selection, stats, options);
+}
+
+QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
+                                               const Table& table,
+                                               const BitVector& selection,
+                                               ExecStats& stats,
+                                               const ExecOptions& options) {
+  Stopwatch sw;
+  const std::uint64_t selected = selection.count();
+  const bool parallel = options.pool != nullptr &&
+                        selected >= options.parallel_agg_min_rows;
+
+  // ---- Resolve AggSpecs to shared inputs: each distinct column (or
+  // expression) becomes ONE kernel input, read exactly once, and is
+  // charged to the DRAM ledger exactly once. ------------------------------
+  std::set<std::string> charged;
+  const auto charge_once = [&](const Column& c) {
+    if (charged.insert(c.name()).second)
+      charge_column_access(table.name(), c, stats, options);
+  };
+
+  std::vector<exec::AggInput> inputs;
+  std::deque<std::vector<double>> expr_values;  // stable storage for spans
+  std::map<std::string, std::size_t> input_index;
+  std::vector<int> spec_input(plan.aggregates.size(), -1);  // -1 = COUNT
+  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+    const AggSpec& a = plan.aggregates[ai];
+    if (a.op == AggOp::kCount) continue;  // COUNT needs no input column
+    if (a.expr != nullptr) {
+      const std::string key = "expr:" + a.expr->to_string();
+      const auto it = input_index.find(key);
+      if (it == input_index.end()) {
+        std::vector<std::string> referenced;
+        a.expr->collect_columns(referenced);
+        for (const std::string& name : referenced)
+          charge_once(table.column(name));
+        expr_values.emplace_back();
+        exec::evaluate_expression(*a.expr, table, expr_values.back());
+        input_index[key] = inputs.size();
+        spec_input[ai] = static_cast<int>(inputs.size());
+        inputs.push_back(exec::AggInput::from(
+            std::span<const double>(expr_values.back())));
+      } else {
+        spec_input[ai] = static_cast<int>(it->second);
+      }
+    } else {
+      const auto it = input_index.find(a.column);
+      if (it == input_index.end()) {
+        const Column& c = table.column(a.column);
+        charge_once(c);
+        input_index[a.column] = inputs.size();
+        spec_input[ai] = static_cast<int>(inputs.size());
+        inputs.push_back(agg_input_of(c));
+      } else {
+        spec_input[ai] = static_cast<int>(it->second);
+      }
+    }
+  }
+
+  if (!plan.has_group_by()) {
+    // Global aggregates: one pass computes count/sum/min/max for every
+    // input; each AggSpec just projects its op out of the shared result.
+    std::vector<exec::AggOut> outs;
+    if (!inputs.empty())
+      outs = parallel ? exec::parallel_multi_aggregate(*options.pool, inputs,
+                                                       selection)
+                      : exec::multi_aggregate(inputs, selection);
+    std::vector<std::string> names;
+    names.reserve(plan.aggregates.size());
+    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+    QueryResult result(std::move(names));
+    std::vector<storage::Value> row;
+    row.reserve(plan.aggregates.size());
+    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+      const AggSpec& a = plan.aggregates[ai];
+      if (spec_input[ai] < 0)
+        row.emplace_back(static_cast<std::int64_t>(selected));
+      else
+        row.push_back(agg_out_value(a.op,
+                                    outs[static_cast<std::size_t>(
+                                        spec_input[ai])]));
+    }
+    result.add_row(std::move(row));
+    stats.work.cpu_cycles +=
+        kAggCyclesPerTuple * static_cast<double>(selected) *
+        static_cast<double>(std::max<std::size_t>(1, inputs.size()));
+    stats.groups = 1;
+    time_operator(stats, "aggregate", sw);
+    return result;
+  }
+
+  // ---- Grouped aggregation. Key ranges come from the cached column
+  // statistics — no per-query min/max scan over the key columns. ----------
+  struct GroupKeyPart {
+    const Column* col;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t domain = 1;  // max - min + 1, saturated by ColumnStats
+    std::int64_t stride = 1;
+    std::uint64_t distinct = 0;
+  };
+  std::vector<GroupKeyPart> parts;
+  const std::size_t n_rows = table.row_count();
+  for (const std::string& name : plan.group_by) {
+    const Column& col = table.column(name);
+    charge_once(col);
+    if (col.type() == TypeId::kDouble)
+      throw Error("cannot group by double column " + col.name());
+    const storage::ColumnStats& cs = col.stats();
+    GroupKeyPart part;
+    part.col = &col;
+    part.min = cs.rows == 0 ? 0 : cs.min;
+    part.max = cs.rows == 0 ? 0 : cs.max;
+    part.domain = std::max<std::int64_t>(1, cs.domain());
+    part.distinct = cs.distinct;
+    parts.push_back(part);
+  }
+
+  exec::GroupedAggs grouped;
+  const bool composite = parts.size() > 1;
+  if (!composite) {
+    // Single key column consumed in place (int32/codes stay 32-bit).
+    const GroupKeyPart& part = parts.front();
+    const exec::KeyRange range{true, part.min, part.max, part.distinct};
+    if (part.col->type() == TypeId::kInt64) {
+      const auto keys = part.col->int64_data();
+      grouped = parallel
+                    ? exec::parallel_grouped_multi_aggregate(
+                          *options.pool, keys, inputs, selection, range)
+                    : exec::grouped_multi_aggregate(keys, inputs, selection,
+                                                    range);
+    } else {
+      const auto keys = part.col->int32_data();  // int32 or string codes
+      grouped = parallel
+                    ? exec::parallel_grouped_multi_aggregate32(
+                          *options.pool, keys, inputs, selection, range)
+                    : exec::grouped_multi_aggregate32(keys, inputs, selection,
+                                                      range);
+    }
+  } else {
+    // Strides right-to-left; guard against composite-domain overflow.
+    std::int64_t total = 1;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      it->stride = total;
+      if (it->domain > (std::int64_t{1} << 62) / total)
+        throw Error("composite group-by domain too large");
+      total *= it->domain;
+    }
+    // Synthesize the composite keys into the reusable scratch buffer
+    // (one sequential pass per key column).
+    key_scratch_.assign(n_rows, 0);
+    for (const GroupKeyPart& part : parts) {
+      if (part.col->type() == TypeId::kInt64) {
+        const auto data = part.col->int64_data();
+        for (std::size_t i = 0; i < n_rows; ++i)
+          key_scratch_[i] += (data[i] - part.min) * part.stride;
+      } else {
+        const auto data = part.col->int32_data();
+        for (std::size_t i = 0; i < n_rows; ++i)
+          key_scratch_[i] += (data[i] - part.min) * part.stride;
+      }
+    }
+    const std::span<const std::int64_t> keys(key_scratch_.data(), n_rows);
+    const exec::KeyRange range{true, 0, total - 1};
+    grouped = parallel ? exec::parallel_grouped_multi_aggregate(
+                             *options.pool, keys, inputs, selection, range)
+                       : exec::grouped_multi_aggregate(keys, inputs,
+                                                       selection, range);
+  }
+  stats.groups = grouped.group_count();
+  stats.work.cpu_cycles +=
+      kGroupCyclesPerTuple * static_cast<double>(selected) +
+      kAggCyclesPerTuple * static_cast<double>(selected) *
+          static_cast<double>(inputs.size());
+
+  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
+  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+  QueryResult result(std::move(names));
+
+  for (std::size_t g = 0; g < grouped.group_count(); ++g) {
+    std::vector<storage::Value> row;
+    row.reserve(parts.size() + plan.aggregates.size());
+    if (!composite) {
+      const GroupKeyPart& part = parts.front();
+      if (part.col->type() == TypeId::kString)
+        row.emplace_back(part.col->dictionary().at(
+            static_cast<std::int32_t>(grouped.keys[g])));
+      else
+        row.emplace_back(grouped.keys[g]);
+    } else {
+      // Decode the composite key back into per-column values.
+      for (const GroupKeyPart& part : parts) {
+        const std::int64_t component =
+            (grouped.keys[g] / part.stride) % part.domain + part.min;
+        if (part.col->type() == TypeId::kString)
+          row.emplace_back(part.col->dictionary().at(
+              static_cast<std::int32_t>(component)));
+        else
+          row.emplace_back(component);
+      }
+    }
+    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+      const AggSpec& a = plan.aggregates[ai];
+      if (spec_input[ai] < 0) {
+        row.emplace_back(static_cast<std::int64_t>(grouped.counts[g]));
+        continue;
+      }
+      const auto j = static_cast<std::size_t>(spec_input[ai]);
+      exec::AggOut out;
+      out.is_double = inputs[j].is_double();
+      if (out.is_double)
+        out.d = grouped.dout[j][g];
+      else
+        out.i = grouped.iout[j][g];
+      row.push_back(agg_out_value(a.op, out));
+    }
+    result.add_row(std::move(row));
+  }
+  time_operator(stats, "group-aggregate", sw);
+  return result;
+}
+
+QueryResult Executor::run_aggregate_rows(const LogicalPlan& plan,
+                                         const Table& table,
+                                         const BitVector& selection,
+                                         ExecStats& stats,
+                                         const ExecOptions& options) {
   Stopwatch sw;
   const std::uint64_t selected = selection.count();
 
@@ -362,6 +763,8 @@ QueryResult Executor::run_aggregate(const LogicalPlan& plan,
     part.col = &col;
     std::int64_t mn = 0, mx = 0;
     if (n_rows > 0) {
+      // Deliberately rescans the column (the "before" the stats cache
+      // eliminates in the vectorized path).
       if (col.type() == TypeId::kInt64) {
         const auto data = col.int64_data();
         mn = mx = data[0];

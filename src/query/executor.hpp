@@ -5,9 +5,20 @@
 // them. The executor also *meters* execution — every operator contributes
 // elapsed seconds and abstract hw::Work so the energy layer can attribute
 // joules (measured or modeled) to the query.
+//
+// The aggregation hot path is single-pass and block-vectorized
+// (exec/vector_agg): all of a query's aggregates are computed in one pass
+// over each input column, group-key ranges come from the cached
+// storage::ColumnStats (no per-query min/max scan), and large selections
+// run morsel-parallel on the provided ThreadPool. Conjunctive predicates
+// are ordered by estimated selectivity; the second and later predicates
+// use masked kernels that skip 64-row blocks with no surviving candidates.
+// See docs/executor_pipeline.md.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "exec/scan_kernels.hpp"
 #include "query/plan.hpp"
@@ -20,6 +31,11 @@
 
 namespace eidb::query {
 
+/// Aggregation implementation choice. kVectorized is the production path;
+/// kRowAtATime preserves the one-pass-per-AggSpec interpreter as a
+/// reference for parity tests and the P1 pipeline bench.
+enum class AggPath : std::uint8_t { kVectorized, kRowAtATime };
+
 struct ExecOptions {
   /// Scan kernel choice; kAuto lets the adaptive dispatcher decide.
   exec::ScanVariant scan_variant = exec::ScanVariant::kAuto;
@@ -28,12 +44,26 @@ struct ExecOptions {
   std::size_t zone_block_rows = 4096;
   /// Optional tier manager: cold-column accesses are charged (E6).
   storage::TierManager* tiers = nullptr;
-  /// Optional worker pool: predicate scans run morsel-parallel across it
-  /// (kAuto kernels only; explicit variant choices stay serial so the E3
-  /// bench measures exactly the requested kernel).
+  /// Optional worker pool: predicate scans and grouped/multi aggregation
+  /// run morsel-parallel across it (kAuto kernels only; explicit variant
+  /// choices stay serial so the E3 bench measures exactly the requested
+  /// kernel).
   sched::ThreadPool* pool = nullptr;
+  /// Aggregation path (see AggPath).
+  AggPath agg_path = AggPath::kVectorized;
+  /// Order conjunctive predicates most-selective-first and evaluate later
+  /// predicates with masked kernels that skip dead 64-row blocks
+  /// (kAuto scans only, like the parallel path).
+  bool order_predicates = true;
+  /// Minimum selected rows before aggregation goes morsel-parallel on
+  /// `pool` (below this the dispatch overhead dominates).
+  std::size_t parallel_agg_min_rows = 1u << 18;
 };
 
+/// NOT thread-safe across concurrent execute() calls (scratch buffers are
+/// reused between operators); create one Executor per in-flight query, as
+/// core::Database does. Concurrent executors over the same catalog are
+/// fine — tables are immutable after load.
 class Executor {
  public:
   explicit Executor(const storage::Catalog& catalog) : catalog_(catalog) {}
@@ -60,9 +90,25 @@ class Executor {
   };
   [[nodiscard]] static BoundRange bind_predicate(const storage::Column& column,
                                                  const Predicate& p);
+  /// Estimated selectivity of `p` from the cached column statistics
+  /// (uniform-value assumption) — used to order conjunctive predicates.
+  [[nodiscard]] static double estimate_selectivity(
+      const storage::Column& column, const Predicate& p);
+  /// Stats-based pre-scan pruning: returns true when the predicate was
+  /// fully resolved from [min, max] alone (all rows match, or none do —
+  /// `selection` already updated, nothing scanned or charged).
+  [[nodiscard]] static bool prune_with_stats(const storage::Column& column,
+                                             const BoundRange& r,
+                                             BitVector& selection);
   void apply_predicate(const storage::Table& table, const Predicate& p,
                        BitVector& selection, ExecStats& stats,
                        const ExecOptions& options);
+  /// Selection-aware variant for the second and later conjuncts: evaluates
+  /// only 64-row blocks that still have candidates and charges only the
+  /// visited fraction.
+  void apply_predicate_masked(const storage::Table& table, const Predicate& p,
+                              BitVector& selection, ExecStats& stats,
+                              const ExecOptions& options);
   void charge_column_access(const std::string& table,
                             const storage::Column& column, ExecStats& stats,
                             const ExecOptions& options) const;
@@ -72,6 +118,17 @@ class Executor {
                                           const BitVector& selection,
                                           ExecStats& stats,
                                           const ExecOptions& options);
+  /// Single-pass block-vectorized aggregation (default path).
+  [[nodiscard]] QueryResult run_aggregate_vectorized(
+      const LogicalPlan& plan, const storage::Table& table,
+      const BitVector& selection, ExecStats& stats,
+      const ExecOptions& options);
+  /// Legacy one-pass-per-AggSpec interpreter (AggPath::kRowAtATime).
+  [[nodiscard]] QueryResult run_aggregate_rows(const LogicalPlan& plan,
+                                               const storage::Table& table,
+                                               const BitVector& selection,
+                                               ExecStats& stats,
+                                               const ExecOptions& options);
   [[nodiscard]] QueryResult run_join(const LogicalPlan& plan,
                                      const storage::Table& table,
                                      const BitVector& selection,
@@ -84,6 +141,11 @@ class Executor {
                                            const ExecOptions& options);
 
   const storage::Catalog& catalog_;
+  /// Reused scratch for index-producing scan kernels (kBranching /
+  /// kPredicated) — avoids an n-row allocation per predicate.
+  std::vector<std::uint32_t> idx_scratch_;
+  /// Reused scratch for synthesized composite group keys.
+  std::vector<std::int64_t> key_scratch_;
 };
 
 }  // namespace eidb::query

@@ -1,10 +1,71 @@
 #include "storage/column.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "util/assert.hpp"
 
 namespace eidb::storage {
+
+namespace {
+
+/// Overlap of [lo, hi] with [min, max] as a fraction of the value domain.
+double uniform_overlap(double lo, double hi, double min, double max) {
+  if (hi < lo || hi < min || lo > max) return 0.0;
+  const double width = max - min;
+  if (width <= 0) return 1.0;  // single-valued column: full overlap
+  return std::min(1.0, (std::min(hi, max) - std::max(lo, min)) / width);
+}
+
+/// Distinct estimate from an evenly-strided sample: exact when the sample
+/// covers the column, linearly extrapolated when repeats have not yet
+/// saturated the sample. Coarse by design — it feeds cost estimates, not
+/// results.
+template <typename T>
+std::uint64_t estimate_distinct(std::span<const T> values) {
+  constexpr std::size_t kSampleLimit = 1 << 16;
+  const std::size_t n = values.size();
+  if (n == 0) return 0;
+  const std::size_t stride = std::max<std::size_t>(1, n / kSampleLimit);
+  std::unordered_set<std::int64_t> seen;
+  std::size_t sampled = 0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::int64_t key;
+    if constexpr (std::is_same_v<T, double>) {
+      std::memcpy(&key, &values[i], sizeof key);  // distinct bit patterns
+    } else {
+      key = static_cast<std::int64_t>(values[i]);
+    }
+    seen.insert(key);
+    ++sampled;
+  }
+  if (stride == 1) return seen.size();
+  // Repeats in the sample indicate saturation; otherwise scale up.
+  const double ratio =
+      static_cast<double>(seen.size()) / static_cast<double>(sampled);
+  if (ratio < 0.9) return seen.size();
+  return static_cast<std::uint64_t>(ratio * static_cast<double>(n));
+}
+
+}  // namespace
+
+double ColumnStats::range_selectivity(std::int64_t lo, std::int64_t hi) const {
+  if (rows == 0) return 0.0;
+  if (hi < lo || hi < min || lo > max) return 0.0;
+  // Inclusive integer widths: a point predicate on an N-value domain is
+  // 1/N, not 0 (the continuous formula under-counts discrete domains).
+  const double overlap = static_cast<double>(std::min(hi, max)) -
+                         static_cast<double>(std::max(lo, min)) + 1.0;
+  const double width =
+      static_cast<double>(max) - static_cast<double>(min) + 1.0;
+  return std::min(1.0, overlap / width);
+}
+
+double ColumnStats::range_selectivity(double lo, double hi) const {
+  if (rows == 0) return 0.0;
+  return uniform_overlap(lo, hi, dmin, dmax);
+}
 
 Column::Column(std::string name, TypeId type)
     : name_(std::move(name)), type_(type) {}
@@ -25,6 +86,7 @@ void Column::append_raw(T v) {
   ensure_capacity(count_ + 1);
   data_.as_span<T>()[count_] = v;
   ++count_;
+  stats_.reset();  // appended data invalidates cached statistics
 }
 
 void Column::append_int32(std::int32_t v) {
@@ -125,17 +187,65 @@ Value Column::value_at(std::size_t i) const {
 
 std::span<std::int32_t> Column::mutable_int32() {
   EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
+  stats_.reset();
   return data_.as_span<std::int32_t>().subspan(0, count_);
 }
 
 std::span<std::int64_t> Column::mutable_int64() {
   EIDB_EXPECTS(type_ == TypeId::kInt64);
+  stats_.reset();
   return data_.as_span<std::int64_t>().subspan(0, count_);
 }
 
 std::span<double> Column::mutable_double() {
   EIDB_EXPECTS(type_ == TypeId::kDouble);
+  stats_.reset();
   return data_.as_span<double>().subspan(0, count_);
+}
+
+const ColumnStats& Column::stats() const {
+  if (stats_ == nullptr) {
+    auto s = std::make_shared<ColumnStats>();
+    s->rows = count_;
+    if (count_ > 0) {
+      switch (type_) {
+        case TypeId::kInt64: {
+          const auto data = int64_data();
+          const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+          s->min = *mn;
+          s->max = *mx;
+          s->distinct = estimate_distinct(data);
+          break;
+        }
+        case TypeId::kInt32: {
+          const auto data = int32_data();
+          const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+          s->min = *mn;
+          s->max = *mx;
+          s->distinct = estimate_distinct(data);
+          break;
+        }
+        case TypeId::kString: {
+          const auto data = codes();
+          const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+          s->min = *mn;
+          s->max = *mx;
+          s->distinct = dictionary().size();  // exact by construction
+          break;
+        }
+        case TypeId::kDouble: {
+          const auto data = double_data();
+          const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+          s->dmin = *mn;
+          s->dmax = *mx;
+          s->distinct = estimate_distinct(data);
+          break;
+        }
+      }
+    }
+    stats_ = std::move(s);
+  }
+  return *stats_;
 }
 
 }  // namespace eidb::storage

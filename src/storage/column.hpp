@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -16,6 +17,41 @@
 #include "util/aligned_buffer.hpp"
 
 namespace eidb::storage {
+
+/// Cached per-column statistics, computed in one pass at load time
+/// (`Table::set_column` finalizes them) and reused by every query instead
+/// of rescanning the column: group-key synthesis, zone-map-style predicate
+/// pruning and the optimizer's selectivity/grouping estimates all read
+/// from here. Integer-typed columns (int32/int64/string codes) fill
+/// min/max; double columns fill dmin/dmax.
+struct ColumnStats {
+  std::uint64_t rows = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double dmin = 0;
+  double dmax = 0;
+  /// Coarse distinct-count estimate (exact for dictionary columns and
+  /// small samples; linear extrapolation beyond the sample otherwise).
+  std::uint64_t distinct = 0;
+
+  /// Size of the inclusive integer value domain [min, max]: 0 when empty,
+  /// saturated to INT64_MAX when the spread overflows (hash-like int64
+  /// keys) — callers treat the saturated value as "too large for dense".
+  [[nodiscard]] std::int64_t domain() const {
+    if (rows == 0) return 0;
+    const auto width =
+        static_cast<std::uint64_t>(max) - static_cast<std::uint64_t>(min);
+    if (width >= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max()))
+      return std::numeric_limits<std::int64_t>::max();
+    return static_cast<std::int64_t>(width) + 1;
+  }
+  /// Estimated fraction of rows with lo <= v <= hi under a uniform-value
+  /// assumption — the executor orders conjunctive predicates by this.
+  [[nodiscard]] double range_selectivity(std::int64_t lo,
+                                         std::int64_t hi) const;
+  [[nodiscard]] double range_selectivity(double lo, double hi) const;
+};
 
 class Column {
  public:
@@ -56,6 +92,16 @@ class Column {
   /// Value at row `i`, decoded (strings materialized from the dictionary).
   [[nodiscard]] Value value_at(std::size_t i) const;
 
+  // -- Statistics -----------------------------------------------------------
+  /// Cached column statistics. Computed on first call (one pass) and
+  /// reused afterwards; `Table::set_column` finalizes eagerly so executor
+  /// paths never pay the pass per query. Lazy computation is NOT
+  /// thread-safe — concurrent readers must call `finalize_stats()` first
+  /// (tables do). Any mutation (append_*, mutable_*) invalidates the cache.
+  [[nodiscard]] const ColumnStats& stats() const;
+  /// Idempotently computes and caches the statistics.
+  void finalize_stats() const { (void)stats(); }
+
   /// Mutable typed access for in-place construction by loaders.
   [[nodiscard]] std::span<std::int32_t> mutable_int32();
   [[nodiscard]] std::span<std::int64_t> mutable_int64();
@@ -71,6 +117,7 @@ class Column {
   std::size_t count_ = 0;
   AlignedBuffer data_;
   std::shared_ptr<const Dictionary> dict_;  // string columns only
+  mutable std::shared_ptr<const ColumnStats> stats_;  // null until computed
 };
 
 }  // namespace eidb::storage

@@ -64,6 +64,9 @@ void Table::set_column(std::size_t index, Column column) {
     throw Error("column length mismatch for " + def.name);
   rows_ = column.size();
   columns_[index] = std::make_unique<Column>(std::move(column));
+  // Finalize statistics now (one pass at load) so concurrent queries read
+  // a pre-computed cache and never pay a per-query min/max scan.
+  columns_[index]->finalize_stats();
 }
 
 const Column& Table::column(std::size_t index) const {

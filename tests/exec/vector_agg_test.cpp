@@ -1,0 +1,334 @@
+// Scalar-reference parity for the single-pass vectorized aggregation
+// kernels: every multi_aggregate / grouped_multi_aggregate result must
+// match the one-pass-per-column reference kernels bit-for-bit on integer
+// data and within FP tolerance on doubles (block summation re-associates).
+#include "exec/vector_agg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exec/fused.hpp"
+#include "exec/scan_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::exec {
+namespace {
+
+struct TestColumns {
+  std::vector<std::int32_t> i32;
+  std::vector<std::int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::int32_t> keys32;
+  std::vector<std::int64_t> keys64;
+  BitVector selection;
+};
+
+TestColumns make_columns(std::size_t n, double keep, std::uint64_t seed,
+                         std::int64_t key_domain = 50) {
+  TestColumns t;
+  Pcg32 rng(seed);
+  t.selection = BitVector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.i32.push_back(static_cast<std::int32_t>(rng.next_in_range(-500, 500)));
+    t.i64.push_back(rng.next_in_range(-100000, 100000));
+    t.f64.push_back(rng.next_double() * 20 - 10);
+    const auto key = rng.next_in_range(0, key_domain - 1);
+    t.keys32.push_back(static_cast<std::int32_t>(key));
+    t.keys64.push_back(key);
+    if (rng.next_double() < keep) t.selection.set(i);
+  }
+  return t;
+}
+
+void expect_agg_eq(const AggResult& want, const AggResult& got) {
+  EXPECT_EQ(want.count, got.count);
+  EXPECT_EQ(want.sum, got.sum);
+  EXPECT_EQ(want.min, got.min);
+  EXPECT_EQ(want.max, got.max);
+}
+
+void expect_agg_near(const AggResultD& want, const AggResultD& got) {
+  EXPECT_EQ(want.count, got.count);
+  EXPECT_NEAR(want.sum, got.sum, 1e-6 * (1.0 + std::abs(want.sum)));
+  EXPECT_DOUBLE_EQ(want.min, got.min);
+  EXPECT_DOUBLE_EQ(want.max, got.max);
+}
+
+TEST(MultiAggregate, MatchesSingleColumnReference) {
+  const TestColumns t = make_columns(10'000, 0.4, 42);
+  const std::vector<AggInput> inputs = {AggInput::from(std::span(t.i32)),
+                                        AggInput::from(std::span(t.i64)),
+                                        AggInput::from(std::span(t.f64))};
+  const auto outs = multi_aggregate(inputs, t.selection);
+  ASSERT_EQ(outs.size(), 3u);
+  expect_agg_eq(aggregate_selected(std::span(t.i32), t.selection), outs[0].i);
+  expect_agg_eq(aggregate_selected(std::span(t.i64), t.selection), outs[1].i);
+  expect_agg_near(aggregate_selected(std::span(t.f64), t.selection),
+                  outs[2].d);
+}
+
+TEST(MultiAggregate, FullAndEmptySelections) {
+  TestColumns t = make_columns(4'096, 1.0, 7);
+  t.selection.set_all();  // exercises the branch-free full-word path only
+  const std::vector<AggInput> inputs = {AggInput::from(std::span(t.i64))};
+  auto outs = multi_aggregate(inputs, t.selection);
+  expect_agg_eq(aggregate_selected(std::span(t.i64), t.selection), outs[0].i);
+
+  t.selection.clear_all();
+  outs = multi_aggregate(inputs, t.selection);
+  EXPECT_EQ(outs[0].i.count, 0u);
+  EXPECT_EQ(outs[0].i.sum, 0);
+  EXPECT_EQ(outs[0].i.min, 0);  // aggregate_selected's empty convention
+  EXPECT_EQ(outs[0].i.max, 0);
+}
+
+TEST(MultiAggregate, UnalignedTail) {
+  // Size deliberately not a multiple of 64.
+  const TestColumns t = make_columns(1'000 + 17, 0.7, 9);
+  const std::vector<AggInput> inputs = {AggInput::from(std::span(t.i32))};
+  const auto outs = multi_aggregate(inputs, t.selection);
+  expect_agg_eq(aggregate_selected(std::span(t.i32), t.selection), outs[0].i);
+}
+
+TEST(MultiAggregate, ParallelMatchesSerial) {
+  const TestColumns t = make_columns(100'000, 0.5, 11);
+  const std::vector<AggInput> inputs = {AggInput::from(std::span(t.i64)),
+                                        AggInput::from(std::span(t.f64))};
+  const auto serial = multi_aggregate(inputs, t.selection);
+  sched::ThreadPool pool(4);
+  const auto par =
+      parallel_multi_aggregate(pool, inputs, t.selection, /*morsel=*/4096);
+  expect_agg_eq(serial[0].i, par[0].i);
+  expect_agg_near(serial[1].d, par[1].d);
+}
+
+void expect_grouped_matches_reference(const TestColumns& t,
+                                      const GroupedAggs& g) {
+  // References: one pass per column via the classic kernels.
+  const auto ref_i64 = group_aggregate(std::span(t.keys64),
+                                       std::span(t.i64), t.selection);
+  const auto ref_i32 = group_aggregate(std::span(t.keys64),
+                                       std::span(t.i32), t.selection);
+  const auto ref_d = group_aggregate_d(std::span(t.keys64),
+                                       std::span(t.f64), t.selection);
+  ASSERT_EQ(g.group_count(), ref_i64.size());
+  for (std::size_t i = 0; i < ref_i64.size(); ++i) {
+    EXPECT_EQ(g.keys[i], ref_i64[i].key);
+    EXPECT_EQ(g.counts[i], ref_i64[i].agg.count);
+    expect_agg_eq(ref_i64[i].agg, g.iout[0][i]);
+    expect_agg_eq(ref_i32[i].agg, g.iout[1][i]);
+    expect_agg_near(ref_d[i].agg, g.dout[2][i]);
+  }
+}
+
+std::vector<AggInput> three_inputs(const TestColumns& t) {
+  return {AggInput::from(std::span(t.i64)), AggInput::from(std::span(t.i32)),
+          AggInput::from(std::span(t.f64))};
+}
+
+TEST(GroupedMultiAggregate, DenseMatchesReference) {
+  const TestColumns t = make_columns(20'000, 0.6, 21, /*key_domain=*/40);
+  const auto g = grouped_multi_aggregate(std::span(t.keys64),
+                                         three_inputs(t), t.selection);
+  expect_grouped_matches_reference(t, g);
+}
+
+TEST(GroupedMultiAggregate, HashStrategyMatchesDense) {
+  const TestColumns t = make_columns(20'000, 0.6, 22, /*key_domain=*/40);
+  const auto dense =
+      grouped_multi_aggregate(std::span(t.keys64), three_inputs(t),
+                              t.selection, {}, GroupStrategy::kDenseArray);
+  const auto hash =
+      grouped_multi_aggregate(std::span(t.keys64), three_inputs(t),
+                              t.selection, {}, GroupStrategy::kHash);
+  ASSERT_EQ(dense.group_count(), hash.group_count());
+  for (std::size_t i = 0; i < dense.group_count(); ++i) {
+    EXPECT_EQ(dense.keys[i], hash.keys[i]);
+    EXPECT_EQ(dense.counts[i], hash.counts[i]);
+    expect_agg_eq(dense.iout[0][i], hash.iout[0][i]);
+  }
+}
+
+TEST(GroupedMultiAggregate, Int32KeysMatchInt64Keys) {
+  const TestColumns t = make_columns(20'000, 0.5, 23, /*key_domain=*/64);
+  const auto g64 = grouped_multi_aggregate(std::span(t.keys64),
+                                           three_inputs(t), t.selection);
+  const auto g32 = grouped_multi_aggregate32(std::span(t.keys32),
+                                             three_inputs(t), t.selection);
+  ASSERT_EQ(g64.group_count(), g32.group_count());
+  for (std::size_t i = 0; i < g64.group_count(); ++i) {
+    EXPECT_EQ(g64.keys[i], g32.keys[i]);
+    EXPECT_EQ(g64.counts[i], g32.counts[i]);
+    expect_agg_eq(g64.iout[0][i], g32.iout[0][i]);
+    expect_agg_eq(g64.iout[1][i], g32.iout[1][i]);
+  }
+}
+
+TEST(GroupedMultiAggregate, KnownKeyRangeHintMatchesDerived) {
+  const TestColumns t = make_columns(10'000, 0.3, 24, /*key_domain=*/30);
+  const KeyRange hint{true, 0, 29};  // from cached stats in the executor
+  const auto with_hint = grouped_multi_aggregate(
+      std::span(t.keys64), three_inputs(t), t.selection, hint);
+  const auto derived = grouped_multi_aggregate(std::span(t.keys64),
+                                               three_inputs(t), t.selection);
+  ASSERT_EQ(with_hint.group_count(), derived.group_count());
+  for (std::size_t i = 0; i < derived.group_count(); ++i) {
+    EXPECT_EQ(with_hint.keys[i], derived.keys[i]);
+    expect_agg_eq(with_hint.iout[0][i], derived.iout[0][i]);
+  }
+}
+
+TEST(GroupedMultiAggregate, HashFallbackForOverflowingKeySpread) {
+  // Hash-like int64 keys whose spread overflows max - min + 1: the dense
+  // test must fail safely (unsigned width) and the hash path must group
+  // correctly, including with an explicit stats-derived range.
+  constexpr std::int64_t kLo = -5'000'000'000'000'000'000LL;
+  constexpr std::int64_t kHi = 5'000'000'000'000'000'000LL;
+  std::vector<std::int64_t> keys, values;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(i % 2 == 0 ? kLo : kHi);
+    values.push_back(i);
+  }
+  BitVector sel(keys.size());
+  sel.set_all();
+  const std::vector<AggInput> inputs = {AggInput::from(std::span(values))};
+  for (const KeyRange range : {KeyRange{}, KeyRange{true, kLo, kHi, 2}}) {
+    const auto g =
+        grouped_multi_aggregate(std::span(keys), inputs, sel, range);
+    ASSERT_EQ(g.group_count(), 2u);
+    EXPECT_EQ(g.keys[0], kLo);
+    EXPECT_EQ(g.keys[1], kHi);
+    EXPECT_EQ(g.counts[0], 50u);
+    EXPECT_EQ(g.counts[1], 50u);
+    EXPECT_EQ(g.iout[0][0].sum, 50 * 49);  // 0+2+...+98
+    EXPECT_EQ(g.iout[0][1].sum, 50 * 50);  // 1+3+...+99
+  }
+  // Parallel variant takes the same unsigned-width decision.
+  sched::ThreadPool pool(2);
+  const auto par = parallel_grouped_multi_aggregate(
+      pool, std::span(keys), inputs, sel, KeyRange{true, kLo, kHi, 2}, 64);
+  ASSERT_EQ(par.group_count(), 2u);
+  EXPECT_EQ(par.counts[0], 50u);
+  EXPECT_EQ(par.iout[0][1].sum, 50 * 50);
+}
+
+TEST(GroupedMultiAggregate, EmptySelectionYieldsNoGroups) {
+  TestColumns t = make_columns(1'000, 0.0, 25);
+  t.selection.clear_all();
+  const auto g = grouped_multi_aggregate(std::span(t.keys64),
+                                         three_inputs(t), t.selection);
+  EXPECT_EQ(g.group_count(), 0u);
+}
+
+TEST(GroupedMultiAggregate, ParallelMatchesSerial) {
+  const TestColumns t = make_columns(200'000, 0.5, 26, /*key_domain=*/100);
+  const auto serial = grouped_multi_aggregate(std::span(t.keys64),
+                                              three_inputs(t), t.selection);
+  sched::ThreadPool pool(4);
+  const auto par = parallel_grouped_multi_aggregate(
+      pool, std::span(t.keys64), three_inputs(t), t.selection, {},
+      /*morsel=*/8192);
+  const auto par32 = parallel_grouped_multi_aggregate32(
+      pool, std::span(t.keys32), three_inputs(t), t.selection, {},
+      /*morsel=*/8192);
+  ASSERT_EQ(serial.group_count(), par.group_count());
+  ASSERT_EQ(serial.group_count(), par32.group_count());
+  for (std::size_t i = 0; i < serial.group_count(); ++i) {
+    EXPECT_EQ(serial.keys[i], par.keys[i]);
+    EXPECT_EQ(serial.counts[i], par.counts[i]);
+    expect_agg_eq(serial.iout[0][i], par.iout[0][i]);
+    expect_agg_eq(serial.iout[1][i], par32.iout[1][i]);
+    expect_agg_near(serial.dout[2][i], par.dout[2][i]);
+  }
+}
+
+TEST(Int32ValueOverloads, GroupAggregateMatchesWidened) {
+  const TestColumns t = make_columns(5'000, 0.5, 27, /*key_domain=*/20);
+  std::vector<std::int64_t> widened(t.i32.begin(), t.i32.end());
+  const auto want = group_aggregate(std::span(t.keys64), std::span(widened),
+                                    t.selection);
+  const auto got = group_aggregate(std::span(t.keys64), std::span(t.i32),
+                                   t.selection);
+  const auto got32 = group_aggregate32(std::span(t.keys32),
+                                       std::span(t.i32), t.selection);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_EQ(want.size(), got32.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].key, got[i].key);
+    expect_agg_eq(want[i].agg, got[i].agg);
+    expect_agg_eq(want[i].agg, got32[i].agg);
+  }
+}
+
+TEST(Int32ValueOverloads, ParallelGroupAggregateMatchesWidened) {
+  const TestColumns t = make_columns(50'000, 0.4, 28, /*key_domain=*/32);
+  std::vector<std::int64_t> widened(t.i32.begin(), t.i32.end());
+  sched::ThreadPool pool(4);
+  const auto want = parallel_group_aggregate(
+      pool, std::span(t.keys64), std::span(widened), t.selection, 4096);
+  const auto got = parallel_group_aggregate(
+      pool, std::span(t.keys64), std::span(t.i32), t.selection, 4096);
+  const auto got32 = parallel_group_aggregate32(
+      pool, std::span(t.keys32), std::span(t.i32), t.selection, 4096);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_EQ(want.size(), got32.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].key, got[i].key);
+    expect_agg_eq(want[i].agg, got[i].agg);
+    expect_agg_eq(want[i].agg, got32[i].agg);
+  }
+}
+
+TEST(Int32ValueOverloads, AggregateSelectedMatchesWidened) {
+  const TestColumns t = make_columns(5'000, 0.5, 29);
+  std::vector<std::int64_t> widened(t.i32.begin(), t.i32.end());
+  expect_agg_eq(aggregate_selected(std::span(widened), t.selection),
+                aggregate_selected(std::span(t.i32), t.selection));
+}
+
+TEST(MaskedScans, Int32AndDoubleMatchUnmaskedConjunction) {
+  const TestColumns t = make_columns(10'000, 1.0, 30);
+  const std::size_t n = t.i32.size();
+
+  // Reference: two independent bitmap scans ANDed.
+  BitVector a(n), b(n);
+  scan_bitmap_scalar(std::span(t.i32), -100, 250, a);
+  scan_bitmap_double(std::span(t.f64), -2.5, 6.0, b);
+  BitVector want = a;
+  want &= b;
+
+  // Masked: first scan, then conjuncts evaluated only on live words.
+  BitVector got(n);
+  scan_bitmap_scalar(std::span(t.i32), -100, 250, got);
+  MaskedScanStats stats;
+  scan_bitmap_masked_double_counted(std::span(t.f64), -2.5, 6.0, got, stats);
+  EXPECT_EQ(want, got);
+  EXPECT_GT(stats.words_total, 0u);
+
+  // And the int32 masked kernel against the 64-bit one.
+  std::vector<std::int64_t> wide(t.i32.begin(), t.i32.end());
+  BitVector m32(n), m64(n);
+  scan_bitmap_scalar(std::span(t.i32), -300, 300, m32);
+  scan_bitmap_scalar(std::span(t.i32), -300, 300, m64);
+  scan_bitmap_masked32(std::span(t.i32), -100, 250, m32);
+  scan_bitmap_masked64(std::span(wide), -100, 250, m64);
+  EXPECT_EQ(m32, m64);
+}
+
+TEST(MaskedScans, SkipsDeadWords) {
+  const std::size_t n = 64 * 100;
+  std::vector<std::int32_t> values(n, 5);
+  BitVector selection(n);
+  // Only word 3 has candidates.
+  for (std::size_t i = 64 * 3; i < 64 * 4; ++i) selection.set(i);
+  MaskedScanStats stats;
+  scan_bitmap_masked32_counted(std::span(values), 0, 10, selection, stats);
+  EXPECT_EQ(stats.words_total, 100u);
+  EXPECT_EQ(stats.words_skipped, 99u);
+  EXPECT_EQ(selection.count(), 64u);
+}
+
+}  // namespace
+}  // namespace eidb::exec

@@ -81,5 +81,54 @@ TEST(Column, EmptyStringColumn) {
   EXPECT_EQ(c.dictionary().size(), 0);
 }
 
+TEST(ColumnStats, IntColumnMinMaxDistinct) {
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 10 - 3);  // values -3..6
+  const Column c = Column::from_int32("x", v);
+  const ColumnStats& s = c.stats();
+  EXPECT_EQ(s.rows, 1000u);
+  EXPECT_EQ(s.min, -3);
+  EXPECT_EQ(s.max, 6);
+  EXPECT_EQ(s.domain(), 10);
+  EXPECT_EQ(s.distinct, 10u);  // small column: exact
+}
+
+TEST(ColumnStats, StringColumnUsesDictionaryDistinct) {
+  const Column c = Column::from_strings(
+      "s", {"eu", "us", "eu", "asia", "eu", "us"});
+  const ColumnStats& s = c.stats();
+  EXPECT_EQ(s.distinct, 3u);
+  EXPECT_EQ(s.min, 0);  // code range
+  EXPECT_EQ(s.max, 2);
+}
+
+TEST(ColumnStats, DoubleColumnRangeAndSelectivity) {
+  const std::vector<double> v = {-1.5, 0.0, 2.5, 4.0};
+  const Column c = Column::from_double("d", v);
+  const ColumnStats& s = c.stats();
+  EXPECT_DOUBLE_EQ(s.dmin, -1.5);
+  EXPECT_DOUBLE_EQ(s.dmax, 4.0);
+  EXPECT_DOUBLE_EQ(s.range_selectivity(-1.5, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.range_selectivity(10.0, 20.0), 0.0);
+  EXPECT_NEAR(s.range_selectivity(-1.5, 1.25), 0.5, 1e-12);
+}
+
+TEST(ColumnStats, EmptyColumn) {
+  const Column c("x", TypeId::kInt64);
+  const ColumnStats& s = c.stats();
+  EXPECT_EQ(s.rows, 0u);
+  EXPECT_EQ(s.domain(), 0);
+  EXPECT_DOUBLE_EQ(s.range_selectivity(std::int64_t{0}, std::int64_t{10}),
+                   0.0);
+}
+
+TEST(ColumnStats, MutableAccessInvalidates) {
+  const std::vector<std::int64_t> v = {1, 2, 3};
+  Column c = Column::from_int64("x", v);
+  EXPECT_EQ(c.stats().max, 3);
+  c.mutable_int64()[1] = 99;
+  EXPECT_EQ(c.stats().max, 99);
+}
+
 }  // namespace
 }  // namespace eidb::storage
