@@ -99,7 +99,12 @@ int main(int argc, char** argv) {
 
   query::ExecOptions legacy;
   legacy.agg_path = query::AggPath::kRowAtATime;
-  query::ExecOptions vectorized;  // defaults
+  legacy.use_encodings = false;
+  // Plain vectorized isolates the single-pass effect; the packed arm adds
+  // the compressed column segments (the production default) on top.
+  query::ExecOptions vectorized;
+  vectorized.use_encodings = false;
+  query::ExecOptions vec_packed;  // defaults: vectorized + packed segments
   sched::ThreadPool pool;
   query::ExecOptions vec_parallel;
   vec_parallel.pool = &pool;
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
   const auto compare = [&](const char* qname, const query::LogicalPlan& q) {
     const PathResult base = run_path(ex, q, legacy, machine);
     const PathResult vec = run_path(ex, q, vectorized, machine);
+    const PathResult packed = run_path(ex, q, vec_packed, machine);
     const PathResult par = run_path(ex, q, vec_parallel, machine);
     const auto add = [&](const char* path, const PathResult& r) {
       table.add_row({qname, path, TablePrinter::fmt(r.wall_s * 1e3, 4),
@@ -126,6 +132,7 @@ int main(int argc, char** argv) {
     };
     add("row-at-a-time", base);
     add("vectorized", vec);
+    add("vectorized+packed", packed);
     add("vectorized+pool", par);
   };
   compare("q1_groupby", q1);
@@ -133,7 +140,8 @@ int main(int argc, char** argv) {
 
   table.print(std::cout);
   std::cout << "(vectorized touches each input column once: dram_MB is the "
-               "single-pass floor; joules track bytes + time)\n";
+               "single-pass floor; +packed charges the bit-packed images "
+               "instead of plain widths; joules track bytes + time)\n";
   std::cout << "wrote " << json.write() << "\n";
   return 0;
 }

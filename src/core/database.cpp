@@ -46,12 +46,17 @@ std::vector<opt::PlanCandidate> Database::candidates(
     const query::LogicalPlan& plan) const {
   const storage::Table& table = catalog_.get(plan.table);
   const auto rows = static_cast<std::uint64_t>(table.row_count());
-  // Bytes per tuple across predicate columns.
-  double bytes_per_tuple = 0;
+  // Bytes per tuple across predicate columns (plain widths). Only kAuto
+  // scans consume the packed images (executor rule), so the auto-resolved
+  // candidate is priced per column through the storage arm — packed
+  // kernel cycles AND packed bytes together — while explicit-variant
+  // candidates stream the plain arrays.
+  double plain_bytes_per_tuple = 0;
   for (const query::Predicate& p : plan.predicates)
-    bytes_per_tuple += static_cast<double>(
-        storage::physical_size(table.column(p.column).type()));
-  if (bytes_per_tuple == 0) bytes_per_tuple = 8;
+    plain_bytes_per_tuple +=
+        static_cast<double>(storage::physical_size(table.column(p.column).type()));
+  // No-predicate default: downstream operators still read ~one column.
+  if (plan.predicates.empty()) plain_bytes_per_tuple = 8;
 
   // Conjunctive selectivity from the cached per-column statistics
   // (uniform-value assumption, independence across predicates); a
@@ -76,20 +81,44 @@ std::vector<opt::PlanCandidate> Database::candidates(
   std::vector<opt::PlanCandidate> out;
   const exec::ScanVariant best_variant =
       cost_model_.pick_scan_variant(kDefaultSel);
-  out.push_back({"scan-" + exec::variant_name(best_variant),
-                 cost_model_.scan_work(best_variant, rows, kDefaultSel,
-                                       bytes_per_tuple)});
+  // Auto candidate: per predicate column, the representation the executor
+  // will actually scan — the packed storage arm (its cycles and bytes)
+  // for encoded columns, the picked plain kernel otherwise.
+  const auto auto_scan_work = [&](std::uint64_t scan_rows) {
+    hw::Work work;
+    for (const query::Predicate& p : plan.predicates) {
+      const storage::Column& col = table.column(p.column);
+      const double plain_bytes =
+          static_cast<double>(storage::physical_size(col.type()));
+      if (col.encoded() != nullptr &&
+          col.scan_byte_size() <= col.byte_size()) {
+        work += cost_model_.storage_scan_work(opt::StorageArm::kPackedScan,
+                                              scan_rows,
+                                              col.encoded()->bits,
+                                              plain_bytes);
+      } else {
+        work += cost_model_.scan_work(best_variant, scan_rows, kDefaultSel,
+                                      plain_bytes);
+      }
+    }
+    if (plan.predicates.empty())
+      work = cost_model_.scan_work(best_variant, scan_rows, kDefaultSel,
+                                   plain_bytes_per_tuple);
+    return work;
+  };
+  out.push_back(
+      {"scan-" + exec::variant_name(best_variant), auto_scan_work(rows)});
   out.push_back({"scan-predicated",
                  cost_model_.scan_work(exec::ScanVariant::kPredicated, rows,
-                                       kDefaultSel, bytes_per_tuple)});
+                                       kDefaultSel, plain_bytes_per_tuple)});
   // Zone-map pruned plan: assume pruning to ~2x the selectivity worth of
   // blocks (clustered data prunes far better; this is conservative).
+  // Zone maps compose with the packed images, so the auto pricing applies
+  // at the pruned row count.
   const double pruned_fraction = std::min(1.0, 2 * kDefaultSel);
   out.push_back(
       {"scan-zonemap-pruned",
-       cost_model_.scan_work(best_variant,
-                             static_cast<std::uint64_t>(rows * pruned_fraction),
-                             kDefaultSel, bytes_per_tuple)});
+       auto_scan_work(static_cast<std::uint64_t>(rows * pruned_fraction))});
   if (plan.is_aggregate()) {
     const auto selected = static_cast<std::uint64_t>(rows * kDefaultSel);
     for (opt::PlanCandidate& c : out) {

@@ -66,4 +66,14 @@ void scan_bitmap_masked_double_counted(std::span<const double> values,
                                        BitVector& selection,
                                        MaskedScanStats& stats);
 
+/// Masked conjunctive scan over a bit-packed column image: dead 64-row
+/// selection words are skipped without unpacking anything; live words
+/// unpack one 64-value block and AND the range match into `selection`.
+/// `lo`/`hi` are in the packed (reference-shifted) domain.
+void scan_packed_bitmap_masked_counted(std::span<const std::uint64_t> packed,
+                                       unsigned bits, std::size_t count,
+                                       std::uint64_t lo, std::uint64_t hi,
+                                       BitVector& selection,
+                                       MaskedScanStats& stats);
+
 }  // namespace eidb::exec

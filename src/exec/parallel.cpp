@@ -68,6 +68,19 @@ void parallel_scan_bitmap32(sched::ThreadPool& pool,
                   });
 }
 
+void parallel_scan_packed_bitmap(sched::ThreadPool& pool,
+                                 std::span<const std::uint64_t> packed,
+                                 unsigned bits, std::size_t count,
+                                 std::uint64_t lo, std::uint64_t hi,
+                                 BitVector& out, std::size_t morsel_rows) {
+  EIDB_EXPECTS(out.size() >= count);
+  for_each_morsel(pool, count, morsel_rows,
+                  [&](std::size_t begin, std::size_t end, std::size_t) {
+                    scan_packed_bitmap_range(packed, bits, begin, end, lo,
+                                             hi, out);
+                  });
+}
+
 AggResult parallel_aggregate(sched::ThreadPool& pool,
                              std::span<const std::int64_t> values,
                              const BitVector& selection,

@@ -36,6 +36,16 @@ void parallel_scan_bitmap32(sched::ThreadPool& pool,
                             std::int32_t lo, std::int32_t hi, BitVector& out,
                             std::size_t morsel_rows = kDefaultMorselRows);
 
+/// Parallel range scan over a bit-packed column image (`lo`/`hi` in the
+/// packed, reference-shifted domain): 64-aligned morsels own whole
+/// selection words, so workers write `out` directly.
+void parallel_scan_packed_bitmap(sched::ThreadPool& pool,
+                                 std::span<const std::uint64_t> packed,
+                                 unsigned bits, std::size_t count,
+                                 std::uint64_t lo, std::uint64_t hi,
+                                 BitVector& out,
+                                 std::size_t morsel_rows = kDefaultMorselRows);
+
 /// Parallel aggregation over the selected rows: per-worker partial
 /// accumulators, serial merge (the E4-partitioned scheme).
 [[nodiscard]] AggResult parallel_aggregate(

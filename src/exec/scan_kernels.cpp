@@ -423,66 +423,81 @@ void scan_packed_u32(const std::uint32_t* data, std::size_t count,
 
 }  // namespace
 
-void scan_packed_bitmap(std::span<const std::uint64_t> packed, unsigned bits,
-                        std::size_t count, std::uint64_t lo, std::uint64_t hi,
-                        BitVector& out) {
-  EIDB_EXPECTS(out.size() >= count);
+void scan_packed_bitmap_range(std::span<const std::uint64_t> packed,
+                              unsigned bits, std::size_t value_begin,
+                              std::size_t value_end, std::uint64_t lo,
+                              std::uint64_t hi, BitVector& out) {
+  EIDB_EXPECTS(out.size() >= value_end);
+  EIDB_EXPECTS((value_begin & 63) == 0);
   std::uint64_t* words = out.words();
-  if (count == 0) return;
+  if (value_begin >= value_end) return;
+  // Only the ISA-guarded fast paths consume the range length directly.
+  [[maybe_unused]] const std::size_t range = value_end - value_begin;
 
   // Clamp the predicate into the width's domain.
   const std::uint64_t mask =
       bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
   if (lo > mask) {
     // Nothing representable can match.
-    for (std::size_t w = 0; w * 64 < count; ++w) words[w] = 0;
+    for (std::size_t w = value_begin / 64; w * 64 < value_end; ++w)
+      words[w] = 0;
     return;
   }
   hi = std::min(hi, mask);
 
   // Byte-aligned fast paths: direct unsigned SIMD compare on the packed
-  // image (no unpack).
+  // image (no unpack). The 64-aligned range start keeps the word/pointer
+  // offsets exact for 8/16/32-bit elements.
 #if defined(__AVX512BW__)
   if (bits == 8 && cpu_has_avx512()) {
-    scan_packed_u8(reinterpret_cast<const std::uint8_t*>(packed.data()),
-                   count, static_cast<std::uint8_t>(lo),
-                   static_cast<std::uint8_t>(hi), words);
+    scan_packed_u8(
+        reinterpret_cast<const std::uint8_t*>(packed.data()) + value_begin,
+        range, static_cast<std::uint8_t>(lo), static_cast<std::uint8_t>(hi),
+        words + value_begin / 64);
     return;
   }
   if (bits == 16 && cpu_has_avx512()) {
-    scan_packed_u16(reinterpret_cast<const std::uint16_t*>(packed.data()),
-                    count, static_cast<std::uint16_t>(lo),
-                    static_cast<std::uint16_t>(hi), words);
+    scan_packed_u16(
+        reinterpret_cast<const std::uint16_t*>(packed.data()) + value_begin,
+        range, static_cast<std::uint16_t>(lo),
+        static_cast<std::uint16_t>(hi), words + value_begin / 64);
     return;
   }
 #endif
 #if defined(__AVX512F__)
   if (bits == 32 && cpu_has_avx512()) {
-    scan_packed_u32(reinterpret_cast<const std::uint32_t*>(packed.data()),
-                    count, static_cast<std::uint32_t>(lo),
-                    static_cast<std::uint32_t>(hi), words);
+    scan_packed_u32(
+        reinterpret_cast<const std::uint32_t*>(packed.data()) + value_begin,
+        range, static_cast<std::uint32_t>(lo),
+        static_cast<std::uint32_t>(hi), words + value_begin / 64);
     return;
   }
 #endif
 
   const std::uint64_t width = hi - lo;
-  std::size_t block = 0;
+  std::size_t block = value_begin;
   alignas(64) std::uint64_t buf[64];
-  for (; block + 64 <= count; block += 64) {
+  for (; block + 64 <= value_end; block += 64) {
     storage::bitunpack_block64(packed, bits, block, buf);
     std::uint64_t bv = 0;
     for (unsigned j = 0; j < 64; ++j)
       bv |= static_cast<std::uint64_t>((buf[j] - lo) <= width) << j;
     words[block / 64] = bv;
   }
-  if (block < count) {
+  if (block < value_end) {
     std::uint64_t bv = 0;
-    for (std::size_t j = 0; block + j < count; ++j) {
+    for (std::size_t j = 0; block + j < value_end; ++j) {
       const std::uint64_t v = storage::bitpacked_at(packed, bits, block + j);
       bv |= static_cast<std::uint64_t>((v - lo) <= width) << j;
     }
     words[block / 64] = bv;
   }
+}
+
+void scan_packed_bitmap(std::span<const std::uint64_t> packed, unsigned bits,
+                        std::size_t count, std::uint64_t lo, std::uint64_t hi,
+                        BitVector& out) {
+  scan_packed_bitmap_range(packed, bits, 0, count, lo, hi, out);
 }
 
 // -- dispatch --------------------------------------------------------------------

@@ -94,6 +94,14 @@ void scan_packed_bitmap(std::span<const std::uint64_t> packed, unsigned bits,
                         std::size_t count, std::uint64_t lo, std::uint64_t hi,
                         BitVector& out);
 
+/// Range variant over values [value_begin, value_end): writes only the
+/// selection words covering that range, so 64-aligned chunks can be
+/// scanned by independent workers. `value_begin` must be a multiple of 64.
+void scan_packed_bitmap_range(std::span<const std::uint64_t> packed,
+                              unsigned bits, std::size_t value_begin,
+                              std::size_t value_end, std::uint64_t lo,
+                              std::uint64_t hi, BitVector& out);
+
 // -- Dispatch ------------------------------------------------------------------
 
 /// Best bitmap kernel for this host.

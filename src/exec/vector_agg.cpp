@@ -63,6 +63,47 @@ void acc_word_bits(const T* data, std::size_t base, std::uint64_t bits,
   }
 }
 
+/// Packed-input accumulate: full words unpack one 64-value block into a
+/// stack buffer (the only memory touched is the packed image); partial
+/// words random-access the surviving bits.
+void acc_word_packed(const storage::PackedView& pv, InputAcc& acc,
+                     std::size_t base, std::uint64_t bits, bool full) {
+  if (full) {
+    alignas(64) std::uint64_t buf[64];
+    storage::bitunpack_block64(pv.words, pv.bits, base, buf);
+    std::int64_t s = 0;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+    for (unsigned j = 0; j < 64; ++j) {
+      const std::int64_t v =
+          pv.reference + static_cast<std::int64_t>(buf[j]);
+      s += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    acc.isum += s;
+    acc.imin = std::min(acc.imin, lo);
+    acc.imax = std::max(acc.imax, hi);
+    return;
+  }
+  // Dense partial words amortize one block unpack; sparse ones pay the
+  // cheaper per-bit random access.
+  alignas(64) std::uint64_t buf[64];
+  const bool unpack_block = __builtin_popcountll(bits) >= 16 &&
+                            base + 64 <= pv.count;
+  if (unpack_block) storage::bitunpack_block64(pv.words, pv.bits, base, buf);
+  while (bits != 0) {
+    const auto j = static_cast<std::size_t>(__builtin_ctzll(bits));
+    bits &= bits - 1;
+    const std::int64_t v =
+        unpack_block ? pv.reference + static_cast<std::int64_t>(buf[j])
+                     : pv.value_at(base + j);
+    acc.isum += v;
+    acc.imin = std::min(acc.imin, v);
+    acc.imax = std::max(acc.imax, v);
+  }
+}
+
 void acc_word(const AggInput& in, InputAcc& acc, std::size_t base,
               std::uint64_t bits, bool full) {
   switch (in.kind) {
@@ -83,6 +124,9 @@ void acc_word(const AggInput& in, InputAcc& acc, std::size_t base,
         acc_word_full(in.f64.data(), base, acc.dsum, acc.dmin, acc.dmax);
       else
         acc_word_bits(in.f64.data(), base, bits, acc.dsum, acc.dmin, acc.dmax);
+      break;
+    case AggInput::Kind::kPacked:
+      acc_word_packed(in.packed, acc, base, bits, full);
       break;
   }
 }
@@ -207,11 +251,45 @@ void acc_block_grouped(const T* data, const std::uint32_t* idx,
   }
 }
 
+void acc_block_grouped_packed(const storage::PackedView& pv,
+                              const std::uint32_t* idx,
+                              const std::uint32_t* slot, std::size_t k,
+                              GroupAccum::IntArrays& arrays) {
+  // All idx entries of one call lie in a single 64-value block (they were
+  // extracted from one selection word): dense blocks amortize one
+  // vectorizable unpack, sparse ones use per-bit random access — the
+  // grouped mirror of acc_word_packed.
+  const std::size_t base = k > 0 ? (idx[0] / 64) * 64 : 0;
+  alignas(64) std::uint64_t buf[64];
+  const bool unpack_block = k >= 16 && base + 64 <= pv.count;
+  if (unpack_block) storage::bitunpack_block64(pv.words, pv.bits, base, buf);
+  for (std::size_t e = 0; e < k; ++e) {
+    const std::int64_t v =
+        unpack_block
+            ? pv.reference + static_cast<std::int64_t>(buf[idx[e] - base])
+            : pv.value_at(idx[e]);
+    const std::uint32_t s = slot[e];
+    arrays.sum[s] += v;
+    arrays.mn[s] = std::min(arrays.mn[s], v);
+    arrays.mx[s] = std::max(arrays.mx[s], v);
+  }
+}
+
+/// Readonly key accessor over a bit-packed column image, shaped like the
+/// span the templated grouped kernels expect (operator[] + size()).
+struct PackedKeys {
+  storage::PackedView view;
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const {
+    return view.value_at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return view.count; }
+};
+
 /// Core grouped pass, templated over key width. `resolve` maps a key to a
 /// dense slot id (identity-offset for the dense strategy, hash lookup
 /// otherwise). Processes selection words [word_begin, word_end).
-template <typename K, typename Resolve>
-void grouped_acc_range(std::span<const K> keys,
+template <typename Keys, typename Resolve>
+void grouped_acc_range(const Keys& keys,
                        std::span<const AggInput> inputs,
                        const BitVector& selection, std::size_t word_begin,
                        std::size_t word_end, Resolve&& resolve,
@@ -246,6 +324,9 @@ void grouped_acc_range(std::span<const K> keys,
         case AggInput::Kind::kDouble:
           acc_block_grouped(in.f64.data(), idx, slot, k, acc.darr[j]);
           break;
+        case AggInput::Kind::kPacked:
+          acc_block_grouped_packed(in.packed, idx, slot, k, acc.iarr[j]);
+          break;
       }
     }
   }
@@ -253,9 +334,8 @@ void grouped_acc_range(std::span<const K> keys,
 
 /// Key min/max over the selected rows (fallback when the caller has no
 /// cached statistics).
-template <typename K>
-KeyRange selected_key_range(std::span<const K> keys,
-                            const BitVector& selection) {
+template <typename Keys>
+KeyRange selected_key_range(const Keys& keys, const BitVector& selection) {
   KeyRange r;
   std::int64_t mn = std::numeric_limits<std::int64_t>::max();
   std::int64_t mx = std::numeric_limits<std::int64_t>::min();
@@ -308,8 +388,8 @@ GroupedAggs emit_groups(std::span<const AggInput> inputs,
   return out;
 }
 
-template <typename K>
-GroupedAggs grouped_impl(std::span<const K> keys,
+template <typename Keys>
+GroupedAggs grouped_impl(const Keys& keys,
                          std::span<const AggInput> inputs,
                          const BitVector& selection, KeyRange range,
                          GroupStrategy strategy, std::size_t word_begin,
@@ -406,9 +486,9 @@ void merge_grouped(std::span<const AggInput> inputs, const GroupedAggs& part,
   }
 }
 
-template <typename K>
+template <typename Keys>
 GroupedAggs parallel_grouped_impl(sched::ThreadPool& pool,
-                                  std::span<const K> keys,
+                                  const Keys& keys,
                                   std::span<const AggInput> inputs,
                                   const BitVector& selection, KeyRange range,
                                   std::size_t morsel_rows) {
@@ -540,6 +620,25 @@ GroupedAggs parallel_grouped_multi_aggregate32(
     KeyRange range, std::size_t morsel_rows) {
   return parallel_grouped_impl(pool, keys, inputs, selection, range,
                                morsel_rows);
+}
+
+GroupedAggs grouped_multi_aggregate_packed(const storage::PackedView& keys,
+                                           std::span<const AggInput> inputs,
+                                           const BitVector& selection,
+                                           KeyRange range,
+                                           GroupStrategy strategy) {
+  EIDB_EXPECTS(selection.size() >= keys.count);
+  check_input_sizes(inputs, selection);
+  return grouped_impl(PackedKeys{keys}, inputs, selection, range, strategy,
+                      0, (keys.count + 63) / 64);
+}
+
+GroupedAggs parallel_grouped_multi_aggregate_packed(
+    sched::ThreadPool& pool, const storage::PackedView& keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range, std::size_t morsel_rows) {
+  return parallel_grouped_impl(pool, PackedKeys{keys}, inputs, selection,
+                               range, morsel_rows);
 }
 
 }  // namespace eidb::exec

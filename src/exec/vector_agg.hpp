@@ -24,18 +24,23 @@
 
 #include "exec/aggregate.hpp"
 #include "exec/parallel.hpp"
+#include "storage/bitpack.hpp"
 #include "util/bitvector.hpp"
 
 namespace eidb::exec {
 
 /// A typed view of one aggregate input column. int32 (and dictionary-code)
-/// inputs are consumed directly — no widened int64 copy.
+/// inputs are consumed directly — no widened int64 copy. kPacked inputs
+/// are bit-packed column images (storage::PackedView): full selection
+/// words unpack one 64-value block into registers/stack, so the DRAM
+/// traffic of the pass is the packed bytes, not the plain width.
 struct AggInput {
-  enum class Kind : std::uint8_t { kInt32, kInt64, kDouble };
+  enum class Kind : std::uint8_t { kInt32, kInt64, kDouble, kPacked };
   Kind kind = Kind::kInt64;
   std::span<const std::int32_t> i32;
   std::span<const std::int64_t> i64;
   std::span<const double> f64;
+  storage::PackedView packed;
 
   static AggInput from(std::span<const std::int32_t> v) {
     AggInput in;
@@ -55,6 +60,12 @@ struct AggInput {
     in.f64 = v;
     return in;
   }
+  static AggInput from(storage::PackedView v) {
+    AggInput in;
+    in.kind = Kind::kPacked;
+    in.packed = v;
+    return in;
+  }
 
   [[nodiscard]] bool is_double() const { return kind == Kind::kDouble; }
   [[nodiscard]] std::size_t size() const {
@@ -65,6 +76,8 @@ struct AggInput {
         return i64.size();
       case Kind::kDouble:
         return f64.size();
+      case Kind::kPacked:
+        return packed.count;
     }
     return 0;
   }
@@ -136,6 +149,19 @@ struct GroupedAggs {
 
 [[nodiscard]] GroupedAggs parallel_grouped_multi_aggregate32(
     sched::ThreadPool& pool, std::span<const std::int32_t> keys,
+    std::span<const AggInput> inputs, const BitVector& selection,
+    KeyRange range = {}, std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Bit-packed key column, decoded per selected row (reference + packed
+/// value): the key column's DRAM traffic is its packed image. Output keys
+/// are the decoded values, exactly as the plain-key overloads produce.
+[[nodiscard]] GroupedAggs grouped_multi_aggregate_packed(
+    const storage::PackedView& keys, std::span<const AggInput> inputs,
+    const BitVector& selection, KeyRange range = {},
+    GroupStrategy strategy = GroupStrategy::kAuto);
+
+[[nodiscard]] GroupedAggs parallel_grouped_multi_aggregate_packed(
+    sched::ThreadPool& pool, const storage::PackedView& keys,
     std::span<const AggInput> inputs, const BitVector& selection,
     KeyRange range = {}, std::size_t morsel_rows = kDefaultMorselRows);
 

@@ -55,6 +55,37 @@ ExchangeEstimate CompressionAdvisor::estimate(const CodecProfile& profile,
   return e;
 }
 
+CompressionAdvisor::StorageAdvice CompressionAdvisor::advise_storage(
+    const storage::ColumnStats& stats, storage::TypeId type,
+    const CostModel& model, Objective objective,
+    bool packed_kernel_available) const {
+  StorageAdvice advice;
+  const auto plain_bits =
+      static_cast<unsigned>(storage::physical_size(type)) * 8;
+  advice.bits = plain_bits;
+  unsigned bits = 0;
+  advice.encoding = storage::choose_encoding(stats, type, &bits);
+  if (advice.encoding == storage::Encoding::kPlain) return advice;
+  advice.bits = bits;
+
+  // One decision procedure for both objectives: the model picks the arm
+  // under modeled energy or roofline time.
+  const double plain_bytes = static_cast<double>(storage::physical_size(type));
+  advice.scan_arm = model.pick_storage_arm(machine_, stats.rows, bits,
+                                           plain_bytes,
+                                           packed_kernel_available,
+                                           objective == Objective::kTime);
+  if (advice.scan_arm == StorageArm::kPlainScan) {
+    advice.scan_ratio = 1.0;
+  } else {
+    const double packed_bytes = static_cast<double>(bits) / 8.0;
+    advice.scan_ratio = packed_bytes > 0
+                            ? plain_bytes / packed_bytes
+                            : static_cast<double>(stats.rows) * plain_bytes;
+  }
+  return advice;
+}
+
 ExchangeEstimate CompressionAdvisor::advise(
     std::span<const std::int64_t> payload, std::uint64_t total_values,
     const hw::LinkSpec& link, const hw::DvfsState& state,

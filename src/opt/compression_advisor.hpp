@@ -15,6 +15,8 @@
 
 #include "hw/interconnect.hpp"
 #include "hw/machine.hpp"
+#include "opt/cost_model.hpp"
+#include "storage/column.hpp"
 #include "storage/int_codec.hpp"
 
 namespace eidb::opt {
@@ -61,6 +63,24 @@ class CompressionAdvisor {
                                         const hw::LinkSpec& link,
                                         const hw::DvfsState& state,
                                         Objective objective) const;
+
+  /// Storage-side advice for a resident column (the E2 decision turned
+  /// inward): which physical encoding to keep it in, how much the packed
+  /// image shrinks the scan traffic, and how a scan should consume it.
+  struct StorageAdvice {
+    storage::Encoding encoding = storage::Encoding::kPlain;
+    unsigned bits = 0;        ///< Packed width (plain width when kPlain).
+    double scan_ratio = 1.0;  ///< plain scan bytes / advised scan bytes.
+    StorageArm scan_arm = StorageArm::kPlainScan;
+  };
+
+  /// Advises from cached column statistics; `packed_kernel_available`
+  /// mirrors whether the consuming operator has a packed kernel (the
+  /// executor's predicate/aggregate paths do; joins and sorts do not).
+  [[nodiscard]] StorageAdvice advise_storage(
+      const storage::ColumnStats& stats, storage::TypeId type,
+      const CostModel& model, Objective objective,
+      bool packed_kernel_available = true) const;
 
  private:
   hw::MachineSpec machine_;

@@ -99,6 +99,60 @@ hw::Work CostModel::join_work(std::uint64_t build_rows,
           bytes_per_tuple * static_cast<double>(build_rows + probe_rows)};
 }
 
+std::string storage_arm_name(StorageArm arm) {
+  switch (arm) {
+    case StorageArm::kPlainScan:
+      return "plain-scan";
+    case StorageArm::kPackedScan:
+      return "packed-scan";
+    case StorageArm::kDecodeThenScan:
+      return "decode-then-scan";
+  }
+  return "?";
+}
+
+hw::Work CostModel::storage_scan_work(StorageArm arm, std::uint64_t rows,
+                                      unsigned bits,
+                                      double plain_bytes) const {
+  const double n = static_cast<double>(rows);
+  const double packed_bytes_per_tuple = static_cast<double>(bits) / 8.0;
+  switch (arm) {
+    case StorageArm::kPlainScan:
+      return {costs_.avx2 * n, plain_bytes * n};
+    case StorageArm::kPackedScan: {
+      const bool aligned = bits == 8 || bits == 16 || bits == 32;
+      const double cpt =
+          aligned ? costs_.packed_scan_aligned : costs_.packed_scan_unaligned;
+      return {cpt * n, packed_bytes_per_tuple * n};
+    }
+    case StorageArm::kDecodeThenScan:
+      // Unpack into scratch (read packed, write plain-width scratch), then
+      // a plain kernel over the scratch — three byte streams total.
+      return {(costs_.transient_decode_per_tuple + costs_.avx2) * n,
+              (packed_bytes_per_tuple + 2.0 * plain_bytes) * n};
+  }
+  return {};
+}
+
+StorageArm CostModel::pick_storage_arm(const hw::MachineSpec& machine,
+                                       std::uint64_t rows, unsigned bits,
+                                       double plain_bytes,
+                                       bool packed_kernel_available,
+                                       bool by_time) const {
+  const hw::DvfsState state = machine.dvfs.fastest();
+  const auto cost = [&](StorageArm arm) {
+    const hw::Work w = storage_scan_work(arm, rows, bits, plain_bytes);
+    return by_time ? machine.exec_time_s(w, state)
+                   : machine.energy_j(w, state);
+  };
+  const StorageArm candidate = packed_kernel_available
+                                   ? StorageArm::kPackedScan
+                                   : StorageArm::kDecodeThenScan;
+  return cost(candidate) <= cost(StorageArm::kPlainScan)
+             ? candidate
+             : StorageArm::kPlainScan;
+}
+
 namespace {
 
 /// Measures cycles/tuple of one kernel invocation via wall time and the

@@ -9,12 +9,22 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "exec/scan_kernels.hpp"
 #include "hw/machine.hpp"
 #include "storage/column.hpp"
 
 namespace eidb::opt {
+
+/// How a scan consumes a column that has a bit-packed image.
+enum class StorageArm : std::uint8_t {
+  kPlainScan,       ///< read the plain array (or no image exists)
+  kPackedScan,      ///< evaluate directly on the packed image
+  kDecodeThenScan,  ///< transient decode into scratch, then plain kernels
+};
+
+[[nodiscard]] std::string storage_arm_name(StorageArm arm);
 
 /// Cycles-per-tuple parameters for each kernel family.
 struct KernelCosts {
@@ -32,6 +42,10 @@ struct KernelCosts {
   double join_build_per_tuple = 12.0;
   double join_probe_per_tuple = 10.0;
   double materialize_per_value = 20.0;
+  // Storage-side (compressed-segment) scan arms.
+  double packed_scan_aligned = 0.35;    ///< byte-aligned widths: direct SIMD
+  double packed_scan_unaligned = 2.2;   ///< odd widths: block unpack + compare
+  double transient_decode_per_tuple = 1.6;  ///< bitunpack into scratch
 };
 
 class CostModel {
@@ -91,6 +105,25 @@ class CostModel {
   [[nodiscard]] hw::Work join_work(std::uint64_t build_rows,
                                    std::uint64_t probe_rows,
                                    double bytes_per_tuple) const;
+
+  /// Work of scanning `rows` tuples of a column bit-packed at `bits` via
+  /// `arm` (plain width `plain_bytes` per tuple). kPackedScan touches only
+  /// the packed bytes; kDecodeThenScan pays the unpack cycles *and* both
+  /// byte streams (the packed read plus the scratch write-back).
+  [[nodiscard]] hw::Work storage_scan_work(StorageArm arm, std::uint64_t rows,
+                                           unsigned bits,
+                                           double plain_bytes) const;
+
+  /// Storage arm minimizing modeled energy (or roofline time, when
+  /// `by_time`) on `machine` for one scan — the executor's fallback
+  /// policy in model form: scan-on-packed when a packed kernel exists for
+  /// the operator, else whichever of transient decode and plain is
+  /// predicted cheaper.
+  [[nodiscard]] StorageArm pick_storage_arm(const hw::MachineSpec& machine,
+                                            std::uint64_t rows, unsigned bits,
+                                            double plain_bytes,
+                                            bool packed_kernel_available,
+                                            bool by_time = false) const;
 
  private:
   KernelCosts costs_;

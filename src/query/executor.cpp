@@ -67,7 +67,32 @@ exec::AggInput agg_input_of(const Column& c) {
   throw Error("invalid column type");
 }
 
+/// Integer predicate bounds rewritten into a packed image's reference-
+/// shifted domain. Precondition: [lo, hi] overlaps the column's
+/// [min, max] (prune_with_stats resolved disjoint/covering predicates),
+/// so hi >= reference and the unsigned shift is exact.
+struct PackedBounds {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+PackedBounds packed_bounds(const storage::EncodedSegment& seg,
+                           std::int64_t lo, std::int64_t hi) {
+  const auto ref = static_cast<std::uint64_t>(seg.reference);
+  return {lo <= seg.reference ? 0 : static_cast<std::uint64_t>(lo) - ref,
+          static_cast<std::uint64_t>(hi) - ref};
+}
+
 }  // namespace
+
+bool Executor::use_packed(const Column& column, const ExecOptions& options) {
+  // The byte-size guard keeps the dram(packed) <= dram(plain) ledger
+  // invariant unconditional: a forced encoding whose word-rounded image
+  // exceeds the plain array (tiny column, near-full width) is simply not
+  // consumed — the executor reads plain instead of charging more.
+  return options.use_encodings && column.encoded() != nullptr &&
+         column.type() != TypeId::kDouble &&
+         column.scan_byte_size() <= column.byte_size();
+}
 
 Executor::BoundRange Executor::bind_predicate(const Column& column,
                                               const Predicate& p) {
@@ -127,8 +152,20 @@ bool Executor::prune_with_stats(const Column& column, const BoundRange& r,
 
 void Executor::charge_column_access(const std::string& table,
                                     const Column& column, ExecStats& stats,
-                                    const ExecOptions& options) const {
-  stats.work.dram_bytes += static_cast<double>(column.byte_size());
+                                    const ExecOptions& options,
+                                    bool packed) const {
+  if (packed) {
+    // The scan streams the packed image: that byte count — not the plain
+    // width — is the query's real DRAM traffic, and it is what the energy
+    // model and the admission controller's settlement see.
+    const double bytes = static_cast<double>(column.scan_byte_size());
+    stats.work.dram_bytes += bytes;
+    ++stats.packed_column_reads;
+    stats.dram_bytes_saved +=
+        static_cast<double>(column.byte_size()) - bytes;
+  } else {
+    stats.work.dram_bytes += static_cast<double>(column.byte_size());
+  }
   if (options.tiers != nullptr) {
     const auto penalty = options.tiers->access(table, column.name());
     stats.cold_tier_time_s += penalty.time_s;
@@ -150,13 +187,55 @@ void Executor::apply_predicate(const Table& table, const Predicate& p,
   if (prune_with_stats(column, r, selection)) return;
 
   const std::size_t n = column.size();
+  if (n == 0) return;
   stats.tuples_scanned += n;
   stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(n);
-  charge_column_access(table.name(), column, stats, options);
+  // Packed consumption: kAuto scans only — explicit variant choices (the
+  // E3 bench) must measure exactly the requested plain kernel.
+  const bool packed = !r.is_double &&
+                      options.scan_variant == exec::ScanVariant::kAuto &&
+                      use_packed(column, options);
+  charge_column_access(table.name(), column, stats, options, packed);
 
   BitVector match(n);
   if (r.is_double) {
     exec::scan_bitmap_double(column.double_data(), r.dlo, r.dhi, match);
+  } else if (packed) {
+    const storage::EncodedSegment& seg = *column.encoded();
+    const auto pb = packed_bounds(seg, r.lo, r.hi);
+    if (options.use_zone_maps) {
+      // Zone-map pruning composes with the packed image: candidate ranges
+      // are widened to 64-value blocks and run through the block scan
+      // kernel. Widening is sound — a row outside every candidate range
+      // cannot match the predicate (its block's [min, max] excludes it),
+      // so the extra evaluated rows contribute no bits — and overlapping
+      // widened ranges rewrite identical words. Only the visited fraction
+      // of the *packed* bytes stays charged.
+      const storage::ZoneMap& zm = table.zone_map(
+          table.schema().index_of(p.column), options.zone_block_rows);
+      const auto ranges = zm.candidate_ranges(r.lo, r.hi, n);
+      std::size_t touched = 0;
+      for (const auto& range : ranges) {
+        touched += range.end - range.begin;
+        const std::size_t b = range.begin & ~std::size_t{63};
+        const std::size_t e = std::min(n, (range.end + 63) & ~std::size_t{63});
+        exec::scan_packed_bitmap_range(seg.words, seg.bits, b, e, pb.lo,
+                                       pb.hi, match);
+      }
+      const double skipped = static_cast<double>(n - touched);
+      const double packed_bpt =
+          static_cast<double>(seg.byte_size()) / static_cast<double>(n);
+      const double plain_bpt =
+          static_cast<double>(storage::physical_size(column.type()));
+      stats.work.cpu_cycles -= kScanCyclesPerTuple * skipped;
+      stats.work.dram_bytes -= skipped * packed_bpt;
+      stats.dram_bytes_saved -= skipped * (plain_bpt - packed_bpt);
+    } else if (options.pool != nullptr) {
+      exec::parallel_scan_packed_bitmap(*options.pool, seg.words, seg.bits,
+                                        n, pb.lo, pb.hi, match);
+    } else {
+      exec::scan_packed_bitmap(seg.words, seg.bits, n, pb.lo, pb.hi, match);
+    }
   } else if (options.use_zone_maps && column.type() != TypeId::kDouble) {
     // Pruned scan: only candidate blocks are touched. The zone map itself
     // is built once per (table, column) and cached. Work is re-estimated
@@ -256,39 +335,57 @@ void Executor::apply_predicate_masked(const Table& table, const Predicate& p,
   }
   if (prune_with_stats(column, r, selection)) return;
 
+  const bool packed = !r.is_double && use_packed(column, options);
   exec::MaskedScanStats ms;
-  switch (column.type()) {
-    case TypeId::kInt64:
-      exec::scan_bitmap_masked64_counted(column.int64_data(), r.lo, r.hi,
-                                         selection, ms);
-      break;
-    case TypeId::kInt32:
-    case TypeId::kString: {
-      const auto lo = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-          r.lo, std::numeric_limits<std::int32_t>::min(),
-          std::numeric_limits<std::int32_t>::max()));
-      const auto hi = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-          r.hi, std::numeric_limits<std::int32_t>::min(),
-          std::numeric_limits<std::int32_t>::max()));
-      exec::scan_bitmap_masked32_counted(column.int32_data(), lo, hi,
-                                         selection, ms);
-      break;
+  if (packed) {
+    const storage::EncodedSegment& seg = *column.encoded();
+    const auto pb = packed_bounds(seg, r.lo, r.hi);
+    exec::scan_packed_bitmap_masked_counted(seg.words, seg.bits,
+                                            column.size(), pb.lo, pb.hi,
+                                            selection, ms);
+  } else {
+    switch (column.type()) {
+      case TypeId::kInt64:
+        exec::scan_bitmap_masked64_counted(column.int64_data(), r.lo, r.hi,
+                                           selection, ms);
+        break;
+      case TypeId::kInt32:
+      case TypeId::kString: {
+        const auto lo = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            r.lo, std::numeric_limits<std::int32_t>::min(),
+            std::numeric_limits<std::int32_t>::max()));
+        const auto hi = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            r.hi, std::numeric_limits<std::int32_t>::min(),
+            std::numeric_limits<std::int32_t>::max()));
+        exec::scan_bitmap_masked32_counted(column.int32_data(), lo, hi,
+                                           selection, ms);
+        break;
+      }
+      case TypeId::kDouble:
+        exec::scan_bitmap_masked_double_counted(column.double_data(), r.dlo,
+                                                r.dhi, selection, ms);
+        break;
     }
-    case TypeId::kDouble:
-      exec::scan_bitmap_masked_double_counted(column.double_data(), r.dlo,
-                                              r.dhi, selection, ms);
-      break;
   }
   // Charge only what was visited: dead 64-row blocks cost neither cycles
   // nor DRAM traffic — this is where ordering predicates most-selective-
-  // first saves joules.
+  // first saves joules. Packed reads charge the packed bytes per tuple.
   const std::size_t visited = std::min(
       column.size(),
       static_cast<std::size_t>(ms.words_total - ms.words_skipped) * 64);
+  const double plain_bpt =
+      static_cast<double>(storage::physical_size(column.type()));
+  double bytes_per_tuple = plain_bpt;
+  if (packed && column.size() > 0) {
+    bytes_per_tuple = static_cast<double>(column.scan_byte_size()) /
+                      static_cast<double>(column.size());
+    ++stats.packed_column_reads;
+    stats.dram_bytes_saved +=
+        static_cast<double>(visited) * (plain_bpt - bytes_per_tuple);
+  }
   stats.tuples_scanned += visited;
   stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(visited);
-  stats.work.dram_bytes += static_cast<double>(visited) *
-                           storage::physical_size(column.type());
+  stats.work.dram_bytes += static_cast<double>(visited) * bytes_per_tuple;
   if (options.tiers != nullptr) {
     const auto penalty = options.tiers->access(table.name(), column.name());
     stats.cold_tier_time_s += penalty.time_s;
@@ -483,9 +580,36 @@ QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
   // expression) becomes ONE kernel input, read exactly once, and is
   // charged to the DRAM ledger exactly once. ------------------------------
   std::set<std::string> charged;
-  const auto charge_once = [&](const Column& c) {
+  const auto charge_once = [&](const Column& c, bool packed) {
     if (charged.insert(c.name()).second)
-      charge_column_access(table.name(), c, stats, options);
+      charge_column_access(table.name(), c, stats, options, packed);
+  };
+  // One representation per column per query: consumers with no packed
+  // kernel (expression evaluation, composite-key synthesis) read the
+  // plain array, so a column any of them touches is consumed plain by
+  // every consumer — otherwise the once-per-query charge could not match
+  // what the pass actually streams.
+  std::set<std::string> plain_required;
+  for (const AggSpec& a : plan.aggregates) {
+    if (a.expr == nullptr) continue;
+    std::vector<std::string> referenced;
+    a.expr->collect_columns(referenced);
+    plain_required.insert(referenced.begin(), referenced.end());
+  }
+  if (plan.group_by.size() > 1)
+    plain_required.insert(plan.group_by.begin(), plan.group_by.end());
+  const auto consume_packed = [&](const Column& c) {
+    return use_packed(c, options) && plain_required.count(c.name()) == 0;
+  };
+  // Aggregate inputs consume the packed image when one exists: the pass
+  // streams fewer DRAM bytes, and the ledger charges exactly those.
+  const auto input_of = [&](const Column& c) {
+    if (consume_packed(c)) {
+      charge_once(c, true);
+      return exec::AggInput::from(c.packed_view());
+    }
+    charge_once(c, false);
+    return agg_input_of(c);
   };
 
   std::vector<exec::AggInput> inputs;
@@ -501,8 +625,10 @@ QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
       if (it == input_index.end()) {
         std::vector<std::string> referenced;
         a.expr->collect_columns(referenced);
+        // Expression evaluation reads the plain arrays (no packed kernel)
+        // — the transient-decode fallback arm.
         for (const std::string& name : referenced)
-          charge_once(table.column(name));
+          charge_once(table.column(name), false);
         expr_values.emplace_back();
         exec::evaluate_expression(*a.expr, table, expr_values.back());
         input_index[key] = inputs.size();
@@ -516,10 +642,9 @@ QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
       const auto it = input_index.find(a.column);
       if (it == input_index.end()) {
         const Column& c = table.column(a.column);
-        charge_once(c);
         input_index[a.column] = inputs.size();
         spec_input[ai] = static_cast<int>(inputs.size());
-        inputs.push_back(agg_input_of(c));
+        inputs.push_back(input_of(c));
       } else {
         spec_input[ai] = static_cast<int>(it->second);
       }
@@ -570,9 +695,11 @@ QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
   };
   std::vector<GroupKeyPart> parts;
   const std::size_t n_rows = table.row_count();
+  // Composite keys are in plain_required (synthesized from the plain
+  // arrays); a single packed key column is consumed in place.
   for (const std::string& name : plan.group_by) {
     const Column& col = table.column(name);
-    charge_once(col);
+    charge_once(col, consume_packed(col));
     if (col.type() == TypeId::kDouble)
       throw Error("cannot group by double column " + col.name());
     const storage::ColumnStats& cs = col.stats();
@@ -588,10 +715,18 @@ QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
   exec::GroupedAggs grouped;
   const bool composite = parts.size() > 1;
   if (!composite) {
-    // Single key column consumed in place (int32/codes stay 32-bit).
+    // Single key column consumed in place (int32/codes stay 32-bit;
+    // encoded keys stay packed and decode per selected row).
     const GroupKeyPart& part = parts.front();
     const exec::KeyRange range{true, part.min, part.max, part.distinct};
-    if (part.col->type() == TypeId::kInt64) {
+    if (consume_packed(*part.col)) {
+      const storage::PackedView keys = part.col->packed_view();
+      grouped = parallel
+                    ? exec::parallel_grouped_multi_aggregate_packed(
+                          *options.pool, keys, inputs, selection, range)
+                    : exec::grouped_multi_aggregate_packed(keys, inputs,
+                                                           selection, range);
+    } else if (part.col->type() == TypeId::kInt64) {
       const auto keys = part.col->int64_data();
       grouped = parallel
                     ? exec::parallel_grouped_multi_aggregate(

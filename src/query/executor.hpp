@@ -55,6 +55,13 @@ struct ExecOptions {
   /// predicates with masked kernels that skip dead 64-row blocks
   /// (kAuto scans only, like the parallel path).
   bool order_predicates = true;
+  /// Consume bit-packed column images where one exists (kAuto scans and
+  /// vectorized aggregation): predicates are rewritten into the packed
+  /// domain and the DRAM ledger is charged the packed byte count. Off =
+  /// always read the plain arrays (the parity baseline). Operators with
+  /// no packed kernel (joins, sorts, projections, expression evaluation,
+  /// explicit scan variants) transparently fall back to plain either way.
+  bool use_encodings = true;
   /// Minimum selected rows before aggregation goes morsel-parallel on
   /// `pool` (below this the dispatch overhead dominates).
   std::size_t parallel_agg_min_rows = 1u << 18;
@@ -109,9 +116,17 @@ class Executor {
   void apply_predicate_masked(const storage::Table& table, const Predicate& p,
                               BitVector& selection, ExecStats& stats,
                               const ExecOptions& options);
+  /// True when scans/aggregates over `column` should consume its packed
+  /// image under `options` (encoded, integer-typed, encodings enabled).
+  [[nodiscard]] static bool use_packed(const storage::Column& column,
+                                       const ExecOptions& options);
+  /// Charges one sequential read of `column` to the DRAM lane: the packed
+  /// image size when `packed`, the plain array size otherwise. Each
+  /// column is charged at most once per query by the aggregate path.
   void charge_column_access(const std::string& table,
                             const storage::Column& column, ExecStats& stats,
-                            const ExecOptions& options) const;
+                            const ExecOptions& options,
+                            bool packed = false) const;
 
   [[nodiscard]] QueryResult run_aggregate(const LogicalPlan& plan,
                                           const storage::Table& table,

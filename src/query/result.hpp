@@ -49,6 +49,13 @@ struct ExecStats {
   std::uint64_t groups = 0;
   std::uint64_t join_pairs = 0;
   hw::Work work;               ///< Estimated cycles + DRAM traffic.
+  /// Column reads served from a bit-packed image (scan/aggregate inputs);
+  /// their DRAM bytes are charged at the packed size.
+  std::uint64_t packed_column_reads = 0;
+  /// Bytes the packed reads saved versus reading the plain arrays —
+  /// work.dram_bytes + dram_bytes_saved is what the plain path would have
+  /// charged for the same reads.
+  double dram_bytes_saved = 0;
   double elapsed_s = 0;        ///< Measured wall time of execution.
   double cold_tier_time_s = 0; ///< Simulated cold-tier penalty (E6).
   double cold_tier_energy_j = 0;

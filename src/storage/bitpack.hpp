@@ -39,4 +39,37 @@ void bitunpack_block64(std::span<const std::uint64_t> packed, unsigned bits,
 [[nodiscard]] std::uint64_t bitpacked_at(std::span<const std::uint64_t> packed,
                                          unsigned bits, std::size_t index);
 
+/// Minimum width able to represent every value in [0, width] (0 when the
+/// domain is a single value). The encoding-choice counterpart of min_bits
+/// that works from cached statistics instead of a data pass.
+[[nodiscard]] constexpr unsigned bits_for_width(std::uint64_t width) {
+  unsigned bits = 0;
+  while (width != 0) {
+    ++bits;
+    width >>= 1;
+  }
+  return bits;
+}
+
+/// Non-owning view of a frame-of-reference bit-packed integer sequence:
+/// decoded value i = reference + packed[i]. This is the unit the packed
+/// scan and aggregation kernels consume — it carries everything needed to
+/// evaluate predicates and accumulate sums without materializing the
+/// plain array.
+struct PackedView {
+  std::span<const std::uint64_t> words;
+  unsigned bits = 0;
+  std::int64_t reference = 0;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::size_t byte_size() const {
+    return words.size() * sizeof(std::uint64_t);
+  }
+  /// Decoded value at row `i` (modular arithmetic, exact for any domain).
+  [[nodiscard]] std::int64_t value_at(std::size_t i) const {
+    return reference +
+           static_cast<std::int64_t>(bitpacked_at(words, bits, i));
+  }
+};
+
 }  // namespace eidb::storage

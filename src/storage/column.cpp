@@ -50,6 +50,71 @@ std::uint64_t estimate_distinct(std::span<const T> values) {
 
 }  // namespace
 
+std::string encoding_name(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kBitPacked:
+      return "bitpacked";
+    case Encoding::kForBitPacked:
+      return "for-bitpacked";
+  }
+  return "?";
+}
+
+unsigned packed_width(const ColumnStats& stats, TypeId type,
+                      Encoding encoding) {
+  // Widths from the cached statistics; unsigned arithmetic survives
+  // hash-like int64 spreads that overflow the signed domain() helper.
+  switch (encoding) {
+    case Encoding::kPlain:
+      return static_cast<unsigned>(physical_size(type)) * 8;
+    case Encoding::kBitPacked:
+      return stats.rows == 0
+                 ? 0
+                 : bits_for_width(static_cast<std::uint64_t>(stats.max));
+    case Encoding::kForBitPacked:
+      return stats.rows == 0
+                 ? 0
+                 : bits_for_width(static_cast<std::uint64_t>(stats.max) -
+                                  static_cast<std::uint64_t>(stats.min));
+  }
+  return 0;
+}
+
+Encoding choose_encoding(const ColumnStats& stats, TypeId type,
+                         unsigned* bits_out) {
+  if (type == TypeId::kDouble) return Encoding::kPlain;
+  if (stats.rows == 0) return Encoding::kPlain;  // nothing to save
+  const unsigned plain_bits = packed_width(stats, type, Encoding::kPlain);
+  const unsigned for_bits =
+      packed_width(stats, type, Encoding::kForBitPacked);
+  const unsigned raw_bits =
+      stats.min >= 0 ? packed_width(stats, type, Encoding::kBitPacked)
+                     : plain_bits;  // negative domain: inapplicable
+  // Prefer the reference-free layout when FOR saves nothing on top of it
+  // (covers the all-zero column: raw_bits == for_bits == 0).
+  Encoding chosen;
+  unsigned bits;
+  if (stats.min >= 0 && raw_bits <= for_bits) {
+    chosen = Encoding::kBitPacked;
+    bits = raw_bits;
+  } else {
+    chosen = Encoding::kForBitPacked;
+    bits = for_bits;
+  }
+  // Compare materialized byte sizes, not per-value widths: the packed
+  // image rounds up to whole 64-bit words, which can exceed the plain
+  // array for tiny columns at near-full widths — and the dram(packed) <=
+  // dram(plain) ledger invariant must hold for every encoded column.
+  if (bits >= plain_bits ||
+      packed_word_count(stats.rows, bits) * sizeof(std::uint64_t) >=
+          stats.rows * physical_size(type))
+    return Encoding::kPlain;  // no traffic saving
+  if (bits_out != nullptr) *bits_out = bits;
+  return chosen;
+}
+
 double ColumnStats::range_selectivity(std::int64_t lo, std::int64_t hi) const {
   if (rows == 0) return 0.0;
   if (hi < lo || hi < min || lo > max) return 0.0;
@@ -87,6 +152,7 @@ void Column::append_raw(T v) {
   data_.as_span<T>()[count_] = v;
   ++count_;
   stats_.reset();  // appended data invalidates cached statistics
+  segment_.reset();  // ... and any packed image built from them
 }
 
 void Column::append_int32(std::int32_t v) {
@@ -188,18 +254,21 @@ Value Column::value_at(std::size_t i) const {
 std::span<std::int32_t> Column::mutable_int32() {
   EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
   stats_.reset();
+  segment_.reset();
   return data_.as_span<std::int32_t>().subspan(0, count_);
 }
 
 std::span<std::int64_t> Column::mutable_int64() {
   EIDB_EXPECTS(type_ == TypeId::kInt64);
   stats_.reset();
+  segment_.reset();
   return data_.as_span<std::int64_t>().subspan(0, count_);
 }
 
 std::span<double> Column::mutable_double() {
   EIDB_EXPECTS(type_ == TypeId::kDouble);
   stats_.reset();
+  segment_.reset();
   return data_.as_span<double>().subspan(0, count_);
 }
 
@@ -246,6 +315,69 @@ const ColumnStats& Column::stats() const {
     stats_ = std::move(s);
   }
   return *stats_;
+}
+
+PackedView Column::packed_view() const {
+  EIDB_EXPECTS(segment_ != nullptr);
+  return segment_->view();
+}
+
+Encoding Column::choose_encoding() const {
+  return eidb::storage::choose_encoding(stats(), type_);
+}
+
+void Column::build_segment(Encoding e) {
+  if (e == Encoding::kPlain) {
+    segment_.reset();
+    return;
+  }
+  if (type_ == TypeId::kDouble)
+    throw Error("cannot encode double column " + name_);
+  const ColumnStats& s = stats();
+  auto seg = std::make_shared<EncodedSegment>();
+  seg->encoding = e;
+  seg->count = count_;
+  if (e == Encoding::kBitPacked) {
+    if (s.rows > 0 && s.min < 0)
+      throw Error("bitpacked encoding requires a non-negative domain: " +
+                  name_);
+    seg->reference = 0;
+  } else {
+    seg->reference = s.rows == 0 ? 0 : s.min;
+  }
+  seg->bits = packed_width(s, type_, e);
+  // Shift into the packed domain and pack. Unsigned subtraction is exact
+  // modulo 2^64, so even spreads beyond int64 round-trip correctly.
+  std::vector<std::uint64_t> shifted(count_);
+  const auto ref = static_cast<std::uint64_t>(seg->reference);
+  if (type_ == TypeId::kInt64) {
+    const auto data = int64_data();
+    for (std::size_t i = 0; i < count_; ++i)
+      shifted[i] = static_cast<std::uint64_t>(data[i]) - ref;
+  } else {
+    const auto data = data_.as_span<const std::int32_t>().subspan(0, count_);
+    for (std::size_t i = 0; i < count_; ++i)
+      shifted[i] = static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(data[i])) -
+                   ref;
+  }
+  seg->words = bitpack(shifted, seg->bits);
+  segment_ = std::move(seg);
+}
+
+void Column::set_encoding(Encoding e) {
+  forced_encoding_ = e;
+  build_segment(e);
+}
+
+void Column::auto_encode() {
+  const Encoding want =
+      forced_encoding_ ? *forced_encoding_ : choose_encoding();
+  if (segment_ == nullptr ? want == Encoding::kPlain
+                          : segment_->encoding == want &&
+                                segment_->count == count_)
+    return;
+  build_segment(want);
 }
 
 }  // namespace eidb::storage

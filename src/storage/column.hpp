@@ -8,15 +8,49 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "storage/bitpack.hpp"
 #include "storage/dictionary.hpp"
 #include "storage/types.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace eidb::storage {
+
+/// Physical encoding of an integer-typed column (int32 / int64 / string
+/// codes; doubles are always plain).
+///
+///  * kPlain        — the full-width array only.
+///  * kBitPacked    — values packed at the minimum width for [0, max];
+///                    requires a non-negative domain (reference is 0).
+///  * kForBitPacked — frame-of-reference: (v - min) packed at the minimum
+///                    width for the [min, max] spread; any domain.
+///
+/// Encoded columns keep the plain array alongside the packed image:
+/// scans and aggregations consume the packed image (less DRAM traffic),
+/// while random-access consumers (joins, sorts, projections) read plain.
+enum class Encoding : std::uint8_t { kPlain, kBitPacked, kForBitPacked };
+
+[[nodiscard]] std::string encoding_name(Encoding e);
+
+/// The packed physical image of an encoded column.
+struct EncodedSegment {
+  Encoding encoding = Encoding::kPlain;
+  unsigned bits = 0;          ///< Packed width per value.
+  std::int64_t reference = 0; ///< FOR base (0 for kBitPacked).
+  std::size_t count = 0;
+  std::vector<std::uint64_t> words;
+
+  [[nodiscard]] std::size_t byte_size() const {
+    return words.size() * sizeof(std::uint64_t);
+  }
+  [[nodiscard]] PackedView view() const {
+    return PackedView{words, bits, reference, count};
+  }
+};
 
 /// Cached per-column statistics, computed in one pass at load time
 /// (`Table::set_column` finalizes them) and reused by every query instead
@@ -92,6 +126,36 @@ class Column {
   /// Value at row `i`, decoded (strings materialized from the dictionary).
   [[nodiscard]] Value value_at(std::size_t i) const;
 
+  // -- Encoded physical storage --------------------------------------------
+  /// Current encoding (kPlain when no packed image exists).
+  [[nodiscard]] Encoding encoding() const noexcept {
+    return segment_ ? segment_->encoding : Encoding::kPlain;
+  }
+  /// The packed image, or nullptr for plain columns.
+  [[nodiscard]] const EncodedSegment* encoded() const noexcept {
+    return segment_.get();
+  }
+  /// Kernel view of the packed image. Precondition: encoding() != kPlain.
+  [[nodiscard]] PackedView packed_view() const;
+  /// Bytes a sequential scan of this column touches: the packed image when
+  /// encoded, the plain array otherwise. This is what the executor charges
+  /// to the DRAM ledger for scan/aggregate reads.
+  [[nodiscard]] std::size_t scan_byte_size() const noexcept {
+    return segment_ ? segment_->byte_size() : byte_size();
+  }
+  /// Explicitly (re)encodes the column, overriding the automatic choice;
+  /// the override survives re-encoding after mutation. Throws Error when
+  /// the encoding cannot represent the column (doubles; kBitPacked on a
+  /// negative domain).
+  void set_encoding(Encoding e);
+  /// Builds the packed image for the stats-chosen encoding (or the
+  /// explicit override, if one was set). Idempotent; called by
+  /// `Table::set_column` after the statistics pass.
+  void auto_encode();
+  /// The encoding the automatic policy would choose from the cached
+  /// statistics (without building anything).
+  [[nodiscard]] Encoding choose_encoding() const;
+
   // -- Statistics -----------------------------------------------------------
   /// Cached column statistics. Computed on first call (one pass) and
   /// reused afterwards; `Table::set_column` finalizes eagerly so executor
@@ -111,6 +175,7 @@ class Column {
   void ensure_capacity(std::size_t rows);
   template <typename T>
   void append_raw(T v);
+  void build_segment(Encoding e);
 
   std::string name_;
   TypeId type_;
@@ -118,6 +183,24 @@ class Column {
   AlignedBuffer data_;
   std::shared_ptr<const Dictionary> dict_;  // string columns only
   mutable std::shared_ptr<const ColumnStats> stats_;  // null until computed
+  std::shared_ptr<const EncodedSegment> segment_;  // null when plain
+  std::optional<Encoding> forced_encoding_;  // explicit override, if any
 };
+
+/// Packed width of `encoding` over a column with `stats` — the single
+/// definition both the automatic chooser and the segment builder use.
+/// kBitPacked covers [0, max], kForBitPacked covers the [min, max] spread,
+/// kPlain returns the plain width of `type`.
+[[nodiscard]] unsigned packed_width(const ColumnStats& stats, TypeId type,
+                                    Encoding encoding);
+
+/// The automatic encoding policy, exposed for the optimizer's storage-side
+/// advisor: picks the encoding whose packed width beats the plain width,
+/// preferring kBitPacked when frame-of-reference adds nothing. Returns the
+/// chosen packed width through `bits_out` (untouched for kPlain). Handles
+/// the width-0 edge cases: empty columns stay plain, all-equal columns
+/// pack to zero bits (FOR unless the constant is zero).
+[[nodiscard]] Encoding choose_encoding(const ColumnStats& stats, TypeId type,
+                                       unsigned* bits_out = nullptr);
 
 }  // namespace eidb::storage

@@ -65,8 +65,17 @@ void Table::set_column(std::size_t index, Column column) {
   rows_ = column.size();
   columns_[index] = std::make_unique<Column>(std::move(column));
   // Finalize statistics now (one pass at load) so concurrent queries read
-  // a pre-computed cache and never pay a per-query min/max scan.
+  // a pre-computed cache and never pay a per-query min/max scan; then pick
+  // and build the physical encoding from those statistics (respecting any
+  // explicit set_encoding() override carried by the column).
   columns_[index]->finalize_stats();
+  columns_[index]->auto_encode();
+}
+
+void Table::recode(const std::string& name, Encoding encoding) {
+  const std::size_t index = schema_.index_of(name);
+  EIDB_EXPECTS(columns_[index] != nullptr);
+  columns_[index]->set_encoding(encoding);
 }
 
 const Column& Table::column(std::size_t index) const {

@@ -64,6 +64,11 @@ class Table {
   [[nodiscard]] const Column& column(std::size_t index) const;
   [[nodiscard]] const Column& column(const std::string& name) const;
 
+  /// Re-encodes one column in place (explicit override of the automatic
+  /// choice made at set_column). NOT safe while queries are in flight —
+  /// a load/maintenance-time operation, like set_column itself.
+  void recode(const std::string& name, Encoding encoding);
+
   /// Total bytes of physical column data.
   [[nodiscard]] std::size_t byte_size() const;
 

@@ -111,5 +111,78 @@ TEST(ObjectiveNames, Distinct) {
   EXPECT_EQ(objective_name(Objective::kEnergy), "energy");
 }
 
+// -- Storage-side arm (resident column encodings) ----------------------------
+
+TEST(AdvisorStorage, NarrowDomainGetsPackedScan) {
+  const CompressionAdvisor advisor(kMachine);
+  const CostModel model = CostModel::defaults();
+  storage::ColumnStats s;
+  s.rows = 10'000'000;
+  s.min = 0;
+  s.max = 255;  // byte-aligned 8-bit width vs 32 plain
+  const auto a = advisor.advise_storage(s, storage::TypeId::kInt32, model,
+                                        Objective::kEnergy);
+  EXPECT_EQ(a.encoding, storage::Encoding::kBitPacked);
+  EXPECT_EQ(a.bits, 8u);
+  EXPECT_EQ(a.scan_arm, StorageArm::kPackedScan);
+  EXPECT_DOUBLE_EQ(a.scan_ratio, 4.0);  // 32/8
+
+  // Odd widths trade fewer bytes for unpack cycles: the advisor may keep
+  // the plain arm there, but the encoding recommendation stands (the
+  // packed image also serves the aggregate kernels).
+  s.max = 999;  // 10 bits
+  const auto odd = advisor.advise_storage(s, storage::TypeId::kInt32, model,
+                                          Objective::kEnergy);
+  EXPECT_EQ(odd.encoding, storage::Encoding::kBitPacked);
+  EXPECT_EQ(odd.bits, 10u);
+}
+
+TEST(AdvisorStorage, NegativeDomainGetsForEncoding) {
+  const CompressionAdvisor advisor(kMachine);
+  const CostModel model = CostModel::defaults();
+  storage::ColumnStats s;
+  s.rows = 1'000'000;
+  s.min = -1'000;
+  s.max = 1'000;
+  const auto a = advisor.advise_storage(s, storage::TypeId::kInt64, model,
+                                        Objective::kTime);
+  EXPECT_EQ(a.encoding, storage::Encoding::kForBitPacked);
+  EXPECT_EQ(a.bits, 11u);
+}
+
+TEST(AdvisorStorage, FullWidthAndDoublesStayPlain) {
+  const CompressionAdvisor advisor(kMachine);
+  const CostModel model = CostModel::defaults();
+  storage::ColumnStats s;
+  s.rows = 1'000'000;
+  s.min = std::numeric_limits<std::int64_t>::min();
+  s.max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(advisor
+                .advise_storage(s, storage::TypeId::kInt64, model,
+                                Objective::kEnergy)
+                .encoding,
+            storage::Encoding::kPlain);
+  s.min = 0;
+  s.max = 10;
+  EXPECT_EQ(advisor
+                .advise_storage(s, storage::TypeId::kDouble, model,
+                                Objective::kEnergy)
+                .encoding,
+            storage::Encoding::kPlain);
+}
+
+TEST(AdvisorStorage, NoPackedKernelFallsBackToDecodeOrPlain) {
+  const CompressionAdvisor advisor(kMachine);
+  const CostModel model = CostModel::defaults();
+  storage::ColumnStats s;
+  s.rows = 10'000'000;
+  s.min = 0;
+  s.max = 255;
+  const auto a = advisor.advise_storage(s, storage::TypeId::kInt64, model,
+                                        Objective::kEnergy,
+                                        /*packed_kernel_available=*/false);
+  EXPECT_NE(a.scan_arm, StorageArm::kPackedScan);
+}
+
 }  // namespace
 }  // namespace eidb::opt

@@ -105,5 +105,41 @@ TEST(CostModel, AutoResolvesToPickedVariant) {
   EXPECT_DOUBLE_EQ(c_auto, m.scan_cycles_per_tuple(picked, 0.3));
 }
 
+TEST(CostModel, StorageScanWorkTracksPackedBytes) {
+  const CostModel m = CostModel::defaults();
+  constexpr std::uint64_t kRows = 1'000'000;
+  const hw::Work plain =
+      m.storage_scan_work(StorageArm::kPlainScan, kRows, 8, 8.0);
+  const hw::Work packed =
+      m.storage_scan_work(StorageArm::kPackedScan, kRows, 8, 8.0);
+  const hw::Work decode =
+      m.storage_scan_work(StorageArm::kDecodeThenScan, kRows, 8, 8.0);
+  // Packed touches exactly bits/8 bytes per tuple.
+  EXPECT_DOUBLE_EQ(packed.dram_bytes, kRows * 1.0);
+  EXPECT_DOUBLE_EQ(plain.dram_bytes, kRows * 8.0);
+  // Decode-then-scan reads packed, writes scratch, reads scratch.
+  EXPECT_GT(decode.dram_bytes, plain.dram_bytes);
+  EXPECT_GT(decode.cpu_cycles, plain.cpu_cycles);
+  // Odd widths pay more cycles than byte-aligned ones.
+  const hw::Work odd =
+      m.storage_scan_work(StorageArm::kPackedScan, kRows, 13, 8.0);
+  EXPECT_GT(odd.cpu_cycles, packed.cpu_cycles);
+}
+
+TEST(CostModel, PickStorageArmPrefersPackedWhenKernelExists) {
+  const CostModel m = CostModel::defaults();
+  const hw::MachineSpec machine = hw::MachineSpec::server();
+  // Narrow width, packed kernel available: scan-on-compressed wins on the
+  // memory-bound energy model.
+  EXPECT_EQ(m.pick_storage_arm(machine, 10'000'000, 8, 8.0, true),
+            StorageArm::kPackedScan);
+  // No packed kernel: the fallback is whichever of decode/plain is cheaper
+  // — never kPackedScan.
+  const StorageArm fallback =
+      m.pick_storage_arm(machine, 10'000'000, 8, 8.0, false);
+  EXPECT_NE(fallback, StorageArm::kPackedScan);
+  EXPECT_FALSE(storage_arm_name(fallback).empty());
+}
+
 }  // namespace
 }  // namespace eidb::opt

@@ -1,0 +1,468 @@
+// Differential harness for compressed column segments in the query
+// pipeline: the same randomized tables are loaded under every Encoding,
+// a generated matrix of filter / group-by / aggregate / join queries runs
+// through the packed and plain paths, and the results must be
+// BIT-IDENTICAL while the packed path's attributed DRAM bytes never
+// exceed the plain path's. This is the proof obligation behind making
+// `ExecOptions::use_encodings` the default.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/executor.hpp"
+#include "sched/thread_pool.hpp"
+#include "storage/column.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::query {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::Encoding;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+using storage::Value;
+
+// 5'000 rows: not a multiple of 64, so every kernel exercises its partial
+// tail word; large enough for full, partial and dead selection words.
+constexpr std::size_t kRows = 5'000;
+
+/// facts(u32, skew32, neg32, const32, wide64, neg64, tag, d) — one column
+/// per distribution shape the encoder must survive: uniform non-negative
+/// (kBitPacked), skewed (dense head, sparse tail), negative-domain
+/// (kForBitPacked only), all-equal (width-0 packing), wide int64,
+/// negative int64, dictionary codes, and a plain double.
+Catalog make_catalog(std::uint64_t seed) {
+  Catalog cat;
+  Table& t = cat.add(Table("facts", Schema({{"u32", TypeId::kInt32},
+                                            {"skew32", TypeId::kInt32},
+                                            {"neg32", TypeId::kInt32},
+                                            {"const32", TypeId::kInt32},
+                                            {"wide64", TypeId::kInt64},
+                                            {"neg64", TypeId::kInt64},
+                                            {"tag", TypeId::kString},
+                                            {"d", TypeId::kDouble}})));
+  Pcg32 rng(seed);
+  std::vector<std::int32_t> u32, skew32, neg32, const32;
+  std::vector<std::int64_t> wide64, neg64;
+  std::vector<std::string> tag;
+  std::vector<double> d;
+  const char* tags[] = {"ash", "birch", "cedar", "elm", "fir", "oak"};
+  for (std::size_t i = 0; i < kRows; ++i) {
+    u32.push_back(static_cast<std::int32_t>(rng.next_bounded(1000)));
+    // Skew: ~87% land in a tiny head domain, the rest spread wide.
+    skew32.push_back(static_cast<std::int32_t>(
+        rng.next_bounded(8) != 0 ? rng.next_bounded(4)
+                                 : 100 + rng.next_bounded(5000)));
+    neg32.push_back(static_cast<std::int32_t>(rng.next_in_range(-700, 300)));
+    const32.push_back(42);
+    wide64.push_back(rng.next_in_range(0, 3'000'000));
+    neg64.push_back(rng.next_in_range(-50'000, -10));
+    tag.emplace_back(tags[rng.next_bounded(6)]);
+    d.push_back(rng.next_double() * 200.0 - 100.0);
+  }
+  t.set_column(0, Column::from_int32("u32", u32));
+  t.set_column(1, Column::from_int32("skew32", skew32));
+  t.set_column(2, Column::from_int32("neg32", neg32));
+  t.set_column(3, Column::from_int32("const32", const32));
+  t.set_column(4, Column::from_int64("wide64", wide64));
+  t.set_column(5, Column::from_int64("neg64", neg64));
+  t.set_column(6, Column::from_strings("tag", tag));
+  t.set_column(7, Column::from_double("d", d));
+
+  // dim(key, weight) for joins: keys overlap u32's domain partially.
+  Table& dim = cat.add(Table(
+      "dim", Schema({{"key", TypeId::kInt32}, {"weight", TypeId::kInt64}})));
+  std::vector<std::int32_t> keys;
+  std::vector<std::int64_t> weights;
+  for (std::int32_t k = 0; k < 700; ++k) {
+    keys.push_back(k);
+    weights.push_back(rng.next_in_range(-9, 9));
+  }
+  dim.set_column(0, Column::from_int32("key", keys));
+  dim.set_column(1, Column::from_int64("weight", weights));
+  return cat;
+}
+
+/// Re-encodes every integer-typed column of both tables. `forced` ==
+/// nullopt restores the automatic (stats-driven) choice; kBitPacked is
+/// silently replaced by kForBitPacked on negative domains, where it is
+/// inapplicable by definition.
+void recode_all(Catalog& cat, std::optional<Encoding> forced) {
+  for (const std::string& tname : cat.table_names()) {
+    Table& t = cat.get(tname);
+    for (const auto& def : t.schema().columns()) {
+      if (def.type == TypeId::kDouble) continue;
+      Encoding e;
+      if (forced.has_value()) {
+        e = *forced;
+        if (e == Encoding::kBitPacked && t.column(def.name).stats().min < 0)
+          e = Encoding::kForBitPacked;
+      } else {
+        e = t.column(def.name).choose_encoding();
+      }
+      t.recode(def.name, e);
+    }
+  }
+}
+
+/// Bit-identical result comparison: every Value must compare equal under
+/// the variant's operator== — including doubles, since packed decode is
+/// exact and both paths accumulate in the same order.
+void expect_identical(const QueryResult& plain, const QueryResult& packed,
+                      const std::string& label) {
+  ASSERT_EQ(plain.column_names(), packed.column_names()) << label;
+  ASSERT_EQ(plain.row_count(), packed.row_count()) << label;
+  for (std::size_t r = 0; r < plain.row_count(); ++r)
+    for (std::size_t c = 0; c < plain.column_count(); ++c)
+      ASSERT_EQ(plain.at(r, c), packed.at(r, c))
+          << label << " row " << r << " col " << c;
+}
+
+/// The query matrix: every supported shape over the distribution columns.
+std::vector<std::pair<std::string, LogicalPlan>> query_matrix() {
+  std::vector<std::pair<std::string, LogicalPlan>> qs;
+  const auto add = [&](const std::string& name, LogicalPlan plan) {
+    qs.emplace_back(name, std::move(plan));
+  };
+  // Filters: wide / narrow / point / empty / covering / negative bounds.
+  add("filter_count", QueryBuilder("facts")
+                          .filter_int("u32", 100, 899)
+                          .aggregate(AggOp::kCount)
+                          .build());
+  add("filter_point", QueryBuilder("facts")
+                          .filter_int("skew32", 2, 2)
+                          .aggregate(AggOp::kCount)
+                          .build());
+  add("filter_negative", QueryBuilder("facts")
+                             .filter_int("neg32", -650, -1)
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "neg32")
+                             .build());
+  add("filter_const_hit", QueryBuilder("facts")
+                              .filter_int("const32", 40, 50)
+                              .aggregate(AggOp::kCount)
+                              .build());
+  add("filter_const_miss", QueryBuilder("facts")
+                               .filter_int("const32", 43, 99)
+                               .aggregate(AggOp::kCount)
+                               .build());
+  add("filter_conjunctive", QueryBuilder("facts")
+                                .filter_int("u32", 50, 800)
+                                .filter_int("wide64", 0, 1'500'000)
+                                .filter_int("neg32", -500, 200)
+                                .aggregate(AggOp::kCount)
+                                .aggregate(AggOp::kMin, "neg64")
+                                .build());
+  add("filter_string", QueryBuilder("facts")
+                           .filter_string("tag", "birch", "fir")
+                           .aggregate(AggOp::kCount)
+                           .build());
+  // Global multi-aggregates over every input type.
+  add("global_multi", QueryBuilder("facts")
+                          .filter_int("u32", 0, 750)
+                          .aggregate(AggOp::kCount)
+                          .aggregate(AggOp::kSum, "wide64")
+                          .aggregate(AggOp::kMin, "neg64")
+                          .aggregate(AggOp::kMax, "skew32")
+                          .aggregate(AggOp::kAvg, "neg32")
+                          .aggregate(AggOp::kAvg, "d")
+                          .build());
+  // Group-bys: every key type, packed values under packed keys.
+  add("group_small_key", QueryBuilder("facts")
+                             .group_by("skew32")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "wide64")
+                             .aggregate(AggOp::kMin, "neg32")
+                             .build());
+  add("group_negative_key", QueryBuilder("facts")
+                                .filter_int("wide64", 250'000, 2'750'000)
+                                .group_by("neg64")
+                                .aggregate(AggOp::kCount)
+                                .aggregate(AggOp::kMax, "u32")
+                                .build());
+  add("group_string_key", QueryBuilder("facts")
+                              .group_by("tag")
+                              .aggregate(AggOp::kCount)
+                              .aggregate(AggOp::kSum, "neg32")
+                              .aggregate(AggOp::kAvg, "d")
+                              .build());
+  add("group_const_key", QueryBuilder("facts")
+                             .group_by("const32")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "u32")
+                             .build());
+  add("group_composite", QueryBuilder("facts")
+                             .filter_int("neg32", -400, 250)
+                             .group_by("tag")
+                             .group_by("skew32")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "wide64")
+                             .build());
+  // Joins (plain fallback path under encodings — must stay identical).
+  add("join_agg", QueryBuilder("facts")
+                      .filter_int("u32", 0, 680)
+                      .join("dim", "u32", "key")
+                      .aggregate(AggOp::kCount)
+                      .aggregate(AggOp::kSum, "wide64")
+                      .build());
+  // Projection + order-by + limit (plain fallback).
+  add("topn", QueryBuilder("facts")
+                  .filter_int("skew32", 0, 3)
+                  .select({"u32", "skew32", "neg64"})
+                  .order_by("neg64", false)
+                  .limit(25)
+                  .build());
+  return qs;
+}
+
+/// Runs the full matrix against one catalog: plain baseline (encodings
+/// off) vs packed (encodings on), asserting bit-identical results and the
+/// DRAM-byte dominance `packed <= plain` per query.
+void run_matrix(Catalog& cat, const std::string& config,
+                sched::ThreadPool* pool = nullptr) {
+  Executor ex(cat);
+  for (auto& [name, plan] : query_matrix()) {
+    ExecOptions plain_opts;
+    plain_opts.use_encodings = false;
+    ExecOptions packed_opts;
+    packed_opts.use_encodings = true;
+    if (pool != nullptr) {
+      packed_opts.pool = pool;
+      packed_opts.parallel_agg_min_rows = 1;  // force the parallel kernels
+    }
+    ExecStats plain_stats, packed_stats;
+    const QueryResult plain = ex.execute(plan, plain_stats, plain_opts);
+    const QueryResult packed = ex.execute(plan, packed_stats, packed_opts);
+    const std::string label = config + "/" + name;
+    expect_identical(plain, packed, label);
+    EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes)
+        << label;
+    EXPECT_GE(packed_stats.dram_bytes_saved, 0.0) << label;
+  }
+}
+
+TEST(CompressedParity, AutoEncodingMatchesPlain) {
+  for (const std::uint64_t seed : {7u, 1337u, 90210u}) {
+    Catalog cat = make_catalog(seed);  // set_column auto-encoded already
+    run_matrix(cat, "auto/seed" + std::to_string(seed));
+  }
+}
+
+TEST(CompressedParity, EveryEncodingMatchesPlain) {
+  Catalog cat = make_catalog(4242);
+  for (const Encoding e :
+       {Encoding::kPlain, Encoding::kBitPacked, Encoding::kForBitPacked}) {
+    recode_all(cat, e);
+    run_matrix(cat, "forced-" + storage::encoding_name(e));
+  }
+  recode_all(cat, std::nullopt);  // and back to the automatic choice
+  run_matrix(cat, "auto-restored");
+}
+
+TEST(CompressedParity, ParallelPackedKernelsMatchPlain) {
+  Catalog cat = make_catalog(555);
+  sched::ThreadPool pool(4);
+  run_matrix(cat, "auto+pool", &pool);
+}
+
+TEST(CompressedParity, MaskedConjunctsPackedMatchesPlain) {
+  // Deep conjunction: the 2nd..4th predicates run the masked packed
+  // kernel; unordered evaluation runs full packed scans. All must agree.
+  Catalog cat = make_catalog(31);
+  Executor ex(cat);
+  const auto plan = QueryBuilder("facts")
+                        .filter_int("skew32", 0, 2)  // selective first
+                        .filter_int("u32", 100, 900)
+                        .filter_int("neg32", -600, 100)
+                        .filter_int("wide64", 100'000, 2'900'000)
+                        .group_by("tag")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "wide64")
+                        .build();
+  ExecOptions plain_opts;
+  plain_opts.use_encodings = false;
+  ExecOptions unordered_packed;
+  unordered_packed.order_predicates = false;
+  ExecStats s1, s2, s3;
+  const QueryResult want = ex.execute(plan, s1, plain_opts);
+  const QueryResult masked = ex.execute(plan, s2);
+  const QueryResult unordered = ex.execute(plan, s3, unordered_packed);
+  expect_identical(want, masked, "masked");
+  expect_identical(want, unordered, "unordered");
+  EXPECT_LE(s2.work.dram_bytes, s1.work.dram_bytes);
+  EXPECT_LE(s3.work.dram_bytes, s1.work.dram_bytes);
+  // Masked conjuncts touch at most the full packed scans' traffic.
+  EXPECT_LE(s2.work.dram_bytes, s3.work.dram_bytes);
+}
+
+TEST(CompressedParity, ZoneMapsComposeWithPackedSegments) {
+  // Clustered column: zone maps prune most blocks; the pruned packed scan
+  // must agree with the pruned plain scan and charge no more.
+  Catalog cat;
+  Table& t = cat.add(Table(
+      "clustered", Schema({{"seq", TypeId::kInt32}, {"v", TypeId::kInt64}})));
+  std::vector<std::int32_t> seq;
+  std::vector<std::int64_t> v;
+  for (std::int32_t i = 0; i < 8'000; ++i) {
+    seq.push_back(i / 2);  // sorted, two rows per value
+    v.push_back(i % 97);
+  }
+  t.set_column(0, Column::from_int32("seq", seq));
+  t.set_column(1, Column::from_int64("v", v));
+  ASSERT_NE(t.column("seq").encoded(), nullptr);
+
+  Executor ex(cat);
+  const auto plan = QueryBuilder("clustered")
+                        .filter_int("seq", 1'000, 1'099)
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "v")
+                        .build();
+  ExecOptions zm_plain;
+  zm_plain.use_zone_maps = true;
+  zm_plain.zone_block_rows = 256;
+  zm_plain.use_encodings = false;
+  ExecOptions zm_packed = zm_plain;
+  zm_packed.use_encodings = true;
+  ExecStats plain_stats, packed_stats;
+  const QueryResult plain = ex.execute(plan, plain_stats, zm_plain);
+  const QueryResult packed = ex.execute(plan, packed_stats, zm_packed);
+  expect_identical(plain, packed, "zonemap");
+  EXPECT_EQ(plain.at(0, 0).as_int(), 200);
+  EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes);
+}
+
+TEST(CompressedParity, WidthZeroAndWidthOneColumns) {
+  // All-equal (width 0) and two-valued (width 1) columns through the full
+  // pipeline under forced encodings — the degenerate widths of the
+  // encoder's domain computation.
+  Catalog cat;
+  Table& t = cat.add(Table("edge", Schema({{"zero", TypeId::kInt32},
+                                           {"one", TypeId::kInt32},
+                                           {"v", TypeId::kInt64}})));
+  std::vector<std::int32_t> zero(300, 7), one;
+  std::vector<std::int64_t> v;
+  Pcg32 rng(99);
+  for (std::size_t i = 0; i < 300; ++i) {
+    one.push_back(static_cast<std::int32_t>(rng.next_bounded(2)));
+    v.push_back(rng.next_in_range(-100, 100));
+  }
+  t.set_column(0, Column::from_int32("zero", zero));
+  t.set_column(1, Column::from_int32("one", one));
+  t.set_column(2, Column::from_int64("v", v));
+  // The all-equal column packs to zero bits under FOR.
+  t.recode("zero", Encoding::kForBitPacked);
+  ASSERT_NE(t.column("zero").encoded(), nullptr);
+  EXPECT_EQ(t.column("zero").encoded()->bits, 0u);
+  EXPECT_EQ(t.column("zero").scan_byte_size(), 0u);
+
+  Executor ex(cat);
+  for (const char* key : {"zero", "one"}) {
+    const auto plan = QueryBuilder("edge")
+                          .group_by(key)
+                          .aggregate(AggOp::kCount)
+                          .aggregate(AggOp::kSum, "v")
+                          .aggregate(AggOp::kMin, "zero")
+                          .build();
+    ExecOptions plain_opts;
+    plain_opts.use_encodings = false;
+    ExecStats plain_stats, packed_stats;
+    const QueryResult plain = ex.execute(plan, plain_stats, plain_opts);
+    const QueryResult packed = ex.execute(plan, packed_stats);
+    expect_identical(plain, packed, key);
+    EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes);
+  }
+}
+
+TEST(CompressedParity, EmptyTableUnderEveryEncoding) {
+  Catalog cat;
+  Table& t = cat.add(Table(
+      "empty", Schema({{"a", TypeId::kInt32}, {"b", TypeId::kInt64}})));
+  t.set_column(0, Column::from_int32("a", {}));
+  t.set_column(1, Column::from_int64("b", {}));
+  // Empty columns auto-choose plain but accept forced encodings.
+  EXPECT_EQ(t.column("a").encoding(), Encoding::kPlain);
+  for (const Encoding e : {Encoding::kBitPacked, Encoding::kForBitPacked}) {
+    t.recode("a", e);
+    t.recode("b", e);
+    Executor ex(cat);
+    ExecStats stats;
+    const auto plan = QueryBuilder("empty")
+                          .filter_int("a", 0, 10)
+                          .aggregate(AggOp::kCount)
+                          .aggregate(AggOp::kSum, "b")
+                          .build();
+    const QueryResult r = ex.execute(plan, stats);
+    EXPECT_EQ(r.at(0, 0).as_int(), 0);
+    EXPECT_EQ(r.at(0, 1).as_int(), 0);
+  }
+}
+
+TEST(CompressedParity, MixedConsumersChargeOneRepresentation) {
+  // u32 is both a composite group key (plain-only synthesis) and a direct
+  // aggregate input: the whole query must consume it through ONE
+  // representation — the plain array — and charge exactly that once.
+  Catalog cat = make_catalog(77);
+  const Table& t = cat.get("facts");
+  ASSERT_NE(t.column("u32").encoded(), nullptr);
+  Executor ex(cat);
+  const auto plan = QueryBuilder("facts")
+                        .group_by("u32")
+                        .group_by("tag")
+                        .aggregate(AggOp::kSum, "u32")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  ExecOptions plain_opts;
+  plain_opts.use_encodings = false;
+  ExecStats plain_stats, packed_stats;
+  const QueryResult plain = ex.execute(plan, plain_stats, plain_opts);
+  const QueryResult packed = ex.execute(plan, packed_stats);
+  expect_identical(plain, packed, "mixed-consumers");
+  // Composite keys force u32 and tag plain for every consumer: the two
+  // runs charge identical bytes (u32 once at plain width + tag once).
+  EXPECT_DOUBLE_EQ(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes);
+  EXPECT_DOUBLE_EQ(
+      packed_stats.work.dram_bytes,
+      static_cast<double>(t.column("u32").byte_size() +
+                          t.column("tag").byte_size()));
+
+  // Same property for an expression reference next to a packed group key:
+  // wide64 appears in SUM(wide64 * wide64)-style expression input, so it
+  // is read plain even though skew32 stays packed as the single key.
+  const auto expr = exec::Expr::binary(exec::ExprOp::kMul,
+                                       exec::Expr::column("wide64"),
+                                       exec::Expr::column("wide64"));
+  const auto plan2 = QueryBuilder("facts")
+                         .group_by("skew32")
+                         .aggregate_expr(AggOp::kSum, expr)
+                         .aggregate(AggOp::kMin, "wide64")
+                         .build();
+  ExecStats s_plain, s_packed;
+  const QueryResult r_plain = ex.execute(plan2, s_plain, plain_opts);
+  const QueryResult r_packed = ex.execute(plan2, s_packed);
+  expect_identical(r_plain, r_packed, "expr-mixed");
+  EXPECT_DOUBLE_EQ(
+      s_packed.work.dram_bytes,
+      static_cast<double>(t.column("skew32").scan_byte_size() +
+                          t.column("wide64").byte_size()));
+}
+
+TEST(CompressedParity, BitPackedRejectsNegativeDomains) {
+  std::vector<std::int32_t> v = {-3, 0, 5};
+  Column c = Column::from_int32("n", v);
+  EXPECT_THROW(c.set_encoding(Encoding::kBitPacked), Error);
+  // FOR handles the same domain.
+  c.set_encoding(Encoding::kForBitPacked);
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.encoded()->reference, -3);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(c.packed_view().value_at(i), v[i]);
+}
+
+}  // namespace
+}  // namespace eidb::query

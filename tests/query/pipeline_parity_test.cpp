@@ -235,10 +235,25 @@ TEST(SinglePassAccounting, EachInputColumnChargedExactlyOnce) {
   Executor ex(cat);
   ExecStats stats;
   (void)ex.execute(plan, stats);
-  const double want = static_cast<double>(t.column("k32").byte_size() +
-                                          t.column("v64").byte_size() +
-                                          t.column("v32").byte_size());
+  // Each column is charged once, at the bytes the pass actually streams:
+  // the packed image for encoded columns, the plain array otherwise.
+  const double want = static_cast<double>(t.column("k32").scan_byte_size() +
+                                          t.column("v64").scan_byte_size() +
+                                          t.column("v32").scan_byte_size());
   EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
+
+  // The same query with encodings disabled charges the plain widths once.
+  ExecStats plain_stats;
+  ExecOptions plain;
+  plain.use_encodings = false;
+  (void)ex.execute(plan, plain_stats, plain);
+  EXPECT_DOUBLE_EQ(plain_stats.work.dram_bytes,
+                   static_cast<double>(t.column("k32").byte_size() +
+                                       t.column("v64").byte_size() +
+                                       t.column("v32").byte_size()));
+  EXPECT_LE(stats.work.dram_bytes, plain_stats.work.dram_bytes);
+  EXPECT_DOUBLE_EQ(stats.work.dram_bytes + stats.dram_bytes_saved,
+                   plain_stats.work.dram_bytes);
 
   // The row-at-a-time path pays one pass per AggSpec (plus key rescans).
   ExecStats legacy_stats;

@@ -1,12 +1,18 @@
-// Robustness fuzzing of the SQL parser: random token soups and mutated
-// valid statements must either parse or throw eidb::Error — never crash,
-// hang, or throw anything else.
+// Robustness fuzzing of the SQL parser and executor: random token soups
+// and mutated valid statements must either parse or throw eidb::Error —
+// never crash, hang, or throw anything else — and generated *valid*
+// statements must produce identical results whichever physical column
+// encoding (plain / bit-packed / FOR) each column is toggled to, so the
+// fuzzer exercises the packed scan/agg kernels, not just the plain ones.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
+#include "query/executor.hpp"
 #include "query/sql.hpp"
+#include "storage/column.hpp"
+#include "storage/table.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +75,142 @@ TEST(SqlFuzz, MutatedValidStatements) {
       }
     }
     expect_parse_or_error(sql);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution fuzz under random column encodings.
+// ---------------------------------------------------------------------------
+
+storage::Catalog make_fuzz_catalog(std::uint64_t seed) {
+  using storage::Column;
+  using storage::TypeId;
+  storage::Catalog cat;
+  storage::Table& t = cat.add(storage::Table(
+      "t", storage::Schema({{"a", TypeId::kInt32},
+                            {"b", TypeId::kInt64},
+                            {"g", TypeId::kInt32},
+                            {"s", TypeId::kString},
+                            {"d", TypeId::kDouble}})));
+  Pcg32 rng(seed);
+  std::vector<std::int32_t> a, g;
+  std::vector<std::int64_t> b;
+  std::vector<std::string> s;
+  std::vector<double> d;
+  const char* tags[] = {"a", "bb", "ccc", "dddd"};
+  const std::size_t rows = 900 + rng.next_bounded(300);  // partial tails
+  for (std::size_t i = 0; i < rows; ++i) {
+    a.push_back(static_cast<std::int32_t>(rng.next_in_range(-40, 400)));
+    b.push_back(rng.next_in_range(0, 90'000));
+    g.push_back(static_cast<std::int32_t>(rng.next_bounded(12)));
+    s.emplace_back(tags[rng.next_bounded(4)]);
+    d.push_back(rng.next_double() * 10.0);
+  }
+  t.set_column(0, Column::from_int32("a", a));
+  t.set_column(1, Column::from_int64("b", b));
+  t.set_column(2, Column::from_int32("g", g));
+  t.set_column(3, Column::from_strings("s", s));
+  t.set_column(4, Column::from_double("d", d));
+  return cat;
+}
+
+/// Random valid statement over t's columns (filters, group-by, aggregates,
+/// order-by/limit projections).
+std::string generate_sql(Pcg32& rng) {
+  const char* aggs[] = {"COUNT(*)", "SUM(a)",   "SUM(b)", "MIN(a)",
+                        "MAX(b)",   "AVG(d)",   "MIN(g)", "MAX(g)",
+                        "AVG(b)",   "SUM(a + g)"};
+  std::string sql = "SELECT ";
+  const bool projection = rng.next_bounded(5) == 0;
+  if (projection) {
+    sql += "a, b, g FROM t";
+  } else {
+    const int n = 1 + static_cast<int>(rng.next_bounded(3));
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) sql += ", ";
+      sql += aggs[rng.next_bounded(std::size(aggs))];
+    }
+    sql += " FROM t";
+  }
+  const int preds = static_cast<int>(rng.next_bounded(3));
+  for (int i = 0; i < preds; ++i) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    switch (rng.next_bounded(4)) {
+      case 0:
+        sql += "a BETWEEN " + std::to_string(rng.next_in_range(-60, 100)) +
+               " AND " + std::to_string(rng.next_in_range(100, 450));
+        break;
+      case 1:
+        sql += "b <= " + std::to_string(rng.next_in_range(0, 95'000));
+        break;
+      case 2:
+        sql += "g = " + std::to_string(rng.next_in_range(0, 13));
+        break;
+      default:
+        sql += "s <= 'ccc'";
+        break;
+    }
+  }
+  if (!projection && rng.next_bounded(2) == 0) {
+    sql += rng.next_bounded(2) == 0 ? " GROUP BY g" : " GROUP BY s";
+  } else if (projection) {
+    sql += " ORDER BY b DESC LIMIT 20";
+  }
+  return sql;
+}
+
+TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
+  using storage::Encoding;
+  storage::Catalog cat = make_fuzz_catalog(0xE1DB);
+  storage::Table& t = cat.get("t");
+  Executor ex(cat);
+  Pcg32 rng(0xC0DE);
+  const Encoding encodings[] = {Encoding::kPlain, Encoding::kBitPacked,
+                                Encoding::kForBitPacked};
+  for (int trial = 0; trial < 300; ++trial) {
+    // Toggle every integer column's physical encoding for this iteration
+    // (kBitPacked degrades to FOR on the negative-domain column).
+    for (const char* col : {"a", "b", "g", "s"}) {
+      Encoding e = encodings[rng.next_bounded(3)];
+      if (e == Encoding::kBitPacked && t.column(col).stats().min < 0)
+        e = Encoding::kForBitPacked;
+      t.recode(col, e);
+    }
+    const std::string sql = generate_sql(rng);
+    LogicalPlan plan;
+    try {
+      plan = parse_sql(sql);
+    } catch (const Error&) {
+      FAIL() << "generated SQL failed to parse: " << sql;
+    }
+    ExecOptions plain_opts;
+    plain_opts.use_encodings = false;
+    ExecStats plain_stats, packed_stats;
+    QueryResult want, got;
+    bool plain_threw = false, packed_threw = false;
+    try {
+      want = ex.execute(plan, plain_stats, plain_opts);
+    } catch (const Error&) {
+      plain_threw = true;
+    }
+    try {
+      got = ex.execute(plan, packed_stats);
+    } catch (const Error&) {
+      packed_threw = true;
+    }
+    // A semantic rejection is fine — but both paths must agree on it; a
+    // one-sided throw is exactly the packed/plain divergence this fuzzer
+    // hunts.
+    ASSERT_EQ(plain_threw, packed_threw) << sql;
+    if (plain_threw) continue;
+    ASSERT_EQ(want.row_count(), got.row_count()) << sql;
+    ASSERT_EQ(want.column_names(), got.column_names()) << sql;
+    for (std::size_t r = 0; r < want.row_count(); ++r)
+      for (std::size_t c = 0; c < want.column_count(); ++c)
+        ASSERT_EQ(want.at(r, c), got.at(r, c))
+            << sql << " row " << r << " col " << c;
+    EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes)
+        << sql;
   }
 }
 

@@ -97,5 +97,63 @@ TEST_P(BitPackWidthSweep, RoundTrip) {
 INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthSweep,
                          ::testing::Range(1u, 65u));
 
+// -- Degenerate-width regressions (all-equal / empty columns) ----------------
+// Width 0 — the packed image holds no words at all — and width 1 are the
+// encoder's edge cases: block unpack, random access and the PackedView
+// decode must all round-trip exactly.
+
+TEST(BitPackDegenerateWidths, WidthZeroBlockAndRandomAccess) {
+  constexpr std::size_t kN = 64 * 2 + 9;
+  const std::vector<std::uint64_t> values(kN, 0);
+  const auto packed = bitpack(values, 0);
+  EXPECT_EQ(packed.size(), 0u);
+  std::uint64_t out[64];
+  bitunpack_block64(packed, 0, 64, out);  // must not touch `packed`
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 0u);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(bitpacked_at(packed, 0, i), 0u);
+}
+
+TEST(BitPackDegenerateWidths, WidthOneRoundTrip) {
+  Pcg32 rng(77);
+  constexpr std::size_t kN = 64 * 2 + 31;
+  std::vector<std::uint64_t> values(kN);
+  for (auto& v : values) v = rng.next() & 1;
+  const auto packed = bitpack(values, 1);
+  EXPECT_EQ(packed.size(), packed_word_count(kN, 1));
+  std::vector<std::uint64_t> out(kN);
+  bitunpack(packed, 1, kN, out);
+  EXPECT_EQ(out, values);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(bitpacked_at(packed, 1, i), values[i]);
+}
+
+TEST(BitPackDegenerateWidths, PackedViewDecodesWithReference) {
+  // FOR view over an all-equal column: zero storage, exact decode.
+  PackedView pv;
+  pv.bits = 0;
+  pv.reference = -1234;
+  pv.count = 100;
+  EXPECT_EQ(pv.byte_size(), 0u);
+  for (std::size_t i = 0; i < pv.count; i += 13)
+    EXPECT_EQ(pv.value_at(i), -1234);
+
+  // Width-1 view with a negative reference (two-valued domain).
+  const std::vector<std::uint64_t> deltas = {0, 1, 1, 0, 1};
+  const auto packed = bitpack(deltas, 1);
+  const PackedView two{packed, 1, -7, deltas.size()};
+  for (std::size_t i = 0; i < deltas.size(); ++i)
+    EXPECT_EQ(two.value_at(i), -7 + static_cast<std::int64_t>(deltas[i]));
+}
+
+TEST(BitPackDegenerateWidths, BitsForWidth) {
+  EXPECT_EQ(bits_for_width(0), 0u);
+  EXPECT_EQ(bits_for_width(1), 1u);
+  EXPECT_EQ(bits_for_width(2), 2u);
+  EXPECT_EQ(bits_for_width(255), 8u);
+  EXPECT_EQ(bits_for_width(256), 9u);
+  EXPECT_EQ(bits_for_width(~std::uint64_t{0}), 64u);
+}
+
 }  // namespace
 }  // namespace eidb::storage

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
+
+#include "storage/table.hpp"
+#include "util/rng.hpp"
 
 namespace eidb::storage {
 namespace {
@@ -128,6 +132,139 @@ TEST(ColumnStats, MutableAccessInvalidates) {
   EXPECT_EQ(c.stats().max, 3);
   c.mutable_int64()[1] = 99;
   EXPECT_EQ(c.stats().max, 99);
+}
+
+// -- Encoding choice and packed segments -------------------------------------
+
+TEST(ColumnEncoding, AutoChoiceFromStats) {
+  // Non-negative narrow domain: reference-free bit packing.
+  unsigned bits = 0;
+  ColumnStats s;
+  s.rows = 100;
+  s.min = 0;
+  s.max = 999;
+  EXPECT_EQ(choose_encoding(s, TypeId::kInt32, &bits),
+            Encoding::kBitPacked);
+  EXPECT_EQ(bits, 10u);
+  // Offset domain: FOR shrinks the width, so it wins.
+  s.min = 1'000'000;
+  s.max = 1'000'999;
+  EXPECT_EQ(choose_encoding(s, TypeId::kInt32, &bits),
+            Encoding::kForBitPacked);
+  EXPECT_EQ(bits, 10u);
+  // Negative domain: only FOR applies.
+  s.min = -500;
+  s.max = 500;
+  EXPECT_EQ(choose_encoding(s, TypeId::kInt32, &bits),
+            Encoding::kForBitPacked);
+  EXPECT_EQ(bits, 10u);
+  // Full-width domain: nothing to save.
+  s.min = std::numeric_limits<std::int32_t>::min();
+  s.max = std::numeric_limits<std::int32_t>::max();
+  EXPECT_EQ(choose_encoding(s, TypeId::kInt32), Encoding::kPlain);
+  // Doubles are never encoded.
+  EXPECT_EQ(choose_encoding(s, TypeId::kDouble), Encoding::kPlain);
+}
+
+TEST(ColumnEncoding, AllEqualColumnPacksToZeroBits) {
+  // domain() == 1 must yield a width-0 FOR image, not a bogus width.
+  const std::vector<std::int64_t> v(200, -12345);
+  Column c = Column::from_int64("k", v);
+  EXPECT_EQ(c.stats().domain(), 1);
+  EXPECT_EQ(c.choose_encoding(), Encoding::kForBitPacked);
+  c.auto_encode();
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.encoded()->bits, 0u);
+  EXPECT_EQ(c.encoded()->reference, -12345);
+  EXPECT_EQ(c.scan_byte_size(), 0u);
+  for (std::size_t i = 0; i < v.size(); i += 17)
+    EXPECT_EQ(c.packed_view().value_at(i), -12345);
+  // All-zero column: the reference-free layout also reaches width 0.
+  const std::vector<std::int64_t> z(64, 0);
+  Column cz = Column::from_int64("z", z);
+  EXPECT_EQ(cz.choose_encoding(), Encoding::kBitPacked);
+}
+
+TEST(ColumnEncoding, TinyColumnNeverGetsLargerPackedImage) {
+  // 3 rows at a 31-bit width: per-value bits beat the 32-bit plain width,
+  // but word rounding makes the image (2 words = 16 B) larger than the
+  // plain array (12 B) — the chooser must keep it plain so the ledger's
+  // dram(packed) <= dram(plain) invariant holds unconditionally.
+  const std::vector<std::int32_t> v = {0, 5, 1 << 30};
+  Column c = Column::from_int32("tiny", v);
+  EXPECT_EQ(c.choose_encoding(), Encoding::kPlain);
+  c.auto_encode();
+  EXPECT_LE(c.scan_byte_size(), c.byte_size());
+}
+
+TEST(ColumnEncoding, EmptyColumnStaysPlainButAcceptsOverride) {
+  Column c = Column::from_int64("e", {});
+  EXPECT_EQ(c.stats().domain(), 0);
+  EXPECT_EQ(c.choose_encoding(), Encoding::kPlain);
+  c.auto_encode();
+  EXPECT_EQ(c.encoding(), Encoding::kPlain);
+  // Forced encodings on an empty column are well-defined (0-bit image).
+  c.set_encoding(Encoding::kForBitPacked);
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.encoded()->bits, 0u);
+  EXPECT_EQ(c.encoded()->count, 0u);
+}
+
+TEST(ColumnEncoding, SegmentRoundTripsAndInvalidates) {
+  Pcg32 rng(8);
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 500; ++i)
+    v.push_back(static_cast<std::int32_t>(rng.next_in_range(-300, 900)));
+  Column c = Column::from_int32("x", v);
+  c.auto_encode();
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.encoding(), Encoding::kForBitPacked);
+  EXPECT_LT(c.scan_byte_size(), c.byte_size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_EQ(c.packed_view().value_at(i), v[i]) << i;
+  // Mutation drops the stale image; auto_encode rebuilds from fresh stats.
+  c.append_int32(5000);
+  EXPECT_EQ(c.encoded(), nullptr);
+  c.auto_encode();
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.packed_view().value_at(500), 5000);
+}
+
+TEST(ColumnEncoding, TableSetColumnAutoEncodes) {
+  Table t("t", Schema({{"narrow", TypeId::kInt32},
+                       {"wide", TypeId::kInt64},
+                       {"d", TypeId::kDouble}}));
+  std::vector<std::int32_t> narrow(100);
+  std::vector<std::int64_t> wide(100);
+  std::vector<double> d(100);
+  Pcg32 rng(9);
+  for (std::size_t i = 0; i < 100; ++i) {
+    narrow[i] = static_cast<std::int32_t>(rng.next_bounded(50));
+    wide[i] = static_cast<std::int64_t>(rng.next64());  // full 64-bit spread
+    d[i] = rng.next_double();
+  }
+  t.set_column(0, Column::from_int32("narrow", narrow));
+  t.set_column(1, Column::from_int64("wide", wide));
+  t.set_column(2, Column::from_double("d", d));
+  EXPECT_NE(t.column("narrow").encoded(), nullptr);
+  EXPECT_EQ(t.column("wide").encoding(), Encoding::kPlain);
+  EXPECT_EQ(t.column("d").encoding(), Encoding::kPlain);
+  // recode() overrides the automatic choice in place.
+  t.recode("narrow", Encoding::kPlain);
+  EXPECT_EQ(t.column("narrow").encoding(), Encoding::kPlain);
+  t.recode("narrow", Encoding::kBitPacked);
+  EXPECT_EQ(t.column("narrow").encoding(), Encoding::kBitPacked);
+}
+
+TEST(ColumnEncoding, StringColumnPacksDictionaryCodes) {
+  const std::vector<std::string> v = {"b", "a", "c", "a", "b", "c", "a"};
+  Table t("t", Schema({{"s", TypeId::kString}}));
+  t.set_column(0, Column::from_strings("s", v));
+  const Column& c = t.column("s");
+  ASSERT_NE(c.encoded(), nullptr);
+  EXPECT_EQ(c.encoded()->bits, 2u);  // 3 codes -> 2 bits
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(c.packed_view().value_at(i), c.codes()[i]);
 }
 
 }  // namespace
