@@ -1,51 +1,59 @@
 #include "exec/radix_join.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 
 #include "exec/hash_table.hpp"
 #include "util/assert.hpp"
 
 namespace eidb::exec {
 
-namespace {
-
-struct Partitioned {
-  // Per partition: (key, original row) pairs.
-  std::vector<std::vector<std::pair<std::int64_t, std::uint32_t>>> parts;
-};
-
-Partitioned partition(std::span<const std::int64_t> keys,
-                      const BitVector& selection, unsigned radix_bits) {
-  Partitioned p;
+RadixPartitions radix_partition(const JoinKeys& keys,
+                                const BitVector& selection,
+                                unsigned radix_bits) {
+  EIDB_EXPECTS(radix_bits >= 1 && radix_bits <= 16);
+  EIDB_EXPECTS(selection.size() == keys.size());
+  RadixPartitions p;
   p.parts.resize(std::size_t{1} << radix_bits);
   const std::uint64_t mask = (std::uint64_t{1} << radix_bits) - 1;
   selection.for_each_set([&](std::size_t i) {
-    // Hash-based radix: raw low bits would put sequential keys into
-    // sequential partitions, which is fine, but hashing also balances
-    // skewed domains.
-    const std::size_t part = hash_key(keys[i]) & mask;
-    p.parts[part].push_back({keys[i], static_cast<std::uint32_t>(i)});
+    const std::int64_t key = keys.at(i);
+    const std::size_t part = hash_key(key) & mask;
+    p.parts[part].push_back({key, static_cast<std::uint32_t>(i)});
   });
   return p;
 }
 
-void join_partition(
+std::uint64_t join_partition_blocks(
     const std::vector<std::pair<std::int64_t, std::uint32_t>>& build,
     const std::vector<std::pair<std::int64_t, std::uint32_t>>& probe,
-    std::vector<JoinPair>& out) {
-  if (build.empty() || probe.empty()) return;
+    const JoinBlockSink& sink) {
+  if (build.empty() || probe.empty()) return 0;
   JoinHashTable table(build.size());
-  for (const auto& [key, row] : build) table.insert(key, row);
+  // Reverse insertion order: LIFO chains then probe ascending build rows.
+  for (auto it = build.rbegin(); it != build.rend(); ++it)
+    table.insert(it->first, it->second);
+
+  std::uint32_t bld[kJoinBlockRows];
+  std::uint32_t prb[kJoinBlockRows];
+  std::size_t k = 0;
+  std::uint64_t pairs = 0;
+  const auto flush = [&] {
+    if (k != 0) {
+      sink(bld, prb, k);
+      k = 0;
+    }
+  };
   for (const auto& [key, row] : probe) {
     table.probe(key, [&](std::uint32_t build_row) {
-      out.push_back({build_row, row});
+      bld[k] = build_row;
+      prb[k] = row;
+      ++pairs;
+      if (++k == kJoinBlockRows) flush();
     });
   }
+  flush();
+  return pairs;
 }
-
-}  // namespace
 
 std::vector<JoinPair> radix_hash_join(std::span<const std::int64_t> build_keys,
                                       const BitVector& build_selection,
@@ -53,29 +61,34 @@ std::vector<JoinPair> radix_hash_join(std::span<const std::int64_t> build_keys,
                                       const BitVector& probe_selection,
                                       unsigned radix_bits,
                                       sched::ThreadPool* pool) {
-  EIDB_EXPECTS(radix_bits >= 1 && radix_bits <= 16);
-  const Partitioned build = partition(build_keys, build_selection, radix_bits);
-  const Partitioned probe = partition(probe_keys, probe_selection, radix_bits);
+  const RadixPartitions build =
+      radix_partition(JoinKeys::from(build_keys), build_selection, radix_bits);
+  const RadixPartitions probe =
+      radix_partition(JoinKeys::from(probe_keys), probe_selection, radix_bits);
   const std::size_t n_parts = build.parts.size();
 
-  std::vector<JoinPair> out;
+  std::vector<std::vector<JoinPair>> per_part(n_parts);
+  const auto run_partition = [&](std::size_t part) {
+    std::vector<JoinPair>& out = per_part[part];
+    (void)join_partition_blocks(
+        build.parts[part], probe.parts[part],
+        [&out](const std::uint32_t* b, const std::uint32_t* p, std::size_t k) {
+          for (std::size_t e = 0; e < k; ++e) out.push_back({b[e], p[e]});
+        });
+  };
   if (pool == nullptr) {
-    for (std::size_t part = 0; part < n_parts; ++part)
-      join_partition(build.parts[part], probe.parts[part], out);
+    for (std::size_t part = 0; part < n_parts; ++part) run_partition(part);
   } else {
-    std::vector<std::vector<JoinPair>> per_part(n_parts);
-    for (std::size_t part = 0; part < n_parts; ++part) {
-      pool->submit([&, part] {
-        join_partition(build.parts[part], probe.parts[part], per_part[part]);
-      });
-    }
+    for (std::size_t part = 0; part < n_parts; ++part)
+      pool->submit([&run_partition, part] { run_partition(part); });
     pool->wait_idle();
-    std::size_t total = 0;
-    for (const auto& v : per_part) total += v.size();
-    out.reserve(total);
-    for (const auto& v : per_part) out.insert(out.end(), v.begin(), v.end());
   }
 
+  std::size_t total = 0;
+  for (const auto& v : per_part) total += v.size();
+  std::vector<JoinPair> out;
+  out.reserve(total);
+  for (const auto& v : per_part) out.insert(out.end(), v.begin(), v.end());
   std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
     if (a.probe_row != b.probe_row) return a.probe_row < b.probe_row;
     return a.build_row < b.build_row;

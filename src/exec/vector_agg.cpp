@@ -641,4 +641,207 @@ GroupedAggs parallel_grouped_multi_aggregate_packed(
                                range, morsel_rows);
 }
 
+// ---------------------------------------------------------------------------
+// JoinAggregator: gather-based sink for the late-materialized join pipeline.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Internal sub-block size: key/slot scratch stays on the stack.
+constexpr std::size_t kGatherBlock = 1024;
+
+std::int64_t gather_int(const AggInput& in, std::uint32_t row) {
+  switch (in.kind) {
+    case AggInput::Kind::kInt32:
+      return in.i32[row];
+    case AggInput::Kind::kInt64:
+      return in.i64[row];
+    case AggInput::Kind::kPacked:
+      return in.packed.value_at(row);
+    case AggInput::Kind::kDouble:
+      break;
+  }
+  EIDB_ASSERT(false);
+  return 0;
+}
+
+}  // namespace
+
+JoinAggregator::JoinAggregator(std::vector<Input> inputs)
+    : inputs_(std::move(inputs)) {
+  iacc_.resize(inputs_.size());
+  dacc_.resize(inputs_.size());
+  dense_ = true;  // one implicit slot
+  ensure(1);
+}
+
+JoinAggregator::JoinAggregator(std::vector<Input> inputs,
+                               std::vector<KeyPart> key, KeyRange range)
+    : inputs_(std::move(inputs)), key_(std::move(key)), grouped_(true) {
+  EIDB_EXPECTS(!key_.empty());
+  for (const KeyPart& part : key_)
+    EIDB_EXPECTS(part.column.kind != AggInput::Kind::kDouble);
+  iacc_.resize(inputs_.size());
+  dacc_.resize(inputs_.size());
+  const std::uint64_t width = static_cast<std::uint64_t>(range.max) -
+                              static_cast<std::uint64_t>(range.min);
+  dense_ = range.known &&
+           width < static_cast<std::uint64_t>(kDenseDomainLimit);
+  if (dense_) {
+    dense_min_ = range.min;
+    ensure(static_cast<std::size_t>(width) + 1);
+  }
+}
+
+void JoinAggregator::ensure(std::size_t slots) {
+  if (counts_.size() >= slots) return;
+  counts_.resize(slots, 0);
+  for (std::size_t j = 0; j < inputs_.size(); ++j) {
+    if (inputs_[j].column.is_double()) {
+      dacc_[j].sum.resize(slots, 0);
+      dacc_[j].mn.resize(slots, std::numeric_limits<double>::infinity());
+      dacc_[j].mx.resize(slots, -std::numeric_limits<double>::infinity());
+    } else {
+      iacc_[j].sum.resize(slots, 0);
+      iacc_[j].mn.resize(slots, std::numeric_limits<std::int64_t>::max());
+      iacc_[j].mx.resize(slots, std::numeric_limits<std::int64_t>::min());
+    }
+  }
+}
+
+std::uint32_t JoinAggregator::resolve(std::int64_t key) {
+  if (dense_) return static_cast<std::uint32_t>(key - dense_min_);
+  const std::uint32_t s = slots_.get_or_insert(key, [&](std::uint32_t& f) {
+    f = next_++;
+    slot_keys_.push_back(key);
+  });
+  ensure(next_);
+  return s;
+}
+
+void JoinAggregator::add_block(const std::uint32_t* build_rows,
+                               const std::uint32_t* probe_rows,
+                               std::size_t count) {
+  pairs_ += count;
+  std::int64_t keys[kGatherBlock];
+  std::uint32_t slot[kGatherBlock];
+  for (std::size_t at = 0; at < count; at += kGatherBlock) {
+    const std::size_t n = std::min(kGatherBlock, count - at);
+    const std::uint32_t* b = build_rows + at;
+    const std::uint32_t* p = probe_rows + at;
+    if (!grouped_) {
+      for (std::size_t e = 0; e < n; ++e) slot[e] = 0;
+      counts_[0] += n;
+    } else {
+      // Key column(s) touched once per match: the composite key is
+      // synthesized per block, then every input gathers column-at-a-time.
+      for (std::size_t e = 0; e < n; ++e) keys[e] = 0;
+      for (const KeyPart& part : key_) {
+        const std::uint32_t* rows = part.from_build ? b : p;
+        for (std::size_t e = 0; e < n; ++e)
+          keys[e] +=
+              (gather_int(part.column, rows[e]) - part.offset) * part.stride;
+      }
+      for (std::size_t e = 0; e < n; ++e) slot[e] = resolve(keys[e]);
+      for (std::size_t e = 0; e < n; ++e) ++counts_[slot[e]];
+    }
+    for (std::size_t j = 0; j < inputs_.size(); ++j) {
+      const Input& in = inputs_[j];
+      const std::uint32_t* rows = in.from_build ? b : p;
+      if (in.column.is_double()) {
+        const auto data = in.column.f64;
+        DblAcc& a = dacc_[j];
+        for (std::size_t e = 0; e < n; ++e) {
+          const double v = data[rows[e]];
+          const std::uint32_t s = slot[e];
+          a.sum[s] += v;
+          a.mn[s] = std::min(a.mn[s], v);
+          a.mx[s] = std::max(a.mx[s], v);
+        }
+      } else {
+        IntAcc& a = iacc_[j];
+        for (std::size_t e = 0; e < n; ++e) {
+          const std::int64_t v = gather_int(in.column, rows[e]);
+          const std::uint32_t s = slot[e];
+          a.sum[s] += v;
+          a.mn[s] = std::min(a.mn[s], v);
+          a.mx[s] = std::max(a.mx[s], v);
+        }
+      }
+    }
+  }
+}
+
+void JoinAggregator::merge_from(const JoinAggregator& other) {
+  pairs_ += other.pairs_;
+  const auto merge_slot = [&](std::uint32_t mine, std::size_t theirs) {
+    counts_[mine] += other.counts_[theirs];
+    for (std::size_t j = 0; j < inputs_.size(); ++j) {
+      if (inputs_[j].column.is_double()) {
+        DblAcc& a = dacc_[j];
+        const DblAcc& o = other.dacc_[j];
+        a.sum[mine] += o.sum[theirs];
+        a.mn[mine] = std::min(a.mn[mine], o.mn[theirs]);
+        a.mx[mine] = std::max(a.mx[mine], o.mx[theirs]);
+      } else {
+        IntAcc& a = iacc_[j];
+        const IntAcc& o = other.iacc_[j];
+        a.sum[mine] += o.sum[theirs];
+        a.mn[mine] = std::min(a.mn[mine], o.mn[theirs]);
+        a.mx[mine] = std::max(a.mx[mine], o.mx[theirs]);
+      }
+    }
+  };
+  if (dense_) {
+    // Same slot layout (shared dense_min_): merge elementwise.
+    ensure(other.counts_.size());
+    for (std::size_t s = 0; s < other.counts_.size(); ++s) {
+      if (other.counts_[s] != 0) merge_slot(static_cast<std::uint32_t>(s), s);
+    }
+  } else {
+    for (std::size_t s = 0; s < other.next_; ++s)
+      merge_slot(resolve(other.slot_keys_[s]), s);
+  }
+}
+
+GroupedAggs JoinAggregator::finish() const {
+  std::vector<std::pair<std::int64_t, std::uint32_t>> order;
+  if (!grouped_) {
+    order.emplace_back(0, 0);
+  } else if (dense_) {
+    for (std::size_t s = 0; s < counts_.size(); ++s)
+      if (counts_[s] != 0)
+        order.emplace_back(dense_min_ + static_cast<std::int64_t>(s),
+                           static_cast<std::uint32_t>(s));
+  } else {
+    order.reserve(next_);
+    for (std::size_t s = 0; s < next_; ++s)
+      order.emplace_back(slot_keys_[s], static_cast<std::uint32_t>(s));
+    std::sort(order.begin(), order.end());
+  }
+
+  GroupedAggs out;
+  out.keys.reserve(order.size());
+  out.counts.reserve(order.size());
+  out.iout.resize(inputs_.size());
+  out.dout.resize(inputs_.size());
+  for (const auto& [key, slot] : order) {
+    out.keys.push_back(key);
+    const std::uint64_t count = counts_[slot];
+    out.counts.push_back(count);
+    for (std::size_t j = 0; j < inputs_.size(); ++j) {
+      if (inputs_[j].column.is_double()) {
+        const DblAcc& a = dacc_[j];
+        out.dout[j].push_back({count, a.sum[slot], count ? a.mn[slot] : 0,
+                               count ? a.mx[slot] : 0});
+      } else {
+        const IntAcc& a = iacc_[j];
+        out.iout[j].push_back({count, a.sum[slot], count ? a.mn[slot] : 0,
+                               count ? a.mx[slot] : 0});
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace eidb::exec

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exec/aggregate.hpp"
+#include "exec/hash_table.hpp"
 #include "exec/parallel.hpp"
 #include "storage/bitpack.hpp"
 #include "util/bitvector.hpp"
@@ -164,5 +165,77 @@ struct GroupedAggs {
     sched::ThreadPool& pool, const storage::PackedView& keys,
     std::span<const AggInput> inputs, const BitVector& selection,
     KeyRange range = {}, std::size_t morsel_rows = kDefaultMorselRows);
+
+/// Gather-based aggregation sink for the late-materialized join pipeline
+/// (query::Executor's vectorized join path): matches arrive as blocks of
+/// (build_row, probe_row) ids and every value — group-key parts and
+/// aggregate inputs alike — is gathered from its column by row id, so no
+/// pair vector and no widened key copy is ever materialized. Accumulation
+/// state and output shapes are shared with the bitmap kernels: a grouped
+/// join produces exactly the GroupedAggs a base-table GROUP BY would.
+class JoinAggregator {
+ public:
+  /// One aggregate input, gathered by build- or probe-side row id.
+  struct Input {
+    AggInput column;
+    bool from_build = false;
+  };
+  /// One part of the (possibly composite) group key:
+  /// key = Σ (column[row] - offset) * stride over the parts — the
+  /// executor's stride-composite layout. Single keys use offset 0,
+  /// stride 1 so the emitted key is the column value itself.
+  struct KeyPart {
+    AggInput column;  ///< int32 / int64 / packed (doubles cannot key).
+    bool from_build = false;
+    std::int64_t offset = 0;
+    std::int64_t stride = 1;
+  };
+
+  /// Global aggregates: every match lands in one implicit group (key 0);
+  /// finish() emits exactly one group even with zero matches.
+  explicit JoinAggregator(std::vector<Input> inputs);
+  /// Grouped aggregates: dense slot resolution when `range` is known and
+  /// spans less than kDenseDomainLimit (the bitmap kernels' policy), hash
+  /// resolution otherwise. finish() emits only non-empty groups.
+  JoinAggregator(std::vector<Input> inputs, std::vector<KeyPart> key,
+                 KeyRange range);
+
+  /// Accumulates one block of matches (any count; consumed in bounded
+  /// sub-blocks internally).
+  void add_block(const std::uint32_t* build_rows,
+                 const std::uint32_t* probe_rows, std::size_t count);
+
+  /// Folds a compatible (same-spec) aggregator's partial state into this
+  /// one — the morsel-parallel probe merge.
+  void merge_from(const JoinAggregator& other);
+
+  [[nodiscard]] std::uint64_t pair_count() const { return pairs_; }
+
+  /// Grouped output, sorted by key; shapes match the bitmap kernels'.
+  [[nodiscard]] GroupedAggs finish() const;
+
+ private:
+  struct IntAcc {
+    std::vector<std::int64_t> sum, mn, mx;
+  };
+  struct DblAcc {
+    std::vector<double> sum, mn, mx;
+  };
+  void ensure(std::size_t slots);
+  std::uint32_t resolve(std::int64_t key);
+
+  std::vector<Input> inputs_;
+  std::vector<KeyPart> key_;
+  bool grouped_ = false;
+  bool dense_ = false;
+  std::int64_t dense_min_ = 0;
+  HashTable<std::uint32_t> slots_;         // hash strategy only
+  std::vector<std::int64_t> slot_keys_;    // hash strategy: key per slot
+  std::uint32_t next_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::vector<IntAcc> iacc_;
+  std::vector<DblAcc> dacc_;
+  std::uint64_t pairs_ = 0;
+};
 
 }  // namespace eidb::exec

@@ -99,6 +99,55 @@ hw::Work CostModel::join_work(std::uint64_t build_rows,
           bytes_per_tuple * static_cast<double>(build_rows + probe_rows)};
 }
 
+std::string join_arm_name(JoinArm arm) {
+  switch (arm) {
+    case JoinArm::kHashJoin:
+      return "hash-join";
+    case JoinArm::kRadixJoin:
+      return "radix-join";
+    case JoinArm::kDenseJoin:
+      return "dense-join";
+  }
+  return "?";
+}
+
+hw::Work CostModel::join_work(JoinArm arm, std::uint64_t build_rows,
+                              std::uint64_t probe_rows,
+                              double bytes_per_tuple) const {
+  hw::Work work = join_work(build_rows, probe_rows, bytes_per_tuple);
+  if (arm == JoinArm::kRadixJoin) {
+    const double n = static_cast<double>(build_rows + probe_rows);
+    work.cpu_cycles += costs_.radix_partition_per_tuple * n;
+    // The partition pass writes (key, row) pairs and the per-partition
+    // join reads them back: two extra 12-byte streams over both sides.
+    work.dram_bytes += 2.0 * 12.0 * n;
+  }
+  return work;
+}
+
+JoinArm CostModel::pick_join_arm(std::uint64_t build_rows,
+                                 std::uint64_t distinct_hint,
+                                 std::uint64_t key_domain) const {
+  // Dense direct-address arm: the domain must be affordable (4 bytes per
+  // value) and not grossly sparser than the build side — an empty-ish
+  // array per build row wastes more cache than hashing costs.
+  if (key_domain >= 1 && key_domain <= costs_.dense_join_max_domain &&
+      key_domain <= std::max<std::uint64_t>(1024, build_rows * 256))
+    return JoinArm::kDenseJoin;
+  const std::uint64_t entries =
+      distinct_hint != 0 ? std::min(build_rows, distinct_hint) : build_rows;
+  return entries > costs_.join_cache_build_entries ? JoinArm::kRadixJoin
+                                                   : JoinArm::kHashJoin;
+}
+
+unsigned CostModel::pick_radix_bits(std::uint64_t build_rows) const {
+  unsigned bits = 4;
+  while (bits < 12 &&
+         (build_rows >> bits) > costs_.join_cache_build_entries)
+    ++bits;
+  return bits;
+}
+
 std::string storage_arm_name(StorageArm arm) {
   switch (arm) {
     case StorageArm::kPlainScan:

@@ -26,6 +26,15 @@ enum class StorageArm : std::uint8_t {
 
 [[nodiscard]] std::string storage_arm_name(StorageArm arm);
 
+/// Physical arm of the vectorized join pipeline.
+enum class JoinArm : std::uint8_t {
+  kHashJoin,   ///< one cache-resident hash table, direct probe
+  kRadixJoin,  ///< radix-partition both sides, join partition pairs
+  kDenseJoin,  ///< direct-address array over a dense build-key domain
+};
+
+[[nodiscard]] std::string join_arm_name(JoinArm arm);
+
 /// Cycles-per-tuple parameters for each kernel family.
 struct KernelCosts {
   // Branching selection: base work plus misprediction penalty weighted by
@@ -46,6 +55,15 @@ struct KernelCosts {
   double packed_scan_aligned = 0.35;    ///< byte-aligned widths: direct SIMD
   double packed_scan_unaligned = 2.2;   ///< odd widths: block unpack + compare
   double transient_decode_per_tuple = 1.6;  ///< bitunpack into scratch
+  // Join-arm parameters.
+  double radix_partition_per_tuple = 2.5;  ///< scatter into partitions
+  /// Build-side hash-table entries that stay cache-resident (~L2 worth of
+  /// 16-byte slots): a larger build thrashes a single table and the radix
+  /// arm partitions it down to this size.
+  std::uint64_t join_cache_build_entries = 1u << 16;
+  /// Largest build-key value domain the dense direct-address arm will
+  /// allocate heads for (4 bytes per domain value).
+  std::uint64_t dense_join_max_domain = 1u << 20;
 };
 
 class CostModel {
@@ -105,6 +123,29 @@ class CostModel {
   [[nodiscard]] hw::Work join_work(std::uint64_t build_rows,
                                    std::uint64_t probe_rows,
                                    double bytes_per_tuple) const;
+
+  /// Work of a join via `arm`: the radix arm adds the partition pass
+  /// (scatter cycles plus writing and re-reading the (key, row) pairs of
+  /// both sides).
+  [[nodiscard]] hw::Work join_work(JoinArm arm, std::uint64_t build_rows,
+                                   std::uint64_t probe_rows,
+                                   double bytes_per_tuple) const;
+
+  /// Join arm by build-side cardinality and key domain (both from the
+  /// cached ColumnStats). A dense key domain — small enough for
+  /// dense_join_max_domain and not grossly sparser than the build — takes
+  /// the direct-address arm (the star-schema surrogate-key case: probe is
+  /// one load, no hashing). Otherwise the selected build rows, capped by
+  /// the key column's distinct estimate when one is known, decide:
+  /// radix-partitioned once the build exceeds join_cache_build_entries,
+  /// a single cache-resident table below.
+  [[nodiscard]] JoinArm pick_join_arm(std::uint64_t build_rows,
+                                      std::uint64_t distinct_hint = 0,
+                                      std::uint64_t key_domain = 0) const;
+
+  /// Partition count (log2) sizing each partition's build side to the
+  /// cache budget; clamped to [4, 12].
+  [[nodiscard]] unsigned pick_radix_bits(std::uint64_t build_rows) const;
 
   /// Work of scanning `rows` tuples of a column bit-packed at `bits` via
   /// `arm` (plain width `plain_bytes` per tuple). kPackedScan touches only

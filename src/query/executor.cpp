@@ -4,14 +4,17 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "exec/aggregate.hpp"
 #include "exec/fused.hpp"
 #include "exec/join.hpp"
 #include "exec/parallel.hpp"
+#include "exec/radix_join.hpp"
 #include "exec/sort.hpp"
 #include "exec/vector_agg.hpp"
+#include "opt/cost_model.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -30,6 +33,7 @@ constexpr double kAggCyclesPerTuple = 1.5;
 constexpr double kGroupCyclesPerTuple = 6.0;
 constexpr double kJoinBuildCyclesPerTuple = 12.0;
 constexpr double kJoinProbeCyclesPerTuple = 10.0;
+constexpr double kRadixPartitionCyclesPerTuple = 2.5;
 constexpr double kMaterializeCyclesPerValue = 20.0;
 
 void time_operator(ExecStats& stats, const std::string& name,
@@ -38,17 +42,9 @@ void time_operator(ExecStats& stats, const std::string& name,
 }
 
 std::int64_t column_int_at(const Column& c, std::size_t i) {
-  switch (c.type()) {
-    case TypeId::kInt32:
-      return c.int32_data()[i];
-    case TypeId::kString:
-      return c.codes()[i];
-    case TypeId::kInt64:
-      return c.int64_data()[i];
-    case TypeId::kDouble:
-      break;
-  }
-  throw Error("column " + c.name() + " is not integer-typed");
+  if (c.type() == TypeId::kDouble)
+    throw Error("column " + c.name() + " is not integer-typed");
+  return c.int_at(i);
 }
 
 /// Typed kernel view of an integer-or-double column; dictionary and int32
@@ -1080,10 +1076,428 @@ QueryResult Executor::run_aggregate_rows(const LogicalPlan& plan,
 QueryResult Executor::run_join(const LogicalPlan& plan, const Table& table,
                                const BitVector& selection, ExecStats& stats,
                                const ExecOptions& options) {
+  // Shapes the join paths cannot answer correctly are rejected up front —
+  // never silently dropped (the pre-vectorized path ignored GROUP BY and
+  // answered as if the query were a global aggregate).
+  validate_join_plan(plan);
+  if (options.join_path == JoinPath::kPairMaterialize)
+    return run_join_pairs(plan, table, selection, stats, options);
+  return run_join_vectorized(plan, table, selection, stats, options);
+}
+
+QueryResult Executor::run_join_vectorized(const LogicalPlan& plan,
+                                          const Table& table,
+                                          const BitVector& selection,
+                                          ExecStats& stats,
+                                          const ExecOptions& options) {
   const JoinSpec& spec = *plan.join;
   const Table& build_table = catalog_.get(spec.table);
   if (!build_table.complete())
     throw Error("table not fully loaded: " + spec.table);
+
+  Stopwatch sw;
+  BitVector build_sel =
+      evaluate_predicates(build_table, spec.predicates, stats, options);
+  time_operator(stats, "scan+filter(" + spec.table + ")", sw);
+
+  // ---- Column resolution: bare names bind to the probe (FROM) table
+  // first, then the build table; "table.column" qualifies explicitly. ----
+  struct Ref {
+    const Table* tbl;
+    const Column* col;
+    bool from_build;
+  };
+  const auto resolve = [&](const std::string& name) -> Ref {
+    const auto dot = name.find('.');
+    if (dot != std::string::npos) {
+      const std::string tbl = name.substr(0, dot);
+      const std::string col = name.substr(dot + 1);
+      if (tbl == build_table.name())
+        return {&build_table, &build_table.column(col), true};
+      if (tbl == table.name()) return {&table, &table.column(col), false};
+      throw Error("unknown table in qualified column: " + name);
+    }
+    if (table.schema().has_column(name))
+      return {&table, &table.column(name), false};
+    if (build_table.schema().has_column(name))
+      return {&build_table, &build_table.column(name), true};
+    throw Error("unknown column: " + name);
+  };
+
+  // ---- Ledger: charge each (table, column) once for the representation
+  // this join actually streams — the packed image for packed-probed key
+  // columns, the plain width for every gathered payload/group column.
+  // One representation per column per query (the base aggregation path's
+  // rule): a key column that any gather consumer also needs is read plain
+  // by the key path too, so the once-per-query charge matches the bytes
+  // the pipeline touches. ----
+  std::set<std::string> charged;
+  const auto qualified = [](const Table& t, const Column& c) {
+    return t.name() + "." + c.name();
+  };
+  const auto charge_once = [&](const Table& t, const Column& c, bool packed) {
+    if (charged.insert(qualified(t, c)).second)
+      charge_column_access(t.name(), c, stats, options, packed);
+  };
+
+  const Column& probe_key = table.column(spec.left_key);
+  const Column& build_key = build_table.column(spec.right_key);
+  for (const Column* key : {&probe_key, &build_key}) {
+    if (key->type() == TypeId::kDouble)
+      throw Error("join keys must be integer-typed: " + key->name());
+    // Codes from two different dictionaries do not align; equality on
+    // them would be a silent wrong answer.
+    if (key->type() == TypeId::kString)
+      throw Error("string join keys are not supported: " + key->name());
+  }
+
+  // Columns any gather consumer (aggregate input, group key, projection)
+  // reads from the plain array.
+  std::set<std::string> plain_required;
+  const auto require_plain = [&](const std::string& name) {
+    const Ref r = resolve(name);
+    plain_required.insert(qualified(*r.tbl, *r.col));
+  };
+  if (plan.is_aggregate()) {
+    for (const AggSpec& a : plan.aggregates)
+      if (a.op != AggOp::kCount) require_plain(a.column);
+    for (const std::string& name : plan.group_by) require_plain(name);
+  } else {
+    for (const std::string& name : plan.projection) require_plain(name);
+  }
+
+  // ---- Join keys, consumed without widening: int64/int32 spans read in
+  // place, bit-packed images decoded per probed row. ----
+  const auto keys_of = [&](const Table& t, const Column& c) {
+    if (use_packed(c, options) && plain_required.count(qualified(t, c)) == 0) {
+      charge_once(t, c, true);
+      return exec::JoinKeys::from(c.packed_view());
+    }
+    charge_once(t, c, false);
+    return c.type() == TypeId::kInt64 ? exec::JoinKeys::from(c.int64_data())
+                                      : exec::JoinKeys::from(c.int32_data());
+  };
+  const exec::JoinKeys probe_keys = keys_of(table, probe_key);
+  const exec::JoinKeys build_keys = keys_of(build_table, build_key);
+
+  const std::uint64_t build_rows = build_sel.count();
+  const std::uint64_t probe_rows = selection.count();
+
+  // ---- Projection: serial single-table probe (deterministic
+  // probe-ascending, build-ascending order, matching the nested-loop
+  // oracle) with LIMIT-aware early exit — no pair vector. ----
+  sw.restart();
+  if (!plan.is_aggregate()) {
+    std::vector<std::string> proj = plan.projection;
+    struct ProjCol {
+      const Column* col;
+      bool from_build;
+    };
+    std::vector<ProjCol> cols;
+    cols.reserve(proj.size());
+    for (const std::string& name : proj) {
+      const Ref r = resolve(name);
+      charge_once(*r.tbl, *r.col, false);
+      cols.push_back({r.col, r.from_build});
+    }
+    QueryResult result(std::move(proj));
+    const exec::JoinHashTable ht = exec::build_join_table(build_keys, build_sel);
+    const auto sink = [&](const std::uint32_t* b, const std::uint32_t* p,
+                          std::size_t k) {
+      for (std::size_t e = 0; e < k; ++e) {
+        std::vector<storage::Value> row;
+        row.reserve(cols.size());
+        for (const ProjCol& c : cols)
+          row.push_back(c.col->value_at(c.from_build ? b[e] : p[e]));
+        result.add_row(std::move(row));
+      }
+    };
+    const std::uint64_t pairs = exec::probe_join_blocks(
+        ht, probe_keys, selection, 0, selection.word_count(), sink,
+        plan.limit);
+    stats.join_pairs = pairs;
+    stats.work.cpu_cycles +=
+        kJoinBuildCyclesPerTuple * static_cast<double>(build_rows) +
+        kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows) +
+        kMaterializeCyclesPerValue * static_cast<double>(pairs) *
+            static_cast<double>(cols.size());
+    time_operator(stats, "hash-join+materialize", sw);
+    return result;
+  }
+
+  // ---- Aggregate inputs: one gather input per distinct referenced
+  // column (probe- or build-side); gathers read the plain arrays (random
+  // access), so each is charged at the plain width, once. ----
+  std::vector<exec::JoinAggregator::Input> inputs;
+  std::map<std::string, std::size_t> input_index;
+  std::vector<int> spec_input(plan.aggregates.size(), -1);  // -1 = COUNT
+  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+    const AggSpec& a = plan.aggregates[ai];
+    if (a.op == AggOp::kCount) continue;
+    const auto it = input_index.find(a.column);
+    if (it != input_index.end()) {
+      spec_input[ai] = static_cast<int>(it->second);
+      continue;
+    }
+    const Ref r = resolve(a.column);
+    charge_once(*r.tbl, *r.col, false);
+    input_index[a.column] = inputs.size();
+    spec_input[ai] = static_cast<int>(inputs.size());
+    inputs.push_back({agg_input_of(*r.col), r.from_build});
+  }
+
+  // ---- Group keys: any mix of probe- and build-side columns; composite
+  // keys use the stride layout of the base aggregation path, with ranges
+  // from the cached column statistics. ----
+  struct GroupPart {
+    const Column* col;
+    bool from_build;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t domain = 1;
+    std::int64_t stride = 1;
+    std::uint64_t distinct = 0;
+  };
+  std::vector<GroupPart> parts;
+  for (const std::string& name : plan.group_by) {
+    const Ref r = resolve(name);
+    if (r.col->type() == TypeId::kDouble)
+      throw Error("cannot group by double column " + name);
+    charge_once(*r.tbl, *r.col, false);
+    const storage::ColumnStats& cs = r.col->stats();
+    GroupPart part;
+    part.col = r.col;
+    part.from_build = r.from_build;
+    part.min = cs.rows == 0 ? 0 : cs.min;
+    part.max = cs.rows == 0 ? 0 : cs.max;
+    part.domain = std::max<std::int64_t>(1, cs.domain());
+    part.distinct = cs.distinct;
+    parts.push_back(part);
+  }
+  const bool composite = parts.size() > 1;
+  exec::KeyRange range;
+  std::vector<exec::JoinAggregator::KeyPart> kparts;
+  if (!parts.empty()) {
+    if (!composite) {
+      const GroupPart& part = parts.front();
+      range = {true, part.min, part.max, part.distinct};
+      kparts.push_back({agg_input_of(*part.col), part.from_build, 0, 1});
+    } else {
+      std::int64_t total = 1;
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        it->stride = total;
+        if (it->domain > (std::int64_t{1} << 62) / total)
+          throw Error("composite group-by domain too large");
+        total *= it->domain;
+      }
+      for (const GroupPart& part : parts)
+        kparts.push_back(
+            {agg_input_of(*part.col), part.from_build, part.min, part.stride});
+      range = {true, 0, total - 1};
+    }
+  }
+  const auto make_agg = [&] {
+    return plan.has_group_by() ? exec::JoinAggregator(inputs, kparts, range)
+                               : exec::JoinAggregator(inputs);
+  };
+  exec::JoinAggregator master = make_agg();
+
+  // ---- Physical arm: one cache-resident hash table vs radix partitions,
+  // by build cardinality (cost-model policy); morsel-parallel probe when
+  // a pool is provided and the probe side is large enough. ----
+  static const opt::CostModel default_model = opt::CostModel::defaults();
+  const opt::CostModel& cm =
+      options.cost_model != nullptr ? *options.cost_model : default_model;
+  const storage::ColumnStats& key_stats = build_key.stats();
+  opt::JoinArm arm;
+  switch (options.join_path) {
+    case JoinPath::kDense:
+      if (key_stats.rows == 0 ||
+          static_cast<std::uint64_t>(key_stats.domain()) >
+              cm.costs().dense_join_max_domain)
+        throw Error("build key domain unsuitable for the dense join arm: " +
+                    build_key.name());
+      arm = opt::JoinArm::kDenseJoin;
+      break;
+    case JoinPath::kHash:
+      arm = opt::JoinArm::kHashJoin;
+      break;
+    case JoinPath::kRadix:
+      arm = opt::JoinArm::kRadixJoin;
+      break;
+    default:
+      arm = cm.pick_join_arm(build_rows, key_stats.distinct,
+                             static_cast<std::uint64_t>(key_stats.domain()));
+      break;
+  }
+  const bool parallel = options.pool != nullptr &&
+                        probe_rows >= options.parallel_join_min_rows;
+
+  if (arm == opt::JoinArm::kRadixJoin) {
+    const unsigned bits = cm.pick_radix_bits(build_rows);
+    const exec::RadixPartitions bparts =
+        exec::radix_partition(build_keys, build_sel, bits);
+    const exec::RadixPartitions pparts =
+        exec::radix_partition(probe_keys, selection, bits);
+    const std::size_t n_parts = bparts.parts.size();
+    stats.work.cpu_cycles += kRadixPartitionCyclesPerTuple *
+                             static_cast<double>(build_rows + probe_rows);
+    if (parallel) {
+      // Partition-range tasks with private aggregators, merged serially.
+      const std::size_t n_tasks =
+          std::min(n_parts, options.pool->thread_count() * 2);
+      std::vector<exec::JoinAggregator> locals;
+      locals.reserve(n_tasks);
+      for (std::size_t t = 0; t < n_tasks; ++t) locals.push_back(make_agg());
+      for (std::size_t t = 0; t < n_tasks; ++t) {
+        options.pool->submit([&, t] {
+          exec::JoinAggregator& local = locals[t];
+          const auto sink = [&local](const std::uint32_t* b,
+                                     const std::uint32_t* p, std::size_t k) {
+            local.add_block(b, p, k);
+          };
+          for (std::size_t part = t; part < n_parts; part += n_tasks)
+            (void)exec::join_partition_blocks(bparts.parts[part],
+                                              pparts.parts[part], sink);
+        });
+      }
+      options.pool->wait_idle();
+      for (const exec::JoinAggregator& local : locals)
+        master.merge_from(local);
+    } else {
+      const auto sink = [&master](const std::uint32_t* b,
+                                  const std::uint32_t* p, std::size_t k) {
+        master.add_block(b, p, k);
+      };
+      for (std::size_t part = 0; part < n_parts; ++part)
+        (void)exec::join_partition_blocks(bparts.parts[part],
+                                          pparts.parts[part], sink);
+    }
+  } else {
+    // Dense and hash arms share the probe driver; only the table differs.
+    const auto run_probe = [&](const auto& ht) {
+      if (parallel) {
+        // Morsel-parallel probe over 64-aligned ranges of the selection:
+        // per-chunk private aggregators, merged under a lock. Chunks are
+        // at least a morsel but no more than ~4 per worker, so each
+        // chunk's aggregator setup and merge amortize over enough rows
+        // (dense group domains allocate O(domain) per aggregator).
+        std::mutex merge_mu;
+        const std::size_t total_words = selection.word_count();
+        const std::size_t chunks = options.pool->thread_count() * 4;
+        const std::size_t per_chunk = (selection.size() + chunks - 1) / chunks;
+        const std::size_t grain = std::max<std::size_t>(
+            64, std::max(exec::kDefaultMorselRows, per_chunk) / 64 * 64);
+        options.pool->parallel_for(
+            selection.size(), grain, [&](std::size_t begin, std::size_t end) {
+              const std::size_t wb = begin / 64;
+              const std::size_t we = std::min(total_words, (end + 63) / 64);
+              exec::JoinAggregator local = make_agg();
+              const auto sink = [&local](const std::uint32_t* b,
+                                         const std::uint32_t* p,
+                                         std::size_t k) {
+                local.add_block(b, p, k);
+              };
+              (void)exec::probe_join_blocks(ht, probe_keys, selection, wb, we,
+                                            sink);
+              std::scoped_lock lock(merge_mu);
+              master.merge_from(local);
+            });
+      } else {
+        const auto sink = [&master](const std::uint32_t* b,
+                                    const std::uint32_t* p, std::size_t k) {
+          master.add_block(b, p, k);
+        };
+        (void)exec::probe_join_blocks(ht, probe_keys, selection, 0,
+                                      selection.word_count(), sink);
+      }
+    };
+    if (arm == opt::JoinArm::kDenseJoin) {
+      run_probe(exec::build_dense_join_table(
+          build_keys, build_sel, key_stats.rows == 0 ? 0 : key_stats.min,
+          std::max<std::int64_t>(1, key_stats.domain())));
+    } else {
+      run_probe(exec::build_join_table(build_keys, build_sel));
+    }
+  }
+  const std::uint64_t pairs = master.pair_count();
+  stats.join_pairs = pairs;
+  stats.work.cpu_cycles +=
+      kJoinBuildCyclesPerTuple * static_cast<double>(build_rows) +
+      kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows);
+  time_operator(stats, std::string(opt::join_arm_name(arm)) + "(" +
+                           build_table.name() + ")",
+                sw);
+
+  // ---- Emit: same decode/emit shape as the base grouped path. ----
+  sw.restart();
+  const exec::GroupedAggs grouped = master.finish();
+  stats.work.cpu_cycles +=
+      kAggCyclesPerTuple * static_cast<double>(pairs) *
+      static_cast<double>(std::max<std::size_t>(1, inputs.size()));
+  if (plan.has_group_by())
+    stats.work.cpu_cycles += kGroupCyclesPerTuple * static_cast<double>(pairs);
+  stats.groups = plan.has_group_by() ? grouped.group_count() : 1;
+
+  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
+  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
+  QueryResult result(std::move(names));
+  for (std::size_t g = 0; g < grouped.group_count(); ++g) {
+    std::vector<storage::Value> row;
+    row.reserve(parts.size() + plan.aggregates.size());
+    if (!parts.empty() && !composite) {
+      const GroupPart& part = parts.front();
+      if (part.col->type() == TypeId::kString)
+        row.emplace_back(part.col->dictionary().at(
+            static_cast<std::int32_t>(grouped.keys[g])));
+      else
+        row.emplace_back(grouped.keys[g]);
+    } else {
+      for (const GroupPart& part : parts) {
+        const std::int64_t component =
+            (grouped.keys[g] / part.stride) % part.domain + part.min;
+        if (part.col->type() == TypeId::kString)
+          row.emplace_back(part.col->dictionary().at(
+              static_cast<std::int32_t>(component)));
+        else
+          row.emplace_back(component);
+      }
+    }
+    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
+      const AggSpec& a = plan.aggregates[ai];
+      if (spec_input[ai] < 0) {
+        row.emplace_back(static_cast<std::int64_t>(grouped.counts[g]));
+        continue;
+      }
+      const auto j = static_cast<std::size_t>(spec_input[ai]);
+      exec::AggOut out;
+      out.is_double = inputs[j].column.is_double();
+      if (out.is_double)
+        out.d = grouped.dout[j][g];
+      else
+        out.i = grouped.iout[j][g];
+      row.push_back(agg_out_value(a.op, out));
+    }
+    result.add_row(std::move(row));
+  }
+  time_operator(stats, "aggregate(join)", sw);
+  return result;
+}
+
+QueryResult Executor::run_join_pairs(const LogicalPlan& plan,
+                                     const Table& table,
+                                     const BitVector& selection,
+                                     ExecStats& stats,
+                                     const ExecOptions& options) {
+  const JoinSpec& spec = *plan.join;
+  const Table& build_table = catalog_.get(spec.table);
+  if (!build_table.complete())
+    throw Error("table not fully loaded: " + spec.table);
+  // The legacy interpreter has no grouped-aggregation support; before the
+  // vectorized path existed it silently answered GROUP BY joins as global
+  // aggregates (the wrong-result bug this refactor fixed).
+  if (plan.has_group_by())
+    throw Error("GROUP BY over joins requires the vectorized join path");
 
   Stopwatch sw;
   BitVector build_sel =

@@ -29,12 +29,34 @@
 #include "storage/zonemap.hpp"
 #include "util/bitvector.hpp"
 
+namespace eidb::opt {
+class CostModel;
+}  // namespace eidb::opt
+
 namespace eidb::query {
 
 /// Aggregation implementation choice. kVectorized is the production path;
 /// kRowAtATime preserves the one-pass-per-AggSpec interpreter as a
 /// reference for parity tests and the P1 pipeline bench.
 enum class AggPath : std::uint8_t { kVectorized, kRowAtATime };
+
+/// Join implementation choice. kAuto is the production path: the
+/// block-at-a-time vectorized pipeline, with the physical arm (dense
+/// direct-address array vs one cache-resident hash table vs
+/// radix-partitioned) picked from the build key's cached statistics by
+/// the cost model; kDense / kHash / kRadix pin that arm (kDense throws
+/// when the key domain is too large to allocate). kPairMaterialize
+/// preserves the legacy pair-vector interpreter as a reference for
+/// parity tests and the W1 join bench — it supports only ungrouped
+/// aggregates and projections, and throws on GROUP BY rather than
+/// mis-answering.
+enum class JoinPath : std::uint8_t {
+  kAuto,
+  kDense,
+  kHash,
+  kRadix,
+  kPairMaterialize,
+};
 
 struct ExecOptions {
   /// Scan kernel choice; kAuto lets the adaptive dispatcher decide.
@@ -55,16 +77,25 @@ struct ExecOptions {
   /// predicates with masked kernels that skip dead 64-row blocks
   /// (kAuto scans only, like the parallel path).
   bool order_predicates = true;
-  /// Consume bit-packed column images where one exists (kAuto scans and
-  /// vectorized aggregation): predicates are rewritten into the packed
-  /// domain and the DRAM ledger is charged the packed byte count. Off =
-  /// always read the plain arrays (the parity baseline). Operators with
-  /// no packed kernel (joins, sorts, projections, expression evaluation,
-  /// explicit scan variants) transparently fall back to plain either way.
+  /// Consume bit-packed column images where one exists (kAuto scans,
+  /// vectorized aggregation, and join-key probing): predicates are
+  /// rewritten into the packed domain and the DRAM ledger is charged the
+  /// packed byte count. Off = always read the plain arrays (the parity
+  /// baseline). Operators with no packed kernel (sorts, projections,
+  /// join gathers, expression evaluation, explicit scan variants)
+  /// transparently fall back to plain either way.
   bool use_encodings = true;
   /// Minimum selected rows before aggregation goes morsel-parallel on
   /// `pool` (below this the dispatch overhead dominates).
   std::size_t parallel_agg_min_rows = 1u << 18;
+  /// Join implementation (see JoinPath).
+  JoinPath join_path = JoinPath::kAuto;
+  /// Cost model consulted by JoinPath::kAuto for the join-arm decision
+  /// (dense / hash / radix); nullptr uses the library defaults.
+  const opt::CostModel* cost_model = nullptr;
+  /// Minimum selected probe rows before the join probe goes
+  /// morsel-parallel on `pool`.
+  std::size_t parallel_join_min_rows = 1u << 18;
 };
 
 /// NOT thread-safe across concurrent execute() calls (scratch buffers are
@@ -149,6 +180,20 @@ class Executor {
                                      const BitVector& selection,
                                      ExecStats& stats,
                                      const ExecOptions& options);
+  /// Block-at-a-time late-materializing join pipeline (default): packed
+  /// key probing, dense/hash/radix arm, morsel-parallel probe, grouped and
+  /// build-side aggregation through exec::JoinAggregator.
+  [[nodiscard]] QueryResult run_join_vectorized(const LogicalPlan& plan,
+                                                const storage::Table& table,
+                                                const BitVector& selection,
+                                                ExecStats& stats,
+                                                const ExecOptions& options);
+  /// Legacy pair-materializing interpreter (JoinPath::kPairMaterialize).
+  [[nodiscard]] QueryResult run_join_pairs(const LogicalPlan& plan,
+                                           const storage::Table& table,
+                                           const BitVector& selection,
+                                           ExecStats& stats,
+                                           const ExecOptions& options);
   [[nodiscard]] QueryResult run_projection(const LogicalPlan& plan,
                                            const storage::Table& table,
                                            const BitVector& selection,

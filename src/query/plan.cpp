@@ -22,6 +22,19 @@ std::string agg_name(AggOp op) {
   return "invalid";
 }
 
+void validate_join_plan(const LogicalPlan& plan) {
+  if (!plan.join.has_value()) return;
+  for (const AggSpec& a : plan.aggregates)
+    if (a.expr != nullptr)
+      throw Error("expression aggregates are not supported with joins");
+  if (plan.order_by.has_value())
+    throw Error("ORDER BY is not supported with JOIN");
+  if (plan.has_group_by() && !plan.is_aggregate())
+    throw Error("GROUP BY with JOIN requires an aggregate select list");
+  if (!plan.is_aggregate() && plan.projection.empty())
+    throw Error("join without aggregates requires an explicit select()");
+}
+
 std::string LogicalPlan::to_string() const {
   std::ostringstream os;
   os << "scan(" << table << ")";

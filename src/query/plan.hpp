@@ -67,6 +67,14 @@ struct LogicalPlan {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Validates a join plan's shape against what the executor supports,
+/// throwing eidb::Error for shapes that would otherwise execute with a
+/// wrong or partial answer (expression aggregates over joins, ORDER BY
+/// with joins, grouped or bare projections). A plan without a join
+/// passes unconditionally. The executor calls this before running any
+/// join, so no unsupported shape is ever silently mis-answered.
+void validate_join_plan(const LogicalPlan& plan);
+
 /// Fluent builder:
 ///   auto plan = QueryBuilder("sales")
 ///                   .filter_int("amount", 10, 99)

@@ -251,6 +251,14 @@ Value Column::value_at(std::size_t i) const {
   return {};
 }
 
+std::int64_t Column::int_at(std::size_t i) const {
+  EIDB_EXPECTS(type_ != TypeId::kDouble);
+  EIDB_EXPECTS(i < count_);
+  if (type_ == TypeId::kInt64)
+    return data_.as_span<const std::int64_t>()[i];
+  return data_.as_span<const std::int32_t>()[i];  // int32 or string codes
+}
+
 std::span<std::int32_t> Column::mutable_int32() {
   EIDB_EXPECTS(type_ == TypeId::kInt32 || type_ == TypeId::kString);
   stats_.reset();

@@ -125,6 +125,11 @@ class Column {
 
   /// Value at row `i`, decoded (strings materialized from the dictionary).
   [[nodiscard]] Value value_at(std::size_t i) const;
+  /// Integer value at row `i` for integer-typed columns (int32 / int64 /
+  /// dictionary codes) — the random-access gather used by join and sort
+  /// consumers, without the Value boxing of value_at.
+  /// Precondition: type() != kDouble.
+  [[nodiscard]] std::int64_t int_at(std::size_t i) const;
 
   // -- Encoded physical storage --------------------------------------------
   /// Current encoding (kPlain when no packed image exists).

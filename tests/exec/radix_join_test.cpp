@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -96,6 +98,54 @@ TEST(RadixJoin, EmptyInputs) {
   const std::vector<std::int64_t> some = {1, 2};
   EXPECT_TRUE(radix_hash_join(none, BitVector(0), some, all_set(2)).empty());
   EXPECT_TRUE(radix_hash_join(some, all_set(2), none, BitVector(0)).empty());
+}
+
+// Regression: the partition pass used to walk the selection without any
+// size contract, reading keys[i] out of bounds for oversized selections.
+TEST(RadixJoinDeathTest, OversizedSelectionViolatesPrecondition) {
+  const std::vector<std::int64_t> keys = {1, 2, 3};
+  BitVector oversized(10);
+  oversized.set_all();
+  EXPECT_DEATH((void)radix_hash_join(keys, oversized, keys, all_set(3), 4),
+               "precondition");
+  EXPECT_DEATH((void)radix_partition(
+                   JoinKeys::from(std::span<const std::int64_t>(keys)),
+                   oversized, 4),
+               "precondition");
+}
+
+TEST(RadixJoin, PartitionBlocksCoverEveryPairExactlyOnce) {
+  // The block primitives (radix_partition + join_partition_blocks) must
+  // produce the same pair multiset as the plain hash join.
+  Pcg32 rng(11);
+  std::vector<std::int64_t> build(3000), probe(9000);
+  for (auto& k : build) k = rng.next_bounded(800);
+  for (auto& k : probe) k = rng.next_bounded(800);
+  BitVector bsel(build.size()), psel(probe.size());
+  for (std::size_t i = 0; i < build.size(); ++i)
+    if (rng.next_double() < 0.8) bsel.set(i);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    if (rng.next_double() < 0.8) psel.set(i);
+
+  const auto bparts = radix_partition(
+      JoinKeys::from(std::span<const std::int64_t>(build)), bsel, 5);
+  const auto pparts = radix_partition(
+      JoinKeys::from(std::span<const std::int64_t>(probe)), psel, 5);
+  std::vector<JoinPair> got;
+  std::uint64_t emitted = 0;
+  for (std::size_t part = 0; part < bparts.parts.size(); ++part) {
+    emitted += join_partition_blocks(
+        bparts.parts[part], pparts.parts[part],
+        [&](const std::uint32_t* b, const std::uint32_t* p, std::size_t k) {
+          for (std::size_t e = 0; e < k; ++e) got.push_back({b[e], p[e]});
+        });
+  }
+  EXPECT_EQ(emitted, got.size());
+  std::sort(got.begin(), got.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.probe_row != b.probe_row) return a.probe_row < b.probe_row;
+    return a.build_row < b.build_row;
+  });
+  expect_same(got, hash_join(build, bsel, probe, psel));
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "exec/fused.hpp"
@@ -328,6 +331,120 @@ TEST(MaskedScans, SkipsDeadWords) {
   EXPECT_EQ(stats.words_total, 100u);
   EXPECT_EQ(stats.words_skipped, 99u);
   EXPECT_EQ(selection.count(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// JoinAggregator: gather-based sink of the late-materialized join pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(JoinAggregator, GlobalAggregatesGatherBothSides) {
+  const std::vector<std::int64_t> probe_vals = {10, 20, 30, 40};
+  const std::vector<std::int32_t> build_vals = {1, 2, 3};
+  JoinAggregator agg({{AggInput::from(std::span(probe_vals)), false},
+                      {AggInput::from(std::span(build_vals)), true}});
+  // Matches: (build 0, probe 3), (build 2, probe 1), (build 2, probe 1).
+  const std::uint32_t b[] = {0, 2, 2};
+  const std::uint32_t p[] = {3, 1, 1};
+  agg.add_block(b, p, 3);
+  EXPECT_EQ(agg.pair_count(), 3u);
+  const GroupedAggs out = agg.finish();
+  ASSERT_EQ(out.group_count(), 1u);
+  EXPECT_EQ(out.counts[0], 3u);
+  EXPECT_EQ(out.iout[0][0].sum, 40 + 20 + 20);  // probe gather
+  EXPECT_EQ(out.iout[1][0].sum, 1 + 3 + 3);     // build gather
+  EXPECT_EQ(out.iout[1][0].min, 1);
+  EXPECT_EQ(out.iout[1][0].max, 3);
+}
+
+TEST(JoinAggregator, GlobalEmptyEmitsOneZeroGroup) {
+  const std::vector<std::int64_t> vals = {1, 2};
+  JoinAggregator agg({{AggInput::from(std::span(vals)), false}});
+  const GroupedAggs out = agg.finish();
+  ASSERT_EQ(out.group_count(), 1u);
+  EXPECT_EQ(out.counts[0], 0u);
+  EXPECT_EQ(out.iout[0][0].sum, 0);
+  EXPECT_EQ(out.iout[0][0].min, 0);
+}
+
+TEST(JoinAggregator, GroupedMatchesManualAccumulation) {
+  // Probe-side int keys, one probe input and one build-side double input,
+  // checked against a scalar re-computation (dense and hash strategies).
+  Pcg32 rng(77);
+  std::vector<std::int32_t> keys(500);
+  std::vector<std::int64_t> vals(500);
+  std::vector<double> weights(40);
+  for (auto& k : keys) k = static_cast<std::int32_t>(rng.next_bounded(7));
+  for (auto& v : vals) v = rng.next_in_range(-50, 50);
+  for (auto& w : weights) w = rng.next_double();
+  std::vector<std::uint32_t> b, p;
+  for (int i = 0; i < 2000; ++i) {
+    b.push_back(rng.next_bounded(40));
+    p.push_back(rng.next_bounded(500));
+  }
+  for (const bool force_hash : {false, true}) {
+    const KeyRange range{!force_hash, 0, 6, 7};
+    JoinAggregator agg({{AggInput::from(std::span(vals)), false},
+                        {AggInput::from(std::span(weights)), true}},
+                       {{AggInput::from(std::span(keys)), false, 0, 1}},
+                       range);
+    agg.add_block(b.data(), p.data(), b.size());
+    const GroupedAggs out = agg.finish();
+
+    std::map<std::int64_t, std::pair<std::int64_t, double>> want;  // sums
+    std::map<std::int64_t, std::uint64_t> want_count;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const std::int64_t k = keys[p[i]];
+      want[k].first += vals[p[i]];
+      want[k].second += weights[b[i]];
+      ++want_count[k];
+    }
+    ASSERT_EQ(out.group_count(), want.size());
+    for (std::size_t g = 0; g < out.group_count(); ++g) {
+      const std::int64_t k = out.keys[g];
+      EXPECT_EQ(out.counts[g], want_count[k]) << k;
+      EXPECT_EQ(out.iout[0][g].sum, want[k].first) << k;
+      EXPECT_DOUBLE_EQ(out.dout[1][g].sum, want[k].second) << k;
+    }
+  }
+}
+
+TEST(JoinAggregator, MergePartialsEqualsSinglePass) {
+  Pcg32 rng(88);
+  std::vector<std::int64_t> keys(300), vals(300);
+  for (auto& k : keys) k = rng.next_in_range(-3, 3);
+  for (auto& v : vals) v = rng.next_in_range(0, 99);
+  std::vector<std::uint32_t> b(1000), p(1000);
+  for (auto& x : b) x = rng.next_bounded(300);
+  for (auto& x : p) x = rng.next_bounded(300);
+
+  const KeyRange range{true, -3, 3, 7};
+  const auto make = [&] {
+    return JoinAggregator({{AggInput::from(std::span(vals)), false}},
+                          {{AggInput::from(std::span(keys)), false, 0, 1}},
+                          range);
+  };
+  JoinAggregator whole = make();
+  whole.add_block(b.data(), p.data(), b.size());
+
+  JoinAggregator merged = make();
+  JoinAggregator part1 = make();
+  JoinAggregator part2 = make();
+  part1.add_block(b.data(), p.data(), 400);
+  part2.add_block(b.data() + 400, p.data() + 400, 600);
+  merged.merge_from(part1);
+  merged.merge_from(part2);
+
+  const GroupedAggs a = whole.finish();
+  const GroupedAggs c = merged.finish();
+  ASSERT_EQ(a.group_count(), c.group_count());
+  EXPECT_EQ(whole.pair_count(), merged.pair_count());
+  for (std::size_t g = 0; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.keys[g], c.keys[g]);
+    EXPECT_EQ(a.counts[g], c.counts[g]);
+    EXPECT_EQ(a.iout[0][g].sum, c.iout[0][g].sum);
+    EXPECT_EQ(a.iout[0][g].min, c.iout[0][g].min);
+    EXPECT_EQ(a.iout[0][g].max, c.iout[0][g].max);
+  }
 }
 
 }  // namespace

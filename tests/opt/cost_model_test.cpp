@@ -141,5 +141,60 @@ TEST(CostModel, PickStorageArmPrefersPackedWhenKernelExists) {
   EXPECT_FALSE(storage_arm_name(fallback).empty());
 }
 
+TEST(CostModel, PickJoinArmByBuildCardinality) {
+  const CostModel m;
+  const std::uint64_t budget = m.costs().join_cache_build_entries;
+  // Small builds keep the single cache-resident table.
+  EXPECT_EQ(m.pick_join_arm(1000), JoinArm::kHashJoin);
+  EXPECT_EQ(m.pick_join_arm(budget), JoinArm::kHashJoin);
+  // Larger builds radix-partition.
+  EXPECT_EQ(m.pick_join_arm(budget * 8), JoinArm::kRadixJoin);
+  // A low distinct estimate caps the table size: many duplicate rows of
+  // few keys stay on the hash arm.
+  EXPECT_EQ(m.pick_join_arm(budget * 8, /*distinct_hint=*/100),
+            JoinArm::kHashJoin);
+  EXPECT_FALSE(join_arm_name(JoinArm::kHashJoin).empty());
+  EXPECT_FALSE(join_arm_name(JoinArm::kRadixJoin).empty());
+  EXPECT_FALSE(join_arm_name(JoinArm::kDenseJoin).empty());
+}
+
+TEST(CostModel, PickJoinArmPrefersDenseDomains) {
+  const CostModel m;
+  const std::uint64_t max_domain = m.costs().dense_join_max_domain;
+  // The star-schema case: surrogate keys 0..N over a comparable build.
+  EXPECT_EQ(m.pick_join_arm(30'000, 30'000, /*key_domain=*/30'000),
+            JoinArm::kDenseJoin);
+  // Even a large build takes the dense arm when the domain is affordable.
+  EXPECT_EQ(m.pick_join_arm(1u << 20, 0, max_domain), JoinArm::kDenseJoin);
+  // Too-large domains fall back to the cardinality policy.
+  EXPECT_EQ(m.pick_join_arm(1000, 0, max_domain * 2), JoinArm::kHashJoin);
+  // Grossly sparse domains (hash-like keys) are not worth the array.
+  EXPECT_EQ(m.pick_join_arm(10, 10, /*key_domain=*/1u << 20),
+            JoinArm::kHashJoin);
+  // No domain knowledge: never dense.
+  EXPECT_EQ(m.pick_join_arm(1000, 0, 0), JoinArm::kHashJoin);
+}
+
+TEST(CostModel, RadixBitsScaleWithBuildAndStayClamped) {
+  const CostModel m;
+  const std::uint64_t budget = m.costs().join_cache_build_entries;
+  const unsigned small_bits = m.pick_radix_bits(budget * 2);
+  const unsigned big_bits = m.pick_radix_bits(budget * 1024);
+  EXPECT_GE(small_bits, 4u);
+  EXPECT_LE(big_bits, 12u);
+  EXPECT_LE(small_bits, big_bits);
+  // Each partition's build side fits the budget (until the clamp).
+  EXPECT_LE((budget * 2) >> small_bits, budget);
+}
+
+TEST(CostModel, RadixJoinWorkAddsPartitionPass) {
+  const CostModel m;
+  const hw::Work hash = m.join_work(JoinArm::kHashJoin, 1 << 20, 1 << 22, 8.0);
+  const hw::Work radix =
+      m.join_work(JoinArm::kRadixJoin, 1 << 20, 1 << 22, 8.0);
+  EXPECT_GT(radix.cpu_cycles, hash.cpu_cycles);
+  EXPECT_GT(radix.dram_bytes, hash.dram_bytes);
+}
+
 }  // namespace
 }  // namespace eidb::opt

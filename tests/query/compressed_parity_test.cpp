@@ -7,10 +7,14 @@
 // `ExecOptions::use_encodings` the default.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/join.hpp"
 #include "query/executor.hpp"
 #include "sched/thread_pool.hpp"
 #include "storage/column.hpp"
@@ -75,17 +79,29 @@ Catalog make_catalog(std::uint64_t seed) {
   t.set_column(6, Column::from_strings("tag", tag));
   t.set_column(7, Column::from_double("d", d));
 
-  // dim(key, weight) for joins: keys overlap u32's domain partially.
-  Table& dim = cat.add(Table(
-      "dim", Schema({{"key", TypeId::kInt32}, {"weight", TypeId::kInt64}})));
+  // dim(key, weight, cat) for joins: keys overlap u32's domain partially,
+  // keys 0..49 appear TWICE (duplicate build keys -> pair fan-out), and
+  // `cat` gives a build-side string group key.
+  Table& dim = cat.add(Table("dim", Schema({{"key", TypeId::kInt32},
+                                            {"weight", TypeId::kInt64},
+                                            {"cat", TypeId::kString}})));
   std::vector<std::int32_t> keys;
   std::vector<std::int64_t> weights;
+  std::vector<std::string> cats;
+  const char* cat_names[] = {"red", "green", "blue"};
   for (std::int32_t k = 0; k < 700; ++k) {
     keys.push_back(k);
     weights.push_back(rng.next_in_range(-9, 9));
+    cats.emplace_back(cat_names[rng.next_bounded(3)]);
+  }
+  for (std::int32_t k = 0; k < 50; ++k) {  // duplicates
+    keys.push_back(k);
+    weights.push_back(rng.next_in_range(-9, 9));
+    cats.emplace_back(cat_names[rng.next_bounded(3)]);
   }
   dim.set_column(0, Column::from_int32("key", keys));
   dim.set_column(1, Column::from_int64("weight", weights));
+  dim.set_column(2, Column::from_strings("cat", cats));
   return cat;
 }
 
@@ -204,13 +220,53 @@ std::vector<std::pair<std::string, LogicalPlan>> query_matrix() {
                              .aggregate(AggOp::kCount)
                              .aggregate(AggOp::kSum, "wide64")
                              .build());
-  // Joins (plain fallback path under encodings — must stay identical).
+  // Joins: packed key probing, duplicate build keys, build-side aggregate
+  // columns, grouped aggregation over probe AND build columns, empty
+  // build selections — every shape the vectorized join pipeline supports.
   add("join_agg", QueryBuilder("facts")
                       .filter_int("u32", 0, 680)
                       .join("dim", "u32", "key")
                       .aggregate(AggOp::kCount)
                       .aggregate(AggOp::kSum, "wide64")
                       .build());
+  add("join_build_agg", QueryBuilder("facts")
+                            .join("dim", "u32", "key")
+                            .aggregate(AggOp::kCount)
+                            .aggregate(AggOp::kSum, "dim.weight")
+                            .aggregate(AggOp::kMin, "dim.weight")
+                            .aggregate(AggOp::kMax, "u32")
+                            .build());
+  add("join_group_probe", QueryBuilder("facts")
+                              .filter_int("u32", 0, 200)
+                              .join("dim", "u32", "key")
+                              .group_by("tag")
+                              .aggregate(AggOp::kCount)
+                              .aggregate(AggOp::kSum, "wide64")
+                              .aggregate(AggOp::kSum, "dim.weight")
+                              .build());
+  add("join_group_build", QueryBuilder("facts")
+                              .join("dim", "u32", "key")
+                              .join_filter_int("weight", -5, 5)
+                              .group_by("dim.cat")
+                              .aggregate(AggOp::kCount)
+                              .aggregate(AggOp::kSum, "u32")
+                              .aggregate(AggOp::kMin, "neg32")
+                              .build());
+  add("join_group_composite", QueryBuilder("facts")
+                                  .filter_int("skew32", 0, 3)
+                                  .join("dim", "u32", "key")
+                                  .group_by("skew32")
+                                  .group_by("dim.cat")
+                                  .aggregate(AggOp::kCount)
+                                  .aggregate(AggOp::kSum, "dim.weight")
+                                  .build());
+  add("join_empty_build", QueryBuilder("facts")
+                              .join("dim", "u32", "key")
+                              .join_filter_int("weight", 100, 200)
+                              .group_by("tag")
+                              .aggregate(AggOp::kCount)
+                              .aggregate(AggOp::kSum, "u32")
+                              .build());
   // Projection + order-by + limit (plain fallback).
   add("topn", QueryBuilder("facts")
                   .filter_int("skew32", 0, 3)
@@ -450,6 +506,135 @@ TEST(CompressedParity, MixedConsumersChargeOneRepresentation) {
       s_packed.work.dram_bytes,
       static_cast<double>(t.column("skew32").scan_byte_size() +
                           t.column("wide64").byte_size()));
+}
+
+// ---------------------------------------------------------------------------
+// Join queries against a fully independent scalar nested-loop oracle:
+// selections come from the public predicate API, the join from
+// exec::nested_loop_join over widened keys, and grouping/aggregation from
+// plain scalar maps — none of the vectorized pipeline. Results must be
+// bit-identical under every encoding.
+// ---------------------------------------------------------------------------
+TEST(CompressedParity, JoinMatrixMatchesNestedLoopOracle) {
+  Catalog cat = make_catalog(2026);
+  const Table& facts = cat.get("facts");
+  const Table& dim = cat.get("dim");
+  Executor ex(cat);
+
+  const auto resolve =
+      [&](const std::string& n) -> std::pair<const Table*, const Column*> {
+    const auto dot = n.find('.');
+    if (dot != std::string::npos) {
+      const std::string t = n.substr(0, dot);
+      const std::string c = n.substr(dot + 1);
+      if (t == "dim") return {&dim, &dim.column(c)};
+      return {&facts, &facts.column(c)};
+    }
+    if (facts.schema().has_column(n)) return {&facts, &facts.column(n)};
+    return {&dim, &dim.column(n)};
+  };
+
+  for (const std::optional<Encoding> forced :
+       {std::optional<Encoding>{}, std::optional<Encoding>{Encoding::kPlain},
+        std::optional<Encoding>{Encoding::kBitPacked},
+        std::optional<Encoding>{Encoding::kForBitPacked}}) {
+    recode_all(cat, forced);
+    for (auto& [name, plan] : query_matrix()) {
+      if (!plan.join.has_value() || !plan.is_aggregate()) continue;
+      const std::string label =
+          (forced ? storage::encoding_name(*forced) : "auto") + "/" + name;
+
+      // Oracle selections + pairs.
+      ExecStats scratch;
+      const ExecOptions oracle_opts;
+      const BitVector psel =
+          ex.evaluate_predicates(facts, plan.predicates, scratch, oracle_opts);
+      const BitVector bsel = ex.evaluate_predicates(
+          dim, plan.join->predicates, scratch, oracle_opts);
+      const auto widen = [](const Column& c) {
+        std::vector<std::int64_t> out;
+        out.reserve(c.size());
+        for (std::size_t i = 0; i < c.size(); ++i) out.push_back(c.int_at(i));
+        return out;
+      };
+      const auto pk = widen(facts.column(plan.join->left_key));
+      const auto bk = widen(dim.column(plan.join->right_key));
+      const auto pairs = exec::nested_loop_join(bk, bsel, pk, psel);
+
+      // Scalar accumulation (the matrix uses COUNT/SUM/MIN/MAX on integer
+      // columns, so everything is exact int64 arithmetic).
+      struct Group {
+        std::int64_t count = 0;
+        std::vector<std::int64_t> sum, mn, mx;
+      };
+      std::map<std::string, Group> groups;
+      const std::size_t n_aggs = plan.aggregates.size();
+      for (const exec::JoinPair& pr : pairs) {
+        std::string key;
+        for (const std::string& gname : plan.group_by) {
+          const auto [t, c] = resolve(gname);
+          const std::size_t row = t == &dim ? pr.build_row : pr.probe_row;
+          key += c->value_at(row).to_string() + "|";
+        }
+        Group& g = groups[key];
+        if (g.sum.empty()) {
+          g.sum.assign(n_aggs, 0);
+          g.mn.assign(n_aggs, std::numeric_limits<std::int64_t>::max());
+          g.mx.assign(n_aggs, std::numeric_limits<std::int64_t>::min());
+        }
+        ++g.count;
+        for (std::size_t ai = 0; ai < n_aggs; ++ai) {
+          const AggSpec& a = plan.aggregates[ai];
+          if (a.op == AggOp::kCount) continue;
+          ASSERT_NE(a.op, AggOp::kAvg) << "oracle is integer-exact only";
+          const auto [t, c] = resolve(a.column);
+          const std::int64_t v =
+              c->int_at(t == &dim ? pr.build_row : pr.probe_row);
+          g.sum[ai] += v;
+          g.mn[ai] = std::min(g.mn[ai], v);
+          g.mx[ai] = std::max(g.mx[ai], v);
+        }
+      }
+      // A global aggregate over zero pairs still emits one zeroed row.
+      if (plan.group_by.empty() && groups.empty()) {
+        Group& g = groups[""];
+        g.sum.assign(n_aggs, 0);
+        g.mn.assign(n_aggs, 0);
+        g.mx.assign(n_aggs, 0);
+      }
+
+      ExecStats stats;
+      const QueryResult got = ex.execute(plan, stats);
+      ASSERT_EQ(got.row_count(), groups.size()) << label;
+      for (std::size_t r = 0; r < got.row_count(); ++r) {
+        std::string key;
+        for (std::size_t gc = 0; gc < plan.group_by.size(); ++gc)
+          key += got.at(r, gc).to_string() + "|";
+        ASSERT_TRUE(groups.count(key)) << label << " key " << key;
+        const Group& g = groups[key];
+        for (std::size_t ai = 0; ai < n_aggs; ++ai) {
+          const std::size_t col = plan.group_by.size() + ai;
+          const std::int64_t got_v = got.at(r, col).as_int();
+          switch (plan.aggregates[ai].op) {
+            case AggOp::kCount:
+              EXPECT_EQ(got_v, g.count) << label << " key " << key;
+              break;
+            case AggOp::kSum:
+              EXPECT_EQ(got_v, g.sum[ai]) << label << " key " << key;
+              break;
+            case AggOp::kMin:
+              EXPECT_EQ(got_v, g.count ? g.mn[ai] : 0) << label;
+              break;
+            case AggOp::kMax:
+              EXPECT_EQ(got_v, g.count ? g.mx[ai] : 0) << label;
+              break;
+            case AggOp::kAvg:
+              break;
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(CompressedParity, BitPackedRejectsNegativeDomains) {

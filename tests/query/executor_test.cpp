@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -462,6 +464,297 @@ TEST(Executor, OperatorTimingsRecorded) {
   (void)ex.execute(plan, stats);
   ASSERT_GE(stats.operator_seconds.size(), 2u);
   EXPECT_NE(stats.operator_seconds[0].first.find("scan"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized join pipeline.
+// ---------------------------------------------------------------------------
+
+/// Scalar oracle for the join + GROUP BY regression tests: loops over the
+/// deterministic make_catalog contents (each sales row joins the single
+/// customer with id == amount).
+struct JoinOracle {
+  std::map<std::string, std::int64_t> count;
+  std::map<std::string, std::int64_t> sum;  // of one probed column
+};
+
+// Regression for the wrong-result bug: run_join used to IGNORE
+// plan.group_by entirely and report stats.groups == 1, answering a grouped
+// join as if it were a global aggregate.
+TEST(Executor, JoinGroupByProbeKeyMatchesScalarOracle) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 0, 9)
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+
+  JoinOracle want;
+  const char* region_names[] = {"asia", "eu", "us"};
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::int64_t amount = i % 100;  // joins customer id == amount
+    const std::int64_t age = amount % 50;
+    if (age > 9) continue;
+    const std::string region = region_names[i % 3];
+    ++want.count[region];
+    want.sum[region] += amount;
+  }
+  ASSERT_EQ(r.row_count(), want.count.size());
+  EXPECT_EQ(stats.groups, want.count.size());
+  EXPECT_EQ(stats.join_pairs, 200u);
+  for (std::size_t g = 0; g < r.row_count(); ++g) {
+    const std::string region = r.at(g, 0).as_string();
+    ASSERT_TRUE(want.count.count(region)) << region;
+    EXPECT_EQ(r.at(g, 1).as_int(), want.count[region]) << region;
+    EXPECT_EQ(r.at(g, 2).as_int(), want.sum[region]) << region;
+  }
+}
+
+TEST(Executor, JoinGroupByBuildSideKeyAndAggregate) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // Group by a BUILD-side column and aggregate a BUILD-side column.
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 0, 4)
+                        .group_by("customers.age")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "customers.age")
+                        .aggregate(AggOp::kMax, "amount")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // Ages 0..4 select customer ids {k, 50+k}; each id matches 10 sales
+  // rows -> 20 pairs per age group.
+  ASSERT_EQ(r.row_count(), 5u);
+  for (std::size_t g = 0; g < 5; ++g) {
+    const std::int64_t age = r.at(g, 0).as_int();
+    EXPECT_EQ(age, static_cast<std::int64_t>(g));
+    EXPECT_EQ(r.at(g, 1).as_int(), 20);
+    EXPECT_EQ(r.at(g, 2).as_int(), 20 * age);
+    EXPECT_EQ(r.at(g, 3).as_int(), 50 + age);  // max amount in the group
+  }
+}
+
+TEST(Executor, JoinCompositeGroupAcrossBothTables) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 0, 1)
+                        .group_by("region")
+                        .group_by("customers.age")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  // Ages {0, 1} x regions {asia, eu, us}: 6 groups.
+  ASSERT_EQ(r.row_count(), 6u);
+  std::int64_t total = 0;
+  for (std::size_t g = 0; g < r.row_count(); ++g)
+    total += r.at(g, 2).as_int();
+  EXPECT_EQ(total, 40);  // 4 qualifying ids x 10 rows each
+}
+
+TEST(Executor, JoinArmsAgreeWithLegacyPairPath) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("id", 0, 499)
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 10, 29)
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
+                        .aggregate(AggOp::kAvg, "price")
+                        .build();
+  std::vector<QueryResult> results;
+  for (const JoinPath path : {JoinPath::kPairMaterialize, JoinPath::kAuto,
+                              JoinPath::kDense, JoinPath::kHash,
+                              JoinPath::kRadix}) {
+    ExecStats stats;
+    ExecOptions options;
+    options.join_path = path;
+    results.push_back(ex.execute(plan, stats, options));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].row_count(), results[0].row_count());
+    for (std::size_t c = 0; c < results[0].column_count(); ++c)
+      EXPECT_EQ(results[i].at(0, c), results[0].at(0, c)) << "path " << i;
+  }
+}
+
+TEST(Executor, JoinParallelProbeMatchesSerial) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  sched::ThreadPool pool(4);
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
+                        .aggregate(AggOp::kMin, "customers.age")
+                        .build();
+  ExecStats serial_stats, par_stats, radix_stats;
+  const QueryResult serial = ex.execute(plan, serial_stats);
+  ExecOptions par;
+  par.pool = &pool;
+  par.parallel_join_min_rows = 1;  // force the parallel probe
+  const QueryResult parallel = ex.execute(plan, par_stats, par);
+  par.join_path = JoinPath::kRadix;  // and the parallel radix arm
+  const QueryResult radix = ex.execute(plan, radix_stats, par);
+  ASSERT_EQ(serial.row_count(), parallel.row_count());
+  ASSERT_EQ(serial.row_count(), radix.row_count());
+  for (std::size_t g = 0; g < serial.row_count(); ++g)
+    for (std::size_t c = 0; c < serial.column_count(); ++c) {
+      EXPECT_EQ(serial.at(g, c), parallel.at(g, c)) << g << "," << c;
+      EXPECT_EQ(serial.at(g, c), radix.at(g, c)) << g << "," << c;
+    }
+}
+
+TEST(Executor, JoinEmptyBuildSelection) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const auto base = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 200, 300);  // no customer
+  {
+    ExecStats stats;
+    const auto plan = QueryBuilder(base)
+                          .aggregate(AggOp::kCount)
+                          .aggregate(AggOp::kSum, "amount")
+                          .build();
+    const QueryResult r = ex.execute(plan, stats);
+    ASSERT_EQ(r.row_count(), 1u);
+    EXPECT_EQ(r.at(0, 0).as_int(), 0);
+    EXPECT_EQ(r.at(0, 1).as_int(), 0);
+    EXPECT_EQ(stats.join_pairs, 0u);
+  }
+  {
+    ExecStats stats;
+    const auto plan = QueryBuilder(base)
+                          .group_by("region")
+                          .aggregate(AggOp::kCount)
+                          .build();
+    const QueryResult r = ex.execute(plan, stats);
+    EXPECT_EQ(r.row_count(), 0u);
+    EXPECT_EQ(stats.groups, 0u);
+  }
+}
+
+TEST(Executor, JoinRejectsUnsupportedShapesUpFront) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // Legacy pair path cannot group: must throw, never silently mis-answer.
+  {
+    ExecOptions options;
+    options.join_path = JoinPath::kPairMaterialize;
+    const auto plan = QueryBuilder("sales")
+                          .join("customers", "amount", "id")
+                          .group_by("region")
+                          .aggregate(AggOp::kCount)
+                          .build();
+    EXPECT_THROW((void)ex.execute(plan, stats, options), Error);
+  }
+  // ORDER BY with JOIN is rejected (it used to be silently ignored).
+  {
+    const auto plan = QueryBuilder("sales")
+                          .join("customers", "amount", "id")
+                          .select({"id", "customers.age"})
+                          .order_by("id")
+                          .build();
+    EXPECT_THROW((void)ex.execute(plan, stats), Error);
+  }
+  // Expression aggregates over joins are rejected before any work runs.
+  {
+    const auto expr = exec::Expr::binary(exec::ExprOp::kMul,
+                                         exec::Expr::column("amount"),
+                                         exec::Expr::column("amount"));
+    const auto plan = QueryBuilder("sales")
+                          .join("customers", "amount", "id")
+                          .aggregate_expr(AggOp::kSum, expr)
+                          .build();
+    EXPECT_THROW((void)ex.execute(plan, stats), Error);
+  }
+  // Double-typed join keys cannot hash-equal meaningfully here.
+  {
+    const auto plan = QueryBuilder("sales")
+                          .join("customers", "price", "id")
+                          .aggregate(AggOp::kCount)
+                          .build();
+    EXPECT_THROW((void)ex.execute(plan, stats), Error);
+  }
+}
+
+// The "charge what you read" rule (join-path energy attribution): DRAM
+// bytes must equal the representations the chosen arm actually streams —
+// packed images for the join keys, plain arrays for every gathered
+// payload/group column, each charged once per query.
+TEST(Executor, JoinDramChargesMatchBytesRead) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const Table& sales = cat.get("sales");
+  const Table& customers = cat.get("customers");
+  const auto scan_bytes = [](const Column& c) {
+    // Mirrors Executor::use_packed under default options.
+    const bool packed =
+        c.encoded() != nullptr && c.scan_byte_size() <= c.byte_size();
+    return static_cast<double>(packed ? c.scan_byte_size() : c.byte_size());
+  };
+
+  // Keys not otherwise gathered: both consumed packed.
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "price")
+                        .aggregate(AggOp::kSum, "customers.age")
+                        .build();
+  ExecStats stats;
+  (void)ex.execute(plan, stats);
+  ASSERT_NE(sales.column("amount").encoded(), nullptr);
+  const double want =
+      scan_bytes(sales.column("amount")) +                       // probe key
+      scan_bytes(customers.column("id")) +                       // build key
+      static_cast<double>(sales.column("region").byte_size()) +  // group key
+      static_cast<double>(sales.column("price").byte_size()) +   // agg gather
+      static_cast<double>(customers.column("age").byte_size());  // build agg
+  EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
+
+  // One representation per column per query: a join key that is ALSO a
+  // gathered aggregate input is read plain everywhere and charged once.
+  const auto plan2 = QueryBuilder("sales")
+                         .join("customers", "amount", "id")
+                         .group_by("region")
+                         .aggregate(AggOp::kSum, "amount")
+                         .build();
+  ExecStats stats2;
+  (void)ex.execute(plan2, stats2);
+  const double want2 =
+      static_cast<double>(sales.column("amount").byte_size()) +  // key + agg
+      scan_bytes(customers.column("id")) +                       // build key
+      static_cast<double>(sales.column("region").byte_size());   // group key
+  EXPECT_DOUBLE_EQ(stats2.work.dram_bytes, want2);
+
+  // With encodings off, the same query charges the plain widths only, and
+  // never less than the packed run.
+  ExecOptions plain_opts;
+  plain_opts.use_encodings = false;
+  ExecStats plain_stats;
+  (void)ex.execute(plan, plain_stats, plain_opts);
+  const double plain_want =
+      static_cast<double>(sales.column("amount").byte_size()) +
+      static_cast<double>(customers.column("id").byte_size()) +
+      static_cast<double>(sales.column("region").byte_size()) +
+      static_cast<double>(sales.column("price").byte_size()) +
+      static_cast<double>(customers.column("age").byte_size());
+  EXPECT_DOUBLE_EQ(plain_stats.work.dram_bytes, plain_want);
+  EXPECT_LE(stats.work.dram_bytes, plain_stats.work.dram_bytes);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // fuzzer exercises the packed scan/agg kernels, not just the plain ones.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -111,31 +112,58 @@ storage::Catalog make_fuzz_catalog(std::uint64_t seed) {
   t.set_column(2, Column::from_int32("g", g));
   t.set_column(3, Column::from_strings("s", s));
   t.set_column(4, Column::from_double("d", d));
+
+  // u(key, w, c): the join build side — key overlaps t.g's [0, 12) domain
+  // with duplicates, so generated joins fan out.
+  storage::Table& u = cat.add(storage::Table(
+      "u", storage::Schema({{"key", TypeId::kInt32},
+                            {"w", TypeId::kInt64},
+                            {"c", TypeId::kString}})));
+  std::vector<std::int32_t> ukey;
+  std::vector<std::int64_t> uw;
+  std::vector<std::string> uc;
+  const char* cats[] = {"north", "south", "east"};
+  const std::size_t urows = 20 + rng.next_bounded(30);
+  for (std::size_t i = 0; i < urows; ++i) {
+    ukey.push_back(static_cast<std::int32_t>(rng.next_bounded(14)));
+    uw.push_back(rng.next_in_range(-500, 500));
+    uc.emplace_back(cats[rng.next_bounded(3)]);
+  }
+  u.set_column(0, Column::from_int32("key", ukey));
+  u.set_column(1, Column::from_int64("w", uw));
+  u.set_column(2, Column::from_strings("c", uc));
   return cat;
 }
 
-/// Random valid statement over t's columns (filters, group-by, aggregates,
-/// order-by/limit projections).
+/// Random valid statement over t's (and sometimes u's) columns: filters,
+/// joins with and without GROUP BY (probe- and build-side keys and
+/// aggregates), order-by/limit projections.
 std::string generate_sql(Pcg32& rng) {
   const char* aggs[] = {"COUNT(*)", "SUM(a)",   "SUM(b)", "MIN(a)",
                         "MAX(b)",   "AVG(d)",   "MIN(g)", "MAX(g)",
                         "AVG(b)",   "SUM(a + g)"};
+  const char* join_aggs[] = {"COUNT(*)",  "SUM(a)",      "SUM(b)",
+                             "MIN(a)",    "MAX(g)",      "SUM(u.w)",
+                             "MIN(u.w)",  "MAX(u.w)"};
   std::string sql = "SELECT ";
   const bool projection = rng.next_bounded(5) == 0;
+  const bool join = !projection && rng.next_bounded(3) == 0;
   if (projection) {
     sql += "a, b, g FROM t";
   } else {
     const int n = 1 + static_cast<int>(rng.next_bounded(3));
     for (int i = 0; i < n; ++i) {
       if (i > 0) sql += ", ";
-      sql += aggs[rng.next_bounded(std::size(aggs))];
+      sql += join ? join_aggs[rng.next_bounded(std::size(join_aggs))]
+                  : aggs[rng.next_bounded(std::size(aggs))];
     }
     sql += " FROM t";
   }
+  if (join) sql += " JOIN u ON t.g = u.key";
   const int preds = static_cast<int>(rng.next_bounded(3));
   for (int i = 0; i < preds; ++i) {
     sql += i == 0 ? " WHERE " : " AND ";
-    switch (rng.next_bounded(4)) {
+    switch (rng.next_bounded(join ? 5 : 4)) {
       case 0:
         sql += "a BETWEEN " + std::to_string(rng.next_in_range(-60, 100)) +
                " AND " + std::to_string(rng.next_in_range(100, 450));
@@ -146,13 +174,22 @@ std::string generate_sql(Pcg32& rng) {
       case 2:
         sql += "g = " + std::to_string(rng.next_in_range(0, 13));
         break;
-      default:
+      case 3:
         sql += "s <= 'ccc'";
+        break;
+      default:
+        sql += "u.w BETWEEN " + std::to_string(rng.next_in_range(-500, 0)) +
+               " AND " + std::to_string(rng.next_in_range(0, 500));
         break;
     }
   }
   if (!projection && rng.next_bounded(2) == 0) {
-    sql += rng.next_bounded(2) == 0 ? " GROUP BY g" : " GROUP BY s";
+    if (join) {
+      const char* keys[] = {"g", "s", "u.c", "u.key"};
+      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(4)];
+    } else {
+      sql += rng.next_bounded(2) == 0 ? " GROUP BY g" : " GROUP BY s";
+    }
   } else if (projection) {
     sql += " ORDER BY b DESC LIMIT 20";
   }
@@ -163,19 +200,22 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
   using storage::Encoding;
   storage::Catalog cat = make_fuzz_catalog(0xE1DB);
   storage::Table& t = cat.get("t");
+  storage::Table& u = cat.get("u");
   Executor ex(cat);
   Pcg32 rng(0xC0DE);
   const Encoding encodings[] = {Encoding::kPlain, Encoding::kBitPacked,
                                 Encoding::kForBitPacked};
   for (int trial = 0; trial < 300; ++trial) {
     // Toggle every integer column's physical encoding for this iteration
-    // (kBitPacked degrades to FOR on the negative-domain column).
-    for (const char* col : {"a", "b", "g", "s"}) {
+    // (kBitPacked degrades to FOR on negative-domain columns).
+    const auto toggle = [&](storage::Table& table, const char* col) {
       Encoding e = encodings[rng.next_bounded(3)];
-      if (e == Encoding::kBitPacked && t.column(col).stats().min < 0)
+      if (e == Encoding::kBitPacked && table.column(col).stats().min < 0)
         e = Encoding::kForBitPacked;
-      t.recode(col, e);
-    }
+      table.recode(col, e);
+    };
+    for (const char* col : {"a", "b", "g", "s"}) toggle(t, col);
+    for (const char* col : {"key", "w", "c"}) toggle(u, col);
     const std::string sql = generate_sql(rng);
     LogicalPlan plan;
     try {
@@ -203,14 +243,35 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     // hunts.
     ASSERT_EQ(plain_threw, packed_threw) << sql;
     if (plain_threw) continue;
-    ASSERT_EQ(want.row_count(), got.row_count()) << sql;
-    ASSERT_EQ(want.column_names(), got.column_names()) << sql;
-    for (std::size_t r = 0; r < want.row_count(); ++r)
-      for (std::size_t c = 0; c < want.column_count(); ++c)
-        ASSERT_EQ(want.at(r, c), got.at(r, c))
-            << sql << " row " << r << " col " << c;
+    const auto expect_identical = [&](const QueryResult& other,
+                                      const char* what) {
+      ASSERT_EQ(want.row_count(), other.row_count()) << what << ": " << sql;
+      ASSERT_EQ(want.column_names(), other.column_names())
+          << what << ": " << sql;
+      for (std::size_t r = 0; r < want.row_count(); ++r)
+        for (std::size_t c = 0; c < want.column_count(); ++c)
+          ASSERT_EQ(want.at(r, c), other.at(r, c))
+              << what << ": " << sql << " row " << r << " col " << c;
+    };
+    expect_identical(got, "packed");
     EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes)
         << sql;
+    // Ungrouped joins also have the legacy pair-materializing oracle —
+    // but it only ever read FROM-table aggregate columns, so skip
+    // statements with build-side (qualified) aggregates.
+    const bool probe_side_only =
+        std::all_of(plan.aggregates.begin(), plan.aggregates.end(),
+                    [](const AggSpec& a) {
+                      return a.column.find('.') == std::string::npos;
+                    });
+    if (plan.join.has_value() && !plan.has_group_by() && probe_side_only) {
+      ExecOptions legacy_opts;
+      legacy_opts.use_encodings = false;
+      legacy_opts.join_path = JoinPath::kPairMaterialize;
+      ExecStats legacy_stats;
+      const QueryResult legacy = ex.execute(plan, legacy_stats, legacy_opts);
+      expect_identical(legacy, "legacy-join");
+    }
   }
 }
 
