@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "energy/rapl_meter.hpp"
+#include "query/physical_plan.hpp"
 #include "query/sql.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
@@ -122,11 +123,16 @@ std::vector<opt::PlanCandidate> Database::candidates(
   if (plan.is_aggregate()) {
     const auto selected = static_cast<std::uint64_t>(rows * kDefaultSel);
     for (opt::PlanCandidate& c : out) {
-      if (plan.has_group_by()) {
+      if (plan.has_group_by() &&
+          table.schema().has_column(plan.group_by.front())) {
         // Dense vs hash grouping predicted from the cached key statistics
         // (same policy the exec kernels apply at runtime).
         c.work += cost_model_.group_work(
             selected, table.column(plan.group_by.front()).stats(), 8.0);
+      } else if (plan.has_group_by()) {
+        // Build-side (qualified) group key: no FROM-table statistics;
+        // assume the hash strategy.
+        c.work += cost_model_.group_work(selected, /*dense=*/false, 8.0);
       } else {
         c.work += cost_model_.agg_work(selected, 8.0);
       }
@@ -195,6 +201,10 @@ std::string Database::explain(const query::LogicalPlan& plan,
                               const RunOptions& options) {
   std::ostringstream os;
   os << "plan: " << plan.to_string() << "\n";
+  query::ExecOptions exec_options = options.exec;
+  if (exec_options.cost_model == nullptr)
+    exec_options.cost_model = &cost_model_;
+  os << query::compile_plan(catalog_, plan, exec_options).explain();
   const auto cands = candidates(plan);
   os << "candidates:\n";
   for (const auto& c : cands)

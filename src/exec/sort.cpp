@@ -6,39 +6,39 @@ namespace eidb::exec {
 
 namespace {
 
+/// Key accessor adapters: a span indexes directly; a JoinKeys view goes
+/// through its typed at() (int32/int64/packed all compared as int64
+/// values without materializing a widened copy).
 template <typename T>
-std::vector<std::uint32_t> sort_impl(std::span<const T> keys,
+struct SpanKeys {
+  std::span<const T> keys;
+  T operator()(std::uint32_t i) const { return keys[i]; }
+};
+struct ViewKeys {
+  const JoinKeys& keys;
+  std::int64_t operator()(std::uint32_t i) const { return keys.at(i); }
+};
+
+template <typename KeyAt>
+std::vector<std::uint32_t> sort_impl(const KeyAt& at,
                                      const BitVector& selection,
                                      bool ascending) {
   std::vector<std::uint32_t> idx = selection.to_indices();
   std::stable_sort(idx.begin(), idx.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
+                     return ascending ? at(a) < at(b) : at(a) > at(b);
                    });
   return idx;
 }
 
-}  // namespace
-
-std::vector<std::uint32_t> sort_indices(std::span<const std::int64_t> keys,
-                                        const BitVector& selection,
-                                        bool ascending) {
-  return sort_impl(keys, selection, ascending);
-}
-
-std::vector<std::uint32_t> sort_indices_double(std::span<const double> keys,
-                                               const BitVector& selection,
-                                               bool ascending) {
-  return sort_impl(keys, selection, ascending);
-}
-
-std::vector<std::uint32_t> top_n(std::span<const std::int64_t> keys,
-                                 const BitVector& selection, std::size_t n,
-                                 bool ascending) {
+template <typename KeyAt>
+std::vector<std::uint32_t> top_n_impl(const KeyAt& at,
+                                      const BitVector& selection,
+                                      std::size_t n, bool ascending) {
   std::vector<std::uint32_t> idx = selection.to_indices();
   const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
-    if (keys[a] != keys[b])
-      return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
+    const auto ka = at(a), kb = at(b);
+    if (ka != kb) return ascending ? ka < kb : ka > kb;
     return a < b;  // deterministic tie-break
   };
   if (n >= idx.size()) {
@@ -49,6 +49,86 @@ std::vector<std::uint32_t> top_n(std::span<const std::int64_t> keys,
                     idx.end(), cmp);
   idx.resize(n);
   return idx;
+}
+
+template <typename T>
+std::vector<std::uint32_t> permutation_impl(std::span<const T> keys,
+                                            std::size_t n, bool ascending,
+                                            bool bounded) {
+  std::vector<std::uint32_t> idx(keys.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    idx[i] = static_cast<std::uint32_t>(i);
+  const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+    if (keys[a] != keys[b])
+      return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
+    return a < b;
+  };
+  if (!bounded || n >= idx.size()) {
+    std::sort(idx.begin(), idx.end(), cmp);
+    return idx;
+  }
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n),
+                    idx.end(), cmp);
+  idx.resize(n);
+  return idx;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sort_indices(std::span<const std::int64_t> keys,
+                                        const BitVector& selection,
+                                        bool ascending) {
+  return sort_impl(SpanKeys<std::int64_t>{keys}, selection, ascending);
+}
+
+std::vector<std::uint32_t> sort_indices_double(std::span<const double> keys,
+                                               const BitVector& selection,
+                                               bool ascending) {
+  return sort_impl(SpanKeys<double>{keys}, selection, ascending);
+}
+
+std::vector<std::uint32_t> sort_indices(const JoinKeys& keys,
+                                        const BitVector& selection,
+                                        bool ascending) {
+  return sort_impl(ViewKeys{keys}, selection, ascending);
+}
+
+std::vector<std::uint32_t> top_n(std::span<const std::int64_t> keys,
+                                 const BitVector& selection, std::size_t n,
+                                 bool ascending) {
+  return top_n_impl(SpanKeys<std::int64_t>{keys}, selection, n, ascending);
+}
+
+std::vector<std::uint32_t> top_n(const JoinKeys& keys,
+                                 const BitVector& selection, std::size_t n,
+                                 bool ascending) {
+  return top_n_impl(ViewKeys{keys}, selection, n, ascending);
+}
+
+std::vector<std::uint32_t> top_n_double(std::span<const double> keys,
+                                        const BitVector& selection,
+                                        std::size_t n, bool ascending) {
+  return top_n_impl(SpanKeys<double>{keys}, selection, n, ascending);
+}
+
+std::vector<std::uint32_t> sort_permutation(std::span<const std::int64_t> keys,
+                                            bool ascending) {
+  return permutation_impl(keys, 0, ascending, false);
+}
+
+std::vector<std::uint32_t> sort_permutation_double(std::span<const double> keys,
+                                                   bool ascending) {
+  return permutation_impl(keys, 0, ascending, false);
+}
+
+std::vector<std::uint32_t> top_n_permutation(
+    std::span<const std::int64_t> keys, std::size_t n, bool ascending) {
+  return permutation_impl(keys, n, ascending, true);
+}
+
+std::vector<std::uint32_t> top_n_permutation_double(
+    std::span<const double> keys, std::size_t n, bool ascending) {
+  return permutation_impl(keys, n, ascending, true);
 }
 
 }  // namespace eidb::exec

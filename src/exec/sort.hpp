@@ -1,10 +1,28 @@
 // Order-by and top-N kernels over row indices.
+//
+// Two index shapes are supported:
+//
+//  * selection-driven (`sort_indices` / `top_n`): the output is row ids of
+//    the selection ordered by a key column, either a plain int64/double
+//    span or a typed `exec::JoinKeys` view — int32, int64, dictionary-code
+//    and bit-packed key columns are compared in place, with NO widened
+//    int64 copy materialized;
+//  * permutation (`sort_permutation` / `top_n_permutation`): the input is
+//    an already-gathered key vector (one entry per emitted row, e.g. per
+//    join match) and the output is positions [0, n) ordered by it — the
+//    sort/top-k operator over join output.
+//
+// The bounded variants (`top_n*`) use heap-based partial selection
+// (std::partial_sort), so an ORDER BY + LIMIT k query costs O(n + k log n)
+// comparisons instead of a full O(n log n) sort — and, as importantly for
+// the energy ledger, the downstream materialization gathers only k rows.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "exec/join.hpp"
 #include "util/bitvector.hpp"
 
 namespace eidb::exec {
@@ -19,10 +37,39 @@ namespace eidb::exec {
     std::span<const double> keys, const BitVector& selection,
     bool ascending = true);
 
+/// Typed-view sort: int32 / dictionary-code spans are compared as int32,
+/// bit-packed images decode per comparison — no widened key copy.
+[[nodiscard]] std::vector<std::uint32_t> sort_indices(
+    const JoinKeys& keys, const BitVector& selection, bool ascending = true);
+
 /// First `n` rows of `sort_indices` without sorting the full selection
 /// (partial selection sort via heap).
 [[nodiscard]] std::vector<std::uint32_t> top_n(
     std::span<const std::int64_t> keys, const BitVector& selection,
     std::size_t n, bool ascending = true);
+
+[[nodiscard]] std::vector<std::uint32_t> top_n(const JoinKeys& keys,
+                                               const BitVector& selection,
+                                               std::size_t n,
+                                               bool ascending = true);
+
+[[nodiscard]] std::vector<std::uint32_t> top_n_double(
+    std::span<const double> keys, const BitVector& selection, std::size_t n,
+    bool ascending = true);
+
+/// Positions [0, keys.size()) ordered by the gathered key vector (stable:
+/// ties keep ascending position order).
+[[nodiscard]] std::vector<std::uint32_t> sort_permutation(
+    std::span<const std::int64_t> keys, bool ascending = true);
+
+[[nodiscard]] std::vector<std::uint32_t> sort_permutation_double(
+    std::span<const double> keys, bool ascending = true);
+
+/// First `n` positions of `sort_permutation` via heap-based partial sort.
+[[nodiscard]] std::vector<std::uint32_t> top_n_permutation(
+    std::span<const std::int64_t> keys, std::size_t n, bool ascending = true);
+
+[[nodiscard]] std::vector<std::uint32_t> top_n_permutation_double(
+    std::span<const double> keys, std::size_t n, bool ascending = true);
 
 }  // namespace eidb::exec

@@ -722,13 +722,17 @@ std::uint32_t JoinAggregator::resolve(std::int64_t key) {
 void JoinAggregator::add_block(const std::uint32_t* build_rows,
                                const std::uint32_t* probe_rows,
                                std::size_t count) {
+  const std::uint32_t* rows[2] = {probe_rows, build_rows};
+  add_block(rows, count);
+}
+
+void JoinAggregator::add_block(const std::uint32_t* const* side_rows,
+                               std::size_t count) {
   pairs_ += count;
   std::int64_t keys[kGatherBlock];
   std::uint32_t slot[kGatherBlock];
   for (std::size_t at = 0; at < count; at += kGatherBlock) {
     const std::size_t n = std::min(kGatherBlock, count - at);
-    const std::uint32_t* b = build_rows + at;
-    const std::uint32_t* p = probe_rows + at;
     if (!grouped_) {
       for (std::size_t e = 0; e < n; ++e) slot[e] = 0;
       counts_[0] += n;
@@ -737,7 +741,7 @@ void JoinAggregator::add_block(const std::uint32_t* build_rows,
       // synthesized per block, then every input gathers column-at-a-time.
       for (std::size_t e = 0; e < n; ++e) keys[e] = 0;
       for (const KeyPart& part : key_) {
-        const std::uint32_t* rows = part.from_build ? b : p;
+        const std::uint32_t* rows = side_rows[part.side] + at;
         for (std::size_t e = 0; e < n; ++e)
           keys[e] +=
               (gather_int(part.column, rows[e]) - part.offset) * part.stride;
@@ -747,7 +751,7 @@ void JoinAggregator::add_block(const std::uint32_t* build_rows,
     }
     for (std::size_t j = 0; j < inputs_.size(); ++j) {
       const Input& in = inputs_[j];
-      const std::uint32_t* rows = in.from_build ? b : p;
+      const std::uint32_t* rows = side_rows[in.side] + at;
       if (in.column.is_double()) {
         const auto data = in.column.f64;
         DblAcc& a = dacc_[j];

@@ -168,17 +168,20 @@ struct GroupedAggs {
 
 /// Gather-based aggregation sink for the late-materialized join pipeline
 /// (query::Executor's vectorized join path): matches arrive as blocks of
-/// (build_row, probe_row) ids and every value — group-key parts and
-/// aggregate inputs alike — is gathered from its column by row id, so no
-/// pair vector and no widened key copy is ever materialized. Accumulation
-/// state and output shapes are shared with the bitmap kernels: a grouped
-/// join produces exactly the GroupedAggs a base-table GROUP BY would.
+/// row-id tuples — one row id per joined *side* — and every value —
+/// group-key parts and aggregate inputs alike — is gathered from its
+/// column by row id, so no pair vector and no widened key copy is ever
+/// materialized. Side 0 is the probe (FROM) table; sides 1..k are the
+/// build tables of a (possibly multi-way) join chain in execution order.
+/// Accumulation state and output shapes are shared with the bitmap
+/// kernels: a grouped join produces exactly the GroupedAggs a base-table
+/// GROUP BY would.
 class JoinAggregator {
  public:
-  /// One aggregate input, gathered by build- or probe-side row id.
+  /// One aggregate input, gathered by the row id of its side.
   struct Input {
     AggInput column;
-    bool from_build = false;
+    std::size_t side = 0;  ///< 0 = probe table, i = i-th build table.
   };
   /// One part of the (possibly composite) group key:
   /// key = Σ (column[row] - offset) * stride over the parts — the
@@ -186,7 +189,7 @@ class JoinAggregator {
   /// stride 1 so the emitted key is the column value itself.
   struct KeyPart {
     AggInput column;  ///< int32 / int64 / packed (doubles cannot key).
-    bool from_build = false;
+    std::size_t side = 0;
     std::int64_t offset = 0;
     std::int64_t stride = 1;
   };
@@ -200,10 +203,15 @@ class JoinAggregator {
   JoinAggregator(std::vector<Input> inputs, std::vector<KeyPart> key,
                  KeyRange range);
 
-  /// Accumulates one block of matches (any count; consumed in bounded
-  /// sub-blocks internally).
+  /// Accumulates one block of single-join matches (any count; consumed in
+  /// bounded sub-blocks internally). Side 0 = probe, side 1 = build.
   void add_block(const std::uint32_t* build_rows,
                  const std::uint32_t* probe_rows, std::size_t count);
+
+  /// Multi-way variant: `rows[s][i]` is match i's row id on side s (the
+  /// join chain's tuple layout; `rows` must cover every side an Input or
+  /// KeyPart references).
+  void add_block(const std::uint32_t* const* rows, std::size_t count);
 
   /// Folds a compatible (same-spec) aggregator's partial state into this
   /// one — the morsel-parallel probe merge.

@@ -1,1666 +1,77 @@
 #include "query/executor.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-#include <map>
-#include <mutex>
-#include <set>
-
-#include "exec/aggregate.hpp"
-#include "exec/fused.hpp"
-#include "exec/join.hpp"
-#include "exec/parallel.hpp"
-#include "exec/radix_join.hpp"
-#include "exec/sort.hpp"
-#include "exec/vector_agg.hpp"
-#include "opt/cost_model.hpp"
+#include "query/ops/aggregate_op.hpp"
+#include "query/ops/join_op.hpp"
+#include "query/ops/op_context.hpp"
+#include "query/ops/project_op.hpp"
+#include "query/ops/scan_filter.hpp"
+#include "query/ops/sort_op.hpp"
+#include "query/physical_plan.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
 namespace eidb::query {
 
-using storage::Column;
-using storage::Table;
-using storage::TypeId;
-
-namespace {
-
-// Rough cycles/tuple used for abstract-work attribution (the planner's
-// calibrated model lives in src/opt/cost_model).
-constexpr double kScanCyclesPerTuple = 1.0;
-constexpr double kAggCyclesPerTuple = 1.5;
-constexpr double kGroupCyclesPerTuple = 6.0;
-constexpr double kJoinBuildCyclesPerTuple = 12.0;
-constexpr double kJoinProbeCyclesPerTuple = 10.0;
-constexpr double kRadixPartitionCyclesPerTuple = 2.5;
-constexpr double kMaterializeCyclesPerValue = 20.0;
-
-void time_operator(ExecStats& stats, const std::string& name,
-                   const Stopwatch& sw) {
-  stats.operator_seconds.emplace_back(name, sw.elapsed_seconds());
-}
-
-std::int64_t column_int_at(const Column& c, std::size_t i) {
-  if (c.type() == TypeId::kDouble)
-    throw Error("column " + c.name() + " is not integer-typed");
-  return c.int_at(i);
-}
-
-/// Typed kernel view of an integer-or-double column; dictionary and int32
-/// columns are consumed as int32 directly (no widened copy).
-exec::AggInput agg_input_of(const Column& c) {
-  switch (c.type()) {
-    case TypeId::kInt32:
-      return exec::AggInput::from(c.int32_data());
-    case TypeId::kString:
-      return exec::AggInput::from(c.codes());
-    case TypeId::kInt64:
-      return exec::AggInput::from(c.int64_data());
-    case TypeId::kDouble:
-      return exec::AggInput::from(c.double_data());
-  }
-  throw Error("invalid column type");
-}
-
-/// Integer predicate bounds rewritten into a packed image's reference-
-/// shifted domain. Precondition: [lo, hi] overlaps the column's
-/// [min, max] (prune_with_stats resolved disjoint/covering predicates),
-/// so hi >= reference and the unsigned shift is exact.
-struct PackedBounds {
-  std::uint64_t lo;
-  std::uint64_t hi;
-};
-PackedBounds packed_bounds(const storage::EncodedSegment& seg,
-                           std::int64_t lo, std::int64_t hi) {
-  const auto ref = static_cast<std::uint64_t>(seg.reference);
-  return {lo <= seg.reference ? 0 : static_cast<std::uint64_t>(lo) - ref,
-          static_cast<std::uint64_t>(hi) - ref};
-}
-
-}  // namespace
-
-bool Executor::use_packed(const Column& column, const ExecOptions& options) {
-  // The byte-size guard keeps the dram(packed) <= dram(plain) ledger
-  // invariant unconditional: a forced encoding whose word-rounded image
-  // exceeds the plain array (tiny column, near-full width) is simply not
-  // consumed — the executor reads plain instead of charging more.
-  return options.use_encodings && column.encoded() != nullptr &&
-         column.type() != TypeId::kDouble &&
-         column.scan_byte_size() <= column.byte_size();
-}
-
-Executor::BoundRange Executor::bind_predicate(const Column& column,
-                                              const Predicate& p) {
-  BoundRange r;
-  switch (column.type()) {
-    case TypeId::kInt32:
-    case TypeId::kInt64:
-      r.lo = p.lo.as_int();
-      r.hi = p.hi.as_int();
-      r.empty = r.lo > r.hi;
-      return r;
-    case TypeId::kDouble:
-      r.is_double = true;
-      r.dlo = p.lo.as_double();
-      r.dhi = p.hi.as_double();
-      r.empty = r.dlo > r.dhi;
-      return r;
-    case TypeId::kString: {
-      if (!p.lo.is_string() || !p.hi.is_string())
-        throw Error("string column " + column.name() +
-                    " requires string bounds");
-      const storage::Dictionary& dict = column.dictionary();
-      // Inclusive string range [lo, hi] -> inclusive code range.
-      r.lo = dict.lower_bound(p.lo.as_string());
-      r.hi = dict.upper_bound(p.hi.as_string()) - 1;
-      r.empty = r.lo > r.hi;
-      return r;
-    }
-  }
-  throw Error("invalid column type");
-}
-
-double Executor::estimate_selectivity(const Column& column,
-                                      const Predicate& p) {
-  const BoundRange r = bind_predicate(column, p);
-  if (r.empty) return 0.0;
-  const storage::ColumnStats& s = column.stats();
-  return r.is_double ? s.range_selectivity(r.dlo, r.dhi)
-                     : s.range_selectivity(r.lo, r.hi);
-}
-
-bool Executor::prune_with_stats(const Column& column, const BoundRange& r,
-                                BitVector& selection) {
-  const storage::ColumnStats& s = column.stats();
-  if (s.rows == 0) return false;
-  const bool all = r.is_double ? (r.dlo <= s.dmin && r.dhi >= s.dmax)
-                               : (r.lo <= s.min && r.hi >= s.max);
-  if (all) return true;  // every row matches: selection unchanged, no scan
-  const bool none = r.is_double ? (r.dhi < s.dmin || r.dlo > s.dmax)
-                                : (r.hi < s.min || r.lo > s.max);
-  if (none) {
-    selection.clear_all();
-    return true;
-  }
-  return false;
-}
-
-void Executor::charge_column_access(const std::string& table,
-                                    const Column& column, ExecStats& stats,
-                                    const ExecOptions& options,
-                                    bool packed) const {
-  if (packed) {
-    // The scan streams the packed image: that byte count — not the plain
-    // width — is the query's real DRAM traffic, and it is what the energy
-    // model and the admission controller's settlement see.
-    const double bytes = static_cast<double>(column.scan_byte_size());
-    stats.work.dram_bytes += bytes;
-    ++stats.packed_column_reads;
-    stats.dram_bytes_saved +=
-        static_cast<double>(column.byte_size()) - bytes;
-  } else {
-    stats.work.dram_bytes += static_cast<double>(column.byte_size());
-  }
-  if (options.tiers != nullptr) {
-    const auto penalty = options.tiers->access(table, column.name());
-    stats.cold_tier_time_s += penalty.time_s;
-    stats.cold_tier_energy_j += penalty.energy_j;
-  }
-}
-
-void Executor::apply_predicate(const Table& table, const Predicate& p,
-                               BitVector& selection, ExecStats& stats,
-                               const ExecOptions& options) {
-  const Column& column = table.column(p.column);
-  const BoundRange r = bind_predicate(column, p);
-  if (r.empty) {
-    selection.clear_all();
-    return;
-  }
-  // Cached-statistics pruning: a predicate the [min, max] range already
-  // decides never touches the data (zone-map logic at table granularity).
-  if (prune_with_stats(column, r, selection)) return;
-
-  const std::size_t n = column.size();
-  if (n == 0) return;
-  stats.tuples_scanned += n;
-  stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(n);
-  // Packed consumption: kAuto scans only — explicit variant choices (the
-  // E3 bench) must measure exactly the requested plain kernel.
-  const bool packed = !r.is_double &&
-                      options.scan_variant == exec::ScanVariant::kAuto &&
-                      use_packed(column, options);
-  charge_column_access(table.name(), column, stats, options, packed);
-
-  BitVector match(n);
-  if (r.is_double) {
-    exec::scan_bitmap_double(column.double_data(), r.dlo, r.dhi, match);
-  } else if (packed) {
-    const storage::EncodedSegment& seg = *column.encoded();
-    const auto pb = packed_bounds(seg, r.lo, r.hi);
-    if (options.use_zone_maps) {
-      // Zone-map pruning composes with the packed image: candidate ranges
-      // are widened to 64-value blocks and run through the block scan
-      // kernel. Widening is sound — a row outside every candidate range
-      // cannot match the predicate (its block's [min, max] excludes it),
-      // so the extra evaluated rows contribute no bits — and overlapping
-      // widened ranges rewrite identical words. Only the visited fraction
-      // of the *packed* bytes stays charged.
-      const storage::ZoneMap& zm = table.zone_map(
-          table.schema().index_of(p.column), options.zone_block_rows);
-      const auto ranges = zm.candidate_ranges(r.lo, r.hi, n);
-      std::size_t touched = 0;
-      for (const auto& range : ranges) {
-        touched += range.end - range.begin;
-        const std::size_t b = range.begin & ~std::size_t{63};
-        const std::size_t e = std::min(n, (range.end + 63) & ~std::size_t{63});
-        exec::scan_packed_bitmap_range(seg.words, seg.bits, b, e, pb.lo,
-                                       pb.hi, match);
-      }
-      const double skipped = static_cast<double>(n - touched);
-      const double packed_bpt =
-          static_cast<double>(seg.byte_size()) / static_cast<double>(n);
-      const double plain_bpt =
-          static_cast<double>(storage::physical_size(column.type()));
-      stats.work.cpu_cycles -= kScanCyclesPerTuple * skipped;
-      stats.work.dram_bytes -= skipped * packed_bpt;
-      stats.dram_bytes_saved -= skipped * (plain_bpt - packed_bpt);
-    } else if (options.pool != nullptr) {
-      exec::parallel_scan_packed_bitmap(*options.pool, seg.words, seg.bits,
-                                        n, pb.lo, pb.hi, match);
-    } else {
-      exec::scan_packed_bitmap(seg.words, seg.bits, n, pb.lo, pb.hi, match);
-    }
-  } else if (options.use_zone_maps && column.type() != TypeId::kDouble) {
-    // Pruned scan: only candidate blocks are touched. The zone map itself
-    // is built once per (table, column) and cached. Work is re-estimated
-    // to the touched fraction.
-    const storage::ZoneMap& zm = table.zone_map(
-        table.schema().index_of(p.column), options.zone_block_rows);
-    const auto ranges = zm.candidate_ranges(r.lo, r.hi, n);
-    std::size_t touched = 0;
-    const auto scan_range = [&](auto data) {
-      for (const auto& range : ranges) {
-        touched += range.end - range.begin;
-        for (std::size_t i = range.begin; i < range.end; ++i)
-          if (data[i] >= r.lo && data[i] <= r.hi) match.set(i);
-      }
-    };
-    if (column.type() == TypeId::kInt64)
-      scan_range(column.int64_data());
-    else
-      scan_range(column.int32_data());
-    // Credit back the untouched bytes/cycles of the full-scan estimate.
-    const double skipped = static_cast<double>(n - touched);
-    stats.work.cpu_cycles -= kScanCyclesPerTuple * skipped;
-    stats.work.dram_bytes -= skipped * storage::physical_size(column.type());
-  } else {
-    const auto lo32 = [&] {
-      return static_cast<std::int32_t>(std::clamp<std::int64_t>(
-          r.lo, std::numeric_limits<std::int32_t>::min(),
-          std::numeric_limits<std::int32_t>::max()));
-    };
-    const auto hi32 = [&] {
-      return static_cast<std::int32_t>(std::clamp<std::int64_t>(
-          r.hi, std::numeric_limits<std::int32_t>::min(),
-          std::numeric_limits<std::int32_t>::max()));
-    };
-    switch (options.scan_variant) {
-      case exec::ScanVariant::kBranching:
-      case exec::ScanVariant::kPredicated: {
-        // Index kernels, converted to a bitmap (kept for experiment parity).
-        // Scratch buffer is executor-owned: no per-predicate allocation.
-        if (idx_scratch_.size() < n) idx_scratch_.resize(n);
-        std::size_t k = 0;
-        if (column.type() == TypeId::kInt64) {
-          k = options.scan_variant == exec::ScanVariant::kBranching
-                  ? exec::scan_branching64(column.int64_data(), r.lo, r.hi,
-                                           idx_scratch_.data())
-                  : exec::scan_predicated64(column.int64_data(), r.lo, r.hi,
-                                            idx_scratch_.data());
-        } else {
-          k = options.scan_variant == exec::ScanVariant::kBranching
-                  ? exec::scan_branching(column.int32_data(), lo32(), hi32(),
-                                         idx_scratch_.data())
-                  : exec::scan_predicated(column.int32_data(), lo32(), hi32(),
-                                          idx_scratch_.data());
-        }
-        for (std::size_t j = 0; j < k; ++j) match.set(idx_scratch_[j]);
-        break;
-      }
-      case exec::ScanVariant::kAvx2:
-        if (column.type() == TypeId::kInt64)
-          exec::scan_bitmap_avx2_64(column.int64_data(), r.lo, r.hi, match);
-        else
-          exec::scan_bitmap_avx2(column.int32_data(), lo32(), hi32(), match);
-        break;
-      case exec::ScanVariant::kAvx512:
-        if (column.type() == TypeId::kInt64)
-          exec::scan_bitmap_avx512_64(column.int64_data(), r.lo, r.hi, match);
-        else
-          exec::scan_bitmap_avx512(column.int32_data(), lo32(), hi32(), match);
-        break;
-      case exec::ScanVariant::kAuto:
-        if (options.pool != nullptr) {
-          if (column.type() == TypeId::kInt64)
-            exec::parallel_scan_bitmap64(*options.pool, column.int64_data(),
-                                         r.lo, r.hi, match);
-          else
-            exec::parallel_scan_bitmap32(*options.pool, column.int32_data(),
-                                         lo32(), hi32(), match);
-        } else if (column.type() == TypeId::kInt64) {
-          exec::scan_bitmap_best64(column.int64_data(), r.lo, r.hi, match);
-        } else {
-          exec::scan_bitmap_best(column.int32_data(), lo32(), hi32(), match);
-        }
-        break;
-    }
-  }
-  selection &= match;
-}
-
-void Executor::apply_predicate_masked(const Table& table, const Predicate& p,
-                                      BitVector& selection, ExecStats& stats,
-                                      const ExecOptions& options) {
-  const Column& column = table.column(p.column);
-  const BoundRange r = bind_predicate(column, p);
-  if (r.empty) {
-    selection.clear_all();
-    return;
-  }
-  if (prune_with_stats(column, r, selection)) return;
-
-  const bool packed = !r.is_double && use_packed(column, options);
-  exec::MaskedScanStats ms;
-  if (packed) {
-    const storage::EncodedSegment& seg = *column.encoded();
-    const auto pb = packed_bounds(seg, r.lo, r.hi);
-    exec::scan_packed_bitmap_masked_counted(seg.words, seg.bits,
-                                            column.size(), pb.lo, pb.hi,
-                                            selection, ms);
-  } else {
-    switch (column.type()) {
-      case TypeId::kInt64:
-        exec::scan_bitmap_masked64_counted(column.int64_data(), r.lo, r.hi,
-                                           selection, ms);
-        break;
-      case TypeId::kInt32:
-      case TypeId::kString: {
-        const auto lo = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-            r.lo, std::numeric_limits<std::int32_t>::min(),
-            std::numeric_limits<std::int32_t>::max()));
-        const auto hi = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-            r.hi, std::numeric_limits<std::int32_t>::min(),
-            std::numeric_limits<std::int32_t>::max()));
-        exec::scan_bitmap_masked32_counted(column.int32_data(), lo, hi,
-                                           selection, ms);
-        break;
-      }
-      case TypeId::kDouble:
-        exec::scan_bitmap_masked_double_counted(column.double_data(), r.dlo,
-                                                r.dhi, selection, ms);
-        break;
-    }
-  }
-  // Charge only what was visited: dead 64-row blocks cost neither cycles
-  // nor DRAM traffic — this is where ordering predicates most-selective-
-  // first saves joules. Packed reads charge the packed bytes per tuple.
-  const std::size_t visited = std::min(
-      column.size(),
-      static_cast<std::size_t>(ms.words_total - ms.words_skipped) * 64);
-  const double plain_bpt =
-      static_cast<double>(storage::physical_size(column.type()));
-  double bytes_per_tuple = plain_bpt;
-  if (packed && column.size() > 0) {
-    bytes_per_tuple = static_cast<double>(column.scan_byte_size()) /
-                      static_cast<double>(column.size());
-    ++stats.packed_column_reads;
-    stats.dram_bytes_saved +=
-        static_cast<double>(visited) * (plain_bpt - bytes_per_tuple);
-  }
-  stats.tuples_scanned += visited;
-  stats.work.cpu_cycles += kScanCyclesPerTuple * static_cast<double>(visited);
-  stats.work.dram_bytes += static_cast<double>(visited) * bytes_per_tuple;
-  if (options.tiers != nullptr) {
-    const auto penalty = options.tiers->access(table.name(), column.name());
-    stats.cold_tier_time_s += penalty.time_s;
-    stats.cold_tier_energy_j += penalty.energy_j;
-  }
-}
-
-BitVector Executor::evaluate_predicates(const Table& table,
+BitVector Executor::evaluate_predicates(const storage::Table& table,
                                         const std::vector<Predicate>& preds,
                                         ExecStats& stats,
                                         const ExecOptions& options) {
-  BitVector selection(table.row_count());
-  selection.set_all();
-
-  // Most-selective-first ordering: the first conjunct kills the most rows,
-  // so the masked scans that follow skip the most blocks.
-  std::vector<const Predicate*> ordered;
-  ordered.reserve(preds.size());
-  for (const Predicate& p : preds) ordered.push_back(&p);
-  if (options.order_predicates && ordered.size() > 1) {
-    std::vector<double> sel(ordered.size());
-    for (std::size_t i = 0; i < ordered.size(); ++i)
-      sel[i] = estimate_selectivity(table.column(ordered[i]->column),
-                                    *ordered[i]);
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [&](const Predicate* a, const Predicate* b) {
-                       return sel[static_cast<std::size_t>(a - preds.data())] <
-                              sel[static_cast<std::size_t>(b - preds.data())];
-                     });
-  }
-
-  // Masked (selection-aware) evaluation needs the adaptive kernels; the
-  // explicit-variant and zone-map paths keep per-predicate full scans so
-  // experiments measure exactly the requested kernel.
-  const bool can_mask = options.order_predicates &&
-                        options.scan_variant == exec::ScanVariant::kAuto &&
-                        !options.use_zone_maps;
-  bool first = true;
-  for (const Predicate* p : ordered) {
-    if (first || !can_mask)
-      apply_predicate(table, *p, selection, stats, options);
-    else
-      apply_predicate_masked(table, *p, selection, stats, options);
-    first = false;
-  }
-  return selection;
+  ops::OpContext ctx{catalog_, options, stats, idx_scratch_, key_scratch_, {}};
+  return ops::evaluate_predicates(ctx, table, preds);
 }
 
 QueryResult Executor::execute(const LogicalPlan& plan, ExecStats& stats,
                               const ExecOptions& options) {
-  const Table& table = catalog_.get(plan.table);
+  return execute(compile_plan(catalog_, plan, options), stats, options);
+}
+
+QueryResult Executor::execute(const PhysicalPlan& phys, ExecStats& stats,
+                              const ExecOptions& options) {
+  const LogicalPlan& plan = phys.logical;
+  const storage::Table& table = catalog_.get(plan.table);
   if (!table.complete()) throw Error("table not fully loaded: " + plan.table);
 
+  ops::OpContext ctx{catalog_, options, stats, idx_scratch_, key_scratch_, {}};
   Stopwatch total;
-  Stopwatch sw;
-  BitVector selection =
-      evaluate_predicates(table, plan.predicates, stats, options);
-  // With no predicates the downstream operators still read every row.
-  if (plan.predicates.empty()) stats.tuples_scanned += table.row_count();
-  stats.tuples_selected = selection.count();
-  time_operator(stats, "scan+filter(" + plan.table + ")", sw);
+
+  BitVector selection;
+  {
+    ops::OperatorScope scope(stats, "scan+filter(" + plan.table + ")");
+    selection = ops::evaluate_predicates(ctx, table, plan.predicates);
+    // With no predicates the downstream operators still read every row.
+    if (plan.predicates.empty()) stats.tuples_scanned += table.row_count();
+    stats.tuples_selected = selection.count();
+  }
 
   QueryResult result;
-  if (plan.join.has_value()) {
-    result = run_join(plan, table, selection, stats, options);
+  if (plan.has_join()) {
+    result = ops::run_join(ctx, phys, table, selection);
   } else if (plan.is_aggregate()) {
-    result = run_aggregate(plan, table, selection, stats, options);
+    result = ops::run_aggregate(ctx, plan, table, selection);
   } else {
-    result = run_projection(plan, table, selection, stats, options);
+    result = ops::run_projection(ctx, phys, table, selection);
+  }
+
+  // Sort / top-k over materialized result rows (aggregate output — base
+  // table or join alike), then LIMIT. Projections order their row ids
+  // inside their own operator instead, so the top-k pass bounds what the
+  // materializer gathers and charges.
+  if (plan.is_aggregate()) {
+    if (phys.sort_on_result && plan.order_by.has_value()) {
+      ops::OperatorScope scope(stats,
+                               (phys.sort == SortStrategy::kTopK
+                                    ? "top-k("
+                                    : "sort(") +
+                                   plan.order_by->column + ")");
+      ops::sort_result_rows(ctx, result, *plan.order_by, plan.limit);
+    } else if (plan.limit != 0 && result.row_count() > plan.limit) {
+      QueryResult trimmed(result.column_names());
+      for (std::size_t i = 0; i < plan.limit; ++i)
+        trimmed.add_row(result.row(i));
+      result = std::move(trimmed);
+    }
   }
   stats.elapsed_s = total.elapsed_seconds();
-  return result;
-}
-
-namespace {
-
-/// Accumulates one aggregate over an index stream (legacy row-at-a-time
-/// path and join aggregates).
-struct Accumulator {
-  AggOp op;
-  bool is_double = false;
-  std::uint64_t count = 0;
-  std::int64_t isum = 0;
-  std::int64_t imin = std::numeric_limits<std::int64_t>::max();
-  std::int64_t imax = std::numeric_limits<std::int64_t>::min();
-  double dsum = 0;
-  double dmin = std::numeric_limits<double>::infinity();
-  double dmax = -std::numeric_limits<double>::infinity();
-
-  void add_int(std::int64_t v) {
-    ++count;
-    isum += v;
-    imin = std::min(imin, v);
-    imax = std::max(imax, v);
-  }
-  void add_double(double v) {
-    ++count;
-    dsum += v;
-    dmin = std::min(dmin, v);
-    dmax = std::max(dmax, v);
-  }
-  [[nodiscard]] storage::Value value() const {
-    switch (op) {
-      case AggOp::kCount:
-        return storage::Value{static_cast<std::int64_t>(count)};
-      case AggOp::kSum:
-        return is_double ? storage::Value{dsum} : storage::Value{isum};
-      case AggOp::kMin:
-        if (count == 0) return storage::Value{std::int64_t{0}};
-        return is_double ? storage::Value{dmin} : storage::Value{imin};
-      case AggOp::kMax:
-        if (count == 0) return storage::Value{std::int64_t{0}};
-        return is_double ? storage::Value{dmax} : storage::Value{imax};
-      case AggOp::kAvg: {
-        if (count == 0) return storage::Value{0.0};
-        const double sum = is_double ? dsum : static_cast<double>(isum);
-        return storage::Value{sum / static_cast<double>(count)};
-      }
-    }
-    return {};
-  }
-};
-
-std::string agg_column_name(const AggSpec& a) {
-  if (a.op == AggOp::kCount) return "count";
-  return agg_name(a.op) + "(" + (a.expr ? a.expr->to_string() : a.column) +
-         ")";
-}
-
-/// Value of one aggregate op from a single-pass AggOut, with the same
-/// empty-input semantics as the legacy Accumulator.
-storage::Value agg_out_value(AggOp op, const exec::AggOut& out) {
-  if (out.is_double) {
-    const exec::AggResultD& r = out.d;
-    switch (op) {
-      case AggOp::kCount:
-        return storage::Value{static_cast<std::int64_t>(r.count)};
-      case AggOp::kSum:
-        return storage::Value{r.sum};
-      case AggOp::kMin:
-        if (r.count == 0) return storage::Value{std::int64_t{0}};
-        return storage::Value{r.min};
-      case AggOp::kMax:
-        if (r.count == 0) return storage::Value{std::int64_t{0}};
-        return storage::Value{r.max};
-      case AggOp::kAvg:
-        return storage::Value{r.avg()};
-    }
-  } else {
-    const exec::AggResult& r = out.i;
-    switch (op) {
-      case AggOp::kCount:
-        return storage::Value{static_cast<std::int64_t>(r.count)};
-      case AggOp::kSum:
-        return storage::Value{r.sum};
-      case AggOp::kMin:
-        if (r.count == 0) return storage::Value{std::int64_t{0}};
-        return storage::Value{r.min};
-      case AggOp::kMax:
-        if (r.count == 0) return storage::Value{std::int64_t{0}};
-        return storage::Value{r.max};
-      case AggOp::kAvg:
-        return storage::Value{r.avg()};
-    }
-  }
-  return {};
-}
-
-}  // namespace
-
-QueryResult Executor::run_aggregate(const LogicalPlan& plan,
-                                    const Table& table,
-                                    const BitVector& selection,
-                                    ExecStats& stats,
-                                    const ExecOptions& options) {
-  if (options.agg_path == AggPath::kRowAtATime)
-    return run_aggregate_rows(plan, table, selection, stats, options);
-  return run_aggregate_vectorized(plan, table, selection, stats, options);
-}
-
-QueryResult Executor::run_aggregate_vectorized(const LogicalPlan& plan,
-                                               const Table& table,
-                                               const BitVector& selection,
-                                               ExecStats& stats,
-                                               const ExecOptions& options) {
-  Stopwatch sw;
-  const std::uint64_t selected = selection.count();
-  const bool parallel = options.pool != nullptr &&
-                        selected >= options.parallel_agg_min_rows;
-
-  // ---- Resolve AggSpecs to shared inputs: each distinct column (or
-  // expression) becomes ONE kernel input, read exactly once, and is
-  // charged to the DRAM ledger exactly once. ------------------------------
-  std::set<std::string> charged;
-  const auto charge_once = [&](const Column& c, bool packed) {
-    if (charged.insert(c.name()).second)
-      charge_column_access(table.name(), c, stats, options, packed);
-  };
-  // One representation per column per query: consumers with no packed
-  // kernel (expression evaluation, composite-key synthesis) read the
-  // plain array, so a column any of them touches is consumed plain by
-  // every consumer — otherwise the once-per-query charge could not match
-  // what the pass actually streams.
-  std::set<std::string> plain_required;
-  for (const AggSpec& a : plan.aggregates) {
-    if (a.expr == nullptr) continue;
-    std::vector<std::string> referenced;
-    a.expr->collect_columns(referenced);
-    plain_required.insert(referenced.begin(), referenced.end());
-  }
-  if (plan.group_by.size() > 1)
-    plain_required.insert(plan.group_by.begin(), plan.group_by.end());
-  const auto consume_packed = [&](const Column& c) {
-    return use_packed(c, options) && plain_required.count(c.name()) == 0;
-  };
-  // Aggregate inputs consume the packed image when one exists: the pass
-  // streams fewer DRAM bytes, and the ledger charges exactly those.
-  const auto input_of = [&](const Column& c) {
-    if (consume_packed(c)) {
-      charge_once(c, true);
-      return exec::AggInput::from(c.packed_view());
-    }
-    charge_once(c, false);
-    return agg_input_of(c);
-  };
-
-  std::vector<exec::AggInput> inputs;
-  std::deque<std::vector<double>> expr_values;  // stable storage for spans
-  std::map<std::string, std::size_t> input_index;
-  std::vector<int> spec_input(plan.aggregates.size(), -1);  // -1 = COUNT
-  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-    const AggSpec& a = plan.aggregates[ai];
-    if (a.op == AggOp::kCount) continue;  // COUNT needs no input column
-    if (a.expr != nullptr) {
-      const std::string key = "expr:" + a.expr->to_string();
-      const auto it = input_index.find(key);
-      if (it == input_index.end()) {
-        std::vector<std::string> referenced;
-        a.expr->collect_columns(referenced);
-        // Expression evaluation reads the plain arrays (no packed kernel)
-        // — the transient-decode fallback arm.
-        for (const std::string& name : referenced)
-          charge_once(table.column(name), false);
-        expr_values.emplace_back();
-        exec::evaluate_expression(*a.expr, table, expr_values.back());
-        input_index[key] = inputs.size();
-        spec_input[ai] = static_cast<int>(inputs.size());
-        inputs.push_back(exec::AggInput::from(
-            std::span<const double>(expr_values.back())));
-      } else {
-        spec_input[ai] = static_cast<int>(it->second);
-      }
-    } else {
-      const auto it = input_index.find(a.column);
-      if (it == input_index.end()) {
-        const Column& c = table.column(a.column);
-        input_index[a.column] = inputs.size();
-        spec_input[ai] = static_cast<int>(inputs.size());
-        inputs.push_back(input_of(c));
-      } else {
-        spec_input[ai] = static_cast<int>(it->second);
-      }
-    }
-  }
-
-  if (!plan.has_group_by()) {
-    // Global aggregates: one pass computes count/sum/min/max for every
-    // input; each AggSpec just projects its op out of the shared result.
-    std::vector<exec::AggOut> outs;
-    if (!inputs.empty())
-      outs = parallel ? exec::parallel_multi_aggregate(*options.pool, inputs,
-                                                       selection)
-                      : exec::multi_aggregate(inputs, selection);
-    std::vector<std::string> names;
-    names.reserve(plan.aggregates.size());
-    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-    QueryResult result(std::move(names));
-    std::vector<storage::Value> row;
-    row.reserve(plan.aggregates.size());
-    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-      const AggSpec& a = plan.aggregates[ai];
-      if (spec_input[ai] < 0)
-        row.emplace_back(static_cast<std::int64_t>(selected));
-      else
-        row.push_back(agg_out_value(a.op,
-                                    outs[static_cast<std::size_t>(
-                                        spec_input[ai])]));
-    }
-    result.add_row(std::move(row));
-    stats.work.cpu_cycles +=
-        kAggCyclesPerTuple * static_cast<double>(selected) *
-        static_cast<double>(std::max<std::size_t>(1, inputs.size()));
-    stats.groups = 1;
-    time_operator(stats, "aggregate", sw);
-    return result;
-  }
-
-  // ---- Grouped aggregation. Key ranges come from the cached column
-  // statistics — no per-query min/max scan over the key columns. ----------
-  struct GroupKeyPart {
-    const Column* col;
-    std::int64_t min = 0;
-    std::int64_t max = 0;
-    std::int64_t domain = 1;  // max - min + 1, saturated by ColumnStats
-    std::int64_t stride = 1;
-    std::uint64_t distinct = 0;
-  };
-  std::vector<GroupKeyPart> parts;
-  const std::size_t n_rows = table.row_count();
-  // Composite keys are in plain_required (synthesized from the plain
-  // arrays); a single packed key column is consumed in place.
-  for (const std::string& name : plan.group_by) {
-    const Column& col = table.column(name);
-    charge_once(col, consume_packed(col));
-    if (col.type() == TypeId::kDouble)
-      throw Error("cannot group by double column " + col.name());
-    const storage::ColumnStats& cs = col.stats();
-    GroupKeyPart part;
-    part.col = &col;
-    part.min = cs.rows == 0 ? 0 : cs.min;
-    part.max = cs.rows == 0 ? 0 : cs.max;
-    part.domain = std::max<std::int64_t>(1, cs.domain());
-    part.distinct = cs.distinct;
-    parts.push_back(part);
-  }
-
-  exec::GroupedAggs grouped;
-  const bool composite = parts.size() > 1;
-  if (!composite) {
-    // Single key column consumed in place (int32/codes stay 32-bit;
-    // encoded keys stay packed and decode per selected row).
-    const GroupKeyPart& part = parts.front();
-    const exec::KeyRange range{true, part.min, part.max, part.distinct};
-    if (consume_packed(*part.col)) {
-      const storage::PackedView keys = part.col->packed_view();
-      grouped = parallel
-                    ? exec::parallel_grouped_multi_aggregate_packed(
-                          *options.pool, keys, inputs, selection, range)
-                    : exec::grouped_multi_aggregate_packed(keys, inputs,
-                                                           selection, range);
-    } else if (part.col->type() == TypeId::kInt64) {
-      const auto keys = part.col->int64_data();
-      grouped = parallel
-                    ? exec::parallel_grouped_multi_aggregate(
-                          *options.pool, keys, inputs, selection, range)
-                    : exec::grouped_multi_aggregate(keys, inputs, selection,
-                                                    range);
-    } else {
-      const auto keys = part.col->int32_data();  // int32 or string codes
-      grouped = parallel
-                    ? exec::parallel_grouped_multi_aggregate32(
-                          *options.pool, keys, inputs, selection, range)
-                    : exec::grouped_multi_aggregate32(keys, inputs, selection,
-                                                      range);
-    }
-  } else {
-    // Strides right-to-left; guard against composite-domain overflow.
-    std::int64_t total = 1;
-    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
-      it->stride = total;
-      if (it->domain > (std::int64_t{1} << 62) / total)
-        throw Error("composite group-by domain too large");
-      total *= it->domain;
-    }
-    // Synthesize the composite keys into the reusable scratch buffer
-    // (one sequential pass per key column).
-    key_scratch_.assign(n_rows, 0);
-    for (const GroupKeyPart& part : parts) {
-      if (part.col->type() == TypeId::kInt64) {
-        const auto data = part.col->int64_data();
-        for (std::size_t i = 0; i < n_rows; ++i)
-          key_scratch_[i] += (data[i] - part.min) * part.stride;
-      } else {
-        const auto data = part.col->int32_data();
-        for (std::size_t i = 0; i < n_rows; ++i)
-          key_scratch_[i] += (data[i] - part.min) * part.stride;
-      }
-    }
-    const std::span<const std::int64_t> keys(key_scratch_.data(), n_rows);
-    const exec::KeyRange range{true, 0, total - 1};
-    grouped = parallel ? exec::parallel_grouped_multi_aggregate(
-                             *options.pool, keys, inputs, selection, range)
-                       : exec::grouped_multi_aggregate(keys, inputs,
-                                                       selection, range);
-  }
-  stats.groups = grouped.group_count();
-  stats.work.cpu_cycles +=
-      kGroupCyclesPerTuple * static_cast<double>(selected) +
-      kAggCyclesPerTuple * static_cast<double>(selected) *
-          static_cast<double>(inputs.size());
-
-  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
-  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-  QueryResult result(std::move(names));
-
-  for (std::size_t g = 0; g < grouped.group_count(); ++g) {
-    std::vector<storage::Value> row;
-    row.reserve(parts.size() + plan.aggregates.size());
-    if (!composite) {
-      const GroupKeyPart& part = parts.front();
-      if (part.col->type() == TypeId::kString)
-        row.emplace_back(part.col->dictionary().at(
-            static_cast<std::int32_t>(grouped.keys[g])));
-      else
-        row.emplace_back(grouped.keys[g]);
-    } else {
-      // Decode the composite key back into per-column values.
-      for (const GroupKeyPart& part : parts) {
-        const std::int64_t component =
-            (grouped.keys[g] / part.stride) % part.domain + part.min;
-        if (part.col->type() == TypeId::kString)
-          row.emplace_back(part.col->dictionary().at(
-              static_cast<std::int32_t>(component)));
-        else
-          row.emplace_back(component);
-      }
-    }
-    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-      const AggSpec& a = plan.aggregates[ai];
-      if (spec_input[ai] < 0) {
-        row.emplace_back(static_cast<std::int64_t>(grouped.counts[g]));
-        continue;
-      }
-      const auto j = static_cast<std::size_t>(spec_input[ai]);
-      exec::AggOut out;
-      out.is_double = inputs[j].is_double();
-      if (out.is_double)
-        out.d = grouped.dout[j][g];
-      else
-        out.i = grouped.iout[j][g];
-      row.push_back(agg_out_value(a.op, out));
-    }
-    result.add_row(std::move(row));
-  }
-  time_operator(stats, "group-aggregate", sw);
-  return result;
-}
-
-QueryResult Executor::run_aggregate_rows(const LogicalPlan& plan,
-                                         const Table& table,
-                                         const BitVector& selection,
-                                         ExecStats& stats,
-                                         const ExecOptions& options) {
-  Stopwatch sw;
-  const std::uint64_t selected = selection.count();
-
-  if (!plan.has_group_by()) {
-    // Global aggregates.
-    std::vector<std::string> names;
-    names.reserve(plan.aggregates.size());
-    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-    QueryResult result(std::move(names));
-    std::vector<storage::Value> row;
-    for (const AggSpec& a : plan.aggregates) {
-      Accumulator acc{a.op};
-      if (a.op == AggOp::kCount) {
-        acc.count = selected;
-      } else if (a.expr != nullptr) {
-        std::vector<std::string> referenced;
-        a.expr->collect_columns(referenced);
-        for (const std::string& name : referenced)
-          charge_column_access(table.name(), table.column(name), stats,
-                               options);
-        std::vector<double> evaluated;
-        exec::evaluate_expression(*a.expr, table, evaluated);
-        acc.is_double = true;
-        selection.for_each_set(
-            [&](std::size_t i) { acc.add_double(evaluated[i]); });
-      } else {
-        const Column& c = table.column(a.column);
-        charge_column_access(table.name(), c, stats, options);
-        if (c.type() == TypeId::kDouble) {
-          acc.is_double = true;
-          const auto data = c.double_data();
-          selection.for_each_set(
-              [&](std::size_t i) { acc.add_double(data[i]); });
-        } else {
-          selection.for_each_set(
-              [&](std::size_t i) { acc.add_int(column_int_at(c, i)); });
-        }
-      }
-      row.push_back(acc.value());
-      stats.work.cpu_cycles +=
-          kAggCyclesPerTuple * static_cast<double>(selected);
-    }
-    result.add_row(std::move(row));
-    stats.groups = 1;
-    time_operator(stats, "aggregate", sw);
-    return result;
-  }
-
-  // Grouped aggregation over one or more key columns (int32 / int64 /
-  // string codes). A composite non-negative int64 key is synthesized from
-  // the columns' value ranges (stride layout), so every grouping runs on
-  // the int64 kernels and decodes back to column values for output.
-  struct GroupKeyPart {
-    const Column* col;
-    std::int64_t min = 0;
-    std::int64_t domain = 1;  // max - min + 1
-    std::int64_t stride = 1;
-  };
-  std::vector<GroupKeyPart> parts;
-  const std::size_t n_rows = table.row_count();
-  for (const std::string& name : plan.group_by) {
-    const Column& col = table.column(name);
-    charge_column_access(table.name(), col, stats, options);
-    if (col.type() == TypeId::kDouble)
-      throw Error("cannot group by double column " + col.name());
-    GroupKeyPart part;
-    part.col = &col;
-    std::int64_t mn = 0, mx = 0;
-    if (n_rows > 0) {
-      // Deliberately rescans the column (the "before" the stats cache
-      // eliminates in the vectorized path).
-      if (col.type() == TypeId::kInt64) {
-        const auto data = col.int64_data();
-        mn = mx = data[0];
-        for (const std::int64_t v : data) {
-          mn = std::min(mn, v);
-          mx = std::max(mx, v);
-        }
-      } else {
-        const auto data = col.int32_data();  // int32 or string codes
-        mn = mx = data[0];
-        for (const std::int32_t v : data) {
-          mn = std::min<std::int64_t>(mn, v);
-          mx = std::max<std::int64_t>(mx, v);
-        }
-      }
-    }
-    part.min = mn;
-    part.domain = mx - mn + 1;
-    parts.push_back(part);
-  }
-  // Strides right-to-left; guard against composite-domain overflow.
-  std::int64_t total = 1;
-  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
-    it->stride = total;
-    if (it->domain > (std::int64_t{1} << 62) / total)
-      throw Error("composite group-by domain too large");
-    total *= it->domain;
-  }
-  // Synthesize the composite keys.
-  std::vector<std::int64_t> synth(n_rows, 0);
-  for (const GroupKeyPart& part : parts) {
-    if (part.col->type() == TypeId::kInt64) {
-      const auto data = part.col->int64_data();
-      for (std::size_t i = 0; i < n_rows; ++i)
-        synth[i] += (data[i] - part.min) * part.stride;
-    } else {
-      const auto data = part.col->int32_data();
-      for (std::size_t i = 0; i < n_rows; ++i)
-        synth[i] += (data[i] - part.min) * part.stride;
-    }
-  }
-  const std::span<const std::int64_t> group_keys(synth);
-
-  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
-  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-  QueryResult result(std::move(names));
-
-  // Resolve each aggregate into per-key accumulation via the exec kernels.
-  // Strategy: for the first aggregate we compute the group layout (sorted
-  // keys); subsequent aggregates are joined by key order. To keep a single
-  // pass per aggregate we rely on group_aggregate* returning key-sorted rows.
-  struct GroupedOut {
-    std::vector<exec::GroupRow> irows;
-    std::vector<exec::GroupRowD> drows;
-    bool is_double = false;
-  };
-  std::vector<GroupedOut> per_agg(plan.aggregates.size());
-
-  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-    const AggSpec& a = plan.aggregates[ai];
-    GroupedOut& out = per_agg[ai];
-    if (a.expr != nullptr && a.op != AggOp::kCount) {
-      // Expression input: evaluate once, group as doubles.
-      std::vector<std::string> referenced;
-      a.expr->collect_columns(referenced);
-      for (const std::string& name : referenced)
-        charge_column_access(table.name(), table.column(name), stats,
-                             options);
-      std::vector<double> evaluated;
-      exec::evaluate_expression(*a.expr, table, evaluated);
-      out.is_double = true;
-      out.drows = exec::group_aggregate_d(group_keys, evaluated, selection);
-      stats.work.cpu_cycles +=
-          kGroupCyclesPerTuple * static_cast<double>(selected);
-      continue;
-    }
-    const std::string& value_col_name =
-        a.op == AggOp::kCount ? plan.group_by.front() : a.column;
-    const Column& val_col = table.column(value_col_name);
-    if (a.op != AggOp::kCount)
-      charge_column_access(table.name(), val_col, stats, options);
-    if (val_col.type() == TypeId::kDouble) {
-      out.is_double = true;
-      out.drows = exec::group_aggregate_d(group_keys, val_col.double_data(),
-                                          selection);
-    } else {
-      // Integer (or count over the synthesized key itself).
-      std::vector<std::int64_t> widened;
-      std::span<const std::int64_t> values;
-      if (a.op == AggOp::kCount) {
-        values = group_keys;  // any column works for counting
-      } else if (val_col.type() == TypeId::kInt64) {
-        values = val_col.int64_data();
-      } else {
-        widened.reserve(val_col.size());
-        for (std::size_t i = 0; i < val_col.size(); ++i)
-          widened.push_back(column_int_at(val_col, i));
-        values = widened;
-      }
-      out.irows = exec::group_aggregate(group_keys, values, selection);
-    }
-    stats.work.cpu_cycles +=
-        kGroupCyclesPerTuple * static_cast<double>(selected);
-  }
-
-  // All aggregates share the same key set; take it from the first.
-  std::vector<std::int64_t> keys;
-  if (!per_agg.empty()) {
-    if (per_agg[0].is_double)
-      for (const auto& r : per_agg[0].drows) keys.push_back(r.key);
-    else
-      for (const auto& r : per_agg[0].irows) keys.push_back(r.key);
-  }
-  stats.groups = keys.size();
-
-  for (std::size_t g = 0; g < keys.size(); ++g) {
-    std::vector<storage::Value> row;
-    row.reserve(parts.size() + plan.aggregates.size());
-    // Decode the composite key back into per-column values.
-    for (const GroupKeyPart& part : parts) {
-      const std::int64_t component =
-          (keys[g] / part.stride) % part.domain + part.min;
-      if (part.col->type() == TypeId::kString)
-        row.emplace_back(part.col->dictionary().at(
-            static_cast<std::int32_t>(component)));
-      else
-        row.emplace_back(component);
-    }
-    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-      const AggSpec& a = plan.aggregates[ai];
-      const GroupedOut& out = per_agg[ai];
-      if (out.is_double) {
-        const exec::AggResultD& r = out.drows[g].agg;
-        switch (a.op) {
-          case AggOp::kCount:
-            row.emplace_back(static_cast<std::int64_t>(r.count));
-            break;
-          case AggOp::kSum:
-            row.emplace_back(r.sum);
-            break;
-          case AggOp::kMin:
-            row.emplace_back(r.min);
-            break;
-          case AggOp::kMax:
-            row.emplace_back(r.max);
-            break;
-          case AggOp::kAvg:
-            row.emplace_back(r.avg());
-            break;
-        }
-      } else {
-        const exec::AggResult& r = out.irows[g].agg;
-        switch (a.op) {
-          case AggOp::kCount:
-            row.emplace_back(static_cast<std::int64_t>(r.count));
-            break;
-          case AggOp::kSum:
-            row.emplace_back(r.sum);
-            break;
-          case AggOp::kMin:
-            row.emplace_back(r.min);
-            break;
-          case AggOp::kMax:
-            row.emplace_back(r.max);
-            break;
-          case AggOp::kAvg:
-            row.emplace_back(r.avg());
-            break;
-        }
-      }
-    }
-    result.add_row(std::move(row));
-  }
-  time_operator(stats, "group-aggregate", sw);
-  return result;
-}
-
-QueryResult Executor::run_join(const LogicalPlan& plan, const Table& table,
-                               const BitVector& selection, ExecStats& stats,
-                               const ExecOptions& options) {
-  // Shapes the join paths cannot answer correctly are rejected up front —
-  // never silently dropped (the pre-vectorized path ignored GROUP BY and
-  // answered as if the query were a global aggregate).
-  validate_join_plan(plan);
-  if (options.join_path == JoinPath::kPairMaterialize)
-    return run_join_pairs(plan, table, selection, stats, options);
-  return run_join_vectorized(plan, table, selection, stats, options);
-}
-
-QueryResult Executor::run_join_vectorized(const LogicalPlan& plan,
-                                          const Table& table,
-                                          const BitVector& selection,
-                                          ExecStats& stats,
-                                          const ExecOptions& options) {
-  const JoinSpec& spec = *plan.join;
-  const Table& build_table = catalog_.get(spec.table);
-  if (!build_table.complete())
-    throw Error("table not fully loaded: " + spec.table);
-
-  Stopwatch sw;
-  BitVector build_sel =
-      evaluate_predicates(build_table, spec.predicates, stats, options);
-  time_operator(stats, "scan+filter(" + spec.table + ")", sw);
-
-  // ---- Column resolution: bare names bind to the probe (FROM) table
-  // first, then the build table; "table.column" qualifies explicitly. ----
-  struct Ref {
-    const Table* tbl;
-    const Column* col;
-    bool from_build;
-  };
-  const auto resolve = [&](const std::string& name) -> Ref {
-    const auto dot = name.find('.');
-    if (dot != std::string::npos) {
-      const std::string tbl = name.substr(0, dot);
-      const std::string col = name.substr(dot + 1);
-      if (tbl == build_table.name())
-        return {&build_table, &build_table.column(col), true};
-      if (tbl == table.name()) return {&table, &table.column(col), false};
-      throw Error("unknown table in qualified column: " + name);
-    }
-    if (table.schema().has_column(name))
-      return {&table, &table.column(name), false};
-    if (build_table.schema().has_column(name))
-      return {&build_table, &build_table.column(name), true};
-    throw Error("unknown column: " + name);
-  };
-
-  // ---- Ledger: charge each (table, column) once for the representation
-  // this join actually streams — the packed image for packed-probed key
-  // columns, the plain width for every gathered payload/group column.
-  // One representation per column per query (the base aggregation path's
-  // rule): a key column that any gather consumer also needs is read plain
-  // by the key path too, so the once-per-query charge matches the bytes
-  // the pipeline touches. ----
-  std::set<std::string> charged;
-  const auto qualified = [](const Table& t, const Column& c) {
-    return t.name() + "." + c.name();
-  };
-  const auto charge_once = [&](const Table& t, const Column& c, bool packed) {
-    if (charged.insert(qualified(t, c)).second)
-      charge_column_access(t.name(), c, stats, options, packed);
-  };
-
-  const Column& probe_key = table.column(spec.left_key);
-  const Column& build_key = build_table.column(spec.right_key);
-  for (const Column* key : {&probe_key, &build_key}) {
-    if (key->type() == TypeId::kDouble)
-      throw Error("join keys must be integer-typed: " + key->name());
-    // Codes from two different dictionaries do not align; equality on
-    // them would be a silent wrong answer.
-    if (key->type() == TypeId::kString)
-      throw Error("string join keys are not supported: " + key->name());
-  }
-
-  // Columns any gather consumer (aggregate input, group key, projection)
-  // reads from the plain array.
-  std::set<std::string> plain_required;
-  const auto require_plain = [&](const std::string& name) {
-    const Ref r = resolve(name);
-    plain_required.insert(qualified(*r.tbl, *r.col));
-  };
-  if (plan.is_aggregate()) {
-    for (const AggSpec& a : plan.aggregates)
-      if (a.op != AggOp::kCount) require_plain(a.column);
-    for (const std::string& name : plan.group_by) require_plain(name);
-  } else {
-    for (const std::string& name : plan.projection) require_plain(name);
-  }
-
-  // ---- Join keys, consumed without widening: int64/int32 spans read in
-  // place, bit-packed images decoded per probed row. ----
-  const auto keys_of = [&](const Table& t, const Column& c) {
-    if (use_packed(c, options) && plain_required.count(qualified(t, c)) == 0) {
-      charge_once(t, c, true);
-      return exec::JoinKeys::from(c.packed_view());
-    }
-    charge_once(t, c, false);
-    return c.type() == TypeId::kInt64 ? exec::JoinKeys::from(c.int64_data())
-                                      : exec::JoinKeys::from(c.int32_data());
-  };
-  const exec::JoinKeys probe_keys = keys_of(table, probe_key);
-  const exec::JoinKeys build_keys = keys_of(build_table, build_key);
-
-  const std::uint64_t build_rows = build_sel.count();
-  const std::uint64_t probe_rows = selection.count();
-
-  // ---- Projection: serial single-table probe (deterministic
-  // probe-ascending, build-ascending order, matching the nested-loop
-  // oracle) with LIMIT-aware early exit — no pair vector. ----
-  sw.restart();
-  if (!plan.is_aggregate()) {
-    std::vector<std::string> proj = plan.projection;
-    struct ProjCol {
-      const Column* col;
-      bool from_build;
-    };
-    std::vector<ProjCol> cols;
-    cols.reserve(proj.size());
-    for (const std::string& name : proj) {
-      const Ref r = resolve(name);
-      charge_once(*r.tbl, *r.col, false);
-      cols.push_back({r.col, r.from_build});
-    }
-    QueryResult result(std::move(proj));
-    const exec::JoinHashTable ht = exec::build_join_table(build_keys, build_sel);
-    const auto sink = [&](const std::uint32_t* b, const std::uint32_t* p,
-                          std::size_t k) {
-      for (std::size_t e = 0; e < k; ++e) {
-        std::vector<storage::Value> row;
-        row.reserve(cols.size());
-        for (const ProjCol& c : cols)
-          row.push_back(c.col->value_at(c.from_build ? b[e] : p[e]));
-        result.add_row(std::move(row));
-      }
-    };
-    const std::uint64_t pairs = exec::probe_join_blocks(
-        ht, probe_keys, selection, 0, selection.word_count(), sink,
-        plan.limit);
-    stats.join_pairs = pairs;
-    stats.work.cpu_cycles +=
-        kJoinBuildCyclesPerTuple * static_cast<double>(build_rows) +
-        kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows) +
-        kMaterializeCyclesPerValue * static_cast<double>(pairs) *
-            static_cast<double>(cols.size());
-    time_operator(stats, "hash-join+materialize", sw);
-    return result;
-  }
-
-  // ---- Aggregate inputs: one gather input per distinct referenced
-  // column (probe- or build-side); gathers read the plain arrays (random
-  // access), so each is charged at the plain width, once. ----
-  std::vector<exec::JoinAggregator::Input> inputs;
-  std::map<std::string, std::size_t> input_index;
-  std::vector<int> spec_input(plan.aggregates.size(), -1);  // -1 = COUNT
-  for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-    const AggSpec& a = plan.aggregates[ai];
-    if (a.op == AggOp::kCount) continue;
-    const auto it = input_index.find(a.column);
-    if (it != input_index.end()) {
-      spec_input[ai] = static_cast<int>(it->second);
-      continue;
-    }
-    const Ref r = resolve(a.column);
-    charge_once(*r.tbl, *r.col, false);
-    input_index[a.column] = inputs.size();
-    spec_input[ai] = static_cast<int>(inputs.size());
-    inputs.push_back({agg_input_of(*r.col), r.from_build});
-  }
-
-  // ---- Group keys: any mix of probe- and build-side columns; composite
-  // keys use the stride layout of the base aggregation path, with ranges
-  // from the cached column statistics. ----
-  struct GroupPart {
-    const Column* col;
-    bool from_build;
-    std::int64_t min = 0;
-    std::int64_t max = 0;
-    std::int64_t domain = 1;
-    std::int64_t stride = 1;
-    std::uint64_t distinct = 0;
-  };
-  std::vector<GroupPart> parts;
-  for (const std::string& name : plan.group_by) {
-    const Ref r = resolve(name);
-    if (r.col->type() == TypeId::kDouble)
-      throw Error("cannot group by double column " + name);
-    charge_once(*r.tbl, *r.col, false);
-    const storage::ColumnStats& cs = r.col->stats();
-    GroupPart part;
-    part.col = r.col;
-    part.from_build = r.from_build;
-    part.min = cs.rows == 0 ? 0 : cs.min;
-    part.max = cs.rows == 0 ? 0 : cs.max;
-    part.domain = std::max<std::int64_t>(1, cs.domain());
-    part.distinct = cs.distinct;
-    parts.push_back(part);
-  }
-  const bool composite = parts.size() > 1;
-  exec::KeyRange range;
-  std::vector<exec::JoinAggregator::KeyPart> kparts;
-  if (!parts.empty()) {
-    if (!composite) {
-      const GroupPart& part = parts.front();
-      range = {true, part.min, part.max, part.distinct};
-      kparts.push_back({agg_input_of(*part.col), part.from_build, 0, 1});
-    } else {
-      std::int64_t total = 1;
-      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
-        it->stride = total;
-        if (it->domain > (std::int64_t{1} << 62) / total)
-          throw Error("composite group-by domain too large");
-        total *= it->domain;
-      }
-      for (const GroupPart& part : parts)
-        kparts.push_back(
-            {agg_input_of(*part.col), part.from_build, part.min, part.stride});
-      range = {true, 0, total - 1};
-    }
-  }
-  const auto make_agg = [&] {
-    return plan.has_group_by() ? exec::JoinAggregator(inputs, kparts, range)
-                               : exec::JoinAggregator(inputs);
-  };
-  exec::JoinAggregator master = make_agg();
-
-  // ---- Physical arm: one cache-resident hash table vs radix partitions,
-  // by build cardinality (cost-model policy); morsel-parallel probe when
-  // a pool is provided and the probe side is large enough. ----
-  static const opt::CostModel default_model = opt::CostModel::defaults();
-  const opt::CostModel& cm =
-      options.cost_model != nullptr ? *options.cost_model : default_model;
-  const storage::ColumnStats& key_stats = build_key.stats();
-  opt::JoinArm arm;
-  switch (options.join_path) {
-    case JoinPath::kDense:
-      if (key_stats.rows == 0 ||
-          static_cast<std::uint64_t>(key_stats.domain()) >
-              cm.costs().dense_join_max_domain)
-        throw Error("build key domain unsuitable for the dense join arm: " +
-                    build_key.name());
-      arm = opt::JoinArm::kDenseJoin;
-      break;
-    case JoinPath::kHash:
-      arm = opt::JoinArm::kHashJoin;
-      break;
-    case JoinPath::kRadix:
-      arm = opt::JoinArm::kRadixJoin;
-      break;
-    default:
-      arm = cm.pick_join_arm(build_rows, key_stats.distinct,
-                             static_cast<std::uint64_t>(key_stats.domain()));
-      break;
-  }
-  const bool parallel = options.pool != nullptr &&
-                        probe_rows >= options.parallel_join_min_rows;
-
-  if (arm == opt::JoinArm::kRadixJoin) {
-    const unsigned bits = cm.pick_radix_bits(build_rows);
-    const exec::RadixPartitions bparts =
-        exec::radix_partition(build_keys, build_sel, bits);
-    const exec::RadixPartitions pparts =
-        exec::radix_partition(probe_keys, selection, bits);
-    const std::size_t n_parts = bparts.parts.size();
-    stats.work.cpu_cycles += kRadixPartitionCyclesPerTuple *
-                             static_cast<double>(build_rows + probe_rows);
-    if (parallel) {
-      // Partition-range tasks with private aggregators, merged serially.
-      const std::size_t n_tasks =
-          std::min(n_parts, options.pool->thread_count() * 2);
-      std::vector<exec::JoinAggregator> locals;
-      locals.reserve(n_tasks);
-      for (std::size_t t = 0; t < n_tasks; ++t) locals.push_back(make_agg());
-      for (std::size_t t = 0; t < n_tasks; ++t) {
-        options.pool->submit([&, t] {
-          exec::JoinAggregator& local = locals[t];
-          const auto sink = [&local](const std::uint32_t* b,
-                                     const std::uint32_t* p, std::size_t k) {
-            local.add_block(b, p, k);
-          };
-          for (std::size_t part = t; part < n_parts; part += n_tasks)
-            (void)exec::join_partition_blocks(bparts.parts[part],
-                                              pparts.parts[part], sink);
-        });
-      }
-      options.pool->wait_idle();
-      for (const exec::JoinAggregator& local : locals)
-        master.merge_from(local);
-    } else {
-      const auto sink = [&master](const std::uint32_t* b,
-                                  const std::uint32_t* p, std::size_t k) {
-        master.add_block(b, p, k);
-      };
-      for (std::size_t part = 0; part < n_parts; ++part)
-        (void)exec::join_partition_blocks(bparts.parts[part],
-                                          pparts.parts[part], sink);
-    }
-  } else {
-    // Dense and hash arms share the probe driver; only the table differs.
-    const auto run_probe = [&](const auto& ht) {
-      if (parallel) {
-        // Morsel-parallel probe over 64-aligned ranges of the selection:
-        // per-chunk private aggregators, merged under a lock. Chunks are
-        // at least a morsel but no more than ~4 per worker, so each
-        // chunk's aggregator setup and merge amortize over enough rows
-        // (dense group domains allocate O(domain) per aggregator).
-        std::mutex merge_mu;
-        const std::size_t total_words = selection.word_count();
-        const std::size_t chunks = options.pool->thread_count() * 4;
-        const std::size_t per_chunk = (selection.size() + chunks - 1) / chunks;
-        const std::size_t grain = std::max<std::size_t>(
-            64, std::max(exec::kDefaultMorselRows, per_chunk) / 64 * 64);
-        options.pool->parallel_for(
-            selection.size(), grain, [&](std::size_t begin, std::size_t end) {
-              const std::size_t wb = begin / 64;
-              const std::size_t we = std::min(total_words, (end + 63) / 64);
-              exec::JoinAggregator local = make_agg();
-              const auto sink = [&local](const std::uint32_t* b,
-                                         const std::uint32_t* p,
-                                         std::size_t k) {
-                local.add_block(b, p, k);
-              };
-              (void)exec::probe_join_blocks(ht, probe_keys, selection, wb, we,
-                                            sink);
-              std::scoped_lock lock(merge_mu);
-              master.merge_from(local);
-            });
-      } else {
-        const auto sink = [&master](const std::uint32_t* b,
-                                    const std::uint32_t* p, std::size_t k) {
-          master.add_block(b, p, k);
-        };
-        (void)exec::probe_join_blocks(ht, probe_keys, selection, 0,
-                                      selection.word_count(), sink);
-      }
-    };
-    if (arm == opt::JoinArm::kDenseJoin) {
-      run_probe(exec::build_dense_join_table(
-          build_keys, build_sel, key_stats.rows == 0 ? 0 : key_stats.min,
-          std::max<std::int64_t>(1, key_stats.domain())));
-    } else {
-      run_probe(exec::build_join_table(build_keys, build_sel));
-    }
-  }
-  const std::uint64_t pairs = master.pair_count();
-  stats.join_pairs = pairs;
-  stats.work.cpu_cycles +=
-      kJoinBuildCyclesPerTuple * static_cast<double>(build_rows) +
-      kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows);
-  time_operator(stats, std::string(opt::join_arm_name(arm)) + "(" +
-                           build_table.name() + ")",
-                sw);
-
-  // ---- Emit: same decode/emit shape as the base grouped path. ----
-  sw.restart();
-  const exec::GroupedAggs grouped = master.finish();
-  stats.work.cpu_cycles +=
-      kAggCyclesPerTuple * static_cast<double>(pairs) *
-      static_cast<double>(std::max<std::size_t>(1, inputs.size()));
-  if (plan.has_group_by())
-    stats.work.cpu_cycles += kGroupCyclesPerTuple * static_cast<double>(pairs);
-  stats.groups = plan.has_group_by() ? grouped.group_count() : 1;
-
-  std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
-  for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-  QueryResult result(std::move(names));
-  for (std::size_t g = 0; g < grouped.group_count(); ++g) {
-    std::vector<storage::Value> row;
-    row.reserve(parts.size() + plan.aggregates.size());
-    if (!parts.empty() && !composite) {
-      const GroupPart& part = parts.front();
-      if (part.col->type() == TypeId::kString)
-        row.emplace_back(part.col->dictionary().at(
-            static_cast<std::int32_t>(grouped.keys[g])));
-      else
-        row.emplace_back(grouped.keys[g]);
-    } else {
-      for (const GroupPart& part : parts) {
-        const std::int64_t component =
-            (grouped.keys[g] / part.stride) % part.domain + part.min;
-        if (part.col->type() == TypeId::kString)
-          row.emplace_back(part.col->dictionary().at(
-              static_cast<std::int32_t>(component)));
-        else
-          row.emplace_back(component);
-      }
-    }
-    for (std::size_t ai = 0; ai < plan.aggregates.size(); ++ai) {
-      const AggSpec& a = plan.aggregates[ai];
-      if (spec_input[ai] < 0) {
-        row.emplace_back(static_cast<std::int64_t>(grouped.counts[g]));
-        continue;
-      }
-      const auto j = static_cast<std::size_t>(spec_input[ai]);
-      exec::AggOut out;
-      out.is_double = inputs[j].column.is_double();
-      if (out.is_double)
-        out.d = grouped.dout[j][g];
-      else
-        out.i = grouped.iout[j][g];
-      row.push_back(agg_out_value(a.op, out));
-    }
-    result.add_row(std::move(row));
-  }
-  time_operator(stats, "aggregate(join)", sw);
-  return result;
-}
-
-QueryResult Executor::run_join_pairs(const LogicalPlan& plan,
-                                     const Table& table,
-                                     const BitVector& selection,
-                                     ExecStats& stats,
-                                     const ExecOptions& options) {
-  const JoinSpec& spec = *plan.join;
-  const Table& build_table = catalog_.get(spec.table);
-  if (!build_table.complete())
-    throw Error("table not fully loaded: " + spec.table);
-  // The legacy interpreter has no grouped-aggregation support; before the
-  // vectorized path existed it silently answered GROUP BY joins as global
-  // aggregates (the wrong-result bug this refactor fixed).
-  if (plan.has_group_by())
-    throw Error("GROUP BY over joins requires the vectorized join path");
-
-  Stopwatch sw;
-  BitVector build_sel =
-      evaluate_predicates(build_table, spec.predicates, stats, options);
-  time_operator(stats, "scan+filter(" + spec.table + ")", sw);
-
-  // Key columns (widened to int64 when needed).
-  const Column& probe_key = table.column(spec.left_key);
-  const Column& build_key = build_table.column(spec.right_key);
-  charge_column_access(table.name(), probe_key, stats, options);
-  charge_column_access(build_table.name(), build_key, stats, options);
-
-  auto widen = [](const Column& c) {
-    std::vector<std::int64_t> out;
-    out.reserve(c.size());
-    for (std::size_t i = 0; i < c.size(); ++i)
-      out.push_back(column_int_at(c, i));
-    return out;
-  };
-  std::vector<std::int64_t> probe_keys_w, build_keys_w;
-  std::span<const std::int64_t> probe_keys, build_keys;
-  if (probe_key.type() == TypeId::kInt64) {
-    probe_keys = probe_key.int64_data();
-  } else {
-    probe_keys_w = widen(probe_key);
-    probe_keys = probe_keys_w;
-  }
-  if (build_key.type() == TypeId::kInt64) {
-    build_keys = build_key.int64_data();
-  } else {
-    build_keys_w = widen(build_key);
-    build_keys = build_keys_w;
-  }
-
-  sw.restart();
-  const std::vector<exec::JoinPair> pairs =
-      exec::hash_join(build_keys, build_sel, probe_keys, selection);
-  stats.join_pairs = pairs.size();
-  stats.work.cpu_cycles +=
-      kJoinBuildCyclesPerTuple * static_cast<double>(build_sel.count()) +
-      kJoinProbeCyclesPerTuple * static_cast<double>(selection.count());
-  time_operator(stats, "hash-join", sw);
-
-  sw.restart();
-  if (plan.is_aggregate()) {
-    // Aggregates over FROM-table columns, one contribution per join pair.
-    std::vector<std::string> names;
-    for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
-    QueryResult result(std::move(names));
-    std::vector<storage::Value> row;
-    for (const AggSpec& a : plan.aggregates) {
-      Accumulator acc{a.op};
-      if (a.expr != nullptr)
-        throw Error("expression aggregates are not supported with joins");
-      if (a.op == AggOp::kCount) {
-        acc.count = pairs.size();
-      } else {
-        const Column& c = table.column(a.column);
-        charge_column_access(table.name(), c, stats, options);
-        if (c.type() == TypeId::kDouble) {
-          acc.is_double = true;
-          const auto data = c.double_data();
-          for (const exec::JoinPair& p : pairs) acc.add_double(data[p.probe_row]);
-        } else {
-          for (const exec::JoinPair& p : pairs)
-            acc.add_int(column_int_at(c, p.probe_row));
-        }
-      }
-      row.push_back(acc.value());
-      stats.work.cpu_cycles +=
-          kAggCyclesPerTuple * static_cast<double>(pairs.size());
-    }
-    result.add_row(std::move(row));
-    stats.groups = 1;
-    time_operator(stats, "aggregate(join)", sw);
-    return result;
-  }
-
-  // Projection of join pairs: FROM-table columns plus build-side columns
-  // qualified as "table.column".
-  std::vector<std::string> proj = plan.projection;
-  if (proj.empty())
-    throw Error("join without aggregates requires an explicit select()");
-  QueryResult result(proj);
-  const std::size_t limit =
-      plan.limit == 0 ? pairs.size() : std::min(plan.limit, pairs.size());
-  for (std::size_t i = 0; i < limit; ++i) {
-    std::vector<storage::Value> row;
-    row.reserve(proj.size());
-    for (const std::string& name : proj) {
-      const auto dot = name.find('.');
-      if (dot != std::string::npos &&
-          name.substr(0, dot) == build_table.name()) {
-        row.push_back(
-            build_table.column(name.substr(dot + 1)).value_at(pairs[i].build_row));
-      } else {
-        row.push_back(table.column(name).value_at(pairs[i].probe_row));
-      }
-    }
-    result.add_row(std::move(row));
-    stats.work.cpu_cycles += kMaterializeCyclesPerValue *
-                             static_cast<double>(proj.size());
-  }
-  time_operator(stats, "materialize(join)", sw);
-  return result;
-}
-
-QueryResult Executor::run_projection(const LogicalPlan& plan,
-                                     const Table& table,
-                                     const BitVector& selection,
-                                     ExecStats& stats,
-                                     const ExecOptions& options) {
-  Stopwatch sw;
-  std::vector<std::string> proj = plan.projection;
-  if (proj.empty())
-    for (const auto& def : table.schema().columns()) proj.push_back(def.name);
-
-  // Ordering.
-  std::vector<std::uint32_t> order;
-  if (plan.order_by.has_value()) {
-    const Column& key = table.column(plan.order_by->column);
-    charge_column_access(table.name(), key, stats, options);
-    if (key.type() == TypeId::kDouble) {
-      order = exec::sort_indices_double(key.double_data(), selection,
-                                        plan.order_by->ascending);
-    } else if (key.type() == TypeId::kInt64) {
-      if (plan.limit != 0)
-        order = exec::top_n(key.int64_data(), selection, plan.limit,
-                            plan.order_by->ascending);
-      else
-        order = exec::sort_indices(key.int64_data(), selection,
-                                   plan.order_by->ascending);
-    } else {
-      std::vector<std::int64_t> widened;
-      widened.reserve(key.size());
-      for (std::size_t i = 0; i < key.size(); ++i)
-        widened.push_back(column_int_at(key, i));
-      order = plan.limit != 0
-                  ? exec::top_n(widened, selection, plan.limit,
-                                plan.order_by->ascending)
-                  : exec::sort_indices(widened, selection,
-                                       plan.order_by->ascending);
-    }
-  } else {
-    order = selection.to_indices();
-  }
-  if (plan.limit != 0 && order.size() > plan.limit) order.resize(plan.limit);
-
-  for (const std::string& name : proj)
-    charge_column_access(table.name(), table.column(name), stats, options);
-
-  QueryResult result(proj);
-  for (const std::uint32_t row_idx : order) {
-    std::vector<storage::Value> row;
-    row.reserve(proj.size());
-    for (const std::string& name : proj)
-      row.push_back(table.column(name).value_at(row_idx));
-    result.add_row(std::move(row));
-  }
-  stats.work.cpu_cycles += kMaterializeCyclesPerValue *
-                           static_cast<double>(order.size()) *
-                           static_cast<double>(proj.size());
-  time_operator(stats, "materialize", sw);
   return result;
 }
 

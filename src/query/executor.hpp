@@ -4,15 +4,20 @@
 // selection bitmaps via the SIMD kernels, aggregation/join/sort consume
 // them. The executor also *meters* execution — every operator contributes
 // elapsed seconds and abstract hw::Work so the energy layer can attribute
-// joules (measured or modeled) to the query.
+// joules (measured or modeled) to the query, per operator
+// (ExecStats::operators) and in total.
 //
-// The aggregation hot path is single-pass and block-vectorized
-// (exec/vector_agg): all of a query's aggregates are computed in one pass
-// over each input column, group-key ranges come from the cached
-// storage::ColumnStats (no per-query min/max scan), and large selections
-// run morsel-parallel on the provided ThreadPool. Conjunctive predicates
-// are ordered by estimated selectivity; the second and later predicates
-// use masked kernels that skip 64-row blocks with no surviving candidates.
+// Since the physical-plan refactor the executor is a thin dispatcher: a
+// LogicalPlan is compiled into a query::PhysicalPlan (join order, join
+// arms, sort strategy — see query/physical_plan.hpp) and the per-operator
+// translation units under src/query/ops/ execute it:
+//
+//   ops/scan_filter   predicate binding, pruning, masked conjuncts
+//   ops/join_op       multi-way chained joins, dense/hash/radix arms
+//   ops/aggregate_op  single-pass vectorized + legacy row-at-a-time
+//   ops/sort_op       sort / heap top-k (typed key views, result rows)
+//   ops/project_op    late materialization with gather-bounded charging
+//
 // See docs/executor_pipeline.md.
 #pragma once
 
@@ -22,11 +27,10 @@
 
 #include "exec/scan_kernels.hpp"
 #include "query/plan.hpp"
-#include "sched/thread_pool.hpp"
 #include "query/result.hpp"
+#include "sched/thread_pool.hpp"
 #include "storage/table.hpp"
 #include "storage/tier.hpp"
-#include "storage/zonemap.hpp"
 #include "util/bitvector.hpp"
 
 namespace eidb::opt {
@@ -34,6 +38,8 @@ class CostModel;
 }  // namespace eidb::opt
 
 namespace eidb::query {
+
+struct PhysicalPlan;
 
 /// Aggregation implementation choice. kVectorized is the production path;
 /// kRowAtATime preserves the one-pass-per-AggSpec interpreter as a
@@ -43,13 +49,14 @@ enum class AggPath : std::uint8_t { kVectorized, kRowAtATime };
 /// Join implementation choice. kAuto is the production path: the
 /// block-at-a-time vectorized pipeline, with the physical arm (dense
 /// direct-address array vs one cache-resident hash table vs
-/// radix-partitioned) picked from the build key's cached statistics by
-/// the cost model; kDense / kHash / kRadix pin that arm (kDense throws
-/// when the key domain is too large to allocate). kPairMaterialize
-/// preserves the legacy pair-vector interpreter as a reference for
-/// parity tests and the W1 join bench — it supports only ungrouped
-/// aggregates and projections, and throws on GROUP BY rather than
-/// mis-answering.
+/// radix-partitioned) picked per join step from the build key's cached
+/// statistics by the cost model; kDense / kHash / kRadix pin that arm
+/// (kDense throws when the key domain is too large to allocate; kRadix
+/// applies to the first executed step of aggregate plans and degrades to
+/// kHash elsewhere). kPairMaterialize preserves the legacy pair-vector
+/// interpreter as a reference for parity tests and the W1 join bench —
+/// it supports only single joins with ungrouped aggregates or unsorted
+/// projections, and throws on anything else rather than mis-answering.
 enum class JoinPath : std::uint8_t {
   kAuto,
   kDense,
@@ -78,11 +85,11 @@ struct ExecOptions {
   /// (kAuto scans only, like the parallel path).
   bool order_predicates = true;
   /// Consume bit-packed column images where one exists (kAuto scans,
-  /// vectorized aggregation, and join-key probing): predicates are
-  /// rewritten into the packed domain and the DRAM ledger is charged the
-  /// packed byte count. Off = always read the plain arrays (the parity
-  /// baseline). Operators with no packed kernel (sorts, projections,
-  /// join gathers, expression evaluation, explicit scan variants)
+  /// vectorized aggregation, join-key probing, and sort keys): predicates
+  /// are rewritten into the packed domain and the DRAM ledger is charged
+  /// the packed byte count. Off = always read the plain arrays (the
+  /// parity baseline). Operators with no packed kernel (projections, join
+  /// gathers, expression evaluation, explicit scan variants)
   /// transparently fall back to plain either way.
   bool use_encodings = true;
   /// Minimum selected rows before aggregation goes morsel-parallel on
@@ -90,8 +97,8 @@ struct ExecOptions {
   std::size_t parallel_agg_min_rows = 1u << 18;
   /// Join implementation (see JoinPath).
   JoinPath join_path = JoinPath::kAuto;
-  /// Cost model consulted by JoinPath::kAuto for the join-arm decision
-  /// (dense / hash / radix); nullptr uses the library defaults.
+  /// Cost model consulted by the physical planner for the join-arm
+  /// decision (dense / hash / radix); nullptr uses the library defaults.
   const opt::CostModel* cost_model = nullptr;
   /// Minimum selected probe rows before the join probe goes
   /// morsel-parallel on `pool`.
@@ -106,9 +113,17 @@ class Executor {
  public:
   explicit Executor(const storage::Catalog& catalog) : catalog_(catalog) {}
 
-  /// Runs `plan`, filling `stats`. Throws eidb::Error on invalid plans
-  /// (unknown table/column, type mismatches).
+  /// Compiles `plan` into a PhysicalPlan (see query/physical_plan.hpp)
+  /// and runs it, filling `stats`. Throws eidb::Error on invalid plans
+  /// (unknown table/column, type mismatches, unsupported join shapes).
   [[nodiscard]] QueryResult execute(const LogicalPlan& plan, ExecStats& stats,
+                                    const ExecOptions& options = {});
+
+  /// Runs an already-compiled physical plan (EXPLAIN-then-execute flows
+  /// and planner tests; `options` must match the ones it was compiled
+  /// with for the plan's arm/sort decisions to be honored).
+  [[nodiscard]] QueryResult execute(const PhysicalPlan& phys,
+                                    ExecStats& stats,
                                     const ExecOptions& options = {});
 
   /// Computes just the selection bitmap for a table + predicates
@@ -118,88 +133,6 @@ class Executor {
       ExecStats& stats, const ExecOptions& options);
 
  private:
-  struct BoundRange {
-    std::int64_t lo = 0;
-    std::int64_t hi = 0;
-    bool empty = false;
-    bool is_double = false;
-    double dlo = 0;
-    double dhi = 0;
-  };
-  [[nodiscard]] static BoundRange bind_predicate(const storage::Column& column,
-                                                 const Predicate& p);
-  /// Estimated selectivity of `p` from the cached column statistics
-  /// (uniform-value assumption) — used to order conjunctive predicates.
-  [[nodiscard]] static double estimate_selectivity(
-      const storage::Column& column, const Predicate& p);
-  /// Stats-based pre-scan pruning: returns true when the predicate was
-  /// fully resolved from [min, max] alone (all rows match, or none do —
-  /// `selection` already updated, nothing scanned or charged).
-  [[nodiscard]] static bool prune_with_stats(const storage::Column& column,
-                                             const BoundRange& r,
-                                             BitVector& selection);
-  void apply_predicate(const storage::Table& table, const Predicate& p,
-                       BitVector& selection, ExecStats& stats,
-                       const ExecOptions& options);
-  /// Selection-aware variant for the second and later conjuncts: evaluates
-  /// only 64-row blocks that still have candidates and charges only the
-  /// visited fraction.
-  void apply_predicate_masked(const storage::Table& table, const Predicate& p,
-                              BitVector& selection, ExecStats& stats,
-                              const ExecOptions& options);
-  /// True when scans/aggregates over `column` should consume its packed
-  /// image under `options` (encoded, integer-typed, encodings enabled).
-  [[nodiscard]] static bool use_packed(const storage::Column& column,
-                                       const ExecOptions& options);
-  /// Charges one sequential read of `column` to the DRAM lane: the packed
-  /// image size when `packed`, the plain array size otherwise. Each
-  /// column is charged at most once per query by the aggregate path.
-  void charge_column_access(const std::string& table,
-                            const storage::Column& column, ExecStats& stats,
-                            const ExecOptions& options,
-                            bool packed = false) const;
-
-  [[nodiscard]] QueryResult run_aggregate(const LogicalPlan& plan,
-                                          const storage::Table& table,
-                                          const BitVector& selection,
-                                          ExecStats& stats,
-                                          const ExecOptions& options);
-  /// Single-pass block-vectorized aggregation (default path).
-  [[nodiscard]] QueryResult run_aggregate_vectorized(
-      const LogicalPlan& plan, const storage::Table& table,
-      const BitVector& selection, ExecStats& stats,
-      const ExecOptions& options);
-  /// Legacy one-pass-per-AggSpec interpreter (AggPath::kRowAtATime).
-  [[nodiscard]] QueryResult run_aggregate_rows(const LogicalPlan& plan,
-                                               const storage::Table& table,
-                                               const BitVector& selection,
-                                               ExecStats& stats,
-                                               const ExecOptions& options);
-  [[nodiscard]] QueryResult run_join(const LogicalPlan& plan,
-                                     const storage::Table& table,
-                                     const BitVector& selection,
-                                     ExecStats& stats,
-                                     const ExecOptions& options);
-  /// Block-at-a-time late-materializing join pipeline (default): packed
-  /// key probing, dense/hash/radix arm, morsel-parallel probe, grouped and
-  /// build-side aggregation through exec::JoinAggregator.
-  [[nodiscard]] QueryResult run_join_vectorized(const LogicalPlan& plan,
-                                                const storage::Table& table,
-                                                const BitVector& selection,
-                                                ExecStats& stats,
-                                                const ExecOptions& options);
-  /// Legacy pair-materializing interpreter (JoinPath::kPairMaterialize).
-  [[nodiscard]] QueryResult run_join_pairs(const LogicalPlan& plan,
-                                           const storage::Table& table,
-                                           const BitVector& selection,
-                                           ExecStats& stats,
-                                           const ExecOptions& options);
-  [[nodiscard]] QueryResult run_projection(const LogicalPlan& plan,
-                                           const storage::Table& table,
-                                           const BitVector& selection,
-                                           ExecStats& stats,
-                                           const ExecOptions& options);
-
   const storage::Catalog& catalog_;
   /// Reused scratch for index-producing scan kernels (kBranching /
   /// kPredicated) — avoids an n-row allocation per predicate.

@@ -1,0 +1,23 @@
+// Join operator: executes the physical plan's (possibly multi-way) join
+// chain. Each step builds a dense / hash table over its filtered build
+// side; the probe side streams through every step block-at-a-time with
+// late materialization — a match is a tuple of row ids, one per side, and
+// values are gathered only at the sink (exec::JoinAggregator for
+// aggregates, the projection materializer otherwise). ORDER BY over join
+// output runs as a proper sort/top-k operator: aggregate output is
+// result-row sorted, projection output is key-gather + heap top-k over
+// the match tuples.
+#pragma once
+
+#include "query/ops/op_context.hpp"
+#include "query/physical_plan.hpp"
+#include "storage/table.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::query::ops {
+
+[[nodiscard]] QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
+                                   const storage::Table& probe_table,
+                                   const BitVector& probe_selection);
+
+}  // namespace eidb::query::ops

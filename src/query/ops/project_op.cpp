@@ -1,0 +1,50 @@
+#include "query/ops/project_op.hpp"
+
+#include "query/ops/sort_op.hpp"
+
+namespace eidb::query::ops {
+
+using storage::Table;
+
+QueryResult run_projection(OpContext& ctx, const PhysicalPlan& phys,
+                           const Table& table, const BitVector& selection) {
+  const LogicalPlan& plan = phys.logical;
+  std::vector<std::string> proj = plan.projection;
+  if (proj.empty())
+    for (const auto& def : table.schema().columns()) proj.push_back(def.name);
+
+  // Ordering: the sort operator returns row ids, already bounded to
+  // LIMIT by the heap top-k kernel when one applies.
+  std::vector<std::uint32_t> order;
+  if (plan.order_by.has_value()) {
+    OperatorScope scope(ctx.stats, phys.sort == SortStrategy::kTopK
+                                       ? "top-k(" + plan.order_by->column + ")"
+                                       : "sort(" + plan.order_by->column + ")");
+    order = order_row_ids(ctx, table, *plan.order_by, selection, plan.limit);
+  } else {
+    order = selection.to_indices();
+  }
+  if (plan.limit != 0 && order.size() > plan.limit) order.resize(plan.limit);
+
+  OperatorScope scope(ctx.stats, "materialize");
+  // Gather charge: only the emitted rows of each projected column are
+  // read (a column that doubled as the sort key is already charged in
+  // full and not charged again).
+  for (const std::string& name : proj)
+    ctx.charge_gather(table, table.column(name), order.size());
+
+  QueryResult result(proj);
+  for (const std::uint32_t row_idx : order) {
+    std::vector<storage::Value> row;
+    row.reserve(proj.size());
+    for (const std::string& name : proj)
+      row.push_back(table.column(name).value_at(row_idx));
+    result.add_row(std::move(row));
+  }
+  ctx.stats.work.cpu_cycles += kMaterializeCyclesPerValue *
+                               static_cast<double>(order.size()) *
+                               static_cast<double>(proj.size());
+  return result;
+}
+
+}  // namespace eidb::query::ops

@@ -1,0 +1,21 @@
+// Projection / materialization operator over a base-table selection:
+// optional sort/top-k on a key column (see sort_op), then value gathers
+// for the emitted rows only. The ledger charge of each projected column
+// is the gathered fraction — an ORDER BY + LIMIT k query charges k rows'
+// worth of the payload columns, not the full arrays, because that is all
+// the top-k pass reads.
+#pragma once
+
+#include "query/ops/op_context.hpp"
+#include "query/physical_plan.hpp"
+#include "storage/table.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::query::ops {
+
+[[nodiscard]] QueryResult run_projection(OpContext& ctx,
+                                         const PhysicalPlan& phys,
+                                         const storage::Table& table,
+                                         const BitVector& selection);
+
+}  // namespace eidb::query::ops

@@ -1,0 +1,38 @@
+// Sort / top-k operator. Two shapes:
+//
+//  * row-id ordering over a base-table key column (projections): the key
+//    is consumed through a typed exec::JoinKeys view — int32, dictionary
+//    codes and bit-packed images are compared in place with NO widened
+//    int64 copy — and a LIMIT routes through the heap-based partial-sort
+//    kernel so only the top k survive to materialization;
+//  * result-row ordering (aggregate and join-aggregate output): the
+//    materialized QueryResult rows are reordered by a named result column
+//    ("region", "sum(revenue)", "count"), partial-sorted under LIMIT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/ops/op_context.hpp"
+#include "query/plan.hpp"
+#include "storage/table.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::query::ops {
+
+/// Ordered row ids of `selection` by the plan's ORDER BY column, bounded
+/// to `limit` rows via the heap top-k kernel when `limit` > 0. Charges
+/// the key column at the representation the comparator streams (packed
+/// image when one is consumed, plain otherwise).
+[[nodiscard]] std::vector<std::uint32_t> order_row_ids(
+    OpContext& ctx, const storage::Table& table, const OrderBySpec& order,
+    const BitVector& selection, std::size_t limit);
+
+/// Reorders `result`'s rows by result column `order.column` (full sort,
+/// or heap top-k truncation to `limit` rows when `limit` > 0). Throws
+/// eidb::Error when the named column is not in the result. Used for
+/// aggregate output, where ORDER BY addresses select-list columns.
+void sort_result_rows(OpContext& ctx, QueryResult& result,
+                      const OrderBySpec& order, std::size_t limit);
+
+}  // namespace eidb::query::ops

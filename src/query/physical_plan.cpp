@@ -1,0 +1,317 @@
+#include "query/physical_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "opt/join_order.hpp"
+#include "query/ops/scan_filter.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::query {
+
+using storage::Column;
+using storage::Table;
+using storage::TypeId;
+
+namespace {
+
+/// Estimated selected-row count of `table` under `preds` (cached-stats
+/// selectivities, conjuncts independent).
+double estimate_selected_rows(const Table& table,
+                              const std::vector<Predicate>& preds) {
+  double rows = static_cast<double>(table.row_count());
+  for (const Predicate& p : preds)
+    rows *= ops::estimate_predicate_selectivity(table.column(p.column), p);
+  return rows;
+}
+
+/// Probe-key provenance of one declared join: the FROM table (-1) or an
+/// earlier declared join (its declaration index), plus the bare column
+/// name on that table.
+struct SourceRef {
+  int source_decl = -1;
+  std::string column;
+};
+
+SourceRef resolve_source(const LogicalPlan& plan, const Table& probe,
+                         const std::vector<const Table*>& build_tables,
+                         std::size_t j) {
+  const std::string& key = plan.joins[j].left_key;
+  const auto dot = key.find('.');
+  if (dot != std::string::npos) {
+    const std::string tbl = key.substr(0, dot);
+    const std::string col = key.substr(dot + 1);
+    if (tbl == probe.name()) return {-1, col};
+    for (std::size_t i = 0; i < plan.joins.size(); ++i)
+      if (i != j && plan.joins[i].table == tbl)
+        return {static_cast<int>(i), col};
+    throw Error("join key references unknown table: " + key);
+  }
+  if (probe.schema().has_column(key)) return {-1, key};
+  for (std::size_t i = 0; i < plan.joins.size(); ++i)
+    if (i != j && build_tables[i]->schema().has_column(key))
+      return {static_cast<int>(i), key};
+  throw Error("unknown join key column: " + key);
+}
+
+void check_join_key(const Column& c) {
+  if (c.type() == TypeId::kDouble)
+    throw Error("join keys must be integer-typed: " + c.name());
+  // Codes from two different dictionaries do not align; equality on
+  // them would be a silent wrong answer.
+  if (c.type() == TypeId::kString)
+    throw Error("string join keys are not supported: " + c.name());
+}
+
+/// Linearizes a join-order plan into a left-deep table sequence: DP plans
+/// carry one directly; greedy bushy plans replay the merge sequence,
+/// concatenating each absorbed component's ordered table list.
+std::vector<int> linearize(const opt::JoinOrderPlan& jp, int tables) {
+  if (!jp.order.empty()) return jp.order;
+  std::vector<int> parent(static_cast<std::size_t>(tables));
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(tables));
+  for (int t = 0; t < tables; ++t) {
+    parent[static_cast<std::size_t>(t)] = t;
+    lists[static_cast<std::size_t>(t)] = {t};
+  }
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x)
+      x = parent[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (const auto& [a, b] : jp.merges) {
+    const int ra = find(a), rb = find(b);
+    if (ra == rb) continue;
+    auto& la = lists[static_cast<std::size_t>(ra)];
+    auto& lb = lists[static_cast<std::size_t>(rb)];
+    la.insert(la.end(), lb.begin(), lb.end());
+    lb.clear();
+    parent[static_cast<std::size_t>(rb)] = ra;
+  }
+  return lists[static_cast<std::size_t>(find(0))];
+}
+
+}  // namespace
+
+PhysicalPlan compile_plan(const storage::Catalog& catalog,
+                          const LogicalPlan& plan,
+                          const ExecOptions& options) {
+  validate_join_plan(plan);
+  PhysicalPlan phys;
+  phys.logical = plan;
+  phys.agg_path = options.agg_path;
+  phys.join_path = options.join_path;
+
+  const Table& probe = catalog.get(plan.table);
+  phys.est_probe_rows = estimate_selected_rows(probe, plan.predicates);
+
+  if (plan.order_by.has_value()) {
+    phys.sort = plan.limit != 0 ? SortStrategy::kTopK : SortStrategy::kFullSort;
+    phys.sort_on_result = plan.is_aggregate();
+  }
+
+  const std::size_t k = plan.joins.size();
+  if (k == 0) return phys;
+  if (options.join_path == JoinPath::kPairMaterialize && k > 1)
+    throw Error("the legacy pair-materializing join path supports a single "
+                "join; multi-way joins require the vectorized pipeline");
+
+  // ---- Resolve every declared join: build table, key columns (typed),
+  // probe-key provenance, and cardinality estimates. ----
+  std::vector<const Table*> build_tables(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Without aliases, a table joined twice makes every qualified
+    // reference ambiguous — reject rather than silently bind to the
+    // first instance.
+    if (plan.joins[j].table == plan.table)
+      throw Error("self-joins are not supported: " + plan.table);
+    for (std::size_t i = 0; i < j; ++i)
+      if (plan.joins[i].table == plan.joins[j].table)
+        throw Error("table joined twice (aliases are not supported): " +
+                    plan.joins[j].table);
+    build_tables[j] = &catalog.get(plan.joins[j].table);
+  }
+  std::vector<SourceRef> sources(k);
+  std::vector<double> est_build(k);
+  std::vector<double> fanout(k);  // predicted matches per probe tuple
+  for (std::size_t j = 0; j < k; ++j) {
+    const JoinSpec& spec = plan.joins[j];
+    sources[j] = resolve_source(plan, probe, build_tables, j);
+    const Table& src_tbl = sources[j].source_decl < 0
+                               ? probe
+                               : *build_tables[static_cast<std::size_t>(
+                                     sources[j].source_decl)];
+    check_join_key(src_tbl.column(sources[j].column));
+    const Column& right = build_tables[j]->column(spec.right_key);
+    check_join_key(right);
+    est_build[j] = estimate_selected_rows(*build_tables[j], spec.predicates);
+    const double distinct =
+        std::max<double>(1.0, static_cast<double>(right.stats().distinct));
+    fanout[j] = est_build[j] / distinct;
+  }
+
+  // ---- Join ordering: opt::join_order over the statistics-derived
+  // JoinGraph (node 0 = the FROM table; node j+1 = join j's build side;
+  // one edge per equi-join predicate with selectivity 1/distinct(key)).
+  // DP below its feasibility bound, greedy operator ordering above it —
+  // the E9 policy, now live inside the planner. ----
+  std::vector<std::size_t> exec_order(k);
+  if (k == 1) {
+    exec_order[0] = 0;
+  } else {
+    opt::JoinGraph graph;
+    graph.table_rows.push_back(std::max(1.0, phys.est_probe_rows));
+    for (std::size_t j = 0; j < k; ++j)
+      graph.table_rows.push_back(std::max(1.0, est_build[j]));
+    for (std::size_t j = 0; j < k; ++j) {
+      const Column& right =
+          build_tables[j]->column(plan.joins[j].right_key);
+      const double distinct =
+          std::max<double>(1.0, static_cast<double>(right.stats().distinct));
+      graph.edges.push_back({sources[j].source_decl + 1,
+                             static_cast<int>(j) + 1, 1.0 / distinct});
+    }
+    const opt::JoinOrderPlan ordered =
+        graph.table_count() <= 12 ? opt::optimize_dp(graph)
+                                  : opt::optimize_greedy(graph);
+    phys.join_order_algorithm = ordered.algorithm;
+    phys.join_order_cost = ordered.cost;
+    const std::vector<int> seq = linearize(ordered, graph.table_count());
+    exec_order.clear();
+    for (const int node : seq)
+      if (node != 0) exec_order.push_back(static_cast<std::size_t>(node - 1));
+    EIDB_ASSERT(exec_order.size() == k);
+    // Topological fix-up: a snowflake step cannot run before the join
+    // that produces its probe-key side. Stable insertion keeps the cost
+    // order otherwise.
+    std::vector<std::size_t> fixed;
+    std::vector<bool> placed(k, false);
+    while (fixed.size() < k) {
+      bool progressed = false;
+      for (const std::size_t j : exec_order) {
+        if (placed[j]) continue;
+        const int src = sources[j].source_decl;
+        if (src >= 0 && !placed[static_cast<std::size_t>(src)]) continue;
+        placed[j] = true;
+        fixed.push_back(j);
+        progressed = true;
+      }
+      if (!progressed)
+        throw Error("cyclic join key references");  // a ON b.x, b ON a.y
+    }
+    exec_order = std::move(fixed);
+  }
+
+  // ---- Per-step physical arm (opt::CostModel) and cardinality chain. ----
+  static const opt::CostModel default_model = opt::CostModel::defaults();
+  const opt::CostModel& cm =
+      options.cost_model != nullptr ? *options.cost_model : default_model;
+  // Declaration index -> executed side (1-based; 0 is the probe table).
+  std::vector<std::size_t> side_of(k, 0);
+  for (std::size_t pos = 0; pos < k; ++pos)
+    side_of[exec_order[pos]] = pos + 1;
+
+  double est = phys.est_probe_rows;
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    const std::size_t j = exec_order[pos];
+    const Column& right = build_tables[j]->column(plan.joins[j].right_key);
+    const storage::ColumnStats& ks = right.stats();
+    PhysicalJoinStep step;
+    step.logical_index = j;
+    step.source_side = sources[j].source_decl < 0
+                           ? 0
+                           : side_of[static_cast<std::size_t>(
+                                 sources[j].source_decl)];
+    step.source_key = sources[j].column;
+    step.est_build_rows = est_build[j];
+    est *= fanout[j];
+    step.est_rows_out = est;
+    switch (options.join_path) {
+      case JoinPath::kDense:
+        if (ks.rows == 0 || static_cast<std::uint64_t>(ks.domain()) >
+                                cm.costs().dense_join_max_domain)
+          throw Error("build key domain unsuitable for the dense join arm: " +
+                      right.name());
+        step.arm = opt::JoinArm::kDenseJoin;
+        break;
+      case JoinPath::kHash:
+        step.arm = opt::JoinArm::kHashJoin;
+        break;
+      case JoinPath::kRadix:
+        step.arm = opt::JoinArm::kRadixJoin;
+        break;
+      default:
+        step.arm = cm.pick_join_arm(
+            static_cast<std::uint64_t>(std::max(0.0, est_build[j])),
+            ks.distinct, static_cast<std::uint64_t>(ks.domain()));
+        break;
+    }
+    // The radix arm re-partitions a *selection*; only the first executed
+    // step probes one, and only the aggregation sink consumes partition
+    // order. Everywhere else it degrades to the cache-resident hash arm.
+    if (step.arm == opt::JoinArm::kRadixJoin &&
+        (pos != 0 || !plan.is_aggregate()))
+      step.arm = opt::JoinArm::kHashJoin;
+    phys.joins.push_back(std::move(step));
+  }
+  return phys;
+}
+
+std::string PhysicalPlan::explain() const {
+  std::ostringstream os;
+  os << "physical plan:\n";
+  const auto fmt_rows = [](double rows) {
+    std::ostringstream s;
+    s << static_cast<std::uint64_t>(std::max(0.0, rows));
+    return s.str();
+  };
+  if (logical.limit != 0) os << "  limit(" << logical.limit << ")\n";
+  if (logical.order_by.has_value()) {
+    os << "  " << (sort == SortStrategy::kTopK ? "top-k" : "sort") << "("
+       << logical.order_by->column
+       << (logical.order_by->ascending ? " asc" : " desc");
+    if (sort == SortStrategy::kTopK) os << ", k=" << logical.limit;
+    os << (sort_on_result ? ", over result rows" : ", over row ids") << ")\n";
+  }
+  if (logical.is_aggregate()) {
+    os << "  aggregate(";
+    if (logical.has_group_by()) {
+      os << "group_by=[";
+      for (std::size_t i = 0; i < logical.group_by.size(); ++i)
+        os << (i ? "," : "") << logical.group_by[i];
+      os << "], ";
+    }
+    os << "aggs=[";
+    for (std::size_t i = 0; i < logical.aggregates.size(); ++i)
+      os << (i ? "," : "") << agg_column_name(logical.aggregates[i]);
+    os << "], path="
+       << (agg_path == AggPath::kVectorized ? "vectorized" : "row-at-a-time")
+       << ")\n";
+  } else {
+    os << "  project(";
+    if (logical.projection.empty()) {
+      os << "*";
+    } else {
+      for (std::size_t i = 0; i < logical.projection.size(); ++i)
+        os << (i ? "," : "") << logical.projection[i];
+    }
+    os << ")\n";
+  }
+  for (auto it = joins.rbegin(); it != joins.rend(); ++it) {
+    const JoinSpec& spec = logical.joins[it->logical_index];
+    os << "  join[" << opt::join_arm_name(it->arm) << "](" << spec.table
+       << " ON " << it->source_key << " = " << spec.right_key
+       << ", probe side " << it->source_side
+       << ", est_build=" << fmt_rows(it->est_build_rows)
+       << ", est_out=" << fmt_rows(it->est_rows_out) << ")\n";
+  }
+  os << "  scan+filter(" << logical.table << ", preds="
+     << logical.predicates.size() << ", est_rows=" << fmt_rows(est_probe_rows)
+     << ")\n";
+  if (!join_order_algorithm.empty())
+    os << "join order: " << join_order_algorithm
+       << " (C_out=" << join_order_cost << ")\n";
+  return os.str();
+}
+
+}  // namespace eidb::query

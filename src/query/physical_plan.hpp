@@ -1,0 +1,77 @@
+// The physical plan layer: a LogicalPlan compiled into an explicit
+// operator pipeline (scan+filter → join* → aggregate | project →
+// sort/top-k → limit) with every physical decision made up front and
+// visible — join order (opt::join_order over a statistics-derived
+// JoinGraph), per-step join arm (opt::CostModel), aggregation path, and
+// sort strategy (full sort vs heap top-k). The executor runs the compiled
+// plan; EXPLAIN prints it. The paper's framing: the engine owes the user
+// the cheapest-in-joules *whole-plan* strategy, not a per-kernel choice —
+// this is where that strategy is assembled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/cost_model.hpp"
+#include "query/executor.hpp"
+#include "query/plan.hpp"
+#include "storage/table.hpp"
+
+namespace eidb::query {
+
+/// One compiled equi-join step. Steps execute in vector order (the
+/// planner's order, not the SQL declaration order): each step builds a
+/// table over its (filtered) build side and probes it with a key gathered
+/// from `source_side` of the running match tuple.
+struct PhysicalJoinStep {
+  std::size_t logical_index = 0;  ///< Index into LogicalPlan::joins.
+  opt::JoinArm arm = opt::JoinArm::kHashJoin;
+  /// Side carrying this step's probe key: 0 = the FROM table, s > 0 = the
+  /// build table of executed step s-1 (a snowflake reference).
+  std::size_t source_side = 0;
+  std::string source_key;  ///< Bare probe-key column name on that side.
+  double est_build_rows = 0;  ///< Predicted selected build rows.
+  double est_rows_out = 0;    ///< Predicted cumulative matches after this step.
+};
+
+/// How ORDER BY (if any) is executed.
+enum class SortStrategy : std::uint8_t {
+  kNone,      ///< No ORDER BY.
+  kFullSort,  ///< Full sort of the qualifying rows / result rows.
+  kTopK,      ///< Heap-based partial sort bounded by LIMIT.
+};
+
+struct PhysicalPlan {
+  LogicalPlan logical;
+  /// Join steps in execution order (empty = no join).
+  std::vector<PhysicalJoinStep> joins;
+  AggPath agg_path = AggPath::kVectorized;
+  JoinPath join_path = JoinPath::kAuto;
+  SortStrategy sort = SortStrategy::kNone;
+  /// True when the sort operator runs over materialized result rows
+  /// (aggregate output); false = row-id sort over a table column.
+  bool sort_on_result = false;
+  double est_probe_rows = 0;  ///< Predicted selected FROM-table rows.
+  /// Join-order decision provenance: "dp" / "greedy" (multi-way), "" when
+  /// fewer than two joins left nothing to order.
+  std::string join_order_algorithm;
+  double join_order_cost = 0;  ///< C_out of the chosen order.
+
+  [[nodiscard]] std::size_t side_count() const { return joins.size() + 1; }
+
+  /// Multi-line operator tree, sink first (the EXPLAIN format; see
+  /// docs/executor_pipeline.md).
+  [[nodiscard]] std::string explain() const;
+};
+
+/// Compiles `plan` against the catalog's cached statistics. Validates the
+/// plan shape (validate_join_plan and column/type checks on join keys),
+/// orders multi-way joins via opt::join_order, and picks each step's
+/// physical arm via opt::CostModel. Throws eidb::Error on invalid plans.
+[[nodiscard]] PhysicalPlan compile_plan(const storage::Catalog& catalog,
+                                        const LogicalPlan& plan,
+                                        const ExecOptions& options = {});
+
+}  // namespace eidb::query

@@ -22,13 +22,17 @@ std::string agg_name(AggOp op) {
   return "invalid";
 }
 
+std::string agg_column_name(const AggSpec& a) {
+  if (a.op == AggOp::kCount) return "count";
+  return agg_name(a.op) + "(" + (a.expr ? a.expr->to_string() : a.column) +
+         ")";
+}
+
 void validate_join_plan(const LogicalPlan& plan) {
-  if (!plan.join.has_value()) return;
+  if (!plan.has_join()) return;
   for (const AggSpec& a : plan.aggregates)
     if (a.expr != nullptr)
       throw Error("expression aggregates are not supported with joins");
-  if (plan.order_by.has_value())
-    throw Error("ORDER BY is not supported with JOIN");
   if (plan.has_group_by() && !plan.is_aggregate())
     throw Error("GROUP BY with JOIN requires an aggregate select list");
   if (!plan.is_aggregate() && plan.projection.empty())
@@ -41,11 +45,11 @@ std::string LogicalPlan::to_string() const {
   for (const Predicate& p : predicates)
     os << " filter(" << p.column << " in [" << p.lo.to_string() << ","
        << p.hi.to_string() << "])";
-  if (join) {
-    os << " join(" << join->table << " on " << join->left_key << "="
-       << join->right_key << ")";
-    for (const Predicate& p : join->predicates)
-      os << " filter(" << join->table << "." << p.column << " in ["
+  for (const JoinSpec& join : joins) {
+    os << " join(" << join.table << " on " << join.left_key << "="
+       << join.right_key << ")";
+    for (const Predicate& p : join.predicates)
+      os << " filter(" << join.table << "." << p.column << " in ["
          << p.lo.to_string() << "," << p.hi.to_string() << "])";
   }
   if (!group_by.empty()) {
@@ -94,16 +98,15 @@ QueryBuilder& QueryBuilder::filter_string(std::string column, std::string lo,
 
 QueryBuilder& QueryBuilder::join(std::string table, std::string left_key,
                                  std::string right_key) {
-  EIDB_EXPECTS(!plan_.join.has_value());
-  plan_.join =
-      JoinSpec{std::move(table), std::move(left_key), std::move(right_key), {}};
+  plan_.joins.push_back(
+      JoinSpec{std::move(table), std::move(left_key), std::move(right_key), {}});
   return *this;
 }
 
 QueryBuilder& QueryBuilder::join_filter_int(std::string column,
                                             std::int64_t lo, std::int64_t hi) {
-  EIDB_EXPECTS(plan_.join.has_value());
-  plan_.join->predicates.push_back(
+  EIDB_EXPECTS(!plan_.joins.empty());
+  plan_.joins.back().predicates.push_back(
       {std::move(column), storage::Value{lo}, storage::Value{hi}});
   return *this;
 }

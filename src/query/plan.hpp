@@ -36,15 +36,21 @@ struct AggSpec {
   std::shared_ptr<const exec::Expr> expr;
 };
 
+/// Result-column name of one aggregate, e.g. "count" or "sum(amount)" —
+/// also the name ORDER BY uses to address aggregate output.
+[[nodiscard]] std::string agg_column_name(const AggSpec& a);
+
 struct OrderBySpec {
   std::string column;
   bool ascending = true;
 };
 
-/// Single equi-join against another table (build side = joined table).
+/// One equi-join step against another table (build side = joined table).
+/// `left_key` names a column on the FROM table (bare) or, for snowflake
+/// chains, a qualified "table.column" on an earlier joined table.
 struct JoinSpec {
   std::string table;       ///< Build-side table name.
-  std::string left_key;    ///< Key column on the FROM table.
+  std::string left_key;    ///< Key column on the probe side.
   std::string right_key;   ///< Key column on the joined table.
   std::vector<Predicate> predicates;  ///< Filters on the joined table.
 };
@@ -52,7 +58,9 @@ struct JoinSpec {
 struct LogicalPlan {
   std::string table;
   std::vector<Predicate> predicates;
-  std::optional<JoinSpec> join;
+  /// Equi-join steps in declaration order; the physical planner is free
+  /// to reorder them (opt::join_order + opt::CostModel).
+  std::vector<JoinSpec> joins;
   /// Grouping columns (empty = global aggregates). Multi-column grouping
   /// synthesizes a composite key over the columns' value ranges.
   std::vector<std::string> group_by;
@@ -63,16 +71,18 @@ struct LogicalPlan {
 
   [[nodiscard]] bool is_aggregate() const { return !aggregates.empty(); }
   [[nodiscard]] bool has_group_by() const { return !group_by.empty(); }
+  [[nodiscard]] bool has_join() const { return !joins.empty(); }
   /// One-line plan summary for EXPLAIN-style output.
   [[nodiscard]] std::string to_string() const;
 };
 
 /// Validates a join plan's shape against what the executor supports,
 /// throwing eidb::Error for shapes that would otherwise execute with a
-/// wrong or partial answer (expression aggregates over joins, ORDER BY
-/// with joins, grouped or bare projections). A plan without a join
-/// passes unconditionally. The executor calls this before running any
-/// join, so no unsupported shape is ever silently mis-answered.
+/// wrong or partial answer (expression aggregates over joins, grouped or
+/// bare projections). A plan without a join passes unconditionally. The
+/// executor calls this before running any join, so no unsupported shape
+/// is ever silently mis-answered. ORDER BY over joins is supported (a
+/// sort/top-k operator runs over the join output).
 void validate_join_plan(const LogicalPlan& plan);
 
 /// Fluent builder:
@@ -91,6 +101,7 @@ class QueryBuilder {
   QueryBuilder& filter_double(std::string column, double lo, double hi);
   QueryBuilder& filter_string(std::string column, std::string lo,
                               std::string hi);
+  /// Appends one join step; call repeatedly for multi-way joins.
   QueryBuilder& join(std::string table, std::string left_key,
                      std::string right_key);
   /// Filter on the most recently joined table.

@@ -29,6 +29,33 @@ std::size_t QueryResult::column_index(const std::string& name) const {
   throw Error("no such result column: " + name);
 }
 
+std::string format_operator_stats(const ExecStats& stats,
+                                  const hw::MachineSpec& machine,
+                                  const hw::DvfsState& state) {
+  TablePrinter table({"operator", "time_ms", "cycles", "dram_bytes",
+                      "attributed_J"});
+  double seconds = 0;
+  hw::Work total;
+  double joules = 0;
+  for (const OperatorStats& op : stats.operators) {
+    const double j = op.attributed_j(machine, state);
+    table.add_row({op.name, TablePrinter::fmt(op.seconds * 1e3, 4),
+                   TablePrinter::fmt(op.work.cpu_cycles, 0),
+                   TablePrinter::fmt(op.work.dram_bytes, 0),
+                   TablePrinter::fmt(j, 6)});
+    seconds += op.seconds;
+    total += op.work;
+    joules += j;
+  }
+  table.add_row({"total", TablePrinter::fmt(seconds * 1e3, 4),
+                 TablePrinter::fmt(total.cpu_cycles, 0),
+                 TablePrinter::fmt(total.dram_bytes, 0),
+                 TablePrinter::fmt(joules, 6)});
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
 std::string QueryResult::to_string(std::size_t max_rows) const {
   TablePrinter table(column_names_.empty()
                          ? std::vector<std::string>{"(empty)"}

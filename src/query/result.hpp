@@ -41,6 +41,26 @@ class QueryResult {
   std::vector<std::vector<storage::Value>> rows_;
 };
 
+/// One physical operator's share of a query's execution: wall seconds and
+/// the abstract work (cycles + DRAM bytes) charged while it ran. Every
+/// charge the executor makes lands inside exactly one operator scope, so
+/// summing `work` over `ExecStats::operators` reproduces the query totals
+/// byte-exactly — per-operator joules attributed from these deltas sum to
+/// the query's attributed joules (the attribution model is linear in both
+/// busy seconds and DRAM bytes).
+struct OperatorStats {
+  std::string name;
+  double seconds = 0;
+  hw::Work work;
+
+  /// This operator's attributed joules on `machine` at DVFS state `s`
+  /// (same incremental-busy model core::Database applies per query).
+  [[nodiscard]] double attributed_j(const hw::MachineSpec& machine,
+                                    const hw::DvfsState& s) const {
+    return machine.incremental_busy_energy_j(work, s, seconds);
+  }
+};
+
 /// Abstract execution statistics gathered by the executor; the energy layer
 /// turns these into joules.
 struct ExecStats {
@@ -59,7 +79,16 @@ struct ExecStats {
   double elapsed_s = 0;        ///< Measured wall time of execution.
   double cold_tier_time_s = 0; ///< Simulated cold-tier penalty (E6).
   double cold_tier_energy_j = 0;
-  std::vector<std::pair<std::string, double>> operator_seconds;
+  /// Per-operator time/DRAM/work attribution in execution order; work
+  /// deltas sum to `work` (asserted by the executor tests).
+  std::vector<OperatorStats> operators;
 };
+
+/// EXPLAIN ANALYZE-style table of the per-operator attribution: one line
+/// per operator with seconds, cycles, DRAM bytes and attributed joules,
+/// plus a totals line. See docs/executor_pipeline.md ("EXPLAIN format").
+[[nodiscard]] std::string format_operator_stats(const ExecStats& stats,
+                                                const hw::MachineSpec& machine,
+                                                const hw::DvfsState& state);
 
 }  // namespace eidb::query

@@ -150,7 +150,7 @@ class Parser {
     parse_select_list();
     expect_keyword("FROM");
     plan_.table = expect_ident();
-    if (accept_keyword("JOIN")) parse_join();
+    while (accept_keyword("JOIN")) parse_join();
     if (accept_keyword("WHERE")) parse_where();
     if (accept_keyword("GROUP")) {
       expect_keyword("BY");
@@ -160,7 +160,7 @@ class Parser {
     if (accept_keyword("ORDER")) {
       expect_keyword("BY");
       OrderBySpec spec;
-      spec.column = expect_column();
+      spec.column = parse_order_key();
       if (accept_keyword("DESC"))
         spec.ascending = false;
       else
@@ -292,6 +292,31 @@ class Parser {
     lex_.fail("expected column, number or parenthesized expression");
   }
 
+  // -- order-by key ----------------------------------------------------------
+  /// ORDER BY accepts a column reference or an aggregate call; the latter
+  /// maps to the aggregate's result-column name (e.g. "sum(revenue)",
+  /// "count"), which is how the sort operator addresses aggregate output.
+  std::string parse_order_key() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::kKeyword &&
+        (t.text == "COUNT" || t.text == "SUM" || t.text == "MIN" ||
+         t.text == "MAX" || t.text == "AVG")) {
+      std::string fn = lex_.take().text;
+      for (char& ch : fn)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      expect_symbol("(");
+      if (fn == "count") {
+        if (!accept_symbol("*")) (void)expect_column();
+        expect_symbol(")");
+        return "count";
+      }
+      const std::string col = expect_column();
+      expect_symbol(")");
+      return fn + "(" + col + ")";
+    }
+    return expect_column();
+  }
+
   // -- join -------------------------------------------------------------------
   void parse_join() {
     JoinSpec spec;
@@ -301,7 +326,10 @@ class Parser {
     expect_symbol("=");
     const std::string right = expect_column();
     // Which side belongs to the joined table? Accept either order; columns
-    // qualified with the join table's name belong to it.
+    // qualified with the join table's name belong to it. The probe-side key
+    // keeps its qualifier unless it names the FROM table — a qualified key
+    // on an earlier joined table is a snowflake reference the executor
+    // resolves.
     const auto strip = [&](const std::string& name,
                            const std::string& table) -> std::string {
       const std::string prefix = table + ".";
@@ -310,7 +338,7 @@ class Parser {
     const bool left_is_joined = left.rfind(spec.table + ".", 0) == 0;
     spec.left_key = strip(left_is_joined ? right : left, plan_.table);
     spec.right_key = strip(left_is_joined ? left : right, spec.table);
-    plan_.join = std::move(spec);
+    plan_.joins.push_back(std::move(spec));
   }
 
   // -- where ------------------------------------------------------------------
@@ -323,14 +351,16 @@ class Parser {
 
   void parse_predicate() {
     std::string column = expect_column();
-    // Predicates on the joined table route into join->predicates; qualified
-    // FROM-table columns are stripped to bare names for the executor.
+    // Predicates on a joined table route into that join's predicates;
+    // qualified FROM-table columns are stripped to bare names for the
+    // executor.
     std::vector<Predicate>* sink = &plan_.predicates;
-    if (plan_.join) {
-      const std::string prefix = plan_.join->table + ".";
+    for (JoinSpec& join : plan_.joins) {
+      const std::string prefix = join.table + ".";
       if (column.rfind(prefix, 0) == 0) {
         column = column.substr(prefix.size());
-        sink = &plan_.join->predicates;
+        sink = &join.predicates;
+        break;
       }
     }
     const std::string own = plan_.table + ".";

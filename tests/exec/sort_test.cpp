@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
+#include "storage/column.hpp"
 #include "util/rng.hpp"
 
 namespace eidb::exec {
@@ -83,6 +85,87 @@ TEST(Sort, EmptySelection) {
   const std::vector<std::int64_t> keys = {1, 2};
   EXPECT_TRUE(sort_indices(keys, BitVector(2), true).empty());
   EXPECT_TRUE(top_n(keys, BitVector(2), 5, true).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Typed-view sorts: int32 / packed keys compared in place, no widened
+// int64 copy.
+// ---------------------------------------------------------------------------
+
+TEST(Sort, JoinKeysViewInt32MatchesWidened) {
+  Pcg32 rng(77);
+  std::vector<std::int32_t> k32(2000);
+  std::vector<std::int64_t> k64(2000);
+  for (std::size_t i = 0; i < k32.size(); ++i) {
+    k32[i] = static_cast<std::int32_t>(rng.next_in_range(-500, 500));
+    k64[i] = k32[i];
+  }
+  BitVector sel(k32.size());
+  for (std::size_t i = 0; i < sel.size(); ++i)
+    if (rng.next_double() < 0.7) sel.set(i);
+  const JoinKeys view = JoinKeys::from(std::span<const std::int32_t>(k32));
+  for (const bool asc : {true, false}) {
+    EXPECT_EQ(sort_indices(view, sel, asc), sort_indices(k64, sel, asc));
+    EXPECT_EQ(top_n(view, sel, 50, asc), top_n(k64, sel, 50, asc));
+  }
+}
+
+TEST(Sort, JoinKeysViewPackedMatchesPlain) {
+  Pcg32 rng(88);
+  std::vector<std::int32_t> plain(1500);
+  for (auto& v : plain) v = static_cast<std::int32_t>(rng.next_bounded(300));
+  storage::Column col = storage::Column::from_int32("k", plain);
+  col.set_encoding(storage::Encoding::kBitPacked);
+  ASSERT_NE(col.encoded(), nullptr);
+  std::vector<std::int64_t> widened(plain.begin(), plain.end());
+  const JoinKeys packed = JoinKeys::from(col.packed_view());
+  const BitVector sel = all_set(plain.size());
+  EXPECT_EQ(sort_indices(packed, sel, true), sort_indices(widened, sel, true));
+  EXPECT_EQ(top_n(packed, sel, 40, false), top_n(widened, sel, 40, false));
+}
+
+TEST(TopN, DoubleAgreesWithFullSortPrefix) {
+  Pcg32 rng(99);
+  std::vector<double> keys(3000);
+  for (auto& k : keys) k = rng.next_double() * 100.0 - 50.0;
+  const BitVector sel = all_set(keys.size());
+  const auto full = sort_indices_double(keys, sel, false);
+  const auto top = top_n_double(keys, sel, 64, false);
+  ASSERT_EQ(top.size(), 64u);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    EXPECT_EQ(keys[top[i]], keys[full[i]]) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Permutation sorts over gathered key vectors (join ORDER BY output).
+// ---------------------------------------------------------------------------
+
+TEST(Permutation, SortAndTopNAgree) {
+  Pcg32 rng(123);
+  std::vector<std::int64_t> keys(4000);
+  for (auto& k : keys) k = rng.next_in_range(-1000, 1000);
+  const auto full = sort_permutation(keys, true);
+  ASSERT_EQ(full.size(), keys.size());
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    ASSERT_LE(keys[full[i]], keys[full[i + 1]]);
+    if (keys[full[i]] == keys[full[i + 1]]) {
+      EXPECT_LT(full[i], full[i + 1]);  // deterministic tie-break
+    }
+  }
+  const auto top = top_n_permutation(keys, 128, true);
+  ASSERT_EQ(top.size(), 128u);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    EXPECT_EQ(top[i], full[i]) << i;
+}
+
+TEST(Permutation, DoubleVariantAndBounds) {
+  const std::vector<double> keys = {3.5, -1.0, 2.0};
+  EXPECT_EQ(sort_permutation_double(keys, true),
+            (std::vector<std::uint32_t>{1, 2, 0}));
+  EXPECT_EQ(top_n_permutation_double(keys, 2, false),
+            (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(top_n_permutation(std::vector<std::int64_t>{}, 5, true).size(),
+            0u);
 }
 
 }  // namespace

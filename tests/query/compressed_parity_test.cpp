@@ -16,6 +16,7 @@
 
 #include "exec/join.hpp"
 #include "query/executor.hpp"
+#include "query/sql.hpp"
 #include "sched/thread_pool.hpp"
 #include "storage/column.hpp"
 #include "util/assert.hpp"
@@ -102,6 +103,20 @@ Catalog make_catalog(std::uint64_t seed) {
   dim.set_column(0, Column::from_int32("key", keys));
   dim.set_column(1, Column::from_int64("weight", weights));
   dim.set_column(2, Column::from_strings("cat", cats));
+
+  // dim2(key2, score): a second star dimension over u32's domain — only
+  // even keys exist, so the chained join filters — for the multi-way
+  // (3-table) join matrix.
+  Table& dim2 = cat.add(Table("dim2", Schema({{"key2", TypeId::kInt32},
+                                              {"score", TypeId::kInt64}})));
+  std::vector<std::int32_t> keys2;
+  std::vector<std::int64_t> scores;
+  for (std::int32_t k = 0; k < 450; ++k) {
+    keys2.push_back(2 * k);
+    scores.push_back(rng.next_in_range(-20, 20));
+  }
+  dim2.set_column(0, Column::from_int32("key2", keys2));
+  dim2.set_column(1, Column::from_int64("score", scores));
   return cat;
 }
 
@@ -267,13 +282,70 @@ std::vector<std::pair<std::string, LogicalPlan>> query_matrix() {
                               .aggregate(AggOp::kCount)
                               .aggregate(AggOp::kSum, "u32")
                               .build());
-  // Projection + order-by + limit (plain fallback).
+  // Multi-way (3-table) star joins through the physical plan compiler:
+  // grouped aggregates over all three tables, composite cross-table
+  // keys, and ORDER BY / LIMIT over the join output.
+  add("join_star_group", QueryBuilder("facts")
+                             .filter_int("u32", 0, 650)
+                             .join("dim", "u32", "key")
+                             .join("dim2", "u32", "key2")
+                             .group_by("tag")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "dim.weight")
+                             .aggregate(AggOp::kSum, "dim2.score")
+                             .aggregate(AggOp::kMax, "u32")
+                             .build());
+  add("join_star_composite", QueryBuilder("facts")
+                                 .filter_int("skew32", 0, 3)
+                                 .join("dim", "u32", "key")
+                                 .join_filter_int("weight", -7, 7)
+                                 .join("dim2", "u32", "key2")
+                                 .group_by("skew32")
+                                 .group_by("dim.cat")
+                                 .aggregate(AggOp::kCount)
+                                 .aggregate(AggOp::kSum, "dim2.score")
+                                 .build());
+  add("join_star_orderby_key", QueryBuilder("facts")
+                                   .join("dim", "u32", "key")
+                                   .join("dim2", "u32", "key2")
+                                   .group_by("tag")
+                                   .aggregate(AggOp::kCount)
+                                   .aggregate(AggOp::kSum, "dim.weight")
+                                   .order_by("tag", false)
+                                   .limit(4)
+                                   .build());
+  add("join_group_orderby_count", QueryBuilder("facts")
+                                      .join("dim", "u32", "key")
+                                      .group_by("dim.cat")
+                                      .aggregate(AggOp::kCount)
+                                      .aggregate(AggOp::kSum, "u32")
+                                      .order_by("count", false)
+                                      .limit(3)
+                                      .build());
+  // ORDER BY over aggregate output on the no-join path.
+  add("group_orderby_agg", QueryBuilder("facts")
+                               .group_by("skew32")
+                               .aggregate(AggOp::kCount)
+                               .aggregate(AggOp::kSum, "wide64")
+                               .order_by("sum(wide64)", false)
+                               .limit(5)
+                               .build());
+  // Projection + order-by + limit (heap top-k, gather-bounded charges).
   add("topn", QueryBuilder("facts")
                   .filter_int("skew32", 0, 3)
                   .select({"u32", "skew32", "neg64"})
                   .order_by("neg64", false)
                   .limit(25)
                   .build());
+  // Join projection with ORDER BY + LIMIT (the shape the executor used
+  // to reject outright).
+  add("join_topn", QueryBuilder("facts")
+                       .filter_int("skew32", 0, 2)
+                       .join("dim", "u32", "key")
+                       .select({"u32", "dim.weight", "neg64"})
+                       .order_by("neg64", false)
+                       .limit(20)
+                       .build());
   return qs;
 }
 
@@ -510,29 +582,174 @@ TEST(CompressedParity, MixedConsumersChargeOneRepresentation) {
 
 // ---------------------------------------------------------------------------
 // Join queries against a fully independent scalar nested-loop oracle:
-// selections come from the public predicate API, the join from
-// exec::nested_loop_join over widened keys, and grouping/aggregation from
-// plain scalar maps — none of the vectorized pipeline. Results must be
-// bit-identical under every encoding.
+// selections come from the public predicate API, matches from plain
+// nested loops over every join in declaration order, and grouping /
+// aggregation from scalar maps — none of the vectorized pipeline, no
+// planner reordering. Results must be bit-identical under every encoding;
+// plans with ORDER BY are additionally checked for sortedness and LIMIT
+// row count (positional order on tied sort keys is the executor's
+// deterministic tie-break, which the oracle does not model).
 // ---------------------------------------------------------------------------
-TEST(CompressedParity, JoinMatrixMatchesNestedLoopOracle) {
-  Catalog cat = make_catalog(2026);
-  const Table& facts = cat.get("facts");
-  const Table& dim = cat.get("dim");
-  Executor ex(cat);
 
+/// Scalar oracle result: one Group per composite key string.
+struct OracleGroup {
+  std::int64_t count = 0;
+  std::vector<std::int64_t> sum, mn, mx;
+};
+
+/// Runs the nested-loop + scalar-map oracle for an aggregate join plan.
+std::map<std::string, OracleGroup> run_join_oracle(Executor& ex, Catalog& cat,
+                                                   const LogicalPlan& plan) {
+  const Table& facts = cat.get(plan.table);
+  std::vector<const Table*> sides{&facts};  // side j+1 = join j's table
+  for (const JoinSpec& j : plan.joins) sides.push_back(&cat.get(j.table));
+
+  // Column resolution mirroring the executor: bare names bind probe
+  // first, then the joined tables in declaration order.
   const auto resolve =
-      [&](const std::string& n) -> std::pair<const Table*, const Column*> {
+      [&](const std::string& n) -> std::pair<std::size_t, const Column*> {
     const auto dot = n.find('.');
     if (dot != std::string::npos) {
       const std::string t = n.substr(0, dot);
       const std::string c = n.substr(dot + 1);
-      if (t == "dim") return {&dim, &dim.column(c)};
-      return {&facts, &facts.column(c)};
+      for (std::size_t s = 0; s < sides.size(); ++s)
+        if (sides[s]->name() == t) return {s, &sides[s]->column(c)};
+      throw Error("oracle: unknown table " + t);
     }
-    if (facts.schema().has_column(n)) return {&facts, &facts.column(n)};
-    return {&dim, &dim.column(n)};
+    for (std::size_t s = 0; s < sides.size(); ++s)
+      if (sides[s]->schema().has_column(n)) return {s, &sides[s]->column(n)};
+    throw Error("oracle: unknown column " + n);
   };
+
+  // Selections through the public predicate API (encodings off).
+  ExecStats scratch;
+  const ExecOptions oracle_opts;
+  const BitVector psel =
+      ex.evaluate_predicates(facts, plan.predicates, scratch, oracle_opts);
+  std::vector<BitVector> bsel;
+  for (std::size_t j = 0; j < plan.joins.size(); ++j)
+    bsel.push_back(ex.evaluate_predicates(*sides[j + 1],
+                                          plan.joins[j].predicates, scratch,
+                                          oracle_opts));
+
+  // Nested-loop match tuples, one join at a time in declaration order.
+  std::vector<std::vector<std::size_t>> tuples;
+  psel.for_each_set([&](std::size_t i) { tuples.push_back({i}); });
+  for (std::size_t j = 0; j < plan.joins.size(); ++j) {
+    const JoinSpec& spec = plan.joins[j];
+    const auto [src_side, src_col] = resolve(spec.left_key);
+    const Column& right = sides[j + 1]->column(spec.right_key);
+    std::vector<std::vector<std::size_t>> next;
+    for (const auto& tup : tuples) {
+      const std::int64_t key = src_col->int_at(tup[src_side]);
+      for (std::size_t b = 0; b < right.size(); ++b) {
+        if (!bsel[j].test(b) || right.int_at(b) != key) continue;
+        auto extended = tup;
+        extended.push_back(b);
+        next.push_back(std::move(extended));
+      }
+    }
+    tuples = std::move(next);
+  }
+
+  // Scalar accumulation (the matrix uses COUNT/SUM/MIN/MAX on integer
+  // columns, so everything is exact int64 arithmetic).
+  std::map<std::string, OracleGroup> groups;
+  const std::size_t n_aggs = plan.aggregates.size();
+  for (const auto& tup : tuples) {
+    std::string key;
+    for (const std::string& gname : plan.group_by) {
+      const auto [s, c] = resolve(gname);
+      key += c->value_at(tup[s]).to_string() + "|";
+    }
+    OracleGroup& g = groups[key];
+    if (g.sum.empty()) {
+      g.sum.assign(n_aggs, 0);
+      g.mn.assign(n_aggs, std::numeric_limits<std::int64_t>::max());
+      g.mx.assign(n_aggs, std::numeric_limits<std::int64_t>::min());
+    }
+    ++g.count;
+    for (std::size_t ai = 0; ai < n_aggs; ++ai) {
+      const AggSpec& a = plan.aggregates[ai];
+      if (a.op == AggOp::kCount) continue;
+      EIDB_EXPECTS(a.op != AggOp::kAvg);  // oracle is integer-exact only
+      const auto [s, c] = resolve(a.column);
+      const std::int64_t v = c->int_at(tup[s]);
+      g.sum[ai] += v;
+      g.mn[ai] = std::min(g.mn[ai], v);
+      g.mx[ai] = std::max(g.mx[ai], v);
+    }
+  }
+  // A global aggregate over zero pairs still emits one zeroed row.
+  if (plan.group_by.empty() && groups.empty()) {
+    OracleGroup& g = groups[""];
+    g.sum.assign(n_aggs, 0);
+    g.mn.assign(n_aggs, 0);
+    g.mx.assign(n_aggs, 0);
+  }
+  return groups;
+}
+
+/// Checks an executed aggregate join result against the oracle groups:
+/// positional bijection without ORDER BY; membership + sortedness +
+/// LIMIT-bounded row count with it.
+void expect_matches_oracle(const QueryResult& got,
+                           const std::map<std::string, OracleGroup>& groups,
+                           const LogicalPlan& plan, const std::string& label) {
+  const std::size_t want_rows =
+      plan.limit != 0 ? std::min(plan.limit, groups.size()) : groups.size();
+  ASSERT_EQ(got.row_count(), want_rows) << label;
+  if (plan.order_by.has_value() && got.row_count() > 1) {
+    const std::size_t oc = got.column_index(plan.order_by->column);
+    for (std::size_t r = 0; r + 1 < got.row_count(); ++r) {
+      const storage::Value& a = got.at(r, oc);
+      const storage::Value& b = got.at(r + 1, oc);
+      const auto leq = [](const storage::Value& x, const storage::Value& y) {
+        if (x.is_string()) return x.as_string() <= y.as_string();
+        if (x.is_double() || y.is_double())
+          return x.as_double() <= y.as_double();
+        return x.as_int() <= y.as_int();
+      };
+      if (plan.order_by->ascending)
+        EXPECT_TRUE(leq(a, b)) << label << " row " << r;
+      else
+        EXPECT_TRUE(leq(b, a)) << label << " row " << r;
+    }
+  }
+  const std::size_t n_aggs = plan.aggregates.size();
+  for (std::size_t r = 0; r < got.row_count(); ++r) {
+    std::string key;
+    for (std::size_t gc = 0; gc < plan.group_by.size(); ++gc)
+      key += got.at(r, gc).to_string() + "|";
+    const auto it = groups.find(key);
+    ASSERT_TRUE(it != groups.end()) << label << " key " << key;
+    const OracleGroup& g = it->second;
+    for (std::size_t ai = 0; ai < n_aggs; ++ai) {
+      const std::size_t col = plan.group_by.size() + ai;
+      const std::int64_t got_v = got.at(r, col).as_int();
+      switch (plan.aggregates[ai].op) {
+        case AggOp::kCount:
+          EXPECT_EQ(got_v, g.count) << label << " key " << key;
+          break;
+        case AggOp::kSum:
+          EXPECT_EQ(got_v, g.sum[ai]) << label << " key " << key;
+          break;
+        case AggOp::kMin:
+          EXPECT_EQ(got_v, g.count ? g.mn[ai] : 0) << label;
+          break;
+        case AggOp::kMax:
+          EXPECT_EQ(got_v, g.count ? g.mx[ai] : 0) << label;
+          break;
+        case AggOp::kAvg:
+          break;
+      }
+    }
+  }
+}
+
+TEST(CompressedParity, JoinMatrixMatchesNestedLoopOracle) {
+  Catalog cat = make_catalog(2026);
+  Executor ex(cat);
 
   for (const std::optional<Encoding> forced :
        {std::optional<Encoding>{}, std::optional<Encoding>{Encoding::kPlain},
@@ -540,100 +757,54 @@ TEST(CompressedParity, JoinMatrixMatchesNestedLoopOracle) {
         std::optional<Encoding>{Encoding::kForBitPacked}}) {
     recode_all(cat, forced);
     for (auto& [name, plan] : query_matrix()) {
-      if (!plan.join.has_value() || !plan.is_aggregate()) continue;
+      if (!plan.has_join() || !plan.is_aggregate()) continue;
       const std::string label =
           (forced ? storage::encoding_name(*forced) : "auto") + "/" + name;
-
-      // Oracle selections + pairs.
-      ExecStats scratch;
-      const ExecOptions oracle_opts;
-      const BitVector psel =
-          ex.evaluate_predicates(facts, plan.predicates, scratch, oracle_opts);
-      const BitVector bsel = ex.evaluate_predicates(
-          dim, plan.join->predicates, scratch, oracle_opts);
-      const auto widen = [](const Column& c) {
-        std::vector<std::int64_t> out;
-        out.reserve(c.size());
-        for (std::size_t i = 0; i < c.size(); ++i) out.push_back(c.int_at(i));
-        return out;
-      };
-      const auto pk = widen(facts.column(plan.join->left_key));
-      const auto bk = widen(dim.column(plan.join->right_key));
-      const auto pairs = exec::nested_loop_join(bk, bsel, pk, psel);
-
-      // Scalar accumulation (the matrix uses COUNT/SUM/MIN/MAX on integer
-      // columns, so everything is exact int64 arithmetic).
-      struct Group {
-        std::int64_t count = 0;
-        std::vector<std::int64_t> sum, mn, mx;
-      };
-      std::map<std::string, Group> groups;
-      const std::size_t n_aggs = plan.aggregates.size();
-      for (const exec::JoinPair& pr : pairs) {
-        std::string key;
-        for (const std::string& gname : plan.group_by) {
-          const auto [t, c] = resolve(gname);
-          const std::size_t row = t == &dim ? pr.build_row : pr.probe_row;
-          key += c->value_at(row).to_string() + "|";
-        }
-        Group& g = groups[key];
-        if (g.sum.empty()) {
-          g.sum.assign(n_aggs, 0);
-          g.mn.assign(n_aggs, std::numeric_limits<std::int64_t>::max());
-          g.mx.assign(n_aggs, std::numeric_limits<std::int64_t>::min());
-        }
-        ++g.count;
-        for (std::size_t ai = 0; ai < n_aggs; ++ai) {
-          const AggSpec& a = plan.aggregates[ai];
-          if (a.op == AggOp::kCount) continue;
-          ASSERT_NE(a.op, AggOp::kAvg) << "oracle is integer-exact only";
-          const auto [t, c] = resolve(a.column);
-          const std::int64_t v =
-              c->int_at(t == &dim ? pr.build_row : pr.probe_row);
-          g.sum[ai] += v;
-          g.mn[ai] = std::min(g.mn[ai], v);
-          g.mx[ai] = std::max(g.mx[ai], v);
-        }
-      }
-      // A global aggregate over zero pairs still emits one zeroed row.
-      if (plan.group_by.empty() && groups.empty()) {
-        Group& g = groups[""];
-        g.sum.assign(n_aggs, 0);
-        g.mn.assign(n_aggs, 0);
-        g.mx.assign(n_aggs, 0);
-      }
-
+      const auto groups = run_join_oracle(ex, cat, plan);
       ExecStats stats;
       const QueryResult got = ex.execute(plan, stats);
-      ASSERT_EQ(got.row_count(), groups.size()) << label;
-      for (std::size_t r = 0; r < got.row_count(); ++r) {
-        std::string key;
-        for (std::size_t gc = 0; gc < plan.group_by.size(); ++gc)
-          key += got.at(r, gc).to_string() + "|";
-        ASSERT_TRUE(groups.count(key)) << label << " key " << key;
-        const Group& g = groups[key];
-        for (std::size_t ai = 0; ai < n_aggs; ++ai) {
-          const std::size_t col = plan.group_by.size() + ai;
-          const std::int64_t got_v = got.at(r, col).as_int();
-          switch (plan.aggregates[ai].op) {
-            case AggOp::kCount:
-              EXPECT_EQ(got_v, g.count) << label << " key " << key;
-              break;
-            case AggOp::kSum:
-              EXPECT_EQ(got_v, g.sum[ai]) << label << " key " << key;
-              break;
-            case AggOp::kMin:
-              EXPECT_EQ(got_v, g.count ? g.mn[ai] : 0) << label;
-              break;
-            case AggOp::kMax:
-              EXPECT_EQ(got_v, g.count ? g.mx[ai] : 0) << label;
-              break;
-            case AggOp::kAvg:
-              break;
-          }
-        }
-      }
+      expect_matches_oracle(got, groups, plan, label);
     }
+  }
+}
+
+// The acceptance shape of the physical-plan refactor, end to end: a
+// 3-table grouped star join with ORDER BY + LIMIT parses from SQL,
+// executes through the PhysicalPlan compiler, matches the nested-loop
+// oracle bit-exactly under every column encoding, and reports
+// per-operator joule/DRAM attribution that sums to the query's totals.
+TEST(CompressedParity, StarJoinOrderByLimitFromSqlEndToEnd) {
+  Catalog cat = make_catalog(777);
+  Executor ex(cat);
+  const LogicalPlan plan = parse_sql(
+      "SELECT COUNT(*), SUM(dim.weight), SUM(dim2.score), MAX(u32) "
+      "FROM facts "
+      "JOIN dim ON facts.u32 = dim.key "
+      "JOIN dim2 ON facts.u32 = dim2.key2 "
+      "WHERE u32 BETWEEN 0 AND 640 AND dim.weight BETWEEN -8 AND 8 "
+      "GROUP BY tag ORDER BY tag DESC LIMIT 4");
+  ASSERT_EQ(plan.joins.size(), 2u);
+
+  for (const std::optional<Encoding> forced :
+       {std::optional<Encoding>{}, std::optional<Encoding>{Encoding::kPlain},
+        std::optional<Encoding>{Encoding::kBitPacked},
+        std::optional<Encoding>{Encoding::kForBitPacked}}) {
+    recode_all(cat, forced);
+    const std::string label =
+        forced ? storage::encoding_name(*forced) : "auto";
+    const auto groups = run_join_oracle(ex, cat, plan);
+    ExecStats stats;
+    const QueryResult got = ex.execute(plan, stats);
+    expect_matches_oracle(got, groups, plan, label);
+
+    // Per-operator attribution covers every charge: the deltas sum to
+    // the query totals exactly, so per-operator joules (linear in
+    // seconds and DRAM bytes) sum to the query's attributed joules.
+    ASSERT_GE(stats.operators.size(), 4u) << label;  // scans, joins, agg, sort
+    hw::Work sum;
+    for (const OperatorStats& op : stats.operators) sum += op.work;
+    EXPECT_DOUBLE_EQ(sum.cpu_cycles, stats.work.cpu_cycles) << label;
+    EXPECT_DOUBLE_EQ(sum.dram_bytes, stats.work.dram_bytes) << label;
   }
 }
 

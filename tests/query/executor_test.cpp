@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "query/physical_plan.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,32 @@ Catalog make_catalog() {
   }
   customers.set_column(0, Column::from_int64("id", cids));
   customers.set_column(1, Column::from_int64("age", ages));
+
+  // discounts(amount int64, pct int64) for multi-way star joins: amount
+  // 0..99 (the fact key domain), pct = amount % 7.
+  Table& discounts = cat.add(Table(
+      "discounts",
+      Schema({{"amount", TypeId::kInt64}, {"pct", TypeId::kInt64}})));
+  std::vector<std::int64_t> damounts, pcts;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    damounts.push_back(i);
+    pcts.push_back(i % 7);
+  }
+  discounts.set_column(0, Column::from_int64("amount", damounts));
+  discounts.set_column(1, Column::from_int64("pct", pcts));
+
+  // brackets(age int64, bracket int64) for snowflake chains off
+  // customers.age: age 0..49, bracket = age / 10.
+  Table& brackets = cat.add(Table(
+      "brackets",
+      Schema({{"age", TypeId::kInt64}, {"bracket", TypeId::kInt64}})));
+  std::vector<std::int64_t> bages, bbrackets;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    bages.push_back(i);
+    bbrackets.push_back(i / 10);
+  }
+  brackets.set_column(0, Column::from_int64("age", bages));
+  brackets.set_column(1, Column::from_int64("bracket", bbrackets));
   return cat;
 }
 
@@ -462,8 +489,55 @@ TEST(Executor, OperatorTimingsRecorded) {
                         .aggregate(AggOp::kSum, "amount")
                         .build();
   (void)ex.execute(plan, stats);
-  ASSERT_GE(stats.operator_seconds.size(), 2u);
-  EXPECT_NE(stats.operator_seconds[0].first.find("scan"), std::string::npos);
+  ASSERT_GE(stats.operators.size(), 2u);
+  EXPECT_NE(stats.operators[0].name.find("scan"), std::string::npos);
+}
+
+// Per-operator attribution must account for every charge: summing the
+// operator work deltas reproduces the query's ExecStats totals exactly
+// (the joule attribution model is linear in seconds and DRAM bytes, so
+// per-operator joules sum to the query's attributed joules too).
+TEST(Executor, OperatorAttributionSumsToQueryTotals) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const auto plans = {
+      QueryBuilder("sales")
+          .filter_int("amount", 0, 50)
+          .group_by("region")
+          .aggregate(AggOp::kSum, "amount")
+          .order_by("sum(amount)", false)
+          .limit(2)
+          .build(),
+      QueryBuilder("sales")
+          .join("customers", "amount", "id")
+          .join("discounts", "amount", "amount")
+          .group_by("region")
+          .aggregate(AggOp::kCount)
+          .aggregate(AggOp::kSum, "pct")
+          .build(),
+      QueryBuilder("sales")
+          .filter_int("amount", 90, 99)
+          .select({"id", "price"})
+          .order_by("id", false)
+          .limit(4)
+          .build(),
+  };
+  for (const LogicalPlan& plan : plans) {
+    ExecStats stats;
+    (void)ex.execute(plan, stats);
+    ASSERT_FALSE(stats.operators.empty()) << plan.to_string();
+    hw::Work sum;
+    double seconds = 0;
+    for (const OperatorStats& op : stats.operators) {
+      sum += op.work;
+      seconds += op.seconds;
+    }
+    EXPECT_DOUBLE_EQ(sum.cpu_cycles, stats.work.cpu_cycles)
+        << plan.to_string();
+    EXPECT_DOUBLE_EQ(sum.dram_bytes, stats.work.dram_bytes)
+        << plan.to_string();
+    EXPECT_LE(seconds, stats.elapsed_s + 1e-9) << plan.to_string();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -661,14 +735,27 @@ TEST(Executor, JoinRejectsUnsupportedShapesUpFront) {
                           .build();
     EXPECT_THROW((void)ex.execute(plan, stats, options), Error);
   }
-  // ORDER BY with JOIN is rejected (it used to be silently ignored).
+  // Without aliases, joining the same table twice makes every qualified
+  // reference ambiguous — rejected rather than bound to the first
+  // instance.
   {
     const auto plan = QueryBuilder("sales")
                           .join("customers", "amount", "id")
-                          .select({"id", "customers.age"})
-                          .order_by("id")
+                          .join("customers", "id", "id")
+                          .aggregate(AggOp::kCount)
                           .build();
     EXPECT_THROW((void)ex.execute(plan, stats), Error);
+  }
+  // The legacy path cannot chain joins either.
+  {
+    ExecOptions options;
+    options.join_path = JoinPath::kPairMaterialize;
+    const auto plan = QueryBuilder("sales")
+                          .join("customers", "amount", "id")
+                          .join("discounts", "amount", "amount")
+                          .aggregate(AggOp::kCount)
+                          .build();
+    EXPECT_THROW((void)ex.execute(plan, stats, options), Error);
   }
   // Expression aggregates over joins are rejected before any work runs.
   {
@@ -755,6 +842,356 @@ TEST(Executor, JoinDramChargesMatchBytesRead) {
       static_cast<double>(customers.column("age").byte_size());
   EXPECT_DOUBLE_EQ(plain_stats.work.dram_bytes, plain_want);
   EXPECT_LE(stats.work.dram_bytes, plain_stats.work.dram_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-way joins through the physical plan compiler.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, ThreeTableStarJoinGroupByMatchesScalarOracle) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 0, 9)
+                        .join("discounts", "amount", "amount")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "pct")
+                        .aggregate(AggOp::kSum, "customers.age")
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+
+  std::map<std::string, std::int64_t> count, pct_sum, age_sum;
+  const char* region_names[] = {"asia", "eu", "us"};
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::int64_t amount = i % 100;
+    const std::int64_t age = amount % 50;
+    if (age > 9) continue;  // customer filter
+    const std::string region = region_names[i % 3];
+    ++count[region];
+    pct_sum[region] += amount % 7;  // discounts.pct
+    age_sum[region] += age;
+  }
+  ASSERT_EQ(r.row_count(), count.size());
+  EXPECT_EQ(stats.groups, count.size());
+  EXPECT_EQ(stats.join_pairs, 200u);
+  for (std::size_t g = 0; g < r.row_count(); ++g) {
+    const std::string region = r.at(g, 0).as_string();
+    EXPECT_EQ(r.at(g, 1).as_int(), count[region]) << region;
+    EXPECT_EQ(r.at(g, 2).as_int(), pct_sum[region]) << region;
+    EXPECT_EQ(r.at(g, 3).as_int(), age_sum[region]) << region;
+  }
+}
+
+TEST(Executor, SnowflakeJoinChainsThroughDimension) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // brackets joins on customers.age — a second-hop (snowflake) key.
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join("brackets", "customers.age", "age")
+                        .group_by("bracket")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  std::map<std::int64_t, std::int64_t> want;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::int64_t age = (i % 100) % 50;
+    ++want[age / 10];
+  }
+  ASSERT_EQ(r.row_count(), want.size());
+  for (std::size_t g = 0; g < r.row_count(); ++g)
+    EXPECT_EQ(r.at(g, 1).as_int(), want[r.at(g, 0).as_int()]);
+}
+
+TEST(Executor, MultiJoinAgreesAcrossArmsAndParallelism) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  sched::ThreadPool pool(4);
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .join_filter_int("age", 5, 30)
+                        .join("discounts", "amount", "amount")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "pct")
+                        .aggregate(AggOp::kMin, "customers.age")
+                        .build();
+  ExecStats s0;
+  const QueryResult want = ex.execute(plan, s0);
+  for (const JoinPath path : {JoinPath::kHash, JoinPath::kRadix}) {
+    ExecOptions options;
+    options.join_path = path;
+    ExecStats stats;
+    const QueryResult got = ex.execute(plan, stats, options);
+    ASSERT_EQ(got.row_count(), want.row_count());
+    for (std::size_t g = 0; g < want.row_count(); ++g)
+      for (std::size_t c = 0; c < want.column_count(); ++c)
+        EXPECT_EQ(got.at(g, c), want.at(g, c)) << g << "," << c;
+  }
+  ExecOptions par;
+  par.pool = &pool;
+  par.parallel_join_min_rows = 1;
+  ExecStats sp;
+  const QueryResult parallel = ex.execute(plan, sp, par);
+  ASSERT_EQ(parallel.row_count(), want.row_count());
+  for (std::size_t g = 0; g < want.row_count(); ++g)
+    for (std::size_t c = 0; c < want.column_count(); ++c)
+      EXPECT_EQ(parallel.at(g, c), want.at(g, c)) << g << "," << c;
+}
+
+// ---------------------------------------------------------------------------
+// ORDER BY / top-k over join output (the shape validate_join_plan used to
+// reject outright).
+// ---------------------------------------------------------------------------
+
+TEST(Executor, JoinProjectionOrderByLimit) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 95, 99)
+                        .join("customers", "amount", "id")
+                        .select({"id", "customers.age"})
+                        .order_by("id", false)
+                        .limit(3)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 999);  // amount 99
+  EXPECT_EQ(r.at(1, 0).as_int(), 998);
+  EXPECT_EQ(r.at(2, 0).as_int(), 997);
+  EXPECT_EQ(r.at(0, 1).as_int(), 49);   // age of customer 99
+}
+
+TEST(Executor, JoinGroupByOrderByAggregateDescLimit) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .group_by("customers.age")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
+                        .order_by("sum(amount)", false)
+                        .limit(5)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 5u);
+  // age k aggregates customers {k, 50+k}: sum(amount) = 10k + 10(k+50).
+  // Largest sums come from the largest ages.
+  for (std::size_t g = 0; g + 1 < r.row_count(); ++g)
+    EXPECT_GE(r.at(g, 2).as_int(), r.at(g + 1, 2).as_int());
+  EXPECT_EQ(r.at(0, 0).as_int(), 49);
+  EXPECT_EQ(r.at(0, 2).as_int(), 10 * 49 + 10 * 99);
+}
+
+TEST(Executor, BaseGroupByOrderByAggregateHonored) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  // ORDER BY over aggregate output on the no-join path (used to be
+  // silently ignored).
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 9)
+                        .group_by("amount")
+                        .aggregate(AggOp::kCount)
+                        .order_by("amount", false)
+                        .limit(3)
+                        .build();
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 9);
+  EXPECT_EQ(r.at(1, 0).as_int(), 8);
+  EXPECT_EQ(r.at(2, 0).as_int(), 7);
+}
+
+TEST(Executor, OrderByUnknownResultColumnThrows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan = QueryBuilder("sales")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .order_by("sum(amount)")  // not in the select list
+                        .build();
+  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Top-k ledger discipline: the heap top-k pass bounds what downstream
+// materialization reads, and the DRAM charge must equal exactly that.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, TopKProjectionChargesOnlyGatheredRows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const Table& sales = cat.get("sales");
+  const auto scan_bytes = [](const Column& c) {
+    const bool packed =
+        c.encoded() != nullptr && c.scan_byte_size() <= c.byte_size();
+    return static_cast<double>(packed ? c.scan_byte_size() : c.byte_size());
+  };
+  const auto per_row = [](const Column& c) {
+    return static_cast<double>(c.byte_size()) /
+           static_cast<double>(c.size());
+  };
+  const auto plan = QueryBuilder("sales")
+                        .select({"amount", "price"})
+                        .order_by("id", false)
+                        .limit(5)
+                        .build();
+  ExecStats stats;
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 5u);
+  EXPECT_EQ(r.at(0, 0).as_int(), 999 % 100);
+  // The sort key streams in full (every selected row is compared); the
+  // projected columns are gathered for the 5 emitted rows only.
+  const double want = scan_bytes(sales.column("id")) +
+                      5 * per_row(sales.column("amount")) +
+                      5 * per_row(sales.column("price"));
+  EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
+
+  // Without LIMIT the full selection is gathered and charged.
+  ExecStats full_stats;
+  (void)ex.execute(QueryBuilder("sales")
+                       .select({"amount", "price"})
+                       .order_by("id", false)
+                       .build(),
+                   full_stats);
+  EXPECT_GT(full_stats.work.dram_bytes, stats.work.dram_bytes);
+}
+
+TEST(Executor, JoinTopKProjectionChargesOnlyGatheredRows) {
+  const Catalog cat = make_catalog();
+  Executor ex(cat);
+  const Table& sales = cat.get("sales");
+  const Table& customers = cat.get("customers");
+  const auto scan_bytes = [](const Column& c) {
+    const bool packed =
+        c.encoded() != nullptr && c.scan_byte_size() <= c.byte_size();
+    return static_cast<double>(packed ? c.scan_byte_size() : c.byte_size());
+  };
+  const auto per_row = [](const Column& c) {
+    return static_cast<double>(c.byte_size()) /
+           static_cast<double>(c.size());
+  };
+  const auto plan = QueryBuilder("sales")
+                        .join("customers", "amount", "id")
+                        .select({"price", "customers.age"})
+                        .order_by("id", false)
+                        .limit(7)
+                        .build();
+  ExecStats stats;
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 7u);
+  EXPECT_EQ(stats.join_pairs, 1000u);  // every sales row matches once
+  // Keys stream once each (packed when encoded); the ORDER BY key is
+  // gathered once per match; payload gathers touch the 7 emitted rows.
+  const double want = scan_bytes(sales.column("amount")) +   // probe key
+                      scan_bytes(customers.column("id")) +   // build key
+                      1000 * per_row(sales.column("id")) +   // sort key
+                      7 * per_row(sales.column("price")) +
+                      7 * per_row(customers.column("age"));
+  EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
+}
+
+// ---------------------------------------------------------------------------
+// Typed sort keys: int32 / dictionary / packed ORDER BY columns are
+// compared in place — the packed image is what the ledger charges, which
+// is only possible because no widened int64 copy is materialized.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, PackedSortKeyChargedAtPackedBytes) {
+  Catalog cat;
+  Table& t = cat.add(Table("t", Schema({{"k", TypeId::kInt32},
+                                        {"v", TypeId::kInt64}})));
+  std::vector<std::int32_t> k;
+  std::vector<std::int64_t> v;
+  Pcg32 rng(11);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    k.push_back(static_cast<std::int32_t>(rng.next_bounded(200)));
+    v.push_back(static_cast<std::int64_t>(i));
+  }
+  t.set_column(0, Column::from_int32("k", k));
+  t.set_column(1, Column::from_int64("v", v));
+  ASSERT_NE(t.column("k").encoded(), nullptr);
+  ASSERT_LT(t.column("k").scan_byte_size(), t.column("k").byte_size());
+
+  Executor ex(cat);
+  const auto plan = QueryBuilder("t")
+                        .select({"v"})
+                        .order_by("k", true)
+                        .limit(10)
+                        .build();
+  ExecStats packed_stats, plain_stats;
+  const QueryResult packed = ex.execute(plan, packed_stats);
+  ExecOptions plain_opts;
+  plain_opts.use_encodings = false;
+  const QueryResult plain = ex.execute(plan, plain_stats, plain_opts);
+  ASSERT_EQ(packed.row_count(), plain.row_count());
+  for (std::size_t i = 0; i < packed.row_count(); ++i)
+    EXPECT_EQ(packed.at(i, 0), plain.at(i, 0)) << i;
+  // The packed run's sort-key charge is the packed image; no widened
+  // copy exists on either arm, and the packed arm charges strictly less.
+  const double per_row_v =
+      static_cast<double>(t.column("v").byte_size()) / 4096.0;
+  EXPECT_DOUBLE_EQ(
+      packed_stats.work.dram_bytes,
+      static_cast<double>(t.column("k").scan_byte_size()) + 10 * per_row_v);
+  EXPECT_DOUBLE_EQ(plain_stats.work.dram_bytes,
+                   static_cast<double>(t.column("k").byte_size()) +
+                       10 * per_row_v);
+}
+
+// ---------------------------------------------------------------------------
+// The physical plan compiler (EXPLAIN surface).
+// ---------------------------------------------------------------------------
+
+TEST(PhysicalPlan, ExplainShowsOperatorTreeAndJoinOrder) {
+  const Catalog cat = make_catalog();
+  const auto plan = QueryBuilder("sales")
+                        .filter_int("amount", 0, 50)
+                        .join("customers", "amount", "id")
+                        .join("discounts", "amount", "amount")
+                        .group_by("region")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "pct")
+                        .order_by("sum(pct)", false)
+                        .limit(3)
+                        .build();
+  const PhysicalPlan phys = compile_plan(cat, plan);
+  ASSERT_EQ(phys.joins.size(), 2u);
+  EXPECT_EQ(phys.join_order_algorithm, "dp");
+  const std::string s = phys.explain();
+  for (const char* needle :
+       {"limit(3)", "top-k(sum(pct) desc", "aggregate(", "join[",
+        "scan+filter(sales", "join order: dp"})
+    EXPECT_NE(s.find(needle), std::string::npos) << needle << " in\n" << s;
+}
+
+TEST(PhysicalPlan, SnowflakeStepsAreTopologicallyOrdered) {
+  const Catalog cat = make_catalog();
+  const auto plan = QueryBuilder("sales")
+                        .join("brackets", "customers.age", "age")
+                        .join("customers", "amount", "id")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  // brackets depends on customers: the compiler must execute customers
+  // first regardless of declaration order.
+  const PhysicalPlan phys = compile_plan(cat, plan);
+  ASSERT_EQ(phys.joins.size(), 2u);
+  EXPECT_EQ(phys.logical.joins[phys.joins[0].logical_index].table,
+            "customers");
+  EXPECT_EQ(phys.joins[1].source_side, 1u);
+
+  Executor ex(cat);
+  ExecStats stats;
+  const QueryResult r = ex.execute(plan, stats);
+  EXPECT_EQ(r.at(0, 0).as_int(), 1000);  // every chain row matches once
 }
 
 }  // namespace

@@ -43,10 +43,35 @@ TEST(QueryBuilder, BuildsJoinPlan) {
                                .join_filter_int("age", 18, 65)
                                .aggregate(AggOp::kCount)
                                .build();
-  ASSERT_TRUE(plan.join.has_value());
-  EXPECT_EQ(plan.join->table, "customers");
-  EXPECT_EQ(plan.join->left_key, "cust_id");
-  ASSERT_EQ(plan.join->predicates.size(), 1u);
+  ASSERT_TRUE(plan.has_join());
+  ASSERT_EQ(plan.joins.size(), 1u);
+  EXPECT_EQ(plan.joins[0].table, "customers");
+  EXPECT_EQ(plan.joins[0].left_key, "cust_id");
+  ASSERT_EQ(plan.joins[0].predicates.size(), 1u);
+}
+
+TEST(QueryBuilder, BuildsMultiJoinPlan) {
+  const LogicalPlan plan = QueryBuilder("orders")
+                               .join("customers", "cust_id", "id")
+                               .join("dates", "date_id", "id")
+                               .join_filter_int("year", 1994, 1995)
+                               .aggregate(AggOp::kCount)
+                               .build();
+  ASSERT_EQ(plan.joins.size(), 2u);
+  EXPECT_EQ(plan.joins[1].table, "dates");
+  // join_filter applies to the most recently joined table.
+  EXPECT_TRUE(plan.joins[0].predicates.empty());
+  ASSERT_EQ(plan.joins[1].predicates.size(), 1u);
+  EXPECT_EQ(plan.joins[1].predicates[0].column, "year");
+}
+
+TEST(LogicalPlan, ValidateAllowsOrderByWithJoin) {
+  const LogicalPlan plan = QueryBuilder("orders")
+                               .join("customers", "cust_id", "id")
+                               .select({"cust_id"})
+                               .order_by("cust_id")
+                               .build();
+  EXPECT_NO_THROW(validate_join_plan(plan));
 }
 
 TEST(QueryBuilder, DoubleFilter) {

@@ -132,12 +132,28 @@ storage::Catalog make_fuzz_catalog(std::uint64_t seed) {
   u.set_column(0, Column::from_int32("key", ukey));
   u.set_column(1, Column::from_int64("w", uw));
   u.set_column(2, Column::from_strings("c", uc));
+
+  // v(vkey, z): a second dimension keyed on t.g's domain — generated
+  // statements chain JOIN u ... JOIN v ... into multi-way plans.
+  storage::Table& v = cat.add(storage::Table(
+      "v", storage::Schema({{"vkey", TypeId::kInt32},
+                            {"z", TypeId::kInt64}})));
+  std::vector<std::int32_t> vkey;
+  std::vector<std::int64_t> vz;
+  const std::size_t vrows = 10 + rng.next_bounded(20);
+  for (std::size_t i = 0; i < vrows; ++i) {
+    vkey.push_back(static_cast<std::int32_t>(rng.next_bounded(14)));
+    vz.push_back(rng.next_in_range(-50, 50));
+  }
+  v.set_column(0, Column::from_int32("vkey", vkey));
+  v.set_column(1, Column::from_int64("z", vz));
   return cat;
 }
 
-/// Random valid statement over t's (and sometimes u's) columns: filters,
-/// joins with and without GROUP BY (probe- and build-side keys and
-/// aggregates), order-by/limit projections.
+/// Random valid statement over t's (and sometimes u's / v's) columns:
+/// filters, single and multi-way joins with and without GROUP BY (probe-
+/// and build-side keys and aggregates), ORDER BY / LIMIT over both
+/// projections and aggregate output.
 std::string generate_sql(Pcg32& rng) {
   const char* aggs[] = {"COUNT(*)", "SUM(a)",   "SUM(b)", "MIN(a)",
                         "MAX(b)",   "AVG(d)",   "MIN(g)", "MAX(g)",
@@ -145,21 +161,34 @@ std::string generate_sql(Pcg32& rng) {
   const char* join_aggs[] = {"COUNT(*)",  "SUM(a)",      "SUM(b)",
                              "MIN(a)",    "MAX(g)",      "SUM(u.w)",
                              "MIN(u.w)",  "MAX(u.w)"};
+  const char* multi_join_aggs[] = {"COUNT(*)", "SUM(a)",   "SUM(u.w)",
+                                   "MIN(u.w)", "SUM(v.z)", "MAX(v.z)",
+                                   "MIN(b)"};
   std::string sql = "SELECT ";
   const bool projection = rng.next_bounded(5) == 0;
-  const bool join = !projection && rng.next_bounded(3) == 0;
+  const int joins =
+      projection ? static_cast<int>(rng.next_bounded(2))
+                 : (rng.next_bounded(3) == 0
+                        ? 1 + static_cast<int>(rng.next_bounded(2))
+                        : 0);
+  const bool join = joins > 0;
   if (projection) {
     sql += "a, b, g FROM t";
   } else {
     const int n = 1 + static_cast<int>(rng.next_bounded(3));
     for (int i = 0; i < n; ++i) {
       if (i > 0) sql += ", ";
-      sql += join ? join_aggs[rng.next_bounded(std::size(join_aggs))]
-                  : aggs[rng.next_bounded(std::size(aggs))];
+      if (joins >= 2)
+        sql += multi_join_aggs[rng.next_bounded(std::size(multi_join_aggs))];
+      else if (joins == 1)
+        sql += join_aggs[rng.next_bounded(std::size(join_aggs))];
+      else
+        sql += aggs[rng.next_bounded(std::size(aggs))];
     }
     sql += " FROM t";
   }
-  if (join) sql += " JOIN u ON t.g = u.key";
+  if (joins >= 1) sql += " JOIN u ON t.g = u.key";
+  if (joins >= 2) sql += " JOIN v ON t.g = v.vkey";
   const int preds = static_cast<int>(rng.next_bounded(3));
   for (int i = 0; i < preds; ++i) {
     sql += i == 0 ? " WHERE " : " AND ";
@@ -183,15 +212,26 @@ std::string generate_sql(Pcg32& rng) {
         break;
     }
   }
+  bool grouped = false;
   if (!projection && rng.next_bounded(2) == 0) {
-    if (join) {
+    grouped = true;
+    if (joins >= 2) {
+      const char* keys[] = {"g", "s", "u.c", "v.vkey"};
+      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(4)];
+    } else if (joins == 1) {
       const char* keys[] = {"g", "s", "u.c", "u.key"};
       sql += std::string(" GROUP BY ") + keys[rng.next_bounded(4)];
     } else {
       sql += rng.next_bounded(2) == 0 ? " GROUP BY g" : " GROUP BY s";
     }
-  } else if (projection) {
+  }
+  if (projection) {
     sql += " ORDER BY b DESC LIMIT 20";
+  } else if (grouped && rng.next_bounded(3) == 0) {
+    // ORDER BY over aggregate output (by count so ties are rare), with
+    // and without LIMIT.
+    sql += " ORDER BY COUNT(*) DESC";
+    if (rng.next_bounded(2) == 0) sql += " LIMIT 5";
   }
   return sql;
 }
@@ -201,6 +241,7 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
   storage::Catalog cat = make_fuzz_catalog(0xE1DB);
   storage::Table& t = cat.get("t");
   storage::Table& u = cat.get("u");
+  storage::Table& v = cat.get("v");
   Executor ex(cat);
   Pcg32 rng(0xC0DE);
   const Encoding encodings[] = {Encoding::kPlain, Encoding::kBitPacked,
@@ -216,6 +257,7 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     };
     for (const char* col : {"a", "b", "g", "s"}) toggle(t, col);
     for (const char* col : {"key", "w", "c"}) toggle(u, col);
+    for (const char* col : {"vkey", "z"}) toggle(v, col);
     const std::string sql = generate_sql(rng);
     LogicalPlan plan;
     try {
@@ -256,15 +298,17 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     expect_identical(got, "packed");
     EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes)
         << sql;
-    // Ungrouped joins also have the legacy pair-materializing oracle —
-    // but it only ever read FROM-table aggregate columns, so skip
-    // statements with build-side (qualified) aggregates.
+    // Single ungrouped, unsorted joins also have the legacy
+    // pair-materializing oracle — but it only ever read FROM-table
+    // aggregate columns, so skip statements with build-side (qualified)
+    // aggregates, and it supports neither chains nor ORDER BY.
     const bool probe_side_only =
         std::all_of(plan.aggregates.begin(), plan.aggregates.end(),
                     [](const AggSpec& a) {
                       return a.column.find('.') == std::string::npos;
                     });
-    if (plan.join.has_value() && !plan.has_group_by() && probe_side_only) {
+    if (plan.joins.size() == 1 && !plan.has_group_by() && probe_side_only &&
+        !plan.order_by.has_value()) {
       ExecOptions legacy_opts;
       legacy_opts.use_encodings = false;
       legacy_opts.join_path = JoinPath::kPairMaterialize;

@@ -123,12 +123,13 @@ TEST(Sql, Join) {
   const LogicalPlan p = parse_sql(
       "SELECT COUNT(*) FROM orders JOIN customers ON orders.cust_id = "
       "customers.id WHERE customers.age BETWEEN 18 AND 65");
-  ASSERT_TRUE(p.join.has_value());
-  EXPECT_EQ(p.join->table, "customers");
-  EXPECT_EQ(p.join->left_key, "cust_id");
-  EXPECT_EQ(p.join->right_key, "id");
-  ASSERT_EQ(p.join->predicates.size(), 1u);
-  EXPECT_EQ(p.join->predicates[0].column, "age");
+  ASSERT_TRUE(p.has_join());
+  ASSERT_EQ(p.joins.size(), 1u);
+  EXPECT_EQ(p.joins[0].table, "customers");
+  EXPECT_EQ(p.joins[0].left_key, "cust_id");
+  EXPECT_EQ(p.joins[0].right_key, "id");
+  ASSERT_EQ(p.joins[0].predicates.size(), 1u);
+  EXPECT_EQ(p.joins[0].predicates[0].column, "age");
   EXPECT_TRUE(p.predicates.empty());
 }
 
@@ -136,8 +137,52 @@ TEST(Sql, JoinKeyOrderIrrelevant) {
   const LogicalPlan p = parse_sql(
       "SELECT COUNT(*) FROM orders JOIN customers ON customers.id = "
       "orders.cust_id");
-  EXPECT_EQ(p.join->left_key, "cust_id");
-  EXPECT_EQ(p.join->right_key, "id");
+  EXPECT_EQ(p.joins[0].left_key, "cust_id");
+  EXPECT_EQ(p.joins[0].right_key, "id");
+}
+
+TEST(Sql, RepeatedJoinsBuildAChain) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*), SUM(revenue) FROM lineorder "
+      "JOIN customer ON lineorder.custkey = customer.custkey "
+      "JOIN dates ON lineorder.orderdate = dates.datekey "
+      "WHERE customer.region = 'asia' AND dates.year = 1994 AND "
+      "discount BETWEEN 1 AND 3 GROUP BY customer.nation");
+  ASSERT_EQ(p.joins.size(), 2u);
+  EXPECT_EQ(p.joins[0].table, "customer");
+  EXPECT_EQ(p.joins[0].left_key, "custkey");
+  EXPECT_EQ(p.joins[1].table, "dates");
+  EXPECT_EQ(p.joins[1].left_key, "orderdate");
+  EXPECT_EQ(p.joins[1].right_key, "datekey");
+  // Qualified predicates route to their join; bare ones stay on the fact.
+  ASSERT_EQ(p.joins[0].predicates.size(), 1u);
+  EXPECT_EQ(p.joins[0].predicates[0].column, "region");
+  ASSERT_EQ(p.joins[1].predicates.size(), 1u);
+  EXPECT_EQ(p.joins[1].predicates[0].column, "year");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].column, "discount");
+}
+
+TEST(Sql, SnowflakeJoinKeepsQualifiedProbeKey) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*) FROM fact "
+      "JOIN dim ON fact.k = dim.id "
+      "JOIN subdim ON dim.sub = subdim.id");
+  ASSERT_EQ(p.joins.size(), 2u);
+  EXPECT_EQ(p.joins[1].left_key, "dim.sub");
+  EXPECT_EQ(p.joins[1].right_key, "id");
+}
+
+TEST(Sql, OrderByAggregateMapsToResultColumn) {
+  const LogicalPlan p = parse_sql(
+      "SELECT COUNT(*), SUM(revenue) FROM t GROUP BY region "
+      "ORDER BY SUM(revenue) DESC LIMIT 5");
+  ASSERT_TRUE(p.order_by.has_value());
+  EXPECT_EQ(p.order_by->column, "sum(revenue)");
+  EXPECT_FALSE(p.order_by->ascending);
+  const LogicalPlan c = parse_sql(
+      "SELECT COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*)");
+  EXPECT_EQ(c.order_by->column, "count");
 }
 
 TEST(Sql, QualifiedFromTablePredicatesStripped) {
