@@ -57,12 +57,29 @@ int main() {
   auto gold = service.open_session("gold");
   auto bronze = service.open_session("bronze");
 
+  // One request in full first: the plan governor's decision (cores ×
+  // P-state, race vs pace) plus predicted and attributed joules.
+  std::cout << "== one request, governed ==\n";
+  {
+    const query::QueryResponse r =
+        service.execute(gold, query::QueryRequest::from_sql(kSql));
+    std::cout << "  " << kSql << "\n  governor: " << r.governor_cores
+              << " cores x " << r.governor_freq_ghz << " GHz ("
+              << (r.governor_policy.empty() ? "off" : r.governor_policy)
+              << "), predicted " << r.predicted_j << " J, attributed "
+              << r.billed_j << " J in " << r.exec_s << " s\n\n";
+  }
+
   std::cout << "== per-tenant admission under energy budgets ==\n";
   TablePrinter tenants({"tenant", "submitted", "completed", "rejected",
                         "billed_J", "balance_J"});
   for (int i = 0; i < 8; ++i) {
-    (void)service.execute(gold, query::QueryRequest::from_sql(kSql));
+    const auto gr = service.execute(gold, query::QueryRequest::from_sql(kSql));
     (void)service.execute(bronze, query::QueryRequest::from_sql(kSql));
+    std::cout << "  gold request " << i << ": " << gr.governor_cores
+              << " cores x " << gr.governor_freq_ghz << " GHz ("
+              << gr.governor_policy << "), predicted " << gr.predicted_j
+              << " J, attributed " << gr.billed_j << " J\n";
   }
   for (const auto& [name, session] :
        {std::pair{"gold", gold}, std::pair{"bronze", bronze}}) {

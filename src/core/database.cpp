@@ -14,8 +14,10 @@ Database::Database(DatabaseOptions options)
     : machine_(std::move(options.machine)),
       cost_model_(options.calibrate_cost_model ? opt::CostModel::calibrate()
                                                : opt::CostModel::defaults()),
-      governor_(machine_),
-      optimizer_(machine_) {
+      governor_(machine_, options.governor),
+      optimizer_(machine_),
+      pool_(options.worker_threads),
+      governor_enabled_(options.enable_governor) {
   if (options.prefer_rapl) {
     auto rapl = std::make_unique<energy::RaplMeter>();
     if (rapl->available()) rapl_ = std::move(rapl);
@@ -141,6 +143,14 @@ std::vector<opt::PlanCandidate> Database::candidates(
   return out;
 }
 
+void Database::apply_engine_defaults(query::ExecOptions& exec) {
+  if (exec.pool == nullptr) exec.pool = &pool_;
+  if (exec.cost_model == nullptr) exec.cost_model = &cost_model_;
+  if (governor_enabled_ && exec.governor == nullptr)
+    exec.governor = &governor_;
+  if (exec.calibration == nullptr) exec.calibration = &calibration_;
+}
+
 RunResult Database::run(const query::LogicalPlan& plan,
                         const RunOptions& options) {
   RunResult out;
@@ -162,10 +172,19 @@ RunResult Database::run(const query::LogicalPlan& plan,
   query::ExecOptions exec_options = options.exec;
   if (exec_options.tiers == nullptr && tiers_.hot_bytes() + tiers_.cold_bytes() > 0)
     exec_options.tiers = &tiers_;
+  apply_engine_defaults(exec_options);
+  if (options.deadline_s > 0 && exec_options.deadline_s == 0)
+    exec_options.deadline_s = options.deadline_s;
+
+  // Compile up front: the plan carries the governor's cores × P-state
+  // decision, which caps operator fan-out and sets the attribution state.
+  const query::PhysicalPlan phys =
+      query::compile_plan(catalog_, plan, exec_options);
+  out.governor = phys.governor;
 
   energy::EnergyWindow window(*active_meter_);
   Stopwatch sw;
-  out.result = executor.execute(plan, out.stats, exec_options);
+  out.result = executor.execute(phys, out.stats, exec_options);
   const double elapsed = sw.elapsed_seconds();
 
   // Feed the model meter (no-op for RAPL) so modeled joules reflect the
@@ -178,13 +197,21 @@ RunResult Database::run(const query::LogicalPlan& plan,
   out.report.source = active_meter_->source();
 
   // Per-query attribution: incremental busy power over this query's own
-  // busy interval (the host ran at its top state) plus its DRAM traffic and
-  // cold-tier penalty. The meter window above cannot be used here — it is a
+  // busy interval plus its DRAM traffic and cold-tier penalty, charged at
+  // the governor's chosen P-state (f_max when the governor is off or
+  // raced to idle). The meter window above cannot be used here — it is a
   // whole-machine counter, so under concurrency it would bill every query
   // for its neighbors' work and the shared idle floor.
-  out.attributed_j = machine_.incremental_busy_energy_j(
-                         out.stats.work, machine_.dvfs.fastest(), elapsed) +
-                     out.stats.cold_tier_energy_j;
+  const hw::DvfsState& attr_state =
+      phys.governor.enabled ? phys.governor.state : machine_.dvfs.fastest();
+  out.attributed_j =
+      machine_.incremental_busy_energy_j(out.stats.work, attr_state, elapsed) +
+      out.stats.cold_tier_energy_j;
+
+  // Close the governor's loop: measured per-operator seconds against the
+  // model's prediction, folded into the per-kind EWMA the next compile
+  // consults.
+  calibration_.observe_operators(out.stats.operators, machine_, attr_state);
 
   ledger_.add(options.ledger_scope,
               {plan.table + ":" + (plan.is_aggregate() ? "agg" : "select"),
@@ -202,8 +229,9 @@ std::string Database::explain(const query::LogicalPlan& plan,
   std::ostringstream os;
   os << "plan: " << plan.to_string() << "\n";
   query::ExecOptions exec_options = options.exec;
-  if (exec_options.cost_model == nullptr)
-    exec_options.cost_model = &cost_model_;
+  apply_engine_defaults(exec_options);
+  if (options.deadline_s > 0 && exec_options.deadline_s == 0)
+    exec_options.deadline_s = options.deadline_s;
   os << query::compile_plan(catalog_, plan, exec_options).explain();
   const auto cands = candidates(plan);
   os << "candidates:\n";

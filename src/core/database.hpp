@@ -32,8 +32,10 @@
 #include "opt/energy_optimizer.hpp"
 #include "query/executor.hpp"
 #include "query/plan.hpp"
+#include "query/plan_governor.hpp"
 #include "query/result.hpp"
 #include "sched/governor.hpp"
+#include "sched/thread_pool.hpp"
 #include "storage/table.hpp"
 #include "storage/tier.hpp"
 
@@ -47,6 +49,16 @@ struct DatabaseOptions {
   /// Calibrate the cost model on this host at startup (few ms) instead of
   /// using the published defaults.
   bool calibrate_cost_model = false;
+  /// Width of the engine worker pool shared by every query's
+  /// morsel-parallel operators (0 = hardware concurrency).
+  std::size_t worker_threads = 0;
+  /// Run the plan governor at compile time: per query, estimate the work
+  /// and pick cores × P-state; attribution then charges the chosen state.
+  /// The default policy (race-to-idle, deep sleep allowed) resolves to
+  /// f_max and all cores, so attribution matches the legacy behavior.
+  bool enable_governor = true;
+  /// Plan-governor policy knobs (deep-sleep availability — the E7 lever).
+  sched::GovernorOptions governor{};
 };
 
 /// Per-query execution knobs.
@@ -61,6 +73,10 @@ struct RunOptions {
   /// The serving tier sets it to the session's tenant id so per-tenant
   /// energy budgets can be debited from measured totals.
   std::string ledger_scope;
+  /// Latency deadline handed to the plan governor (0 = none): the
+  /// governor then picks the better of race-to-idle and pace for this
+  /// query's estimated work.
+  double deadline_s = 0;
 };
 
 /// Everything a query run produces.
@@ -82,6 +98,9 @@ struct RunResult {
   /// True when the requested energy budget was infeasible and the engine
   /// fell back to the minimum-energy configuration.
   bool budget_infeasible = false;
+  /// The plan governor's cores × P-state decision for this query
+  /// (enabled == false when the governor was off).
+  query::GovernorChoice governor;
 };
 
 class Database {
@@ -123,11 +142,22 @@ class Database {
   /// (the serving tier records per-session scopes through this).
   [[nodiscard]] energy::EnergyLedger& ledger() { return ledger_; }
   [[nodiscard]] const sched::Governor& governor() const { return governor_; }
+  /// The engine worker pool every query's parallel operators draw from
+  /// (shared across concurrent sessions; see sched::ThreadPool).
+  [[nodiscard]] sched::ThreadPool& pool() { return pool_; }
+  /// Measured-vs-predicted EWMA per operator kind feeding the governor's
+  /// work estimates (updated after every run).
+  [[nodiscard]] const query::OperatorCalibration& calibration() const {
+    return calibration_;
+  }
 
  private:
   /// Builds candidate plans for the optimizer from a logical plan.
   [[nodiscard]] std::vector<opt::PlanCandidate> candidates(
       const query::LogicalPlan& plan) const;
+  /// Fills the engine-owned defaults of per-run ExecOptions: worker pool,
+  /// cost model, plan governor, and calibration (caller-set values win).
+  void apply_engine_defaults(query::ExecOptions& exec);
 
   hw::MachineSpec machine_;
   storage::Catalog catalog_;
@@ -139,6 +169,9 @@ class Database {
   std::unique_ptr<energy::ModelMeter> model_;
   energy::EnergyMeter* active_meter_ = nullptr;
   energy::EnergyLedger ledger_;
+  sched::ThreadPool pool_;
+  query::OperatorCalibration calibration_;
+  bool governor_enabled_ = true;
 };
 
 }  // namespace eidb::core

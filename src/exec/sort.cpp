@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "sched/thread_pool.hpp"
+
 namespace eidb::exec {
 
 namespace {
+
+// Chunk-count ceiling for the parallel paths: bounds the candidate buffer
+// of parallel top-N (≤ kMaxSortChunks × N entries) and the merge-tree
+// depth of the full sort.
+constexpr std::size_t kMaxSortChunks = 64;
 
 /// Key accessor adapters: a span indexes directly; a JoinKeys view goes
 /// through its typed at() (int32/int64/packed all compared as int64
@@ -19,116 +26,207 @@ struct ViewKeys {
   std::int64_t operator()(std::uint32_t i) const { return keys.at(i); }
 };
 
-template <typename KeyAt>
-std::vector<std::uint32_t> sort_impl(const KeyAt& at,
-                                     const BitVector& selection,
-                                     bool ascending) {
-  std::vector<std::uint32_t> idx = selection.to_indices();
-  std::stable_sort(idx.begin(), idx.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return ascending ? at(a) < at(b) : at(a) > at(b);
-                   });
-  return idx;
+/// Per-chunk sorts followed by a pairwise std::inplace_merge tree. The
+/// comparator is total, so the result equals one std::sort of the whole
+/// range no matter how the chunks land.
+template <typename Cmp>
+void parallel_full_sort(std::vector<std::uint32_t>& idx, const Cmp& cmp,
+                        sched::ThreadPool& pool) {
+  const std::size_t n = idx.size();
+  std::size_t chunks = 1;
+  while (chunks < pool.thread_count() && chunks < kMaxSortChunks) chunks *= 2;
+  const std::size_t per = (n + chunks - 1) / chunks;
+  pool.parallel_for(chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const auto first = idx.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(c * per, n));
+      const auto last = idx.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min((c + 1) * per, n));
+      std::sort(first, last, cmp);
+    }
+  });
+  for (std::size_t width = per; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    pool.parallel_for(pairs, 1, [&](std::size_t pb, std::size_t pe) {
+      for (std::size_t p = pb; p < pe; ++p) {
+        const std::size_t lo = p * 2 * width;
+        const std::size_t mid = std::min(lo + width, n);
+        const std::size_t hi = std::min(lo + 2 * width, n);
+        if (mid < hi)
+          std::inplace_merge(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                             idx.begin() + static_cast<std::ptrdiff_t>(mid),
+                             idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                             cmp);
+      }
+    });
+  }
 }
 
+/// Per-chunk heap top-N keeps ≤ N candidates per chunk; one final partial
+/// sort over the ≤ chunks×N survivors picks the global top N.
+template <typename Cmp>
+void parallel_top_n(std::vector<std::uint32_t>& idx, const Cmp& cmp,
+                    std::size_t n_keep, sched::ThreadPool& pool) {
+  const std::size_t n = idx.size();
+  const std::size_t chunks =
+      std::min<std::size_t>(kMaxSortChunks,
+                            std::max<std::size_t>(1, pool.thread_count()));
+  const std::size_t per = (n + chunks - 1) / chunks;
+  pool.parallel_for(chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t lo = std::min(c * per, n);
+      const std::size_t hi = std::min((c + 1) * per, n);
+      const std::size_t keep = std::min(n_keep, hi - lo);
+      std::partial_sort(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                        idx.begin() + static_cast<std::ptrdiff_t>(lo + keep),
+                        idx.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+    }
+  });
+  std::vector<std::uint32_t> cand;
+  cand.reserve(std::min(n, chunks * n_keep));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = std::min(c * per, n);
+    const std::size_t hi = std::min((c + 1) * per, n);
+    const std::size_t keep = std::min(n_keep, hi - lo);
+    cand.insert(cand.end(), idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                idx.begin() + static_cast<std::ptrdiff_t>(lo + keep));
+  }
+  const std::size_t out = std::min(n_keep, cand.size());
+  std::partial_sort(cand.begin(),
+                    cand.begin() + static_cast<std::ptrdiff_t>(out),
+                    cand.end(), cmp);
+  cand.resize(out);
+  idx = std::move(cand);
+}
+
+/// Shared driver: orders `idx` by the total comparator (key, then index),
+/// bounded to the first `n_keep` entries when `bounded`. Picks the
+/// parallel path when a multi-thread pool is supplied and the range is
+/// big enough for chunking to be meaningful.
 template <typename KeyAt>
-std::vector<std::uint32_t> top_n_impl(const KeyAt& at,
-                                      const BitVector& selection,
-                                      std::size_t n, bool ascending) {
-  std::vector<std::uint32_t> idx = selection.to_indices();
+std::vector<std::uint32_t> order_impl(const KeyAt& at,
+                                      std::vector<std::uint32_t> idx,
+                                      std::size_t n_keep, bool bounded,
+                                      bool ascending,
+                                      sched::ThreadPool* pool) {
   const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
     const auto ka = at(a), kb = at(b);
     if (ka != kb) return ascending ? ka < kb : ka > kb;
     return a < b;  // deterministic tie-break
   };
-  if (n >= idx.size()) {
+  if (bounded && n_keep >= idx.size()) bounded = false;
+  const bool parallel = pool != nullptr && pool->thread_count() > 1 &&
+                        idx.size() >= 2 * pool->thread_count();
+  if (parallel) {
+    if (bounded)
+      parallel_top_n(idx, cmp, n_keep, *pool);
+    else
+      parallel_full_sort(idx, cmp, *pool);
+    return idx;
+  }
+  if (!bounded) {
     std::sort(idx.begin(), idx.end(), cmp);
     return idx;
   }
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n),
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(n_keep),
                     idx.end(), cmp);
-  idx.resize(n);
+  idx.resize(n_keep);
   return idx;
+}
+
+template <typename KeyAt>
+std::vector<std::uint32_t> sort_impl(const KeyAt& at,
+                                     const BitVector& selection,
+                                     bool ascending, sched::ThreadPool* pool) {
+  return order_impl(at, selection.to_indices(), 0, false, ascending, pool);
+}
+
+template <typename KeyAt>
+std::vector<std::uint32_t> top_n_impl(const KeyAt& at,
+                                      const BitVector& selection,
+                                      std::size_t n, bool ascending,
+                                      sched::ThreadPool* pool) {
+  return order_impl(at, selection.to_indices(), n, true, ascending, pool);
 }
 
 template <typename T>
 std::vector<std::uint32_t> permutation_impl(std::span<const T> keys,
                                             std::size_t n, bool ascending,
-                                            bool bounded) {
+                                            bool bounded,
+                                            sched::ThreadPool* pool) {
   std::vector<std::uint32_t> idx(keys.size());
   for (std::size_t i = 0; i < idx.size(); ++i)
     idx[i] = static_cast<std::uint32_t>(i);
-  const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
-    if (keys[a] != keys[b])
-      return ascending ? keys[a] < keys[b] : keys[a] > keys[b];
-    return a < b;
-  };
-  if (!bounded || n >= idx.size()) {
-    std::sort(idx.begin(), idx.end(), cmp);
-    return idx;
-  }
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n),
-                    idx.end(), cmp);
-  idx.resize(n);
-  return idx;
+  return order_impl(SpanKeys<T>{keys}, std::move(idx), n, bounded, ascending,
+                    pool);
 }
 
 }  // namespace
 
 std::vector<std::uint32_t> sort_indices(std::span<const std::int64_t> keys,
                                         const BitVector& selection,
-                                        bool ascending) {
-  return sort_impl(SpanKeys<std::int64_t>{keys}, selection, ascending);
+                                        bool ascending,
+                                        sched::ThreadPool* pool) {
+  return sort_impl(SpanKeys<std::int64_t>{keys}, selection, ascending, pool);
 }
 
 std::vector<std::uint32_t> sort_indices_double(std::span<const double> keys,
                                                const BitVector& selection,
-                                               bool ascending) {
-  return sort_impl(SpanKeys<double>{keys}, selection, ascending);
+                                               bool ascending,
+                                               sched::ThreadPool* pool) {
+  return sort_impl(SpanKeys<double>{keys}, selection, ascending, pool);
 }
 
 std::vector<std::uint32_t> sort_indices(const JoinKeys& keys,
                                         const BitVector& selection,
-                                        bool ascending) {
-  return sort_impl(ViewKeys{keys}, selection, ascending);
+                                        bool ascending,
+                                        sched::ThreadPool* pool) {
+  return sort_impl(ViewKeys{keys}, selection, ascending, pool);
 }
 
 std::vector<std::uint32_t> top_n(std::span<const std::int64_t> keys,
                                  const BitVector& selection, std::size_t n,
-                                 bool ascending) {
-  return top_n_impl(SpanKeys<std::int64_t>{keys}, selection, n, ascending);
+                                 bool ascending, sched::ThreadPool* pool) {
+  return top_n_impl(SpanKeys<std::int64_t>{keys}, selection, n, ascending,
+                    pool);
 }
 
 std::vector<std::uint32_t> top_n(const JoinKeys& keys,
                                  const BitVector& selection, std::size_t n,
-                                 bool ascending) {
-  return top_n_impl(ViewKeys{keys}, selection, n, ascending);
+                                 bool ascending, sched::ThreadPool* pool) {
+  return top_n_impl(ViewKeys{keys}, selection, n, ascending, pool);
 }
 
 std::vector<std::uint32_t> top_n_double(std::span<const double> keys,
                                         const BitVector& selection,
-                                        std::size_t n, bool ascending) {
-  return top_n_impl(SpanKeys<double>{keys}, selection, n, ascending);
+                                        std::size_t n, bool ascending,
+                                        sched::ThreadPool* pool) {
+  return top_n_impl(SpanKeys<double>{keys}, selection, n, ascending, pool);
 }
 
 std::vector<std::uint32_t> sort_permutation(std::span<const std::int64_t> keys,
-                                            bool ascending) {
-  return permutation_impl(keys, 0, ascending, false);
+                                            bool ascending,
+                                            sched::ThreadPool* pool) {
+  return permutation_impl(keys, 0, ascending, false, pool);
 }
 
 std::vector<std::uint32_t> sort_permutation_double(std::span<const double> keys,
-                                                   bool ascending) {
-  return permutation_impl(keys, 0, ascending, false);
+                                                   bool ascending,
+                                                   sched::ThreadPool* pool) {
+  return permutation_impl(keys, 0, ascending, false, pool);
 }
 
 std::vector<std::uint32_t> top_n_permutation(
-    std::span<const std::int64_t> keys, std::size_t n, bool ascending) {
-  return permutation_impl(keys, n, ascending, true);
+    std::span<const std::int64_t> keys, std::size_t n, bool ascending,
+    sched::ThreadPool* pool) {
+  return permutation_impl(keys, n, ascending, true, pool);
 }
 
 std::vector<std::uint32_t> top_n_permutation_double(
-    std::span<const double> keys, std::size_t n, bool ascending) {
-  return permutation_impl(keys, n, ascending, true);
+    std::span<const double> keys, std::size_t n, bool ascending,
+    sched::ThreadPool* pool) {
+  return permutation_impl(keys, n, ascending, true, pool);
 }
 
 }  // namespace eidb::exec

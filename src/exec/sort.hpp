@@ -16,6 +16,13 @@
 // (std::partial_sort), so an ORDER BY + LIMIT k query costs O(n + k log n)
 // comparisons instead of a full O(n log n) sort — and, as importantly for
 // the energy ledger, the downstream materialization gathers only k rows.
+//
+// Every kernel takes an optional sched::ThreadPool. With a pool, full
+// sorts run as per-morsel chunk sorts followed by a pairwise merge tree,
+// and top-N runs as per-morsel partial selection followed by one merge of
+// the ≤ chunks×N candidates. All comparisons use a TOTAL order (key, then
+// position), so the parallel result is bit-identical to the serial one
+// for every thread count and chunking.
 #pragma once
 
 #include <cstdint>
@@ -25,51 +32,61 @@
 #include "exec/join.hpp"
 #include "util/bitvector.hpp"
 
+namespace eidb::sched {
+class ThreadPool;
+}  // namespace eidb::sched
+
 namespace eidb::exec {
 
 /// Row indices of the selection, ordered by keys[i] (ascending or
 /// descending; ties keep ascending row order for determinism).
 [[nodiscard]] std::vector<std::uint32_t> sort_indices(
     std::span<const std::int64_t> keys, const BitVector& selection,
-    bool ascending = true);
+    bool ascending = true, sched::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::vector<std::uint32_t> sort_indices_double(
     std::span<const double> keys, const BitVector& selection,
-    bool ascending = true);
+    bool ascending = true, sched::ThreadPool* pool = nullptr);
 
 /// Typed-view sort: int32 / dictionary-code spans are compared as int32,
 /// bit-packed images decode per comparison — no widened key copy.
 [[nodiscard]] std::vector<std::uint32_t> sort_indices(
-    const JoinKeys& keys, const BitVector& selection, bool ascending = true);
+    const JoinKeys& keys, const BitVector& selection, bool ascending = true,
+    sched::ThreadPool* pool = nullptr);
 
 /// First `n` rows of `sort_indices` without sorting the full selection
 /// (partial selection sort via heap).
 [[nodiscard]] std::vector<std::uint32_t> top_n(
     std::span<const std::int64_t> keys, const BitVector& selection,
-    std::size_t n, bool ascending = true);
+    std::size_t n, bool ascending = true, sched::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::vector<std::uint32_t> top_n(const JoinKeys& keys,
                                                const BitVector& selection,
                                                std::size_t n,
-                                               bool ascending = true);
+                                               bool ascending = true,
+                                               sched::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::vector<std::uint32_t> top_n_double(
     std::span<const double> keys, const BitVector& selection, std::size_t n,
-    bool ascending = true);
+    bool ascending = true, sched::ThreadPool* pool = nullptr);
 
 /// Positions [0, keys.size()) ordered by the gathered key vector (stable:
 /// ties keep ascending position order).
 [[nodiscard]] std::vector<std::uint32_t> sort_permutation(
-    std::span<const std::int64_t> keys, bool ascending = true);
+    std::span<const std::int64_t> keys, bool ascending = true,
+    sched::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::vector<std::uint32_t> sort_permutation_double(
-    std::span<const double> keys, bool ascending = true);
+    std::span<const double> keys, bool ascending = true,
+    sched::ThreadPool* pool = nullptr);
 
 /// First `n` positions of `sort_permutation` via heap-based partial sort.
 [[nodiscard]] std::vector<std::uint32_t> top_n_permutation(
-    std::span<const std::int64_t> keys, std::size_t n, bool ascending = true);
+    std::span<const std::int64_t> keys, std::size_t n, bool ascending = true,
+    sched::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::vector<std::uint32_t> top_n_permutation_double(
-    std::span<const double> keys, std::size_t n, bool ascending = true);
+    std::span<const double> keys, std::size_t n, bool ascending = true,
+    sched::ThreadPool* pool = nullptr);
 
 }  // namespace eidb::exec

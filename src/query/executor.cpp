@@ -32,6 +32,9 @@ QueryResult Executor::execute(const PhysicalPlan& phys, ExecStats& stats,
   if (!table.complete()) throw Error("table not fully loaded: " + plan.table);
 
   ops::OpContext ctx{catalog_, options, stats, idx_scratch_, key_scratch_, {}};
+  // The governor's core grant caps every operator's morsel fan-out.
+  if (phys.governor.enabled)
+    ctx.cores = static_cast<std::size_t>(std::max(1, phys.governor.cores));
   Stopwatch total;
 
   BitVector selection;

@@ -37,9 +37,14 @@ namespace eidb::opt {
 class CostModel;
 }  // namespace eidb::opt
 
+namespace eidb::sched {
+class Governor;
+}  // namespace eidb::sched
+
 namespace eidb::query {
 
 struct PhysicalPlan;
+class OperatorCalibration;
 
 /// Aggregation implementation choice. kVectorized is the production path;
 /// kRowAtATime preserves the one-pass-per-AggSpec interpreter as a
@@ -103,6 +108,27 @@ struct ExecOptions {
   /// Minimum selected probe rows before the join probe goes
   /// morsel-parallel on `pool`.
   std::size_t parallel_join_min_rows = 1u << 18;
+  /// Minimum keys before the sort / top-k kernels go morsel-parallel on
+  /// `pool` (per-chunk sort or heap top-k, then merge — bit-identical to
+  /// the serial order for every thread count).
+  std::size_t parallel_sort_min_rows = 1u << 16;
+  /// Minimum emitted rows before projection materialization and the join
+  /// projection sinks go morsel-parallel on `pool`.
+  std::size_t parallel_project_min_rows = 1u << 16;
+  /// Plan governor: when set, compile_plan estimates the query's work via
+  /// the cost model and picks cores × hw::DvfsState for it (race-to-idle
+  /// vs pace per the governor's GovernorOptions), recording the decision
+  /// in PhysicalPlan::governor / EXPLAIN. Energy attribution then uses
+  /// the chosen state's power model (see query/plan_governor.hpp).
+  const sched::Governor* governor = nullptr;
+  /// Latency deadline handed to the plan governor; 0 = no deadline (the
+  /// governor races to idle when deep sleep is allowed, otherwise paces
+  /// at the incremental-efficient state).
+  double deadline_s = 0;
+  /// Measured-vs-predicted cycle calibration (EWMA per operator kind)
+  /// consulted by the plan governor's work estimate; core::Database feeds
+  /// it from measured ExecStats after every query. nullptr = model as-is.
+  const OperatorCalibration* calibration = nullptr;
 };
 
 /// NOT thread-safe across concurrent execute() calls (scratch buffers are

@@ -6,7 +6,6 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -186,6 +185,25 @@ struct Ref {
   const Table* tbl;
   const Column* col;
   std::size_t side;
+};
+
+/// 64-aligned chunking of the probe selection for per-chunk ChainDrivers:
+/// the grain is a multiple of 64 (selection words are never split across
+/// workers), at least a morsel, and sized for ~4 chunks per worker so
+/// per-chunk setup (aggregators over dense group domains allocate
+/// O(domain)) amortizes over enough rows. Chunk ids address per-chunk
+/// result slots, so downstream merges run in CHUNK order — deterministic
+/// and equal to the serial traversal order — never completion order.
+struct MorselChunks {
+  std::size_t grain = 0;
+  std::size_t count = 0;
+  MorselChunks(std::size_t n, std::size_t workers) {
+    const std::size_t target = std::max<std::size_t>(1, workers * 4);
+    const std::size_t per = (n + target - 1) / target;
+    grain = std::max<std::size_t>(
+        64, std::max(exec::kDefaultMorselRows, per) / 64 * 64);
+    count = (n + grain - 1) / grain;
+  }
 };
 
 /// Legacy pair-materializing interpreter (JoinPath::kPairMaterialize):
@@ -589,19 +607,21 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
           prod[s] += driver.produced()[s];
       };
       if (parallel) {
-        // Partition-range tasks with private aggregators, merged serially.
+        // Partition-range tasks with private aggregators, merged serially
+        // in task order (task t owns partitions t, t + n_tasks, ...) — the
+        // merged result is independent of completion order.
         const std::size_t n_tasks =
-            std::min(n_parts, options.pool->thread_count() * 2);
+            std::min(n_parts, ctx.worker_width() * 2);
         std::vector<exec::JoinAggregator> locals;
         std::vector<std::vector<std::uint64_t>> prods(
             n_tasks, std::vector<std::uint64_t>(n_steps, 0));
         locals.reserve(n_tasks);
         for (std::size_t t = 0; t < n_tasks; ++t) locals.push_back(make_agg());
-        for (std::size_t t = 0; t < n_tasks; ++t) {
-          options.pool->submit(
-              [&, t] { run_parts(t, n_tasks, locals[t], prods[t]); });
-        }
-        options.pool->wait_idle();
+        options.pool->parallel_for(
+            n_tasks, 1, [&](std::size_t tb, std::size_t te) {
+              for (std::size_t t = tb; t < te; ++t)
+                run_parts(t, n_tasks, locals[t], prods[t]);
+            });
         for (std::size_t t = 0; t < n_tasks; ++t) {
           master.merge_from(locals[t]);
           for (std::size_t s = 0; s < n_steps; ++s)
@@ -612,33 +632,38 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
       }
     } else if (parallel) {
       // Morsel-parallel probe over 64-aligned ranges of the selection:
-      // per-chunk private aggregators (and chain drivers), merged under a
-      // lock. Chunks are at least a morsel but no more than ~4 per
-      // worker, so each chunk's aggregator setup and merge amortize over
-      // enough rows (dense group domains allocate O(domain) per
-      // aggregator).
-      std::mutex merge_mu;
+      // per-chunk private aggregators (and chain drivers), stored in
+      // chunk-indexed slots and merged IN CHUNK ORDER afterwards. A
+      // completion-order merge would let thread scheduling regroup float
+      // partials between runs; chunk order makes the merged sums a pure
+      // function of the chunking.
       const std::size_t total_words = selection.word_count();
-      const std::size_t chunks = options.pool->thread_count() * 4;
-      const std::size_t per_chunk = (selection.size() + chunks - 1) / chunks;
-      const std::size_t grain = std::max<std::size_t>(
-          64, std::max(exec::kDefaultMorselRows, per_chunk) / 64 * 64);
+      const MorselChunks chunking(selection.size(), ctx.worker_width());
+      std::vector<std::unique_ptr<exec::JoinAggregator>> locals(
+          chunking.count);
+      std::vector<std::vector<std::uint64_t>> prods(
+          chunking.count, std::vector<std::uint64_t>(n_steps, 0));
       options.pool->parallel_for(
-          selection.size(), grain, [&](std::size_t begin, std::size_t end) {
+          selection.size(), chunking.grain,
+          [&](std::size_t begin, std::size_t end) {
+            const std::size_t chunk = begin / chunking.grain;
             const std::size_t wb = begin / 64;
             const std::size_t we = std::min(total_words, (end + 63) / 64);
-            exec::JoinAggregator local = make_agg();
+            auto local = std::make_unique<exec::JoinAggregator>(make_agg());
             ChainDriver driver(steps);
             const ChainDriver::Sink sink =
                 [&local](const std::uint32_t* const* rows, std::size_t k) {
-                  local.add_block(rows, k);
+                  local->add_block(rows, k);
                 };
             (void)driver.run(selection, wb, we, sink, 0);
-            std::scoped_lock lock(merge_mu);
-            master.merge_from(local);
-            for (std::size_t s = 0; s < n_steps; ++s)
-              produced[s] += driver.produced()[s];
+            prods[chunk] = driver.produced();
+            locals[chunk] = std::move(local);
           });
+      for (std::size_t chunk = 0; chunk < chunking.count; ++chunk) {
+        master.merge_from(*locals[chunk]);
+        for (std::size_t s = 0; s < n_steps; ++s)
+          produced[s] += prods[chunk][s];
+      }
     } else {
       ChainDriver driver(steps);
       const ChainDriver::Sink sink =
@@ -715,12 +740,16 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     return result;
   }
 
-  // ==== Projection sink: serial chain traversal in deterministic
-  // (probe asc, build asc per step) order. Without ORDER BY, rows stream
-  // straight into the result with LIMIT early-exit; with ORDER BY, the
-  // match tuples are collected as row ids, the sort key is gathered once
-  // per match, and the heap top-k permutation picks the emitted rows —
-  // only those are materialized (and charged). ====
+  // ==== Projection sink: chain traversal in deterministic (probe asc,
+  // build asc per step) order. Without ORDER BY, rows stream straight
+  // into the result with LIMIT early-exit; with ORDER BY, the match
+  // tuples are collected as row ids, the sort key is gathered once per
+  // match, and the heap top-k permutation picks the emitted rows — only
+  // those are materialized (and charged). Both sinks go morsel-parallel
+  // over 64-aligned selection chunks when a pool is available: chunks
+  // collect privately and concatenate in chunk order, which reproduces
+  // the serial emit order exactly (an unlimited LIMIT keeps the serial
+  // early-exit path). ====
   std::vector<std::string> proj = plan.projection;
   struct ProjCol {
     const Column* col;
@@ -737,28 +766,79 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
   QueryResult result(proj);
   ChainDriver driver(steps);
   std::uint64_t pairs = 0;
-  const auto charge_probe_cycles = [&] {
-    stats.work.cpu_cycles +=
-        kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows);
-    for (std::size_t s = 0; s + 1 < n_steps; ++s)
-      stats.work.cpu_cycles +=
-          kJoinProbeCyclesPerTuple * static_cast<double>(driver.produced()[s]);
+  const auto charge_probe_cycles =
+      [&](const std::vector<std::uint64_t>& step_produced) {
+        stats.work.cpu_cycles +=
+            kJoinProbeCyclesPerTuple * static_cast<double>(probe_rows);
+        for (std::size_t s = 0; s + 1 < n_steps; ++s)
+          stats.work.cpu_cycles +=
+              kJoinProbeCyclesPerTuple *
+              static_cast<double>(step_produced[s]);
+      };
+  // Drives one private ChainDriver per 64-aligned chunk and hands each
+  // chunk's sink output to `collect(chunk)`; returns total pairs after
+  // accumulating per-step produced counts (charged like the serial walk).
+  const auto run_chunked = [&](const auto& collect) {
+    const std::size_t total_words = selection.word_count();
+    const MorselChunks chunking(selection.size(), ctx.worker_width());
+    std::vector<std::vector<std::uint64_t>> prods(
+        chunking.count, std::vector<std::uint64_t>(n_steps, 0));
+    std::vector<std::uint64_t> chunk_pairs(chunking.count, 0);
+    options.pool->parallel_for(
+        selection.size(), chunking.grain,
+        [&](std::size_t begin, std::size_t end) {
+          const std::size_t chunk = begin / chunking.grain;
+          const std::size_t wb = begin / 64;
+          const std::size_t we = std::min(total_words, (end + 63) / 64);
+          ChainDriver local(steps);
+          chunk_pairs[chunk] =
+              local.run(selection, wb, we, collect(chunk), 0);
+          prods[chunk] = local.produced();
+        });
+    std::vector<std::uint64_t> step_produced(n_steps, 0);
+    std::uint64_t total_pairs = 0;
+    for (std::size_t chunk = 0; chunk < chunking.count; ++chunk) {
+      total_pairs += chunk_pairs[chunk];
+      for (std::size_t s = 0; s < n_steps; ++s)
+        step_produced[s] += prods[chunk][s];
+    }
+    charge_probe_cycles(step_produced);
+    return total_pairs;
   };
 
   if (!plan.order_by.has_value()) {
-    const ChainDriver::Sink sink = [&](const std::uint32_t* const* rows,
-                                       std::size_t k) {
-      for (std::size_t e = 0; e < k; ++e) {
-        std::vector<storage::Value> row;
-        row.reserve(cols.size());
-        for (const ProjCol& c : cols)
-          row.push_back(c.col->value_at(rows[c.side][e]));
-        result.add_row(std::move(row));
-      }
+    const auto gather_row = [&cols](const std::uint32_t* const* rows,
+                                    std::size_t e) {
+      std::vector<storage::Value> row;
+      row.reserve(cols.size());
+      for (const ProjCol& c : cols)
+        row.push_back(c.col->value_at(rows[c.side][e]));
+      return row;
     };
-    pairs = driver.run(selection, 0, selection.word_count(), sink,
-                       plan.limit);
-    charge_probe_cycles();
+    if (parallel && plan.limit == 0) {
+      const MorselChunks chunking(selection.size(), ctx.worker_width());
+      std::vector<std::vector<std::vector<storage::Value>>> chunk_rows(
+          chunking.count);
+      pairs = run_chunked([&](std::size_t chunk) {
+        return ChainDriver::Sink(
+            [&chunk_rows, chunk, &gather_row](
+                const std::uint32_t* const* rows, std::size_t k) {
+              for (std::size_t e = 0; e < k; ++e)
+                chunk_rows[chunk].push_back(gather_row(rows, e));
+            });
+      });
+      for (auto& chunk : chunk_rows)
+        for (auto& row : chunk) result.add_row(std::move(row));
+    } else {
+      const ChainDriver::Sink sink = [&](const std::uint32_t* const* rows,
+                                         std::size_t k) {
+        for (std::size_t e = 0; e < k; ++e)
+          result.add_row(gather_row(rows, e));
+      };
+      pairs = driver.run(selection, 0, selection.word_count(), sink,
+                         plan.limit);
+      charge_probe_cycles(driver.produced());
+    }
     for (const ProjCol& c : cols)
       ctx.charge_gather(*c.tbl, *c.col, static_cast<std::size_t>(pairs));
     stats.work.cpu_cycles += kMaterializeCyclesPerValue *
@@ -767,13 +847,36 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
   } else {
     // Collect the match tuples (row ids only — late materialization).
     std::vector<std::vector<std::uint32_t>> tuples(sides);
-    const ChainDriver::Sink sink = [&](const std::uint32_t* const* rows,
-                                       std::size_t k) {
-      for (std::size_t side = 0; side < sides; ++side)
-        tuples[side].insert(tuples[side].end(), rows[side], rows[side] + k);
-    };
-    pairs = driver.run(selection, 0, selection.word_count(), sink, 0);
-    charge_probe_cycles();
+    if (parallel) {
+      const MorselChunks chunking(selection.size(), ctx.worker_width());
+      std::vector<std::vector<std::vector<std::uint32_t>>> chunk_tuples(
+          chunking.count, std::vector<std::vector<std::uint32_t>>(sides));
+      pairs = run_chunked([&](std::size_t chunk) {
+        return ChainDriver::Sink(
+            [&chunk_tuples, chunk, sides](const std::uint32_t* const* rows,
+                                          std::size_t k) {
+              for (std::size_t side = 0; side < sides; ++side)
+                chunk_tuples[chunk][side].insert(
+                    chunk_tuples[chunk][side].end(), rows[side],
+                    rows[side] + k);
+            });
+      });
+      for (std::size_t side = 0; side < sides; ++side) {
+        tuples[side].reserve(static_cast<std::size_t>(pairs));
+        for (const auto& chunk : chunk_tuples)
+          tuples[side].insert(tuples[side].end(), chunk[side].begin(),
+                              chunk[side].end());
+      }
+    } else {
+      const ChainDriver::Sink sink = [&](const std::uint32_t* const* rows,
+                                         std::size_t k) {
+        for (std::size_t side = 0; side < sides; ++side)
+          tuples[side].insert(tuples[side].end(), rows[side],
+                              rows[side] + k);
+      };
+      pairs = driver.run(selection, 0, selection.word_count(), sink, 0);
+      charge_probe_cycles(driver.produced());
+    }
     join_scope.close();
 
     OperatorScope sort_scope(
@@ -785,25 +888,42 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     ctx.charge_gather(*key.tbl, *key.col, static_cast<std::size_t>(pairs));
     std::vector<std::uint32_t> perm;
     const std::vector<std::uint32_t>& key_rows = tuples[key.side];
+    sched::ThreadPool* sort_pool =
+        key_rows.size() >= options.parallel_sort_min_rows ? options.pool
+                                                          : nullptr;
+    const auto gather_keys = [&](auto& keys, const auto& key_at) {
+      keys.resize(key_rows.size());
+      if (sort_pool != nullptr) {
+        sort_pool->parallel_for(key_rows.size(), exec::kDefaultMorselRows,
+                                [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i)
+                                    keys[i] = key_at(key_rows[i]);
+                                });
+      } else {
+        for (std::size_t i = 0; i < key_rows.size(); ++i)
+          keys[i] = key_at(key_rows[i]);
+      }
+    };
     if (key.col->type() == TypeId::kDouble) {
       std::vector<double> keys;
-      keys.reserve(key_rows.size());
       const auto data = key.col->double_data();
-      for (const std::uint32_t r : key_rows) keys.push_back(data[r]);
+      gather_keys(keys, [&](std::uint32_t r) { return data[r]; });
       perm = plan.limit != 0
                  ? exec::top_n_permutation_double(keys, plan.limit,
-                                                  plan.order_by->ascending)
-                 : exec::sort_permutation_double(keys,
-                                                 plan.order_by->ascending);
+                                                  plan.order_by->ascending,
+                                                  sort_pool)
+                 : exec::sort_permutation_double(
+                       keys, plan.order_by->ascending, sort_pool);
     } else {
       std::vector<std::int64_t> keys;
-      keys.reserve(key_rows.size());
-      for (const std::uint32_t r : key_rows)
-        keys.push_back(column_int_at(*key.col, r));
+      gather_keys(keys,
+                  [&](std::uint32_t r) { return column_int_at(*key.col, r); });
       perm = plan.limit != 0
                  ? exec::top_n_permutation(keys, plan.limit,
-                                           plan.order_by->ascending)
-                 : exec::sort_permutation(keys, plan.order_by->ascending);
+                                           plan.order_by->ascending,
+                                           sort_pool)
+                 : exec::sort_permutation(keys, plan.order_by->ascending,
+                                          sort_pool);
     }
     if (plan.limit != 0 && perm.size() > plan.limit) perm.resize(plan.limit);
     sort_scope.close();
@@ -811,12 +931,30 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     OperatorScope mat_scope(stats, "materialize(join)");
     for (const ProjCol& c : cols)
       ctx.charge_gather(*c.tbl, *c.col, perm.size());
-    for (const std::uint32_t m : perm) {
-      std::vector<storage::Value> row;
-      row.reserve(cols.size());
-      for (const ProjCol& c : cols)
-        row.push_back(c.col->value_at(tuples[c.side][m]));
-      result.add_row(std::move(row));
+    if (options.pool != nullptr &&
+        perm.size() >= options.parallel_project_min_rows) {
+      std::vector<std::vector<storage::Value>> rows(perm.size());
+      options.pool->parallel_for(perm.size(), exec::kDefaultMorselRows,
+                                 [&](std::size_t begin, std::size_t end) {
+                                   for (std::size_t i = begin; i < end; ++i) {
+                                     const std::uint32_t m = perm[i];
+                                     std::vector<storage::Value> row;
+                                     row.reserve(cols.size());
+                                     for (const ProjCol& c : cols)
+                                       row.push_back(c.col->value_at(
+                                           tuples[c.side][m]));
+                                     rows[i] = std::move(row);
+                                   }
+                                 });
+      for (auto& row : rows) result.add_row(std::move(row));
+    } else {
+      for (const std::uint32_t m : perm) {
+        std::vector<storage::Value> row;
+        row.reserve(cols.size());
+        for (const ProjCol& c : cols)
+          row.push_back(c.col->value_at(tuples[c.side][m]));
+        result.add_row(std::move(row));
+      }
     }
     stats.work.cpu_cycles += kMaterializeCyclesPerValue *
                              static_cast<double>(perm.size()) *

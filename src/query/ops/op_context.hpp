@@ -44,6 +44,17 @@ struct OpContext {
   std::vector<std::int64_t>& key_scratch;
   /// (table, column) pairs already charged to the DRAM ledger this query.
   std::set<std::string> charged;
+  /// Plan-governor core grant for this query (0 = uncapped): parallel
+  /// operators chunk their morsels for this many workers.
+  std::size_t cores = 0;
+
+  /// Effective fan-out width for parallel operators: the pool width,
+  /// capped by the governor's core grant.
+  [[nodiscard]] std::size_t worker_width() const {
+    const std::size_t pool_width =
+        options.pool != nullptr ? options.pool->thread_count() : 1;
+    return cores == 0 ? pool_width : std::min(cores, pool_width);
+  }
 
   [[nodiscard]] static std::string charge_key(const storage::Table& t,
                                               const storage::Column& c) {

@@ -1,5 +1,6 @@
 #include "query/ops/project_op.hpp"
 
+#include "exec/parallel.hpp"
 #include "query/ops/sort_op.hpp"
 
 namespace eidb::query::ops {
@@ -34,12 +35,31 @@ QueryResult run_projection(OpContext& ctx, const PhysicalPlan& phys,
     ctx.charge_gather(table, table.column(name), order.size());
 
   QueryResult result(proj);
-  for (const std::uint32_t row_idx : order) {
+  std::vector<const storage::Column*> cols;
+  cols.reserve(proj.size());
+  for (const std::string& name : proj) cols.push_back(&table.column(name));
+  const auto gather_row = [&](std::uint32_t row_idx) {
     std::vector<storage::Value> row;
-    row.reserve(proj.size());
-    for (const std::string& name : proj)
-      row.push_back(table.column(name).value_at(row_idx));
-    result.add_row(std::move(row));
+    row.reserve(cols.size());
+    for (const storage::Column* col : cols)
+      row.push_back(col->value_at(row_idx));
+    return row;
+  };
+  if (ctx.options.pool != nullptr &&
+      order.size() >= ctx.options.parallel_project_min_rows) {
+    // Morsel-parallel gather into position-addressed slots; emit order is
+    // fixed by `order`, so the result is identical to the serial loop.
+    std::vector<std::vector<storage::Value>> rows(order.size());
+    ctx.options.pool->parallel_for(
+        order.size(), exec::kDefaultMorselRows,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i)
+            rows[i] = gather_row(order[i]);
+        });
+    for (auto& row : rows) result.add_row(std::move(row));
+  } else {
+    for (const std::uint32_t row_idx : order)
+      result.add_row(gather_row(row_idx));
   }
   ctx.stats.work.cpu_cycles += kMaterializeCyclesPerValue *
                                static_cast<double>(order.size()) *

@@ -45,14 +45,19 @@ std::vector<std::uint32_t> order_row_ids(OpContext& ctx, const Table& table,
   const Column& key = table.column(order.column);
   const std::uint64_t selected = selection.count();
   ctx.stats.work.cpu_cycles += sort_cycles(selected, limit);
+  // The parallel kernels order by (key, row id) — a total order — so the
+  // result is bit-identical to the serial sort at any thread count.
+  sched::ThreadPool* pool =
+      selected >= ctx.options.parallel_sort_min_rows ? ctx.options.pool
+                                                     : nullptr;
 
   if (key.type() == TypeId::kDouble) {
     ctx.charge_column(table, key, false);
     return limit != 0
                ? exec::top_n_double(key.double_data(), selection, limit,
-                                    order.ascending)
+                                    order.ascending, pool)
                : exec::sort_indices_double(key.double_data(), selection,
-                                           order.ascending);
+                                           order.ascending, pool);
   }
   // Integer-family keys (int32 / int64 / dictionary codes / bit-packed):
   // compared through the typed view in place — the widened int64 copy of
@@ -65,8 +70,9 @@ std::vector<std::uint32_t> order_row_ids(OpContext& ctx, const Table& table,
              : (key.type() == TypeId::kInt64
                     ? exec::JoinKeys::from(key.int64_data())
                     : exec::JoinKeys::from(key.int32_data()));
-  return limit != 0 ? exec::top_n(view, selection, limit, order.ascending)
-                    : exec::sort_indices(view, selection, order.ascending);
+  return limit != 0
+             ? exec::top_n(view, selection, limit, order.ascending, pool)
+             : exec::sort_indices(view, selection, order.ascending, pool);
 }
 
 void sort_result_rows(OpContext& ctx, QueryResult& result,

@@ -111,7 +111,10 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
   }
 
   const std::size_t k = plan.joins.size();
-  if (k == 0) return phys;
+  if (k == 0) {
+    apply_plan_governor(catalog, phys, options);
+    return phys;
+  }
   if (options.join_path == JoinPath::kPairMaterialize && k > 1)
     throw Error("the legacy pair-materializing join path supports a single "
                 "join; multi-way joins require the vectorized pipeline");
@@ -254,6 +257,7 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
       step.arm = opt::JoinArm::kHashJoin;
     phys.joins.push_back(std::move(step));
   }
+  apply_plan_governor(catalog, phys, options);
   return phys;
 }
 
@@ -311,6 +315,11 @@ std::string PhysicalPlan::explain() const {
   if (!join_order_algorithm.empty())
     os << "join order: " << join_order_algorithm
        << " (C_out=" << join_order_cost << ")\n";
+  if (governor.enabled)
+    os << "governor: " << governor.cores << " cores x "
+       << governor.state.freq_ghz << " GHz (" << governor.policy
+       << ", est_busy=" << governor.est_busy_s
+       << "s, est_energy=" << governor.est_energy_j << "J)\n";
   return os.str();
 }
 

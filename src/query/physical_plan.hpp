@@ -17,6 +17,7 @@
 #include "opt/cost_model.hpp"
 #include "query/executor.hpp"
 #include "query/plan.hpp"
+#include "query/plan_governor.hpp"
 #include "storage/table.hpp"
 
 namespace eidb::query {
@@ -58,6 +59,9 @@ struct PhysicalPlan {
   /// fewer than two joins left nothing to order.
   std::string join_order_algorithm;
   double join_order_cost = 0;  ///< C_out of the chosen order.
+  /// The plan governor's cores × P-state decision for this query (only
+  /// when ExecOptions::governor is set; see query/plan_governor.hpp).
+  GovernorChoice governor;
 
   [[nodiscard]] std::size_t side_count() const { return joins.size() + 1; }
 

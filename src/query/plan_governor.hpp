@@ -1,0 +1,122 @@
+// The plan governor: the compile-time bridge between the physical plan
+// and sched::Governor ("elasticity in the small", paper §IV Fig. 2).
+//
+// At compile_plan time the whole query's abstract work is estimated from
+// the cost model and the plan's cardinality chain, and the governor picks
+// the execution configuration — core count × hw::DvfsState × idle
+// strategy — for the query as a unit:
+//
+//   * a deadline (ExecOptions::deadline_s) arbitrates race-to-idle vs
+//     pace exactly as sched::Governor::best_under_deadline does;
+//   * no deadline + deep sleep available: race-to-idle at f_max, all
+//     granted cores (finish fast, sleep deep);
+//   * no deadline + no deep sleep (consolidated server): pace at the
+//     incremental-efficient P-state — the E7 crossover.
+//
+// The choice is recorded in PhysicalPlan::governor and EXPLAIN, the core
+// grant caps operator fan-out (OpContext::worker_width), and energy
+// attribution charges the ledger at the chosen state's power model.
+//
+// The estimate is closed-loop: OperatorCalibration keeps an EWMA of
+// measured-vs-predicted execution time per operator kind (fed by
+// core::Database from every query's ExecStats), and the next compile
+// scales its per-kind cycle estimates by those factors — §IV.B's
+// "operators have to quickly adapt" requirement, applied to the governor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "query/result.hpp"
+
+namespace eidb::sched {
+class Governor;
+}  // namespace eidb::sched
+
+namespace eidb::storage {
+class Catalog;
+}  // namespace eidb::storage
+
+namespace eidb::query {
+
+struct PhysicalPlan;
+struct ExecOptions;
+
+/// Operator families the calibration distinguishes (granularity of the
+/// EWMA feedback; finer would starve each bucket of observations).
+enum class OperatorKind : std::uint8_t {
+  kScan,
+  kJoin,
+  kAggregate,
+  kSort,
+  kMaterialize,
+  kOther,
+};
+inline constexpr std::size_t kOperatorKindCount = 6;
+
+/// Maps an attributed operator name (ExecStats::operators entries, e.g.
+/// "scan+filter(lineorder)", "hash-join(dates)+materialize", "top-k(x)")
+/// to its kind.
+[[nodiscard]] OperatorKind classify_operator(std::string_view name);
+[[nodiscard]] std::string_view operator_kind_name(OperatorKind kind);
+
+/// The governor's per-query decision, recorded in the PhysicalPlan.
+struct GovernorChoice {
+  bool enabled = false;      ///< False = no governor: legacy f_max behavior.
+  hw::DvfsState state;       ///< Chosen P-state (attribution + pacing).
+  int cores = 1;             ///< Core grant, clamped to the pool width.
+  std::string policy;        ///< "race-to-idle" | "pace".
+  double est_busy_s = 0;     ///< Predicted busy time at the chosen config.
+  double est_energy_j = 0;   ///< Predicted energy at the chosen config.
+  hw::Work est_work;         ///< Calibrated whole-plan work estimate.
+};
+
+/// Thread-safe EWMA of measured/predicted time ratios per operator kind.
+/// factor(kind) multiplies the governor's cycle estimates for that kind;
+/// 1.0 until the first observation arrives.
+class OperatorCalibration {
+ public:
+  explicit OperatorCalibration(double alpha = 0.2) : alpha_(alpha) {
+    factors_.fill(1.0);
+    seen_.fill(false);
+  }
+
+  [[nodiscard]] double factor(OperatorKind kind) const;
+
+  /// Feeds one measured operator: predicted seconds from the machine
+  /// model vs measured wall seconds. Ratios are clamped to [0.05, 20] so
+  /// one scheduling hiccup cannot poison the estimate.
+  void observe(OperatorKind kind, double predicted_s, double measured_s);
+
+  /// Convenience: classifies and observes every attributed operator of a
+  /// finished query, predicting each one's seconds from its recorded
+  /// work on `machine` at `state`.
+  void observe_operators(const std::vector<OperatorStats>& operators,
+                         const hw::MachineSpec& machine,
+                         const hw::DvfsState& state);
+
+ private:
+  double alpha_;
+  mutable std::mutex mu_;
+  std::array<double, kOperatorKindCount> factors_;
+  std::array<bool, kOperatorKindCount> seen_;
+};
+
+/// Estimates the whole plan's abstract work from the compiled plan's
+/// cardinality chain and the cost model, scaled per operator kind by the
+/// calibration (when provided via options).
+[[nodiscard]] hw::Work estimate_plan_work(const storage::Catalog& catalog,
+                                          const PhysicalPlan& phys,
+                                          const ExecOptions& options);
+
+/// Runs the governor for a compiled plan and records the decision in
+/// phys.governor. No-op when options.governor is null.
+void apply_plan_governor(const storage::Catalog& catalog, PhysicalPlan& phys,
+                         const ExecOptions& options);
+
+}  // namespace eidb::query

@@ -26,6 +26,9 @@ struct QueryRequest {
   std::optional<LogicalPlan> plan;
   /// Optional per-query energy budget (joules) forwarded to the optimizer.
   std::optional<double> energy_budget_j;
+  /// Optional latency deadline (seconds) forwarded to the plan governor:
+  /// it then picks the better of race-to-idle and pace for this query.
+  double deadline_s = 0;
   /// Client-chosen tag echoed back in the response (correlation id).
   std::uint64_t tag = 0;
 
@@ -68,6 +71,17 @@ struct QueryResponse {
   /// against this, not `report.total_j()`, whose meter window spans the
   /// whole machine.
   double billed_j = 0;
+
+  // -- Plan-governor decision (empty policy = governor off) -------------------
+  /// "race-to-idle" | "pace" — how the engine's plan governor chose to run
+  /// this query.
+  std::string governor_policy;
+  int governor_cores = 0;          ///< Core grant for the morsel fan-out.
+  double governor_freq_ghz = 0;    ///< Chosen P-state.
+  /// The governor's compile-time energy prediction for this query;
+  /// reconcile against `billed_j` (the measured settlement) to judge the
+  /// estimate.
+  double predicted_j = 0;
 
   [[nodiscard]] bool ok() const { return status == ResponseStatus::kOk; }
   /// One-line summary for logs: status, rows, latency, joules.

@@ -47,6 +47,7 @@ class Governor {
       : machine_(std::move(machine)), options_(options) {}
 
   [[nodiscard]] const hw::MachineSpec& machine() const { return machine_; }
+  [[nodiscard]] const GovernorOptions& options() const { return options_; }
 
   /// Race-to-idle under `deadline_s`: f_max, then deepest C-state that can
   /// wake before the deadline. Energy covers the whole deadline window.

@@ -1,10 +1,27 @@
 #include "sched/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace eidb::sched {
+namespace {
+
+// Completion state for one parallel_for call. Heap-allocated and shared
+// with the runner tasks so the last finisher — caller or runner — keeps
+// it alive regardless of who returns first.
+struct ForGroup {
+  std::atomic<std::size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t running = 0;
+  std::exception_ptr error;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -36,18 +53,72 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  EIDB_EXPECTS(grain > 0);
   if (n == 0) return;
-  for (std::size_t begin = 0; begin < n; begin += grain) {
-    const std::size_t end = std::min(begin + grain, n);
-    submit([&fn, begin, end] { fn(begin, end); });
+  const std::size_t workers = thread_count();
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (workers * 4));
+  if (grain >= n || workers <= 1) {
+    // Serial path — but still one fn() call PER GRAIN CHUNK, in order.
+    // Callers index per-chunk result slots by `begin / grain` (the
+    // morsel-join merge), so the chunk geometry is part of the contract
+    // and must not depend on the pool width.
+    for (std::size_t b = 0; b < n; b += grain)
+      fn(b, std::min(n, b + grain));
+    return;
   }
-  wait_idle();
+
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto group = std::make_shared<ForGroup>();
+  // Chunks are claimed from a shared counter rather than enqueued one task
+  // each: at most `workers` runner tasks touch the queue, and the calling
+  // thread drains chunks too, so progress never depends on a free worker.
+  auto run_chunks = [group, &fn, n, grain, chunks] {
+    try {
+      for (;;) {
+        const std::size_t chunk =
+            group->next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= chunks) return;
+        const std::size_t begin = chunk * grain;
+        fn(begin, std::min(begin + grain, n));
+      }
+    } catch (...) {
+      std::scoped_lock lock(group->mu);
+      if (!group->error) group->error = std::current_exception();
+      // Poison the counter so remaining runners stop claiming work.
+      group->next_chunk.store(chunks, std::memory_order_relaxed);
+    }
+  };
+
+  const std::size_t runners = std::min(workers, chunks - 1);
+  {
+    std::scoped_lock lock(group->mu);
+    group->running = runners;
+  }
+  for (std::size_t i = 0; i < runners; ++i) {
+    submit([group, run_chunks] {
+      run_chunks();
+      std::scoped_lock lock(group->mu);
+      --group->running;
+      if (group->running == 0) group->cv.notify_all();
+    });
+  }
+  run_chunks();
+  std::unique_lock lock(group->mu);
+  group->cv.wait(lock, [&group] { return group->running == 0; });
+  if (group->error) {
+    std::exception_ptr error = std::exchange(group->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -63,9 +134,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::scoped_lock lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -4,11 +4,19 @@
 // scaling *curves* come from hw::sync_sim — see DESIGN.md §5). The pool is
 // deliberately simple: a shared queue with condition-variable wakeup; morsel
 // granularity keeps queue pressure negligible for analytic scans.
+//
+// One pool is meant to be SHARED: core::Database owns an engine pool that
+// every concurrent session's operators draw from. parallel_for is therefore
+// scoped per call — each invocation tracks its own completion group, so two
+// queries fanning out on the same pool never wait on (or observe exceptions
+// from) each other's morsels, and the calling thread helps drain its own
+// chunks, so a parallel_for issued from a pool worker cannot deadlock.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,14 +37,26 @@ class ThreadPool {
     return workers_.size();
   }
 
-  /// Enqueues a task.
+  /// Enqueues a task. A task that throws does not kill its worker; the
+  /// first stored exception is rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception (if any) that escaped a submitted task since the
+  /// last wait_idle().
   void wait_idle();
 
   /// Splits [0, n) into chunks of at most `grain` and runs
   /// `fn(begin, end)` across the pool; blocks until complete.
+  ///
+  /// Edge cases: n == 0 returns immediately; grain == 0 picks a default
+  /// chunk size (~4 chunks per worker); grain >= n (or a 1-thread pool)
+  /// runs serially on the calling thread — still one `fn` call per grain
+  /// chunk, in order, because callers may key per-chunk state off
+  /// `begin / grain`. The first exception thrown by
+  /// any chunk is rethrown here once every chunk of THIS call has
+  /// settled — concurrent parallel_for calls on a shared pool are
+  /// isolated from each other and from wait_idle().
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -49,6 +69,7 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
   bool stop_ = false;
 };
 

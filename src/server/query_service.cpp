@@ -116,6 +116,7 @@ void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
   core::RunOptions run_options;
   run_options.ledger_scope = item->session->scope();
   run_options.energy_budget_j = item->request.energy_budget_j;
+  run_options.deadline_s = item->request.deadline_s;
 
   try {
     core::RunResult run =
@@ -125,6 +126,14 @@ void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
 
     resp.result = std::move(run.result);
     resp.report = run.report;
+    if (run.governor.enabled) {
+      // The plan governor's decision, surfaced so the client can reconcile
+      // the prediction against the measured settlement (billed_j below).
+      resp.governor_policy = run.governor.policy;
+      resp.governor_cores = run.governor.cores;
+      resp.governor_freq_ghz = run.governor.state.freq_ghz;
+      resp.predicted_j = run.governor.est_energy_j;
+    }
 
     // Realize the chosen P-state by pacing: the kernels already ran at
     // host speed in `busy_s`; stretch wall time to what f_chosen would

@@ -361,8 +361,17 @@ void run_matrix(Catalog& cat, const std::string& config,
     ExecOptions packed_opts;
     packed_opts.use_encodings = true;
     if (pool != nullptr) {
+      // Force EVERY morsel-parallel operator — aggregation, join chain,
+      // sort/top-k, projection materialization — onto the pool, so the
+      // packed run exercises the parallel kernels while the plain
+      // baseline stays serial. Results must still be bit-identical: the
+      // parallel paths merge per-chunk partials in chunk order, never
+      // completion order.
       packed_opts.pool = pool;
-      packed_opts.parallel_agg_min_rows = 1;  // force the parallel kernels
+      packed_opts.parallel_agg_min_rows = 1;
+      packed_opts.parallel_join_min_rows = 1;
+      packed_opts.parallel_sort_min_rows = 1;
+      packed_opts.parallel_project_min_rows = 1;
     }
     ExecStats plain_stats, packed_stats;
     const QueryResult plain = ex.execute(plan, plain_stats, plain_opts);
@@ -397,6 +406,19 @@ TEST(CompressedParity, ParallelPackedKernelsMatchPlain) {
   Catalog cat = make_catalog(555);
   sched::ThreadPool pool(4);
   run_matrix(cat, "auto+pool", &pool);
+}
+
+TEST(CompressedParity, RandomizedThreadCountsMatchPlain) {
+  // Thread-count invariance: the whole matrix, serial baseline vs a pool
+  // of RANDOM width per iteration. Emitted row order and float sums must
+  // not depend on how many workers split the morsels.
+  Pcg32 rng(0x7EAD);
+  for (const std::uint64_t seed : {99u, 24'601u}) {
+    Catalog cat = make_catalog(seed);
+    const std::size_t threads = 2 + rng.next_bounded(7);  // 2..8
+    sched::ThreadPool pool(threads);
+    run_matrix(cat, "auto+pool" + std::to_string(threads), &pool);
+  }
 }
 
 TEST(CompressedParity, MaskedConjunctsPackedMatchesPlain) {

@@ -12,6 +12,7 @@
 
 #include "query/executor.hpp"
 #include "query/sql.hpp"
+#include "sched/thread_pool.hpp"
 #include "storage/column.hpp"
 #include "storage/table.hpp"
 #include "util/assert.hpp"
@@ -246,6 +247,11 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
   Pcg32 rng(0xC0DE);
   const Encoding encodings[] = {Encoding::kPlain, Encoding::kBitPacked,
                                 Encoding::kForBitPacked};
+  // Pools of different widths: each iteration randomly picks serial
+  // execution or one of these, with every parallel threshold forced to 1,
+  // so the fuzzer also hunts thread-count-dependent results.
+  sched::ThreadPool pool2(2), pool3(3), pool8(8);
+  sched::ThreadPool* pools[] = {nullptr, &pool2, &pool3, &pool8};
   for (int trial = 0; trial < 300; ++trial) {
     // Toggle every integer column's physical encoding for this iteration
     // (kBitPacked degrades to FOR on negative-domain columns).
@@ -267,6 +273,14 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     }
     ExecOptions plain_opts;
     plain_opts.use_encodings = false;
+    ExecOptions packed_opts;
+    packed_opts.pool = pools[rng.next_bounded(std::size(pools))];
+    if (packed_opts.pool != nullptr) {
+      packed_opts.parallel_agg_min_rows = 1;
+      packed_opts.parallel_join_min_rows = 1;
+      packed_opts.parallel_sort_min_rows = 1;
+      packed_opts.parallel_project_min_rows = 1;
+    }
     ExecStats plain_stats, packed_stats;
     QueryResult want, got;
     bool plain_threw = false, packed_threw = false;
@@ -276,7 +290,7 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
       plain_threw = true;
     }
     try {
-      got = ex.execute(plan, packed_stats);
+      got = ex.execute(plan, packed_stats, packed_opts);
     } catch (const Error&) {
       packed_threw = true;
     }

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace eidb::sched {
@@ -50,6 +53,24 @@ TEST(ThreadPool, ParallelForGrainLargerThanRange) {
   EXPECT_EQ(chunks.load(), 1);
 }
 
+TEST(ThreadPool, SingleWorkerPoolStillChunksByGrain) {
+  // The chunk geometry is part of the contract: callers key per-chunk
+  // result slots off `begin / grain` (the morsel-join merge), so a
+  // 1-thread pool must still invoke fn once per grain-aligned chunk —
+  // not once over [0, n).
+  ThreadPool pool(1);
+  constexpr std::size_t kN = 2500;
+  constexpr std::size_t kGrain = 1000;
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  pool.parallel_for(kN, kGrain, [&](std::size_t b, std::size_t e) {
+    calls.emplace_back(b, e);  // serial path: no race
+  });
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0], (std::pair<std::size_t, std::size_t>{0, 1000}));
+  EXPECT_EQ(calls[1], (std::pair<std::size_t, std::size_t>{1000, 2000}));
+  EXPECT_EQ(calls[2], (std::pair<std::size_t, std::size_t>{2000, 2500}));
+}
+
 TEST(ThreadPool, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 1 << 18;
@@ -63,6 +84,77 @@ TEST(ThreadPool, ParallelSumMatchesSerial) {
   });
   EXPECT_EQ(sum.load(),
             static_cast<std::int64_t>(kN) * (static_cast<std::int64_t>(kN) - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelForGrainZeroPicksDefaultChunking) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, 0, [&](std::size_t b, std::size_t e) {
+    ASSERT_LT(b, e);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForGrainZeroEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100000, 64,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b >= 4096)
+                                     throw std::runtime_error("morsel failed");
+                                 }),
+               std::runtime_error);
+  // A throwing morsel must leave the pool usable: wait_idle returns and
+  // later batches run normally.
+  pool.wait_idle();
+  std::atomic<int> counter{0};
+  pool.parallel_for(1000, 10,
+                    [&](std::size_t b, std::size_t e) {
+                      counter.fetch_add(static_cast<int>(e - b));
+                    });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ThrowingSubmittedTaskRethrownByWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 50);
+  // The error is consumed: the next wait is clean and the pool still works.
+  pool.wait_idle();
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 51);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreIsolated) {
+  // Two threads fan out on the SAME pool at once; each call must see only
+  // its own completion (and its own exception), not the other's.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> clean_sum{0};
+  std::thread failing([&] {
+    EXPECT_THROW(pool.parallel_for(1 << 16, 512,
+                                   [](std::size_t b, std::size_t) {
+                                     if (b == 0)
+                                       throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  });
+  pool.parallel_for(1 << 16, 512, [&](std::size_t b, std::size_t e) {
+    clean_sum.fetch_add(static_cast<std::int64_t>(e - b));
+  });
+  failing.join();
+  EXPECT_EQ(clean_sum.load(), std::int64_t{1} << 16);
 }
 
 TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
