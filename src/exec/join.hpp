@@ -77,6 +77,21 @@ class JoinKeys {
     k.packed_ = v;
     return k;
   }
+  /// Dictionary codes viewed through a cross-dictionary translation:
+  /// at(i) == remap[codes[i]]. This is how a build side whose strings (or
+  /// doubles) were encoded against a different dictionary joins in the
+  /// probe side's code domain — codes the probe dictionary lacks remap to
+  /// -1, which no probe code (always >= 0) ever equals, so missing keys
+  /// fall out of every arm without a special case. `remap` must outlive
+  /// the view and cover [0, max(codes)].
+  static JoinKeys remapped(std::span<const std::int32_t> codes,
+                           std::span<const std::int32_t> remap) {
+    JoinKeys k;
+    k.kind_ = Kind::kRemapped;
+    k.i32_ = codes;
+    k.remap_ = remap;
+    return k;
+  }
 
   [[nodiscard]] std::int64_t at(std::size_t i) const {
     switch (kind_) {
@@ -86,12 +101,15 @@ class JoinKeys {
         return i64_[i];
       case Kind::kPacked:
         return packed_.value_at(i);
+      case Kind::kRemapped:
+        return remap_[static_cast<std::size_t>(i32_[i])];
     }
     return 0;
   }
   [[nodiscard]] std::size_t size() const {
     switch (kind_) {
       case Kind::kInt32:
+      case Kind::kRemapped:
         return i32_.size();
       case Kind::kInt64:
         return i64_.size();
@@ -102,10 +120,11 @@ class JoinKeys {
   }
 
  private:
-  enum class Kind : std::uint8_t { kInt32, kInt64, kPacked };
+  enum class Kind : std::uint8_t { kInt32, kInt64, kPacked, kRemapped };
   Kind kind_ = Kind::kInt64;
   std::span<const std::int32_t> i32_;
   std::span<const std::int64_t> i64_;
+  std::span<const std::int32_t> remap_;
   storage::PackedView packed_;
 };
 

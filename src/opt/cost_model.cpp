@@ -127,7 +127,8 @@ hw::Work CostModel::join_work(JoinArm arm, std::uint64_t build_rows,
 
 JoinArm CostModel::pick_join_arm(std::uint64_t build_rows,
                                  std::uint64_t distinct_hint,
-                                 std::uint64_t key_domain) const {
+                                 std::uint64_t key_domain,
+                                 unsigned key_width_bytes) const {
   // Dense direct-address arm: the domain must be affordable (4 bytes per
   // value) and not grossly sparser than the build side — an empty-ish
   // array per build row wastes more cache than hashing costs.
@@ -136,8 +137,21 @@ JoinArm CostModel::pick_join_arm(std::uint64_t build_rows,
     return JoinArm::kDenseJoin;
   const std::uint64_t entries =
       distinct_hint != 0 ? std::min(build_rows, distinct_hint) : build_rows;
-  return entries > costs_.join_cache_build_entries ? JoinArm::kRadixJoin
-                                                   : JoinArm::kHashJoin;
+  // A hash slot is the key plus an 8-byte row/next payload: narrower keys
+  // (int32 / dictionary codes) pack more entries into the same cache
+  // budget, pushing out the point where radix partitioning pays off.
+  const double slot_scale =
+      16.0 / (8.0 + static_cast<double>(key_width_bytes));
+  const auto cache_entries = static_cast<std::uint64_t>(
+      static_cast<double>(costs_.join_cache_build_entries) * slot_scale);
+  return entries > cache_entries ? JoinArm::kRadixJoin : JoinArm::kHashJoin;
+}
+
+hw::Work CostModel::remap_work(std::uint64_t entries) const {
+  const double n = static_cast<double>(entries);
+  // Linear merge over both sorted dictionaries plus one int32 write+read
+  // of the translation table.
+  return {costs_.dict_remap_per_entry * n, 2.0 * 4.0 * n};
 }
 
 unsigned CostModel::pick_radix_bits(std::uint64_t build_rows) const {

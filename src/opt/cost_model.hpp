@@ -64,6 +64,10 @@ struct KernelCosts {
   /// Largest build-key value domain the dense direct-address arm will
   /// allocate heads for (4 bytes per domain value).
   std::uint64_t dense_join_max_domain = 1u << 20;
+  /// Cross-dictionary code translation (string/double join keys): cycles
+  /// per build-dictionary entry for the linear merge that produces the
+  /// build-code -> probe-code remap.
+  double dict_remap_per_entry = 3.0;
 };
 
 class CostModel {
@@ -139,9 +143,19 @@ class CostModel {
   /// the key column's distinct estimate when one is known, decide:
   /// radix-partitioned once the build exceeds join_cache_build_entries,
   /// a single cache-resident table below.
+  /// `key_width_bytes` is the in-memory width of the probed key (8 for
+  /// int64, 4 for int32/dictionary codes): narrower keys shrink each
+  /// hash-table slot, so more build entries stay cache-resident before
+  /// the radix arm pays off.
   [[nodiscard]] JoinArm pick_join_arm(std::uint64_t build_rows,
                                       std::uint64_t distinct_hint = 0,
-                                      std::uint64_t key_domain = 0) const;
+                                      std::uint64_t key_domain = 0,
+                                      unsigned key_width_bytes = 8) const;
+
+  /// Work of building a build-code -> probe-code dictionary remap over
+  /// `entries` build-dictionary entries (one linear merge; the output
+  /// int32 table is written once and read per build row).
+  [[nodiscard]] hw::Work remap_work(std::uint64_t entries) const;
 
   /// Partition count (log2) sizing each partition's build side to the
   /// cache budget; clamped to [4, 12].

@@ -189,6 +189,8 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
   // statistics — no per-query min/max scan over the key columns. ----------
   struct GroupKeyPart {
     const Column* col;
+    /// Double key grouped on its dictionary codes (decoded at emit).
+    bool double_codes = false;
     std::int64_t min = 0;
     std::int64_t max = 0;
     std::int64_t domain = 1;  // max - min + 1, saturated by ColumnStats
@@ -201,12 +203,30 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
   // arrays); a single packed key column is consumed in place.
   for (const std::string& name : plan.group_by) {
     const Column& col = table.column(name);
-    ctx.charge_column(table, col, consume_packed(col));
-    if (col.type() == TypeId::kDouble)
-      throw Error("cannot group by double column " + col.name());
-    const storage::ColumnStats& cs = col.stats();
     GroupKeyPart part;
     part.col = &col;
+    if (col.type() == TypeId::kDouble) {
+      if (!col.has_double_dictionary())
+        throw Error("cannot group by double column " + col.name() +
+                    " (no ordered dictionary: column contains NaN)");
+      // Group on the int32 codes — dense range [0, dict size), exact
+      // distinct count — and decode from the double dictionary at emit.
+      // The pass streams the 4-byte code array, so that is the charge
+      // (unless another consumer already billed the plain width).
+      ctx.charge_column_bytes(table, col,
+                              4.0 * static_cast<double>(col.size()));
+      const auto dsize =
+          static_cast<std::int64_t>(col.double_dictionary().size());
+      part.double_codes = true;
+      part.min = 0;
+      part.max = std::max<std::int64_t>(0, dsize - 1);
+      part.domain = std::max<std::int64_t>(1, dsize);
+      part.distinct = static_cast<std::uint64_t>(dsize);
+      parts.push_back(part);
+      continue;
+    }
+    ctx.charge_column(table, col, consume_packed(col));
+    const storage::ColumnStats& cs = col.stats();
     part.min = cs.rows == 0 ? 0 : cs.min;
     part.max = cs.rows == 0 ? 0 : cs.max;
     part.domain = std::max<std::int64_t>(1, cs.domain());
@@ -228,6 +248,13 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
                           *options.pool, keys, inputs, selection, range)
                     : exec::grouped_multi_aggregate_packed(keys, inputs,
                                                            selection, range);
+    } else if (part.double_codes) {
+      const auto keys = part.col->double_codes();
+      grouped = parallel
+                    ? exec::parallel_grouped_multi_aggregate32(
+                          *options.pool, keys, inputs, selection, range)
+                    : exec::grouped_multi_aggregate32(keys, inputs, selection,
+                                                      range);
     } else if (part.col->type() == TypeId::kInt64) {
       const auto keys = part.col->int64_data();
       grouped = parallel
@@ -256,7 +283,11 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
     // (one sequential pass per key column).
     ctx.key_scratch.assign(n_rows, 0);
     for (const GroupKeyPart& part : parts) {
-      if (part.col->type() == TypeId::kInt64) {
+      if (part.double_codes) {
+        const auto data = part.col->double_codes();
+        for (std::size_t i = 0; i < n_rows; ++i)
+          ctx.key_scratch[i] += (data[i] - part.min) * part.stride;
+      } else if (part.col->type() == TypeId::kInt64) {
         const auto data = part.col->int64_data();
         for (std::size_t i = 0; i < n_rows; ++i)
           ctx.key_scratch[i] += (data[i] - part.min) * part.stride;
@@ -279,6 +310,13 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
       kAggCyclesPerTuple * static_cast<double>(selected) *
           static_cast<double>(inputs.size());
 
+  // String group keys late-materialize at emit: the emitted groups gather
+  // from the dictionary payload, and that traffic is charged (bounded by
+  // one full dictionary read).
+  for (const GroupKeyPart& part : parts)
+    if (part.col->type() == TypeId::kString)
+      ctx.charge_dict_gather(table, *part.col, grouped.group_count());
+
   std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
   for (const AggSpec& a : plan.aggregates) names.push_back(agg_column_name(a));
   QueryResult result(std::move(names));
@@ -291,6 +329,9 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
       if (part.col->type() == TypeId::kString)
         row.emplace_back(part.col->dictionary().at(
             static_cast<std::int32_t>(grouped.keys[g])));
+      else if (part.double_codes)
+        row.emplace_back(part.col->double_dictionary().at(
+            static_cast<std::int32_t>(grouped.keys[g])));
       else
         row.emplace_back(grouped.keys[g]);
     } else {
@@ -300,6 +341,9 @@ QueryResult run_aggregate_vectorized(OpContext& ctx, const LogicalPlan& plan,
             (grouped.keys[g] / part.stride) % part.domain + part.min;
         if (part.col->type() == TypeId::kString)
           row.emplace_back(part.col->dictionary().at(
+              static_cast<std::int32_t>(component)));
+        else if (part.double_codes)
+          row.emplace_back(part.col->double_dictionary().at(
               static_cast<std::int32_t>(component)));
         else
           row.emplace_back(component);
@@ -380,6 +424,8 @@ QueryResult run_aggregate_rows(OpContext& ctx, const LogicalPlan& plan,
   // the int64 kernels and decodes back to column values for output.
   struct GroupKeyPart {
     const Column* col;
+    /// Double key grouped on its dictionary codes (decoded at emit).
+    bool double_codes = false;
     std::int64_t min = 0;
     std::int64_t domain = 1;  // max - min + 1
     std::int64_t stride = 1;
@@ -389,15 +435,24 @@ QueryResult run_aggregate_rows(OpContext& ctx, const LogicalPlan& plan,
   for (const std::string& name : plan.group_by) {
     const Column& col = table.column(name);
     ctx.charge_scan(table, col, false);
-    if (col.type() == TypeId::kDouble)
-      throw Error("cannot group by double column " + col.name());
+    if (col.type() == TypeId::kDouble && !col.has_double_dictionary())
+      throw Error("cannot group by double column " + col.name() +
+                  " (no ordered dictionary: column contains NaN)");
     GroupKeyPart part;
     part.col = &col;
+    part.double_codes = col.type() == TypeId::kDouble;
     std::int64_t mn = 0, mx = 0;
     if (n_rows > 0) {
       // Deliberately rescans the column (the "before" the stats cache
       // eliminates in the vectorized path).
-      if (col.type() == TypeId::kInt64) {
+      if (part.double_codes) {
+        const auto data = col.double_codes();
+        mn = mx = data[0];
+        for (const std::int32_t v : data) {
+          mn = std::min<std::int64_t>(mn, v);
+          mx = std::max<std::int64_t>(mx, v);
+        }
+      } else if (col.type() == TypeId::kInt64) {
         const auto data = col.int64_data();
         mn = mx = data[0];
         for (const std::int64_t v : data) {
@@ -428,7 +483,11 @@ QueryResult run_aggregate_rows(OpContext& ctx, const LogicalPlan& plan,
   // Synthesize the composite keys.
   std::vector<std::int64_t> synth(n_rows, 0);
   for (const GroupKeyPart& part : parts) {
-    if (part.col->type() == TypeId::kInt64) {
+    if (part.double_codes) {
+      const auto data = part.col->double_codes();
+      for (std::size_t i = 0; i < n_rows; ++i)
+        synth[i] += (data[i] - part.min) * part.stride;
+    } else if (part.col->type() == TypeId::kInt64) {
       const auto data = part.col->int64_data();
       for (std::size_t i = 0; i < n_rows; ++i)
         synth[i] += (data[i] - part.min) * part.stride;
@@ -519,6 +578,9 @@ QueryResult run_aggregate_rows(OpContext& ctx, const LogicalPlan& plan,
           (keys[g] / part.stride) % part.domain + part.min;
       if (part.col->type() == TypeId::kString)
         row.emplace_back(part.col->dictionary().at(
+            static_cast<std::int32_t>(component)));
+      else if (part.double_codes)
+        row.emplace_back(part.col->double_dictionary().at(
             static_cast<std::int32_t>(component)));
       else
         row.emplace_back(component);

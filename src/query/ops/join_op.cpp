@@ -41,6 +41,13 @@ struct StepExec {
   exec::JoinKeys build_keys;
   exec::JoinKeys source_keys;
   std::size_t source_side = 0;
+  /// String/double keys: build-code -> probe-code translation table
+  /// (owns the storage the kRemapped build_keys view reads; -1 = the
+  /// probe dictionary lacks the value, never matches).
+  std::vector<std::int32_t> build_remap;
+  /// String/double keys: probe-side dictionary size — remapped keys live
+  /// in [-1, code_domain), which sizes the dense arm's address space.
+  std::int64_t code_domain = 0;
   std::optional<exec::JoinHashTable> hash;
   std::optional<exec::DenseJoinTable> dense;
 
@@ -429,7 +436,15 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
   if (plan.is_aggregate()) {
     for (const AggSpec& a : plan.aggregates)
       if (a.op != AggOp::kCount) require_plain(a.column);
-    for (const std::string& name : plan.group_by) require_plain(name);
+    for (const std::string& name : plan.group_by) {
+      const Ref r = resolve(name);
+      // Double group keys are consumed as dictionary codes end to end
+      // (grouped on int32 codes, decoded from the double dictionary at
+      // emit) — they never force a plain read.
+      if (r.col->type() == TypeId::kDouble && r.col->has_double_dictionary())
+        continue;
+      require_plain(name);
+    }
   } else {
     for (const std::string& name : plan.projection) require_plain(name);
   }
@@ -463,12 +478,52 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     return c.type() == TypeId::kInt64 ? exec::JoinKeys::from(c.int64_data())
                                       : exec::JoinKeys::from(c.int32_data());
   };
+  // Code-domain key columns (double codes, string build codes read for
+  // the remap) stream the 4-byte code array; the charge is that byte
+  // count unless a plain consumer already forces the full width.
+  const auto charge_codes = [&](const Table& t, const Column& c) {
+    if (plain_required.count(OpContext::charge_key(t, c)) != 0)
+      ctx.charge_column(t, c, false);
+    else
+      ctx.charge_column_bytes(t, c, 4.0 * static_cast<double>(c.size()));
+  };
   for (StepExec& st : steps) {
     const Table& src_tbl =
         st.source_side == 0 ? table : *steps[st.source_side - 1].build_table;
-    st.source_keys = keys_of(src_tbl, src_tbl.column(st.phys->source_key));
-    st.build_keys =
-        keys_of(*st.build_table, st.build_table->column(st.spec->right_key));
+    const Column& src_col = src_tbl.column(st.phys->source_key);
+    const Column& bld_col = st.build_table->column(st.spec->right_key);
+    switch (st.phys->key_type) {
+      case JoinKeyType::kInt:
+        st.source_keys = keys_of(src_tbl, src_col);
+        st.build_keys = keys_of(*st.build_table, bld_col);
+        break;
+      case JoinKeyType::kString:
+        // Probe side streams its own codes unchanged (packed image is
+        // fine — codes are plain int32s to the kernels). The build side's
+        // codes are translated into the probe's code domain once, so the
+        // probe never touches a string.
+        st.source_keys = keys_of(src_tbl, src_col);
+        ctx.charge_column(*st.build_table, bld_col, false);
+        st.build_remap = bld_col.dictionary().remap_to(src_col.dictionary());
+        st.build_keys =
+            exec::JoinKeys::remapped(bld_col.codes(), st.build_remap);
+        st.code_domain =
+            static_cast<std::int64_t>(src_col.dictionary().size());
+        break;
+      case JoinKeyType::kDouble:
+        charge_codes(src_tbl, src_col);
+        st.source_keys = exec::JoinKeys::from(src_col.double_codes());
+        charge_codes(*st.build_table, bld_col);
+        st.build_remap = bld_col.double_dictionary().remap_to(
+            src_col.double_dictionary());
+        st.build_keys =
+            exec::JoinKeys::remapped(bld_col.double_codes(), st.build_remap);
+        st.code_domain =
+            static_cast<std::int64_t>(src_col.double_dictionary().size());
+        break;
+    }
+    stats.work.cpu_cycles +=
+        kDictRemapCyclesPerEntry * static_cast<double>(st.build_remap.size());
   }
 
   const std::uint64_t probe_rows = selection.count();
@@ -487,9 +542,16 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     const storage::ColumnStats& ks =
         st.build_table->column(st.spec->right_key).stats();
     if (st.phys->arm == opt::JoinArm::kDenseJoin) {
-      st.dense.emplace(exec::build_dense_join_table(
-          st.build_keys, st.build_sel, ks.rows == 0 ? 0 : ks.min,
-          std::max<std::int64_t>(1, ks.domain())));
+      // Remapped (string/double) keys live in the probe's code domain
+      // [-1, code_domain), not the build column's value range: -1 holds
+      // the never-matching slot for values absent from the probe side.
+      if (st.phys->key_type != JoinKeyType::kInt)
+        st.dense.emplace(exec::build_dense_join_table(
+            st.build_keys, st.build_sel, -1, st.code_domain + 1));
+      else
+        st.dense.emplace(exec::build_dense_join_table(
+            st.build_keys, st.build_sel, ks.rows == 0 ? 0 : ks.min,
+            std::max<std::int64_t>(1, ks.domain())));
     } else {
       st.hash.emplace(exec::build_join_table(st.build_keys, st.build_sel));
     }
@@ -525,7 +587,10 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     // ranges from the cached column statistics.
     struct GroupPart {
       const Column* col;
+      const Table* tbl;
       std::size_t side;
+      /// Double key grouped on its dictionary codes (decoded at emit).
+      bool double_codes = false;
       std::int64_t min = 0;
       std::int64_t max = 0;
       std::int64_t domain = 1;
@@ -535,27 +600,46 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     std::vector<GroupPart> parts;
     for (const std::string& name : plan.group_by) {
       const Ref r = resolve(name);
-      if (r.col->type() == TypeId::kDouble)
-        throw Error("cannot group by double column " + name);
-      ctx.charge_column(*r.tbl, *r.col, false);
-      const storage::ColumnStats& cs = r.col->stats();
       GroupPart part;
       part.col = r.col;
+      part.tbl = r.tbl;
       part.side = r.side;
-      part.min = cs.rows == 0 ? 0 : cs.min;
-      part.max = cs.rows == 0 ? 0 : cs.max;
-      part.domain = std::max<std::int64_t>(1, cs.domain());
-      part.distinct = cs.distinct;
+      if (r.col->type() == TypeId::kDouble) {
+        if (!r.col->has_double_dictionary())
+          throw Error("cannot group by double column " + name +
+                      " (no ordered dictionary: column contains NaN)");
+        // Group on the int32 codes — dense range [0, dict size), exact
+        // distinct count — and decode from the double dictionary at emit.
+        charge_codes(*r.tbl, *r.col);
+        const auto dsize =
+            static_cast<std::int64_t>(r.col->double_dictionary().size());
+        part.double_codes = true;
+        part.min = 0;
+        part.max = std::max<std::int64_t>(0, dsize - 1);
+        part.domain = std::max<std::int64_t>(1, dsize);
+        part.distinct = static_cast<std::uint64_t>(dsize);
+      } else {
+        ctx.charge_column(*r.tbl, *r.col, false);
+        const storage::ColumnStats& cs = r.col->stats();
+        part.min = cs.rows == 0 ? 0 : cs.min;
+        part.max = cs.rows == 0 ? 0 : cs.max;
+        part.domain = std::max<std::int64_t>(1, cs.domain());
+        part.distinct = cs.distinct;
+      }
       parts.push_back(part);
     }
     const bool composite = parts.size() > 1;
+    const auto key_input = [](const GroupPart& part) {
+      return part.double_codes ? exec::AggInput::from(part.col->double_codes())
+                               : agg_input_of(*part.col);
+    };
     exec::KeyRange range;
     std::vector<exec::JoinAggregator::KeyPart> kparts;
     if (!parts.empty()) {
       if (!composite) {
         const GroupPart& part = parts.front();
         range = {true, part.min, part.max, part.distinct};
-        kparts.push_back({agg_input_of(*part.col), part.side, 0, 1});
+        kparts.push_back({key_input(part), part.side, 0, 1});
       } else {
         std::int64_t total = 1;
         for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
@@ -566,7 +650,7 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
         }
         for (const GroupPart& part : parts)
           kparts.push_back(
-              {agg_input_of(*part.col), part.side, part.min, part.stride});
+              {key_input(part), part.side, part.min, part.stride});
         range = {true, 0, total - 1};
       }
     }
@@ -695,6 +779,13 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
           kGroupCyclesPerTuple * static_cast<double>(pairs);
     stats.groups = plan.has_group_by() ? grouped.group_count() : 1;
 
+    // String group keys late-materialize here: the emitted groups gather
+    // from the dictionary payload, and that traffic is charged (bounded
+    // by one full dictionary read).
+    for (const GroupPart& part : parts)
+      if (part.col->type() == TypeId::kString)
+        ctx.charge_dict_gather(*part.tbl, *part.col, grouped.group_count());
+
     std::vector<std::string> names(plan.group_by.begin(), plan.group_by.end());
     for (const AggSpec& a : plan.aggregates)
       names.push_back(agg_column_name(a));
@@ -707,6 +798,9 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
         if (part.col->type() == TypeId::kString)
           row.emplace_back(part.col->dictionary().at(
               static_cast<std::int32_t>(grouped.keys[g])));
+        else if (part.double_codes)
+          row.emplace_back(part.col->double_dictionary().at(
+              static_cast<std::int32_t>(grouped.keys[g])));
         else
           row.emplace_back(grouped.keys[g]);
       } else {
@@ -715,6 +809,9 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
               (grouped.keys[g] / part.stride) % part.domain + part.min;
           if (part.col->type() == TypeId::kString)
             row.emplace_back(part.col->dictionary().at(
+                static_cast<std::int32_t>(component)));
+          else if (part.double_codes)
+            row.emplace_back(part.col->double_dictionary().at(
                 static_cast<std::int32_t>(component)));
           else
             row.emplace_back(component);
@@ -839,8 +936,12 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
                          plan.limit);
       charge_probe_cycles(driver.produced());
     }
-    for (const ProjCol& c : cols)
+    for (const ProjCol& c : cols) {
       ctx.charge_gather(*c.tbl, *c.col, static_cast<std::size_t>(pairs));
+      if (c.col->type() == TypeId::kString)
+        ctx.charge_dict_gather(*c.tbl, *c.col,
+                               static_cast<std::size_t>(pairs));
+    }
     stats.work.cpu_cycles += kMaterializeCyclesPerValue *
                              static_cast<double>(pairs) *
                              static_cast<double>(cols.size());
@@ -929,8 +1030,11 @@ QueryResult run_join(OpContext& ctx, const PhysicalPlan& phys,
     sort_scope.close();
 
     OperatorScope mat_scope(stats, "materialize(join)");
-    for (const ProjCol& c : cols)
+    for (const ProjCol& c : cols) {
       ctx.charge_gather(*c.tbl, *c.col, perm.size());
+      if (c.col->type() == TypeId::kString)
+        ctx.charge_dict_gather(*c.tbl, *c.col, perm.size());
+    }
     if (options.pool != nullptr &&
         perm.size() >= options.parallel_project_min_rows) {
       std::vector<std::vector<storage::Value>> rows(perm.size());

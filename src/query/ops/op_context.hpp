@@ -32,6 +32,7 @@ constexpr double kJoinProbeCyclesPerTuple = 10.0;
 constexpr double kRadixPartitionCyclesPerTuple = 2.5;
 constexpr double kMaterializeCyclesPerValue = 20.0;
 constexpr double kSortCyclesPerComparison = 4.0;
+constexpr double kDictRemapCyclesPerEntry = 3.0;
 
 /// Per-query execution context threaded through every operator.
 struct OpContext {
@@ -110,6 +111,42 @@ struct OpContext {
             ? 0.0
             : std::min(full, static_cast<double>(rows) *
                                  (full / static_cast<double>(c.size())));
+    stats.work.dram_bytes += bytes;
+    charge_tier(t, c);
+  }
+
+  /// Charge-once read of `c` at an explicit byte count — the code-domain
+  /// consumers (string/double join and group keys) stream the int32 code
+  /// array, not the column's plain width, and the ledger must bill the
+  /// bytes the pass actually moves. The saving vs the plain width lands
+  /// in dram_bytes_saved like a packed read's does.
+  void charge_column_bytes(const storage::Table& t, const storage::Column& c,
+                           double bytes) {
+    if (!charged.insert(charge_key(t, c)).second) return;
+    stats.work.dram_bytes += bytes;
+    const double full = static_cast<double>(c.byte_size());
+    if (full > bytes) stats.dram_bytes_saved += full - bytes;
+    charge_tier(t, c);
+  }
+
+  /// Charges the dictionary-payload traffic of late-materializing `rows`
+  /// string values from `c`: `rows` decodes at the dictionary's average
+  /// payload width, capped at one full read of the dictionary (repeat
+  /// decodes of a hot dictionary stay cache-resident). Charged once per
+  /// column per query under a separate "#dict" key, so the code-array
+  /// charge and the payload charge stay independently visible — string
+  /// materialization is not free on the ledger.
+  void charge_dict_gather(const storage::Table& t, const storage::Column& c,
+                          std::size_t rows) {
+    if (!c.has_dictionary()) return;
+    if (!charged.insert(charge_key(t, c) + "#dict").second) return;
+    const double payload = static_cast<double>(c.dictionary().payload_bytes());
+    const auto entries = static_cast<double>(c.dictionary().size());
+    const double bytes =
+        entries == 0.0
+            ? 0.0
+            : std::min(payload,
+                       static_cast<double>(rows) * (payload / entries));
     stats.work.dram_bytes += bytes;
     charge_tier(t, c);
   }

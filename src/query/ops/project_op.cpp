@@ -30,9 +30,14 @@ QueryResult run_projection(OpContext& ctx, const PhysicalPlan& phys,
   OperatorScope scope(ctx.stats, "materialize");
   // Gather charge: only the emitted rows of each projected column are
   // read (a column that doubled as the sort key is already charged in
-  // full and not charged again).
-  for (const std::string& name : proj)
-    ctx.charge_gather(table, table.column(name), order.size());
+  // full and not charged again). String columns additionally gather
+  // their dictionary payload — late materialization is not free.
+  for (const std::string& name : proj) {
+    const storage::Column& col = table.column(name);
+    ctx.charge_gather(table, col, order.size());
+    if (col.type() == storage::TypeId::kString)
+      ctx.charge_dict_gather(table, col, order.size());
+  }
 
   QueryResult result(proj);
   std::vector<const storage::Column*> cols;

@@ -47,20 +47,59 @@ SourceRef resolve_source(const LogicalPlan& plan, const Table& probe,
         return {static_cast<int>(i), col};
     throw Error("join key references unknown table: " + key);
   }
+  // Unqualified: the FROM table binds first (an unqualified left key
+  // names the probe side by convention). A key the probe side lacks falls
+  // through to the snowflake case — some earlier/other build table owns
+  // it — and there more than one owner is a hard error: silently picking
+  // the first declaration binds the join to the wrong column.
   if (probe.schema().has_column(key)) return {-1, key};
-  for (std::size_t i = 0; i < plan.joins.size(); ++i)
-    if (i != j && build_tables[i]->schema().has_column(key))
-      return {static_cast<int>(i), key};
-  throw Error("unknown join key column: " + key);
+  std::vector<std::string> candidates;
+  SourceRef found{-1, key};
+  for (std::size_t i = 0; i < plan.joins.size(); ++i) {
+    if (i == j || !build_tables[i]->schema().has_column(key)) continue;
+    if (candidates.empty()) found = {static_cast<int>(i), key};
+    candidates.push_back(build_tables[i]->name());
+  }
+  if (candidates.empty()) throw Error("unknown join key column: " + key);
+  if (candidates.size() > 1) {
+    std::string msg = "ambiguous join key column \"" + key +
+                      "\" (qualify it): candidates are";
+    for (const std::string& t : candidates) msg += " " + t;
+    throw Error(msg);
+  }
+  return found;
 }
 
-void check_join_key(const Column& c) {
-  if (c.type() == TypeId::kDouble)
-    throw Error("join keys must be integer-typed: " + c.name());
-  // Codes from two different dictionaries do not align; equality on
-  // them would be a silent wrong answer.
-  if (c.type() == TypeId::kString)
-    throw Error("string join keys are not supported: " + c.name());
+/// Key class of one join-key column pair. Integer keys compare raw
+/// values; string and double keys compare dictionary codes (the build
+/// side remapped into the source side's code domain), so both columns
+/// must carry the same key class — and double keys need the ordered
+/// double dictionary built at load (absent only when the column holds
+/// NaN, which has no ordered code domain).
+JoinKeyType classify_join_keys(const Column& source, const Column& build) {
+  const auto cls = [](const Column& c) {
+    switch (c.type()) {
+      case TypeId::kString:
+        return JoinKeyType::kString;
+      case TypeId::kDouble:
+        return JoinKeyType::kDouble;
+      default:
+        return JoinKeyType::kInt;
+    }
+  };
+  const JoinKeyType s = cls(source), b = cls(build);
+  if (s != b)
+    throw Error("join key type mismatch: " + source.name() + " (" +
+                storage::type_name(source.type()) + ") vs " + build.name() +
+                " (" + storage::type_name(build.type()) + ")");
+  if (s == JoinKeyType::kDouble) {
+    for (const Column* c : {&source, &build})
+      if (!c->has_double_dictionary())
+        throw Error("double join key has no ordered dictionary (NaN "
+                    "values): " +
+                    c->name());
+  }
+  return s;
 }
 
 /// Linearizes a join-order plan into a left-deep table sequence: DP plans
@@ -92,6 +131,18 @@ std::vector<int> linearize(const opt::JoinOrderPlan& jp, int tables) {
 }
 
 }  // namespace
+
+std::string join_key_type_name(JoinKeyType t) {
+  switch (t) {
+    case JoinKeyType::kInt:
+      return "int";
+    case JoinKeyType::kString:
+      return "string";
+    case JoinKeyType::kDouble:
+      return "double";
+  }
+  return "?";
+}
 
 PhysicalPlan compile_plan(const storage::Catalog& catalog,
                           const LogicalPlan& plan,
@@ -137,6 +188,11 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
   std::vector<SourceRef> sources(k);
   std::vector<double> est_build(k);
   std::vector<double> fanout(k);  // predicted matches per probe tuple
+  std::vector<JoinKeyType> key_types(k, JoinKeyType::kInt);
+  // Probe-side code-domain size per join (string/double keys): the dense
+  // arm's direct-address domain is [-1, dict_size) — the -1 slot absorbs
+  // build codes the probe dictionary lacks.
+  std::vector<std::uint64_t> code_domain(k, 0);
   for (std::size_t j = 0; j < k; ++j) {
     const JoinSpec& spec = plan.joins[j];
     sources[j] = resolve_source(plan, probe, build_tables, j);
@@ -144,9 +200,20 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
                                ? probe
                                : *build_tables[static_cast<std::size_t>(
                                      sources[j].source_decl)];
-    check_join_key(src_tbl.column(sources[j].column));
+    const Column& left = src_tbl.column(sources[j].column);
     const Column& right = build_tables[j]->column(spec.right_key);
-    check_join_key(right);
+    key_types[j] = classify_join_keys(left, right);
+    if (key_types[j] == JoinKeyType::kString)
+      code_domain[j] =
+          static_cast<std::uint64_t>(left.dictionary().size()) + 1;
+    else if (key_types[j] == JoinKeyType::kDouble)
+      code_domain[j] =
+          static_cast<std::uint64_t>(left.double_dictionary().size()) + 1;
+    if (key_types[j] != JoinKeyType::kInt &&
+        options.join_path == JoinPath::kPairMaterialize)
+      throw Error("the legacy pair-materializing join path joins integer "
+                  "keys only: " +
+                  spec.right_key);
     est_build[j] = estimate_selected_rows(*build_tables[j], spec.predicates);
     const double distinct =
         std::max<double>(1.0, static_cast<double>(right.stats().distinct));
@@ -229,10 +296,25 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
     step.est_build_rows = est_build[j];
     est *= fanout[j];
     step.est_rows_out = est;
+    step.key_type = key_types[j];
+    const bool code_key = step.key_type != JoinKeyType::kInt;
+    if (code_key) {
+      step.remap_entries =
+          step.key_type == JoinKeyType::kString
+              ? static_cast<std::size_t>(right.dictionary().size())
+              : static_cast<std::size_t>(right.double_dictionary().size());
+    }
+    // Code-domain keys probe int32 codes in [-1, source dict size); the
+    // build column's raw stats describe *its own* code domain and do not
+    // apply after the remap.
+    const std::uint64_t key_domain =
+        code_key ? code_domain[j] : static_cast<std::uint64_t>(ks.domain());
+    const unsigned key_width =
+        code_key || right.type() != TypeId::kInt64 ? 4 : 8;
     switch (options.join_path) {
       case JoinPath::kDense:
-        if (ks.rows == 0 || static_cast<std::uint64_t>(ks.domain()) >
-                                cm.costs().dense_join_max_domain)
+        if ((!code_key && ks.rows == 0) || key_domain == 0 ||
+            key_domain > cm.costs().dense_join_max_domain)
           throw Error("build key domain unsuitable for the dense join arm: " +
                       right.name());
         step.arm = opt::JoinArm::kDenseJoin;
@@ -246,7 +328,7 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
       default:
         step.arm = cm.pick_join_arm(
             static_cast<std::uint64_t>(std::max(0.0, est_build[j])),
-            ks.distinct, static_cast<std::uint64_t>(ks.domain()));
+            ks.distinct, key_domain, key_width);
         break;
     }
     // The radix arm re-partitions a *selection*; only the first executed
@@ -307,7 +389,11 @@ std::string PhysicalPlan::explain() const {
        << " ON " << it->source_key << " = " << spec.right_key
        << ", probe side " << it->source_side
        << ", est_build=" << fmt_rows(it->est_build_rows)
-       << ", est_out=" << fmt_rows(it->est_rows_out) << ")\n";
+       << ", est_out=" << fmt_rows(it->est_rows_out);
+    if (it->key_type != JoinKeyType::kInt)
+      os << ", key=" << join_key_type_name(it->key_type) << " codes, remap="
+         << it->remap_entries << " entries";
+    os << ")\n";
   }
   os << "  scan+filter(" << logical.table << ", preds="
      << logical.predicates.size() << ", est_rows=" << fmt_rows(est_probe_rows)

@@ -26,6 +26,14 @@ namespace eidb::query {
 /// planner's order, not the SQL declaration order): each step builds a
 /// table over its (filtered) build side and probes it with a key gathered
 /// from `source_side` of the running match tuple.
+/// Key class of one join step: integer keys compare raw values; string
+/// and double keys compare int32 dictionary codes, with the build side's
+/// codes translated into the probe side's code domain at build time
+/// (Dictionary::remap_to — missing keys map to -1 and never match).
+enum class JoinKeyType : std::uint8_t { kInt, kString, kDouble };
+
+[[nodiscard]] std::string join_key_type_name(JoinKeyType t);
+
 struct PhysicalJoinStep {
   std::size_t logical_index = 0;  ///< Index into LogicalPlan::joins.
   opt::JoinArm arm = opt::JoinArm::kHashJoin;
@@ -35,6 +43,10 @@ struct PhysicalJoinStep {
   std::string source_key;  ///< Bare probe-key column name on that side.
   double est_build_rows = 0;  ///< Predicted selected build rows.
   double est_rows_out = 0;    ///< Predicted cumulative matches after this step.
+  JoinKeyType key_type = JoinKeyType::kInt;
+  /// Build-dictionary entries the cross-dictionary remap translates
+  /// (string/double keys only; 0 for integer keys).
+  std::size_t remap_entries = 0;
 };
 
 /// How ORDER BY (if any) is executed.

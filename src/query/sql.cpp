@@ -108,12 +108,24 @@ class Lexer {
     if (c == '\'') {
       ++pos_;
       std::string value;
-      while (pos_ < sql_.size() && sql_[pos_] != '\'')
-        value.push_back(sql_[pos_++]);
-      if (pos_ >= sql_.size())
-        throw Error("SQL parse error: unterminated string literal at offset " +
-                    std::to_string(current_.offset));
-      ++pos_;  // closing quote
+      // SQL standard escape: a doubled quote inside the literal is one
+      // literal quote ('O''Brien' lexes as O'Brien); any other closing
+      // quote ends the literal.
+      for (;;) {
+        while (pos_ < sql_.size() && sql_[pos_] != '\'')
+          value.push_back(sql_[pos_++]);
+        if (pos_ >= sql_.size())
+          throw Error(
+              "SQL parse error: unterminated string literal at offset " +
+              std::to_string(current_.offset));
+        ++pos_;  // the quote just seen
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          value.push_back('\'');
+          ++pos_;
+          continue;
+        }
+        break;
+      }
       current_.kind = TokKind::kString;
       current_.text = std::move(value);
       return;

@@ -153,6 +153,8 @@ void Column::append_raw(T v) {
   ++count_;
   stats_.reset();  // appended data invalidates cached statistics
   segment_.reset();  // ... and any packed image built from them
+  ddict_.reset();
+  dcodes_.reset();
 }
 
 void Column::append_int32(std::int32_t v) {
@@ -235,6 +237,32 @@ const Dictionary& Column::dictionary() const {
   return *dict_;
 }
 
+void Column::build_double_dictionary() {
+  EIDB_EXPECTS(type_ == TypeId::kDouble);
+  const auto data = double_data();
+  auto dict = std::make_shared<DoubleDictionary>(
+      DoubleDictionary::build({data.begin(), data.end()}));
+  if (dict->empty() && count_ > 0) return;  // NaN present: no code domain
+  auto codes = std::make_shared<std::vector<std::int32_t>>(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto code = dict->code_of(data[i]);
+    EIDB_ASSERT(code.has_value());
+    (*codes)[i] = *code;
+  }
+  ddict_ = std::move(dict);
+  dcodes_ = std::move(codes);
+}
+
+const DoubleDictionary& Column::double_dictionary() const {
+  EIDB_EXPECTS(ddict_ != nullptr);
+  return *ddict_;
+}
+
+std::span<const std::int32_t> Column::double_codes() const {
+  EIDB_EXPECTS(dcodes_ != nullptr);
+  return *dcodes_;
+}
+
 Value Column::value_at(std::size_t i) const {
   EIDB_EXPECTS(i < count_);
   switch (type_) {
@@ -277,6 +305,8 @@ std::span<double> Column::mutable_double() {
   EIDB_EXPECTS(type_ == TypeId::kDouble);
   stats_.reset();
   segment_.reset();
+  ddict_.reset();
+  dcodes_.reset();
   return data_.as_span<double>().subspan(0, count_);
 }
 

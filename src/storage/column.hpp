@@ -123,6 +123,19 @@ class Column {
   [[nodiscard]] const Dictionary& dictionary() const;
   [[nodiscard]] bool has_dictionary() const { return dict_ != nullptr; }
 
+  // -- Double dictionary ----------------------------------------------------
+  /// Double columns additionally carry an ordered DoubleDictionary plus an
+  /// int32 code array, built at `Table::set_column` (skipped when the
+  /// column contains NaN — no order-preserving code domain exists). The
+  /// plain double array stays authoritative for aggregates, sorts and
+  /// predicates; the codes exist so joins and GROUP BY run on the same
+  /// int32 kernels as dictionary strings.
+  void build_double_dictionary();
+  [[nodiscard]] bool has_double_dictionary() const { return ddict_ != nullptr; }
+  [[nodiscard]] const DoubleDictionary& double_dictionary() const;
+  /// Codes of a double column. Precondition: has_double_dictionary().
+  [[nodiscard]] std::span<const std::int32_t> double_codes() const;
+
   /// Value at row `i`, decoded (strings materialized from the dictionary).
   [[nodiscard]] Value value_at(std::size_t i) const;
   /// Integer value at row `i` for integer-typed columns (int32 / int64 /
@@ -187,6 +200,8 @@ class Column {
   std::size_t count_ = 0;
   AlignedBuffer data_;
   std::shared_ptr<const Dictionary> dict_;  // string columns only
+  std::shared_ptr<const DoubleDictionary> ddict_;    // double columns only
+  std::shared_ptr<const std::vector<std::int32_t>> dcodes_;
   mutable std::shared_ptr<const ColumnStats> stats_;  // null until computed
   std::shared_ptr<const EncodedSegment> segment_;  // null when plain
   std::optional<Encoding> forced_encoding_;  // explicit override, if any

@@ -44,4 +44,49 @@ std::size_t Dictionary::payload_bytes() const {
   return total;
 }
 
+std::vector<std::int32_t> Dictionary::remap_to(const Dictionary& other) const {
+  std::vector<std::int32_t> remap(strings_.size(), -1);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    while (j < other.strings_.size() && other.strings_[j] < strings_[i]) ++j;
+    if (j < other.strings_.size() && other.strings_[j] == strings_[i])
+      remap[i] = static_cast<std::int32_t>(j);
+  }
+  return remap;
+}
+
+DoubleDictionary DoubleDictionary::build(const std::vector<double>& values) {
+  DoubleDictionary d;
+  for (const double v : values)
+    if (v != v) return d;  // NaN: no ordered dictionary exists
+  d.values_ = values;
+  std::sort(d.values_.begin(), d.values_.end());
+  d.values_.erase(std::unique(d.values_.begin(), d.values_.end()),
+                  d.values_.end());
+  return d;
+}
+
+std::optional<std::int32_t> DoubleDictionary::code_of(double v) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || *it != v) return std::nullopt;
+  return static_cast<std::int32_t>(it - values_.begin());
+}
+
+double DoubleDictionary::at(std::int32_t code) const {
+  EIDB_EXPECTS(code >= 0 && code < size());
+  return values_[static_cast<std::size_t>(code)];
+}
+
+std::vector<std::int32_t> DoubleDictionary::remap_to(
+    const DoubleDictionary& other) const {
+  std::vector<std::int32_t> remap(values_.size(), -1);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    while (j < other.values_.size() && other.values_[j] < values_[i]) ++j;
+    if (j < other.values_.size() && other.values_[j] == values_[i])
+      remap[i] = static_cast<std::int32_t>(j);
+  }
+  return remap;
+}
+
 }  // namespace eidb::storage

@@ -37,8 +37,41 @@ class Dictionary {
   /// Total bytes of string payload (for cost/energy accounting).
   [[nodiscard]] std::size_t payload_bytes() const;
 
+  /// Code translation into `other`'s code domain: `remap[c]` is the code
+  /// `other` assigns to `at(c)`, or -1 when `other` lacks the string.
+  /// Both dictionaries are sorted, so this is one linear merge — the
+  /// cross-dictionary join trick: translate the (small) build side's
+  /// codes once, then probe on int32 codes with no string compares.
+  [[nodiscard]] std::vector<std::int32_t> remap_to(
+      const Dictionary& other) const;
+
  private:
   std::vector<std::string> strings_;  // sorted, unique
+};
+
+/// Ordered dictionary over doubles — the same sorted-unique /
+/// code-translation contract as the string Dictionary, so double join
+/// and group keys run on int32 codes too. Built only for NaN-free
+/// columns (NaN breaks the ordering invariant).
+class DoubleDictionary {
+ public:
+  /// Builds an ordered dictionary over the distinct values of `values`.
+  /// Returns an empty dictionary if any value is NaN.
+  static DoubleDictionary build(const std::vector<double>& values);
+
+  [[nodiscard]] std::optional<std::int32_t> code_of(double v) const;
+  [[nodiscard]] double at(std::int32_t code) const;
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(values_.size());
+  }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Code translation into `other`'s domain (-1 = absent); linear merge.
+  [[nodiscard]] std::vector<std::int32_t> remap_to(
+      const DoubleDictionary& other) const;
+
+ private:
+  std::vector<double> values_;  // sorted, unique
 };
 
 }  // namespace eidb::storage

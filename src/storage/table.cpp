@@ -70,6 +70,10 @@ void Table::set_column(std::size_t index, Column column) {
   // explicit set_encoding() override carried by the column).
   columns_[index]->finalize_stats();
   columns_[index]->auto_encode();
+  // Double columns additionally get an ordered dictionary + int32 codes
+  // (skipped for NaN) so joins and GROUP BY can run in the code domain.
+  if (columns_[index]->type() == TypeId::kDouble)
+    columns_[index]->build_double_dictionary();
 }
 
 void Table::recode(const std::string& name, Encoding encoding) {

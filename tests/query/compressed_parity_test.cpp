@@ -37,11 +37,12 @@ using storage::Value;
 // tail word; large enough for full, partial and dead selection words.
 constexpr std::size_t kRows = 5'000;
 
-/// facts(u32, skew32, neg32, const32, wide64, neg64, tag, d) — one column
-/// per distribution shape the encoder must survive: uniform non-negative
-/// (kBitPacked), skewed (dense head, sparse tail), negative-domain
-/// (kForBitPacked only), all-equal (width-0 packing), wide int64,
-/// negative int64, dictionary codes, and a plain double.
+/// facts(u32, skew32, neg32, const32, wide64, neg64, tag, d, dk) — one
+/// column per distribution shape the encoder must survive: uniform
+/// non-negative (kBitPacked), skewed (dense head, sparse tail),
+/// negative-domain (kForBitPacked only), all-equal (width-0 packing),
+/// wide int64, negative int64, dictionary codes, a plain double, and a
+/// small-domain double that doubles as a join / group key.
 Catalog make_catalog(std::uint64_t seed) {
   Catalog cat;
   Table& t = cat.add(Table("facts", Schema({{"u32", TypeId::kInt32},
@@ -51,12 +52,13 @@ Catalog make_catalog(std::uint64_t seed) {
                                             {"wide64", TypeId::kInt64},
                                             {"neg64", TypeId::kInt64},
                                             {"tag", TypeId::kString},
-                                            {"d", TypeId::kDouble}})));
+                                            {"d", TypeId::kDouble},
+                                            {"dk", TypeId::kDouble}})));
   Pcg32 rng(seed);
   std::vector<std::int32_t> u32, skew32, neg32, const32;
   std::vector<std::int64_t> wide64, neg64;
   std::vector<std::string> tag;
-  std::vector<double> d;
+  std::vector<double> d, dk;
   const char* tags[] = {"ash", "birch", "cedar", "elm", "fir", "oak"};
   for (std::size_t i = 0; i < kRows; ++i) {
     u32.push_back(static_cast<std::int32_t>(rng.next_bounded(1000)));
@@ -70,6 +72,7 @@ Catalog make_catalog(std::uint64_t seed) {
     neg64.push_back(rng.next_in_range(-50'000, -10));
     tag.emplace_back(tags[rng.next_bounded(6)]);
     d.push_back(rng.next_double() * 200.0 - 100.0);
+    dk.push_back(0.25 * static_cast<double>(rng.next_bounded(40)));
   }
   t.set_column(0, Column::from_int32("u32", u32));
   t.set_column(1, Column::from_int32("skew32", skew32));
@@ -79,30 +82,46 @@ Catalog make_catalog(std::uint64_t seed) {
   t.set_column(5, Column::from_int64("neg64", neg64));
   t.set_column(6, Column::from_strings("tag", tag));
   t.set_column(7, Column::from_double("d", d));
+  t.set_column(8, Column::from_double("dk", dk));
 
-  // dim(key, weight, cat) for joins: keys overlap u32's domain partially,
-  // keys 0..49 appear TWICE (duplicate build keys -> pair fan-out), and
-  // `cat` gives a build-side string group key.
+  // dim(key, weight, cat, skey, dkey) for joins: keys overlap u32's
+  // domain partially, keys 0..49 appear TWICE (duplicate build keys ->
+  // pair fan-out), and `cat` gives a build-side string group key.
+  // `skey` is a string join key whose dictionary only PARTIALLY overlaps
+  // facts.tag ("hazel"/"pine" remap to no probe code; "ash"/"oak" never
+  // match), and `dkey` is a double join key over a 48-value domain that
+  // covers facts.dk's 40 values plus 8 build-only ones.
   Table& dim = cat.add(Table("dim", Schema({{"key", TypeId::kInt32},
                                             {"weight", TypeId::kInt64},
-                                            {"cat", TypeId::kString}})));
+                                            {"cat", TypeId::kString},
+                                            {"skey", TypeId::kString},
+                                            {"dkey", TypeId::kDouble}})));
   std::vector<std::int32_t> keys;
   std::vector<std::int64_t> weights;
-  std::vector<std::string> cats;
+  std::vector<std::string> cats, skeys;
+  std::vector<double> dkeys;
   const char* cat_names[] = {"red", "green", "blue"};
+  const char* skey_names[] = {"birch", "cedar", "elm",
+                              "fir",   "hazel", "pine"};
   for (std::int32_t k = 0; k < 700; ++k) {
     keys.push_back(k);
     weights.push_back(rng.next_in_range(-9, 9));
     cats.emplace_back(cat_names[rng.next_bounded(3)]);
+    skeys.emplace_back(skey_names[rng.next_bounded(6)]);
+    dkeys.push_back(0.25 * static_cast<double>(rng.next_bounded(48)));
   }
   for (std::int32_t k = 0; k < 50; ++k) {  // duplicates
     keys.push_back(k);
     weights.push_back(rng.next_in_range(-9, 9));
     cats.emplace_back(cat_names[rng.next_bounded(3)]);
+    skeys.emplace_back(skey_names[rng.next_bounded(6)]);
+    dkeys.push_back(0.25 * static_cast<double>(rng.next_bounded(48)));
   }
   dim.set_column(0, Column::from_int32("key", keys));
   dim.set_column(1, Column::from_int64("weight", weights));
   dim.set_column(2, Column::from_strings("cat", cats));
+  dim.set_column(3, Column::from_strings("skey", skeys));
+  dim.set_column(4, Column::from_double("dkey", dkeys));
 
   // dim2(key2, score): a second star dimension over u32's domain — only
   // even keys exist, so the chained join filters — for the multi-way
@@ -281,6 +300,45 @@ std::vector<std::pair<std::string, LogicalPlan>> query_matrix() {
                               .group_by("tag")
                               .aggregate(AggOp::kCount)
                               .aggregate(AggOp::kSum, "u32")
+                              .build());
+  // String- and double-keyed joins: the build side's codes are remapped
+  // into the probe dictionary's code domain, so these exercise partially
+  // overlapping dictionaries (build-only values remap to -1, probe-only
+  // values never match), fully disjoint dictionaries (empty result), and
+  // double keys joined / grouped through their ordered code domains.
+  add("join_string_key", QueryBuilder("facts")
+                             .filter_int("u32", 0, 120)
+                             .join("dim", "tag", "skey")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "dim.weight")
+                             .aggregate(AggOp::kMax, "u32")
+                             .build());
+  add("join_string_group", QueryBuilder("facts")
+                               .filter_int("u32", 500, 560)
+                               .join("dim", "tag", "skey")
+                               .join_filter_int("weight", -6, 6)
+                               .group_by("dim.cat")
+                               .aggregate(AggOp::kCount)
+                               .aggregate(AggOp::kSum, "wide64")
+                               .build());
+  add("join_string_disjoint", QueryBuilder("facts")
+                                  .filter_int("u32", 0, 500)
+                                  .join("dim", "tag", "cat")
+                                  .aggregate(AggOp::kCount)
+                                  .aggregate(AggOp::kSum, "u32")
+                                  .build());
+  add("join_double_key", QueryBuilder("facts")
+                             .filter_int("u32", 0, 100)
+                             .join("dim", "dk", "dkey")
+                             .aggregate(AggOp::kCount)
+                             .aggregate(AggOp::kSum, "dim.weight")
+                             .aggregate(AggOp::kMin, "neg32")
+                             .build());
+  add("group_double_key", QueryBuilder("facts")
+                              .filter_int("u32", 0, 400)
+                              .group_by("dk")
+                              .aggregate(AggOp::kCount)
+                              .aggregate(AggOp::kSum, "neg32")
                               .build());
   // Multi-way (3-table) star joins through the physical plan compiler:
   // grouped aggregates over all three tables, composite cross-table
@@ -574,12 +632,15 @@ TEST(CompressedParity, MixedConsumersChargeOneRepresentation) {
   const QueryResult packed = ex.execute(plan, packed_stats);
   expect_identical(plain, packed, "mixed-consumers");
   // Composite keys force u32 and tag plain for every consumer: the two
-  // runs charge identical bytes (u32 once at plain width + tag once).
+  // runs charge identical bytes (u32 once at plain width + tag once, plus
+  // the tag dictionary payload the group emit gathers — the group count
+  // covers the dictionary, so the cap bills one full payload read).
   EXPECT_DOUBLE_EQ(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes);
   EXPECT_DOUBLE_EQ(
       packed_stats.work.dram_bytes,
       static_cast<double>(t.column("u32").byte_size() +
-                          t.column("tag").byte_size()));
+                          t.column("tag").byte_size() +
+                          t.column("tag").dictionary().payload_bytes()));
 
   // Same property for an expression reference next to a packed group key:
   // wide64 appears in SUM(wide64 * wide64)-style expression input, so it
@@ -661,11 +722,24 @@ std::map<std::string, OracleGroup> run_join_oracle(Executor& ex, Catalog& cat,
     const JoinSpec& spec = plan.joins[j];
     const auto [src_side, src_col] = resolve(spec.left_key);
     const Column& right = sides[j + 1]->column(spec.right_key);
+    // Key equality in the VALUE domain, never dictionary codes: the two
+    // sides of a string (or double) join own independent dictionaries,
+    // so equal codes do not mean equal keys.
+    const TypeId kt = src_col->type();
     std::vector<std::vector<std::size_t>> next;
     for (const auto& tup : tuples) {
-      const std::int64_t key = src_col->int_at(tup[src_side]);
       for (std::size_t b = 0; b < right.size(); ++b) {
-        if (!bsel[j].test(b) || right.int_at(b) != key) continue;
+        if (!bsel[j].test(b)) continue;
+        bool eq;
+        if (kt == TypeId::kString)
+          eq = src_col->value_at(tup[src_side]).as_string() ==
+               right.value_at(b).as_string();
+        else if (kt == TypeId::kDouble)
+          eq = src_col->value_at(tup[src_side]).as_double() ==
+               right.value_at(b).as_double();
+        else
+          eq = src_col->int_at(tup[src_side]) == right.int_at(b);
+        if (!eq) continue;
         auto extended = tup;
         extended.push_back(b);
         next.push_back(std::move(extended));
@@ -788,6 +862,47 @@ TEST(CompressedParity, JoinMatrixMatchesNestedLoopOracle) {
       expect_matches_oracle(got, groups, plan, label);
     }
   }
+}
+
+// Code-domain execution acceptance for string-keyed joins: a grouped
+// string join charges EXACTLY the int32 code arrays of both key columns
+// plus the consumed aggregate / group-key columns (and the group key's
+// dictionary payload at emit). The join keys' string payloads never
+// appear in the DRAM ledger — no per-row string compares, no full-string
+// materialization before projection.
+TEST(CompressedParity, StringJoinChargesCodeDomainBytesExactly) {
+  Catalog cat = make_catalog(606);
+  Executor ex(cat);
+  const Table& facts = cat.get("facts");
+  const Table& dim = cat.get("dim");
+  const auto plan = QueryBuilder("facts")
+                        .filter_int("u32", 500, 560)
+                        .join("dim", "tag", "skey")
+                        .group_by("dim.cat")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "wide64")
+                        .aggregate(AggOp::kSum, "dim.weight")
+                        .build();
+  ExecOptions opts;
+  opts.use_encodings = false;  // plain widths -> one exact byte formula
+  ExecStats stats;
+  const QueryResult got = ex.execute(plan, stats, opts);
+  ASSERT_EQ(got.row_count(), 3u);  // red / green / blue all reached
+
+  // String columns store int32 codes, so byte_size() IS the code-array
+  // size: the formula below contains the key dictionaries' payloads
+  // exactly zero times.
+  const double want =
+      static_cast<double>(facts.column("u32").byte_size()) +    // filter
+      static_cast<double>(facts.column("tag").byte_size()) +    // probe codes
+      static_cast<double>(dim.column("skey").byte_size()) +     // build codes
+      static_cast<double>(dim.column("cat").byte_size()) +      // group key
+      dim.column("cat").dictionary().payload_bytes() +          // emit gather
+      static_cast<double>(facts.column("wide64").byte_size()) +
+      static_cast<double>(dim.column("weight").byte_size());
+  EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
+  EXPECT_LT(stats.work.dram_bytes,
+            want + facts.column("tag").dictionary().payload_bytes());
 }
 
 // The acceptance shape of the physical-plan refactor, end to end: a

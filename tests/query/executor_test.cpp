@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -468,15 +469,51 @@ TEST(Executor, UnknownColumnThrows) {
   EXPECT_THROW((void)ex.execute(plan, stats), Error);
 }
 
-TEST(Executor, GroupByDoubleThrows) {
+// GROUP BY double runs on the column's ordered dictionary codes (exactly
+// like string keys) and decodes the double values back at emit.
+TEST(Executor, GroupByDoubleGroupsOnDictionaryCodes) {
   const Catalog cat = make_catalog();
   Executor ex(cat);
   ExecStats stats;
   const auto plan = QueryBuilder("sales")
                         .group_by("price")
                         .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "amount")
                         .build();
-  EXPECT_THROW((void)ex.execute(plan, stats), Error);
+  const QueryResult r = ex.execute(plan, stats);
+  ASSERT_EQ(r.row_count(), 10u);
+  std::map<double, std::int64_t> count, sum;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const double price = 0.5 * static_cast<double>(i % 10);
+    ++count[price];
+    sum[price] += i % 100;
+  }
+  for (std::size_t g = 0; g < r.row_count(); ++g) {
+    const double key = r.at(g, 0).as_double();
+    EXPECT_EQ(r.at(g, 1).as_int(), count[key]) << key;
+    EXPECT_EQ(r.at(g, 2).as_int(), sum[key]) << key;
+  }
+}
+
+// A NaN value leaves the column without an ordered code domain, so
+// grouping on it still rejects — with an error that says why.
+TEST(Executor, GroupByDoubleWithNaNThrows) {
+  Catalog cat;
+  Table& t = cat.add(Table("vals", Schema({{"v", TypeId::kDouble}})));
+  t.set_column(
+      0, Column::from_double(
+             "v", std::vector<double>{
+                      1.0, std::numeric_limits<double>::quiet_NaN(), 2.0}));
+  Executor ex(cat);
+  ExecStats stats;
+  const auto plan =
+      QueryBuilder("vals").group_by("v").aggregate(AggOp::kCount).build();
+  try {
+    (void)ex.execute(plan, stats);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
 }
 
 TEST(Executor, OperatorTimingsRecorded) {
@@ -805,10 +842,16 @@ TEST(Executor, JoinDramChargesMatchBytesRead) {
   ExecStats stats;
   (void)ex.execute(plan, stats);
   ASSERT_NE(sales.column("amount").encoded(), nullptr);
+  // The string group key bills its code array plus — at emit, where the
+  // group values materialize — the dictionary payload, capped at one full
+  // dictionary read (3 groups >= 3 entries here, so the full payload).
+  const double region_dict = static_cast<double>(
+      sales.column("region").dictionary().payload_bytes());
   const double want =
       scan_bytes(sales.column("amount")) +                       // probe key
       scan_bytes(customers.column("id")) +                       // build key
       static_cast<double>(sales.column("region").byte_size()) +  // group key
+      region_dict +                                              // group emit
       static_cast<double>(sales.column("price").byte_size()) +   // agg gather
       static_cast<double>(customers.column("age").byte_size());  // build agg
   EXPECT_DOUBLE_EQ(stats.work.dram_bytes, want);
@@ -825,7 +868,8 @@ TEST(Executor, JoinDramChargesMatchBytesRead) {
   const double want2 =
       static_cast<double>(sales.column("amount").byte_size()) +  // key + agg
       scan_bytes(customers.column("id")) +                       // build key
-      static_cast<double>(sales.column("region").byte_size());   // group key
+      static_cast<double>(sales.column("region").byte_size()) +  // group key
+      region_dict;                                               // group emit
   EXPECT_DOUBLE_EQ(stats2.work.dram_bytes, want2);
 
   // With encodings off, the same query charges the plain widths only, and
@@ -837,7 +881,7 @@ TEST(Executor, JoinDramChargesMatchBytesRead) {
   const double plain_want =
       static_cast<double>(sales.column("amount").byte_size()) +
       static_cast<double>(customers.column("id").byte_size()) +
-      static_cast<double>(sales.column("region").byte_size()) +
+      static_cast<double>(sales.column("region").byte_size()) + region_dict +
       static_cast<double>(sales.column("price").byte_size()) +
       static_cast<double>(customers.column("age").byte_size());
   EXPECT_DOUBLE_EQ(plain_stats.work.dram_bytes, plain_want);
@@ -1171,6 +1215,214 @@ TEST(PhysicalPlan, ExplainShowsOperatorTreeAndJoinOrder) {
        {"limit(3)", "top-k(sum(pct) desc", "aggregate(", "join[",
         "scan+filter(sales", "join order: dp"})
     EXPECT_NE(s.find(needle), std::string::npos) << needle << " in\n" << s;
+}
+
+/// Catalog for string / double keyed joins: lineitems' part dictionary
+/// only PARTIALLY overlaps parts' ("rod" is probe-only, "axle"/"shim"
+/// build-only), and rates' disc dictionary covers lineitems' four
+/// values plus one build-only entry.
+Catalog make_keyed_catalog() {
+  Catalog cat;
+  Table& li = cat.add(Table("lineitems", Schema({{"part", TypeId::kString},
+                                                 {"qty", TypeId::kInt64},
+                                                 {"disc", TypeId::kDouble}})));
+  std::vector<std::string> parts;
+  std::vector<std::int64_t> qty;
+  std::vector<double> disc;
+  const char* part_names[] = {"bolt", "cam", "gear", "nut", "rod"};
+  for (std::int64_t i = 0; i < 600; ++i) {
+    parts.emplace_back(part_names[i % 5]);
+    qty.push_back(i % 7);
+    disc.push_back(0.5 * static_cast<double>(i % 4));  // 0.0 .. 1.5
+  }
+  li.set_column(0, Column::from_strings("part", parts));
+  li.set_column(1, Column::from_int64("qty", qty));
+  li.set_column(2, Column::from_double("disc", disc));
+
+  Table& pt = cat.add(Table(
+      "parts", Schema({{"part", TypeId::kString}, {"weight", TypeId::kInt64}})));
+  std::vector<std::string> pnames = {"axle", "bolt", "cam",
+                                     "gear", "nut",  "shim"};
+  std::vector<std::int64_t> pweights = {1, 2, 3, 4, 5, 6};
+  pt.set_column(0, Column::from_strings("part", pnames));
+  pt.set_column(1, Column::from_int64("weight", pweights));
+
+  Table& rt = cat.add(Table(
+      "rates", Schema({{"disc", TypeId::kDouble}, {"fee", TypeId::kInt64}})));
+  std::vector<double> rdisc = {0.0, 0.5, 1.0, 1.5, 9.5};
+  std::vector<std::int64_t> rfee = {10, 20, 30, 40, 99};
+  rt.set_column(0, Column::from_double("disc", rdisc));
+  rt.set_column(1, Column::from_int64("fee", rfee));
+  return cat;
+}
+
+TEST(Executor, StringKeyedJoinMatchesScalarOracle) {
+  const Catalog cat = make_keyed_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("lineitems")
+                        .join("parts", "part", "part")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "qty")
+                        .aggregate(AggOp::kSum, "parts.weight")
+                        .build();
+  ExecStats stats;
+  const QueryResult got = ex.execute(plan, stats);
+  // Scalar oracle over the generator: row i joins iff part i%5 != "rod".
+  const std::int64_t weight_of[] = {2, 3, 4, 5, 0};  // bolt cam gear nut rod
+  std::int64_t cnt = 0, sq = 0, sw = 0;
+  for (std::int64_t i = 0; i < 600; ++i) {
+    if (i % 5 == 4) continue;  // "rod" is missing from parts
+    ++cnt;
+    sq += i % 7;
+    sw += weight_of[i % 5];
+  }
+  ASSERT_EQ(got.row_count(), 1u);
+  EXPECT_EQ(got.at(0, 0).as_int(), cnt);
+  EXPECT_EQ(got.at(0, 1).as_int(), sq);
+  EXPECT_EQ(got.at(0, 2).as_int(), sw);
+}
+
+TEST(Executor, StringKeyedJoinGroupByBuildKey) {
+  const Catalog cat = make_keyed_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("lineitems")
+                        .join("parts", "part", "part")
+                        .group_by("parts.part")
+                        .aggregate(AggOp::kCount)
+                        .build();
+  ExecStats stats;
+  const QueryResult got = ex.execute(plan, stats);
+  std::map<std::string, std::int64_t> counts;
+  for (std::size_t r = 0; r < got.row_count(); ++r)
+    counts[got.at(r, 0).as_string()] = got.at(r, 1).as_int();
+  // 600 rows cycle 5 parts; "rod" never matches, "axle"/"shim" never
+  // receive a probe. The four shared parts get 120 rows each.
+  const std::map<std::string, std::int64_t> want = {
+      {"bolt", 120}, {"cam", 120}, {"gear", 120}, {"nut", 120}};
+  EXPECT_EQ(counts, want);
+}
+
+TEST(Executor, StringKeyedJoinSharedDictionaryMatchesEveryRow) {
+  // Build side holding exactly the probe's value set: the remap is the
+  // identity permutation and every probe row matches once.
+  Catalog cat = make_keyed_catalog();
+  Table& all = cat.add(Table(
+      "allparts",
+      Schema({{"part", TypeId::kString}, {"rank", TypeId::kInt64}})));
+  std::vector<std::string> names = {"bolt", "cam", "gear", "nut", "rod"};
+  std::vector<std::int64_t> ranks = {1, 2, 3, 4, 5};
+  all.set_column(0, Column::from_strings("part", names));
+  all.set_column(1, Column::from_int64("rank", ranks));
+  Executor ex(cat);
+  ExecStats stats;
+  const QueryResult got = ex.execute(QueryBuilder("lineitems")
+                                         .join("allparts", "part", "part")
+                                         .aggregate(AggOp::kCount)
+                                         .build(),
+                                     stats);
+  EXPECT_EQ(got.at(0, 0).as_int(), 600);
+}
+
+TEST(Executor, DoubleKeyedJoinMatchesScalarOracle) {
+  const Catalog cat = make_keyed_catalog();
+  Executor ex(cat);
+  const auto plan = QueryBuilder("lineitems")
+                        .join("rates", "disc", "disc")
+                        .aggregate(AggOp::kCount)
+                        .aggregate(AggOp::kSum, "rates.fee")
+                        .build();
+  ExecStats stats;
+  const QueryResult got = ex.execute(plan, stats);
+  // disc cycles {0.0, 0.5, 1.0, 1.5} (150 rows each); fee 10/20/30/40;
+  // the build-only 9.5 never matches.
+  EXPECT_EQ(got.at(0, 0).as_int(), 600);
+  EXPECT_EQ(got.at(0, 1).as_int(), 150 * (10 + 20 + 30 + 40));
+}
+
+TEST(Executor, DoubleJoinKeyWithNaNThrows) {
+  Catalog cat = make_keyed_catalog();
+  Table& bad = cat.add(Table(
+      "badrates", Schema({{"disc", TypeId::kDouble}, {"fee", TypeId::kInt64}})));
+  std::vector<double> rdisc = {0.0, std::numeric_limits<double>::quiet_NaN()};
+  std::vector<std::int64_t> rfee = {10, 20};
+  bad.set_column(0, Column::from_double("disc", rdisc));
+  bad.set_column(1, Column::from_int64("fee", rfee));
+  Executor ex(cat);
+  ExecStats stats;
+  try {
+    (void)ex.execute(QueryBuilder("lineitems")
+                         .join("badrates", "disc", "disc")
+                         .aggregate(AggOp::kCount)
+                         .build(),
+                     stats);
+    FAIL() << "expected NaN double join key to be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PhysicalPlan, ExplainSurfacesJoinKeyTypeAndRemap) {
+  const Catalog cat = make_keyed_catalog();
+  const auto splan = QueryBuilder("lineitems")
+                         .join("parts", "part", "part")
+                         .aggregate(AggOp::kCount)
+                         .build();
+  const std::string s = compile_plan(cat, splan).explain();
+  EXPECT_NE(s.find("key=string codes, remap=6 entries"), std::string::npos)
+      << s;
+  const auto dplan = QueryBuilder("lineitems")
+                         .join("rates", "disc", "disc")
+                         .aggregate(AggOp::kCount)
+                         .build();
+  const std::string d = compile_plan(cat, dplan).explain();
+  EXPECT_NE(d.find("key=double codes, remap=5 entries"), std::string::npos)
+      << d;
+}
+
+TEST(PhysicalPlan, AmbiguousUnqualifiedJoinKeyNamesCandidates) {
+  // f lacks "x"; d1 AND d2 both own it — binding the third join's left
+  // key silently to either would be wrong, so the compiler must reject
+  // and name both candidates. Qualifying the key resolves it.
+  Catalog cat;
+  Table& f = cat.add(Table("f", Schema({{"k", TypeId::kInt32}})));
+  f.set_column(0, Column::from_int32("k", std::vector<std::int32_t>{1, 2}));
+  Table& d1 = cat.add(
+      Table("d1", Schema({{"k1", TypeId::kInt32}, {"x", TypeId::kInt32}})));
+  d1.set_column(0, Column::from_int32("k1", std::vector<std::int32_t>{1, 2}));
+  d1.set_column(1, Column::from_int32("x", std::vector<std::int32_t>{5, 6}));
+  Table& d2 = cat.add(
+      Table("d2", Schema({{"k2", TypeId::kInt32}, {"x", TypeId::kInt32}})));
+  d2.set_column(0, Column::from_int32("k2", std::vector<std::int32_t>{1, 2}));
+  d2.set_column(1, Column::from_int32("x", std::vector<std::int32_t>{5, 6}));
+  Table& d3 = cat.add(
+      Table("d3", Schema({{"k3", TypeId::kInt32}, {"y", TypeId::kInt32}})));
+  d3.set_column(0, Column::from_int32("k3", std::vector<std::int32_t>{5, 6}));
+  d3.set_column(1, Column::from_int32("y", std::vector<std::int32_t>{7, 8}));
+
+  const auto ambiguous = QueryBuilder("f")
+                             .join("d1", "k", "k1")
+                             .join("d2", "k", "k2")
+                             .join("d3", "x", "k3")
+                             .aggregate(AggOp::kCount)
+                             .build();
+  try {
+    (void)compile_plan(cat, ambiguous);
+    FAIL() << "expected an ambiguity error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ambiguous join key column \"x\""), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("d1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("d2"), std::string::npos) << msg;
+  }
+  const auto qualified = QueryBuilder("f")
+                             .join("d1", "k", "k1")
+                             .join("d2", "k", "k2")
+                             .join("d3", "d2.x", "k3")
+                             .aggregate(AggOp::kCount)
+                             .build();
+  EXPECT_NO_THROW((void)compile_plan(cat, qualified));
 }
 
 TEST(PhysicalPlan, SnowflakeStepsAreTopologicallyOrdered) {

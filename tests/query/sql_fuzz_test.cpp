@@ -93,12 +93,13 @@ storage::Catalog make_fuzz_catalog(std::uint64_t seed) {
                             {"b", TypeId::kInt64},
                             {"g", TypeId::kInt32},
                             {"s", TypeId::kString},
-                            {"d", TypeId::kDouble}})));
+                            {"d", TypeId::kDouble},
+                            {"dj", TypeId::kDouble}})));
   Pcg32 rng(seed);
   std::vector<std::int32_t> a, g;
   std::vector<std::int64_t> b;
   std::vector<std::string> s;
-  std::vector<double> d;
+  std::vector<double> d, dj;
   const char* tags[] = {"a", "bb", "ccc", "dddd"};
   const std::size_t rows = 900 + rng.next_bounded(300);  // partial tails
   for (std::size_t i = 0; i < rows; ++i) {
@@ -107,32 +108,46 @@ storage::Catalog make_fuzz_catalog(std::uint64_t seed) {
     g.push_back(static_cast<std::int32_t>(rng.next_bounded(12)));
     s.emplace_back(tags[rng.next_bounded(4)]);
     d.push_back(rng.next_double() * 10.0);
+    dj.push_back(0.5 * static_cast<double>(rng.next_bounded(10)));
   }
   t.set_column(0, Column::from_int32("a", a));
   t.set_column(1, Column::from_int64("b", b));
   t.set_column(2, Column::from_int32("g", g));
   t.set_column(3, Column::from_strings("s", s));
   t.set_column(4, Column::from_double("d", d));
+  t.set_column(5, Column::from_double("dj", dj));
 
-  // u(key, w, c): the join build side — key overlaps t.g's [0, 12) domain
-  // with duplicates, so generated joins fan out.
+  // u(key, w, c, sk, dkey): the join build side — key overlaps t.g's
+  // [0, 12) domain with duplicates, so generated joins fan out. sk's
+  // dictionary only partially overlaps t.s ("a" is probe-only, "eeeee"
+  // build-only), and dkey's 12-value domain covers t.dj's 10 plus two
+  // build-only values — generated string / double joins exercise the
+  // cross-dictionary remap with misses on both sides.
   storage::Table& u = cat.add(storage::Table(
       "u", storage::Schema({{"key", TypeId::kInt32},
                             {"w", TypeId::kInt64},
-                            {"c", TypeId::kString}})));
+                            {"c", TypeId::kString},
+                            {"sk", TypeId::kString},
+                            {"dkey", TypeId::kDouble}})));
   std::vector<std::int32_t> ukey;
   std::vector<std::int64_t> uw;
-  std::vector<std::string> uc;
+  std::vector<std::string> uc, usk;
+  std::vector<double> udkey;
   const char* cats[] = {"north", "south", "east"};
+  const char* sks[] = {"bb", "ccc", "dddd", "eeeee"};
   const std::size_t urows = 20 + rng.next_bounded(30);
   for (std::size_t i = 0; i < urows; ++i) {
     ukey.push_back(static_cast<std::int32_t>(rng.next_bounded(14)));
     uw.push_back(rng.next_in_range(-500, 500));
     uc.emplace_back(cats[rng.next_bounded(3)]);
+    usk.emplace_back(sks[rng.next_bounded(4)]);
+    udkey.push_back(0.5 * static_cast<double>(rng.next_bounded(12)));
   }
   u.set_column(0, Column::from_int32("key", ukey));
   u.set_column(1, Column::from_int64("w", uw));
   u.set_column(2, Column::from_strings("c", uc));
+  u.set_column(3, Column::from_strings("sk", usk));
+  u.set_column(4, Column::from_double("dkey", udkey));
 
   // v(vkey, z): a second dimension keyed on t.g's domain — generated
   // statements chain JOIN u ... JOIN v ... into multi-way plans.
@@ -188,7 +203,12 @@ std::string generate_sql(Pcg32& rng) {
     }
     sql += " FROM t";
   }
-  if (joins >= 1) sql += " JOIN u ON t.g = u.key";
+  if (joins >= 1) {
+    // Join key type: integer, string (cross-dictionary remap), or double
+    // (ordered double-code domains).
+    const char* join_on[] = {"t.g = u.key", "t.s = u.sk", "t.dj = u.dkey"};
+    sql += std::string(" JOIN u ON ") + join_on[rng.next_bounded(3)];
+  }
   if (joins >= 2) sql += " JOIN v ON t.g = v.vkey";
   const int preds = static_cast<int>(rng.next_bounded(3));
   for (int i = 0; i < preds; ++i) {
@@ -217,13 +237,14 @@ std::string generate_sql(Pcg32& rng) {
   if (!projection && rng.next_bounded(2) == 0) {
     grouped = true;
     if (joins >= 2) {
-      const char* keys[] = {"g", "s", "u.c", "v.vkey"};
-      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(4)];
+      const char* keys[] = {"g", "s", "u.c", "v.vkey", "dj"};
+      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(5)];
     } else if (joins == 1) {
-      const char* keys[] = {"g", "s", "u.c", "u.key"};
-      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(4)];
+      const char* keys[] = {"g", "s", "u.c", "u.key", "dj", "u.sk"};
+      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(6)];
     } else {
-      sql += rng.next_bounded(2) == 0 ? " GROUP BY g" : " GROUP BY s";
+      const char* keys[] = {"g", "s", "dj"};
+      sql += std::string(" GROUP BY ") + keys[rng.next_bounded(3)];
     }
   }
   if (projection) {
@@ -262,7 +283,7 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
       table.recode(col, e);
     };
     for (const char* col : {"a", "b", "g", "s"}) toggle(t, col);
-    for (const char* col : {"key", "w", "c"}) toggle(u, col);
+    for (const char* col : {"key", "w", "c", "sk"}) toggle(u, col);
     for (const char* col : {"vkey", "z"}) toggle(v, col);
     const std::string sql = generate_sql(rng);
     LogicalPlan plan;
@@ -315,14 +336,24 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     // Single ungrouped, unsorted joins also have the legacy
     // pair-materializing oracle — but it only ever read FROM-table
     // aggregate columns, so skip statements with build-side (qualified)
-    // aggregates, and it supports neither chains nor ORDER BY.
+    // aggregates, and it supports neither chains nor ORDER BY, nor the
+    // code-domain (string / double) join keys compile_plan rejects on it.
     const bool probe_side_only =
         std::all_of(plan.aggregates.begin(), plan.aggregates.end(),
                     [](const AggSpec& a) {
                       return a.column.find('.') == std::string::npos;
                     });
+    const bool int_keyed =
+        plan.joins.size() != 1 ||
+        [&] {
+          const storage::TypeId kt = cat.get(plan.joins[0].table)
+                                         .column(plan.joins[0].right_key)
+                                         .type();
+          return kt == storage::TypeId::kInt32 ||
+                 kt == storage::TypeId::kInt64;
+        }();
     if (plan.joins.size() == 1 && !plan.has_group_by() && probe_side_only &&
-        !plan.order_by.has_value()) {
+        !plan.order_by.has_value() && int_keyed) {
       ExecOptions legacy_opts;
       legacy_opts.use_encodings = false;
       legacy_opts.join_path = JoinPath::kPairMaterialize;

@@ -46,6 +46,29 @@ TEST(Sql, WhereEquality) {
   EXPECT_EQ(p.predicates[0].hi.as_string(), "eu");
 }
 
+TEST(Sql, DoubledQuoteEscapesInStringLiterals) {
+  // SQL escapes a quote inside a string literal by doubling it.
+  const LogicalPlan p =
+      parse_sql("SELECT * FROM t WHERE name = 'O''Brien'");
+  EXPECT_EQ(p.predicates[0].lo.as_string(), "O'Brien");
+  // Doubled quotes compose: '''' is the one-character string «'», and
+  // an empty literal still parses.
+  const LogicalPlan q = parse_sql("SELECT * FROM t WHERE name = ''''");
+  EXPECT_EQ(q.predicates[0].lo.as_string(), "'");
+  const LogicalPlan e = parse_sql("SELECT * FROM t WHERE name = ''");
+  EXPECT_EQ(e.predicates[0].lo.as_string(), "");
+  const LogicalPlan m = parse_sql(
+      "SELECT * FROM t WHERE name = 'it''s a ''test'''");
+  EXPECT_EQ(m.predicates[0].lo.as_string(), "it's a 'test'");
+}
+
+TEST(Sql, UnterminatedStringLiteralStillThrows) {
+  // A trailing doubled quote is an escaped quote, not a terminator —
+  // the literal remains open and must be rejected.
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t WHERE name = 'abc"), Error);
+  EXPECT_THROW((void)parse_sql("SELECT * FROM t WHERE name = 'abc''"), Error);
+}
+
 TEST(Sql, WhereInequalitiesBecomeOpenRanges) {
   const LogicalPlan ge = parse_sql("SELECT * FROM t WHERE x >= 5");
   EXPECT_EQ(ge.predicates[0].lo.as_int(), 5);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace eidb::storage {
 namespace {
 
@@ -64,6 +66,58 @@ TEST(Dictionary, EmptyDictionary) {
 TEST(Dictionary, PayloadBytes) {
   const Dictionary d = Dictionary::build({"aa", "bbb"});
   EXPECT_EQ(d.payload_bytes(), 5u);
+}
+
+TEST(Dictionary, RemapToTranslatesCodesAcrossDomains) {
+  // Partially overlapping dictionaries: "ash"/"oak" exist only here,
+  // "fir" only in the other — their codes must translate to -1 / never
+  // appear, and shared values must land on the OTHER side's codes.
+  const Dictionary mine = Dictionary::build({"ash", "birch", "elm", "oak"});
+  const Dictionary other = Dictionary::build({"birch", "elm", "fir"});
+  const auto remap = mine.remap_to(other);
+  ASSERT_EQ(remap.size(), 4u);
+  EXPECT_EQ(remap[0], -1);  // ash: absent
+  EXPECT_EQ(remap[1], 0);   // birch
+  EXPECT_EQ(remap[2], 1);   // elm
+  EXPECT_EQ(remap[3], -1);  // oak: absent
+}
+
+TEST(Dictionary, RemapToIdenticalAndDisjointAndEmpty) {
+  const Dictionary d = Dictionary::build({"a", "b", "c"});
+  const auto self = d.remap_to(d);
+  EXPECT_EQ(self, (std::vector<std::int32_t>{0, 1, 2}));
+  const Dictionary disjoint = Dictionary::build({"x", "y"});
+  EXPECT_EQ(d.remap_to(disjoint), (std::vector<std::int32_t>{-1, -1, -1}));
+  const Dictionary empty = Dictionary::build({});
+  EXPECT_EQ(d.remap_to(empty), (std::vector<std::int32_t>{-1, -1, -1}));
+  EXPECT_TRUE(empty.remap_to(d).empty());
+}
+
+TEST(DoubleDictionary, BuildsSortedUniqueAndLooksUp) {
+  const DoubleDictionary d =
+      DoubleDictionary::build({2.5, -1.0, 2.5, 0.0, -1.0});
+  ASSERT_EQ(d.size(), 3);
+  EXPECT_EQ(d.at(0), -1.0);
+  EXPECT_EQ(d.at(1), 0.0);
+  EXPECT_EQ(d.at(2), 2.5);
+  EXPECT_EQ(d.code_of(0.0).value(), 1);
+  EXPECT_FALSE(d.code_of(7.0).has_value());
+}
+
+TEST(DoubleDictionary, NaNDisablesTheDictionary) {
+  // NaN breaks the ordering invariant, so build() returns an empty
+  // dictionary — the signal the executor uses to reject double join /
+  // group keys on such columns.
+  const DoubleDictionary d = DoubleDictionary::build(
+      {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(DoubleDictionary, RemapToHandlesMissingValues) {
+  const DoubleDictionary mine = DoubleDictionary::build({0.5, 1.5, 2.5});
+  const DoubleDictionary other = DoubleDictionary::build({1.5, 2.5, 9.0});
+  EXPECT_EQ(mine.remap_to(other), (std::vector<std::int32_t>{-1, 0, 1}));
 }
 
 }  // namespace
