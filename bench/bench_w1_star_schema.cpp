@@ -360,6 +360,46 @@ int main(int argc, char** argv) {
                  "work-based, so they stay flat as threads scale)\n";
   }
 
+  // ---- Sharded arm: Q7/Q8 over a hash-partitioned fact table. Shards
+  // fan out over the pool, partials (or gathered row ids) ship to the
+  // coordinator through the modeled cluster links with a per-link codec
+  // choice, and the wire bytes/joules land in the ledger's wire scope —
+  // the network cost of scale-out next to the single-node numbers. At
+  // one shard the fact table lives on the coordinator and the wire
+  // columns must read exactly zero. ----
+  {
+    std::cout << "\nsharded execution (hash-partitioned fact table, modeled "
+                 "10GbE links, best of 3):\n";
+    TablePrinter sharded({"query", "shards", "wall_ms", "wire_MB",
+                          "wire_J", "total_J"});
+    for (const QueryCase* qc : {&cases[6], &cases[7]}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        db.catalog().get("lineorder").build_partitions("custkey", shards);
+        core::RunOptions options;
+        options.exec.pool = &pool;
+        options.exec.shard_count = shards;
+        const Measured m = measure(db, qc->sql, options);
+        const core::RunResult run = db.run_sql(qc->sql, options);
+        sharded.add_row(
+            {qc->id, TablePrinter::fmt_int(static_cast<long long>(shards)),
+             TablePrinter::fmt(m.wall_s * 1e3, 4),
+             TablePrinter::fmt(run.stats.work.net_bytes / 1e6, 4),
+             TablePrinter::fmt(run.stats.wire_energy_j, 6),
+             TablePrinter::fmt(run.attributed_j, 4)});
+        const std::string arm =
+            std::string(qc->id) + "_sharded" + std::to_string(shards);
+        json.add(arm + "_ms", m.wall_s * 1e3);
+        json.add(arm + "_wire_bytes", run.stats.work.net_bytes);
+        json.add(arm + "_wire_J", run.stats.wire_energy_j);
+        json.add(arm + "_total_J", run.attributed_j);
+      }
+    }
+    sharded.print(std::cout);
+    std::cout << "(total_J = attributed joules including the modeled wire; "
+                 "the wire scope of the ledger below carries the cluster's "
+                 "network bill separately)\n";
+  }
+
   std::cout << "\nper-operator energy ledger across the workload:\n"
             << db.ledger().to_string();
   std::cout << "\nShape checks: Q2's zone-mapped date slice touches ~1% of "

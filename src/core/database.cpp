@@ -191,7 +191,8 @@ RunResult Database::run(const query::LogicalPlan& plan,
   // actual busy interval and DRAM traffic.
   model_->report_busy(elapsed, machine_.dvfs.fastest(), 1, out.stats.work);
 
-  out.report.elapsed_s = elapsed + out.stats.cold_tier_time_s;
+  out.report.elapsed_s =
+      elapsed + out.stats.cold_tier_time_s + out.stats.wire_time_s;
   out.report.energy = window.consumed();
   out.report.energy.package_j += out.stats.cold_tier_energy_j;
   out.report.source = active_meter_->source();
@@ -204,9 +205,12 @@ RunResult Database::run(const query::LogicalPlan& plan,
   // for its neighbors' work and the shared idle floor.
   const hw::DvfsState& attr_state =
       phys.governor.enabled ? phys.governor.state : machine_.dvfs.fastest();
+  // Wire joules (sharded queries) are modeled link + codec energy — they
+  // ride the attribution total but live outside the machine's busy-energy
+  // quantum, and the ledger books them under the dedicated wire scope.
   out.attributed_j =
       machine_.incremental_busy_energy_j(out.stats.work, attr_state, elapsed) +
-      out.stats.cold_tier_energy_j;
+      out.stats.cold_tier_energy_j + out.stats.wire_energy_j;
 
   // Close the governor's loop: measured per-operator seconds against the
   // model's prediction, folded into the per-kind EWMA the next compile
@@ -217,6 +221,13 @@ RunResult Database::run(const query::LogicalPlan& plan,
               {plan.table + ":" + (plan.is_aggregate() ? "agg" : "select"),
                out.report.elapsed_s, out.stats.work,
                out.attributed_j, out.stats.tuples_scanned});
+  if (out.stats.wire_messages > 0 || out.stats.wire_energy_j > 0) {
+    hw::Work wire_work;
+    wire_work.net_bytes = out.stats.work.net_bytes;
+    ledger_.add(energy::kWireScope,
+                {plan.table + ":wire", out.stats.wire_time_s, wire_work,
+                 out.stats.wire_energy_j, out.stats.wire_messages});
+  }
   return out;
 }
 

@@ -20,6 +20,13 @@
 
 namespace eidb::energy {
 
+/// Ledger scope that carries the wire lane of sharded queries: modeled
+/// link joules (net::Cluster transfers plus exchange codec CPU) land here,
+/// outside every tenant's busy-energy attribution, so `total(kWireScope)`
+/// is the cluster's network bill. Zero when nothing shipped — single-node
+/// execution and shard_count == 1 leave the scope empty.
+inline constexpr const char* kWireScope = "wire";
+
 /// One ledger line.
 struct LedgerEntry {
   std::string operator_name;

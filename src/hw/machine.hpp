@@ -28,15 +28,17 @@ struct CState {
 struct Work {
   double cpu_cycles = 0;   ///< Core cycles of computation.
   double dram_bytes = 0;   ///< Bytes transferred to/from DRAM.
+  double net_bytes = 0;    ///< Bytes shipped over cluster links (wire lane).
 
   Work& operator+=(const Work& o) {
     cpu_cycles += o.cpu_cycles;
     dram_bytes += o.dram_bytes;
+    net_bytes += o.net_bytes;
     return *this;
   }
   friend Work operator+(Work a, const Work& b) { return a += b; }
   friend Work operator*(Work w, double k) {
-    return {w.cpu_cycles * k, w.dram_bytes * k};
+    return {w.cpu_cycles * k, w.dram_bytes * k, w.net_bytes * k};
   }
 };
 

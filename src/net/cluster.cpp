@@ -23,10 +23,12 @@ std::size_t Cluster::index(std::size_t from, std::size_t to) const {
 }
 
 const hw::LinkSpec& Cluster::link(std::size_t from, std::size_t to) const {
+  EIDB_EXPECTS(from != to);
   return links_[index(from, to)];
 }
 
 void Cluster::set_link(std::size_t from, std::size_t to, hw::LinkSpec link) {
+  EIDB_EXPECTS(from != to);
   links_[index(from, to)] = std::move(link);
 }
 

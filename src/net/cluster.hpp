@@ -29,9 +29,12 @@ class Cluster {
 
   [[nodiscard]] std::size_t node_count() const { return machines_.size(); }
   [[nodiscard]] const hw::MachineSpec& machine(std::size_t node) const;
+  /// Link between two distinct nodes. Precondition: from != to (there is
+  /// no self-link; the diagonal slots exist only for dense indexing).
   [[nodiscard]] const hw::LinkSpec& link(std::size_t from,
                                          std::size_t to) const;
-  /// Replaces the link between a pair of nodes (heterogeneous topologies).
+  /// Replaces the link between a pair of distinct nodes (heterogeneous
+  /// topologies). Precondition: from != to.
   void set_link(std::size_t from, std::size_t to, hw::LinkSpec link);
 
   /// Accounts a transfer of `bytes` from -> to; returns {time_s, energy_j}.
@@ -50,7 +53,7 @@ class Cluster {
   [[nodiscard]] std::size_t index(std::size_t from, std::size_t to) const;
 
   std::vector<hw::MachineSpec> machines_;
-  std::vector<hw::LinkSpec> links_;   // n*n, diagonal unused
+  std::vector<hw::LinkSpec> links_;   // n*n, diagonal rejected (from != to)
   std::vector<LinkStats> stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "net/exchange.hpp"
+#include "net/wire_format.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -11,26 +12,37 @@ namespace eidb::net {
 
 namespace {
 
-/// Serializes group rows as (key, count, sum) triples.
+/// Serializes group rows as a three-column WireTable (key, count, sum) —
+/// the generic exchange wire format, not a bespoke triple layout.
 std::vector<std::int64_t> serialize_groups(
     const std::vector<exec::GroupRow>& rows) {
-  std::vector<std::int64_t> out;
-  out.reserve(rows.size() * 3);
+  std::vector<std::int64_t> keys, counts, sums;
+  keys.reserve(rows.size());
+  counts.reserve(rows.size());
+  sums.reserve(rows.size());
   for (const exec::GroupRow& r : rows) {
-    out.push_back(r.key);
-    out.push_back(static_cast<std::int64_t>(r.agg.count));
-    out.push_back(r.agg.sum);
+    keys.push_back(r.key);
+    counts.push_back(static_cast<std::int64_t>(r.agg.count));
+    sums.push_back(r.agg.sum);
   }
-  return out;
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64(std::move(keys)));
+  t.columns.push_back(WireColumn::of_int64(std::move(counts)));
+  t.columns.push_back(WireColumn::of_int64(std::move(sums)));
+  return encode_wire(t);
 }
 
-void merge_triples(std::map<std::int64_t, exec::AggResult>& merged,
-                   std::span<const std::int64_t> triples) {
-  EIDB_EXPECTS(triples.size() % 3 == 0);
-  for (std::size_t i = 0; i < triples.size(); i += 3) {
-    exec::AggResult& a = merged[triples[i]];
-    a.count += static_cast<std::uint64_t>(triples[i + 1]);
-    a.sum += triples[i + 2];
+void merge_groups(std::map<std::int64_t, exec::AggResult>& merged,
+                  std::span<const std::int64_t> payload) {
+  const WireTable t = decode_wire(payload);
+  EIDB_EXPECTS(t.columns.size() == 3);
+  const std::vector<std::int64_t>& keys = t.columns[0].i64;
+  const std::vector<std::int64_t>& counts = t.columns[1].i64;
+  const std::vector<std::int64_t>& sums = t.columns[2].i64;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    exec::AggResult& a = merged[keys[i]];
+    a.count += static_cast<std::uint64_t>(counts[i]);
+    a.sum += sums[i];
   }
 }
 
@@ -65,7 +77,7 @@ std::vector<exec::GroupRow> distributed_group_aggregate(
   }
 
   // Coordinator's own partition merges for free.
-  merge_triples(merged, serialize_groups(partials[0]));
+  merge_groups(merged, serialize_groups(partials[0]));
 
   // Remote partials ship with a per-link codec decision.
   for (std::size_t n = 1; n < nodes; ++n) {
@@ -84,7 +96,7 @@ std::vector<exec::GroupRow> distributed_group_aggregate(
     report.wire_energy_j += xr.wire_energy_j;
     report.cpu_energy_j += xr.cpu_energy_j;
 
-    merge_triples(merged, received);
+    merge_groups(merged, received);
   }
 
   std::vector<exec::GroupRow> rows;

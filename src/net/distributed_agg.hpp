@@ -5,8 +5,9 @@
 // Each node holds a horizontal partition; the coordinator (node 0):
 //   1. lets every node aggregate its partition locally (real kernels),
 //   2. receives each node's partial group rows over its link — serialized
-//      as int64 triples (key, count, sum) and shipped with the codec the
-//      compression advisor picks for that link,
+//      as a (key, count, sum) net::WireTable (the generic exchange wire
+//      format) and shipped with the codec the compression advisor picks
+//      for that link,
 //   3. merges partials into the final grouping.
 // Local compute is measured on the host; wires are modeled (DESIGN.md §5).
 #pragma once

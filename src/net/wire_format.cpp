@@ -1,0 +1,169 @@
+#include "net/wire_format.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace eidb::net {
+
+WireColumn WireColumn::of_int64(std::vector<std::int64_t> v) {
+  WireColumn c;
+  c.kind = Kind::kInt64;
+  c.i64 = std::move(v);
+  return c;
+}
+
+WireColumn WireColumn::of_double(std::vector<double> v) {
+  WireColumn c;
+  c.kind = Kind::kDouble;
+  c.f64 = std::move(v);
+  return c;
+}
+
+WireColumn WireColumn::of_strings(std::vector<std::string> v) {
+  WireColumn c;
+  c.kind = Kind::kString;
+  c.str = std::move(v);
+  return c;
+}
+
+std::size_t WireColumn::size() const {
+  switch (kind) {
+    case Kind::kInt64:
+      return i64.size();
+    case Kind::kDouble:
+      return f64.size();
+    case Kind::kString:
+      return str.size();
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> encode_wire(const WireTable& t) {
+  const std::size_t rows = t.row_count();
+  for (const WireColumn& c : t.columns)
+    if (c.size() != rows) throw Error("wire format: ragged columns");
+
+  std::vector<std::int64_t> out;
+  out.push_back(static_cast<std::int64_t>(t.columns.size()));
+  out.push_back(static_cast<std::int64_t>(rows));
+  for (const WireColumn& c : t.columns) {
+    out.push_back(static_cast<std::int64_t>(c.kind));
+    switch (c.kind) {
+      case WireColumn::Kind::kInt64:
+        out.insert(out.end(), c.i64.begin(), c.i64.end());
+        break;
+      case WireColumn::Kind::kDouble:
+        for (const double v : c.f64)
+          out.push_back(std::bit_cast<std::int64_t>(v));
+        break;
+      case WireColumn::Kind::kString: {
+        // Lengths, then all bytes packed 8 chars per word.
+        std::size_t total = 0;
+        for (const std::string& s : c.str) {
+          out.push_back(static_cast<std::int64_t>(s.size()));
+          total += s.size();
+        }
+        std::string bytes;
+        bytes.reserve(total);
+        for (const std::string& s : c.str) bytes += s;
+        const std::size_t words = (total + 7) / 8;
+        const std::size_t base = out.size();
+        out.resize(base + words, 0);
+        if (total > 0) std::memcpy(&out[base], bytes.data(), total);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Bounds-checked sequential reader over the encoded stream.
+struct Reader {
+  std::span<const std::int64_t> in;
+  std::size_t pos = 0;
+
+  std::int64_t next() {
+    if (pos >= in.size()) throw Error("wire format: truncated stream");
+    return in[pos++];
+  }
+  std::span<const std::int64_t> take(std::size_t n) {
+    if (pos + n > in.size()) throw Error("wire format: truncated stream");
+    const auto out = in.subspan(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+}  // namespace
+
+WireTable decode_wire(std::span<const std::int64_t> payload) {
+  Reader r{payload};
+  const std::int64_t cols = r.next();
+  const std::int64_t rows = r.next();
+  if (cols < 0 || rows < 0) throw Error("wire format: negative header");
+  // A valid stream has >= 1 word per column (its kind) and, when any
+  // column exists, >= `rows` words per column — so counts beyond the
+  // stream length are malformed. Rejecting them HERE keeps a corrupt
+  // header from driving a multi-gigabyte reserve before the bounds-checked
+  // reads would catch it.
+  if (static_cast<std::uint64_t>(cols) > payload.size() ||
+      static_cast<std::uint64_t>(rows) > payload.size())
+    throw Error("wire format: implausible header");
+  WireTable t;
+  t.columns.reserve(static_cast<std::size_t>(cols));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const std::int64_t kind = r.next();
+    WireColumn col;
+    const auto n = static_cast<std::size_t>(rows);
+    switch (kind) {
+      case static_cast<std::int64_t>(WireColumn::Kind::kInt64): {
+        const auto data = r.take(n);
+        col = WireColumn::of_int64({data.begin(), data.end()});
+        break;
+      }
+      case static_cast<std::int64_t>(WireColumn::Kind::kDouble): {
+        const auto data = r.take(n);
+        std::vector<double> v;
+        v.reserve(n);
+        for (const std::int64_t w : data)
+          v.push_back(std::bit_cast<double>(w));
+        col = WireColumn::of_double(std::move(v));
+        break;
+      }
+      case static_cast<std::int64_t>(WireColumn::Kind::kString): {
+        const auto lengths = r.take(n);
+        std::size_t total = 0;
+        for (const std::int64_t len : lengths) {
+          if (len < 0) throw Error("wire format: negative string length");
+          total += static_cast<std::size_t>(len);
+          // Same up-front bound as the header: the packed bytes cannot
+          // exceed the remaining words' capacity.
+          if (total > payload.size() * 8)
+            throw Error("wire format: implausible string lengths");
+        }
+        const auto words = r.take((total + 7) / 8);
+        std::string bytes(total, '\0');
+        if (total > 0) std::memcpy(bytes.data(), words.data(), total);
+        std::vector<std::string> v;
+        v.reserve(n);
+        std::size_t off = 0;
+        for (const std::int64_t len : lengths) {
+          v.push_back(bytes.substr(off, static_cast<std::size_t>(len)));
+          off += static_cast<std::size_t>(len);
+        }
+        col = WireColumn::of_strings(std::move(v));
+        break;
+      }
+      default:
+        throw Error("wire format: unknown column kind");
+    }
+    t.columns.push_back(std::move(col));
+  }
+  return t;
+}
+
+}  // namespace eidb::net

@@ -1,0 +1,51 @@
+// The one wire serialization every exchange uses.
+//
+// A WireTable is a set of equal-length typed columns (int64 / double /
+// string) encoded into a single int64 stream, so every message — shard
+// aggregation partials, gathered row-id sets, (key, count, sum) triples —
+// rides the same exchange path: storage::int_codec compresses the stream,
+// opt::CompressionAdvisor picks the codec per link, net::exchange_payload
+// ships and accounts it. Doubles travel as bit patterns (exact round
+// trip); strings as lengths plus 8-chars-per-word packed bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eidb::net {
+
+/// One typed column of a wire message.
+struct WireColumn {
+  enum class Kind : std::uint8_t { kInt64, kDouble, kString };
+  Kind kind = Kind::kInt64;
+  std::vector<std::int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  static WireColumn of_int64(std::vector<std::int64_t> v);
+  static WireColumn of_double(std::vector<double> v);
+  static WireColumn of_strings(std::vector<std::string> v);
+
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// A wire message: zero or more equal-length typed columns.
+struct WireTable {
+  std::vector<WireColumn> columns;
+
+  /// Rows of the message (0 when there are no columns).
+  [[nodiscard]] std::size_t row_count() const {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+};
+
+/// Encodes `t` into one int64 stream (the codec-compatible payload).
+/// Throws Error when column lengths disagree.
+[[nodiscard]] std::vector<std::int64_t> encode_wire(const WireTable& t);
+
+/// Inverse of encode_wire. Throws Error on malformed streams.
+[[nodiscard]] WireTable decode_wire(std::span<const std::int64_t> payload);
+
+}  // namespace eidb::net

@@ -216,6 +216,27 @@ StorageArm CostModel::pick_storage_arm(const hw::MachineSpec& machine,
              : StorageArm::kPlainScan;
 }
 
+double CostModel::broadcast_wire_bytes(double build_rows, std::size_t shards,
+                                       double width_bytes) const {
+  if (shards <= 1) return 0;
+  return build_rows * width_bytes * static_cast<double>(shards - 1);
+}
+
+double CostModel::repartition_wire_bytes(double build_rows, double probe_rows,
+                                         std::size_t shards,
+                                         double width_bytes) const {
+  if (shards <= 1) return 0;
+  return (build_rows + probe_rows) * width_bytes *
+         static_cast<double>(shards - 1) / static_cast<double>(shards);
+}
+
+double CostModel::gather_wire_bytes(double result_rows, double row_bytes,
+                                    std::size_t shards) const {
+  if (shards <= 1) return 0;
+  return result_rows * row_bytes * static_cast<double>(shards - 1) /
+         static_cast<double>(shards);
+}
+
 namespace {
 
 /// Measures cycles/tuple of one kernel invocation via wall time and the

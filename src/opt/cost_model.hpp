@@ -180,6 +180,33 @@ class CostModel {
                                             bool packed_kernel_available,
                                             bool by_time = false) const;
 
+  // -- Network-byte arm (partition-aware plans) -----------------------------
+  // Wire bytes are the sharded planner's currency the way DRAM bytes are
+  // the storage planner's: per join step the physical planner charges the
+  // cheaper of broadcasting the build side and hash-repartitioning both
+  // sides, and the total feeds the plan governor's work estimate
+  // (hw::Work::net_bytes). All three return 0 at shards <= 1 — one shard
+  // lives on the coordinator and ships nothing.
+
+  /// Modeled wire bytes of shipping one join step's build (dimension)
+  /// side to every other shard: build_rows × width × (shards − 1).
+  [[nodiscard]] double broadcast_wire_bytes(double build_rows,
+                                            std::size_t shards,
+                                            double width_bytes = 8.0) const;
+
+  /// Modeled wire bytes of hash-repartitioning both sides on the join
+  /// key: a (shards − 1) / shards fraction of every row relocates.
+  [[nodiscard]] double repartition_wire_bytes(double build_rows,
+                                              double probe_rows,
+                                              std::size_t shards,
+                                              double width_bytes = 8.0) const;
+
+  /// Modeled wire bytes of the shard → coordinator result exchange
+  /// (partial rows or gathered row ids): the non-coordinator shards'
+  /// share of `result_rows` rows of `row_bytes` each.
+  [[nodiscard]] double gather_wire_bytes(double result_rows, double row_bytes,
+                                         std::size_t shards) const;
+
  private:
   KernelCosts costs_;
 };

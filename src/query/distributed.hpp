@@ -1,0 +1,37 @@
+// Sharded execution of a partition-aware physical plan (DistPlan).
+//
+// Shard i runs on cluster node i against shard table i of the FROM
+// table's hash-partition layer; node 0 is the coordinator. Two modes,
+// both bit-identical to single-node execution (the distributed-parity
+// invariant):
+//
+//   * kPartialMerge — every shard runs a rewritten partial plan (leading
+//     COUNT, AVG → SUM, no sort/limit) and ships its partial group rows;
+//     the coordinator merges exactly-decomposable partials in the value
+//     domain, in ascending group order (which equals the single-node
+//     emit order), then sorts/limits.
+//   * kGather — shards run only scan+filter and ship their selected
+//     global row ids; the coordinator ORs them into a selection over the
+//     original table and runs the normal pipeline with that selection
+//     preset.
+//
+// Wire transfers run through query/ops/exchange_op (real codec'd result
+// payloads; plan-modeled dimension bytes), so ExecStats::operators keeps
+// summing to the query totals byte-exactly across the net lane too.
+#pragma once
+
+#include "query/physical_plan.hpp"
+#include "query/result.hpp"
+
+namespace eidb::query {
+
+/// Runs `phys` (which must have phys.dist.active()) over the FROM table's
+/// partition layer, folding per-shard operator stats into `stats` under
+/// "s<i>:" prefixes. Throws eidb::Error when the partition layer no
+/// longer matches the compiled plan or a provided cluster is too small.
+[[nodiscard]] QueryResult run_distributed(const storage::Catalog& catalog,
+                                          const PhysicalPlan& phys,
+                                          ExecStats& stats,
+                                          const ExecOptions& options);
+
+}  // namespace eidb::query

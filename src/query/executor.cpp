@@ -1,11 +1,9 @@
 #include "query/executor.hpp"
 
-#include "query/ops/aggregate_op.hpp"
-#include "query/ops/join_op.hpp"
+#include "query/distributed.hpp"
 #include "query/ops/op_context.hpp"
-#include "query/ops/project_op.hpp"
+#include "query/ops/pipeline.hpp"
 #include "query/ops/scan_filter.hpp"
-#include "query/ops/sort_op.hpp"
 #include "query/physical_plan.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
@@ -30,49 +28,18 @@ QueryResult Executor::execute(const PhysicalPlan& phys, ExecStats& stats,
   const LogicalPlan& plan = phys.logical;
   const storage::Table& table = catalog_.get(plan.table);
   if (!table.complete()) throw Error("table not fully loaded: " + plan.table);
-
-  ops::OpContext ctx{catalog_, options, stats, idx_scratch_, key_scratch_, {}};
-  // The governor's core grant caps every operator's morsel fan-out.
-  if (phys.governor.enabled)
-    ctx.cores = static_cast<std::size_t>(std::max(1, phys.governor.cores));
   Stopwatch total;
 
-  BitVector selection;
-  {
-    ops::OperatorScope scope(stats, "scan+filter(" + plan.table + ")");
-    selection = ops::evaluate_predicates(ctx, table, plan.predicates);
-    // With no predicates the downstream operators still read every row.
-    if (plan.predicates.empty()) stats.tuples_scanned += table.row_count();
-    stats.tuples_selected = selection.count();
-  }
-
   QueryResult result;
-  if (plan.has_join()) {
-    result = ops::run_join(ctx, phys, table, selection);
-  } else if (plan.is_aggregate()) {
-    result = ops::run_aggregate(ctx, plan, table, selection);
+  if (phys.dist.active() && options.shard_count > 0) {
+    result = run_distributed(catalog_, phys, stats, options);
   } else {
-    result = ops::run_projection(ctx, phys, table, selection);
-  }
-
-  // Sort / top-k over materialized result rows (aggregate output — base
-  // table or join alike), then LIMIT. Projections order their row ids
-  // inside their own operator instead, so the top-k pass bounds what the
-  // materializer gathers and charges.
-  if (plan.is_aggregate()) {
-    if (phys.sort_on_result && plan.order_by.has_value()) {
-      ops::OperatorScope scope(stats,
-                               (phys.sort == SortStrategy::kTopK
-                                    ? "top-k("
-                                    : "sort(") +
-                                   plan.order_by->column + ")");
-      ops::sort_result_rows(ctx, result, *plan.order_by, plan.limit);
-    } else if (plan.limit != 0 && result.row_count() > plan.limit) {
-      QueryResult trimmed(result.column_names());
-      for (std::size_t i = 0; i < plan.limit; ++i)
-        trimmed.add_row(result.row(i));
-      result = std::move(trimmed);
-    }
+    ops::OpContext ctx{catalog_, options, stats, idx_scratch_, key_scratch_,
+                       {}};
+    // The governor's core grant caps every operator's morsel fan-out.
+    if (phys.governor.enabled)
+      ctx.cores = static_cast<std::size_t>(std::max(1, phys.governor.cores));
+    result = ops::execute_pipeline(ctx, phys, table);
   }
   stats.elapsed_s = total.elapsed_seconds();
   return result;

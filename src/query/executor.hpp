@@ -26,12 +26,17 @@
 #include <vector>
 
 #include "exec/scan_kernels.hpp"
+#include "opt/compression_advisor.hpp"
 #include "query/plan.hpp"
 #include "query/result.hpp"
 #include "sched/thread_pool.hpp"
 #include "storage/table.hpp"
 #include "storage/tier.hpp"
 #include "util/bitvector.hpp"
+
+namespace eidb::net {
+class Cluster;
+}  // namespace eidb::net
 
 namespace eidb::opt {
 class CostModel;
@@ -129,6 +134,20 @@ struct ExecOptions {
   /// consulted by the plan governor's work estimate; core::Database feeds
   /// it from measured ExecStats after every query. nullptr = model as-is.
   const OperatorCalibration* calibration = nullptr;
+  /// Sharded execution: > 0 runs the plan over the FROM table's hash-
+  /// partition layer (storage::Table::build_partitions — compile_plan
+  /// throws when the layer is absent or its shard count disagrees) and
+  /// merges at the coordinator, with every shard → coordinator transfer
+  /// accounted through the cluster model (ExecStats wire_* fields and
+  /// Work::net_bytes). 0 = single-node execution.
+  std::size_t shard_count = 0;
+  /// Cluster carrying the shard traffic: node i hosts shard i, node 0 is
+  /// the coordinator. nullptr with shard_count > 0 uses a transient
+  /// fully connected 10GbE cluster for the query.
+  net::Cluster* cluster = nullptr;
+  /// Objective of the per-link exchange codec decision
+  /// (opt::CompressionAdvisor) for shard result payloads.
+  opt::Objective wire_objective = opt::Objective::kEnergy;
 };
 
 /// NOT thread-safe across concurrent execute() calls (scratch buffers are

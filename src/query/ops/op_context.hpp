@@ -173,7 +173,8 @@ class OperatorScope {
     op.name = std::move(name_);
     op.seconds = sw_.elapsed_seconds();
     op.work = {stats_.work.cpu_cycles - base_.cpu_cycles,
-               stats_.work.dram_bytes - base_.dram_bytes};
+               stats_.work.dram_bytes - base_.dram_bytes,
+               stats_.work.net_bytes - base_.net_bytes};
     stats_.operators.push_back(std::move(op));
   }
 

@@ -1,0 +1,62 @@
+#include "query/ops/pipeline.hpp"
+
+#include "query/ops/aggregate_op.hpp"
+#include "query/ops/join_op.hpp"
+#include "query/ops/project_op.hpp"
+#include "query/ops/scan_filter.hpp"
+#include "query/ops/sort_op.hpp"
+
+namespace eidb::query::ops {
+
+QueryResult execute_pipeline(OpContext& ctx, const PhysicalPlan& phys,
+                             const storage::Table& table,
+                             const BitVector* preset) {
+  const LogicalPlan& plan = phys.logical;
+  ExecStats& stats = ctx.stats;
+
+  BitVector selection;
+  {
+    OperatorScope scope(stats, "scan+filter(" + table.name() + ")");
+    if (preset != nullptr) {
+      // The selection was computed upstream (shard scans); the scan here
+      // charges nothing — the shards already paid for the column reads.
+      selection = *preset;
+    } else {
+      selection = evaluate_predicates(ctx, table, plan.predicates);
+      // With no predicates the downstream operators still read every row.
+      if (plan.predicates.empty()) stats.tuples_scanned += table.row_count();
+    }
+    stats.tuples_selected = selection.count();
+  }
+
+  QueryResult result;
+  if (plan.has_join()) {
+    result = run_join(ctx, phys, table, selection);
+  } else if (plan.is_aggregate()) {
+    result = run_aggregate(ctx, plan, table, selection);
+  } else {
+    result = run_projection(ctx, phys, table, selection);
+  }
+
+  // Sort / top-k over materialized result rows (aggregate output — base
+  // table or join alike), then LIMIT. Projections order their row ids
+  // inside their own operator instead, so the top-k pass bounds what the
+  // materializer gathers and charges.
+  if (plan.is_aggregate()) {
+    if (phys.sort_on_result && plan.order_by.has_value()) {
+      OperatorScope scope(
+          stats,
+          (phys.sort == SortStrategy::kTopK ? "top-k(" : "sort(") +
+              plan.order_by->column + ")");
+      sort_result_rows(ctx, result, *plan.order_by, plan.limit);
+    } else if (plan.limit != 0 && result.row_count() > plan.limit) {
+      QueryResult trimmed(result.column_names());
+      for (std::size_t i = 0; i < plan.limit; ++i)
+        trimmed.add_row(result.row(i));
+      result = std::move(trimmed);
+    }
+  }
+  return result;
+}
+
+}  // namespace eidb::query::ops

@@ -1,0 +1,28 @@
+// The shared physical-plan pipeline body: scan+filter → join* |
+// aggregate | project → sort/top-k → limit, every charge landing in one
+// OpContext. Extracted from Executor::execute so the distributed runner
+// (query/distributed.cpp) can reuse it verbatim — once per shard for the
+// partial-merge fan-out, and once at the coordinator with a preset
+// selection for the gather fallback.
+#pragma once
+
+#include "query/ops/op_context.hpp"
+#include "query/physical_plan.hpp"
+#include "query/result.hpp"
+#include "util/bitvector.hpp"
+
+namespace eidb::query::ops {
+
+/// Runs `phys` against `table` — which may be a shard of the plan's FROM
+/// table rather than the catalog-registered original (join build sides
+/// still resolve through ctx.catalog; only the probe side substitutes).
+/// When `preset` is non-null it becomes the scan's selection verbatim and
+/// no predicate is evaluated — the distributed gather path, where shards
+/// already scanned and the coordinator re-runs the pipeline over the OR
+/// of their shipped row ids.
+[[nodiscard]] QueryResult execute_pipeline(OpContext& ctx,
+                                           const PhysicalPlan& phys,
+                                           const storage::Table& table,
+                                           const BitVector* preset = nullptr);
+
+}  // namespace eidb::query::ops

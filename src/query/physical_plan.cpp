@@ -130,7 +130,154 @@ std::vector<int> linearize(const opt::JoinOrderPlan& jp, int tables) {
   return lists[static_cast<std::size_t>(find(0))];
 }
 
+/// Resolves a (possibly "table."-qualified) aggregate/group column against
+/// the FROM table and every joined build table. nullptr when absent or
+/// ambiguous — the caller treats that as "not provably decomposable" and
+/// falls back to the gather mode, which is correct for every shape.
+const Column* find_plan_column(const storage::Catalog& catalog,
+                               const LogicalPlan& plan,
+                               const std::string& name) {
+  std::string tbl, col = name;
+  const auto dot = name.find('.');
+  if (dot != std::string::npos) {
+    tbl = name.substr(0, dot);
+    col = name.substr(dot + 1);
+  }
+  const Table& probe = catalog.get(plan.table);
+  if (tbl.empty() || tbl == probe.name())
+    if (probe.schema().has_column(col)) return &probe.column(col);
+  const Column* found = nullptr;
+  for (const JoinSpec& j : plan.joins) {
+    if (!tbl.empty() && tbl != j.table) continue;
+    const Table& build = catalog.get(j.table);
+    if (!build.schema().has_column(col)) continue;
+    if (found != nullptr) return nullptr;  // ambiguous
+    found = &build.column(col);
+  }
+  return found;
+}
+
+/// True when every aggregate of `plan` merges bit-exactly from per-shard
+/// partials: COUNT always; SUM/MIN/MAX/AVG over integer columns (int
+/// addition is associative; AVG rewrites to SUM+COUNT); MIN/MAX over
+/// double columns (no rounding). Excluded: double SUM/AVG (floating-point
+/// addition is not associative — per-shard partial sums would not be
+/// bit-identical to the single-node left-to-right sum), expression
+/// aggregates (double-valued), and string-typed inputs (shard
+/// dictionaries renumber the codes the kernels aggregate).
+bool partial_merge_eligible(const storage::Catalog& catalog,
+                            const LogicalPlan& plan) {
+  if (!plan.is_aggregate()) return false;
+  for (const AggSpec& a : plan.aggregates) {
+    if (a.op == AggOp::kCount) continue;
+    if (a.expr != nullptr) return false;
+    const Column* c = find_plan_column(catalog, plan, a.column);
+    if (c == nullptr) return false;
+    switch (c->type()) {
+      case TypeId::kInt32:
+      case TypeId::kInt64:
+        break;
+      case TypeId::kDouble:
+        if (a.op != AggOp::kMin && a.op != AggOp::kMax) return false;
+        break;
+      case TypeId::kString:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// The partition-aware half of compilation: validates the FROM table's
+/// partition layer against the requested shard count, picks the merge
+/// mode, and prices each join step's dimension exchange (broadcast vs
+/// repartition) plus the result exchange via the cost model's
+/// network-byte arm.
+void plan_distribution(const storage::Catalog& catalog, PhysicalPlan& phys,
+                       const ExecOptions& options, const opt::CostModel& cm) {
+  if (options.shard_count == 0) return;
+  const LogicalPlan& plan = phys.logical;
+  const Table& probe = catalog.get(plan.table);
+  const storage::PartitionSet* pset = probe.partition_set();
+  if (pset == nullptr)
+    throw Error("sharded execution requires a partition layer on " +
+                plan.table + " (Table::build_partitions)");
+  if (pset->shard_count() != options.shard_count)
+    throw Error("shard_count mismatch for " + plan.table + ": options say " +
+                std::to_string(options.shard_count) + ", table has " +
+                std::to_string(pset->shard_count()));
+
+  DistPlan dist;
+  dist.shard_count = options.shard_count;
+  dist.partition_key = pset->key_column;
+  dist.mode = partial_merge_eligible(catalog, plan) ? DistMode::kPartialMerge
+                                                    : DistMode::kGather;
+  double in_rows = phys.est_probe_rows;
+  for (const PhysicalJoinStep& step : phys.joins) {
+    // Dimension exchanges exist only in partial-merge mode: the gather
+    // mode joins at the coordinator after the row-id exchange, so its
+    // only wire cost is the result gather priced below.
+    if (dist.mode == DistMode::kPartialMerge) {
+      const double bcast =
+          cm.broadcast_wire_bytes(step.est_build_rows, dist.shard_count);
+      const double repart = cm.repartition_wire_bytes(
+          step.est_build_rows, in_rows, dist.shard_count);
+      DistJoinExchange ex;
+      ex.strategy = bcast <= repart ? ExchangeStrategy::kBroadcast
+                                    : ExchangeStrategy::kRepartition;
+      ex.est_bytes = std::min(bcast, repart);
+      dist.joins.push_back(ex);
+    }
+    in_rows = step.est_rows_out;
+  }
+  if (dist.mode == DistMode::kGather) {
+    // Shards ship their selected FROM-table row ids (pre-join).
+    dist.est_result_bytes =
+        cm.gather_wire_bytes(phys.est_probe_rows, 8.0, dist.shard_count);
+  } else {
+    // Shards ship partial group rows: group values + leading count +
+    // one partial per aggregate, 8 bytes each. Group count estimated
+    // from the key columns' distinct statistics, capped by the rows
+    // flowing into the aggregation.
+    double groups = 1;
+    for (const std::string& g : plan.group_by) {
+      const Column* c = find_plan_column(catalog, plan, g);
+      if (c != nullptr)
+        groups *= std::max<double>(
+            1.0, static_cast<double>(c->stats().distinct));
+    }
+    groups = std::min(groups, std::max(1.0, in_rows));
+    const double row_bytes = 8.0 * static_cast<double>(plan.group_by.size() +
+                                                       1 +
+                                                       plan.aggregates.size());
+    dist.est_result_bytes =
+        cm.gather_wire_bytes(groups, row_bytes, dist.shard_count);
+  }
+  phys.dist = std::move(dist);
+}
+
 }  // namespace
+
+std::string dist_mode_name(DistMode m) {
+  switch (m) {
+    case DistMode::kNone:
+      return "single-node";
+    case DistMode::kPartialMerge:
+      return "partial-merge";
+    case DistMode::kGather:
+      return "gather";
+  }
+  return "?";
+}
+
+std::string exchange_strategy_name(ExchangeStrategy s) {
+  switch (s) {
+    case ExchangeStrategy::kBroadcast:
+      return "broadcast";
+    case ExchangeStrategy::kRepartition:
+      return "repartition";
+  }
+  return "?";
+}
 
 std::string join_key_type_name(JoinKeyType t) {
   switch (t) {
@@ -161,8 +308,13 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
     phys.sort_on_result = plan.is_aggregate();
   }
 
+  static const opt::CostModel default_model = opt::CostModel::defaults();
+  const opt::CostModel& cm =
+      options.cost_model != nullptr ? *options.cost_model : default_model;
+
   const std::size_t k = plan.joins.size();
   if (k == 0) {
+    plan_distribution(catalog, phys, options, cm);
     apply_plan_governor(catalog, phys, options);
     return phys;
   }
@@ -273,9 +425,6 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
   }
 
   // ---- Per-step physical arm (opt::CostModel) and cardinality chain. ----
-  static const opt::CostModel default_model = opt::CostModel::defaults();
-  const opt::CostModel& cm =
-      options.cost_model != nullptr ? *options.cost_model : default_model;
   // Declaration index -> executed side (1-based; 0 is the probe table).
   std::vector<std::size_t> side_of(k, 0);
   for (std::size_t pos = 0; pos < k; ++pos)
@@ -339,6 +488,7 @@ PhysicalPlan compile_plan(const storage::Catalog& catalog,
       step.arm = opt::JoinArm::kHashJoin;
     phys.joins.push_back(std::move(step));
   }
+  plan_distribution(catalog, phys, options, cm);
   apply_plan_governor(catalog, phys, options);
   return phys;
 }
@@ -398,6 +548,18 @@ std::string PhysicalPlan::explain() const {
   os << "  scan+filter(" << logical.table << ", preds="
      << logical.predicates.size() << ", est_rows=" << fmt_rows(est_probe_rows)
      << ")\n";
+  if (dist.active()) {
+    os << "shards: " << dist.shard_count << " x " << logical.table
+       << " (hash key " << dist.partition_key << ", mode "
+       << dist_mode_name(dist.mode) << ")\n";
+    for (std::size_t i = 0; i < dist.joins.size(); ++i)
+      os << "exchange: join "
+         << logical.joins[joins[i].logical_index].table << " "
+         << exchange_strategy_name(dist.joins[i].strategy)
+         << ", est_bytes=" << fmt_rows(dist.joins[i].est_bytes) << "\n";
+    os << "exchange: result gather-to-coordinator, est_bytes="
+       << fmt_rows(dist.est_result_bytes) << "\n";
+  }
   if (!join_order_algorithm.empty())
     os << "join order: " << join_order_algorithm
        << " (C_out=" << join_order_cost << ")\n";

@@ -56,6 +56,67 @@ enum class SortStrategy : std::uint8_t {
   kTopK,      ///< Heap-based partial sort bounded by LIMIT.
 };
 
+/// How shard results reach the coordinator in a partition-aware plan.
+enum class DistMode : std::uint8_t {
+  kNone,  ///< Single-node plan (shard_count == 0 or LIMIT 0 short-circuit).
+  /// Shards run a rewritten partial-aggregate plan (leading COUNT, AVG →
+  /// SUM, sort/limit dropped) on their shard tables; the coordinator
+  /// merges the exactly-decomposable partials in the value domain. Only
+  /// chosen when every aggregate provably merges bit-exactly (COUNT, and
+  /// integer-input SUM/MIN/MAX/AVG, double MIN/MAX); anything else —
+  /// double SUM/AVG (floating-point addition is not associative),
+  /// expression aggregates, string-code inputs (codes are shard-local) —
+  /// falls back to kGather.
+  kPartialMerge,
+  /// Shards run only scan+filter and ship their selected global row ids;
+  /// the coordinator ORs them into a selection over the original table
+  /// and runs the normal single-node pipeline — bit-identical by
+  /// construction for every plan shape.
+  kGather,
+};
+
+[[nodiscard]] std::string dist_mode_name(DistMode m);
+
+/// How one join step's build (dimension) side reaches the shards. The
+/// engine shares dimensions in-process (only the wire is simulated —
+/// DESIGN.md §5); the strategy decides the *modeled* wire volume the
+/// cost model's network arm charges through net::Cluster.
+enum class ExchangeStrategy : std::uint8_t {
+  kBroadcast,    ///< Ship the whole build side to every other shard.
+  kRepartition,  ///< Hash-repartition both sides on the join key.
+};
+
+[[nodiscard]] std::string exchange_strategy_name(ExchangeStrategy s);
+
+/// One join step's dimension-exchange decision (aligned with
+/// PhysicalPlan::joins).
+struct DistJoinExchange {
+  ExchangeStrategy strategy = ExchangeStrategy::kBroadcast;
+  double est_bytes = 0;  ///< Modeled wire bytes of the chosen strategy.
+};
+
+/// The partition-aware half of a compiled plan: how the plan fans out
+/// over the FROM table's hash-partition layer and what the exchanges are
+/// predicted to ship. Inactive (kNone) for single-node plans.
+struct DistPlan {
+  DistMode mode = DistMode::kNone;
+  std::size_t shard_count = 0;
+  std::string partition_key;  ///< The partition layer's hash key column.
+  /// Per-join-step dimension exchange, aligned with PhysicalPlan::joins.
+  std::vector<DistJoinExchange> joins;
+  /// Modeled bytes of the shard → coordinator result exchange (partial
+  /// rows or gathered row ids).
+  double est_result_bytes = 0;
+
+  [[nodiscard]] bool active() const { return mode != DistMode::kNone; }
+  /// Total modeled wire bytes (the governor's network-arm input).
+  [[nodiscard]] double est_wire_bytes() const {
+    double total = est_result_bytes;
+    for (const DistJoinExchange& j : joins) total += j.est_bytes;
+    return total;
+  }
+};
+
 struct PhysicalPlan {
   LogicalPlan logical;
   /// Join steps in execution order (empty = no join).
@@ -74,6 +135,9 @@ struct PhysicalPlan {
   /// The plan governor's cores × P-state decision for this query (only
   /// when ExecOptions::governor is set; see query/plan_governor.hpp).
   GovernorChoice governor;
+  /// Partition-aware execution plan (active when ExecOptions::shard_count
+  /// > 0 and the FROM table carries a matching partition layer).
+  DistPlan dist;
 
   [[nodiscard]] std::size_t side_count() const { return joins.size() + 1; }
 

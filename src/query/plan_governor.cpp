@@ -170,11 +170,16 @@ hw::Work estimate_plan_work(const storage::Catalog& catalog,
     sort.dram_bytes = 8.0 * rows_out;
   }
 
-  return scan * calibrated(options, OperatorKind::kScan) +
-         join * calibrated(options, OperatorKind::kJoin) +
-         agg * calibrated(options, OperatorKind::kAggregate) +
-         sort * calibrated(options, OperatorKind::kSort) +
-         materialize * calibrated(options, OperatorKind::kMaterialize);
+  hw::Work total = scan * calibrated(options, OperatorKind::kScan) +
+                   join * calibrated(options, OperatorKind::kJoin) +
+                   agg * calibrated(options, OperatorKind::kAggregate) +
+                   sort * calibrated(options, OperatorKind::kSort) +
+                   materialize * calibrated(options, OperatorKind::kMaterialize);
+  // Sharded plans: the planner's modeled exchange volume rides the work
+  // estimate's wire lane (uncalibrated — link costs are modeled, not
+  // measured, so there is nothing for the EWMA to learn from).
+  total.net_bytes += phys.dist.est_wire_bytes();
+  return total;
 }
 
 void apply_plan_governor(const storage::Catalog& catalog, PhysicalPlan& phys,

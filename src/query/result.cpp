@@ -33,7 +33,7 @@ std::string format_operator_stats(const ExecStats& stats,
                                   const hw::MachineSpec& machine,
                                   const hw::DvfsState& state) {
   TablePrinter table({"operator", "time_ms", "cycles", "dram_bytes",
-                      "attributed_J"});
+                      "net_bytes", "attributed_J"});
   double seconds = 0;
   hw::Work total;
   double joules = 0;
@@ -42,6 +42,7 @@ std::string format_operator_stats(const ExecStats& stats,
     table.add_row({op.name, TablePrinter::fmt(op.seconds * 1e3, 4),
                    TablePrinter::fmt(op.work.cpu_cycles, 0),
                    TablePrinter::fmt(op.work.dram_bytes, 0),
+                   TablePrinter::fmt(op.work.net_bytes, 0),
                    TablePrinter::fmt(j, 6)});
     seconds += op.seconds;
     total += op.work;
@@ -50,6 +51,7 @@ std::string format_operator_stats(const ExecStats& stats,
   table.add_row({"total", TablePrinter::fmt(seconds * 1e3, 4),
                  TablePrinter::fmt(total.cpu_cycles, 0),
                  TablePrinter::fmt(total.dram_bytes, 0),
+                 TablePrinter::fmt(total.net_bytes, 0),
                  TablePrinter::fmt(joules, 6)});
   std::ostringstream os;
   table.print(os);

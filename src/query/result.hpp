@@ -79,6 +79,16 @@ struct ExecStats {
   double elapsed_s = 0;        ///< Measured wall time of execution.
   double cold_tier_time_s = 0; ///< Simulated cold-tier penalty (E6).
   double cold_tier_energy_j = 0;
+  /// Sharded execution: wire transfers charged through net::Cluster when
+  /// shard partials/row ids ship to the coordinator. `work.net_bytes`
+  /// carries the byte totals (and per-operator deltas, like DRAM); the
+  /// joules/seconds of the modeled links land here, outside the machine's
+  /// busy-energy quantum. All zero single-node and at shard_count == 1
+  /// (shard 0 lives on the coordinator and ships nothing).
+  std::uint64_t shards_executed = 0;
+  std::uint64_t wire_messages = 0;
+  double wire_time_s = 0;
+  double wire_energy_j = 0;
   /// Per-operator time/DRAM/work attribution in execution order; work
   /// deltas sum to `work` (asserted by the executor tests).
   std::vector<OperatorStats> operators;

@@ -1,0 +1,123 @@
+#include "storage/partition.hpp"
+
+#include <bit>
+#include <cstddef>
+
+#include "storage/table.hpp"
+#include "util/assert.hpp"
+
+namespace eidb::storage {
+
+std::uint64_t shard_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Shard id of every row: hash of the key column's per-row identity. The
+/// identity is the value for integer keys and the dictionary code for
+/// string/double keys — any deterministic row → shard map works (the
+/// executor's results must match single-node regardless of placement),
+/// codes just avoid materializing strings.
+std::vector<std::uint32_t> assign_shards(const Column& key,
+                                         std::size_t shard_count) {
+  std::vector<std::uint32_t> shard_of(key.size());
+  const auto assign = [&](auto span) {
+    for (std::size_t i = 0; i < shard_of.size(); ++i)
+      shard_of[i] = static_cast<std::uint32_t>(
+          shard_mix(static_cast<std::uint64_t>(span[i])) % shard_count);
+  };
+  switch (key.type()) {
+    case TypeId::kInt32:
+      assign(key.int32_data());
+      break;
+    case TypeId::kInt64:
+      assign(key.int64_data());
+      break;
+    case TypeId::kString:
+      assign(key.codes());
+      break;
+    case TypeId::kDouble:
+      if (key.has_double_dictionary()) {
+        assign(key.double_codes());
+      } else {
+        const auto data = key.double_data();
+        for (std::size_t i = 0; i < shard_of.size(); ++i)
+          shard_of[i] = static_cast<std::uint32_t>(
+              shard_mix(std::bit_cast<std::uint64_t>(data[i])) % shard_count);
+      }
+      break;
+  }
+  return shard_of;
+}
+
+/// Gathers `rows` of `src` into a freshly built column (stats, encoding
+/// and dictionaries rebuilt by Table::set_column afterwards).
+Column gather_column(const Column& src, const std::vector<std::uint32_t>& rows) {
+  switch (src.type()) {
+    case TypeId::kInt32: {
+      const auto data = src.int32_data();
+      std::vector<std::int32_t> out;
+      out.reserve(rows.size());
+      for (const std::uint32_t r : rows) out.push_back(data[r]);
+      return Column::from_int32(src.name(), out);
+    }
+    case TypeId::kInt64: {
+      const auto data = src.int64_data();
+      std::vector<std::int64_t> out;
+      out.reserve(rows.size());
+      for (const std::uint32_t r : rows) out.push_back(data[r]);
+      return Column::from_int64(src.name(), out);
+    }
+    case TypeId::kDouble: {
+      const auto data = src.double_data();
+      std::vector<double> out;
+      out.reserve(rows.size());
+      for (const std::uint32_t r : rows) out.push_back(data[r]);
+      return Column::from_double(src.name(), out);
+    }
+    case TypeId::kString: {
+      const auto codes = src.codes();
+      const Dictionary& dict = src.dictionary();
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      for (const std::uint32_t r : rows) out.push_back(dict.at(codes[r]));
+      return Column::from_strings(src.name(), out);
+    }
+  }
+  throw Error("invalid column type");
+}
+
+}  // namespace
+
+PartitionSet build_partition_set(const Table& table,
+                                 const std::string& key_column,
+                                 std::size_t shard_count) {
+  if (shard_count == 0)
+    throw Error("cannot partition " + table.name() + " into 0 shards");
+  if (!table.complete())
+    throw Error("cannot partition incomplete table " + table.name());
+  const Column& key = table.column(key_column);  // throws when absent
+
+  PartitionSet set;
+  set.key_column = key_column;
+  set.shard_rows.resize(shard_count);
+  const std::vector<std::uint32_t> shard_of = assign_shards(key, shard_count);
+  for (std::size_t i = 0; i < shard_of.size(); ++i)
+    set.shard_rows[shard_of[i]].push_back(static_cast<std::uint32_t>(i));
+
+  const Schema& schema = table.schema();
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Table>(
+        table.name() + "#" + std::to_string(s), schema);
+    for (std::size_t c = 0; c < schema.column_count(); ++c)
+      shard->set_column(c, gather_column(table.column(c), set.shard_rows[s]));
+    set.shards.push_back(std::move(shard));
+  }
+  return set;
+}
+
+}  // namespace eidb::storage

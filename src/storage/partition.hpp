@@ -1,0 +1,49 @@
+// Hash-partition layer over immutable tables: the storage side of sharded
+// execution. A PartitionSet splits one fact table into `shard_count`
+// row-disjoint shard tables on a key column's hash; each shard is a full
+// storage::Table built through the normal load path (set_column), so
+// per-shard ColumnStats, encodings and dictionaries exist exactly as they
+// would for a standalone table. `shard_rows` keeps each shard's global row
+// ids so the executor can map shard-local selections back onto the
+// original table (the gather-to-coordinator exchange).
+//
+// Like recode()/set_column(), building partitions is a load/maintenance-
+// time operation — not safe while queries are in flight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eidb::storage {
+
+class Table;
+
+/// Deterministic 64-bit finalizer (splitmix64) used for row → shard
+/// assignment. Exposed so tests can predict shard membership.
+[[nodiscard]] std::uint64_t shard_mix(std::uint64_t x);
+
+/// One table's hash-partition layer. Shards are named "<table>#<i>" and
+/// cover the original rows disjointly; shard i of S holds exactly the rows
+/// whose key hashes to i mod S, in ascending original-row order.
+struct PartitionSet {
+  std::string key_column;
+  std::vector<std::unique_ptr<Table>> shards;
+  /// Global (original-table) row ids per shard, ascending; shard-local row
+  /// j of shard i is original row shard_rows[i][j].
+  std::vector<std::vector<std::uint32_t>> shard_rows;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards.size(); }
+};
+
+/// Hash-partitions `table` on `key_column` into `shard_count` shards.
+/// Integer keys hash their value, string keys their dictionary code,
+/// double keys their ordered-dictionary code (bit pattern when the column
+/// has no code domain, i.e. contains NaN). Throws Error when the table is
+/// incomplete, the key column is absent, or shard_count == 0.
+[[nodiscard]] PartitionSet build_partition_set(const Table& table,
+                                               const std::string& key_column,
+                                               std::size_t shard_count);
+
+}  // namespace eidb::storage

@@ -39,6 +39,7 @@ Table::Table(Table&& other) noexcept
       schema_(std::move(other.schema_)),
       columns_(std::move(other.columns_)),
       rows_(other.rows_),
+      partitions_(std::move(other.partitions_)),
       zone_cache_(std::move(other.zone_cache_)) {}
 
 Table& Table::operator=(Table&& other) noexcept {
@@ -47,6 +48,7 @@ Table& Table::operator=(Table&& other) noexcept {
     schema_ = std::move(other.schema_);
     columns_ = std::move(other.columns_);
     rows_ = other.rows_;
+    partitions_ = std::move(other.partitions_);
     zone_cache_ = std::move(other.zone_cache_);
   }
   return *this;
@@ -102,6 +104,12 @@ std::size_t Table::byte_size() const {
 bool Table::complete() const {
   return std::all_of(columns_.begin(), columns_.end(),
                      [](const std::unique_ptr<Column>& c) { return c != nullptr; });
+}
+
+void Table::build_partitions(const std::string& key_column,
+                             std::size_t shard_count) {
+  partitions_ = std::make_shared<const PartitionSet>(
+      build_partition_set(*this, key_column, shard_count));
 }
 
 const ZoneMap& Table::zone_map(std::size_t column_index,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "storage/column.hpp"
+#include "storage/partition.hpp"
 #include "storage/types.hpp"
 #include "storage/zonemap.hpp"
 
@@ -81,11 +82,23 @@ class Table {
   [[nodiscard]] const ZoneMap& zone_map(std::size_t column_index,
                                         std::size_t block_rows) const;
 
+  /// Builds (or rebuilds) the hash-partition layer: `shard_count` shard
+  /// tables on `key_column`'s hash, each with its own stats/encodings/
+  /// dictionaries. Like set_column/recode, a load/maintenance-time
+  /// operation — NOT safe while queries are in flight.
+  void build_partitions(const std::string& key_column,
+                        std::size_t shard_count);
+  /// The partition layer, or nullptr when the table is unpartitioned.
+  [[nodiscard]] const PartitionSet* partition_set() const {
+    return partitions_.get();
+  }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;
   std::size_t rows_ = 0;
+  std::shared_ptr<const PartitionSet> partitions_;
   mutable std::mutex zone_mu_;
   mutable std::map<std::pair<std::size_t, std::size_t>,
                    std::unique_ptr<ZoneMap>>

@@ -50,5 +50,17 @@ TEST(Cluster, SelfSendRejected) {
   EXPECT_DEATH((void)c.send(1, 1, 10), "precondition");
 }
 
+// The whole diagonal is rejected, not just send: there is no self-link to
+// read or replace (slots exist only for dense indexing).
+TEST(Cluster, SelfLinkReadRejected) {
+  Cluster c(2, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  EXPECT_DEATH((void)c.link(0, 0), "precondition");
+}
+
+TEST(Cluster, SelfLinkReplaceRejected) {
+  Cluster c(2, hw::MachineSpec::server(), hw::LinkSpec::tengbe());
+  EXPECT_DEATH(c.set_link(1, 1, hw::LinkSpec::qpi()), "precondition");
+}
+
 }  // namespace
 }  // namespace eidb::net

@@ -1,0 +1,93 @@
+#include "net/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace eidb::net {
+namespace {
+
+TEST(WireFormat, RoundTripsTypedColumns) {
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64(
+      {0, -1, std::numeric_limits<std::int64_t>::min(),
+       std::numeric_limits<std::int64_t>::max(), 42}));
+  t.columns.push_back(
+      WireColumn::of_double({0.0, -0.0, 3.25, -1e300, 5e-324}));
+  t.columns.push_back(WireColumn::of_strings(
+      {"", "a", "exactly8", "longer than a word", "\xff\x01 binary"}));
+  const auto payload = encode_wire(t);
+  const WireTable back = decode_wire(payload);
+  ASSERT_EQ(back.columns.size(), 3u);
+  ASSERT_EQ(back.row_count(), 5u);
+  EXPECT_EQ(back.columns[0].kind, WireColumn::Kind::kInt64);
+  EXPECT_EQ(back.columns[0].i64, t.columns[0].i64);
+  EXPECT_EQ(back.columns[1].kind, WireColumn::Kind::kDouble);
+  for (std::size_t i = 0; i < 5; ++i) {
+    // Bit-pattern equality, not value equality: -0.0 must survive.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.columns[1].f64[i]),
+              std::bit_cast<std::uint64_t>(t.columns[1].f64[i]));
+  }
+  EXPECT_EQ(back.columns[2].kind, WireColumn::Kind::kString);
+  EXPECT_EQ(back.columns[2].str, t.columns[2].str);
+}
+
+TEST(WireFormat, RoundTripsEmptyShapes) {
+  // No columns at all (an empty shard's message)...
+  const WireTable none = decode_wire(encode_wire(WireTable{}));
+  EXPECT_EQ(none.columns.size(), 0u);
+  EXPECT_EQ(none.row_count(), 0u);
+  // ...and columns with zero rows (an empty result still has a schema).
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64({}));
+  t.columns.push_back(WireColumn::of_strings({}));
+  const WireTable back = decode_wire(encode_wire(t));
+  ASSERT_EQ(back.columns.size(), 2u);
+  EXPECT_EQ(back.row_count(), 0u);
+  EXPECT_EQ(back.columns[1].kind, WireColumn::Kind::kString);
+}
+
+TEST(WireFormat, RejectsRaggedColumns) {
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64({1, 2, 3}));
+  t.columns.push_back(WireColumn::of_double({1.0}));
+  EXPECT_THROW((void)encode_wire(t), Error);
+}
+
+TEST(WireFormat, RejectsTruncatedStreams) {
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64({7, 8, 9}));
+  t.columns.push_back(WireColumn::of_strings({"x", "yy", "zzz"}));
+  const auto payload = encode_wire(t);
+  // Every proper prefix must throw — never crash, never return garbage.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(
+        (void)decode_wire(std::span(payload.data(), len)), Error)
+        << "prefix " << len;
+  }
+  EXPECT_NO_THROW((void)decode_wire(payload));
+}
+
+TEST(WireFormat, RejectsCorruptHeaders) {
+  WireTable t;
+  t.columns.push_back(WireColumn::of_int64({1, 2}));
+  auto payload = encode_wire(t);
+  // Implausible column/row counts must be rejected up front rather than
+  // driving a multi-gigabyte allocation.
+  auto bad = payload;
+  bad[0] = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW((void)decode_wire(bad), Error);
+  bad = payload;
+  bad[0] = -1;
+  EXPECT_THROW((void)decode_wire(bad), Error);
+}
+
+}  // namespace
+}  // namespace eidb::net

@@ -7,6 +7,8 @@
 // `ExecOptions::use_encodings` the default.
 #include <gtest/gtest.h>
 
+#include "parity_matrix.hpp"
+
 #include <limits>
 #include <map>
 #include <optional>
@@ -33,379 +35,14 @@ using storage::Table;
 using storage::TypeId;
 using storage::Value;
 
-// 5'000 rows: not a multiple of 64, so every kernel exercises its partial
-// tail word; large enough for full, partial and dead selection words.
-constexpr std::size_t kRows = 5'000;
-
-/// facts(u32, skew32, neg32, const32, wide64, neg64, tag, d, dk) — one
-/// column per distribution shape the encoder must survive: uniform
-/// non-negative (kBitPacked), skewed (dense head, sparse tail),
-/// negative-domain (kForBitPacked only), all-equal (width-0 packing),
-/// wide int64, negative int64, dictionary codes, a plain double, and a
-/// small-domain double that doubles as a join / group key.
-Catalog make_catalog(std::uint64_t seed) {
-  Catalog cat;
-  Table& t = cat.add(Table("facts", Schema({{"u32", TypeId::kInt32},
-                                            {"skew32", TypeId::kInt32},
-                                            {"neg32", TypeId::kInt32},
-                                            {"const32", TypeId::kInt32},
-                                            {"wide64", TypeId::kInt64},
-                                            {"neg64", TypeId::kInt64},
-                                            {"tag", TypeId::kString},
-                                            {"d", TypeId::kDouble},
-                                            {"dk", TypeId::kDouble}})));
-  Pcg32 rng(seed);
-  std::vector<std::int32_t> u32, skew32, neg32, const32;
-  std::vector<std::int64_t> wide64, neg64;
-  std::vector<std::string> tag;
-  std::vector<double> d, dk;
-  const char* tags[] = {"ash", "birch", "cedar", "elm", "fir", "oak"};
-  for (std::size_t i = 0; i < kRows; ++i) {
-    u32.push_back(static_cast<std::int32_t>(rng.next_bounded(1000)));
-    // Skew: ~87% land in a tiny head domain, the rest spread wide.
-    skew32.push_back(static_cast<std::int32_t>(
-        rng.next_bounded(8) != 0 ? rng.next_bounded(4)
-                                 : 100 + rng.next_bounded(5000)));
-    neg32.push_back(static_cast<std::int32_t>(rng.next_in_range(-700, 300)));
-    const32.push_back(42);
-    wide64.push_back(rng.next_in_range(0, 3'000'000));
-    neg64.push_back(rng.next_in_range(-50'000, -10));
-    tag.emplace_back(tags[rng.next_bounded(6)]);
-    d.push_back(rng.next_double() * 200.0 - 100.0);
-    dk.push_back(0.25 * static_cast<double>(rng.next_bounded(40)));
-  }
-  t.set_column(0, Column::from_int32("u32", u32));
-  t.set_column(1, Column::from_int32("skew32", skew32));
-  t.set_column(2, Column::from_int32("neg32", neg32));
-  t.set_column(3, Column::from_int32("const32", const32));
-  t.set_column(4, Column::from_int64("wide64", wide64));
-  t.set_column(5, Column::from_int64("neg64", neg64));
-  t.set_column(6, Column::from_strings("tag", tag));
-  t.set_column(7, Column::from_double("d", d));
-  t.set_column(8, Column::from_double("dk", dk));
-
-  // dim(key, weight, cat, skey, dkey) for joins: keys overlap u32's
-  // domain partially, keys 0..49 appear TWICE (duplicate build keys ->
-  // pair fan-out), and `cat` gives a build-side string group key.
-  // `skey` is a string join key whose dictionary only PARTIALLY overlaps
-  // facts.tag ("hazel"/"pine" remap to no probe code; "ash"/"oak" never
-  // match), and `dkey` is a double join key over a 48-value domain that
-  // covers facts.dk's 40 values plus 8 build-only ones.
-  Table& dim = cat.add(Table("dim", Schema({{"key", TypeId::kInt32},
-                                            {"weight", TypeId::kInt64},
-                                            {"cat", TypeId::kString},
-                                            {"skey", TypeId::kString},
-                                            {"dkey", TypeId::kDouble}})));
-  std::vector<std::int32_t> keys;
-  std::vector<std::int64_t> weights;
-  std::vector<std::string> cats, skeys;
-  std::vector<double> dkeys;
-  const char* cat_names[] = {"red", "green", "blue"};
-  const char* skey_names[] = {"birch", "cedar", "elm",
-                              "fir",   "hazel", "pine"};
-  for (std::int32_t k = 0; k < 700; ++k) {
-    keys.push_back(k);
-    weights.push_back(rng.next_in_range(-9, 9));
-    cats.emplace_back(cat_names[rng.next_bounded(3)]);
-    skeys.emplace_back(skey_names[rng.next_bounded(6)]);
-    dkeys.push_back(0.25 * static_cast<double>(rng.next_bounded(48)));
-  }
-  for (std::int32_t k = 0; k < 50; ++k) {  // duplicates
-    keys.push_back(k);
-    weights.push_back(rng.next_in_range(-9, 9));
-    cats.emplace_back(cat_names[rng.next_bounded(3)]);
-    skeys.emplace_back(skey_names[rng.next_bounded(6)]);
-    dkeys.push_back(0.25 * static_cast<double>(rng.next_bounded(48)));
-  }
-  dim.set_column(0, Column::from_int32("key", keys));
-  dim.set_column(1, Column::from_int64("weight", weights));
-  dim.set_column(2, Column::from_strings("cat", cats));
-  dim.set_column(3, Column::from_strings("skey", skeys));
-  dim.set_column(4, Column::from_double("dkey", dkeys));
-
-  // dim2(key2, score): a second star dimension over u32's domain — only
-  // even keys exist, so the chained join filters — for the multi-way
-  // (3-table) join matrix.
-  Table& dim2 = cat.add(Table("dim2", Schema({{"key2", TypeId::kInt32},
-                                              {"score", TypeId::kInt64}})));
-  std::vector<std::int32_t> keys2;
-  std::vector<std::int64_t> scores;
-  for (std::int32_t k = 0; k < 450; ++k) {
-    keys2.push_back(2 * k);
-    scores.push_back(rng.next_in_range(-20, 20));
-  }
-  dim2.set_column(0, Column::from_int32("key2", keys2));
-  dim2.set_column(1, Column::from_int64("score", scores));
-  return cat;
-}
-
-/// Re-encodes every integer-typed column of both tables. `forced` ==
-/// nullopt restores the automatic (stats-driven) choice; kBitPacked is
-/// silently replaced by kForBitPacked on negative domains, where it is
-/// inapplicable by definition.
-void recode_all(Catalog& cat, std::optional<Encoding> forced) {
-  for (const std::string& tname : cat.table_names()) {
-    Table& t = cat.get(tname);
-    for (const auto& def : t.schema().columns()) {
-      if (def.type == TypeId::kDouble) continue;
-      Encoding e;
-      if (forced.has_value()) {
-        e = *forced;
-        if (e == Encoding::kBitPacked && t.column(def.name).stats().min < 0)
-          e = Encoding::kForBitPacked;
-      } else {
-        e = t.column(def.name).choose_encoding();
-      }
-      t.recode(def.name, e);
-    }
-  }
-}
-
-/// Bit-identical result comparison: every Value must compare equal under
-/// the variant's operator== — including doubles, since packed decode is
-/// exact and both paths accumulate in the same order.
-void expect_identical(const QueryResult& plain, const QueryResult& packed,
-                      const std::string& label) {
-  ASSERT_EQ(plain.column_names(), packed.column_names()) << label;
-  ASSERT_EQ(plain.row_count(), packed.row_count()) << label;
-  for (std::size_t r = 0; r < plain.row_count(); ++r)
-    for (std::size_t c = 0; c < plain.column_count(); ++c)
-      ASSERT_EQ(plain.at(r, c), packed.at(r, c))
-          << label << " row " << r << " col " << c;
-}
-
-/// The query matrix: every supported shape over the distribution columns.
-std::vector<std::pair<std::string, LogicalPlan>> query_matrix() {
-  std::vector<std::pair<std::string, LogicalPlan>> qs;
-  const auto add = [&](const std::string& name, LogicalPlan plan) {
-    qs.emplace_back(name, std::move(plan));
-  };
-  // Filters: wide / narrow / point / empty / covering / negative bounds.
-  add("filter_count", QueryBuilder("facts")
-                          .filter_int("u32", 100, 899)
-                          .aggregate(AggOp::kCount)
-                          .build());
-  add("filter_point", QueryBuilder("facts")
-                          .filter_int("skew32", 2, 2)
-                          .aggregate(AggOp::kCount)
-                          .build());
-  add("filter_negative", QueryBuilder("facts")
-                             .filter_int("neg32", -650, -1)
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "neg32")
-                             .build());
-  add("filter_const_hit", QueryBuilder("facts")
-                              .filter_int("const32", 40, 50)
-                              .aggregate(AggOp::kCount)
-                              .build());
-  add("filter_const_miss", QueryBuilder("facts")
-                               .filter_int("const32", 43, 99)
-                               .aggregate(AggOp::kCount)
-                               .build());
-  add("filter_conjunctive", QueryBuilder("facts")
-                                .filter_int("u32", 50, 800)
-                                .filter_int("wide64", 0, 1'500'000)
-                                .filter_int("neg32", -500, 200)
-                                .aggregate(AggOp::kCount)
-                                .aggregate(AggOp::kMin, "neg64")
-                                .build());
-  add("filter_string", QueryBuilder("facts")
-                           .filter_string("tag", "birch", "fir")
-                           .aggregate(AggOp::kCount)
-                           .build());
-  // Global multi-aggregates over every input type.
-  add("global_multi", QueryBuilder("facts")
-                          .filter_int("u32", 0, 750)
-                          .aggregate(AggOp::kCount)
-                          .aggregate(AggOp::kSum, "wide64")
-                          .aggregate(AggOp::kMin, "neg64")
-                          .aggregate(AggOp::kMax, "skew32")
-                          .aggregate(AggOp::kAvg, "neg32")
-                          .aggregate(AggOp::kAvg, "d")
-                          .build());
-  // Group-bys: every key type, packed values under packed keys.
-  add("group_small_key", QueryBuilder("facts")
-                             .group_by("skew32")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "wide64")
-                             .aggregate(AggOp::kMin, "neg32")
-                             .build());
-  add("group_negative_key", QueryBuilder("facts")
-                                .filter_int("wide64", 250'000, 2'750'000)
-                                .group_by("neg64")
-                                .aggregate(AggOp::kCount)
-                                .aggregate(AggOp::kMax, "u32")
-                                .build());
-  add("group_string_key", QueryBuilder("facts")
-                              .group_by("tag")
-                              .aggregate(AggOp::kCount)
-                              .aggregate(AggOp::kSum, "neg32")
-                              .aggregate(AggOp::kAvg, "d")
-                              .build());
-  add("group_const_key", QueryBuilder("facts")
-                             .group_by("const32")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "u32")
-                             .build());
-  add("group_composite", QueryBuilder("facts")
-                             .filter_int("neg32", -400, 250)
-                             .group_by("tag")
-                             .group_by("skew32")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "wide64")
-                             .build());
-  // Joins: packed key probing, duplicate build keys, build-side aggregate
-  // columns, grouped aggregation over probe AND build columns, empty
-  // build selections — every shape the vectorized join pipeline supports.
-  add("join_agg", QueryBuilder("facts")
-                      .filter_int("u32", 0, 680)
-                      .join("dim", "u32", "key")
-                      .aggregate(AggOp::kCount)
-                      .aggregate(AggOp::kSum, "wide64")
-                      .build());
-  add("join_build_agg", QueryBuilder("facts")
-                            .join("dim", "u32", "key")
-                            .aggregate(AggOp::kCount)
-                            .aggregate(AggOp::kSum, "dim.weight")
-                            .aggregate(AggOp::kMin, "dim.weight")
-                            .aggregate(AggOp::kMax, "u32")
-                            .build());
-  add("join_group_probe", QueryBuilder("facts")
-                              .filter_int("u32", 0, 200)
-                              .join("dim", "u32", "key")
-                              .group_by("tag")
-                              .aggregate(AggOp::kCount)
-                              .aggregate(AggOp::kSum, "wide64")
-                              .aggregate(AggOp::kSum, "dim.weight")
-                              .build());
-  add("join_group_build", QueryBuilder("facts")
-                              .join("dim", "u32", "key")
-                              .join_filter_int("weight", -5, 5)
-                              .group_by("dim.cat")
-                              .aggregate(AggOp::kCount)
-                              .aggregate(AggOp::kSum, "u32")
-                              .aggregate(AggOp::kMin, "neg32")
-                              .build());
-  add("join_group_composite", QueryBuilder("facts")
-                                  .filter_int("skew32", 0, 3)
-                                  .join("dim", "u32", "key")
-                                  .group_by("skew32")
-                                  .group_by("dim.cat")
-                                  .aggregate(AggOp::kCount)
-                                  .aggregate(AggOp::kSum, "dim.weight")
-                                  .build());
-  add("join_empty_build", QueryBuilder("facts")
-                              .join("dim", "u32", "key")
-                              .join_filter_int("weight", 100, 200)
-                              .group_by("tag")
-                              .aggregate(AggOp::kCount)
-                              .aggregate(AggOp::kSum, "u32")
-                              .build());
-  // String- and double-keyed joins: the build side's codes are remapped
-  // into the probe dictionary's code domain, so these exercise partially
-  // overlapping dictionaries (build-only values remap to -1, probe-only
-  // values never match), fully disjoint dictionaries (empty result), and
-  // double keys joined / grouped through their ordered code domains.
-  add("join_string_key", QueryBuilder("facts")
-                             .filter_int("u32", 0, 120)
-                             .join("dim", "tag", "skey")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "dim.weight")
-                             .aggregate(AggOp::kMax, "u32")
-                             .build());
-  add("join_string_group", QueryBuilder("facts")
-                               .filter_int("u32", 500, 560)
-                               .join("dim", "tag", "skey")
-                               .join_filter_int("weight", -6, 6)
-                               .group_by("dim.cat")
-                               .aggregate(AggOp::kCount)
-                               .aggregate(AggOp::kSum, "wide64")
-                               .build());
-  add("join_string_disjoint", QueryBuilder("facts")
-                                  .filter_int("u32", 0, 500)
-                                  .join("dim", "tag", "cat")
-                                  .aggregate(AggOp::kCount)
-                                  .aggregate(AggOp::kSum, "u32")
-                                  .build());
-  add("join_double_key", QueryBuilder("facts")
-                             .filter_int("u32", 0, 100)
-                             .join("dim", "dk", "dkey")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "dim.weight")
-                             .aggregate(AggOp::kMin, "neg32")
-                             .build());
-  add("group_double_key", QueryBuilder("facts")
-                              .filter_int("u32", 0, 400)
-                              .group_by("dk")
-                              .aggregate(AggOp::kCount)
-                              .aggregate(AggOp::kSum, "neg32")
-                              .build());
-  // Multi-way (3-table) star joins through the physical plan compiler:
-  // grouped aggregates over all three tables, composite cross-table
-  // keys, and ORDER BY / LIMIT over the join output.
-  add("join_star_group", QueryBuilder("facts")
-                             .filter_int("u32", 0, 650)
-                             .join("dim", "u32", "key")
-                             .join("dim2", "u32", "key2")
-                             .group_by("tag")
-                             .aggregate(AggOp::kCount)
-                             .aggregate(AggOp::kSum, "dim.weight")
-                             .aggregate(AggOp::kSum, "dim2.score")
-                             .aggregate(AggOp::kMax, "u32")
-                             .build());
-  add("join_star_composite", QueryBuilder("facts")
-                                 .filter_int("skew32", 0, 3)
-                                 .join("dim", "u32", "key")
-                                 .join_filter_int("weight", -7, 7)
-                                 .join("dim2", "u32", "key2")
-                                 .group_by("skew32")
-                                 .group_by("dim.cat")
-                                 .aggregate(AggOp::kCount)
-                                 .aggregate(AggOp::kSum, "dim2.score")
-                                 .build());
-  add("join_star_orderby_key", QueryBuilder("facts")
-                                   .join("dim", "u32", "key")
-                                   .join("dim2", "u32", "key2")
-                                   .group_by("tag")
-                                   .aggregate(AggOp::kCount)
-                                   .aggregate(AggOp::kSum, "dim.weight")
-                                   .order_by("tag", false)
-                                   .limit(4)
-                                   .build());
-  add("join_group_orderby_count", QueryBuilder("facts")
-                                      .join("dim", "u32", "key")
-                                      .group_by("dim.cat")
-                                      .aggregate(AggOp::kCount)
-                                      .aggregate(AggOp::kSum, "u32")
-                                      .order_by("count", false)
-                                      .limit(3)
-                                      .build());
-  // ORDER BY over aggregate output on the no-join path.
-  add("group_orderby_agg", QueryBuilder("facts")
-                               .group_by("skew32")
-                               .aggregate(AggOp::kCount)
-                               .aggregate(AggOp::kSum, "wide64")
-                               .order_by("sum(wide64)", false)
-                               .limit(5)
-                               .build());
-  // Projection + order-by + limit (heap top-k, gather-bounded charges).
-  add("topn", QueryBuilder("facts")
-                  .filter_int("skew32", 0, 3)
-                  .select({"u32", "skew32", "neg64"})
-                  .order_by("neg64", false)
-                  .limit(25)
-                  .build());
-  // Join projection with ORDER BY + LIMIT (the shape the executor used
-  // to reject outright).
-  add("join_topn", QueryBuilder("facts")
-                       .filter_int("skew32", 0, 2)
-                       .join("dim", "u32", "key")
-                       .select({"u32", "dim.weight", "neg64"})
-                       .order_by("neg64", false)
-                       .limit(20)
-                       .build());
-  return qs;
-}
+// The shared fixture (catalog, matrix, expect_identical) lives in
+// parity_matrix.hpp so the distributed-parity suite runs the SAME
+// queries sharded-vs-single-node.
+using parity::expect_identical;
+using parity::kRows;
+using parity::make_catalog;
+using parity::query_matrix;
+using parity::recode_all;
 
 /// Runs the full matrix against one catalog: plain baseline (encodings
 /// off) vs packed (encodings on), asserting bit-identical results and the

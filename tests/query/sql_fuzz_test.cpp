@@ -2,8 +2,10 @@
 // and mutated valid statements must either parse or throw eidb::Error —
 // never crash, hang, or throw anything else — and generated *valid*
 // statements must produce identical results whichever physical column
-// encoding (plain / bit-packed / FOR) each column is toggled to, so the
-// fuzzer exercises the packed scan/agg kernels, not just the plain ones.
+// encoding (plain / bit-packed / FOR) each column is toggled to — and
+// whichever shard count the FROM table is partitioned into — so the
+// fuzzer exercises the packed scan/agg kernels and the distributed
+// partial-merge / gather paths, not just the plain single-node ones.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -285,6 +287,11 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     for (const char* col : {"a", "b", "g", "s"}) toggle(t, col);
     for (const char* col : {"key", "w", "c", "sk"}) toggle(u, col);
     for (const char* col : {"vkey", "z"}) toggle(v, col);
+    // Repartition the FROM table at a random shard count: the sharded arm
+    // below must agree with single-node whatever the row placement.
+    const std::size_t shard_counts[] = {1, 2, 4, 8};
+    const std::size_t shards = shard_counts[rng.next_bounded(4)];
+    t.build_partitions("g", shards);
     const std::string sql = generate_sql(rng);
     LogicalPlan plan;
     try {
@@ -333,6 +340,24 @@ TEST(SqlFuzz, ExecutionParityUnderRandomEncodings) {
     expect_identical(got, "packed");
     EXPECT_LE(packed_stats.work.dram_bytes, plain_stats.work.dram_bytes)
         << sql;
+    // Sharded arm: a statement the single-node paths accept must also run
+    // sharded (same pool), bit-identically, at whatever shard count this
+    // iteration drew.
+    ExecOptions dist_opts = packed_opts;
+    dist_opts.shard_count = shards;
+    ExecStats dist_stats;
+    QueryResult dist;
+    try {
+      dist = ex.execute(plan, dist_stats, dist_opts);
+    } catch (const Error& e) {
+      FAIL() << "sharded(" << shards << ") rejected what single-node ran: "
+             << sql << " — " << e.what();
+    }
+    expect_identical(dist, "sharded");
+    EXPECT_EQ(dist_stats.shards_executed, shards) << sql;
+    if (shards == 1) {
+      EXPECT_EQ(dist_stats.wire_messages, 0u) << sql;
+    }
     // Single ungrouped, unsorted joins also have the legacy
     // pair-materializing oracle — but it only ever read FROM-table
     // aggregate columns, so skip statements with build-side (qualified)

@@ -1,0 +1,156 @@
+#include "storage/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "storage/table.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace eidb::storage {
+namespace {
+
+Table make_table(std::size_t rows, std::uint64_t seed) {
+  Table t("t", Schema({{"k", TypeId::kInt32},
+                       {"v", TypeId::kInt64},
+                       {"s", TypeId::kString},
+                       {"d", TypeId::kDouble}}));
+  Pcg32 rng(seed);
+  std::vector<std::int32_t> k;
+  std::vector<std::int64_t> v;
+  std::vector<std::string> s;
+  std::vector<double> d;
+  const char* tags[] = {"ash", "birch", "cedar"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    k.push_back(static_cast<std::int32_t>(rng.next_in_range(-50, 50)));
+    v.push_back(rng.next_in_range(-1000, 1000));
+    s.emplace_back(tags[rng.next_bounded(3)]);
+    d.push_back(0.5 * static_cast<double>(rng.next_bounded(20)));
+  }
+  t.set_column(0, Column::from_int32("k", k));
+  t.set_column(1, Column::from_int64("v", v));
+  t.set_column(2, Column::from_strings("s", s));
+  t.set_column(3, Column::from_double("d", d));
+  return t;
+}
+
+TEST(Partition, ShardsPartitionTheRowSet) {
+  const Table t = make_table(1237, 9);  // odd count: uneven shards
+  const PartitionSet set = build_partition_set(t, "k", 4);
+  ASSERT_EQ(set.shard_count(), 4u);
+  EXPECT_EQ(set.key_column, "k");
+  // Disjoint + covering: every global row id appears in exactly one shard,
+  // ascending within its shard.
+  std::vector<bool> seen(t.row_count(), false);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < set.shard_count(); ++s) {
+    const auto& rows = set.shard_rows[s];
+    ASSERT_EQ(rows.size(), set.shards[s]->row_count());
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (j > 0) {
+        EXPECT_LT(rows[j - 1], rows[j]);
+      }
+      ASSERT_LT(rows[j], t.row_count());
+      EXPECT_FALSE(seen[rows[j]]) << "row " << rows[j] << " in two shards";
+      seen[rows[j]] = true;
+    }
+    total += rows.size();
+  }
+  EXPECT_EQ(total, t.row_count());
+}
+
+TEST(Partition, ShardRowsCarryOriginalValues) {
+  const Table t = make_table(801, 21);
+  const PartitionSet set = build_partition_set(t, "k", 3);
+  for (std::size_t s = 0; s < set.shard_count(); ++s) {
+    const Table& shard = *set.shards[s];
+    EXPECT_EQ(shard.name(), "t#" + std::to_string(s));
+    EXPECT_TRUE(shard.complete());
+    for (std::size_t j = 0; j < shard.row_count(); ++j) {
+      const std::uint32_t g = set.shard_rows[s][j];
+      EXPECT_EQ(shard.column("k").int32_data()[j], t.column("k").int32_data()[g]);
+      EXPECT_EQ(shard.column("v").int64_data()[j], t.column("v").int64_data()[g]);
+      EXPECT_EQ(shard.column("d").double_data()[j], t.column("d").double_data()[g]);
+      // String shards rebuild their OWN dictionary; values must survive
+      // the re-encode even though codes may differ from the parent's.
+      EXPECT_EQ(shard.column("s").dictionary().at(shard.column("s").codes()[j]),
+                t.column("s").dictionary().at(t.column("s").codes()[g]));
+    }
+  }
+}
+
+TEST(Partition, SameKeyValueLandsInOneShard) {
+  // The point of hash partitioning: co-location. Every occurrence of a key
+  // value maps to the same shard, whichever key type is used.
+  const Table t = make_table(900, 33);
+  for (const std::string key : {"k", "s", "d"}) {
+    const PartitionSet set = build_partition_set(t, key, 5);
+    std::map<std::string, std::size_t> owner;
+    for (std::size_t s = 0; s < set.shard_count(); ++s) {
+      const Column& col = set.shards[s]->column(key);
+      for (std::size_t j = 0; j < set.shards[s]->row_count(); ++j) {
+        std::string val;
+        if (col.type() == TypeId::kInt32)
+          val = std::to_string(col.int32_data()[j]);
+        else if (col.type() == TypeId::kDouble)
+          val = std::to_string(col.double_data()[j]);
+        else
+          val = col.dictionary().at(col.codes()[j]);
+        const auto [it, inserted] = owner.emplace(val, s);
+        EXPECT_EQ(it->second, s) << key << "=" << val << " split across shards";
+      }
+    }
+  }
+}
+
+TEST(Partition, DeterministicAcrossRebuilds) {
+  const Table t = make_table(640, 55);
+  const PartitionSet a = build_partition_set(t, "v", 8);
+  const PartitionSet b = build_partition_set(t, "v", 8);
+  ASSERT_EQ(a.shard_count(), b.shard_count());
+  for (std::size_t s = 0; s < a.shard_count(); ++s)
+    EXPECT_EQ(a.shard_rows[s], b.shard_rows[s]);
+}
+
+TEST(Partition, SingleShardIsTheWholeTable) {
+  const Table t = make_table(333, 77);
+  const PartitionSet set = build_partition_set(t, "k", 1);
+  ASSERT_EQ(set.shard_count(), 1u);
+  EXPECT_EQ(set.shards[0]->row_count(), t.row_count());
+  std::vector<std::uint32_t> expect(t.row_count());
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(set.shard_rows[0], expect);
+}
+
+TEST(Partition, TableLayerRebuildsAndRejectsBadInput) {
+  Table t = make_table(500, 88);
+  EXPECT_EQ(t.partition_set(), nullptr);
+  t.build_partitions("k", 4);
+  ASSERT_NE(t.partition_set(), nullptr);
+  EXPECT_EQ(t.partition_set()->shard_count(), 4u);
+  t.build_partitions("s", 2);  // rebuild replaces the layer
+  ASSERT_NE(t.partition_set(), nullptr);
+  EXPECT_EQ(t.partition_set()->shard_count(), 2u);
+  EXPECT_EQ(t.partition_set()->key_column, "s");
+  EXPECT_THROW(t.build_partitions("nope", 2), Error);
+  EXPECT_THROW(t.build_partitions("k", 0), Error);
+  // Incomplete tables cannot be partitioned (no row set to split yet).
+  Table empty("e", Schema({{"x", TypeId::kInt32}}));
+  EXPECT_THROW((void)build_partition_set(empty, "x", 2), Error);
+}
+
+TEST(Partition, ShardMixSpreadsSmallDomains) {
+  // Sequential small ints — the common dimension-key shape — must not all
+  // collapse into one shard.
+  std::vector<std::size_t> counts(4, 0);
+  for (std::uint64_t v = 0; v < 64; ++v) counts[shard_mix(v) % 4]++;
+  for (const std::size_t c : counts) EXPECT_GT(c, 0u);
+}
+
+}  // namespace
+}  // namespace eidb::storage
