@@ -127,6 +127,67 @@ PolicyOutcome run_live(core::Database& db,
   return out;
 }
 
+/// One cell of the shared-scan sweep: closed-loop bursts of `concurrency`
+/// compatible COUNT queries over the events fact table, with the serving
+/// tier's scan fusion on or off.
+struct SweepCell {
+  double throughput_qps = 0;
+  double p99_latency_s = 0;
+  double joules_per_query = 0;  ///< Mean attributed (billed) J/query.
+};
+
+/// The burst members differ only in predicate bounds, so they bucket into
+/// one sharing group; slot 0's bounds match across cells for comparability.
+query::LogicalPlan sweep_plan(std::size_t slot) {
+  const auto lo = static_cast<std::int64_t>((slot * 97'003) % 500'000);
+  const auto hi = lo + 400'000 + static_cast<std::int64_t>(slot) * 10'000;
+  return query::QueryBuilder("events")
+      .filter_int("latency_us", lo, hi)
+      .aggregate(query::AggOp::kCount)
+      .build();
+}
+
+SweepCell run_sweep_cell(core::Database& db, std::size_t concurrency,
+                         bool shared, std::size_t total_queries) {
+  server::ServiceOptions opts;
+  opts.policy = sched::Policy::kThroughput;
+  // Wide enough that one burst always lands in one coalescing window;
+  // pacing off so the cells compare fused work, not policy sleeps.
+  opts.coalesce_window_s = 0.01;
+  opts.max_batch = std::max<std::size_t>(concurrency, 2);
+  opts.workers = 2;
+  opts.pace_execution = false;
+  opts.shared_scans = shared;
+  server::QueryService service(db, opts);
+  auto session = service.open_session("sweep");
+
+  StreamingStats billed;
+  PercentileTracker p99;
+  std::size_t completed = 0;
+  Stopwatch wall;
+  for (std::size_t done = 0; done < total_queries; done += concurrency) {
+    std::vector<std::future<query::QueryResponse>> futures;
+    for (std::size_t slot = 0; slot < concurrency; ++slot)
+      futures.push_back(service.submit(
+          session, query::QueryRequest::from_plan(sweep_plan(slot))));
+    for (auto& f : futures) {
+      const query::QueryResponse resp = f.get();
+      if (!resp.ok()) continue;
+      ++completed;
+      p99.add(resp.latency_s);
+      billed.add(resp.billed_j);
+    }
+  }
+  const double makespan = wall.elapsed_seconds();
+  service.stop();
+
+  SweepCell cell;
+  cell.throughput_qps = static_cast<double>(completed) / makespan;
+  cell.p99_latency_s = p99.percentile(99);
+  cell.joules_per_query = billed.mean();
+  return cell;
+}
+
 PolicyOutcome run_sim(const hw::MachineSpec& machine,
                       const std::vector<sched::QueryArrival>& stream,
                       sched::Policy policy, double cap_w) {
@@ -240,5 +301,50 @@ int main(int argc, char** argv) {
                "policy ordering matches even where absolute figures differ "
                "(the simulator models an 8-core machine; the live tier runs "
                "on this host).\n";
+
+  // ---- Shared-scan sweep: concurrency x {solo, shared} ----------------------
+  // Bursts of compatible queries over the fact table; with sharing on the
+  // service fuses each burst into one pass (Database::run_batch), so the
+  // table's scan DRAM bytes are charged once per burst and the attributed
+  // J/query drops toward 1/concurrency of the solo figure.
+  std::cout << "\n== shared scans: burst concurrency x fusion ==\n\n";
+  bench::BenchJson json("s1_service");
+  TablePrinter sweep({"concurrency", "mode", "throughput_qps", "p99_lat_ms",
+                      "attributed_J_per_query"});
+  const std::size_t per_cell = std::max<std::size_t>(queries / 5, 24);
+  double solo8_j = 0, shared8_j = 0, solo8_qps = 0, shared8_qps = 0;
+  for (const std::size_t c : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    for (const bool shared : {false, true}) {
+      const SweepCell cell =
+          run_sweep_cell(db, c, shared, (per_cell / c) * c);
+      const std::string mode = shared ? "shared" : "solo";
+      sweep.add_row({std::to_string(c), mode,
+                     TablePrinter::fmt(cell.throughput_qps, 4),
+                     TablePrinter::fmt(cell.p99_latency_s * 1e3, 4),
+                     TablePrinter::fmt(cell.joules_per_query, 4)});
+      const std::string key = "c" + std::to_string(c) + "_" + mode;
+      json.add(key + "_throughput_qps", cell.throughput_qps);
+      json.add(key + "_p99_latency_ms", cell.p99_latency_s * 1e3);
+      json.add(key + "_joules_per_query", cell.joules_per_query);
+      if (c == 8 && shared) {
+        shared8_j = cell.joules_per_query;
+        shared8_qps = cell.throughput_qps;
+      } else if (c == 8) {
+        solo8_j = cell.joules_per_query;
+        solo8_qps = cell.throughput_qps;
+      }
+    }
+  }
+  sweep.print(std::cout);
+  const double j_ratio = shared8_j > 0 ? solo8_j / shared8_j : 0;
+  const double qps_ratio = solo8_qps > 0 ? shared8_qps / solo8_qps : 0;
+  json.add("c8_joules_ratio_solo_over_shared", j_ratio);
+  json.add("c8_throughput_ratio_shared_over_solo", qps_ratio);
+  std::cout << "\nat concurrency 8: " << j_ratio
+            << "x lower attributed J/query and " << qps_ratio
+            << "x the aggregate throughput with sharing on (one fused pass "
+               "per burst vs one pass per member)\n";
+  std::cout << "wrote " << json.write() << "\n";
   return 0;
 }

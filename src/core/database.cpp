@@ -4,6 +4,7 @@
 
 #include "energy/rapl_meter.hpp"
 #include "query/physical_plan.hpp"
+#include "query/shared_scan.hpp"
 #include "query/sql.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
@@ -186,25 +187,30 @@ RunResult Database::run(const query::LogicalPlan& plan,
   Stopwatch sw;
   out.result = executor.execute(phys, out.stats, exec_options);
   const double elapsed = sw.elapsed_seconds();
+  out.report.energy = window.consumed();
+  settle_run(out, plan, options, elapsed);
+  return out;
+}
 
+void Database::settle_run(RunResult& out, const query::LogicalPlan& plan,
+                          const RunOptions& options, double elapsed) {
   // Feed the model meter (no-op for RAPL) so modeled joules reflect the
   // actual busy interval and DRAM traffic.
   model_->report_busy(elapsed, machine_.dvfs.fastest(), 1, out.stats.work);
 
   out.report.elapsed_s =
       elapsed + out.stats.cold_tier_time_s + out.stats.wire_time_s;
-  out.report.energy = window.consumed();
   out.report.energy.package_j += out.stats.cold_tier_energy_j;
   out.report.source = active_meter_->source();
 
   // Per-query attribution: incremental busy power over this query's own
   // busy interval plus its DRAM traffic and cold-tier penalty, charged at
   // the governor's chosen P-state (f_max when the governor is off or
-  // raced to idle). The meter window above cannot be used here — it is a
-  // whole-machine counter, so under concurrency it would bill every query
-  // for its neighbors' work and the shared idle floor.
+  // raced to idle). The meter window in report.energy cannot be used here
+  // — it is a whole-machine counter, so under concurrency it would bill
+  // every query for its neighbors' work and the shared idle floor.
   const hw::DvfsState& attr_state =
-      phys.governor.enabled ? phys.governor.state : machine_.dvfs.fastest();
+      out.governor.enabled ? out.governor.state : machine_.dvfs.fastest();
   // Wire joules (sharded queries) are modeled link + codec energy — they
   // ride the attribution total but live outside the machine's busy-energy
   // quantum, and the ledger books them under the dedicated wire scope.
@@ -228,7 +234,109 @@ RunResult Database::run(const query::LogicalPlan& plan,
                 {plan.table + ":wire", out.stats.wire_time_s, wire_work,
                  out.stats.wire_energy_j, out.stats.wire_messages});
   }
-  return out;
+}
+
+std::vector<RunResult> Database::run_batch(const std::vector<BatchItem>& items) {
+  std::vector<RunResult> outs(items.size());
+  if (items.empty()) return outs;
+
+  // Phase 1: per-member planning — budget optimizer, engine defaults,
+  // compile. A member that fails here carries its error and is excluded
+  // from execution (its sharing key is empty → singleton group, skipped).
+  std::vector<query::ExecOptions> exec_options(items.size());
+  std::vector<query::PhysicalPlan> plans(items.size());
+  std::vector<query::SharedBatchMember> batch(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    query::ExecOptions& exec = exec_options[i];
+    exec = item.options.exec;
+    if (exec.tiers == nullptr && tiers_.hot_bytes() + tiers_.cold_bytes() > 0)
+      exec.tiers = &tiers_;
+    apply_engine_defaults(exec);
+    if (item.options.deadline_s > 0 && exec.deadline_s == 0)
+      exec.deadline_s = item.options.deadline_s;
+    batch[i] = {nullptr, &exec_options[i]};
+    try {
+      if (item.options.energy_budget_j.has_value()) {
+        const auto cands = candidates(item.plan);
+        const auto point =
+            optimizer_.best_under_budget(cands, *item.options.energy_budget_j);
+        if (!point) {
+          outs[i].budget_infeasible = true;
+          outs[i].chosen_point = optimizer_.min_energy_point(cands);
+        } else {
+          outs[i].chosen_point = *point;
+        }
+      }
+      plans[i] = query::compile_plan(catalog_, item.plan, exec);
+      outs[i].governor = plans[i].governor;
+      batch[i].phys = &plans[i];
+    } catch (const std::exception& e) {
+      outs[i].error = e.what();
+    }
+  }
+
+  // Phase 2: compatibility analysis, then execute group by group — fused
+  // single pass where the sharing arm approves, independent otherwise.
+  // One meter window spans the whole batch: the report's machine-level
+  // reading is shared (it cannot be split), while per-member attribution
+  // below stays per-query via the work deltas.
+  const std::vector<query::ScanShareGroup> groups =
+      query::analyze_scan_sharing(catalog_, machine_, batch);
+  energy::EnergyWindow window(*active_meter_);
+  for (const query::ScanShareGroup& g : groups) {
+    if (g.share && g.members.size() >= 2) {
+      const std::uint64_t gid = shared_group_seq_.fetch_add(1) + 1;
+      std::vector<query::SharedBatchMember> members;
+      members.reserve(g.members.size());
+      for (const std::size_t idx : g.members) {
+        plans[idx].shared = {gid, g.members.size()};
+        members.push_back(batch[idx]);
+      }
+      std::vector<query::SharedMemberOut> gouts(g.members.size());
+      try {
+        query::execute_shared_group(catalog_, members, gouts);
+      } catch (const std::exception& e) {
+        for (query::SharedMemberOut& go : gouts)
+          if (go.error.empty()) go.error = e.what();
+      }
+      for (std::size_t k = 0; k < g.members.size(); ++k) {
+        const std::size_t idx = g.members[k];
+        outs[idx].shared_group = gid;
+        outs[idx].shared_members = g.members.size();
+        outs[idx].governor = plans[idx].governor;
+        if (!gouts[k].error.empty()) {
+          outs[idx].error = gouts[k].error;
+          continue;
+        }
+        outs[idx].result = std::move(gouts[k].result);
+        outs[idx].stats = std::move(gouts[k].stats);
+      }
+    } else {
+      for (const std::size_t idx : g.members) {
+        if (!outs[idx].error.empty()) continue;  // compile failed
+        try {
+          query::Executor executor(catalog_);
+          outs[idx].result =
+              executor.execute(plans[idx], outs[idx].stats, exec_options[idx]);
+        } catch (const std::exception& e) {
+          outs[idx].error = e.what();
+        }
+      }
+    }
+  }
+
+  // Phase 3: settle every successful member — shared machine-level meter
+  // reading, per-member attribution/calibration/ledger at its own elapsed
+  // time (for fused members that includes their share of the fused pass).
+  const auto consumed = window.consumed();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!outs[i].error.empty()) continue;
+    outs[i].report.energy = consumed;
+    settle_run(outs[i], items[i].plan, items[i].options,
+               outs[i].stats.elapsed_s);
+  }
+  return outs;
 }
 
 RunResult Database::run_sql(std::string_view sql, const RunOptions& options) {

@@ -20,9 +20,12 @@
 // output, which is the paper's program in one sentence.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "energy/ledger.hpp"
 #include "energy/meter.hpp"
@@ -101,6 +104,22 @@ struct RunResult {
   /// The plan governor's cores × P-state decision for this query
   /// (enabled == false when the governor was off).
   query::GovernorChoice governor;
+  /// run_batch only: non-empty when this member failed (compile or
+  /// execution error text); `result`/`stats` are then default-constructed
+  /// and nothing was attributed. run() throws instead of setting this, so
+  /// one bad batch member cannot take down its group-mates.
+  std::string error;
+  /// Shared-scan fusion (run_batch): when this member's FROM-table scan
+  /// was fused with other compatible batch members into one pass,
+  /// `shared_members` > 1 and `shared_group` identifies the fused group.
+  std::uint64_t shared_group = 0;
+  std::size_t shared_members = 0;
+};
+
+/// One member of a coalesced batch handed to Database::run_batch.
+struct BatchItem {
+  query::LogicalPlan plan;
+  RunOptions options;
 };
 
 class Database {
@@ -127,6 +146,18 @@ class Database {
   /// Parses and runs one SQL statement (see query/sql.hpp for the grammar).
   [[nodiscard]] RunResult run_sql(std::string_view sql,
                                   const RunOptions& options = {});
+
+  /// Executes a coalesced batch as one unit. Members whose scans are
+  /// compatible (same table, encoding-visible column set and conjunct
+  /// structure — see query/shared_scan.hpp) and whose modeled sharing arm
+  /// (opt::CostModel::pick_scan_sharing) approves are fused into ONE pass
+  /// over their table: the fact table's DRAM bytes are charged once per
+  /// group and attributed across members by their share of the work.
+  /// Everyone else runs independently. Results are bit-identical to
+  /// per-member run() calls. Per-member failures surface via
+  /// RunResult::error instead of throwing.
+  [[nodiscard]] std::vector<RunResult> run_batch(
+      const std::vector<BatchItem>& items);
 
   /// EXPLAIN: the plan, the predicted work, and the chosen configuration.
   [[nodiscard]] std::string explain(const query::LogicalPlan& plan,
@@ -158,6 +189,13 @@ class Database {
   /// Fills the engine-owned defaults of per-run ExecOptions: worker pool,
   /// cost model, plan governor, and calibration (caller-set values win).
   void apply_engine_defaults(query::ExecOptions& exec);
+  /// The metering tail shared by run() and run_batch(): model-meter
+  /// feedback, per-query attribution at the governor's state, calibration
+  /// EWMA update and ledger entries. Expects out.report.energy to hold
+  /// the meter-window reading and out.governor/out.stats to be final;
+  /// `elapsed` is this query's own busy seconds.
+  void settle_run(RunResult& out, const query::LogicalPlan& plan,
+                  const RunOptions& options, double elapsed);
 
   hw::MachineSpec machine_;
   storage::Catalog catalog_;
@@ -172,6 +210,8 @@ class Database {
   sched::ThreadPool pool_;
   query::OperatorCalibration calibration_;
   bool governor_enabled_ = true;
+  /// Monotonic id for shared-scan groups (RunResult::shared_group).
+  std::atomic<std::uint64_t> shared_group_seq_{0};
 };
 
 }  // namespace eidb::core

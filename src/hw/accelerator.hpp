@@ -45,6 +45,15 @@ struct AcceleratorSpec {
   static AcceleratorSpec fpga() {
     return {"fpga", 5.0, 3.2, 2.5, 100e-6, 25.0, 8.0};
   }
+  /// Near-memory compute point (bulk-bitwise PIM class, Perach et al. /
+  /// Mutlu in PAPERS.md): modest kernel speedup, but its "link" is the
+  /// DRAM row buffer, so per-byte traffic costs a fraction of a CPU-side
+  /// DRAM read and device power is small. The shared-scan cost arm prices
+  /// follower queries of a fused pass at this point — they re-touch bytes
+  /// a first member already streamed.
+  static AcceleratorSpec pim() {
+    return {"pim", 2.0, 25.6, 0.15, 5e-6, 4.0, 1.0};
+  }
 };
 
 }  // namespace eidb::hw

@@ -216,6 +216,35 @@ StorageArm CostModel::pick_storage_arm(const hw::MachineSpec& machine,
              : StorageArm::kPlainScan;
 }
 
+ScanSharingChoice CostModel::pick_scan_sharing(
+    const hw::MachineSpec& machine, std::size_t members, double scan_bytes,
+    double member_cycles, const hw::AcceleratorSpec& near_memory) const {
+  ScanSharingChoice out;
+  if (members < 2 || scan_bytes <= 0) return out;
+  const hw::DvfsState& s = machine.dvfs.fastest();
+  const double n = static_cast<double>(members);
+
+  hw::Work one;
+  one.cpu_cycles = member_cycles;
+  one.dram_bytes = scan_bytes;
+  out.independent_j = n * machine.energy_j(one, s);
+
+  // Fused: the lead member streams the table from DRAM once; every
+  // follower re-evaluates the cache-resident chunk at the near-memory
+  // point (row-buffer-cost bytes, modest compute speedup). Plus the
+  // per-member coordination cycles of grouping and attribution.
+  const double follower_cpu_s =
+      s.freq_ghz > 0 ? member_cycles / (s.freq_ghz * 1e9) : 0.0;
+  const double follower_j =
+      near_memory.offload_energy_j(follower_cpu_s, scan_bytes, 0.0);
+  hw::Work coord;
+  coord.cpu_cycles = costs_.shared_scan_coord_cycles * n;
+  out.shared_j = machine.energy_j(one, s) + (n - 1.0) * follower_j +
+                 machine.energy_j(coord, s);
+  out.share = out.shared_j < out.independent_j;
+  return out;
+}
+
 double CostModel::broadcast_wire_bytes(double build_rows, std::size_t shards,
                                        double width_bytes) const {
   if (shards <= 1) return 0;

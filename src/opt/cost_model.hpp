@@ -12,6 +12,7 @@
 #include <string>
 
 #include "exec/scan_kernels.hpp"
+#include "hw/accelerator.hpp"
 #include "hw/machine.hpp"
 #include "storage/column.hpp"
 
@@ -34,6 +35,14 @@ enum class JoinArm : std::uint8_t {
 };
 
 [[nodiscard]] std::string join_arm_name(JoinArm arm);
+
+/// Verdict of the shared-scan arm for one compatible batch: fuse the
+/// members into one pass, or run them independently.
+struct ScanSharingChoice {
+  bool share = false;
+  double independent_j = 0;  ///< Modeled energy of N independent scans.
+  double shared_j = 0;       ///< Modeled energy of the fused pass.
+};
 
 /// Cycles-per-tuple parameters for each kernel family.
 struct KernelCosts {
@@ -68,6 +77,11 @@ struct KernelCosts {
   /// per build-dictionary entry for the linear merge that produces the
   /// build-code -> probe-code remap.
   double dict_remap_per_entry = 3.0;
+  /// Shared-scan coordination overhead per fused-group member (cycles):
+  /// grouping, per-member selection bookkeeping and the attribution fold.
+  /// Keeps the sharing arm from fusing trivially small scans where the
+  /// bookkeeping outweighs the saved DRAM pass.
+  double shared_scan_coord_cycles = 50'000.0;
 };
 
 class CostModel {
@@ -179,6 +193,21 @@ class CostModel {
                                             double plain_bytes,
                                             bool packed_kernel_available,
                                             bool by_time = false) const;
+
+  /// Shared-scan arm: price `members` compatible scans — each streaming
+  /// `scan_bytes` of predicate columns and spending `member_cycles` of
+  /// evaluation — run independently vs fused into one pass. The fused
+  /// form pays the DRAM stream once; followers re-evaluate cache-resident
+  /// chunks, modeled at `near_memory` (the in-memory-compute point,
+  /// hw::AcceleratorSpec::pim()): their bytes move at row-buffer energy,
+  /// not CPU-side DRAM energy. Declines (share == false) below two
+  /// members or when per-member coordination overhead
+  /// (shared_scan_coord_cycles) outweighs the saved traffic — the
+  /// diverged-predicates case surfaces as different group keys upstream,
+  /// so what reaches this arm only varies in size.
+  [[nodiscard]] ScanSharingChoice pick_scan_sharing(
+      const hw::MachineSpec& machine, std::size_t members, double scan_bytes,
+      double member_cycles, const hw::AcceleratorSpec& near_memory) const;
 
   // -- Network-byte arm (partition-aware plans) -----------------------------
   // Wire bytes are the sharded planner's currency the way DRAM bytes are

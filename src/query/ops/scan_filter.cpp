@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/adaptive_scan.hpp"
 #include "exec/fused.hpp"
 #include "exec/parallel.hpp"
 #include "exec/scan_kernels.hpp"
+#include "opt/cost_model.hpp"
 #include "storage/zonemap.hpp"
 #include "util/assert.hpp"
 
@@ -185,7 +187,22 @@ void apply_predicate(OpContext& ctx, const Table& table, const Predicate& p,
           exec::scan_bitmap_avx512(column.int32_data(), lo32(), hi32(), match);
         break;
       case exec::ScanVariant::kAuto:
-        if (options.pool != nullptr) {
+        if (options.adaptive_scan && column.type() != TypeId::kInt64) {
+          // Mid-scan reconfiguration (paper §IV.B): chunked serial scan
+          // that re-estimates selectivity with an EWMA and re-picks the
+          // kernel between chunks. Takes precedence over the pool — the
+          // adaptation is sequential by construction. Same bitmap as the
+          // static kernels, so parity is unaffected.
+          static const opt::CostModel default_model = opt::CostModel::defaults();
+          const opt::CostModel& cm = options.cost_model != nullptr
+                                         ? *options.cost_model
+                                         : default_model;
+          const double prior = opt::CostModel::estimate_selectivity(
+              column.stats(), r.lo, r.hi);
+          exec::AdaptiveScan adaptive(cm, prior);
+          exec::AdaptiveScanStats as;
+          adaptive.scan(column.int32_data(), lo32(), hi32(), match, as);
+        } else if (options.pool != nullptr) {
           if (column.type() == TypeId::kInt64)
             exec::parallel_scan_bitmap64(*options.pool, column.int64_data(),
                                          r.lo, r.hi, match);

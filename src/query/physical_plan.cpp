@@ -568,6 +568,9 @@ std::string PhysicalPlan::explain() const {
        << governor.state.freq_ghz << " GHz (" << governor.policy
        << ", est_busy=" << governor.est_busy_s
        << "s, est_energy=" << governor.est_energy_j << "J)\n";
+  if (shared.members > 1)
+    os << "shared: group=" << shared.group << " members=" << shared.members
+       << "\n";
   return os.str();
 }
 

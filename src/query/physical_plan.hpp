@@ -138,6 +138,15 @@ struct PhysicalPlan {
   /// Partition-aware execution plan (active when ExecOptions::shard_count
   /// > 0 and the FROM table carries a matching partition layer).
   DistPlan dist;
+  /// Shared-scan fusion info, set by the batch runner
+  /// (core::Database::run_batch) when this plan's FROM-table scan was
+  /// fused with other members of a coalesced batch into one pass
+  /// (query/shared_scan). members <= 1 = not shared.
+  struct SharedScanInfo {
+    std::uint64_t group = 0;
+    std::size_t members = 0;
+  };
+  SharedScanInfo shared;
 
   [[nodiscard]] std::size_t side_count() const { return joins.size() + 1; }
 

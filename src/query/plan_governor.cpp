@@ -193,7 +193,17 @@ void apply_plan_governor(const storage::Catalog& catalog, PhysicalPlan& phys,
       options.pool != nullptr
           ? static_cast<int>(options.pool->thread_count())
           : 1;
-  const int cores = std::clamp(pool_width, 1, std::max(1, machine.cores));
+  // The uncapped grant is what the query *requests*; the serving tier's
+  // free-worker clamp (ExecOptions::core_cap) bounds what it is granted,
+  // so a burst of concurrent queries cannot collectively oversubscribe
+  // the machine. The decision below is made at the granted width — the
+  // busy-time and energy estimates describe what will actually run.
+  const int requested = std::clamp(pool_width, 1, std::max(1, machine.cores));
+  const int cores =
+      options.core_cap == 0
+          ? requested
+          : std::max(1, std::min(requested,
+                                 static_cast<int>(options.core_cap)));
 
   sched::GovernorDecision decision;
   if (options.deadline_s > 0) {
@@ -221,6 +231,7 @@ void apply_plan_governor(const storage::Catalog& catalog, PhysicalPlan& phys,
   phys.governor.enabled = true;
   phys.governor.state = decision.state;
   phys.governor.cores = std::max(1, std::min(decision.cores, cores));
+  phys.governor.requested_cores = requested;
   phys.governor.policy = decision.policy;
   phys.governor.est_busy_s = decision.busy_s;
   phys.governor.est_energy_j = decision.energy_j;

@@ -70,6 +70,10 @@ struct GovernorChoice {
   bool enabled = false;      ///< False = no governor: legacy f_max behavior.
   hw::DvfsState state;       ///< Chosen P-state (attribution + pacing).
   int cores = 1;             ///< Core grant, clamped to the pool width.
+  /// The grant absent ExecOptions::core_cap (the pool width clamped to
+  /// the machine's cores): what this query asked for before the serving
+  /// tier's free-worker clamp. Equal to `cores` when no cap applied.
+  int requested_cores = 1;
   std::string policy;        ///< "race-to-idle" | "pace".
   double est_busy_s = 0;     ///< Predicted busy time at the chosen config.
   double est_energy_j = 0;   ///< Predicted energy at the chosen config.

@@ -77,11 +77,25 @@ struct QueryResponse {
   /// this query.
   std::string governor_policy;
   int governor_cores = 0;          ///< Core grant for the morsel fan-out.
+  /// Cores the governor would have granted absent the serving tier's
+  /// free-worker clamp (requested vs granted: equal when the service had
+  /// spare workers, larger under concurrency).
+  int governor_requested_cores = 0;
   double governor_freq_ghz = 0;    ///< Chosen P-state.
   /// The governor's compile-time energy prediction for this query;
   /// reconcile against `billed_j` (the measured settlement) to judge the
   /// estimate.
   double predicted_j = 0;
+
+  // -- Shared-scan fusion (members <= 1 = ran independently) ------------------
+  /// When the service fused this query's fact-table scan with other
+  /// members of its coalesced batch into one pass, the fused group's id
+  /// and member count (mirrors EXPLAIN's "shared: group=<id>
+  /// members=<n>" line). The table's scan DRAM bytes were charged once
+  /// for the whole group and attributed across members; `billed_j`
+  /// already reflects this query's share.
+  std::uint64_t shared_group = 0;
+  std::size_t shared_members = 0;
 
   [[nodiscard]] bool ok() const { return status == ResponseStatus::kOk; }
   /// One-line summary for logs: status, rows, latency, joules.

@@ -1,8 +1,13 @@
 #include "server/query_service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <thread>
 #include <utility>
+
+#include "query/shared_scan.hpp"
+#include "query/sql.hpp"
 
 namespace eidb::server {
 
@@ -90,16 +95,63 @@ void QueryService::dispatcher_loop() {
     std::vector<PendingQuery> batch = coalescer_.next_batch();
     if (batch.empty()) return;  // Closed and drained.
     batches_.fetch_add(1);
-    for (PendingQuery& item : batch) {
-      // shared_ptr keeps the promise alive inside the copyable
-      // std::function the pool requires.
-      auto shared = std::make_shared<PendingQuery>(std::move(item));
-      pool_.submit([this, shared] { execute_one(shared); });
+    // shared_ptr keeps each promise alive inside the copyable
+    // std::function the pool requires.
+    std::vector<std::shared_ptr<PendingQuery>> items;
+    items.reserve(batch.size());
+    for (PendingQuery& item : batch)
+      items.push_back(std::make_shared<PendingQuery>(std::move(item)));
+
+    if (!options_.shared_scans || items.size() < 2) {
+      for (const auto& item : items)
+        pool_.submit([this, item] { execute_one(item); });
+      continue;
     }
+
+    // Shared-scan pre-partition: parse each member's SQL once and bucket
+    // by the request-level sharing key (FROM table + predicate columns).
+    // Buckets of >= 2 become one group task — Database::run_batch then
+    // re-checks compatibility on the *compiled* plans and its sharing arm
+    // makes the final fuse/run-independent call. Everything else (no
+    // predicates, parse failures, unique keys) dispatches independently.
+    std::map<std::string, std::vector<std::shared_ptr<PendingQuery>>> buckets;
+    std::vector<std::shared_ptr<PendingQuery>> solo;
+    for (const auto& item : items) {
+      if (!item->request.plan.has_value() && !item->request.sql.empty()) {
+        try {
+          item->request.plan = query::parse_sql(item->request.sql);
+        } catch (...) {
+          // Leave unparsed: the solo path's run_sql reports the error.
+        }
+      }
+      std::string key;
+      if (item->request.plan.has_value())
+        key = query::scan_sharing_prekey(*item->request.plan);
+      if (key.empty())
+        solo.push_back(item);
+      else
+        buckets[key].push_back(item);
+    }
+    for (auto& [key, members] : buckets) {
+      if (members.size() < 2) {
+        solo.push_back(members.front());
+        continue;
+      }
+      pool_.submit(
+          [this, members = std::move(members)] { execute_group(members); });
+    }
+    for (const auto& item : solo)
+      pool_.submit([this, item] { execute_one(item); });
   }
 }
 
 void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
+  // Count this query in-flight and clamp its governor core grant to an
+  // equal share of the engine pool: with k units executing concurrently,
+  // each may fan out over at most width/k workers (requested vs granted
+  // is surfaced in the response).
+  const std::size_t inflight = inflight_.fetch_add(1) + 1;
+
   query::QueryResponse resp;
   resp.tag = item->request.tag;
 
@@ -117,6 +169,8 @@ void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
   run_options.ledger_scope = item->session->scope();
   run_options.energy_budget_j = item->request.energy_budget_j;
   run_options.deadline_s = item->request.deadline_s;
+  run_options.exec.core_cap =
+      std::max<std::size_t>(1, db_.pool().thread_count() / inflight);
 
   try {
     core::RunResult run =
@@ -131,6 +185,7 @@ void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
       // the prediction against the measured settlement (billed_j below).
       resp.governor_policy = run.governor.policy;
       resp.governor_cores = run.governor.cores;
+      resp.governor_requested_cores = run.governor.requested_cores;
       resp.governor_freq_ghz = run.governor.state.freq_ghz;
       resp.predicted_j = run.governor.est_energy_j;
     }
@@ -174,7 +229,108 @@ void QueryService::execute_one(const std::shared_ptr<PendingQuery>& item) {
     item->session->record_error();
   }
 
+  inflight_.fetch_sub(1);
   item->promise.set_value(std::move(resp));
+}
+
+void QueryService::execute_group(
+    const std::vector<std::shared_ptr<PendingQuery>>& items) {
+  // One in-flight unit: the group's fused pass and its members' operator
+  // pipelines share one core-grant slot, so its clamp is the same equal
+  // share a solo query would get.
+  const std::size_t inflight = inflight_.fetch_add(1) + 1;
+
+  const double dispatch_s = now_s();
+  const double power_before = monitor_.avg_power_w(dispatch_s);
+  atomic_max(peak_power_w_, power_before);
+  // One policy decision for the whole group — the members execute as one
+  // unit, so they run (and pace) at one P-state.
+  const hw::DvfsState& state = engine_.choose_state(power_before);
+
+  std::vector<core::BatchItem> batch;
+  batch.reserve(items.size());
+  const std::size_t core_cap =
+      std::max<std::size_t>(1, db_.pool().thread_count() / inflight);
+  for (const auto& item : items) {
+    core::BatchItem bi;
+    bi.plan = *item->request.plan;  // dispatcher parsed before grouping
+    bi.options.ledger_scope = item->session->scope();
+    bi.options.energy_budget_j = item->request.energy_budget_j;
+    bi.options.deadline_s = item->request.deadline_s;
+    bi.options.exec.core_cap = core_cap;
+    batch.push_back(std::move(bi));
+  }
+
+  std::string group_error;
+  std::vector<core::RunResult> runs;
+  Stopwatch sw;
+  try {
+    runs = db_.run_batch(batch);
+  } catch (const std::exception& e) {
+    group_error = e.what();  // per-member errors come back in runs instead
+  }
+  const double group_busy_s = sw.elapsed_seconds();
+
+  // Pace ONCE on the group's wall time: the fused pass ran at host speed
+  // for everyone, so the stretch to realize the chosen P-state is shared,
+  // not paid per member.
+  const double slowdown = engine_.slowdown(state);
+  if (options_.pace_execution && slowdown > 1.0 && group_error.empty()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(group_busy_s * (slowdown - 1.0)));
+  }
+  const double end_s = now_s();
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::shared_ptr<PendingQuery>& item = items[i];
+    query::QueryResponse resp;
+    resp.tag = item->request.tag;
+    resp.queue_s = dispatch_s - item->admit_s;
+    resp.chosen_freq_ghz = state.freq_ghz;
+    resp.exec_s = end_s - dispatch_s;
+    resp.latency_s = end_s - item->admit_s;
+
+    const bool failed =
+        !group_error.empty() || i >= runs.size() || !runs[i].error.empty();
+    if (failed) {
+      resp.status = query::ResponseStatus::kError;
+      resp.error = !group_error.empty() ? group_error : runs[i].error;
+      errors_.fetch_add(1);
+      item->session->record_error();
+      item->promise.set_value(std::move(resp));
+      continue;
+    }
+
+    core::RunResult& run = runs[i];
+    resp.result = std::move(run.result);
+    resp.report = run.report;
+    if (run.governor.enabled) {
+      resp.governor_policy = run.governor.policy;
+      resp.governor_cores = run.governor.cores;
+      resp.governor_requested_cores = run.governor.requested_cores;
+      resp.governor_freq_ghz = run.governor.state.freq_ghz;
+      resp.predicted_j = run.governor.est_energy_j;
+    }
+    resp.shared_group = run.shared_group;
+    resp.shared_members = run.shared_members;
+
+    // Per-member policy energy at the member's own (stretched) busy
+    // share — stats.elapsed_s already carries its slice of the fused
+    // pass, so the rolling power sees the group's true footprint once.
+    resp.policy_energy_j =
+        engine_.busy_energy_j(run.stats.work, state,
+                              run.stats.elapsed_s * slowdown);
+    monitor_.add(end_s, resp.policy_energy_j);
+
+    resp.billed_j = run.attributed_j;
+    admission_.debit(item->session->tenant(), resp.billed_j, end_s);
+    item->session->record_complete(resp.billed_j);
+    completed_.fetch_add(1);
+    resp.status = query::ResponseStatus::kOk;
+    item->promise.set_value(std::move(resp));
+  }
+  atomic_max(peak_power_w_, monitor_.avg_power_w(end_s));
+  inflight_.fetch_sub(1);
 }
 
 void QueryService::stop() {

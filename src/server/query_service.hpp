@@ -63,6 +63,14 @@ struct ServiceOptions {
   bool pace_execution = true;
   /// Admit tenants with no configured budget (see AdmissionController).
   bool admit_unknown_tenants = true;
+  /// Fuse compatible queries of one coalesced batch into a single shared
+  /// pass over their fact table (see query/shared_scan.hpp): the batch is
+  /// pre-partitioned by table + predicate columns, candidate groups are
+  /// handed to core::Database::run_batch, and the engine's sharing arm
+  /// makes the final fuse/run-independent call per group. Results are
+  /// bit-identical either way; the fused table's scan DRAM bytes are
+  /// charged once per group and billed_j reflects each member's share.
+  bool shared_scans = true;
 };
 
 /// Point-in-time service counters.
@@ -119,6 +127,11 @@ class QueryService {
  private:
   void dispatcher_loop();
   void execute_one(const std::shared_ptr<PendingQuery>& item);
+  /// Runs one shared-scan candidate group (>= 2 members with equal
+  /// request-level sharing keys) through Database::run_batch as a single
+  /// pool task, then settles every member exactly like execute_one.
+  void execute_group(
+      const std::vector<std::shared_ptr<PendingQuery>>& items);
 
   core::Database& db_;
   ServiceOptions options_;
@@ -141,6 +154,11 @@ class QueryService {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<double> peak_power_w_{0};
+  /// Queries (or fused groups) currently executing on the worker pool;
+  /// each in-flight unit's governor core grant is clamped to its equal
+  /// share of the engine pool (ExecOptions::core_cap) so a burst cannot
+  /// collectively oversubscribe the machine.
+  std::atomic<std::size_t> inflight_{0};
 };
 
 }  // namespace eidb::server
